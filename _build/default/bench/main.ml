@@ -1,0 +1,261 @@
+(** Microbenchmarks (Bechamel).
+
+    - [validation/*] — Figure 7: per-invocation cost of every SCAF
+      validation primitive vs. the shadow-memory memory-speculation check.
+    - [query/*] — per-scheme dependence-query cost on the motivating
+      example (one full PDG hot-loop sweep per run, fresh orchestrator).
+    - [ablation/*] — the design choices DESIGN.md §7 calls out: the
+      desired-result parameter, join policy, bail-out policy, module order
+      and premise depth (plus a precision table printed after the timings).
+    - [substrate/*] — parser, dominator tree, loop detection, interpreter
+      and profiler throughput.
+
+    Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let motivating_src =
+  {|
+global @a 8
+global @b 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %r = call @input(0)
+  %c = icmp ne %r, 0
+  condbr %c, rare, common
+rare:
+  store 8, @b, 7
+  br cont
+common:
+  store 8, @a, %i
+  br cont
+cont:
+  %v = load 8, @a
+  %w = load 8, @b
+  %s = add %v, %w
+  store 8, @b, %s
+  br latch
+latch:
+  %i2 = add %i, 1
+  store 8, @a, %i2
+  %d = icmp slt %i2, 200
+  condbr %d, loop, exit
+exit:
+  ret
+}
+|}
+
+let motivating = Scaf_ir.Parser.parse_exn_msg motivating_src
+
+let suite_bench =
+  Scaf_suite.Benchmark.program (Option.get (Scaf_suite.Registry.find "181.mcf"))
+
+let profiles = lazy (Scaf_profile.Profiler.profile_module motivating)
+
+let mcf_profiles =
+  lazy (Scaf_profile.Profiler.profile_module ~inputs:[ [| 0L |] ] suite_bench)
+
+(* ------------------------------------------------------------------ *)
+(* validation/* — Figure 7                                             *)
+(* ------------------------------------------------------------------ *)
+
+let validation_tests =
+  let mem = Scaf_interp.Memory.create () in
+  let rt = Scaf_interp.Runtime.create mem in
+  let o =
+    Scaf_interp.Memory.alloc mem ~size:64 ~kind:(Scaf_interp.Memory.KHeap 0)
+      ~ctx:[]
+  in
+  let addr = o.Scaf_interp.Memory.base in
+  Scaf_interp.Runtime.set_heap rt ~addr ~heap_tag:1;
+  Scaf_interp.Runtime.ms_write rt ~addr ~size:8 ~group:7L ~tag:0L;
+  [
+    Test.make ~name:"validation/residue-check"
+      (Staged.stage (fun () ->
+           Scaf_interp.Runtime.check_residue rt ~addr ~allowed:1L ~tag:0L));
+    Test.make ~name:"validation/heap-check"
+      (Staged.stage (fun () ->
+           Scaf_interp.Runtime.check_heap rt ~addr ~heap_tag:1 ~tag:0L));
+    Test.make ~name:"validation/value-check"
+      (Staged.stage (fun () ->
+           Scaf_interp.Runtime.check_value rt ~value:5L ~predicted:5L ~tag:0L));
+    Test.make ~name:"validation/iter-check"
+      (Staged.stage (fun () ->
+           Scaf_interp.Runtime.iter_check rt ~heap_tag:99 ~tag:0L));
+    Test.make ~name:"validation/memspec-write+read"
+      (Staged.stage (fun () ->
+           Scaf_interp.Runtime.ms_write rt ~addr ~size:8 ~group:7L ~tag:0L;
+           Scaf_interp.Runtime.ms_read rt ~addr ~size:8 ~group:7L ~tag:0L));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* query/* — one hot-loop PDG sweep per scheme                         *)
+(* ------------------------------------------------------------------ *)
+
+let sweep (mk : Scaf_profile.Profiles.t -> Scaf_pdg.Schemes.resolver) () =
+  let p = Lazy.force profiles in
+  let r = mk p in
+  ignore
+    (Scaf_pdg.Pdg.run_loop p.Scaf_profile.Profiles.ctx
+       ~resolver:r.Scaf_pdg.Schemes.resolve "main:loop")
+
+let query_tests =
+  [
+    Test.make ~name:"query/caf-sweep" (Staged.stage (sweep Scaf_pdg.Schemes.caf));
+    Test.make ~name:"query/confluence-sweep"
+      (Staged.stage (sweep Scaf_pdg.Schemes.confluence));
+    Test.make ~name:"query/scaf-sweep"
+      (Staged.stage (sweep Scaf_pdg.Schemes.scaf));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* ablation/*                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let orchestrator_with (p : Scaf_profile.Profiles.t)
+    (f : Scaf.Orchestrator.config -> Scaf.Orchestrator.config) :
+    Scaf.Orchestrator.t =
+  let prog = p.Scaf_profile.Profiles.ctx in
+  let modules =
+    Scaf_analysis.Registry.create prog @ Scaf_speculation.Registry.create p
+  in
+  Scaf.Orchestrator.create prog (f (Scaf.Orchestrator.default_config modules))
+
+let ablation_sweep f () =
+  let p = Lazy.force profiles in
+  let o = orchestrator_with p f in
+  ignore
+    (Scaf_pdg.Pdg.run_loop p.Scaf_profile.Profiles.ctx
+       ~resolver:(Scaf.Orchestrator.handle o)
+       "main:loop")
+
+let ablation_tests =
+  [
+    Test.make ~name:"ablation/desired-result-on"
+      (Staged.stage (ablation_sweep (fun c -> c)));
+    Test.make ~name:"ablation/desired-result-off"
+      (Staged.stage
+         (ablation_sweep (fun c ->
+              { c with Scaf.Orchestrator.respect_desired = false })));
+    Test.make ~name:"ablation/join-all"
+      (Staged.stage
+         (ablation_sweep (fun c ->
+              { c with Scaf.Orchestrator.join_policy = Scaf.Join.All })));
+    Test.make ~name:"ablation/bailout-exhaustive"
+      (Staged.stage
+         (ablation_sweep (fun c ->
+              {
+                c with
+                Scaf.Orchestrator.bailout = Scaf.Orchestrator.Exhaustive;
+              })));
+    Test.make ~name:"ablation/spec-modules-first"
+      (Staged.stage
+         (ablation_sweep (fun c ->
+              {
+                c with
+                Scaf.Orchestrator.modules = List.rev c.Scaf.Orchestrator.modules;
+              })));
+    Test.make ~name:"ablation/premise-depth-1"
+      (Staged.stage
+         (ablation_sweep (fun c ->
+              { c with Scaf.Orchestrator.max_premise_depth = 1 })));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* substrate/*                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let substrate_tests =
+  let big =
+    Scaf_suite.Benchmark.program (Option.get (Scaf_suite.Registry.find "429.mcf"))
+  in
+  let text = Scaf_ir.Irmod.to_string big in
+  let f = Option.get (Scaf_ir.Irmod.find_func suite_bench "arc_run") in
+  let cfg = Scaf_cfg.Cfg.of_func f in
+  [
+    Test.make ~name:"substrate/parse-429.mcf"
+      (Staged.stage (fun () -> ignore (Scaf_ir.Parser.parse_exn_msg text)));
+    Test.make ~name:"substrate/domtree"
+      (Staged.stage (fun () -> ignore (Scaf_cfg.Dom.compute cfg)));
+    Test.make ~name:"substrate/postdomtree"
+      (Staged.stage (fun () -> ignore (Scaf_cfg.Dom.compute_post cfg)));
+    Test.make ~name:"substrate/loops"
+      (Staged.stage (fun () -> ignore (Scaf_cfg.Loops.compute cfg)));
+    Test.make ~name:"substrate/interp-motivating"
+      (Staged.stage (fun () -> ignore (Scaf_interp.Eval.run motivating)));
+    Test.make ~name:"substrate/profile-motivating"
+      (Staged.stage (fun () ->
+           ignore (Scaf_profile.Profiler.profile_module motivating)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_tests (tests : Test.t list) =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ t ] -> Fmt.pr "%-36s %12.1f ns/run@." name t
+          | _ -> Fmt.pr "%-36s (no estimate)@." name)
+        ols)
+    tests
+
+(* Precision side of the ablations: premise depth and module order do not
+   change soundness, only how much gets resolved (depth) and how fast. *)
+let precision_table () =
+  let p = Lazy.force mcf_profiles in
+  let prog = p.Scaf_profile.Profiles.ctx in
+  let nodep_with f =
+    let o = orchestrator_with p f in
+    let r =
+      Scaf_pdg.Pdg.run_loop prog
+        ~resolver:(Scaf.Orchestrator.handle o)
+        "arc_run:loop"
+    in
+    Scaf_pdg.Pdg.nodep_pct r
+  in
+  Fmt.pr "@.ablation precision (%%NoDep on 181.mcf arc loop):@.";
+  List.iter
+    (fun depth ->
+      Fmt.pr "  premise depth %d -> %5.1f@." depth
+        (nodep_with (fun c ->
+             { c with Scaf.Orchestrator.max_premise_depth = depth })))
+    [ 0; 1; 2; 3; 4 ];
+  Fmt.pr "  join=ALL        -> %5.1f@."
+    (nodep_with (fun c ->
+         { c with Scaf.Orchestrator.join_policy = Scaf.Join.All }));
+  Fmt.pr "  spec-first      -> %5.1f@."
+    (nodep_with (fun c ->
+         { c with Scaf.Orchestrator.modules = List.rev c.Scaf.Orchestrator.modules }))
+
+let () =
+  Fmt.pr "== validation primitives (Figure 7) ==@.";
+  run_tests validation_tests;
+  Fmt.pr "@.== per-scheme PDG sweeps ==@.";
+  run_tests query_tests;
+  Fmt.pr "@.== ablations (latency) ==@.";
+  run_tests ablation_tests;
+  Fmt.pr "@.== substrate ==@.";
+  run_tests substrate_tests;
+  precision_table ()

@@ -1,0 +1,164 @@
+(** scaf-eval: regenerate the paper's evaluation artifacts.
+
+    Subcommands: [table1], [fig8], [fig9], [table2], [fig10], [all] (the
+    whole evaluation), [bench NAME] (per-benchmark detail), and [speculate
+    NAME] (plan + instrument + run with recovery for one benchmark). *)
+
+open Cmdliner
+open Scaf_report
+
+let clock () = Unix.gettimeofday ()
+
+let select_benchmarks (names : string list) : Scaf_suite.Benchmark.t list =
+  match names with
+  | [] -> Scaf_suite.Registry.all
+  | names ->
+      List.map
+        (fun n ->
+          match Scaf_suite.Registry.find n with
+          | Some b -> b
+          | None -> Fmt.failwith "unknown benchmark %S" n)
+        names
+
+let bench_arg =
+  Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME"
+       ~doc:"Restrict to benchmark $(docv) (repeatable).")
+
+let run_table1 () = print_endline Report.table1
+
+let with_evals names f =
+  let evals = Experiments.evaluate_all ~benchmarks:(select_benchmarks names) () in
+  f evals
+
+let run_fig8 names =
+  with_evals names (fun evals ->
+      print_endline "Figure 8 — dependence coverage (%NoDep, time-weighted):";
+      print_endline (Experiments.fig8 evals);
+      print_endline (Experiments.fig8_deltas evals))
+
+let run_fig9 names =
+  with_evals names (fun evals ->
+      print_endline "Figure 9 — per-hot-loop Confluence vs SCAF:";
+      print_endline (Experiments.fig9 evals))
+
+let run_table2 names =
+  with_evals names (fun evals ->
+      print_endline "Table 2 — collaboration coverage:";
+      print_endline (Experiments.table2 evals))
+
+let run_fig10 names =
+  with_evals names (fun evals ->
+      print_endline "Figure 10 — query latency CDF:";
+      print_endline (Experiments.fig10 ~clock evals))
+
+let run_all names =
+  with_evals names (fun evals ->
+      print_endline "Table 1 — integration approaches:";
+      print_endline Report.table1;
+      print_endline "";
+      print_endline "Figure 8 — dependence coverage (%NoDep, time-weighted):";
+      print_endline (Experiments.fig8 evals);
+      print_endline (Experiments.fig8_deltas evals);
+      print_endline "";
+      print_endline "Figure 9 — per-hot-loop Confluence vs SCAF:";
+      print_endline (Experiments.fig9 evals);
+      print_endline "Table 2 — collaboration coverage:";
+      print_endline (Experiments.table2 evals);
+      print_endline "Figure 10 — query latency CDF:";
+      print_endline (Experiments.fig10 ~clock evals))
+
+let run_bench name =
+  let b =
+    match Scaf_suite.Registry.find name with
+    | Some b -> b
+    | None -> Fmt.failwith "unknown benchmark %S" name
+  in
+  let e = Experiments.evaluate_bench b in
+  Fmt.pr "%s — %s@.@." b.Scaf_suite.Benchmark.name b.Scaf_suite.Benchmark.descr;
+  Fmt.pr "hot loops:@.";
+  List.iter
+    (fun (lid, w) ->
+      let pct r =
+        match List.assoc_opt lid r.Scaf_pdg.Nodep.per_loop with
+        | Some lr -> Scaf_pdg.Pdg.nodep_pct lr
+        | None -> 0.0
+      in
+      Fmt.pr
+        "  %-28s weight %.2f  CAF %5.1f  Confl %5.1f  SCAF %5.1f  MemSpec \
+         %5.1f@."
+        lid w (pct e.Experiments.caf)
+        (pct e.Experiments.confluence)
+        (pct e.Experiments.scaf)
+        (pct e.Experiments.memspec))
+    e.Experiments.scaf.Scaf_pdg.Nodep.loops
+
+let run_speculate name =
+  let b =
+    match Scaf_suite.Registry.find name with
+    | Some b -> b
+    | None -> Fmt.failwith "unknown benchmark %S" name
+  in
+  let m = Scaf_suite.Benchmark.program b in
+  let profiles =
+    Scaf_profile.Profiler.profile_module
+      ~inputs:b.Scaf_suite.Benchmark.train_inputs m
+  in
+  let plan, instrumented = Scaf_transform.Apply.speculate profiles in
+  Fmt.pr "%a@." Scaf_transform.Plan.pp plan;
+  let outcome_train =
+    Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
+      ~input:(List.hd b.Scaf_suite.Benchmark.train_inputs)
+      ()
+  in
+  (match outcome_train.Scaf_transform.Apply.misspec_tag with
+  | Some tag -> (
+      Fmt.pr "train misspec tag %Ld@." tag;
+      match List.nth_opt plan.Scaf_transform.Plan.selected (Int64.to_int tag - 1) with
+      | Some a -> Fmt.pr "  -> %a@." Scaf.Assertion.pp a
+      | None -> ())
+  | None -> ());
+  Fmt.pr "train input: misspeculated=%b, output matches original=%b@."
+    outcome_train.Scaf_transform.Apply.misspeculated
+    (outcome_train.Scaf_transform.Apply.result.Scaf_interp.Eval.output
+    = (Scaf_interp.Eval.run ~input:(List.hd b.Scaf_suite.Benchmark.train_inputs) m)
+        .Scaf_interp.Eval.output);
+  let outcome_ref =
+    Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
+      ~input:b.Scaf_suite.Benchmark.ref_input ()
+  in
+  Fmt.pr "ref input:   misspeculated=%b, output matches original=%b@."
+    outcome_ref.Scaf_transform.Apply.misspeculated
+    (outcome_ref.Scaf_transform.Apply.result.Scaf_interp.Eval.output
+    = (Scaf_interp.Eval.run ~input:b.Scaf_suite.Benchmark.ref_input m)
+        .Scaf_interp.Eval.output)
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "scaf-eval" ~version:"1.0.0"
+      ~doc:"Reproduce the SCAF (PLDI 2020) evaluation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            Cmd.v (Cmd.info "table1" ~doc:"Print Table 1") Term.(const run_table1 $ const ());
+            cmd "fig8" "Figure 8: %NoDep per benchmark per scheme" run_fig8;
+            cmd "fig9" "Figure 9: per-loop Confluence vs SCAF" run_fig9;
+            cmd "table2" "Table 2: collaboration coverage" run_table2;
+            cmd "fig10" "Figure 10: query latency CDF" run_fig10;
+            cmd "all" "Run the whole evaluation" run_all;
+            Cmd.v
+              (Cmd.info "bench" ~doc:"Per-benchmark detail")
+              Term.(const run_bench $ name_arg);
+            Cmd.v
+              (Cmd.info "speculate"
+                 ~doc:"Plan, instrument and run one benchmark with recovery")
+              Term.(const run_speculate $ name_arg);
+          ]))

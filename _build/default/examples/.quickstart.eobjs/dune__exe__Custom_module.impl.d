@@ -1,0 +1,1 @@
+examples/custom_module.ml: Aresult Fmt Instr Int64 Irmod Module_api Orchestrator Parser Progctx Ptrexpr Query Response Scaf Scaf_analysis Scaf_cfg Scaf_ir Value Verify

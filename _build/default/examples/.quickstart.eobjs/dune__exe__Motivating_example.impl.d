@@ -1,0 +1,1 @@
+examples/motivating_example.ml: Assertion Fmt Instr Irmod List Parser Query Response Scaf Scaf_interp Scaf_ir Scaf_pdg Scaf_profile Scaf_transform String Value Verify

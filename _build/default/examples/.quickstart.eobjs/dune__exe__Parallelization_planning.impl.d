@@ -1,0 +1,1 @@
+examples/parallelization_planning.ml: Aresult Benchmark Fmt List Nodep Option Pdg Registry Response Scaf Scaf_pdg Scaf_profile Scaf_suite Scaf_transform Schemes

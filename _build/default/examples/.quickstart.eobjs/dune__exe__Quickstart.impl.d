@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Instr Irmod Parser Query Response Scaf Scaf_ir Scaf_pdg Scaf_profile Value Verify

@@ -1,0 +1,133 @@
+(** Extending SCAF with a new analysis module (§3.1 "This decoupled design
+    enables independent development of modules and easy extension of the
+    framework").
+
+    We add a deliberately tiny "alignment analysis" module: pointers
+    derived from differently-sized allocations at constant offsets beyond
+    the smaller allocation's size cannot alias. The point is the plumbing:
+    a module only implements {!Scaf.Module_api.t}; dropping it into the
+    Orchestrator's module list is the whole integration.
+
+    Run with: dune exec examples/custom_module.exe *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_analysis
+
+(* The custom module: proves NoAlias between a small alloca and any
+   constant-offset pointer past its end (a bounds argument the stock
+   ensemble does not make for *unknown-base* pointers: if the offset from
+   ANY base is larger than the small object's size, and the small object's
+   pointer is at offset 0, an 8-byte overlap would overrun it). *)
+let tiny_object_aa (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"tiny-object-aa" ~kind:Module_api.Memory
+    ~factored:false (fun _ctx q ->
+      match q with
+      | Query.Modref _ -> Module_api.no_answer q
+      | Query.Alias a -> (
+          let size_of v fname =
+            match Ptrexpr.resolve prog ~fname v with
+            | [ { Ptrexpr.base = Ptrexpr.BAlloca id; off = Some 0L } ] -> (
+                match Progctx.occ prog id with
+                | Some o -> (
+                    match o.Irmod.Index.instr.Instr.kind with
+                    | Instr.Alloca { size } -> Some size
+                    | _ -> None)
+                | None -> None)
+            | _ -> None
+          in
+          let min_off v fname =
+            match Ptrexpr.resolve prog ~fname v with
+            | [ { Ptrexpr.off = Some o; _ } ] -> Some o
+            | _ -> None
+          in
+          let check (small : Query.memloc) (other : Query.memloc) =
+            match
+              (size_of small.Query.ptr small.Query.fname,
+               min_off other.Query.ptr other.Query.fname)
+            with
+            | Some sz, Some off when Int64.compare off (Int64.of_int sz) >= 0
+              ->
+                (* [other] points at least [sz] bytes into *some* object;
+                   if it aliased the small object, the access would overrun
+                   it — undefined behaviour analyses may assume away *)
+                Some (Response.free (Aresult.RAlias Aresult.NoAlias))
+            | _ -> None
+          in
+          match check a.Query.a1 a.Query.a2 with
+          | Some r -> r
+          | None -> (
+              match check a.Query.a2 a.Query.a1 with
+              | Some r -> r
+              | None -> Module_api.no_answer q)))
+
+let src =
+  {|
+func @work(%buf) {
+entry:
+  %tiny = alloca 8
+  store 8, %tiny, 1
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %p = gep %buf, 64
+  store 8, %p, %i          ; 64 bytes into an *unknown* object
+  %v = load 8, %tiny       ; the tiny object is only 8 bytes
+  %s = add %v, %i
+  store 8, %tiny, %s
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  %f = load 8, %tiny
+  ret %f
+}
+
+func @main() {
+entry:
+  %big = call @malloc(256)
+  %r = call @work(%big)
+  call @print(%r)
+  ret
+}
+|}
+
+let () =
+  let m = Parser.parse_exn_msg src in
+  Verify.check_exn m;
+  let prog = Progctx.build m in
+  let find p =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if p i then r := i.Instr.id);
+    !r
+  in
+  let deep_store =
+    find (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Reg "p"; _ } -> true
+        | _ -> false)
+  in
+  let tiny_load = find (fun i -> i.Instr.dst = Some "v") in
+  let q =
+    Query.modref_instrs ~loop:"work:loop" ~tr:Query.Same deep_store tiny_load
+  in
+
+  (* Without the custom module. Note: %big is opaque enough here only if we
+     hide it; for the demo we query through a configuration that lacks
+     underlying-object reasoning, keeping the focus on the plumbing. *)
+  let base_modules = [ Scaf_analysis.Basic_aa.create prog ] in
+  let without =
+    Orchestrator.create prog (Orchestrator.default_config base_modules)
+  in
+  let with_custom =
+    Orchestrator.create prog
+      (Orchestrator.default_config (base_modules @ [ tiny_object_aa prog ]))
+  in
+  Fmt.pr "query: %a@." Query.pp q;
+  Fmt.pr "without tiny-object-aa: %a@." Response.pp
+    (Orchestrator.handle without q);
+  let r = Orchestrator.handle with_custom q in
+  Fmt.pr "with tiny-object-aa:    %a (via %a)@." Response.pp r
+    Fmt.(list ~sep:comma string)
+    (Response.Sset.elements r.Response.provenance)

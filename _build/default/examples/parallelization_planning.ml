@@ -1,0 +1,62 @@
+(** Planning for a parallelization client (§3.4 "SCAF facilitates
+    planning").
+
+    A DOALL-style client wants every cross-iteration dependence of a hot
+    loop removed. SCAF reports each removable dependence *predicated on*
+    assertion options, so the client can weigh total validation cost before
+    transforming anything, pick a conflict-free assertion set, and see how
+    one cheap assertion pays for many dependences — versus what raw memory
+    speculation would charge.
+
+    Run with: dune exec examples/parallelization_planning.exe *)
+
+open Scaf
+open Scaf_pdg
+open Scaf_suite
+
+let () =
+  let b = Option.get (Registry.find "181.mcf") in
+  let m = Benchmark.program b in
+  let profiles =
+    Scaf_profile.Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
+  in
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let scaf = Schemes.scaf profiles in
+  let memspec = Schemes.memory_speculation profiles in
+
+  (* The client targets the hottest loop. *)
+  let lid, _ = List.hd (Nodep.hot_loop_weights profiles) in
+  Fmt.pr "target loop: %s@.@." lid;
+
+  let report = Pdg.run_loop prog ~resolver:scaf.Schemes.resolve lid in
+  let cross =
+    List.filter (fun (q : Pdg.qresult) -> q.Pdg.dq.Pdg.cross) report.Pdg.queries
+  in
+  let removable = List.filter (fun (q : Pdg.qresult) -> q.Pdg.nodep) cross in
+  Fmt.pr "cross-iteration dependence queries: %d, removable under cheap \
+          speculation: %d@."
+    (List.length cross) (List.length removable);
+
+  (* Plan: cheapest conflict-free assertion set covering them all. *)
+  let plan = Scaf_transform.Plan.build [ { report with Pdg.queries = cross } ] in
+  Fmt.pr "@.--- the plan ---@.%a@." Scaf_transform.Plan.pp plan;
+
+  (* Compare with raw memory speculation for the same dependences. *)
+  let memspec_cost =
+    List.fold_left
+      (fun acc (q : Pdg.qresult) ->
+        let resp = memspec.Schemes.resolve (Pdg.to_query lid q.Pdg.dq) in
+        match resp.Response.result with
+        | Aresult.RModref Aresult.NoModRef -> acc +. Response.cheapest_cost resp
+        | _ -> acc)
+      0.0 removable
+  in
+  Fmt.pr
+    "validation cost for the same dependences:@.  SCAF plan: %10.1f  (%d \
+     assertions)@.  memory speculation: %10.1f@."
+    plan.Scaf_transform.Plan.total_cost
+    (List.length plan.Scaf_transform.Plan.selected)
+    memspec_cost;
+  if memspec_cost > 0.0 then
+    Fmt.pr "  -> SCAF needs %.1fx less validation work@."
+      (memspec_cost /. max 1.0 plan.Scaf_transform.Plan.total_cost)

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Hashtbl Induction Instr Int64 List Loops Option Progctx Scaf Scaf_cfg Scaf_ir Stdlib String Value

@@ -1,0 +1,1 @@
+lib/analysis/autil.ml: Affine Aresult Func Instr Irmod Loops Progctx Query Response Scaf Scaf_cfg Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/analysis/basic_aa.ml: Aresult Autil Int64 Join Loops Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir Value

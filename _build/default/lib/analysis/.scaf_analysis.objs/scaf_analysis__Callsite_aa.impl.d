@@ -1,0 +1,1 @@
+lib/analysis/callsite_aa.ml: Aresult Autil Func Instr Int64 Irmod Join List Module_api Option Progctx Query Response Scaf Scaf_cfg Scaf_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/disjoint_fields_aa.ml: Aresult Basic_aa Instr Int64 Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir Value

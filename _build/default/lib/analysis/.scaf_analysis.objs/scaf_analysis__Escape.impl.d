@@ -1,0 +1,1 @@
+lib/analysis/escape.ml: Block Cfg Func Hashtbl Instr Irmod List Loops Progctx Scaf_cfg Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/analysis/global_malloc_aa.ml: Aresult Assertion Globsum Instr Irmod Join List Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/globsum.ml: Func Hashtbl Instr Irmod List Option Progctx Ptrexpr Scaf_cfg Scaf_ir

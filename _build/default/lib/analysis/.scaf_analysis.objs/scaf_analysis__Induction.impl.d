@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Block Cfg Hashtbl Instr Int64 List Loops Option Progctx Scaf_cfg Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/analysis/induction_range_aa.ml: Affine Aresult Autil Int64 List Module_api Progctx Query Response Scaf Scaf_cfg Scaf_ir String Value

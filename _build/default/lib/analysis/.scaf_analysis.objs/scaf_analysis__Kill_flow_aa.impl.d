@@ -1,0 +1,1 @@
+lib/analysis/kill_flow_aa.ml: Aresult Autil Block Cfg Ctrl Fun Func Instr Irmod List Loops Module_api Progctx Query Reach Response Scaf Scaf_cfg Scaf_ir String

@@ -1,0 +1,1 @@
+lib/analysis/loop_fresh_aa.ml: Aresult Escape Hashtbl Loops Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg String

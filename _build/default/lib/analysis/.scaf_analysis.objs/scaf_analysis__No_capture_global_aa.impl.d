@@ -1,0 +1,1 @@
+lib/analysis/no_capture_global_aa.ml: Aresult Assertion Escape Func Globsum Hashtbl Instr Irmod Join List Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/analysis/no_capture_source_aa.ml: Aresult Assertion Escape Func Hashtbl Instr Irmod Join List Module_api Option Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir Value

@@ -1,0 +1,1 @@
+lib/analysis/ptrexpr.ml: Fmt Func Hashtbl Instr Int64 Irmod List Loops Progctx Scaf_cfg Scaf_ir Stdlib String Value

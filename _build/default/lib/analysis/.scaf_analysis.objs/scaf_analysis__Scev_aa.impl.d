@@ -1,0 +1,1 @@
+lib/analysis/scev_aa.ml: Affine Aresult Autil Module_api Progctx Query Response Scaf Scaf_cfg Scaf_ir String Value

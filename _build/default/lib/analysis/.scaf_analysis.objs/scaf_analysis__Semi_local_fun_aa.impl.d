@@ -1,0 +1,1 @@
+lib/analysis/semi_local_fun_aa.ml: Aresult Autil Func Hashtbl Instr Irmod Join List Module_api Option Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir Set String Value

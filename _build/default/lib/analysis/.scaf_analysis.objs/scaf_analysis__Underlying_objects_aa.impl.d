@@ -1,0 +1,1 @@
+lib/analysis/underlying_objects_aa.ml: Aresult List Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg

@@ -1,0 +1,1 @@
+lib/analysis/unique_paths_aa.ml: Aresult Func Instr Int64 Irmod Join List Loops Module_api Progctx Ptrexpr Query Response Scaf Scaf_cfg Scaf_ir String Value

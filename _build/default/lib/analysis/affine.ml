@@ -1,0 +1,235 @@
+(** Scalar evolution of pointers, specialized to what loop dependence
+    queries need: a pointer expression normalized, with respect to one
+    loop, as
+
+      [root + c + sum over r of coeff_r * r]
+
+    where [root] is a loop-invariant pointer value, [c] a constant, and
+    each [r] is either an induction variable of the loop (with known
+    per-iteration step) or a loop-invariant register (step 0). The absolute
+    values of the [r]s need not be known: comparisons between two affine
+    forms cancel shared terms. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type t = {
+  root : Value.t;  (** loop-invariant pointer root *)
+  c : int64;
+  terms : (string * int64) list  (** register -> coefficient, sorted *)
+}
+
+type env = {
+  prog : Progctx.t;
+  fname : string;
+  li : Loops.t;
+  loop : Loops.loop;
+  steps : (string, int64) Hashtbl.t;  (** iv -> per-iteration step *)
+}
+
+let make_env (prog : Progctx.t) ~(fname : string) (li : Loops.t)
+    (loop : Loops.loop) : env =
+  { prog; fname; li; loop; steps = Induction.steps_of prog ~fname li loop }
+
+let is_invariant (e : env) (v : Value.t) : bool =
+  match v with
+  | Value.Int _ | Value.Null | Value.Global _ | Value.Undef -> true
+  | Value.Reg r -> (
+      match Progctx.def e.prog e.fname r with
+      | None -> true (* parameter *)
+      | Some def -> not (Loops.contains_instr e.li e.loop def.Instr.id))
+
+let norm_terms terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r, k) ->
+      Hashtbl.replace tbl r
+        (Int64.add k (Option.value ~default:0L (Hashtbl.find_opt tbl r))))
+    terms;
+  Hashtbl.fold (fun r k acc -> if Int64.equal k 0L then acc else (r, k) :: acc) tbl []
+  |> List.sort Stdlib.compare
+
+(* Integer affine form: (constant, terms); no root. *)
+let rec int_aff (e : env) (depth : int) (v : Value.t) :
+    (int64 * (string * int64) list) option =
+  if depth > 10 then None
+  else
+    match v with
+    | Value.Int i -> Some (i, [])
+    | Value.Null -> Some (0L, [])
+    | Value.Reg r -> (
+        if Hashtbl.mem e.steps r then
+          (* induction variable: start-relative handling happens at
+             comparison time; fold a constant init when available *)
+          match Progctx.def e.prog e.fname r with
+          | Some { Instr.kind = Instr.Phi _; _ } -> Some (0L, [ (r, 1L) ])
+          | _ -> Some (0L, [ (r, 1L) ])
+        else if is_invariant e v then Some (0L, [ (r, 1L) ])
+        else
+          match Progctx.def e.prog e.fname r with
+          | Some { Instr.kind = Instr.Binop (op, a, b); _ } -> (
+              match op with
+              | Instr.Add -> (
+                  match (int_aff e (depth + 1) a, int_aff e (depth + 1) b) with
+                  | Some (c1, t1), Some (c2, t2) ->
+                      Some (Int64.add c1 c2, norm_terms (t1 @ t2))
+                  | _ -> None)
+              | Instr.Sub -> (
+                  match (int_aff e (depth + 1) a, int_aff e (depth + 1) b) with
+                  | Some (c1, t1), Some (c2, t2) ->
+                      Some
+                        ( Int64.sub c1 c2,
+                          norm_terms
+                            (t1 @ List.map (fun (r, k) -> (r, Int64.neg k)) t2)
+                        )
+                  | _ -> None)
+              | Instr.Mul -> (
+                  match (int_aff e (depth + 1) a, int_aff e (depth + 1) b) with
+                  | Some (c1, []), Some (c2, t2) ->
+                      Some
+                        ( Int64.mul c1 c2,
+                          norm_terms (List.map (fun (r, k) -> (r, Int64.mul c1 k)) t2)
+                        )
+                  | Some (c1, t1), Some (c2, []) ->
+                      Some
+                        ( Int64.mul c1 c2,
+                          norm_terms (List.map (fun (r, k) -> (r, Int64.mul c2 k)) t1)
+                        )
+                  | _ -> None)
+              | Instr.Shl -> (
+                  match (int_aff e (depth + 1) a, int_aff e (depth + 1) b) with
+                  | Some (c1, t1), Some (c2, []) when c2 >= 0L && c2 < 32L ->
+                      let f = Int64.shift_left 1L (Int64.to_int c2) in
+                      Some
+                        ( Int64.mul c1 f,
+                          norm_terms (List.map (fun (r, k) -> (r, Int64.mul k f)) t1)
+                        )
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+    | _ -> None
+
+(** [of_value env v] — affine form of pointer [v] w.r.t. the loop, if it
+    has one. *)
+let of_value (e : env) (v : Value.t) : t option =
+  let rec go depth (v : Value.t) : t option =
+    if depth > 12 then None
+    else if is_invariant e v then Some { root = v; c = 0L; terms = [] }
+    else
+      match v with
+      | Value.Reg r -> (
+          match Progctx.def e.prog e.fname r with
+          | Some { Instr.kind = Instr.Gep { base; offset }; _ } -> (
+              match (go (depth + 1) base, int_aff e 0 offset) with
+              | Some p, Some (c, terms) ->
+                  Some
+                    {
+                      p with
+                      c = Int64.add p.c c;
+                      terms = norm_terms (p.terms @ terms);
+                    }
+              | _ -> None)
+          | Some { Instr.kind = Instr.Binop (Instr.Add, base, off); _ } -> (
+              (* pointer + integer spelled as add *)
+              match (go (depth + 1) base, int_aff e 0 off) with
+              | Some p, Some (c, terms) ->
+                  Some
+                    {
+                      p with
+                      c = Int64.add p.c c;
+                      terms = norm_terms (p.terms @ terms);
+                    }
+              | _ -> None)
+          | Some { Instr.kind = Instr.Phi _; _ } when Hashtbl.mem e.steps r -> (
+              (* pointer induction variable: root is its loop-entry value *)
+              match
+                List.find_opt
+                  (fun (iv : Induction.iv) -> String.equal iv.Induction.reg r)
+                  (Induction.of_loop e.prog ~fname:e.fname e.li e.loop)
+              with
+              | Some iv when is_invariant e iv.Induction.init -> (
+                  match go (depth + 1) iv.Induction.init with
+                  | Some p -> Some { p with terms = norm_terms ((r, 1L) :: p.terms) }
+                  | None ->
+                      Some
+                        { root = iv.Induction.init; c = 0L; terms = [ (r, 1L) ] })
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+  in
+  go 0 v
+
+(** Per-iteration stride contributed by the terms: sum of coeff * step for
+    induction terms. [None] when a term's evolution is unknown (a non-iv,
+    non-invariant register slipped in — cannot happen by construction, but
+    guard anyway). *)
+let stride (e : env) (a : t) : int64 =
+  List.fold_left
+    (fun acc (r, k) ->
+      match Hashtbl.find_opt e.steps r with
+      | Some s -> Int64.add acc (Int64.mul k s)
+      | None -> acc (* invariant register: step 0 *))
+    0L a.terms
+
+(* Difference of terms: a1 - a2, as (delta constant is separate). Returns
+   None if the residual terms don't cancel (unknown relative value). *)
+let terms_cancel (a1 : t) (a2 : t) : bool =
+  norm_terms (a1.terms @ List.map (fun (r, k) -> (r, Int64.neg k)) a2.terms)
+  = []
+
+(** Compare two affine accesses over the *same root*.
+
+    [tr] positions instance 1 relative to instance 2 ([Before]: instance 1
+    executes in a strictly earlier iteration). Sizes are byte footprints.
+    Returns [None] when undecidable. *)
+let compare_access (e : env) ~(tr : Scaf.Query.temporal) (a1 : t) (s1 : int)
+    (a2 : t) (s2 : int) : Scaf.Aresult.alias_res option =
+  let open Scaf.Aresult in
+  let s1L = Int64.of_int s1 and s2L = Int64.of_int s2 in
+  let overlap (d : int64) =
+    (* intervals [d, d+s1) and [0, s2) *)
+    Int64.compare d s2L < 0 && Int64.compare (Int64.add d s1L) 0L > 0
+  in
+  let classify_const (d : int64) =
+    if not (overlap d) then Some NoAlias
+    else if Int64.equal d 0L && s1 = s2 then Some MustAlias
+    else if Int64.compare d 0L >= 0 && Int64.compare (Int64.add d s1L) s2L <= 0
+    then Some SubAlias (* 1 inside 2 *)
+    else if Int64.compare d 0L <= 0 && Int64.compare (Int64.add d s1L) s2L >= 0
+    then Some SubAlias (* 2 inside 1 *)
+    else None (* partial overlap: stay conservative (MayAlias) *)
+  in
+  match tr with
+  | Scaf.Query.Same ->
+      if terms_cancel a1 a2 then classify_const (Int64.sub a1.c a2.c) else None
+  | Scaf.Query.Before | Scaf.Query.After ->
+      if not (terms_cancel a1 a2) then None
+      else begin
+        (* delta(dk) = c1 - c2 - S*dk (Before), + S*dk (After), dk >= 1 *)
+        let s = stride e a1 in
+        let dc = Int64.sub a1.c a2.c in
+        if Int64.equal s 0L then classify_const dc
+        else begin
+          let sgn = if tr = Scaf.Query.Before then Int64.neg s else s in
+          (* walk dk until delta passes beyond the window monotonically *)
+          let rec probe dk =
+            if dk > 4096 then None (* give up; treat as may-alias *)
+            else begin
+              let d = Int64.add dc (Int64.mul sgn (Int64.of_int dk)) in
+              if overlap d then Some false (* some iteration pair overlaps *)
+              else begin
+                (* beyond the window moving away? window is (-s1, s2) *)
+                let past =
+                  if Int64.compare sgn 0L > 0 then Int64.compare d s2L >= 0
+                  else Int64.compare (Int64.add d s1L) 0L <= 0
+                in
+                if past then Some true else probe (dk + 1)
+              end
+            end
+          in
+          match probe 1 with
+          | Some true -> Some NoAlias
+          | Some false -> None
+          | None -> None
+        end
+      end

@@ -1,0 +1,169 @@
+(** Shared helpers for analysis modules: footprints, temporal-safety
+    checks, and alias->modref lifting. *)
+
+open Scaf_ir
+open Scaf_cfg
+open Scaf
+
+(** The memory footprint of instruction [id], as a query memloc. *)
+let loc_of_instr (prog : Progctx.t) (id : int) : Query.memloc option =
+  match Progctx.occ prog id with
+  | Some o -> (
+      match Instr.footprint o.Irmod.Index.instr with
+      | Some (ptr, size) ->
+          Some { Query.ptr; size; fname = o.Irmod.Index.func.Func.name }
+      | None -> None)
+  | None -> None
+
+(** Does instruction [id] read / write memory directly? *)
+let rw_of_instr (prog : Progctx.t) (id : int) : [ `Load | `Store | `Call | `None ]
+    =
+  match Progctx.occ prog id with
+  | Some o -> (
+      match o.Irmod.Index.instr.Instr.kind with
+      | Instr.Load _ -> `Load
+      | Instr.Store _ -> `Store
+      | Instr.Call _ -> `Call
+      | _ -> `None)
+  | None -> `None
+
+(** [value_invariant prog ~fname ~lid v] - is [v] the same dynamic value in
+    every iteration of loop [lid]? (Constants and globals always; registers
+    when defined outside the loop.) *)
+let value_invariant (prog : Progctx.t) ~(fname : string)
+    ~(lid : string option) (v : Value.t) : bool =
+  match v with
+  | Value.Int _ | Value.Null | Value.Global _ | Value.Undef -> true
+  | Value.Reg r -> (
+      match lid with
+      | None ->
+          (* no loop scope to be invariant with respect to *)
+          false
+      | Some lid -> (
+          match Progctx.loop_of_lid prog lid with
+          | None -> false
+          | Some (lf, loop) -> (
+              (not (String.equal lf fname))
+              ||
+              match Progctx.def prog fname r with
+              | None -> true (* parameter *)
+              | Some def -> (
+                  match Progctx.loops_of prog fname with
+                  | Some li ->
+                      not (Loops.contains_instr li loop def.Instr.id)
+                  | None -> false))))
+
+(** [unique_per_iteration prog ~lid id] - does the instruction [id] execute
+    at most once per iteration of loop [lid]? True when it sits outside the
+    loop, or directly in the loop body but not in any nested loop. *)
+let unique_per_iteration (prog : Progctx.t) ~(lid : string option) (id : int) :
+    bool =
+  match lid with
+  | None -> (
+      (* no loop scope: unique iff not inside any loop at all *)
+      match Progctx.func_of_instr prog id with
+      | Some f -> (
+          match Progctx.loops_of prog f.Func.name with
+          | Some li -> Loops.innermost_of_instr li id = None
+          | None -> true)
+      | None -> false)
+  | Some lid -> (
+      match Progctx.loop_of_lid prog lid with
+      | None -> false
+      | Some (lf, loop) -> (
+          match Progctx.func_of_instr prog id with
+          | Some f when String.equal f.Func.name lf -> (
+              match Progctx.loops_of prog lf with
+              | Some li -> (
+                  if not (Loops.contains_instr li loop id) then true
+                  else
+                    match Loops.innermost_of_instr li id with
+                    | Some l -> String.equal l.Loops.lid lid
+                    | None -> true)
+              | None -> false)
+          | Some _ -> true (* other function: fixed during the loop *)
+          | None -> false))
+
+(** [value_unique_per_iteration prog ~fname ~lid v] - lifted to values. *)
+let value_unique_per_iteration (prog : Progctx.t) ~(fname : string)
+    ~(lid : string option) (v : Value.t) : bool =
+  match v with
+  | Value.Int _ | Value.Null | Value.Global _ | Value.Undef -> true
+  | Value.Reg r -> (
+      match Progctx.def prog fname r with
+      | None -> true (* parameter *)
+      | Some def -> unique_per_iteration prog ~lid def.Instr.id)
+
+(** [instance_stable q_tr ~invariant ~unique] - may we treat the two
+    compared pointer expressions as denoting the same dynamic instances?
+    For [Same] queries the value must be unique per iteration (not defined
+    in a nested loop); for cross-iteration queries it must be loop
+    invariant. *)
+let instance_stable (tr : Query.temporal) ~(invariant : bool) ~(unique : bool)
+    : bool =
+  match tr with Query.Same -> unique | Query.Before | Query.After -> invariant
+
+(** Lift an alias response between footprints to the modref result for the
+    accessing instruction: NoAlias -> NoModRef; otherwise a load can only
+    Ref and a store can only Mod. Options and provenance carry over. *)
+let modref_of_alias_response (prog : Progctx.t) (instr : int)
+    (alias_resp : Response.t) : Response.t =
+  let open Aresult in
+  match alias_resp.Response.result with
+  | RAlias NoAlias -> { alias_resp with Response.result = RModref NoModRef }
+  | _ -> (
+      match rw_of_instr prog instr with
+      | `Load -> Response.free (RModref Ref)
+      | `Store -> Response.free (RModref Mod)
+      | _ -> Response.bottom_modref)
+
+(** The cheap, assertion-free refinement available for any direct access:
+    loads never Mod, stores never Ref. *)
+let kind_refinement (prog : Progctx.t) (instr : int) : Response.t =
+  match rw_of_instr prog instr with
+  | `Load -> Response.free (Aresult.RModref Aresult.Ref)
+  | `Store -> Response.free (Aresult.RModref Aresult.Mod)
+  | _ -> Response.bottom_modref
+
+(** Build the alias premise between a modref query's two footprints.
+    Returns [None] when either side has no direct footprint. *)
+let footprint_alias_premise (prog : Progctx.t) (q : Query.modref_q)
+    ?(dr : Query.desired option) () : Query.alias_q option =
+  match (loc_of_instr prog q.Query.minstr, q.Query.mtarget) with
+  | Some l1, Query.TInstr i2 -> (
+      match loc_of_instr prog i2 with
+      | Some l2 ->
+          Some
+            {
+              Query.a1 = l1;
+              atr = q.Query.mtr;
+              a2 = l2;
+              aloop = q.Query.mloop;
+              acc = q.Query.mcc;
+              adr = dr;
+            }
+      | None -> None)
+  | Some l1, Query.TLoc l2 ->
+      Some
+        {
+          Query.a1 = l1;
+          atr = q.Query.mtr;
+          a2 = l2;
+          aloop = q.Query.mloop;
+          acc = q.Query.mcc;
+          adr = dr;
+        }
+  | None, _ -> None
+
+(** [loop_env prog lid] - the affine environment for a loop id, when the
+    loop exists. *)
+let loop_env (prog : Progctx.t) (lid : string option) : Affine.env option =
+  match lid with
+  | None -> None
+  | Some lid -> (
+      match Progctx.loop_of_lid prog lid with
+      | Some (fname, loop) -> (
+          match Progctx.loops_of prog fname with
+          | Some li -> Some (Affine.make_env prog ~fname li loop)
+          | None -> None)
+      | None -> None)

@@ -1,0 +1,114 @@
+(** Basic alias rules (module 1 of the CAF ensemble, factored).
+
+    Alias queries: single-resolution reasoning — distinct objects cannot
+    alias; same object + constant offsets classify as
+    NoAlias/MustAlias/SubAlias by interval arithmetic (with temporal
+    instance checks for cross-iteration queries).
+
+    Modref queries: the kind refinement (loads never Mod, stores never
+    Ref), plus the central *footprint lift*: a modref query between two
+    direct accesses is reduced to an alias premise query between their
+    footprints and handed back to the Orchestrator, so every other module —
+    including speculation modules — can contribute (§3.1). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let classify_offsets (o1 : int64) (s1 : int) (o2 : int64) (s2 : int) :
+    Aresult.alias_res =
+  let open Aresult in
+  let d = Int64.sub o1 o2 in
+  let s1L = Int64.of_int s1 and s2L = Int64.of_int s2 in
+  if Int64.compare d s2L >= 0 || Int64.compare (Int64.add d s1L) 0L <= 0 then
+    NoAlias
+  else if Int64.equal d 0L && s1 = s2 then MustAlias
+  else if Int64.compare d 0L >= 0 && Int64.compare (Int64.add d s1L) s2L <= 0
+  then SubAlias
+  else if Int64.compare d 0L <= 0 && Int64.compare (Int64.add d s1L) s2L >= 0
+  then SubAlias
+  else MayAlias (* partial overlap *)
+
+(* Is the dynamic instance of [site] stable across the query's temporal
+   scope? Globals always; allocas/mallocs only when the query is
+   intra-iteration or the site is outside the query loop. *)
+let site_instance_stable (prog : Progctx.t) (tr : Query.temporal)
+    (lid : string option) (b : Ptrexpr.base) : bool =
+  match b with
+  | Ptrexpr.BGlobal _ | Ptrexpr.BNull -> true
+  | Ptrexpr.BAlloca id | Ptrexpr.BMalloc id -> (
+      match tr with
+      | Query.Same -> Autil.unique_per_iteration prog ~lid id
+      | Query.Before | Query.After -> (
+          match lid with
+          | None -> false
+          | Some lid -> (
+              match Progctx.loop_of_lid prog lid with
+              | Some (fname, loop) -> (
+                  match Progctx.loops_of prog fname with
+                  | Some li -> not (Loops.contains_instr li loop id)
+                  | None -> false)
+              | None -> false)))
+  | _ -> false
+
+let answer_alias (prog : Progctx.t) (q : Query.alias_q) : Response.t =
+  let open Ptrexpr in
+  (* syntactic identity: same SSA value denotes the same address within an
+     iteration (and across iterations when loop-invariant) *)
+  if
+    Value.equal q.Query.a1.Query.ptr q.Query.a2.Query.ptr
+    && Autil.instance_stable q.Query.atr
+         ~invariant:
+           (Autil.value_invariant prog ~fname:q.Query.a1.Query.fname
+              ~lid:q.Query.aloop q.Query.a1.Query.ptr)
+         ~unique:
+           (Autil.value_unique_per_iteration prog
+              ~fname:q.Query.a1.Query.fname ~lid:q.Query.aloop
+              q.Query.a1.Query.ptr)
+  then begin
+    if q.Query.a1.Query.size = q.Query.a2.Query.size then
+      Response.free (Aresult.RAlias Aresult.MustAlias)
+    else Response.free (Aresult.RAlias Aresult.SubAlias)
+  end
+  else
+  let r1 = resolve prog ~fname:q.Query.a1.Query.fname q.Query.a1.Query.ptr in
+  let r2 = resolve prog ~fname:q.Query.a2.Query.fname q.Query.a2.Query.ptr in
+  match (r1, r2) with
+  | [ x1 ], [ x2 ] ->
+      if distinct_objects x1.base x2.base then
+        Response.free (Aresult.RAlias Aresult.NoAlias)
+      else if
+        x1.base = x2.base && is_object x1.base
+        && site_instance_stable prog q.Query.atr q.Query.aloop x1.base
+      then
+        match (x1.off, x2.off) with
+        | Some o1, Some o2 ->
+            let res =
+              classify_offsets o1 q.Query.a1.Query.size o2 q.Query.a2.Query.size
+            in
+            if res = Aresult.MayAlias then Response.bottom_alias
+            else Response.free (Aresult.RAlias res)
+        | _ -> Response.bottom_alias
+      else Response.bottom_alias
+  | _ -> Response.bottom_alias
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) :
+    Response.t =
+  match q with
+  | Query.Alias a -> answer_alias prog a
+  | Query.Modref m -> (
+      let kind_r = Autil.kind_refinement prog m.Query.minstr in
+      (* the footprint lift: only meaningful when both sides are direct
+         accesses *)
+      match Autil.footprint_alias_premise prog m ~dr:Query.DNoAlias () with
+      | Some premise ->
+          let presp = ctx.Module_api.handle (Query.Alias premise) in
+          let lifted =
+            Autil.modref_of_alias_response prog m.Query.minstr presp
+          in
+          Join.join Join.Cheapest kind_r lifted
+      | None -> kind_r)
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"basic-aa" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q -> answer prog ctx q)

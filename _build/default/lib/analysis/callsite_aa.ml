@@ -1,0 +1,152 @@
+(** Call-site semantics (C standard library / intrinsics reasoning,
+    factored for argument-memory functions).
+
+    Uses declaration attributes: [readnone] calls have no memory footprint;
+    [readonly] calls never Mod; [malloc_like] calls touch only fresh
+    memory; [argmemonly] calls (memcpy/memset/free) touch only through
+    their pointer arguments, which are premise-compared against the other
+    location. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let call_of (prog : Progctx.t) (id : int) : (Instr.t * string * Value.t list) option =
+  match Progctx.occ prog id with
+  | Some o -> (
+      match o.Irmod.Index.instr.Instr.kind with
+      | Instr.Call { callee; args } -> Some (o.Irmod.Index.instr, callee, args)
+      | _ -> None)
+  | None -> None
+
+let fname_of (prog : Progctx.t) (id : int) : string option =
+  Option.map
+    (fun (o : Irmod.Index.occurrence) -> o.Irmod.Index.func.Func.name)
+    (Progctx.occ prog id)
+
+(* Regions an argmemonly intrinsic touches: (pointer, size, mod?, ref?). A
+   negative size means "unbounded from the pointer". *)
+let arg_regions (callee : string) (args : Value.t list) :
+    (Value.t * int * bool * bool) list option =
+  let arg n = List.nth_opt args n in
+  let size_arg n =
+    match arg n with Some (Value.Int i) -> Some (Int64.to_int i) | _ -> None
+  in
+  match callee with
+  | "memcpy" -> (
+      match (arg 0, arg 1, size_arg 2) with
+      | Some d, Some s, Some n -> Some [ (d, n, true, false); (s, n, false, true) ]
+      | Some d, Some s, None -> Some [ (d, -1, true, false); (s, -1, false, true) ]
+      | _ -> None)
+  | "memset" -> (
+      match (arg 0, size_arg 2) with
+      | Some d, Some n -> Some [ (d, n, true, false) ]
+      | Some d, None -> Some [ (d, -1, true, false) ]
+      | _ -> None)
+  | "free" -> (
+      (* deallocation: treat as a write to the object head *)
+      match arg 0 with Some p -> Some [ (p, 1, true, false) ] | _ -> None)
+  | _ -> None
+
+(* How does a call with [callee] relate to location [loc]? *)
+let call_vs_loc (prog : Progctx.t) (ctx : Module_api.ctx) ~(tr : Query.temporal)
+    ~(loop : string option) ~(cc : int list option) (callee : string)
+    (args : Value.t list) (call_fname : string) (loc : Query.memloc) :
+    Response.t =
+  let m = prog.Progctx.m in
+  if Irmod.has_attr m callee Func.Readnone then
+    Response.free (Aresult.RModref Aresult.NoModRef)
+  else if Irmod.has_attr m callee Func.Malloc_like then
+    (* allocates fresh memory: touches nothing that already exists *)
+    Response.free (Aresult.RModref Aresult.NoModRef)
+  else if Irmod.has_attr m callee Func.Argmemonly then begin
+    match arg_regions callee args with
+    | None ->
+        if Irmod.has_attr m callee Func.Readonly then
+          Response.free (Aresult.RModref Aresult.Ref)
+        else Response.bottom_modref
+    | Some regions ->
+        (* NoModRef iff every region is NoAlias with loc; the premise goes
+           through the whole ensemble *)
+        let rec go acc_opts acc_prov mods refs = function
+          | [] ->
+              if not (mods || refs) then
+                {
+                  Response.result = Aresult.RModref Aresult.NoModRef;
+                  options = acc_opts;
+                  provenance = acc_prov;
+                }
+              else if mods && not refs then
+                Response.free (Aresult.RModref Aresult.Mod)
+              else if refs && not mods then
+                Response.free (Aresult.RModref Aresult.Ref)
+              else Response.bottom_modref
+          | (p, size, w, r) :: rest -> (
+              let size = if size < 0 || size > 1 lsl 20 then 1 lsl 20 else size in
+              let premise =
+                Query.alias ~fname:call_fname ?loop ?cc ~dr:Query.DNoAlias ~tr
+                  (p, size)
+                  (loc.Query.ptr, loc.Query.size)
+              in
+              let presp = ctx.Module_api.handle premise in
+              match presp.Response.result with
+              | Aresult.RAlias Aresult.NoAlias ->
+                  go
+                    (Join.product acc_opts presp.Response.options)
+                    (Response.Sset.union acc_prov presp.Response.provenance)
+                    mods refs rest
+              | _ -> go acc_opts acc_prov (mods || w) (refs || r) rest)
+        in
+        go [ [] ] Response.Sset.empty false false regions
+  end
+  else if Irmod.has_attr m callee Func.Readonly then
+    Response.free (Aresult.RModref Aresult.Ref)
+  else Response.bottom_modref
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref mq -> (
+      let tr = mq.Query.mtr
+      and loop = mq.Query.mloop
+      and cc = mq.Query.mcc in
+      (* case 1: the querying instruction is a call *)
+      match call_of prog mq.Query.minstr with
+      | Some (_, callee, args)
+        when Irmod.find_func prog.Progctx.m callee = None -> (
+          let call_fname = Option.get (fname_of prog mq.Query.minstr) in
+          match mq.Query.mtarget with
+          | Query.TLoc loc ->
+              call_vs_loc prog ctx ~tr ~loop ~cc callee args call_fname loc
+          | Query.TInstr i2 -> (
+              match Autil.loc_of_instr prog i2 with
+              | Some loc ->
+                  call_vs_loc prog ctx ~tr ~loop ~cc callee args call_fname loc
+              | None -> Module_api.no_answer q))
+      | _ -> (
+          (* case 2: the target is a call; how does minstr relate to the
+             call's footprint? *)
+          match mq.Query.mtarget with
+          | Query.TInstr i2 -> (
+              match call_of prog i2 with
+              | Some (_, callee, args)
+                when Irmod.find_func prog.Progctx.m callee = None -> (
+                  match Autil.loc_of_instr prog mq.Query.minstr with
+                  | Some loc1 -> (
+                      let call_fname = Option.get (fname_of prog i2) in
+                      (* disjointness is symmetric; direction of tr flips *)
+                      let r =
+                        call_vs_loc prog ctx ~tr:(Query.flip_temporal tr) ~loop
+                          ~cc callee args call_fname loc1
+                      in
+                      match r.Response.result with
+                      | Aresult.RModref Aresult.NoModRef -> r
+                      | _ -> Autil.kind_refinement prog mq.Query.minstr)
+                  | None -> Module_api.no_answer q)
+              | _ -> Module_api.no_answer q)
+          | Query.TLoc _ -> Module_api.no_answer q))
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"callsite-aa" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q -> answer prog ctx q)

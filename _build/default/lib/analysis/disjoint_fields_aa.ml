@@ -1,0 +1,73 @@
+(** Field disambiguation across syntactically different base pointers
+    (factored).
+
+    When the two pointers are [base1 + c1] and [base2 + c2] with constant
+    offsets but different base expressions, this module premise-queries the
+    bases with Desired Result = MustAlias; on success the constant offsets
+    decide the answer. The desired-result parameter lets every consulted
+    module bail out the moment it knows it cannot prove MustAlias —
+    the query-latency mechanism of §3.2.2. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+(* Strip constant-offset geps, returning (root value, accumulated const). *)
+let rec strip (prog : Progctx.t) (fname : string) (depth : int) (v : Value.t) :
+    Value.t * int64 =
+  if depth > 12 then (v, 0L)
+  else
+    match v with
+    | Value.Reg r -> (
+        match Progctx.def prog fname r with
+        | Some { Instr.kind = Instr.Gep { base; offset }; _ } -> (
+            match Ptrexpr.const_int prog fname 8 offset with
+            | Some c ->
+                let root, acc = strip prog fname (depth + 1) base in
+                (root, Int64.add acc c)
+            | None -> (v, 0L))
+        | _ -> (v, 0L))
+    | _ -> (v, 0L)
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      let root1, c1 = strip prog a.Query.a1.Query.fname 0 a.Query.a1.Query.ptr in
+      let root2, c2 = strip prog a.Query.a2.Query.fname 0 a.Query.a2.Query.ptr in
+      if Value.equal root1 root2 then
+        (* same SSA root: handled cost-free elsewhere *)
+        Module_api.no_answer q
+      else begin
+        let res =
+          Basic_aa.classify_offsets c1 a.Query.a1.Query.size c2
+            a.Query.a2.Query.size
+        in
+        (* early bail-out against the incoming desired result *)
+        let compatible =
+          match a.Query.adr with
+          | Some Query.DMustAlias -> res = Aresult.MustAlias
+          | Some Query.DNoAlias -> res = Aresult.NoAlias
+          | None -> true
+        in
+        if (not compatible) || res = Aresult.MayAlias then
+          Module_api.no_answer q
+        else begin
+          (* ask the ensemble whether the roots must alias *)
+          let premise =
+            Query.alias ~fname:a.Query.a1.Query.fname ?loop:a.Query.aloop
+              ?cc:a.Query.acc ~dr:Query.DMustAlias ~tr:a.Query.atr (root1, 1)
+              (root2, 1)
+          in
+          let presp = ctx.Module_api.handle premise in
+          match presp.Response.result with
+          | Aresult.RAlias Aresult.MustAlias ->
+              { presp with Response.result = Aresult.RAlias res }
+          | _ -> Module_api.no_answer q
+        end
+      end)
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"disjoint-fields-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog ctx q)

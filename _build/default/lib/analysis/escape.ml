@@ -1,0 +1,108 @@
+(** Capture/escape analysis over SSA uses, shared by the reachability
+    family (no-capture-source, no-capture-global, loop-fresh).
+
+    A pointer value "escapes" when it (or a value derived from it through
+    gep/select/arithmetic) is stored into memory, passed to a call that may
+    retain it, returned, or carried across loop iterations through a phi. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type capture = {
+  cinstr : int;  (** the capturing instruction (or terminator) id *)
+  ckind : [ `Stored | `Call_arg | `Returned | `Phi_carried ];
+}
+
+(* Registers derived from [root_reg] within [f], through gep / select /
+   add / sub / phi. *)
+let derived_regs (f : Func.t) (root_reg : string) : (string, unit) Hashtbl.t =
+  let derived = Hashtbl.create 8 in
+  Hashtbl.replace derived root_reg ();
+  let changed = ref true in
+  let uses_derived (i : Instr.t) =
+    List.exists
+      (fun v ->
+        match v with Value.Reg r -> Hashtbl.mem derived r | _ -> false)
+      (Instr.operands i)
+  in
+  while !changed do
+    changed := false;
+    Func.iter_instrs f (fun _ (i : Instr.t) ->
+        match (i.Instr.dst, i.Instr.kind) with
+        | Some d, (Instr.Gep _ | Instr.Select _ | Instr.Phi _ | Instr.Binop _)
+          when (not (Hashtbl.mem derived d)) && uses_derived i ->
+            Hashtbl.replace derived d ();
+            changed := true
+        | _ -> ())
+  done;
+  derived
+
+(** [captures prog f root_reg] — every way the object behind [root_reg]
+    may become reachable from memory, calls or later iterations.
+    [retaining_call callee] decides whether a callee may retain its
+    argument (defaults: [free] and readnone intrinsics do not). *)
+let captures (prog : Progctx.t) (f : Func.t) (root_reg : string) : capture list
+    =
+  let m = prog.Progctx.m in
+  let derived = derived_regs f root_reg in
+  let is_derived = function
+    | Value.Reg r -> Hashtbl.mem derived r
+    | _ -> false
+  in
+  let li = Progctx.loops_of prog f.Func.name in
+  let out = ref [] in
+  Func.iter_instrs f (fun (b : Block.t) (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Store { value; _ } when is_derived value ->
+          out := { cinstr = i.Instr.id; ckind = `Stored } :: !out
+      | Instr.Call { callee; args } when List.exists is_derived args ->
+          let benign =
+            String.equal callee "free"
+            || Irmod.has_attr m callee Func.Readnone
+            || String.equal callee "print"
+          in
+          if not benign then
+            out := { cinstr = i.Instr.id; ckind = `Call_arg } :: !out
+      | Instr.Phi incoming -> (
+          (* a phi carries the value across iterations when it sits at a
+             loop header and a latch arm is derived; in-iteration merge
+             phis (diamonds) are not captures *)
+          match li with
+          | None -> ()
+          | Some li ->
+              let cfg = li.Loops.cfg in
+              let bi = Cfg.index_of cfg b.Block.label in
+              List.iter
+                (fun (l : Loops.loop) ->
+                  if l.Loops.header = bi then
+                    let latch_labels =
+                      List.map (Cfg.label cfg) l.Loops.latches
+                    in
+                    if
+                      List.exists
+                        (fun (lbl, v) ->
+                          List.mem lbl latch_labels && is_derived v)
+                        incoming
+                    then
+                      out :=
+                        { cinstr = i.Instr.id; ckind = `Phi_carried } :: !out)
+                li.Loops.loops)
+      | _ -> ());
+  (* returns *)
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.term.Instr.tkind with
+      | Instr.Ret (Some v) when is_derived v ->
+          out := { cinstr = b.Block.term.Instr.tid; ckind = `Returned } :: !out
+      | _ -> ())
+    f.Func.blocks;
+  List.rev !out
+
+(** Captures of an allocation site given by its defining instruction id. *)
+let captures_of_site (prog : Progctx.t) (site_id : int) : capture list option =
+  match Progctx.occ prog site_id with
+  | Some o -> (
+      match o.Irmod.Index.instr.Instr.dst with
+      | Some reg -> Some (captures prog o.Irmod.Index.func reg)
+      | None -> None)
+  | None -> None

@@ -1,0 +1,137 @@
+(** Global-malloc reachability (factored).
+
+    A global whose every store writes a freshly-malloc'd pointer defines a
+    heap *partition*: pointers loaded from it can only point into objects
+    allocated at those malloc sites. Two partitions with disjoint site sets
+    cannot alias; a partition cannot alias a distinct concrete object.
+
+    Offending stores (non-malloc values, or stores that might target the
+    global through opaque pointers) are discharged through premise modref
+    queries — which the control speculation module can resolve for
+    speculatively dead stores, the exact collaboration described in §4.2.4. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+type region =
+  | RPartition of string * int list  (** global, malloc sites *)
+  | RSite of Ptrexpr.base
+  | RUnknown
+
+let max_offenders = 4
+
+(* Try to prove every offending store harmless w.r.t. global [g]; returns
+   the combined assertion options on success. *)
+let discharge (ctx : Module_api.ctx) (g : string)
+    (offenders : Globsum.store_info list) :
+    (Assertion.t list list * Response.Sset.t) option =
+  if List.length offenders > max_offenders then None
+  else
+    let rec go opts prov = function
+      | [] -> Some (opts, prov)
+      | (s : Globsum.store_info) :: rest -> (
+          let premise =
+            Query.modref_loc ~tr:Query.Same s.Globsum.sid
+              (Value.Global g, 8, s.Globsum.sfname)
+          in
+          let presp = ctx.Module_api.handle premise in
+          match presp.Response.result with
+          | Aresult.RModref Aresult.NoModRef ->
+              go
+                (Join.product opts presp.Response.options)
+                (Response.Sset.union prov presp.Response.provenance)
+                rest
+          | _ -> None)
+    in
+    go [ [] ] Response.Sset.empty offenders
+
+let region_of (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.ctx)
+    ~(fname : string) (v : Value.t) :
+    (region * Assertion.t list list * Response.Sset.t) list =
+  List.map
+    (fun (x : Ptrexpr.t) ->
+      match x.Ptrexpr.base with
+      | Ptrexpr.BLoad l -> (
+          match Progctx.occ prog l with
+          | Some o -> (
+              match o.Irmod.Index.instr.Instr.kind with
+              | Instr.Load { ptr; _ } -> (
+                  match Ptrexpr.resolve prog ~fname ptr with
+                  | [ { Ptrexpr.base = Ptrexpr.BGlobal g; _ } ] -> (
+                      let sites, offenders = Globsum.malloc_partition gsum g in
+                      match discharge ctx g offenders with
+                      | Some (opts, prov) -> (RPartition (g, sites), opts, prov)
+                      | None -> (RUnknown, [ [] ], Response.Sset.empty))
+                  | _ -> (RUnknown, [ [] ], Response.Sset.empty))
+              | _ -> (RUnknown, [ [] ], Response.Sset.empty))
+          | None -> (RUnknown, [ [] ], Response.Sset.empty))
+      | b when Ptrexpr.is_object b -> (RSite b, [ [] ], Response.Sset.empty)
+      | _ -> (RUnknown, [ [] ], Response.Sset.empty))
+    (Ptrexpr.resolve prog ~fname v)
+
+let disjoint (r1 : region) (r2 : region) : bool =
+  match (r1, r2) with
+  | RPartition (_, s1), RPartition (_, s2) ->
+      List.for_all (fun s -> not (List.mem s s2)) s1
+  | RPartition (_, s), RSite (Ptrexpr.BMalloc m)
+  | RSite (Ptrexpr.BMalloc m), RPartition (_, s) ->
+      not (List.mem m s)
+  | RPartition _, RSite (Ptrexpr.BGlobal _ | Ptrexpr.BAlloca _ | Ptrexpr.BNull)
+  | RSite (Ptrexpr.BGlobal _ | Ptrexpr.BAlloca _ | Ptrexpr.BNull), RPartition _
+    ->
+      (* partitions contain heap objects only *)
+      true
+  | RSite a, RSite b -> Ptrexpr.distinct_objects a b
+  | _ -> false
+
+let answer (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a ->
+      if a.Query.adr = Some Query.DMustAlias then Module_api.no_answer q
+      else begin
+        let rs1 =
+          region_of prog gsum ctx ~fname:a.Query.a1.Query.fname
+            a.Query.a1.Query.ptr
+        in
+        let rs2 =
+          region_of prog gsum ctx ~fname:a.Query.a2.Query.fname
+            a.Query.a2.Query.ptr
+        in
+        (* at least one side must actually involve a partition, and all
+           pairs must be disjoint *)
+        let involves_partition =
+          List.exists (fun (r, _, _) -> match r with RPartition _ -> true | _ -> false)
+            (rs1 @ rs2)
+        in
+        if
+          involves_partition
+          && List.for_all
+               (fun (r1, _, _) ->
+                 List.for_all (fun (r2, _, _) -> disjoint r1 r2) rs2)
+               rs1
+        then begin
+          let opts, prov =
+            List.fold_left
+              (fun (o, p) (_, o2, p2) ->
+                (Join.product o o2, Response.Sset.union p p2))
+              ([ [] ], Response.Sset.empty)
+              (rs1 @ rs2)
+          in
+          if opts = [] then Module_api.no_answer q
+          else
+            {
+              Response.result = Aresult.RAlias Aresult.NoAlias;
+              options = opts;
+              provenance = prov;
+            }
+        end
+        else Module_api.no_answer q
+      end
+
+let create (prog : Progctx.t) : Module_api.t =
+  let gsum = Globsum.build prog in
+  Module_api.make ~name:"global-malloc-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog gsum ctx q)

@@ -1,0 +1,151 @@
+(** Module-wide store summaries for the reachability analyses: which stores
+    can write into each global, what values they store, and which stores
+    write through opaque pointers (and so could target anything).
+
+    A *heap-confinement* fixpoint keeps the summary precise: a global is
+    [heap_pure] when every value ever stored into it is a heap pointer
+    (a fresh malloc, null, or a value loaded back from a heap-pure global).
+    A store through a pointer loaded from a heap-pure global can only write
+    heap objects — never a global — so it is excluded from every global's
+    interference set. The fixpoint starts optimistic and retracts purity
+    until stable. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type store_info = {
+  sid : int;  (** store instruction id *)
+  sfname : string;
+  value_res : Ptrexpr.t list;  (** resolutions of the stored value *)
+  ptr_res : Ptrexpr.t list;  (** resolutions of the stored-to pointer *)
+}
+
+type t = {
+  prog : Progctx.t;
+  per_global : (string, store_info list) Hashtbl.t;
+  wild_unconfined : store_info list;
+      (** opaque-pointer stores that may target any global *)
+  heap_pure : (string, unit) Hashtbl.t;
+}
+
+(* The global a load reads from, when that is a fixed slot. *)
+let load_src_global (prog : Progctx.t) (l : int) : string option =
+  match Progctx.occ prog l with
+  | Some o -> (
+      match o.Irmod.Index.instr.Instr.kind with
+      | Instr.Load { ptr; _ } -> (
+          match
+            Ptrexpr.resolve prog ~fname:o.Irmod.Index.func.Func.name ptr
+          with
+          | [ { Ptrexpr.base = Ptrexpr.BGlobal g; _ } ] -> Some g
+          | _ -> None)
+      | _ -> None)
+  | None -> None
+
+let build (prog : Progctx.t) : t =
+  let per_global = Hashtbl.create 16 in
+  let wild = ref [] in
+  Irmod.iter_instrs prog.Progctx.m (fun f _ (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Store { ptr; value; _ } ->
+          let info =
+            {
+              sid = i.Instr.id;
+              sfname = f.Func.name;
+              value_res = Ptrexpr.resolve prog ~fname:f.Func.name value;
+              ptr_res = Ptrexpr.resolve prog ~fname:f.Func.name ptr;
+            }
+          in
+          let opaque =
+            List.exists
+              (fun (x : Ptrexpr.t) -> not (Ptrexpr.is_object x.Ptrexpr.base))
+              info.ptr_res
+          in
+          if opaque then wild := info :: !wild
+          else
+            List.iter
+              (fun (x : Ptrexpr.t) ->
+                match x.Ptrexpr.base with
+                | Ptrexpr.BGlobal g ->
+                    Hashtbl.replace per_global g
+                      (info
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt per_global g))
+                | _ -> ())
+              info.ptr_res
+      | _ -> ());
+  let wild = !wild in
+  (* Fixpoint: optimistically every global is heap-pure. *)
+  let heap_pure : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Irmod.global) -> Hashtbl.replace heap_pure g.Irmod.gname ())
+    prog.Progctx.m.Irmod.globals;
+  (* Is the stored value certainly a heap pointer (or null/int data)? *)
+  let heap_value (x : Ptrexpr.t) : bool =
+    match x.Ptrexpr.base with
+    | Ptrexpr.BMalloc _ | Ptrexpr.BNull | Ptrexpr.BInt -> true
+    | Ptrexpr.BLoad l -> (
+        match load_src_global prog l with
+        | Some h -> Hashtbl.mem heap_pure h
+        | None -> false)
+    | _ -> false
+  in
+  (* Is a wild store confined to heap objects? *)
+  let confined (s : store_info) : bool =
+    List.for_all
+      (fun (x : Ptrexpr.t) ->
+        Ptrexpr.is_object x.Ptrexpr.base
+        ||
+        match x.Ptrexpr.base with
+        | Ptrexpr.BLoad l -> (
+            match load_src_global prog l with
+            | Some h -> Hashtbl.mem heap_pure h
+            | None -> false)
+        | _ -> false)
+      s.ptr_res
+  in
+  let unconfined = ref [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    unconfined := List.filter (fun s -> not (confined s)) wild;
+    Hashtbl.iter
+      (fun g () ->
+        let direct = Option.value ~default:[] (Hashtbl.find_opt per_global g) in
+        let ok =
+          List.for_all
+            (fun (s : store_info) -> List.for_all heap_value s.value_res)
+            (direct @ !unconfined)
+        in
+        if not ok then begin
+          Hashtbl.remove heap_pure g;
+          changed := true
+        end)
+      (Hashtbl.copy heap_pure)
+  done;
+  unconfined := List.filter (fun s -> not (confined s)) wild;
+  { prog; per_global; wild_unconfined = !unconfined; heap_pure }
+
+(** All stores that may write global [g] (direct plus unconfined wild). *)
+let stores_to (t : t) (g : string) : store_info list =
+  Option.value ~default:[] (Hashtbl.find_opt t.per_global g)
+  @ t.wild_unconfined
+
+(** Is every value held by [g] a heap pointer (or plain data)? *)
+let heap_pure (t : t) (g : string) : bool = Hashtbl.mem t.heap_pure g
+
+(** The malloc partition of [g]: if every store to [g] stores a value
+    resolving to a single malloc site, the set of those sites — plus the
+    list of offending stores that must be discharged (e.g. proven
+    speculatively dead) for the property to hold. *)
+let malloc_partition (t : t) (g : string) : int list * store_info list =
+  let sites = ref [] and offenders = ref [] in
+  List.iter
+    (fun (s : store_info) ->
+      match s.value_res with
+      | [ { Ptrexpr.base = Ptrexpr.BMalloc m; _ } ] ->
+          if not (List.mem m !sites) then sites := m :: !sites
+      | [ { Ptrexpr.base = Ptrexpr.BNull; _ } ] -> ()
+      | _ -> offenders := s :: !offenders)
+    (stores_to t g);
+  (List.sort compare !sites, List.rev !offenders)

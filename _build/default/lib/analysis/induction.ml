@@ -1,0 +1,72 @@
+(** Induction-variable recognition: header phis whose in-loop arms advance
+    the phi by a loop-invariant constant per iteration (through a bounded
+    chain of adds/subs/geps). Works for both integer counters and pointer
+    cursors. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type iv = {
+  reg : string;
+  step : int64;  (** per-iteration increment *)
+  init : Value.t;  (** value on loop entry *)
+}
+
+(* Does [v] equal [phi_reg + delta] for a constant delta, through a short
+   def chain? *)
+let rec step_from (prog : Progctx.t) (fname : string) (phi_reg : string)
+    (depth : int) (v : Value.t) : int64 option =
+  if depth > 6 then None
+  else
+    match v with
+    | Value.Reg r when String.equal r phi_reg -> Some 0L
+    | Value.Reg r -> (
+        match Progctx.def prog fname r with
+        | Some { Instr.kind = Instr.Binop (Instr.Add, a, Value.Int d); _ } ->
+            Option.map (Int64.add d) (step_from prog fname phi_reg (depth + 1) a)
+        | Some { Instr.kind = Instr.Binop (Instr.Add, Value.Int d, a); _ } ->
+            Option.map (Int64.add d) (step_from prog fname phi_reg (depth + 1) a)
+        | Some { Instr.kind = Instr.Binop (Instr.Sub, a, Value.Int d); _ } ->
+            Option.map
+              (fun s -> Int64.sub s d)
+              (step_from prog fname phi_reg (depth + 1) a)
+        | Some { Instr.kind = Instr.Gep { base; offset = Value.Int d }; _ } ->
+            Option.map (Int64.add d) (step_from prog fname phi_reg (depth + 1) base)
+        | _ -> None)
+    | _ -> None
+
+(** [of_loop prog ~fname li loop] — the basic induction variables of
+    [loop]. *)
+let of_loop (prog : Progctx.t) ~(fname : string) (li : Loops.t)
+    (loop : Loops.loop) : iv list =
+  let cfg = li.Loops.cfg in
+  let header = Cfg.block cfg loop.Loops.header in
+  let latch_labels = List.map (Cfg.label cfg) loop.Loops.latches in
+  List.filter_map
+    (fun (i : Instr.t) ->
+      match (i.Instr.dst, i.Instr.kind) with
+      | Some reg, Instr.Phi incoming -> (
+          let latch_arms, entry_arms =
+            List.partition (fun (l, _) -> List.mem l latch_labels) incoming
+          in
+          match (latch_arms, entry_arms) with
+          | _ :: _, [ (_, init) ] -> (
+              (* all latch arms must advance by the same constant *)
+              let steps =
+                List.map (fun (_, v) -> step_from prog fname reg 0 v) latch_arms
+              in
+              match steps with
+              | Some s :: rest
+                when List.for_all (fun x -> x = Some s) rest ->
+                  Some { reg; step = s; init }
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    (Block.phis header)
+
+(** [steps_of prog ~fname li loop] - map from iv register to step. *)
+let steps_of (prog : Progctx.t) ~(fname : string) (li : Loops.t)
+    (loop : Loops.loop) : (string, int64) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun iv -> Hashtbl.replace tbl iv.reg iv.step) (of_loop prog ~fname li loop);
+  tbl

@@ -1,0 +1,91 @@
+(** Induction-range / congruence analysis (factored).
+
+    Handles struct-field accesses inside arrays even when the two accesses
+    use *different* induction variables: if every induction term's
+    coefficient is a multiple of a modulus [m], each address is congruent
+    to its constant offset mod [m]; disjoint offset windows within [0, m)
+    give NoAlias for every pair of iterations (e.g. [a + 16*i] vs
+    [a + 16*j + 8] with 8-byte accesses). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let rec gcd64 (a : int64) (b : int64) : int64 =
+  if Int64.equal b 0L then Int64.abs a else gcd64 b (Int64.rem a b)
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      if a.Query.adr = Some Query.DMustAlias then
+        (* this module only ever proves NoAlias *)
+        Module_api.no_answer q
+      else
+        match Autil.loop_env prog a.Query.aloop with
+        | None -> Module_api.no_answer q
+        | Some env -> (
+            if not (String.equal env.Affine.fname a.Query.a1.Query.fname) then
+              Module_api.no_answer q
+            else
+              match
+                ( Affine.of_value env a.Query.a1.Query.ptr,
+                  Affine.of_value env a.Query.a2.Query.ptr )
+              with
+              | Some f1, Some f2 -> (
+                  let coeffs =
+                    List.map snd f1.Affine.terms @ List.map snd f2.Affine.terms
+                  in
+                  (* the modulus: gcd of every variable contribution; terms
+                     over invariant registers would contribute unknown
+                     multiples of their coefficient, which is fine *)
+                  let m = List.fold_left gcd64 0L coeffs in
+                  if Int64.compare m 2L < 0 then Module_api.no_answer q
+                  else begin
+                    let mi = Int64.to_int m in
+                    let w1 =
+                      Int64.to_int
+                        (Int64.rem
+                           (Int64.add (Int64.rem f1.Affine.c m) m)
+                           m)
+                    in
+                    let w2 =
+                      Int64.to_int
+                        (Int64.rem
+                           (Int64.add (Int64.rem f2.Affine.c m) m)
+                           m)
+                    in
+                    let s1 = a.Query.a1.Query.size
+                    and s2 = a.Query.a2.Query.size in
+                    (* windows must not wrap and must be disjoint in [0, m) *)
+                    if
+                      w1 + s1 <= mi && w2 + s2 <= mi
+                      && (w1 + s1 <= w2 || w2 + s2 <= w1)
+                    then
+                      if Value.equal f1.Affine.root f2.Affine.root then
+                        Response.free (Aresult.RAlias Aresult.NoAlias)
+                      else begin
+                        let premise =
+                          Query.alias ~fname:a.Query.a1.Query.fname
+                            ?loop:a.Query.aloop ?cc:a.Query.acc
+                            ~dr:Query.DMustAlias ~tr:Query.Same
+                            (f1.Affine.root, 1)
+                            (f2.Affine.root, 1)
+                        in
+                        let presp = ctx.Module_api.handle premise in
+                        match presp.Response.result with
+                        | Aresult.RAlias Aresult.MustAlias ->
+                            {
+                              presp with
+                              Response.result = Aresult.RAlias Aresult.NoAlias;
+                            }
+                        | _ -> Module_api.no_answer q
+                      end
+                    else Module_api.no_answer q
+                  end)
+              | _ -> Module_api.no_answer q))
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"induction-range-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog ctx q)

@@ -1,0 +1,235 @@
+(** Kill-flow analysis (factored) — the paper's motivating module (§2.2.2,
+    §3.5).
+
+    A flow from [i1] to [i2] is dead if some store [k] must-overwrite the
+    flowing location on *every* path from [i1] to [i2]. Path reasoning uses
+    the control-flow view supplied by the query ([mctrl]): when the control
+    speculation module re-issues a query with a speculative view (dead
+    blocks removed), this module transparently proves kills that the static
+    CFG cannot — the collaboration of Figure 6.
+
+    Premise queries with Desired Result = MustAlias establish that the
+    killer covers the flowing footprint; any module (including speculation
+    modules) may resolve them. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let max_candidates = 32
+
+(* Collect candidate killer stores inside the region (a loop, or the whole
+   function). *)
+let killer_candidates (prog : Progctx.t) ~(fname : string)
+    ~(loop : Loops.loop option) : Instr.t list =
+  match Progctx.cfg_of prog fname with
+  | None -> []
+  | Some cfg ->
+      let blocks =
+        match loop with
+        | Some l ->
+            List.filter
+              (fun i -> Loops.contains l i)
+              (List.init (Cfg.num_blocks cfg) Fun.id)
+        | None -> List.init (Cfg.num_blocks cfg) Fun.id
+      in
+      List.concat_map
+        (fun bi ->
+          List.filter
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with Instr.Store _ -> true | _ -> false)
+            (Cfg.block cfg bi).Block.instrs)
+        blocks
+
+(* Does the path structure force every relevant path to pass [k]?
+   [src]/[dst] are instruction ids; [mode] selects the path family. *)
+let paths_all_killed (ctrl : Ctrl.t) ~(loop : Loops.loop option)
+    ~(mode : [ `Same | `Header_to_dst | `Src_to_latches ]) ~(src : int)
+    ~(dst : int) ~(k : int) : bool =
+  let cfg = ctrl.Ctrl.cfg in
+  match (Cfg.position cfg src, Cfg.position cfg dst, Cfg.position cfg k) with
+  | Some (bs, ps), Some (bd, pd), Some (bk, pk) -> (
+      let in_loop b =
+        match loop with Some l -> Loops.contains l b | None -> true
+      in
+      let block_ok b = in_loop b && ctrl.Ctrl.live b in
+      let kill = { Reach.blk = bk; pos = pk } in
+      if not (ctrl.Ctrl.live bk) then false
+      else
+        match mode with
+        | `Same ->
+            (* intra-iteration: do not re-enter the loop header *)
+            let header = match loop with Some l -> Some l.Loops.header | None -> None in
+            let succs b =
+              List.filter
+                (fun s -> Some s <> header)
+                (ctrl.Ctrl.succs b)
+            in
+            not
+              (Reach.path_avoiding ~succs ~block_ok
+                 ~src:{ Reach.blk = bs; pos = ps }
+                 ~dst:{ Reach.blk = bd; pos = pd }
+                 ~kill ())
+        | `Header_to_dst -> (
+            (* cross-iteration arrival: header entry down to dst *)
+            match loop with
+            | None -> false
+            | Some l ->
+                not
+                  (Reach.path_avoiding ~succs:ctrl.Ctrl.succs ~block_ok
+                     ~src:(Reach.entry_of l.Loops.header)
+                     ~dst:{ Reach.blk = bd; pos = pd }
+                     ~kill ()))
+        | `Src_to_latches -> (
+            (* cross-iteration departure: src to every latch exit *)
+            match loop with
+            | None -> false
+            | Some l ->
+                l.Loops.latches <> []
+                && List.for_all
+                     (fun latch ->
+                       not
+                         (Reach.path_avoiding ~succs:ctrl.Ctrl.succs ~block_ok
+                            ~src:{ Reach.blk = bs; pos = ps }
+                            ~dst:(Reach.exit_of latch) ~kill ()))
+                     l.Loops.latches))
+  | _ -> false
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref m -> (
+      (* only flows out of a store are killable *)
+      match Autil.rw_of_instr prog m.Query.minstr with
+      | `Store -> (
+          match (Autil.loc_of_instr prog m.Query.minstr, m.Query.mtarget) with
+          | Some loc1, Query.TInstr i2 -> (
+              match Autil.loc_of_instr prog i2 with
+              | Some loc2 -> (
+                  match Progctx.occ prog m.Query.minstr with
+                  | Some o when String.equal o.Irmod.Index.func.Func.name loc2.Query.fname
+                    -> (
+                      let fname = loc2.Query.fname in
+                      let ctrl =
+                        match m.Query.mctrl with
+                        | Some c -> Some c
+                        | None -> Progctx.ctrl_of prog fname
+                      in
+                      match ctrl with
+                      | None -> Module_api.no_answer q
+                      | Some ctrl ->
+                          let loop =
+                            match m.Query.mloop with
+                            | Some lid -> (
+                                match Progctx.loop_of_lid prog lid with
+                                | Some (lf, l) when String.equal lf fname ->
+                                    Some l
+                                | _ -> None)
+                            | None -> None
+                          in
+                          if m.Query.mtr <> Query.Same && loop = None then
+                            Module_api.no_answer q
+                          else begin
+                            let candidates =
+                              killer_candidates prog ~fname ~loop
+                              |> List.filter (fun (k : Instr.t) ->
+                                     k.Instr.id <> m.Query.minstr
+                                     && k.Instr.id <> i2)
+                            in
+                            let candidates =
+                              if List.length candidates > max_candidates then
+                                []
+                              else candidates
+                            in
+                            (* try killers until one covers and cuts *)
+                            let try_killer (k : Instr.t) : Response.t option =
+                              let kloc =
+                                match Instr.footprint k with
+                                | Some (ptr, size) ->
+                                    { Query.ptr; size; fname }
+                                | None -> assert false
+                              in
+                              begin
+                                let covers (target : Query.memloc) =
+                                  if kloc.Query.size < target.Query.size then
+                                    None
+                                  else
+                                  let premise =
+                                    Query.Alias
+                                      {
+                                        Query.a1 =
+                                          { kloc with Query.size = target.Query.size };
+                                        atr = Query.Same;
+                                        a2 = target;
+                                        aloop = m.Query.mloop;
+                                        acc = m.Query.mcc;
+                                        adr = Some Query.DMustAlias;
+                                      }
+                                  in
+                                  let presp = ctx.Module_api.handle premise in
+                                  match presp.Response.result with
+                                  | Aresult.RAlias Aresult.MustAlias ->
+                                      Some presp
+                                  | _ -> None
+                                in
+                                let finish (presp : Response.t) =
+                                  Some
+                                    {
+                                      presp with
+                                      Response.result =
+                                        Aresult.RModref Aresult.NoModRef;
+                                    }
+                                in
+                                match m.Query.mtr with
+                                | Query.Same -> (
+                                    match covers loc2 with
+                                    | Some presp
+                                      when paths_all_killed ctrl ~loop
+                                             ~mode:`Same ~src:m.Query.minstr
+                                             ~dst:i2 ~k:k.Instr.id ->
+                                        finish presp
+                                    | _ -> None)
+                                | Query.Before -> (
+                                    (* killed on arrival in i2's iteration,
+                                       or killed before leaving i1's *)
+                                    match covers loc2 with
+                                    | Some presp
+                                      when paths_all_killed ctrl ~loop
+                                             ~mode:`Header_to_dst
+                                             ~src:m.Query.minstr ~dst:i2
+                                             ~k:k.Instr.id ->
+                                        finish presp
+                                    | _ -> (
+                                        match covers loc1 with
+                                        | Some presp
+                                          when paths_all_killed ctrl ~loop
+                                                 ~mode:`Src_to_latches
+                                                 ~src:m.Query.minstr ~dst:i2
+                                                 ~k:k.Instr.id ->
+                                            finish presp
+                                        | _ -> None))
+                                | Query.After -> None
+                              end
+                            in
+                            let rec first = function
+                              | [] -> Module_api.no_answer q
+                              | k :: rest -> (
+                                  match try_killer k with
+                                  | Some r -> r
+                                  | None -> first rest)
+                            in
+                            (* flows sink into reads or overwrites; only
+                               store -> load and store -> store matter *)
+                            match Autil.rw_of_instr prog i2 with
+                            | `Load | `Store -> first candidates
+                            | _ -> Module_api.no_answer q
+                          end)
+                  | _ -> Module_api.no_answer q)
+              | None -> Module_api.no_answer q)
+          | _ -> Module_api.no_answer q)
+      | _ -> Module_api.no_answer q)
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"kill-flow-aa" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q -> answer prog ctx q)

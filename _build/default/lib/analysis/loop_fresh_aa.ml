@@ -1,0 +1,64 @@
+(** Loop-fresh allocation analysis.
+
+    An allocation site *inside* the query loop produces a fresh object in
+    every iteration. If its address never outlives the iteration (no store,
+    no retaining call, no loop-carried phi), two cross-iteration uses of
+    the site necessarily touch different objects: NoAlias for
+    [Before]/[After] queries. *)
+
+open Scaf
+open Scaf_cfg
+
+let answer (prog : Progctx.t) (cache : (int, bool) Hashtbl.t)
+    (_ctx : Module_api.ctx) (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      match (a.Query.atr, a.Query.aloop) with
+      | (Query.Before | Query.After), Some lid -> (
+          match Progctx.loop_of_lid prog lid with
+          | None -> Module_api.no_answer q
+          | Some (lf, loop) -> (
+              match Progctx.loops_of prog lf with
+              | None -> Module_api.no_answer q
+              | Some li ->
+                  let fresh_site v fname =
+                    if not (String.equal fname lf) then None
+                    else
+                      match Ptrexpr.resolve prog ~fname v with
+                      | [ { Ptrexpr.base = Ptrexpr.BAlloca s; _ } ]
+                      | [ { Ptrexpr.base = Ptrexpr.BMalloc s; _ } ]
+                        when Loops.contains_instr li loop s ->
+                          Some s
+                      | _ -> None
+                  in
+                  let iteration_private s =
+                    match Hashtbl.find_opt cache s with
+                    | Some v -> v
+                    | None ->
+                        let v =
+                          match Escape.captures_of_site prog s with
+                          | Some [] -> true
+                          | _ -> false
+                        in
+                        Hashtbl.replace cache s v;
+                        v
+                  in
+                  let s1 =
+                    fresh_site a.Query.a1.Query.ptr a.Query.a1.Query.fname
+                  in
+                  let s2 =
+                    fresh_site a.Query.a2.Query.ptr a.Query.a2.Query.fname
+                  in
+                  (match (s1, s2) with
+                  | Some x, Some y
+                    when x = y && iteration_private x ->
+                      (* same site, different iterations: distinct objects *)
+                      Response.free (Aresult.RAlias Aresult.NoAlias)
+                  | _ -> Module_api.no_answer q)))
+      | _ -> Module_api.no_answer q)
+
+let create (prog : Progctx.t) : Module_api.t =
+  let cache = Hashtbl.create 16 in
+  Module_api.make ~name:"loop-fresh-aa" ~kind:Module_api.Memory ~factored:false
+    (fun ctx q -> answer prog cache ctx q)

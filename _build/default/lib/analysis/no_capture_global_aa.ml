@@ -1,0 +1,236 @@
+(** No-capture-global reachability (factored).
+
+    Strengthens the global-malloc partition: when, module-wide, every value
+    loaded from global [g] is never re-stored (outside [g]), passed to a
+    retaining call, or returned, pointers into [g]'s partition live only in
+    [g]'s slots and local SSA values. Then the partition cannot alias
+    arguments or pointers loaded from any *other* known object. Capturing
+    uses may be discharged through premise queries (speculatively dead
+    code). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let max_offenders = 4
+
+(* All loads whose source is global [g]. *)
+let loads_of_global (prog : Progctx.t) (g : string) : (Func.t * Instr.t) list =
+  let out = ref [] in
+  Irmod.iter_instrs prog.Progctx.m (fun f _ (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Load { ptr; _ } -> (
+          match Ptrexpr.resolve prog ~fname:f.Func.name ptr with
+          | [ { Ptrexpr.base = Ptrexpr.BGlobal g'; _ } ] when String.equal g g'
+            ->
+              out := (f, i) :: !out
+          | _ -> ())
+      | _ -> ());
+  !out
+
+(* Captures of g-loaded values, excluding stores whose target is g itself. *)
+let capture_offenders (prog : Progctx.t) (g : string) : int list option =
+  let offenders = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun ((f : Func.t), (i : Instr.t)) ->
+      match i.Instr.dst with
+      | None -> ()
+      | Some reg ->
+          List.iter
+            (fun (c : Escape.capture) ->
+              match c.Escape.ckind with
+              | `Stored -> (
+                  (* a store back into g keeps the closure *)
+                  match Progctx.occ prog c.Escape.cinstr with
+                  | Some o -> (
+                      match o.Irmod.Index.instr.Instr.kind with
+                      | Instr.Store { ptr; _ } -> (
+                          match
+                            Ptrexpr.resolve prog ~fname:f.Func.name ptr
+                          with
+                          | [ { Ptrexpr.base = Ptrexpr.BGlobal g'; _ } ]
+                            when String.equal g g' ->
+                              ()
+                          | _ -> offenders := c.Escape.cinstr :: !offenders)
+                      | _ -> ok := false)
+                  | None -> ok := false)
+              | `Call_arg | `Returned -> offenders := c.Escape.cinstr :: !offenders
+              | `Phi_carried -> ())
+            (Escape.captures prog f reg))
+    (loads_of_global prog g);
+  if !ok then Some (List.sort_uniq compare !offenders) else None
+
+let discharge_instrs (prog : Progctx.t) (ctx : Module_api.ctx)
+    (ids : int list) : (Assertion.t list list * Response.Sset.t) option =
+  if List.length ids > max_offenders then None
+  else
+    let rec go opts prov = function
+      | [] -> Some (opts, prov)
+      | id :: rest -> (
+          match Progctx.occ prog id with
+          | None -> None
+          | Some o -> (
+              (* "is this instruction inert?" — control speculation answers
+                 NoModRef for speculatively dead instructions *)
+              let fname = o.Irmod.Index.func.Func.name in
+              let loc =
+                match Instr.footprint o.Irmod.Index.instr with
+                | Some (ptr, size) -> (ptr, size, fname)
+                | None -> (Value.Null, 1, fname)
+              in
+              let premise = Query.modref_loc ~tr:Query.Same id loc in
+              let presp = ctx.Module_api.handle premise in
+              match presp.Response.result with
+              | Aresult.RModref Aresult.NoModRef ->
+                  go
+                    (Join.product opts presp.Response.options)
+                    (Response.Sset.union prov presp.Response.provenance)
+                    rest
+              | _ -> None))
+    in
+    go [ [] ] Response.Sset.empty ids
+
+(* Is [v] provably outside g's partition when the partition is closed?
+   Arguments and loads from other known objects qualify. *)
+let outside_partition (prog : Progctx.t) ~(fname : string) (g : string)
+    (sites : int list) (v : Value.t) : bool =
+  List.for_all
+    (fun (x : Ptrexpr.t) ->
+      match x.Ptrexpr.base with
+      | Ptrexpr.BArg _ -> true
+      | Ptrexpr.BMalloc m -> not (List.mem m sites)
+      | Ptrexpr.BGlobal _ | Ptrexpr.BAlloca _ | Ptrexpr.BNull -> true
+      | Ptrexpr.BLoad l -> (
+          match Progctx.occ prog l with
+          | Some o -> (
+              match o.Irmod.Index.instr.Instr.kind with
+              | Instr.Load { ptr; _ } -> (
+                  match
+                    Ptrexpr.resolve prog
+                      ~fname:o.Irmod.Index.func.Func.name ptr
+                  with
+                  | [ { Ptrexpr.base = Ptrexpr.BGlobal g'; _ } ] ->
+                      not (String.equal g g')
+                  | [ { Ptrexpr.base = b; _ } ] -> Ptrexpr.is_object b
+                  | _ -> false)
+              | _ -> false)
+          | None -> false)
+      | _ -> false)
+    (Ptrexpr.resolve prog ~fname v)
+
+(* Is [v] inside g's partition (a load from g)? *)
+let inside_partition (prog : Progctx.t) ~(fname : string) (g : string)
+    (v : Value.t) : bool =
+  List.for_all
+    (fun (x : Ptrexpr.t) ->
+      match x.Ptrexpr.base with
+      | Ptrexpr.BLoad l -> (
+          match Progctx.occ prog l with
+          | Some o -> (
+              match o.Irmod.Index.instr.Instr.kind with
+              | Instr.Load { ptr; _ } -> (
+                  match
+                    Ptrexpr.resolve prog
+                      ~fname:o.Irmod.Index.func.Func.name ptr
+                  with
+                  | [ { Ptrexpr.base = Ptrexpr.BGlobal g'; _ } ] ->
+                      String.equal g g'
+                  | _ -> false)
+              | _ -> false)
+          | None -> false)
+      | _ -> false)
+    (Ptrexpr.resolve prog ~fname v)
+
+type gcache = {
+  mutable props : (string, (int list * int list) option) Hashtbl.t;
+      (** g -> Some (sites, offender instrs), None = property unusable *)
+  mutable discharged :
+    (string, (Assertion.t list list * Response.Sset.t) option) Hashtbl.t;
+}
+
+let props_of (prog : Progctx.t) (gsum : Globsum.t) (cache : gcache) (g : string)
+    : (int list * int list) option =
+  match Hashtbl.find_opt cache.props g with
+  | Some v -> v
+  | None ->
+      let v =
+        let sites, store_offenders = Globsum.malloc_partition gsum g in
+        if sites = [] then None
+        else
+          match capture_offenders prog g with
+          | None -> None
+          | Some cap_offenders ->
+              Some
+                ( sites,
+                  List.sort_uniq compare
+                    (List.map
+                       (fun (s : Globsum.store_info) -> s.Globsum.sid)
+                       store_offenders
+                    @ cap_offenders) )
+      in
+      Hashtbl.replace cache.props g v;
+      v
+
+let answer (prog : Progctx.t) (gsum : Globsum.t) (cache : gcache)
+    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a ->
+      if a.Query.adr = Some Query.DMustAlias then Module_api.no_answer q
+      else begin
+        (* find a global g with one side inside its closed partition and
+           the other side provably outside *)
+        let try_global g : Response.t option =
+          match props_of prog gsum cache g with
+          | None -> None
+          | Some (sites, all_offenders) -> (
+                let f1 = a.Query.a1.Query.fname
+                and f2 = a.Query.a2.Query.fname in
+                let p1 = a.Query.a1.Query.ptr and p2 = a.Query.a2.Query.ptr in
+                let oriented =
+                  if
+                    inside_partition prog ~fname:f1 g p1
+                    && outside_partition prog ~fname:f2 g sites p2
+                  then true
+                  else
+                    inside_partition prog ~fname:f2 g p2
+                    && outside_partition prog ~fname:f1 g sites p1
+                in
+                if not oriented then None
+                else
+                  let discharged =
+                    match Hashtbl.find_opt cache.discharged g with
+                    | Some d -> d
+                    | None ->
+                        let d = discharge_instrs prog ctx all_offenders in
+                        Hashtbl.replace cache.discharged g d;
+                        d
+                  in
+                  match discharged with
+                  | Some (opts, prov) when opts <> [] ->
+                      Some
+                        {
+                          Response.result = Aresult.RAlias Aresult.NoAlias;
+                          options = opts;
+                          provenance = prov;
+                        }
+                  | _ -> None)
+        in
+        let globals =
+          List.map (fun (g : Irmod.global) -> g.Irmod.gname)
+            prog.Progctx.m.Irmod.globals
+        in
+        let rec first = function
+          | [] -> Module_api.no_answer q
+          | g :: rest -> (
+              match try_global g with Some r -> r | None -> first rest)
+        in
+        first globals
+      end
+
+let create (prog : Progctx.t) : Module_api.t =
+  let gsum = Globsum.build prog in
+  let cache = { props = Hashtbl.create 8; discharged = Hashtbl.create 8 } in
+  Module_api.make ~name:"no-capture-global-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog gsum cache ctx q)

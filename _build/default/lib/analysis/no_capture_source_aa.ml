@@ -1,0 +1,128 @@
+(** No-capture-source reachability (factored).
+
+    An alloca/malloc whose address never escapes its function's SSA values
+    cannot be the target of any pointer of unknown provenance (loaded from
+    memory, received as an argument, or returned by an opaque call).
+    Capturing instructions may be discharged by premise queries (e.g.
+    proven speculatively dead by the control speculation module). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let max_offenders = 4
+
+(* Site id -> Some offender-instruction-ids (empty = uncaptured), cached. *)
+let offenders_of (prog : Progctx.t) (cache : (int, int list option) Hashtbl.t)
+    (site : int) : int list option =
+  match Hashtbl.find_opt cache site with
+  | Some v -> v
+  | None ->
+      let v =
+        match Escape.captures_of_site prog site with
+        | None -> None
+        | Some caps ->
+            let hard = ref false in
+            let ids =
+              List.filter_map
+                (fun (c : Escape.capture) ->
+                  match c.Escape.ckind with
+                  | `Stored | `Call_arg -> Some c.Escape.cinstr
+                  | `Returned ->
+                      hard := true;
+                      None
+                  | `Phi_carried -> None)
+                caps
+            in
+            if !hard then None else Some (List.sort_uniq compare ids)
+      in
+      Hashtbl.replace cache site v;
+      v
+
+let discharge (prog : Progctx.t) (ctx : Module_api.ctx) (ids : int list) :
+    (Assertion.t list list * Response.Sset.t) option =
+  if List.length ids > max_offenders then None
+  else
+    let rec go opts prov = function
+      | [] -> Some (opts, prov)
+      | id :: rest -> (
+          match Progctx.occ prog id with
+          | None -> None
+          | Some o -> (
+              let fname = o.Irmod.Index.func.Func.name in
+              let loc =
+                match Instr.footprint o.Irmod.Index.instr with
+                | Some (ptr, size) -> (ptr, size, fname)
+                | None -> (Value.Null, 1, fname)
+              in
+              let premise = Query.modref_loc ~tr:Query.Same id loc in
+              let presp = ctx.Module_api.handle premise in
+              match presp.Response.result with
+              | Aresult.RModref Aresult.NoModRef ->
+                  go
+                    (Join.product opts presp.Response.options)
+                    (Response.Sset.union prov presp.Response.provenance)
+                    rest
+              | _ -> None))
+    in
+    go [ [] ] Response.Sset.empty ids
+
+(* Every resolution of [v] is of unknown provenance — the kind of pointer
+   that cannot reach an uncaptured local object. *)
+let all_opaque (prog : Progctx.t) ~(fname : string) (v : Value.t) : bool =
+  let rs = Ptrexpr.resolve prog ~fname v in
+  rs <> []
+  && List.for_all
+       (fun (x : Ptrexpr.t) ->
+         match x.Ptrexpr.base with
+         | Ptrexpr.BLoad _ | Ptrexpr.BArg _ | Ptrexpr.BCall _ -> true
+         | _ -> false)
+       rs
+
+let answer (prog : Progctx.t) (cache : (int, int list option) Hashtbl.t)
+    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a ->
+      if a.Query.adr = Some Query.DMustAlias then Module_api.no_answer q
+      else begin
+        let f1 = a.Query.a1.Query.fname and f2 = a.Query.a2.Query.fname in
+        let p1 = a.Query.a1.Query.ptr and p2 = a.Query.a2.Query.ptr in
+        let site_of v fname =
+          match Ptrexpr.resolve prog ~fname v with
+          | [ { Ptrexpr.base = Ptrexpr.BAlloca s; _ } ]
+          | [ { Ptrexpr.base = Ptrexpr.BMalloc s; _ } ] ->
+              Some s
+          | _ -> None
+        in
+        let attempt site other other_fname =
+          match offenders_of prog cache site with
+          | None -> None
+          | Some ids ->
+              if all_opaque prog ~fname:other_fname other then
+                match discharge prog ctx ids with
+                | Some (opts, prov) when opts <> [] ->
+                    Some
+                      {
+                        Response.result = Aresult.RAlias Aresult.NoAlias;
+                        options = opts;
+                        provenance = prov;
+                      }
+                | _ -> None
+              else None
+        in
+        let r =
+          match site_of p1 f1 with
+          | Some s -> attempt s p2 f2
+          | None -> (
+              match site_of p2 f2 with
+              | Some s -> attempt s p1 f1
+              | None -> None)
+        in
+        Option.value ~default:(Module_api.no_answer q) r
+      end
+
+let create (prog : Progctx.t) : Module_api.t =
+  let cache = Hashtbl.create 16 in
+  Module_api.make ~name:"no-capture-source-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog cache ctx q)

@@ -1,0 +1,213 @@
+(** Pointer-expression resolution: trace SSA values to the set of base
+    objects they can point into, with constant byte offsets when derivable.
+    The underlying-objects, basic and reachability analyses are all built
+    on this. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type base =
+  | BGlobal of string
+  | BAlloca of int  (** alloca instruction id *)
+  | BMalloc of int  (** malloc-like call instruction id *)
+  | BArg of string * string  (** (function, parameter) — unknown caller object *)
+  | BLoad of int  (** pointer loaded from memory (load instruction id) *)
+  | BCall of int  (** result of a non-allocating call *)
+  | BNull
+  | BInt  (** forged from integer arithmetic *)
+  | BUnknown
+
+(** One resolution: a base and, when derivable, a constant byte offset. *)
+type t = { base : base; off : int64 option }
+
+let max_results = 16
+let max_depth = 24
+
+exception Too_complex
+
+let add_off (o : int64 option) (d : int64 option) : int64 option =
+  match (o, d) with Some a, Some b -> Some (Int64.add a b) | _ -> None
+
+(* Constant folding for offsets. *)
+let rec const_int (prog : Progctx.t) (fname : string) (depth : int)
+    (v : Value.t) : int64 option =
+  if depth <= 0 then None
+  else
+    match v with
+    | Value.Int i -> Some i
+    | Value.Null -> Some 0L
+    | Value.Reg r -> (
+        match Progctx.def prog fname r with
+        | Some { Instr.kind = Instr.Binop (op, a, b); _ } -> (
+            match
+              ( const_int prog fname (depth - 1) a,
+                const_int prog fname (depth - 1) b )
+            with
+            | Some x, Some y -> (
+                match op with
+                | Instr.Add -> Some (Int64.add x y)
+                | Instr.Sub -> Some (Int64.sub x y)
+                | Instr.Mul -> Some (Int64.mul x y)
+                | Instr.Shl -> Some (Int64.shift_left x (Int64.to_int y))
+                | Instr.And -> Some (Int64.logand x y)
+                | Instr.Or -> Some (Int64.logor x y)
+                | Instr.Xor -> Some (Int64.logxor x y)
+                | _ -> None)
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+(** [resolve prog ~fname v] — all [(base, offset)] resolutions of [v].
+    A cyclic phi (pointer induction) resolves to its loop-entry bases with
+    the offset dropped (the offset varies per iteration). *)
+let resolve (prog : Progctx.t) ~(fname : string) (v : Value.t) : t list =
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec go depth (v : Value.t) : t list =
+    if depth > max_depth then [ { base = BUnknown; off = None } ]
+    else
+      match v with
+      | Value.Global g -> [ { base = BGlobal g; off = Some 0L } ]
+      | Value.Null -> [ { base = BNull; off = Some 0L } ]
+      | Value.Int _ -> [ { base = BInt; off = None } ]
+      | Value.Undef -> [ { base = BUnknown; off = None } ]
+      | Value.Reg r -> (
+          match Progctx.def prog fname r with
+          | None ->
+              (* function parameter *)
+              [ { base = BArg (fname, r); off = Some 0L } ]
+          | Some def -> (
+              match def.Instr.kind with
+              | Instr.Alloca _ ->
+                  [ { base = BAlloca def.Instr.id; off = Some 0L } ]
+              | Instr.Call { callee; _ } ->
+                  if Irmod.has_attr prog.Progctx.m callee Func.Malloc_like then
+                    [ { base = BMalloc def.Instr.id; off = Some 0L } ]
+                  else [ { base = BCall def.Instr.id; off = None } ]
+              | Instr.Load _ -> [ { base = BLoad def.Instr.id; off = None } ]
+              | Instr.Gep { base; offset } ->
+                  let d = const_int prog fname 8 offset in
+                  List.map
+                    (fun (b : t) -> { b with off = add_off b.off d })
+                    (go (depth + 1) base)
+              | Instr.Binop (Instr.Add, a, b) -> (
+                  (* pointer arithmetic spelled as integer add *)
+                  match const_int prog fname 8 b with
+                  | Some d ->
+                      List.map
+                        (fun (x : t) ->
+                          { x with off = add_off x.off (Some d) })
+                        (go (depth + 1) a)
+                  | None -> (
+                      match const_int prog fname 8 a with
+                      | Some d ->
+                          List.map
+                            (fun (x : t) ->
+                              { x with off = add_off x.off (Some d) })
+                            (go (depth + 1) b)
+                      | None -> [ { base = BUnknown; off = None } ]))
+              | Instr.Binop (Instr.Sub, a, b) -> (
+                  match const_int prog fname 8 b with
+                  | Some d ->
+                      List.map
+                        (fun (x : t) ->
+                          { x with off = add_off x.off (Some (Int64.neg d)) })
+                        (go (depth + 1) a)
+                  | None -> [ { base = BUnknown; off = None } ])
+              | Instr.Binop _ | Instr.Icmp _ -> [ { base = BInt; off = None } ]
+              | Instr.Select { if_true; if_false; _ } ->
+                  go (depth + 1) if_true @ go (depth + 1) if_false
+              | Instr.Phi incoming ->
+                  if Hashtbl.mem in_progress r then
+                    (* cycle: the recursive arm adds a varying offset *)
+                    []
+                  else begin
+                    Hashtbl.replace in_progress r ();
+                    let rs =
+                      List.concat_map (fun (_, v) -> go (depth + 1) v) incoming
+                    in
+                    Hashtbl.remove in_progress r;
+                    (* a cyclic phi's offset varies across iterations *)
+                    let had_cycle =
+                      List.exists
+                        (fun (_, v) ->
+                          match v with
+                          | Value.Reg r' when String.equal r' r -> true
+                          | Value.Reg r' -> (
+                              (* one-step indirection through the cycle *)
+                              match Progctx.def prog fname r' with
+                              | Some
+                                  {
+                                    Instr.kind =
+                                      ( Instr.Gep { base = Value.Reg rb; _ }
+                                      | Instr.Binop (_, Value.Reg rb, _) );
+                                    _;
+                                  } ->
+                                  String.equal rb r
+                              | _ -> false)
+                          | _ -> false)
+                        incoming
+                    in
+                    if had_cycle then
+                      List.map (fun (x : t) -> { x with off = None }) rs
+                    else rs
+                  end
+              | Instr.Store _ -> [ { base = BUnknown; off = None } ]))
+  in
+  let rs =
+    try
+      let rs = go 0 v in
+      if List.length rs > max_results then raise Too_complex else rs
+    with Too_complex -> [ { base = BUnknown; off = None } ]
+  in
+  (* dedupe *)
+  List.sort_uniq Stdlib.compare rs
+
+(** Is the base a concrete, distinct object (as opposed to an opaque
+    pointer of unknown provenance)? *)
+let is_object = function
+  | BGlobal _ | BAlloca _ | BMalloc _ | BNull -> true
+  | BArg _ | BLoad _ | BCall _ | BInt | BUnknown -> false
+
+(** Two *object* bases that differ denote distinct storage. (Two dynamic
+    instances of one [BMalloc]/[BAlloca] site may still be distinct — that
+    is temporal reasoning, left to callers.) *)
+let distinct_objects (a : base) (b : base) : bool =
+  is_object a && is_object b && a <> b
+
+(** [single_object rs] - do all resolutions share one object base? *)
+let single_object (rs : t list) : base option =
+  match rs with
+  | [] -> None
+  | { base; _ } :: rest ->
+      if is_object base && List.for_all (fun (x : t) -> x.base = base) rest
+      then Some base
+      else None
+
+(** [all_objects rs] - are all resolutions concrete objects? *)
+let all_objects (rs : t list) : bool =
+  rs <> [] && List.for_all (fun (x : t) -> is_object x.base) rs
+
+(** [defined_in_loop prog loops loop ~fname base] - is the base's defining
+    instruction inside [loop] (a fresh instance per iteration)? *)
+let defined_in_loop (prog : Progctx.t) (li : Loops.t) (loop : Loops.loop)
+    (base : base) : bool =
+  ignore prog;
+  match base with
+  | BAlloca id | BMalloc id -> Loops.contains_instr li loop id
+  | _ -> false
+
+let pp_base ppf = function
+  | BGlobal g -> Fmt.pf ppf "@%s" g
+  | BAlloca i -> Fmt.pf ppf "alloca#%d" i
+  | BMalloc i -> Fmt.pf ppf "malloc#%d" i
+  | BArg (f, p) -> Fmt.pf ppf "arg %%%s@@%s" p f
+  | BLoad i -> Fmt.pf ppf "load#%d" i
+  | BCall i -> Fmt.pf ppf "call#%d" i
+  | BNull -> Fmt.string ppf "null"
+  | BInt -> Fmt.string ppf "int"
+  | BUnknown -> Fmt.string ppf "?"
+
+let pp ppf (x : t) =
+  Fmt.pf ppf "%a%a" pp_base x.base
+    (Fmt.option (fun ppf o -> Fmt.pf ppf "+%Ld" o))
+    x.off

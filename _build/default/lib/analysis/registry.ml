@@ -1,0 +1,21 @@
+(** The CAF memory-analysis ensemble: all 13 modules, in the default
+    consultation order (cheap local reasoning first, module-wide
+    reachability last — memory modules are assertion-free, so order only
+    affects latency, §3.3). *)
+
+let create (prog : Scaf_cfg.Progctx.t) : Scaf.Module_api.t list =
+  [
+    Basic_aa.create prog;
+    Underlying_objects_aa.create prog;
+    Callsite_aa.create prog;
+    Disjoint_fields_aa.create prog;
+    Scev_aa.create prog;
+    Induction_range_aa.create prog;
+    Loop_fresh_aa.create prog;
+    Unique_paths_aa.create prog;
+    Kill_flow_aa.create prog;
+    Semi_local_fun_aa.create prog;
+    Global_malloc_aa.create prog;
+    No_capture_source_aa.create prog;
+    No_capture_global_aa.create prog;
+  ]

@@ -1,0 +1,67 @@
+(** Scalar-evolution alias analysis (factored).
+
+    Normalizes both pointers to affine forms over the query loop's
+    induction variables and compares them under the query's temporal
+    relation: canceled terms leave a constant distance (intra-iteration);
+    cross-iteration queries reason about strides. Roots that differ
+    syntactically are premise-queried with Desired Result = MustAlias. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      match Autil.loop_env prog a.Query.aloop with
+      | None -> Module_api.no_answer q
+      | Some env -> (
+          if not (String.equal env.Affine.fname a.Query.a1.Query.fname) then
+            Module_api.no_answer q
+          else
+            match
+              ( Affine.of_value env a.Query.a1.Query.ptr,
+                Affine.of_value env a.Query.a2.Query.ptr )
+            with
+            | Some f1, Some f2
+              when not
+                     (a.Query.adr = Some Query.DMustAlias
+                     && not (Affine.terms_cancel f1 f2)) -> (
+                (* (the guard is the desired-result early bail-out) *)
+                let compare_with options provenance =
+                  match
+                    Affine.compare_access env ~tr:a.Query.atr f1
+                      a.Query.a1.Query.size f2 a.Query.a2.Query.size
+                  with
+                  | Some res ->
+                      {
+                        Response.result = Aresult.RAlias res;
+                        options;
+                        provenance;
+                      }
+                  | None -> Module_api.no_answer q
+                in
+                if Value.equal f1.Affine.root f2.Affine.root then
+                  compare_with [ [] ] Response.Sset.empty
+                else begin
+                  let premise =
+                    Query.alias ~fname:a.Query.a1.Query.fname
+                      ?loop:a.Query.aloop ?cc:a.Query.acc ~dr:Query.DMustAlias
+                      ~tr:Query.Same
+                      (f1.Affine.root, 1)
+                      (f2.Affine.root, 1)
+                  in
+                  let presp = ctx.Module_api.handle premise in
+                  match presp.Response.result with
+                  | Aresult.RAlias Aresult.MustAlias ->
+                      compare_with presp.Response.options
+                        presp.Response.provenance
+                  | _ -> Module_api.no_answer q
+                end)
+            | _ -> Module_api.no_answer q))
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"scev-aa" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q -> answer prog ctx q)

@@ -1,0 +1,262 @@
+(** Semi-local function summaries (factored).
+
+    Summarizes, per user-defined function, the abstract regions it may read
+    and write: named globals, memory reachable from its pointer arguments,
+    and "unknown" (anything, through opaque pointers or un-summarizable
+    callees). Modref queries involving direct calls to summarized functions
+    are answered by comparing the target location against the summary;
+    argument-reachable regions are premise-compared against the location. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+module Sset = Set.Make (String)
+
+type summary = {
+  gmod : Sset.t;  (** globals possibly written *)
+  gref : Sset.t;  (** globals possibly read *)
+  arg_mod : bool;  (** writes through argument-derived pointers *)
+  arg_ref : bool;
+  unk_mod : bool;  (** writes through opaque pointers / unknown callees *)
+  unk_ref : bool;
+}
+
+let empty_sum =
+  {
+    gmod = Sset.empty;
+    gref = Sset.empty;
+    arg_mod = false;
+    arg_ref = false;
+    unk_mod = false;
+    unk_ref = false;
+  }
+
+let merge a b =
+  {
+    gmod = Sset.union a.gmod b.gmod;
+    gref = Sset.union a.gref b.gref;
+    arg_mod = a.arg_mod || b.arg_mod;
+    arg_ref = a.arg_ref || b.arg_ref;
+    unk_mod = a.unk_mod || b.unk_mod;
+    unk_ref = a.unk_ref || b.unk_ref;
+  }
+
+(* Classify a pointer's resolutions into summary effects. *)
+let effect_of (prog : Progctx.t) ~(fname : string) (ptr : Value.t)
+    ~(write : bool) : summary =
+  List.fold_left
+    (fun acc (x : Ptrexpr.t) ->
+      match x.Ptrexpr.base with
+      | Ptrexpr.BGlobal g ->
+          if write then { acc with gmod = Sset.add g acc.gmod }
+          else { acc with gref = Sset.add g acc.gref }
+      | Ptrexpr.BAlloca _ | Ptrexpr.BMalloc _ | Ptrexpr.BNull ->
+          acc (* local objects die with the call; invisible to callers *)
+      | Ptrexpr.BArg _ ->
+          if write then { acc with arg_mod = true } else { acc with arg_ref = true }
+      | _ -> if write then { acc with unk_mod = true } else { acc with unk_ref = true })
+    empty_sum
+    (Ptrexpr.resolve prog ~fname ptr)
+
+let summarize (prog : Progctx.t) : (string, summary) Hashtbl.t =
+  let sums : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace sums f.Func.name empty_sum)
+    prog.Progctx.m.Irmod.funcs;
+  let m = prog.Progctx.m in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (f : Func.t) ->
+        let fname = f.Func.name in
+        let acc = ref empty_sum in
+        Func.iter_instrs f (fun _ (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Load { ptr; _ } ->
+                acc := merge !acc (effect_of prog ~fname ptr ~write:false)
+            | Instr.Store { ptr; _ } ->
+                acc := merge !acc (effect_of prog ~fname ptr ~write:true)
+            | Instr.Call { callee; args } -> (
+                match Irmod.find_func m callee with
+                | Some _ ->
+                    (* user function: fold its current summary; its
+                       argument effects flow through our args *)
+                    let cs =
+                      Option.value ~default:empty_sum
+                        (Hashtbl.find_opt sums callee)
+                    in
+                    let arg_effects =
+                      List.fold_left
+                        (fun a v ->
+                          merge a
+                            (merge
+                               (if cs.arg_mod then
+                                  effect_of prog ~fname v ~write:true
+                                else empty_sum)
+                               (if cs.arg_ref then
+                                  effect_of prog ~fname v ~write:false
+                                else empty_sum)))
+                        empty_sum args
+                    in
+                    acc :=
+                      merge !acc
+                        (merge arg_effects
+                           { cs with arg_mod = false; arg_ref = false })
+                | None ->
+                    if Irmod.has_attr m callee Func.Readnone then ()
+                    else if Irmod.has_attr m callee Func.Malloc_like then ()
+                    else if Irmod.has_attr m callee Func.Argmemonly then
+                      List.iter
+                        (fun v ->
+                          acc :=
+                            merge !acc
+                              (merge
+                                 (effect_of prog ~fname v ~write:true)
+                                 (effect_of prog ~fname v ~write:false)))
+                        args
+                    else if Irmod.has_attr m callee Func.Readonly then
+                      acc := { !acc with unk_ref = true }
+                    else acc := { !acc with unk_mod = true; unk_ref = true })
+            | _ -> ());
+        let prev = Hashtbl.find sums fname in
+        let next = !acc in
+        if next <> prev then begin
+          Hashtbl.replace sums fname next;
+          changed := true
+        end)
+      m.Irmod.funcs
+  done;
+  sums
+
+(* Answer "how does a call to [callee](args) relate to [loc]" using the
+   summary, premise-comparing argument pointers against [loc]. *)
+let call_vs_loc (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
+    (ctx : Module_api.ctx) ~(tr : Query.temporal) ~(loop : string option)
+    ~(cc : int list option) ~(call_fname : string) (callee : string)
+    (args : Value.t list) (loc : Query.memloc) : Response.t =
+  match Hashtbl.find_opt sums callee with
+  | None -> Response.bottom_modref
+  | Some s -> (
+      if s.unk_mod || s.unk_ref then Response.bottom_modref
+      else begin
+        (* which global does loc refer to, if any? *)
+        let loc_globals, loc_all_objects =
+          let rs = Ptrexpr.resolve prog ~fname:loc.Query.fname loc.Query.ptr in
+          ( List.filter_map
+              (fun (x : Ptrexpr.t) ->
+                match x.Ptrexpr.base with
+                | Ptrexpr.BGlobal g -> Some g
+                | _ -> None)
+              rs,
+            Ptrexpr.all_objects rs )
+        in
+        if not loc_all_objects then Response.bottom_modref
+        else begin
+          let touches_globals_mod =
+            List.exists (fun g -> Sset.mem g s.gmod) loc_globals
+          in
+          let touches_globals_ref =
+            List.exists (fun g -> Sset.mem g s.gref) loc_globals
+          in
+          (* can an argument point at loc? *)
+          let arg_overlap, opts, prov =
+            if (not s.arg_mod) && not s.arg_ref then
+              (false, [ [] ], Response.Sset.empty)
+            else if List.length args > 4 then (true, [ [] ], Response.Sset.empty)
+            else
+              List.fold_left
+                (fun (ov, opts, prov) v ->
+                  if ov then (ov, opts, prov)
+                  else
+                    match v with
+                    | Value.Int _ | Value.Null | Value.Undef ->
+                        (false, opts, prov)
+                    | _ -> (
+                        let premise =
+                          Query.alias ~fname:call_fname ?loop ?cc
+                            ~dr:Query.DNoAlias ~tr (v, loc.Query.size)
+                            (loc.Query.ptr, loc.Query.size)
+                        in
+                        let presp = ctx.Module_api.handle premise in
+                        match presp.Response.result with
+                        | Aresult.RAlias Aresult.NoAlias ->
+                            ( false,
+                              Join.product opts presp.Response.options,
+                              Response.Sset.union prov
+                                presp.Response.provenance )
+                        | _ -> (true, opts, prov)))
+                (false, [ [] ], Response.Sset.empty)
+                args
+          in
+          let may_mod = touches_globals_mod || (s.arg_mod && arg_overlap) in
+          let may_ref = touches_globals_ref || (s.arg_ref && arg_overlap) in
+          match (may_mod, may_ref) with
+          | false, false ->
+              if opts = [] then Response.bottom_modref
+              else
+                {
+                  Response.result = Aresult.RModref Aresult.NoModRef;
+                  options = opts;
+                  provenance = prov;
+                }
+          | true, false -> Response.free (Aresult.RModref Aresult.Mod)
+          | false, true -> Response.free (Aresult.RModref Aresult.Ref)
+          | true, true -> Response.bottom_modref
+        end
+      end)
+
+let answer (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
+    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref mq -> (
+      let user_call id =
+        match Progctx.occ prog id with
+        | Some o -> (
+            match o.Irmod.Index.instr.Instr.kind with
+            | Instr.Call { callee; args }
+              when Irmod.find_func prog.Progctx.m callee <> None ->
+                Some (callee, args, o.Irmod.Index.func.Func.name)
+            | _ -> None)
+        | None -> None
+      in
+      let tr = mq.Query.mtr and loop = mq.Query.mloop and cc = mq.Query.mcc in
+      match user_call mq.Query.minstr with
+      | Some (callee, args, call_fname) -> (
+          match mq.Query.mtarget with
+          | Query.TLoc loc ->
+              call_vs_loc prog sums ctx ~tr ~loop ~cc ~call_fname callee args
+                loc
+          | Query.TInstr i2 -> (
+              match Autil.loc_of_instr prog i2 with
+              | Some loc ->
+                  call_vs_loc prog sums ctx ~tr ~loop ~cc ~call_fname callee
+                    args loc
+              | None -> Module_api.no_answer q))
+      | None -> (
+          match mq.Query.mtarget with
+          | Query.TInstr i2 -> (
+              match user_call i2 with
+              | Some (callee, args, call_fname) -> (
+                  match Autil.loc_of_instr prog mq.Query.minstr with
+                  | Some loc1 -> (
+                      let r =
+                        call_vs_loc prog sums ctx
+                          ~tr:(Query.flip_temporal tr) ~loop ~cc ~call_fname
+                          callee args loc1
+                      in
+                      match r.Response.result with
+                      | Aresult.RModref Aresult.NoModRef -> r
+                      | _ -> Autil.kind_refinement prog mq.Query.minstr)
+                  | None -> Module_api.no_answer q)
+              | None -> Module_api.no_answer q)
+          | Query.TLoc _ -> Module_api.no_answer q))
+
+let create (prog : Progctx.t) : Module_api.t =
+  let sums = summarize prog in
+  Module_api.make ~name:"semi-local-fun-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog sums ctx q)

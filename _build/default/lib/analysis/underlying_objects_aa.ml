@@ -1,0 +1,30 @@
+(** Underlying-objects analysis (shape-analysis stand-in): trace each
+    pointer through gep/phi/select chains to the full *set* of allocation
+    sites it can point into; two pointers whose sets are pairwise-distinct
+    concrete objects cannot alias. *)
+
+open Scaf
+open Scaf_cfg
+
+let answer_alias (prog : Progctx.t) (q : Query.alias_q) : Response.t =
+  let open Ptrexpr in
+  let r1 = resolve prog ~fname:q.Query.a1.Query.fname q.Query.a1.Query.ptr in
+  let r2 = resolve prog ~fname:q.Query.a2.Query.fname q.Query.a2.Query.ptr in
+  if
+    all_objects r1 && all_objects r2
+    && List.for_all
+         (fun (x1 : t) ->
+           List.for_all (fun (x2 : t) -> distinct_objects x1.base x2.base) r2)
+         r1
+  then Response.free (Aresult.RAlias Aresult.NoAlias)
+  else Response.bottom_alias
+
+let answer (prog : Progctx.t) (_ctx : Module_api.ctx) (q : Query.t) :
+    Response.t =
+  match q with
+  | Query.Alias a -> answer_alias prog a
+  | Query.Modref _ -> Module_api.no_answer q
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"underlying-objects-aa" ~kind:Module_api.Memory
+    ~factored:false (fun ctx q -> answer prog ctx q)

@@ -1,0 +1,138 @@
+(** Unique-access-paths analysis (factored).
+
+    When both pointers are loads of the *same* stable memory slot (plus
+    equal constant offsets), they hold the same value and MustAlias. Slot
+    stability — "no store modifies the slot in scope" — is established by
+    premise-querying every potentially-interfering store, so the control
+    speculation module can vouch for speculatively dead stores and kindred
+    modules for offset-disjoint ones. This is the ensemble's main producer
+    of MustAlias facts, i.e. the usual *resolver* of the Desired
+    Result = MustAlias premises that kill-flow and the field modules emit. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+let max_interfering = 6
+
+(* Peel [v] down to (load instruction, extra constant offset). *)
+let as_load_plus (prog : Progctx.t) ~(fname : string) (v : Value.t) :
+    (Instr.t * int64) option =
+  let rec go depth v acc =
+    if depth > 10 then None
+    else
+      match v with
+      | Value.Reg r -> (
+          match Progctx.def prog fname r with
+          | Some ({ Instr.kind = Instr.Load _; _ } as def) -> Some (def, acc)
+          | Some { Instr.kind = Instr.Gep { base; offset }; _ } -> (
+              match Ptrexpr.const_int prog fname 8 offset with
+              | Some c -> go (depth + 1) base (Int64.add acc c)
+              | None -> None)
+          | _ -> None)
+      | _ -> None
+  in
+  go 0 v 0L
+
+(* The memory slot a load reads, when it is a stable expression. *)
+let slot_of_load (prog : Progctx.t) ~(fname : string) (l : Instr.t) :
+    (Value.t * int) option =
+  match l.Instr.kind with
+  | Instr.Load { ptr; size } -> (
+      (* the slot pointer itself must be a fixed object location *)
+      match Ptrexpr.resolve prog ~fname ptr with
+      | [ { Ptrexpr.base = Ptrexpr.BGlobal _; off = Some _ } ] ->
+          Some (ptr, size)
+      | [ { Ptrexpr.base = Ptrexpr.BAlloca _; off = Some _ } ] ->
+          Some (ptr, size)
+      | _ -> None)
+  | _ -> None
+
+(* Stores in scope that might write [slot]; scope = the query loop when
+   present, else the whole function. *)
+let interfering_stores (prog : Progctx.t) ~(lid : string option)
+    ~(fname : string) : Instr.t list =
+  let in_scope (i : Instr.t) =
+    match lid with
+    | Some lid -> (
+        match Progctx.loop_of_lid prog lid with
+        | Some (lf, loop) -> (
+            String.equal lf fname
+            &&
+            match Progctx.loops_of prog fname with
+            | Some li -> Loops.contains_instr li loop i.Instr.id
+            | None -> true)
+        | None -> true)
+    | None -> true
+  in
+  let out = ref [] in
+  Irmod.iter_instrs prog.Progctx.m (fun f _ (i : Instr.t) ->
+      if String.equal f.Func.name fname && in_scope i then
+        match i.Instr.kind with
+        | Instr.Store _ -> out := i :: !out
+        | Instr.Call { callee; _ }
+          when not (Irmod.has_attr prog.Progctx.m callee Func.Readnone) ->
+            (* calls may write the slot through the callee *)
+            out := i :: !out
+        | _ -> ());
+  List.rev !out
+
+let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+    =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      if a.Query.adr = Some Query.DNoAlias then Module_api.no_answer q
+      else if a.Query.a1.Query.size <> a.Query.a2.Query.size then
+        Module_api.no_answer q
+      else
+        let f1 = a.Query.a1.Query.fname and f2 = a.Query.a2.Query.fname in
+        match
+          ( as_load_plus prog ~fname:f1 a.Query.a1.Query.ptr,
+            as_load_plus prog ~fname:f2 a.Query.a2.Query.ptr )
+        with
+        | Some (l1, c1), Some (l2, c2) when Int64.equal c1 c2 -> (
+            match
+              (slot_of_load prog ~fname:f1 l1, slot_of_load prog ~fname:f2 l2)
+            with
+            | Some (slot1, ssize1), Some (slot2, ssize2)
+              when Value.equal slot1 slot2 && ssize1 = ssize2 -> (
+                (* same slot: equal loaded values provided no store touches
+                   the slot in scope *)
+                let stores = interfering_stores prog ~lid:a.Query.aloop ~fname:f1 in
+                if List.length stores > max_interfering then
+                  Module_api.no_answer q
+                else
+                  let rec go opts prov = function
+                    | [] ->
+                        Some
+                          {
+                            Response.result = Aresult.RAlias Aresult.MustAlias;
+                            options = opts;
+                            provenance = prov;
+                          }
+                    | (s : Instr.t) :: rest -> (
+                        let premise =
+                          Query.modref_loc ~tr:Query.Same ?loop:a.Query.aloop
+                            s.Instr.id (slot1, ssize1, f1)
+                        in
+                        let presp = ctx.Module_api.handle premise in
+                        match presp.Response.result with
+                        | Aresult.RModref Aresult.NoModRef
+                        | Aresult.RModref Aresult.Ref ->
+                            go
+                              (Join.product opts presp.Response.options)
+                              (Response.Sset.union prov
+                                 presp.Response.provenance)
+                              rest
+                        | _ -> None)
+                  in
+                  match go [ [] ] Response.Sset.empty stores with
+                  | Some r when r.Response.options <> [] -> r
+                  | _ -> Module_api.no_answer q)
+            | _ -> Module_api.no_answer q)
+        | _ -> Module_api.no_answer q)
+
+let create (prog : Progctx.t) : Module_api.t =
+  Module_api.make ~name:"unique-paths-aa" ~kind:Module_api.Memory
+    ~factored:true (fun ctx q -> answer prog ctx q)

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Block Fun Func Hashtbl Instr List Printf Scaf_ir

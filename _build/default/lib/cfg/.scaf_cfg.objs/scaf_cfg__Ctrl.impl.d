@@ -1,0 +1,1 @@
+lib/cfg/ctrl.ml: Array Cfg Dom List

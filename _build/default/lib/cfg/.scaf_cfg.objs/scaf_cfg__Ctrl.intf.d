@@ -1,0 +1,1 @@
+lib/cfg/ctrl.mli: Cfg Dom

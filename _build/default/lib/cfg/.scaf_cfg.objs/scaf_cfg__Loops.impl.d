@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Cfg Dom Fmt Hashtbl Int List Option Printf Scaf_ir Set Stdlib String

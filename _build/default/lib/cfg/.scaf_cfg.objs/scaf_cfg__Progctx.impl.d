@@ -1,0 +1,1 @@
+lib/cfg/progctx.ml: Cfg Ctrl Func Hashtbl Instr Irmod List Loops Option Scaf_ir

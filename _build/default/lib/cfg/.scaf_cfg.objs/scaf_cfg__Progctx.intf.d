@@ -1,0 +1,1 @@
+lib/cfg/progctx.mli: Cfg Ctrl Func Hashtbl Instr Irmod Loops Scaf_ir

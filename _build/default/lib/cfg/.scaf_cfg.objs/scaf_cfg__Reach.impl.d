@@ -1,0 +1,1 @@
+lib/cfg/reach.ml: Hashtbl

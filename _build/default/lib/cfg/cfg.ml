@@ -1,0 +1,94 @@
+(** Control-flow graph of one MIR function, with O(1) lookups from labels,
+    instruction ids and positions. Block indices are dense ints; index 0 is
+    the entry block. *)
+
+open Scaf_ir
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  index_of_label : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  instr_pos : (int, int * int) Hashtbl.t;
+      (** instruction id -> (block index, position); a block's terminator has
+          position [List.length instrs] *)
+}
+
+let entry_index = 0
+
+let of_func (func : Func.t) : t =
+  let blocks = Array.of_list func.blocks in
+  let n = Array.length blocks in
+  let index_of_label = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (b : Block.t) -> Hashtbl.replace index_of_label b.label i) blocks;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        List.map
+          (fun l ->
+            match Hashtbl.find_opt index_of_label l with
+            | Some j -> j
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Cfg.of_func: @%s branches to unknown %s"
+                     func.name l))
+          (Block.successors b)
+      in
+      succs.(i) <- ss;
+      List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss)
+    blocks;
+  Array.iteri (fun j ps -> preds.(j) <- List.rev ps) preds;
+  let instr_pos = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (b : Block.t) ->
+      List.iteri (fun pos (ins : Instr.t) -> Hashtbl.replace instr_pos ins.id (i, pos)) b.instrs;
+      Hashtbl.replace instr_pos b.term.tid (i, List.length b.instrs))
+    blocks;
+  { func; blocks; index_of_label; succs; preds; instr_pos }
+
+let num_blocks (t : t) = Array.length t.blocks
+let block (t : t) i = t.blocks.(i)
+let label (t : t) i = t.blocks.(i).Block.label
+
+let index_of (t : t) (label : string) : int =
+  match Hashtbl.find_opt t.index_of_label label with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Cfg.index_of: unknown label %s" label)
+
+(** [position t id] is [(block index, position in block)] of instruction
+    [id], or [None] if [id] is not in this function. *)
+let position (t : t) (id : int) : (int * int) option =
+  Hashtbl.find_opt t.instr_pos id
+
+let position_exn (t : t) (id : int) : int * int =
+  match position t id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Cfg.position_exn: instr %d not here" id)
+
+let contains_instr (t : t) (id : int) : bool = Hashtbl.mem t.instr_pos id
+
+(** Reverse postorder over reachable blocks, entry first. *)
+let rpo (t : t) : int array =
+  let n = num_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succs.(i);
+      order := i :: !order
+    end
+  in
+  dfs entry_index;
+  Array.of_list !order
+
+(** Blocks unreachable from the entry (e.g., dead recovery paths). *)
+let unreachable_blocks (t : t) : int list =
+  let n = num_blocks t in
+  let seen = Array.make n false in
+  Array.iter (fun i -> seen.(i) <- true) (rpo t);
+  List.filter (fun i -> not seen.(i)) (List.init n Fun.id)

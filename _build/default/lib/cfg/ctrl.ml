@@ -1,0 +1,49 @@
+(** A control-flow view of one function: dominator + post-dominator trees
+    plus the successor relation they were computed from.
+
+    This is the value SCAF queries carry in their [dt]/[pdt] parameters
+    (§3.2.2). The *static* view comes from {!of_cfg}; the control
+    speculation module builds a *speculative* view with {!filtered}, in
+    which never-executed blocks are removed. Consumers (e.g. kill-flow) are
+    deliberately agnostic to which kind they were handed. *)
+
+type t = {
+  cfg : Cfg.t;
+  dom : Dom.t;
+  pdom : Dom.t;
+  succs : int -> int list;
+  live : int -> bool;  (** is the block live under this view? *)
+}
+
+(** The static control-flow view of [cfg]. *)
+let of_cfg (cfg : Cfg.t) : t =
+  let dom = Dom.compute cfg in
+  let pdom = Dom.compute_post cfg in
+  {
+    cfg;
+    dom;
+    pdom;
+    succs = (fun i -> cfg.Cfg.succs.(i));
+    live = (fun i -> Dom.reachable dom i);
+  }
+
+(** [filtered cfg ~dead] is the view of [cfg] with every block satisfying
+    [dead] removed: edges into dead blocks disappear, and anything no longer
+    reachable from the entry is dead too. *)
+let filtered (cfg : Cfg.t) ~(dead : int -> bool) : t =
+  let succs i =
+    if dead i then []
+    else List.filter (fun j -> not (dead j)) cfg.Cfg.succs.(i)
+  in
+  let dom = Dom.compute_filtered cfg ~succs in
+  let pdom = Dom.compute_post ~succs cfg in
+  { cfg; dom; pdom; succs; live = (fun i -> Dom.reachable dom i) }
+
+(** [dominates_instr t a b] / [post_dominates_instr t a b] at the
+    instruction level under this view. *)
+let dominates_instr (t : t) a b = Dom.dominates_instr t.dom t.cfg a b
+let post_dominates_instr (t : t) a b = Dom.post_dominates_instr t.pdom t.cfg a b
+
+(** [live_instr t id] - is the instruction's block live under this view? *)
+let live_instr (t : t) (id : int) : bool =
+  match Cfg.position t.cfg id with Some (b, _) -> t.live b | None -> false

@@ -1,0 +1,32 @@
+(** A control-flow view of one function: dominator and post-dominator trees
+    plus the successor relation they were computed from.
+
+    This is the value SCAF queries carry in their dominator-tree parameters
+    (paper §3.2.2). The *static* view comes from {!of_cfg}; the control
+    speculation module builds a *speculative* view with {!filtered}, in
+    which never-executed blocks are removed. Consumers (e.g. kill-flow) are
+    deliberately agnostic to which kind they hold. *)
+
+type t = {
+  cfg : Cfg.t;
+  dom : Dom.t;
+  pdom : Dom.t;
+  succs : int -> int list;
+  live : int -> bool;  (** is the block live under this view? *)
+}
+
+(** The static control-flow view. *)
+val of_cfg : Cfg.t -> t
+
+(** The view with every block satisfying [dead] removed: edges into dead
+    blocks disappear, and anything no longer reachable from the entry is
+    dead too. *)
+val filtered : Cfg.t -> dead:(int -> bool) -> t
+
+(** Instruction-level dominance under this view (by instruction id). *)
+val dominates_instr : t -> int -> int -> bool
+
+val post_dominates_instr : t -> int -> int -> bool
+
+(** Is the instruction's block live under this view? *)
+val live_instr : t -> int -> bool

@@ -1,0 +1,150 @@
+(** Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+    The computation is generic over a successor function so that the control
+    speculation module can hand out *speculative* trees computed on a CFG
+    with never-executed blocks removed — the mechanism of SCAF §3.2.2. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; [idom.(entry) = entry]; [-1] if unreachable *)
+  depth : int array;  (** tree depth; [-1] if unreachable *)
+  entry : int;  (** root node (virtual node allowed for post-dominators) *)
+  order : int array;  (** reverse postorder number; [-1] if unreachable *)
+}
+
+(* Generic CHK over nodes [0, n), given entry and successor function. *)
+let compute_generic ~(n : int) ~(entry : int) ~(succs : int -> int list) : t =
+  (* Reverse postorder from entry. *)
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs (succs i);
+      post := i :: !post
+    end
+  in
+  dfs entry;
+  let rpo = Array.of_list !post in
+  let order = Array.make n (-1) in
+  Array.iteri (fun k v -> order.(v) <- k) rpo;
+  (* Predecessors restricted to reachable nodes. *)
+  let preds = Array.make n [] in
+  Array.iter
+    (fun u -> List.iter (fun v -> if order.(v) >= 0 then preds.(v) <- u :: preds.(v)) (succs u))
+    rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := idom.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> entry then begin
+          let processed = List.filter (fun p -> idom.(p) >= 0) preds.(v) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let depth = Array.make n (-1) in
+  let rec depth_of v =
+    if depth.(v) >= 0 then depth.(v)
+    else if idom.(v) < 0 then -1
+    else if v = entry then begin
+      depth.(v) <- 0;
+      0
+    end
+    else begin
+      let d = depth_of idom.(v) in
+      let d = if d < 0 then -1 else d + 1 in
+      depth.(v) <- d;
+      d
+    end
+  in
+  Array.iter (fun v -> ignore (depth_of v)) rpo;
+  { idom; depth; entry; order }
+
+(** Dominator tree of [cfg]. *)
+let compute (cfg : Cfg.t) : t =
+  compute_generic ~n:(Cfg.num_blocks cfg) ~entry:Cfg.entry_index
+    ~succs:(fun i -> cfg.Cfg.succs.(i))
+
+(** Dominator tree over a filtered successor relation (speculative CFG). *)
+let compute_filtered (cfg : Cfg.t) ~(succs : int -> int list) : t =
+  compute_generic ~n:(Cfg.num_blocks cfg) ~entry:Cfg.entry_index ~succs
+
+(** Post-dominator tree of [cfg] under successor relation [succs] (defaults
+    to the real one). A virtual exit node [n] is appended; blocks with no
+    live successors are wired to it. *)
+let compute_post ?(succs : (int -> int list) option) (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let succs = match succs with Some f -> f | None -> fun i -> cfg.Cfg.succs.(i) in
+  let exit = n in
+  (* Reverse edges: rsuccs v = predecessors of v in the forward graph,
+     except the virtual exit, whose rsuccs are the forward-exit blocks. *)
+  let rpreds = Array.make (n + 1) [] in
+  for u = 0 to n - 1 do
+    match succs u with
+    | [] -> rpreds.(u) <- exit :: rpreds.(u) (* edge u -> exit, reversed below *)
+    | ss -> List.iter (fun v -> rpreds.(v) <- u :: rpreds.(v)) ss
+  done;
+  (* rsuccs in the reverse graph = forward predecessors; build them. *)
+  let rsuccs = Array.make (n + 1) [] in
+  for u = 0 to n - 1 do
+    match succs u with
+    | [] -> rsuccs.(exit) <- u :: rsuccs.(exit)
+    | ss -> List.iter (fun v -> rsuccs.(v) <- u :: rsuccs.(v)) ss
+  done;
+  ignore rpreds;
+  compute_generic ~n:(n + 1) ~entry:exit ~succs:(fun i -> rsuccs.(i))
+
+let reachable (t : t) (v : int) : bool = t.idom.(v) >= 0
+
+(** [dominates t a b]: does node [a] dominate node [b]? Unreachable nodes
+    dominate nothing and are dominated by nothing. *)
+let dominates (t : t) (a : int) (b : int) : bool =
+  if not (reachable t a) || not (reachable t b) then false
+  else begin
+    let b = ref b in
+    while t.depth.(!b) > t.depth.(a) do
+      b := t.idom.(!b)
+    done;
+    !b = a
+  end
+
+let strictly_dominates (t : t) a b = a <> b && dominates t a b
+
+(** Instruction-level dominance: [a] and [b] are instruction ids within the
+    function of [cfg]. Within one block, program order decides. *)
+let dominates_instr (t : t) (cfg : Cfg.t) (a : int) (b : int) : bool =
+  match (Cfg.position cfg a, Cfg.position cfg b) with
+  | Some (ba, pa), Some (bb, pb) ->
+      if ba = bb then reachable t ba && pa <= pb else dominates t ba bb
+  | _ -> false
+
+(** Instruction-level post-dominance on a post-dominator tree [t]:
+    [post_dominates_instr t cfg a b] asks whether [a] post-dominates [b].
+    Within one block the *later* instruction post-dominates the earlier. *)
+let post_dominates_instr (t : t) (cfg : Cfg.t) (a : int) (b : int) : bool =
+  match (Cfg.position cfg a, Cfg.position cfg b) with
+  | Some (ba, pa), Some (bb, pb) ->
+      if ba = bb then reachable t ba && pa >= pb else dominates t ba bb
+  | _ -> false

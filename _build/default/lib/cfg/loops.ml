@@ -1,0 +1,132 @@
+(** Natural-loop detection and loop-nest information.
+
+    A back edge is an edge [a -> h] where [h] dominates [a]; the natural
+    loop of header [h] is the union of all nodes that can reach a latch
+    without passing through [h]. Loops sharing a header are merged (as in
+    LLVM). Loop identity used across the framework is
+    ["function_name:header_label"]. *)
+
+module Int_set = Set.Make (Int)
+
+type loop = {
+  lid : string;  (** stable id: "func:header_label" *)
+  header : int;
+  blocks : Int_set.t;
+  latches : int list;  (** sources of back edges *)
+  depth : int;  (** nesting depth, outermost = 1 *)
+  parent : string option;  (** lid of the enclosing loop *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  loops : loop list;  (** outermost-first, stable order *)
+  innermost : loop option array;  (** innermost loop containing each block *)
+}
+
+let find (t : t) (lid : string) : loop option =
+  List.find_opt (fun l -> String.equal l.lid lid) t.loops
+
+(** [contains l b] - does loop [l] contain block index [b]? *)
+let contains (l : loop) (b : int) : bool = Int_set.mem b l.blocks
+
+(** [contains_instr t l id] - does loop [l] contain instruction [id]? *)
+let contains_instr (t : t) (l : loop) (id : int) : bool =
+  match Cfg.position t.cfg id with
+  | Some (b, _) -> contains l b
+  | None -> false
+
+(** [exits t l] is the list of edges [(src, dst)] leaving the loop. *)
+let exits (t : t) (l : loop) : (int * int) list =
+  Int_set.fold
+    (fun b acc ->
+      List.fold_left
+        (fun acc s -> if contains l s then acc else (b, s) :: acc)
+        acc t.cfg.Cfg.succs.(b))
+    l.blocks []
+
+let compute (cfg : Cfg.t) : t =
+  let dom = Dom.compute cfg in
+  let n = Cfg.num_blocks cfg in
+  (* back edges grouped by header *)
+  let backedges = Hashtbl.create 8 in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun h ->
+        if Dom.dominates dom h a then
+          Hashtbl.replace backedges h
+            (a :: Option.value ~default:[] (Hashtbl.find_opt backedges h)))
+      cfg.Cfg.succs.(a)
+  done;
+  let body_of h latches =
+    (* walk predecessors from latches, not crossing the header *)
+    let seen = ref (Int_set.singleton h) in
+    let rec walk b =
+      if not (Int_set.mem b !seen) then begin
+        seen := Int_set.add b !seen;
+        List.iter walk cfg.Cfg.preds.(b)
+      end
+    in
+    List.iter walk latches;
+    !seen
+  in
+  let headers =
+    Hashtbl.fold (fun h _ acc -> h :: acc) backedges []
+    |> List.sort Stdlib.compare
+  in
+  let raw =
+    List.map
+      (fun h ->
+        let latches = List.sort_uniq Stdlib.compare (Hashtbl.find backedges h) in
+        (h, latches, body_of h latches))
+      headers
+  in
+  let lid_of h = Printf.sprintf "%s:%s" cfg.Cfg.func.Scaf_ir.Func.name (Cfg.label cfg h) in
+  (* nesting: loop A encloses B iff A contains B's header and A <> B *)
+  let encloses (_, _, blocks_a) (hb, _, _) = Int_set.mem hb blocks_a in
+  let loops =
+    List.map
+      (fun ((h, latches, blocks) as me) ->
+        let enclosing =
+          List.filter
+            (fun ((h', _, _) as other) -> h' <> h && encloses other me)
+            raw
+        in
+        let depth = 1 + List.length enclosing in
+        (* parent = enclosing loop with the largest depth (smallest body) *)
+        let parent =
+          enclosing
+          |> List.fold_left
+               (fun best ((_, _, bl) as cand) ->
+                 match best with
+                 | None -> Some cand
+                 | Some (_, _, bbl) ->
+                     if Int_set.cardinal bl < Int_set.cardinal bbl then Some cand
+                     else best)
+               None
+          |> Option.map (fun (h', _, _) -> lid_of h')
+        in
+        { lid = lid_of h; header = h; blocks; latches; depth; parent })
+      raw
+  in
+  let loops = List.sort (fun a b -> Stdlib.compare a.depth b.depth) loops in
+  let innermost = Array.make n None in
+  List.iter
+    (fun l ->
+      Int_set.iter
+        (fun b ->
+          match innermost.(b) with
+          | Some l' when l'.depth >= l.depth -> ()
+          | _ -> innermost.(b) <- Some l)
+        l.blocks)
+    loops;
+  { cfg; loops; innermost }
+
+(** The innermost loop containing instruction [id], if any. *)
+let innermost_of_instr (t : t) (id : int) : loop option =
+  match Cfg.position t.cfg id with
+  | Some (b, _) -> t.innermost.(b)
+  | None -> None
+
+let pp_loop ppf (l : loop) =
+  Fmt.pf ppf "loop %s (depth %d, %d blocks)" l.lid l.depth
+    (Int_set.cardinal l.blocks)

@@ -1,0 +1,55 @@
+(** Program-wide analysis context: per-function CFGs, dominator views and
+    loop info, plus the module-wide instruction index. Built once per
+    module and shared by profilers, analysis modules and clients. *)
+
+open Scaf_ir
+
+type t = {
+  m : Irmod.t;
+  index : Irmod.Index.index;
+  cfgs : (string, Cfg.t) Hashtbl.t;
+  loops : (string, Loops.t) Hashtbl.t;
+  ctrls : (string, Ctrl.t) Hashtbl.t;  (** static control-flow views *)
+  by_lid : (string, string * Loops.loop) Hashtbl.t;
+      (** loop id -> (function name, loop) *)
+}
+
+let build (m : Irmod.t) : t =
+  let index = Irmod.Index.build m in
+  let cfgs = Hashtbl.create 16 in
+  let loops = Hashtbl.create 16 in
+  let ctrls = Hashtbl.create 16 in
+  let by_lid = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      Hashtbl.replace cfgs f.Func.name cfg;
+      let li = Loops.compute cfg in
+      Hashtbl.replace loops f.Func.name li;
+      Hashtbl.replace ctrls f.Func.name (Ctrl.of_cfg cfg);
+      List.iter
+        (fun (l : Loops.loop) ->
+          Hashtbl.replace by_lid l.Loops.lid (f.Func.name, l))
+        li.Loops.loops)
+    m.Irmod.funcs;
+  { m; index; cfgs; loops; ctrls; by_lid }
+
+let cfg_of (t : t) (fname : string) : Cfg.t option = Hashtbl.find_opt t.cfgs fname
+let loops_of (t : t) (fname : string) : Loops.t option = Hashtbl.find_opt t.loops fname
+let ctrl_of (t : t) (fname : string) : Ctrl.t option = Hashtbl.find_opt t.ctrls fname
+
+(** Resolve an instruction id to its occurrence (function, block, instr). *)
+let occ (t : t) (id : int) : Irmod.Index.occurrence option =
+  Irmod.Index.find t.index id
+
+(** Resolve a loop id to its function name and loop. *)
+let loop_of_lid (t : t) (lid : string) : (string * Loops.loop) option =
+  Hashtbl.find_opt t.by_lid lid
+
+(** The function that owns instruction [id]. *)
+let func_of_instr (t : t) (id : int) : Func.t option =
+  Option.map (fun (o : Irmod.Index.occurrence) -> o.Irmod.Index.func) (occ t id)
+
+(** Definition of register [r] inside function [fname]. *)
+let def (t : t) (fname : string) (r : string) : Instr.t option =
+  Irmod.Index.def t.index fname r

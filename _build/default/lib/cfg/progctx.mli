@@ -1,0 +1,31 @@
+(** Program-wide analysis context: per-function CFGs, static control-flow
+    views and loop info, plus the module-wide instruction index. Built once
+    per module and shared by profilers, analysis modules and clients. *)
+
+open Scaf_ir
+
+type t = {
+  m : Irmod.t;
+  index : Irmod.Index.index;
+  cfgs : (string, Cfg.t) Hashtbl.t;
+  loops : (string, Loops.t) Hashtbl.t;
+  ctrls : (string, Ctrl.t) Hashtbl.t;
+  by_lid : (string, string * Loops.loop) Hashtbl.t;
+}
+
+val build : Irmod.t -> t
+val cfg_of : t -> string -> Cfg.t option
+val loops_of : t -> string -> Loops.t option
+val ctrl_of : t -> string -> Ctrl.t option
+
+(** Resolve an instruction id to its (function, block, instruction). *)
+val occ : t -> int -> Irmod.Index.occurrence option
+
+(** Resolve a loop id ("function:header_label") to its owner and loop. *)
+val loop_of_lid : t -> string -> (string * Loops.loop) option
+
+val func_of_instr : t -> int -> Func.t option
+
+(** Definition of register [r] inside the named function (parameters have
+    no definition). *)
+val def : t -> string -> string -> Instr.t option

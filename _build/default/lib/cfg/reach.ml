@@ -1,0 +1,78 @@
+(** Path-sensitive reachability between *program points*.
+
+    A program point is [(block index, position)]; position [-1] denotes
+    block entry (before any instruction) and [max_int] denotes block exit
+    (after the terminator). Execution within a block is straight-line, so
+    "leaving a block" implies executing its whole suffix — the precision
+    kill-flow relies on.
+
+    All functions are parameterized by a successor function so they work on
+    both the real CFG and the speculative one (dead blocks filtered out). *)
+
+type point = { blk : int; pos : int }
+
+let entry_of b = { blk = b; pos = -1 }
+let exit_of b = { blk = b; pos = max_int }
+
+(** [reaches ~succs ~block_ok ~from ~target] - plain block-level
+    reachability ([from] itself counts as reached only if [from = target]). *)
+let reaches ~(succs : int -> int list) ?(block_ok = fun _ -> true)
+    ~(from : int) ~(target : int) () : bool =
+  if from = target then true
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec go frontier =
+      match frontier with
+      | [] -> false
+      | b :: rest ->
+          if b = target then true
+          else if Hashtbl.mem visited b || not (block_ok b) then go rest
+          else begin
+            Hashtbl.replace visited b ();
+            go (succs b @ rest)
+          end
+    in
+    go (succs from)
+  end
+
+(** [path_avoiding ~succs ~block_ok ~src ~dst ~kill] - does an execution
+    path exist that starts *after* point [src], reaches point [dst] (before
+    executing it), and never executes point [kill]?
+
+    Returns [false] exactly when every such path is cut by [kill] (or no
+    path exists at all); kill-flow treats a [false] answer, combined with a
+    must-overwrite at [kill], as a killed dependence. *)
+let path_avoiding ~(succs : int -> int list) ?(block_ok = fun _ -> true)
+    ~(src : point) ~(dst : point) ~(kill : point) () : bool =
+  let { blk = ba; pos = pa } = src in
+  let { blk = bb; pos = pb } = dst in
+  let { blk = bk; pos = pk } = kill in
+  (* Direct same-block segment: src .. dst without leaving the block. *)
+  let direct =
+    ba = bb && pb > pa && not (bk = ba && pk > pa && pk < pb)
+  in
+  if direct then true
+  else if bk = ba && pk > pa then
+    (* leaving src's block executes the killer *)
+    false
+  else if bk = bb && pk < pb then
+    (* entering dst's block executes the killer before dst *)
+    false
+  else begin
+    (* Block-level BFS from src's successors; a block equal to [bk] cannot
+       be traversed (entering it executes the killer before any exit). *)
+    let visited = Hashtbl.create 16 in
+    let rec go frontier =
+      match frontier with
+      | [] -> false
+      | b :: rest ->
+          if b = bb then true
+          else if Hashtbl.mem visited b || b = bk || not (block_ok b) then
+            go rest
+          else begin
+            Hashtbl.replace visited b ();
+            go (succs b @ rest)
+          end
+    in
+    block_ok ba && go (succs ba)
+  end

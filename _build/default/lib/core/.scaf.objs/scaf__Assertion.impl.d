@@ -1,0 +1,1 @@
+lib/core/assertion.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/core/join.ml: Aresult Assertion List Logs Response Stdlib

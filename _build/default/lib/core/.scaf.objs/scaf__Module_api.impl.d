@@ -1,0 +1,1 @@
+lib/core/module_api.ml: Aresult Query Response Scaf_cfg

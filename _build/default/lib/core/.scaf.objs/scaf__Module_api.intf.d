@@ -1,0 +1,1 @@
+lib/core/module_api.mli: Query Response Scaf_cfg

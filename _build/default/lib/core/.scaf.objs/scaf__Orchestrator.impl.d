@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Aresult Hashtbl Join List Module_api Query Response Scaf_cfg Stdlib

@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Hashtbl Join Module_api Query Response Scaf_cfg

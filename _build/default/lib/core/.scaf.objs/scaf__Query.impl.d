@@ -1,0 +1,1 @@
+lib/core/query.ml: Ctrl Fmt Scaf_cfg Scaf_ir Value

@@ -1,0 +1,1 @@
+lib/core/query.mli: Ctrl Fmt Scaf_cfg Scaf_ir Value

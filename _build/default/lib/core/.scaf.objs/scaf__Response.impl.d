@@ -1,0 +1,1 @@
+lib/core/response.ml: Aresult Assertion Fmt List Query Set String

@@ -1,0 +1,91 @@
+(** Speculative assertions (§3.2.3, §4.2.1).
+
+    An assertion is the analysis-side description of a dynamically-enforced
+    fact: which module produced it ([module_id]), where the client must
+    insert validation ([points]), what that validation is expected to cost
+    ([cost] — per-invocation latency x profiled execution count), which
+    program points its transformation would modify ([conflicts]), and a
+    machine-readable [payload] that the instrumentation pass (the
+    "transformation part" of the decomposed speculative transformation)
+    knows how to realize. *)
+
+type heap_kind = Read_only_heap | Short_lived_heap
+
+type payload =
+  | Ctrl_block_dead of { fname : string; label : string; beacon : int }
+      (** block [label] never executes; insert a misspec beacon at its head
+          (program point [beacon]) *)
+  | Value_predict of { load : int; value : int64 }
+      (** load [load] always produces [value]; insert an equality check *)
+  | Residue of { access : int; allowed : int }
+      (** the address of [access] keeps its 4-LSB residues inside the
+          16-bit set [allowed] *)
+  | Heap_separate of {
+      loop : string;
+      sites : int list;  (** heap/stack allocation sites to re-allocate *)
+      gsites : string list;  (** global objects to place in the heap *)
+      heap : heap_kind;
+      inside : int list;  (** accesses whose pointer must land in the heap *)
+      outside : int list;  (** accesses whose pointer must avoid the heap *)
+    }
+      (** re-allocate objects of the allocation [sites] into a separate
+          logical heap; guard pointers with heap(-absence) checks *)
+  | Short_lived_balance of { loop : string; sites : int list }
+      (** objects of [sites] die within each iteration of [loop]; check the
+          allocation/free balance at iteration end *)
+  | Points_to_objects of { instr : int }
+      (** full points-to object validation for [instr]'s pointer —
+          prohibitively expensive; never chosen by rational clients but
+          replaceable by cheaper heap checks (§4.2.3) *)
+  | Mem_nodep of { src : int; dst : int; cross : bool }
+      (** raw memory speculation: the dependence [src] -> [dst] does not
+          manifest; validate with shadow-memory tracking *)
+
+type t = {
+  module_id : string;
+  points : int list;  (** program points where validation attaches *)
+  cost : float;
+  conflicts : int list;
+      (** program points the transformation must modify (e.g. allocation
+          sites being re-allocated) *)
+  payload : payload;
+}
+
+(** Structural identity — used to deduplicate assertions inside options. *)
+let equal (a : t) (b : t) =
+  String.equal a.module_id b.module_id && a.payload = b.payload
+
+let compare (a : t) (b : t) =
+  Stdlib.compare (a.module_id, a.payload) (b.module_id, b.payload)
+
+(** [conflicts_with a b]: applying [a] prevents applying [b] (or vice
+    versa) because one's transformation modifies points the other needs
+    intact (§4.2.1 "Directives to Minimize Conflicts"). *)
+let conflicts_with (a : t) (b : t) : bool =
+  (not (equal a b))
+  && (List.exists (fun p -> List.mem p b.conflicts) a.conflicts
+     || List.exists (fun p -> List.mem p b.points) a.conflicts
+     || List.exists (fun p -> List.mem p a.points) b.conflicts)
+
+let pp_payload ppf = function
+  | Ctrl_block_dead { fname; label; _ } ->
+      Fmt.pf ppf "block %s:%s never executes" fname label
+  | Value_predict { load; value } ->
+      Fmt.pf ppf "load %d always yields %Ld" load value
+  | Residue { access; allowed } ->
+      Fmt.pf ppf "access %d residues in %#x" access allowed
+  | Heap_separate { loop; sites; heap; _ } ->
+      Fmt.pf ppf "%s-separate sites [%a] for %s"
+        (match heap with Read_only_heap -> "read-only" | Short_lived_heap -> "short-lived")
+        (Fmt.list ~sep:Fmt.comma Fmt.int) sites loop
+  | Short_lived_balance { loop; sites } ->
+      Fmt.pf ppf "short-lived balance of [%a] in %s"
+        (Fmt.list ~sep:Fmt.comma Fmt.int) sites loop
+  | Points_to_objects { instr } -> Fmt.pf ppf "points-to objects of %d" instr
+  | Mem_nodep { src; dst; cross } ->
+      Fmt.pf ppf "no %s dep %d->%d"
+        (if cross then "cross-iteration" else "intra-iteration")
+        src dst
+
+let pp ppf (a : t) =
+  Fmt.pf ppf "[%s: %a (cost %.1f)]" a.module_id pp_payload a.payload a.cost

@@ -1,0 +1,51 @@
+(** Speculative assertions (§3.2.3, §4.2.1): the analysis-side description
+    of a dynamically-enforced fact a client must validate to use a
+    speculative answer. *)
+
+type heap_kind = Read_only_heap | Short_lived_heap
+
+(** What the client's instrumentation must realize (the "transformation
+    part" of each decomposed speculative technique). *)
+type payload =
+  | Ctrl_block_dead of { fname : string; label : string; beacon : int }
+      (** block never executes; insert a misspec beacon at its head *)
+  | Value_predict of { load : int; value : int64 }
+      (** the load always produces [value]; check equality after it *)
+  | Residue of { access : int; allowed : int }
+      (** the access's address keeps its 4-LSB residue in the 16-bit set *)
+  | Heap_separate of {
+      loop : string;
+      sites : int list;  (** heap/stack allocation sites to re-allocate *)
+      gsites : string list;  (** global objects to place in the heap *)
+      heap : heap_kind;
+      inside : int list;  (** accesses whose pointer must land in the heap *)
+      outside : int list;  (** accesses whose pointer must avoid the heap *)
+    }
+  | Short_lived_balance of { loop : string; sites : int list }
+      (** allocation/free balance checked at every iteration end *)
+  | Points_to_objects of { instr : int }
+      (** full points-to validation — prohibitively expensive (§4.2.3) *)
+  | Mem_nodep of { src : int; dst : int; cross : bool }
+      (** raw memory speculation, validated through shadow memory *)
+
+type t = {
+  module_id : string;  (** which speculation module produced it *)
+  points : int list;  (** program points where validation attaches *)
+  cost : float;  (** per-invocation latency x profiled execution count *)
+  conflicts : int list;
+      (** program points the transformation must modify; used to detect
+          mutually-exclusive assertions ahead of time *)
+  payload : payload;
+}
+
+(** Structural identity (module + payload); deduplicates options. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [conflicts_with a b] — applying [a] prevents applying [b] or vice
+    versa (§4.2.1 "Directives to Minimize Conflicts"). Irreflexive. *)
+val conflicts_with : t -> t -> bool
+
+val pp_payload : payload Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,43 @@
+(** Validation-cost model (§4.2.1 "Estimated Cost Computation").
+
+    The cost of an assertion is a per-invocation latency estimate for its
+    validation code multiplied by the profiled execution count of the
+    guarded operation. Unit latencies below are in abstract cycle units,
+    scaled relative to each other like the paper's Figure 7 code snippets:
+    every SCAF check is a few ALU ops and a branch; the memory-speculation
+    check adds shadow-memory loads/stores and metadata updates. *)
+
+(** Control speculation: the branch is computed anyway; validation is a
+    never-executed call on the dead path (§4.2.4 — "practically zero"). *)
+let ctrl_check = 0.0
+
+(** Residue check: two bitwise ops and a branch (Figure 7a shape). *)
+let residue_check = 2.0
+
+(** Value-prediction check: compare loaded value against the prediction. *)
+let value_check = 2.0
+
+(** Points-to heap check: mask, compare, branch (Figure 7a). *)
+let heap_check = 3.0
+
+(** Short-lived balance check, once per loop iteration. *)
+let iter_check = 2.0
+
+(** Full points-to object validation: "in general, expensive and
+    complicated. Thus, we assign a prohibitively high cost" (§4.2.3). *)
+let prohibitive = 1e12
+
+(** Memory-speculation check per guarded access (Figure 7b): shadow-memory
+    load + metadata check + metadata update + shadow store, and for
+    cross-iteration dependences under parallelization, footprint
+    communication between workers. *)
+let memspec_check = 40.0
+
+(** [scaled unit count] - total cost of a validation executed [count]
+    times during profiling. *)
+let scaled (unit : float) (count : int) : float = unit *. float_of_int count
+
+(** A client-facing threshold: options costlier than this are not worth
+    returning (used to discard points-to-predicated responses in the
+    evaluation, §5). *)
+let affordable (cost : float) : bool = cost < prohibitive

@@ -1,0 +1,21 @@
+(** Validation-cost model (§4.2.1): per-invocation latency estimates, in
+    abstract cycle units scaled like the paper's Figure 7 — SCAF checks are
+    a few ALU ops and a branch; the memory-speculation check adds
+    shadow-memory traffic. An assertion's cost is the unit latency times
+    the guarded operation's profiled execution count. *)
+
+val ctrl_check : float
+val residue_check : float
+val value_check : float
+val heap_check : float
+val iter_check : float
+
+(** Cost assigned to full points-to validation — "prohibitively high"
+    (§4.2.3); rational clients never select it. *)
+val prohibitive : float
+
+val memspec_check : float
+val scaled : float -> int -> float
+
+(** Would a rational client pay this? ([cost < prohibitive]) *)
+val affordable : float -> bool

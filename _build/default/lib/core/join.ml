@@ -1,0 +1,101 @@
+(** Response joining — Algorithm 2 of the paper, including the
+    assertion-set semantics [S1 + S2] (union of options) and [S1 x S2]
+    (cross product of options), the precision order, the [Mod]/[Ref]
+    combination into [NoModRef], and conflict handling. *)
+
+module Sset = Response.Sset
+
+type policy = All | Cheapest
+
+let policy_name = function All -> "ALL" | Cheapest -> "CHEAPEST"
+
+(* O1 + O2: union of two assertion conjunctions, deduplicated. *)
+let merge_option (o1 : Assertion.t list) (o2 : Assertion.t list) :
+    Assertion.t list =
+  List.sort_uniq Assertion.compare (o1 @ o2)
+
+(* Does option [o] contain internally conflicting assertions? *)
+let option_consistent (o : Assertion.t list) : bool =
+  let rec go = function
+    | [] -> true
+    | a :: rest ->
+        (not (List.exists (Assertion.conflicts_with a) rest)) && go rest
+  in
+  go o
+
+let dedup_options (os : Assertion.t list list) : Assertion.t list list =
+  let sorted = List.map (List.sort_uniq Assertion.compare) os in
+  List.sort_uniq Stdlib.compare sorted
+
+(* S1 x S2: all pairwise combinations whose assertions are mutually
+   consistent. An empty product means every combination conflicts. *)
+let product (s1 : Assertion.t list list) (s2 : Assertion.t list list) :
+    Assertion.t list list =
+  List.concat_map
+    (fun o1 ->
+      List.filter_map
+        (fun o2 ->
+          let o = merge_option o1 o2 in
+          if option_consistent o then Some o else None)
+        s2)
+    s1
+  |> dedup_options
+
+(* cheaper(S1, S2): the side whose best option costs less. *)
+let cheaper (r1 : Response.t) (r2 : Response.t) : Response.t =
+  if Response.cheapest_cost r1 <= Response.cheapest_cost r2 then r1 else r2
+
+(* Same-precision but contradictory results (e.g. NoAlias vs MustAlias).
+   With speculation in play this is possible under different profiles; the
+   cost-free (or cheaper) side wins. Two contradictory *cost-free* results
+   indicate an analysis bug (§3.3), which we surface via Logs. *)
+let handle_conflicting_results (r1 : Response.t) (r2 : Response.t) :
+    Response.t =
+  if Response.has_free_option r1 && Response.has_free_option r2 then
+    Logs.warn (fun m ->
+        m "conflicting assertion-free analysis results: %a vs %a — analysis bug"
+          Aresult.pp r1.Response.result Aresult.pp r2.Response.result);
+  match (Response.has_free_option r1, Response.has_free_option r2) with
+  | true, false -> r1
+  | false, true -> r2
+  | _ -> cheaper r1 r2
+
+(** [join policy r1 r2] — Algorithm 2. *)
+let join (policy : policy) (r1 : Response.t) (r2 : Response.t) : Response.t =
+  let open Response in
+  let p1 = Aresult.pr r1.result and p2 = Aresult.pr r2.result in
+  if p1 > p2 then r1
+  else if p2 > p1 then r2
+  else if Aresult.equal r1.result r2.result then
+    match policy with
+    | All ->
+        {
+          result = r1.result;
+          options = dedup_options (r1.options @ r2.options);
+          provenance = Sset.union r1.provenance r2.provenance;
+        }
+    | Cheapest ->
+        (* the loser's options (and thus its provenance) are discarded *)
+        cheaper r1 r2
+  else
+    match (r1.result, r2.result) with
+    | Aresult.RModref Aresult.Mod, Aresult.RModref Aresult.Ref
+    | Aresult.RModref Aresult.Ref, Aresult.RModref Aresult.Mod -> (
+        (* One side proves "never reads", the other "never writes": their
+           conjunction proves NoModRef — the collaboration special case. *)
+        match product r1.options r2.options with
+        | [] ->
+            (* every combination of assertions conflicts *)
+            cheaper r1 r2
+        | options ->
+            {
+              result = Aresult.RModref Aresult.NoModRef;
+              options;
+              provenance = Sset.union r1.provenance r2.provenance;
+            })
+    | _ -> handle_conflicting_results r1 r2
+
+(** N-way fold of [join] starting from the conservative bottom. *)
+let join_all (policy : policy) (bottom : Response.t) (rs : Response.t list) :
+    Response.t =
+  List.fold_left (join policy) bottom rs

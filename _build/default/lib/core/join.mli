@@ -1,0 +1,30 @@
+(** Response joining — Algorithm 2 of the paper. *)
+
+type policy =
+  | All  (** collect every way a query can be resolved (global reasoning) *)
+  | Cheapest  (** keep only the locally optimal option set *)
+
+val policy_name : policy -> string
+
+(** [O1 + O2]: union of two assertion conjunctions, deduplicated. *)
+val merge_option : Assertion.t list -> Assertion.t list -> Assertion.t list
+
+val option_consistent : Assertion.t list -> bool
+val dedup_options : Assertion.t list list -> Assertion.t list list
+
+(** [S1 x S2]: all pairwise combinations whose assertions are mutually
+    consistent; empty when every combination conflicts. *)
+val product :
+  Assertion.t list list -> Assertion.t list list -> Assertion.t list list
+
+(** The side whose best option costs less. *)
+val cheaper : Response.t -> Response.t -> Response.t
+
+(** [join policy r1 r2] — Algorithm 2: higher precision wins; equal results
+    merge per [policy]; [Mod] x [Ref] combines into [NoModRef] under the
+    product of their assertion sets; contradictory equal-precision results
+    resolve toward the assertion-free (or cheaper) side, warning when both
+    are assertion-free (an analysis bug, §3.3). *)
+val join : policy -> Response.t -> Response.t -> Response.t
+
+val join_all : policy -> Response.t -> Response.t list -> Response.t

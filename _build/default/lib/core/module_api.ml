@@ -1,0 +1,36 @@
+(** The analysis-module interface.
+
+    A module — memory analysis or speculation — answers queries through
+    [answer]. *Factored* modules may formulate premise queries from an
+    incoming query and submit them through [ctx.handle]; the Orchestrator
+    routes premises through the whole ensemble, so a module never knows (or
+    cares) who resolves them (§3.1). *)
+
+type ctx = {
+  prog : Scaf_cfg.Progctx.t;
+  handle : Query.t -> Response.t;
+      (** submit a premise query back to the Orchestrator *)
+  depth : int;  (** premise nesting depth of the incoming query *)
+}
+
+type kind = Memory | Speculation
+
+type t = {
+  name : string;
+  kind : kind;
+  factored : bool;  (** does this module generate premise queries? *)
+  answer : ctx -> Query.t -> Response.t;
+}
+
+(** "I cannot improve on the conservative answer." *)
+let no_answer (q : Query.t) : Response.t = Response.bottom_for q
+
+(** Wrap [answer] so that any non-bottom response carries the module's name
+    in its provenance. *)
+let make ~name ~kind ~factored answer : t =
+  let answer ctx q =
+    let r = answer ctx q in
+    if Aresult.is_bottom r.Response.result && r.Response.options = [ [] ] then r
+    else Response.add_provenance name r
+  in
+  { name; kind; factored; answer }

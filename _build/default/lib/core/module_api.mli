@@ -1,0 +1,35 @@
+(** The analysis-module interface.
+
+    A module — memory analysis or speculation — answers queries through
+    [answer]. *Factored* modules may formulate premise queries from an
+    incoming query and submit them through [ctx.handle]; the Orchestrator
+    routes premises through the whole ensemble, so a module never knows who
+    resolves them (§3.1). *)
+
+type ctx = {
+  prog : Scaf_cfg.Progctx.t;
+  handle : Query.t -> Response.t;
+      (** submit a premise query back to the Orchestrator *)
+  depth : int;  (** premise nesting depth of the incoming query *)
+}
+
+type kind = Memory | Speculation
+
+type t = {
+  name : string;
+  kind : kind;
+  factored : bool;  (** does this module generate premise queries? *)
+  answer : ctx -> Query.t -> Response.t;
+}
+
+(** "I cannot improve on the conservative answer." *)
+val no_answer : Query.t -> Response.t
+
+(** Build a module; every non-bottom answer automatically carries the
+    module's name in its provenance. *)
+val make :
+  name:string ->
+  kind:kind ->
+  factored:bool ->
+  (ctx -> Query.t -> Response.t) ->
+  t

@@ -1,0 +1,138 @@
+(** The Orchestrator (§3.3, Algorithm 1).
+
+    Coordinates all module interactions: forwards client queries to modules
+    in configured order, joins their responses under the configured join
+    policy, stops according to the bail-out policy, and routes premise
+    queries back through the ensemble (with a recursion budget so factored
+    modules cannot ping-pong forever).
+
+    Configurability per the paper: module subset and order, join policy
+    (ALL vs CHEAPEST), bail-out policy (definite-and-free, definite-at-any-
+    cost, exhaustive), and the desired-result ablation switch. *)
+
+type bailout =
+  | Definite_free  (** stop at a maximally precise, assertion-free answer *)
+  | Definite_any  (** stop at a maximally precise answer regardless of cost *)
+  | Exhaustive  (** always consult every module *)
+  | Timeout of float
+      (** definite-free, plus a per-client-query budget in [clock] units
+          (for clients sensitive to compilation time, §3.3) *)
+
+type config = {
+  modules : Module_api.t list;  (** consulted in order *)
+  join_policy : Join.policy;
+  bailout : bailout;
+  max_premise_depth : int;
+  respect_desired : bool;
+      (** when false, the desired-result parameter is stripped from premise
+          queries (the Figure 10 ablation) *)
+  clock : (unit -> float) option;  (** for per-query latency statistics *)
+}
+
+let default_config (modules : Module_api.t list) : config =
+  {
+    modules;
+    join_policy = Join.Cheapest;
+    bailout = Definite_free;
+    max_premise_depth = 4;
+    respect_desired = true;
+    clock = None;
+  }
+
+type stats = {
+  mutable client_queries : int;
+  mutable premise_queries : int;
+  mutable module_evals : int;
+  mutable latencies : float list;  (** per client query, reversed *)
+}
+
+type t = {
+  config : config;
+  prog : Scaf_cfg.Progctx.t;
+  stats : stats;
+  cache : (Query.t, Response.t) Hashtbl.t;
+      (** structural memo for repeated (premise) queries; only queries
+          without a control-flow view are keyed (views are closures) *)
+  deadline : float option ref;
+      (** per-client-query deadline when the bail-out policy is [Timeout] *)
+}
+
+let create (prog : Scaf_cfg.Progctx.t) (config : config) : t =
+  {
+    config;
+    prog;
+    stats =
+      { client_queries = 0; premise_queries = 0; module_evals = 0; latencies = [] };
+    cache = Hashtbl.create 1024;
+    deadline = ref None;
+  }
+
+let cacheable (q : Query.t) : bool =
+  match q with
+  | Query.Alias _ -> true
+  | Query.Modref m -> m.Query.mctrl = None
+
+let should_bail (t : t) (r : Response.t) : bool =
+  match t.config.bailout with
+  | Definite_free -> Response.is_definite_free r
+  | Definite_any -> Aresult.is_definite r.Response.result
+  | Exhaustive -> false
+  | Timeout _ -> (
+      Response.is_definite_free r
+      ||
+      match (!(t.deadline), t.config.clock) with
+      | Some d, Some clock -> clock () >= d
+      | _ -> false)
+
+let rec handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
+  match if cacheable q then Hashtbl.find_opt t.cache q else None with
+  | Some r -> r
+  | None -> handle_uncached t depth q
+
+and handle_uncached (t : t) (depth : int) (q : Query.t) : Response.t =
+  let ctx =
+    {
+      Module_api.prog = t.prog;
+      depth;
+      handle =
+        (fun pq ->
+          if depth + 1 > t.config.max_premise_depth then Response.bottom_for pq
+          else begin
+            t.stats.premise_queries <- t.stats.premise_queries + 1;
+            let pq =
+              if t.config.respect_desired then pq else Query.without_desired pq
+            in
+            handle_at t (depth + 1) pq
+          end);
+    }
+  in
+  let final = ref (Response.bottom_for q) in
+  (try
+     List.iter
+       (fun (m : Module_api.t) ->
+         t.stats.module_evals <- t.stats.module_evals + 1;
+         let res = m.Module_api.answer ctx q in
+         final := Join.join t.config.join_policy !final res;
+         if should_bail t !final then raise Stdlib.Exit)
+       t.config.modules
+   with Stdlib.Exit -> ());
+  (* memoize answers computed with (nearly) full premise budget *)
+  if depth <= 1 && cacheable q then Hashtbl.replace t.cache q !final;
+  !final
+
+(** [handle t q] — Algorithm 1: resolve a client query. *)
+let handle (t : t) (q : Query.t) : Response.t =
+  t.stats.client_queries <- t.stats.client_queries + 1;
+  match t.config.clock with
+  | None -> handle_at t 0 q
+  | Some clock ->
+      let t0 = clock () in
+      (match t.config.bailout with
+      | Timeout budget -> t.deadline := Some (t0 +. budget)
+      | _ -> ());
+      let r = handle_at t 0 q in
+      t.stats.latencies <- (clock () -. t0) :: t.stats.latencies;
+      r
+
+(** Latencies of all client queries so far, in query order. *)
+let latencies (t : t) : float list = List.rev t.stats.latencies

@@ -1,0 +1,51 @@
+(** The Orchestrator (§3.3, Algorithm 1): forwards queries to modules in
+    configured order, joins their responses, stops per the bail-out policy
+    and routes premise queries back through the ensemble with a recursion
+    budget. Configurable per the paper: module subset and order, join
+    policy, bail-out policy, and the desired-result ablation switch. *)
+
+type bailout =
+  | Definite_free  (** stop at a maximally precise, assertion-free answer *)
+  | Definite_any  (** stop at a maximally precise answer regardless of cost *)
+  | Exhaustive  (** always consult every module *)
+  | Timeout of float
+      (** definite-free, plus a per-client-query budget in [clock] units
+          (for clients sensitive to compilation time, §3.3) *)
+
+type config = {
+  modules : Module_api.t list;  (** consulted in order *)
+  join_policy : Join.policy;
+  bailout : bailout;
+  max_premise_depth : int;
+  respect_desired : bool;
+      (** when false, the desired-result parameter is stripped from premise
+          queries (the Figure 10 ablation) *)
+  clock : (unit -> float) option;  (** per-query latency statistics *)
+}
+
+(** CHEAPEST join, definite-free bail-out, premise depth 4, desired-result
+    respected, no clock. *)
+val default_config : Module_api.t list -> config
+
+type stats = {
+  mutable client_queries : int;
+  mutable premise_queries : int;
+  mutable module_evals : int;
+  mutable latencies : float list;
+}
+
+type t = {
+  config : config;
+  prog : Scaf_cfg.Progctx.t;
+  stats : stats;
+  cache : (Query.t, Response.t) Hashtbl.t;
+  deadline : float option ref;
+}
+
+val create : Scaf_cfg.Progctx.t -> config -> t
+
+(** [handle t q] — Algorithm 1: resolve a client query. *)
+val handle : t -> Query.t -> Response.t
+
+(** Client-query latencies so far, in query order (needs [clock]). *)
+val latencies : t -> float list

@@ -1,0 +1,122 @@
+(** SCAF's dependence-analysis query language (Figure 3).
+
+    Two query types, as in LLVM/CAF: [alias] between two memory locations,
+    and [modref] between an instruction and a location or between two
+    instructions. SCAF's extensions over CAF (colored in the paper's
+    Figure 3) are all here:
+
+    - the *temporal relation* scopes the query to intra-iteration ([Same])
+      or cross-iteration ([Before]/[After]) dynamic instances;
+    - the optional *control-flow view* ([ctrl]: dominator + post-dominator
+      trees) lets speculation modules hand speculative control flow to
+      control-flow-sensitive modules;
+    - the optional *desired result* lets factored modules ask exactly the
+      alias answer they need, so other modules can bail out early;
+    - the optional *calling context* disambiguates dynamic instances of one
+      static instruction. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type temporal = Before | Same | After
+
+type desired = DNoAlias | DMustAlias
+
+(** A memory location: a pointer-valued SSA expression and an access size,
+    interpreted in function [fname]. *)
+type memloc = { ptr : Value.t; size : int; fname : string }
+
+type alias_q = {
+  a1 : memloc;
+  atr : temporal;
+  a2 : memloc;
+  aloop : string option;  (** loop id scoping dynamic instances *)
+  acc : int list option;  (** calling context *)
+  adr : desired option;  (** desired result *)
+}
+
+type modref_target = TLoc of memloc | TInstr of int
+
+type modref_q = {
+  minstr : int;  (** the (potentially) accessing instruction *)
+  mtr : temporal;
+  mtarget : modref_target;
+  mloop : string option;
+  mcc : int list option;
+  mctrl : Ctrl.t option;  (** dominator/post-dominator trees (dt, pdt) *)
+}
+
+type t = Alias of alias_q | Modref of modref_q
+
+let flip_temporal = function Before -> After | After -> Before | Same -> Same
+
+let temporal_name = function
+  | Before -> "Before"
+  | Same -> "Same"
+  | After -> "After"
+
+(** [alias] smart constructor. *)
+let alias ?loop ?cc ?dr ~fname ~tr (p1, s1) (p2, s2) : t =
+  Alias
+    {
+      a1 = { ptr = p1; size = s1; fname };
+      atr = tr;
+      a2 = { ptr = p2; size = s2; fname };
+      aloop = loop;
+      acc = cc;
+      adr = dr;
+    }
+
+(** [modref_instrs] smart constructor: may [i1] read or write the memory
+    footprint of [i2] (with [i1] positioned [tr] relative to [i2])? *)
+let modref_instrs ?loop ?cc ?ctrl ~tr i1 i2 : t =
+  Modref
+    {
+      minstr = i1;
+      mtr = tr;
+      mtarget = TInstr i2;
+      mloop = loop;
+      mcc = cc;
+      mctrl = ctrl;
+    }
+
+let modref_loc ?loop ?cc ?ctrl ~tr i (ptr, size, fname) : t =
+  Modref
+    {
+      minstr = i;
+      mtr = tr;
+      mtarget = TLoc { ptr; size; fname };
+      mloop = loop;
+      mcc = cc;
+      mctrl = ctrl;
+    }
+
+let is_alias = function Alias _ -> true | Modref _ -> false
+
+(** Strip the desired-result parameter (the Figure 10 ablation). *)
+let without_desired = function
+  | Alias a -> Alias { a with adr = None }
+  | Modref _ as q -> q
+
+let pp_memloc ppf (l : memloc) =
+  Fmt.pf ppf "(%a,%d)@@%s" Value.pp l.ptr l.size l.fname
+
+let pp ppf = function
+  | Alias a ->
+      Fmt.pf ppf "alias(%a, %s, %a%a%a)" pp_memloc a.a1
+        (temporal_name a.atr) pp_memloc a.a2
+        (Fmt.option (fun ppf l -> Fmt.pf ppf ", loop=%s" l))
+        a.aloop
+        (Fmt.option (fun ppf d ->
+             Fmt.pf ppf ", dr=%s"
+               (match d with DNoAlias -> "NoAlias" | DMustAlias -> "MustAlias")))
+        a.adr
+  | Modref m ->
+      Fmt.pf ppf "modref(%d, %s, %a%a%s)" m.minstr (temporal_name m.mtr)
+        (fun ppf -> function
+          | TLoc l -> pp_memloc ppf l
+          | TInstr i -> Fmt.pf ppf "instr %d" i)
+        m.mtarget
+        (Fmt.option (fun ppf l -> Fmt.pf ppf ", loop=%s" l))
+        m.mloop
+        (match m.mctrl with Some _ -> ", ctrl" | None -> "")

@@ -1,0 +1,82 @@
+(** SCAF's dependence-analysis query language (paper Figure 3).
+
+    Two query types, as in LLVM/CAF: [alias] between two memory locations
+    and [modref] between an instruction and a location or another
+    instruction. SCAF's extensions: the temporal relation, the optional
+    control-flow view ([Scaf_cfg.Ctrl.t] — possibly speculative dominator/
+    post-dominator trees), the optional desired result (early bail-out for
+    premise queries) and the optional calling context. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+(** Positions the first operand's dynamic instances relative to the
+    second's: [Before]/[After] are cross-iteration (strictly earlier/later
+    iteration of the scoping loop), [Same] is intra-iteration. *)
+type temporal = Before | Same | After
+
+(** The exact alias answer a factored module needs from a premise query;
+    responders may bail out as soon as they know they cannot produce it. *)
+type desired = DNoAlias | DMustAlias
+
+(** A memory location: a pointer-valued SSA expression and a byte size,
+    interpreted in function [fname]. *)
+type memloc = { ptr : Value.t; size : int; fname : string }
+
+type alias_q = {
+  a1 : memloc;
+  atr : temporal;
+  a2 : memloc;
+  aloop : string option;  (** loop id scoping the dynamic instances *)
+  acc : int list option;  (** calling context *)
+  adr : desired option;
+}
+
+type modref_target = TLoc of memloc | TInstr of int
+
+type modref_q = {
+  minstr : int;
+  mtr : temporal;
+  mtarget : modref_target;
+  mloop : string option;
+  mcc : int list option;
+  mctrl : Ctrl.t option;  (** the (dt, pdt) parameters of Figure 3 *)
+}
+
+type t = Alias of alias_q | Modref of modref_q
+
+val flip_temporal : temporal -> temporal
+val temporal_name : temporal -> string
+
+(** [alias ~fname ~tr (p1, s1) (p2, s2)] — may the two locations alias? *)
+val alias :
+  ?loop:string ->
+  ?cc:int list ->
+  ?dr:desired ->
+  fname:string ->
+  tr:temporal ->
+  Value.t * int ->
+  Value.t * int ->
+  t
+
+(** [modref_instrs ~tr i1 i2] — may [i1] read or write the memory footprint
+    of [i2], with [i1] positioned [tr] relative to [i2]? *)
+val modref_instrs :
+  ?loop:string -> ?cc:int list -> ?ctrl:Ctrl.t -> tr:temporal -> int -> int -> t
+
+val modref_loc :
+  ?loop:string ->
+  ?cc:int list ->
+  ?ctrl:Ctrl.t ->
+  tr:temporal ->
+  int ->
+  Value.t * int * string ->
+  t
+
+val is_alias : t -> bool
+
+(** Strip the desired-result parameter (the Figure 10 ablation). *)
+val without_desired : t -> t
+
+val pp_memloc : memloc Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,82 @@
+(** Query responses: a result plus the set of assertion *options* under
+    which it holds (Figure 3's Response Syntax).
+
+    [options] is a disjunction of conjunctions: the client may pick *any
+    one* option and must then validate *all* of that option's assertions.
+    The cost-free response is represented by the single empty option
+    [[ [] ]]; an empty [options] list would mean "holds under no
+    circumstances" and never appears in well-formed responses.
+
+    [provenance] records which modules contributed to this answer
+    (directly or through premise queries) — the bookkeeping behind the
+    paper's Table 2. *)
+
+module Sset = Set.Make (String)
+
+type t = {
+  result : Aresult.t;
+  options : Assertion.t list list;
+  provenance : Sset.t;
+}
+
+let make ?(options = [ [] ]) ?(provenance = Sset.empty) result =
+  { result; options; provenance }
+
+(** Cost-free conservative responses (the Orchestrator's starting point). *)
+let bottom_alias = make Aresult.bottom_alias
+let bottom_modref = make Aresult.bottom_modref
+
+let bottom_for (q : Query.t) =
+  match q with Query.Alias _ -> bottom_alias | Query.Modref _ -> bottom_modref
+
+(** A module asserting a fact with no speculation. *)
+let free ?provenance (r : Aresult.t) : t = make ?provenance r
+
+(** A speculative answer under one option of assertions. *)
+let speculative ?provenance (r : Aresult.t) (assertions : Assertion.t list) : t
+    =
+  make ~options:[ assertions ] ?provenance r
+
+let option_cost (o : Assertion.t list) : float =
+  List.fold_left (fun acc (a : Assertion.t) -> acc +. a.Assertion.cost) 0.0 o
+
+(** Cost of the cheapest option. *)
+let cheapest_cost (t : t) : float =
+  match t.options with
+  | [] -> infinity
+  | os -> List.fold_left (fun acc o -> min acc (option_cost o)) infinity os
+
+(** The cheapest option itself. *)
+let cheapest_option (t : t) : Assertion.t list option =
+  match t.options with
+  | [] -> None
+  | os ->
+      Some
+        (List.fold_left
+           (fun best o -> if option_cost o < option_cost best then o else best)
+           (List.hd os) (List.tl os))
+
+(** Does the response include a zero-cost (assertion-free) option? *)
+let has_free_option (t : t) : bool =
+  List.exists (fun o -> option_cost o = 0.0) t.options
+
+(** Is the response both maximally precise and free to use? This is the
+    Orchestrator's default bail-out condition. *)
+let is_definite_free (t : t) : bool =
+  Aresult.is_definite t.result && has_free_option t
+
+let add_provenance (name : string) (t : t) : t =
+  { t with provenance = Sset.add name t.provenance }
+
+let merge_provenance (a : Sset.t) (t : t) : t =
+  { t with provenance = Sset.union a t.provenance }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "%a" Aresult.pp t.result;
+  match t.options with
+  | [ [] ] -> ()
+  | os ->
+      Fmt.pf ppf " under %a"
+        (Fmt.list ~sep:(Fmt.any " | ") (fun ppf o ->
+             Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma Assertion.pp) o))
+        os

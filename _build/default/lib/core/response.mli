@@ -1,0 +1,43 @@
+(** Query responses (Figure 3's Response Syntax): a result plus the
+    assertion *options* under which it holds.
+
+    [options] is a disjunction of conjunctions: a client picks any one
+    option and must validate all of that option's assertions. The cost-free
+    response is the single empty option [[ [] ]]. [provenance] records the
+    modules that contributed (directly or through premise queries) — the
+    bookkeeping behind the paper's Table 2. *)
+
+module Sset : Set.S with type elt = string
+
+type t = {
+  result : Aresult.t;
+  options : Assertion.t list list;
+  provenance : Sset.t;
+}
+
+val make :
+  ?options:Assertion.t list list -> ?provenance:Sset.t -> Aresult.t -> t
+
+val bottom_alias : t
+val bottom_modref : t
+
+(** The conservative response matching the query's type. *)
+val bottom_for : Query.t -> t
+
+(** An assertion-free (static) answer. *)
+val free : ?provenance:Sset.t -> Aresult.t -> t
+
+(** A speculative answer under a single option of assertions. *)
+val speculative : ?provenance:Sset.t -> Aresult.t -> Assertion.t list -> t
+
+val option_cost : Assertion.t list -> float
+val cheapest_cost : t -> float
+val cheapest_option : t -> Assertion.t list option
+val has_free_option : t -> bool
+
+(** Maximally precise *and* free — the default bail-out condition. *)
+val is_definite_free : t -> bool
+
+val add_provenance : string -> t -> t
+val merge_provenance : Sset.t -> t -> t
+val pp : t Fmt.t

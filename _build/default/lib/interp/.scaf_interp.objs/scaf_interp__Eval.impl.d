@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Block Func Hashtbl Hooks Instr Int64 Irmod List Memory Option Runtime Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/interp/hooks.ml: Block Func Instr List Memory Scaf_ir

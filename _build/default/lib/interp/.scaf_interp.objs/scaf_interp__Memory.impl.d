@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Bytes Char Fmt Hashtbl Int64 Map

@@ -1,0 +1,1 @@
+lib/interp/runtime.ml: Hashtbl Int64 Memory

@@ -1,0 +1,86 @@
+(** Instrumentation hooks for the interpreter.
+
+    Profilers observe execution exclusively through these callbacks; the
+    evaluator invokes them with enough context (instruction, resolved
+    object, calling context) that no profiler needs to re-implement address
+    resolution. *)
+
+open Scaf_ir
+
+type t = {
+  on_block : Func.t -> Block.t -> unit;
+      (** a block begins executing (after the edge hook) *)
+  on_edge : src_term:int -> src:string -> dst:string -> func:Func.t -> unit;
+      (** a control-flow edge is taken; [src_term] is the terminator id *)
+  on_load :
+    instr:Instr.t ->
+    addr:int64 ->
+    size:int ->
+    value:int64 ->
+    obj:Memory.obj option ->
+    ctx:int list ->
+    unit;
+  on_store :
+    instr:Instr.t ->
+    addr:int64 ->
+    size:int ->
+    value:int64 ->
+    obj:Memory.obj option ->
+    ctx:int list ->
+    unit;
+  on_alloc : obj:Memory.obj -> unit;
+  on_free : obj:Memory.obj -> unit;
+  on_instr : Instr.t -> unit;  (** every executed instruction *)
+  on_ptr :
+    instr:Instr.t -> addr:int64 -> obj:Memory.obj option -> ctx:int list -> unit;
+      (** a pointer-producing instruction (gep/alloca/malloc result) *)
+  on_call_enter : Func.t -> ctx:int list -> unit;
+      (** a user-function frame is pushed *)
+  on_call_exit : Func.t -> unit;  (** a user-function frame is popped *)
+}
+
+let nop : t =
+  {
+    on_block = (fun _ _ -> ());
+    on_edge = (fun ~src_term:_ ~src:_ ~dst:_ ~func:_ -> ());
+    on_load = (fun ~instr:_ ~addr:_ ~size:_ ~value:_ ~obj:_ ~ctx:_ -> ());
+    on_store = (fun ~instr:_ ~addr:_ ~size:_ ~value:_ ~obj:_ ~ctx:_ -> ());
+    on_alloc = (fun ~obj:_ -> ());
+    on_free = (fun ~obj:_ -> ());
+    on_instr = (fun _ -> ());
+    on_ptr = (fun ~instr:_ ~addr:_ ~obj:_ ~ctx:_ -> ());
+    on_call_enter = (fun _ ~ctx:_ -> ());
+    on_call_exit = (fun _ -> ());
+  }
+
+(** [combine a b] runs [a]'s callback then [b]'s for every event. *)
+let combine (a : t) (b : t) : t =
+  {
+    on_block = (fun f blk -> a.on_block f blk; b.on_block f blk);
+    on_edge =
+      (fun ~src_term ~src ~dst ~func ->
+        a.on_edge ~src_term ~src ~dst ~func;
+        b.on_edge ~src_term ~src ~dst ~func);
+    on_load =
+      (fun ~instr ~addr ~size ~value ~obj ~ctx ->
+        a.on_load ~instr ~addr ~size ~value ~obj ~ctx;
+        b.on_load ~instr ~addr ~size ~value ~obj ~ctx);
+    on_store =
+      (fun ~instr ~addr ~size ~value ~obj ~ctx ->
+        a.on_store ~instr ~addr ~size ~value ~obj ~ctx;
+        b.on_store ~instr ~addr ~size ~value ~obj ~ctx);
+    on_alloc = (fun ~obj -> a.on_alloc ~obj; b.on_alloc ~obj);
+    on_free = (fun ~obj -> a.on_free ~obj; b.on_free ~obj);
+    on_instr = (fun i -> a.on_instr i; b.on_instr i);
+    on_ptr =
+      (fun ~instr ~addr ~obj ~ctx ->
+        a.on_ptr ~instr ~addr ~obj ~ctx;
+        b.on_ptr ~instr ~addr ~obj ~ctx);
+    on_call_enter =
+      (fun f ~ctx ->
+        a.on_call_enter f ~ctx;
+        b.on_call_enter f ~ctx);
+    on_call_exit = (fun f -> a.on_call_exit f; b.on_call_exit f);
+  }
+
+let combine_all (hs : t list) : t = List.fold_left combine nop hs

@@ -1,0 +1,137 @@
+(** Object-granular memory for the MIR interpreter.
+
+    Every allocation (global, alloca, malloc) becomes an object with a
+    unique id, a virtual base address and a byte payload. Addresses are
+    dense enough for realistic pointer arithmetic *within* an object;
+    objects are spaced apart so stray arithmetic traps instead of silently
+    corrupting a neighbour. Loads and stores are little-endian. *)
+
+type obj_kind =
+  | KGlobal of string
+  | KStack of int  (** alloca site: instruction id *)
+  | KHeap of int  (** malloc/calloc site: instruction id *)
+
+type obj = {
+  oid : int;
+  base : int64;
+  size : int;
+  kind : obj_kind;
+  ctx : int list;  (** calling context at allocation (innermost first) *)
+  data : Bytes.t;
+  mutable live : bool;
+  mutable heap_tag : int;
+      (** logical heap for speculative separation; 0 = default heap *)
+}
+
+module Addr_map = Map.Make (Int64)
+
+type t = {
+  mutable next_base : int64;
+  mutable by_base : obj Addr_map.t;
+  objects : (int, obj) Hashtbl.t;
+  mutable next_oid : int;
+}
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+let create () =
+  {
+    next_base = 0x10000L;
+    by_base = Addr_map.empty;
+    objects = Hashtbl.create 64;
+    next_oid = 0;
+  }
+
+let align16 n = Int64.logand (Int64.add n 15L) (Int64.lognot 15L)
+
+(** [alloc t ~size ~kind ~ctx] creates a live, zero-initialized object. *)
+let alloc (t : t) ~(size : int) ~(kind : obj_kind) ~(ctx : int list) : obj =
+  if size < 0 then trap "allocation of negative size %d" size;
+  let size = max size 1 in
+  let oid = t.next_oid in
+  t.next_oid <- oid + 1;
+  let base = t.next_base in
+  (* leave a 16-byte guard gap between objects *)
+  t.next_base <- align16 (Int64.add base (Int64.of_int (size + 16)));
+  let o =
+    {
+      oid;
+      base;
+      size;
+      kind;
+      ctx;
+      data = Bytes.make size '\000';
+      live = true;
+      heap_tag = 0;
+    }
+  in
+  t.by_base <- Addr_map.add base o t.by_base;
+  Hashtbl.replace t.objects oid o;
+  o
+
+(** [find_addr t a] resolves address [a] to [(object, offset)]. Traps on
+    wild or dangling pointers. *)
+let find_addr (t : t) (a : int64) : obj * int =
+  match Addr_map.find_last_opt (fun b -> Int64.compare b a <= 0) t.by_base with
+  | None -> trap "wild pointer 0x%Lx" a
+  | Some (_, o) ->
+      let off = Int64.to_int (Int64.sub a o.base) in
+      if off >= o.size then trap "pointer 0x%Lx past object %d" a o.oid
+      else if not o.live then trap "use of freed object %d" o.oid
+      else (o, off)
+
+let find_addr_opt (t : t) (a : int64) : (obj * int) option =
+  match Addr_map.find_last_opt (fun b -> Int64.compare b a <= 0) t.by_base with
+  | Some (_, o) ->
+      let off = Int64.to_int (Int64.sub a o.base) in
+      if off < o.size && o.live then Some (o, off) else None
+  | None -> None
+
+let free (t : t) (a : int64) : obj =
+  let o, off = find_addr t a in
+  if off <> 0 then trap "free of interior pointer 0x%Lx" a;
+  (match o.kind with
+  | KHeap _ -> ()
+  | _ -> trap "free of non-heap object %d" o.oid);
+  o.live <- false;
+  o
+
+(** [load t a size] reads [size] bytes little-endian as a sign-agnostic
+    integer (zero-extended). *)
+let load (t : t) (a : int64) (size : int) : int64 =
+  let o, off = find_addr t a in
+  if off + size > o.size then
+    trap "load of %d bytes at 0x%Lx overruns object %d" size a o.oid;
+  let v = ref 0L in
+  for k = size - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get o.data (off + k))))
+  done;
+  !v
+
+let store (t : t) (a : int64) (size : int) (value : int64) : unit =
+  let o, off = find_addr t a in
+  if off + size > o.size then
+    trap "store of %d bytes at 0x%Lx overruns object %d" size a o.oid;
+  let v = ref value in
+  for k = 0 to size - 1 do
+    Bytes.set o.data (off + k)
+      (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done
+
+let memcpy (t : t) ~(dst : int64) ~(src : int64) ~(len : int) : unit =
+  for k = 0 to len - 1 do
+    let b = load t (Int64.add src (Int64.of_int k)) 1 in
+    store t (Int64.add dst (Int64.of_int k)) 1 b
+  done
+
+let memset (t : t) ~(dst : int64) ~(byte : int64) ~(len : int) : unit =
+  for k = 0 to len - 1 do
+    store t (Int64.add dst (Int64.of_int k)) 1 byte
+  done
+
+(** [kill t o] marks a returning frame's alloca dead. *)
+let kill (_t : t) (o : obj) : unit = o.live <- false

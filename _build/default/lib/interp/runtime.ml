@@ -1,0 +1,138 @@
+(** The speculation validation runtime (§4.2.5 and Figure 7).
+
+    Clients that act on SCAF responses insert validation code; this module
+    implements the semantics of those checks inside the interpreter, and is
+    also what the Figure 7 microbenchmarks measure:
+
+    - cheap checks: pointer-residue bit tests, points-to heap-tag tests,
+      value-prediction equality tests, control-speculation "misspec beacons"
+      on speculatively dead paths, short-lived liveness balance checks;
+    - the expensive check: shadow-memory memory-speculation validation
+      ([ms_read]/[ms_write]), which does metadata lookups and updates on
+      every access. *)
+
+exception Misspec of { tag : int64 }
+
+let misspec ~(tag : int64) = raise (Misspec { tag })
+
+type t = {
+  mem : Memory.t;
+  shadow : (int64, int64) Hashtbl.t;
+      (** shadow memory: byte address -> last writer group *)
+  tag_live : (int, int ref) Hashtbl.t;
+      (** per-heap-tag count of live separated objects *)
+  ms_forbidden : (int64 * int64, unit) Hashtbl.t;
+      (** (writer group, reader group) pairs asserted dependence-free *)
+  mutable cheap_checks : int;
+  mutable expensive_checks : int;
+}
+
+let create (mem : Memory.t) : t =
+  {
+    mem;
+    shadow = Hashtbl.create 1024;
+    tag_live = Hashtbl.create 8;
+    ms_forbidden = Hashtbl.create 16;
+    cheap_checks = 0;
+    expensive_checks = 0;
+  }
+
+(** Declare that no dependence from group [src] to group [dst] may
+    manifest (memory-speculation setup, inserted at program entry). *)
+let ms_forbid (t : t) ~(src : int64) ~(dst : int64) : unit =
+  Hashtbl.replace t.ms_forbidden (src, dst) ()
+
+(* ---- cheap checks ---- *)
+
+(** Residue check: the pointer's 4 least-significant bits must be a member
+    of the profiled residue set [allowed] (a 16-bit set). *)
+let check_residue (t : t) ~(addr : int64) ~(allowed : int64) ~(tag : int64) :
+    unit =
+  t.cheap_checks <- t.cheap_checks + 1;
+  let residue = Int64.to_int (Int64.logand addr 15L) in
+  if Int64.logand (Int64.shift_right_logical allowed residue) 1L = 0L then
+    misspec ~tag
+
+(** Heap check: the object holding [addr] must have been separated into
+    logical heap [heap_tag] (Figure 7a: [addr & MASK != EXPECTED]). *)
+let check_heap (t : t) ~(addr : int64) ~(heap_tag : int) ~(tag : int64) : unit
+    =
+  t.cheap_checks <- t.cheap_checks + 1;
+  match Memory.find_addr_opt t.mem addr with
+  | Some (o, _) when o.Memory.heap_tag = heap_tag -> ()
+  | _ -> misspec ~tag
+
+(** Inverse heap check: misspeculate when the object holding [addr] *is* in
+    logical heap [heap_tag] (guards writes against the read-only heap). *)
+let check_not_heap (t : t) ~(addr : int64) ~(heap_tag : int) ~(tag : int64) :
+    unit =
+  t.cheap_checks <- t.cheap_checks + 1;
+  match Memory.find_addr_opt t.mem addr with
+  | Some (o, _) when o.Memory.heap_tag = heap_tag -> misspec ~tag
+  | _ -> ()
+
+(** Move the object holding [addr] to logical heap [heap_tag] — the runtime
+    effect of re-allocating it to a separate heap at its allocation site. *)
+let set_heap (t : t) ~(addr : int64) ~(heap_tag : int) : unit =
+  match Memory.find_addr_opt t.mem addr with
+  | Some (o, _) ->
+      o.Memory.heap_tag <- heap_tag;
+      let c =
+        match Hashtbl.find_opt t.tag_live heap_tag with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.replace t.tag_live heap_tag c;
+            c
+      in
+      incr c
+  | None -> ()
+
+(** Called by the interpreter when a separated object dies. *)
+let note_free (t : t) (o : Memory.obj) : unit =
+  if o.Memory.heap_tag <> 0 then
+    match Hashtbl.find_opt t.tag_live o.Memory.heap_tag with
+    | Some c -> decr c
+    | None -> ()
+
+(** Value-prediction check (Figure: compare loaded value with prediction). *)
+let check_value (t : t) ~(value : int64) ~(predicted : int64) ~(tag : int64) :
+    unit =
+  t.cheap_checks <- t.cheap_checks + 1;
+  if not (Int64.equal value predicted) then misspec ~tag
+
+(** Short-lived balance check at iteration end: every object separated into
+    [heap_tag] must have been freed within the iteration. *)
+let iter_check (t : t) ~(heap_tag : int) ~(tag : int64) : unit =
+  t.cheap_checks <- t.cheap_checks + 1;
+  match Hashtbl.find_opt t.tag_live heap_tag with
+  | Some c when !c <> 0 -> misspec ~tag
+  | _ -> ()
+
+(* ---- the expensive check: memory speculation via shadow memory ---- *)
+
+(** [ms_write] records the writing group on the written bytes, after
+    checking that no forbidden output dependence manifests (Figure 7b:
+    load shadow, check metadata, update metadata, store shadow). *)
+let ms_write (t : t) ~(addr : int64) ~(size : int) ~(group : int64)
+    ~(tag : int64) : unit =
+  t.expensive_checks <- t.expensive_checks + 1;
+  for k = 0 to size - 1 do
+    let a = Int64.add addr (Int64.of_int k) in
+    (match Hashtbl.find_opt t.shadow a with
+    | Some g when Hashtbl.mem t.ms_forbidden (g, group) -> misspec ~tag
+    | _ -> ());
+    Hashtbl.replace t.shadow a group
+  done
+
+(** [ms_read] checks that the last writer of the read bytes is allowed to
+    feed this reading group. *)
+let ms_read (t : t) ~(addr : int64) ~(size : int) ~(group : int64)
+    ~(tag : int64) : unit =
+  t.expensive_checks <- t.expensive_checks + 1;
+  for k = 0 to size - 1 do
+    let a = Int64.add addr (Int64.of_int k) in
+    match Hashtbl.find_opt t.shadow a with
+    | Some g when Hashtbl.mem t.ms_forbidden (g, group) -> misspec ~tag
+    | _ -> ()
+  done

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func Instr Irmod List Printf String Value

@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Block Fmt Func Hashtbl Instr List Printf String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Fmt Func Instr Int64 Irmod Lexer List Option Printf Value

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Fmt Func Hashtbl Instr Irmod List Option Printf String Value

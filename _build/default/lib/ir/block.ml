@@ -1,0 +1,23 @@
+(** A basic block: a label, a straight-line instruction list and one
+    terminator. *)
+
+type t = { label : string; instrs : Instr.t list; term : Instr.term }
+
+(** [successors b] is the list of successor labels, in branch order. *)
+let successors (b : t) : string list =
+  match b.term.tkind with
+  | Instr.Br l -> [ l ]
+  | Instr.Condbr { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Instr.Ret _ | Instr.Unreachable -> []
+
+(** [phis b] is the (possibly empty) leading run of phi instructions. *)
+let phis (b : t) : Instr.t list =
+  List.filter (fun (i : Instr.t) -> match i.kind with Phi _ -> true | _ -> false) b.instrs
+
+let non_phis (b : t) : Instr.t list =
+  List.filter (fun (i : Instr.t) -> match i.kind with Phi _ -> false | _ -> true) b.instrs
+
+let pp ppf (b : t) =
+  Fmt.pf ppf "%s:@." b.label;
+  List.iter (fun i -> Fmt.pf ppf "  %a@." Instr.pp i) b.instrs;
+  Fmt.pf ppf "  %a@." Instr.pp_term b.term

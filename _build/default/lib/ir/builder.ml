@@ -1,0 +1,151 @@
+(** Programmatic construction of MIR modules.
+
+    The builder assigns fresh SSA register names and instruction ids, and is
+    the API used by tests, generated workloads and the instrumentation pass.
+    Textual programs (the benchmark suite) go through {!Parser} instead. *)
+
+type t = {
+  mutable globals : Irmod.global list;
+  mutable decls : Func.decl list;
+  mutable funcs : Func.t list;
+  mutable next_id : int;
+  mutable next_reg : int;
+}
+
+type fbuilder = {
+  parent : t;
+  fname : string;
+  params : string list;
+  mutable blocks : (string * Instr.t list ref * Instr.term option ref) list;
+  mutable current : (Instr.t list ref * Instr.term option ref) option;
+}
+
+let create () =
+  { globals = []; decls = []; funcs = []; next_id = 0; next_reg = 0 }
+
+(** [next_id_after m] is a fresh-id floor strictly above every id in [m];
+    instrumentation passes seed their id counter with it. *)
+let next_id_after (m : Irmod.t) : int =
+  let top = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter (fun (i : Instr.t) -> if i.id >= !top then top := i.id + 1) b.instrs;
+          if b.term.tid >= !top then top := b.term.tid + 1)
+        f.blocks)
+    m.funcs;
+  !top
+
+let fresh_id (b : t) =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  id
+
+let fresh_reg (b : t) =
+  let r = b.next_reg in
+  b.next_reg <- r + 1;
+  Printf.sprintf "t%d" r
+
+let add_global (b : t) ?(init = []) name size =
+  b.globals <- { Irmod.gname = name; gsize = size; ginit = init } :: b.globals
+
+let add_decl (b : t) name attrs =
+  b.decls <- { Func.dname = name; dattrs = attrs } :: b.decls
+
+let start_func (b : t) name params : fbuilder =
+  { parent = b; fname = name; params; blocks = []; current = None }
+
+(** [block fb label] starts (or re-enters is an error) block [label];
+    subsequent emissions append to it. *)
+let block (fb : fbuilder) label =
+  if List.exists (fun (l, _, _) -> String.equal l label) fb.blocks then
+    invalid_arg (Printf.sprintf "Builder.block: duplicate label %s" label);
+  let instrs = ref [] and term = ref None in
+  fb.blocks <- fb.blocks @ [ (label, instrs, term) ];
+  fb.current <- Some (instrs, term)
+
+let emitting fb =
+  match fb.current with
+  | Some (instrs, term) ->
+      if !term <> None then
+        invalid_arg "Builder: emitting after block terminator";
+      instrs
+  | None -> invalid_arg "Builder: no current block (call Builder.block first)"
+
+(** [emit fb ?dst kind] appends an instruction, returning its result value
+    (a fresh register if [dst] is omitted and the opcode produces one). *)
+let emit (fb : fbuilder) ?dst (kind : Instr.kind) : Value.t =
+  let instrs = emitting fb in
+  let produces =
+    match kind with Instr.Store _ -> false | Instr.Call { callee; _ } ->
+      (* calls to void intrinsics still get a dst only when requested *)
+      ignore callee;
+      true
+    | _ -> true
+  in
+  let dst =
+    match dst with
+    | Some d -> Some d
+    | None -> if produces then Some (fresh_reg fb.parent) else None
+  in
+  let i = { Instr.id = fresh_id fb.parent; dst; kind } in
+  instrs := i :: !instrs;
+  match dst with Some d -> Value.Reg d | None -> Value.Undef
+
+let emit_void (fb : fbuilder) (kind : Instr.kind) : unit =
+  let instrs = emitting fb in
+  let i = { Instr.id = fresh_id fb.parent; dst = None; kind } in
+  instrs := i :: !instrs
+
+let alloca fb ~size = emit fb (Instr.Alloca { size })
+let load fb ~size ptr = emit fb (Instr.Load { ptr; size })
+let store fb ~size ~ptr ~value = emit_void fb (Instr.Store { ptr; value; size })
+let gep fb base offset = emit fb (Instr.Gep { base; offset })
+let binop fb op a b = emit fb (Instr.Binop (op, a, b))
+let add fb a b = binop fb Instr.Add a b
+let sub fb a b = binop fb Instr.Sub a b
+let mul fb a b = binop fb Instr.Mul a b
+let icmp fb c a b = emit fb (Instr.Icmp (c, a, b))
+let call fb callee args = emit fb (Instr.Call { callee; args })
+let call_void fb callee args = emit_void fb (Instr.Call { callee; args })
+let phi fb incoming = emit fb (Instr.Phi incoming)
+
+(** [phi_named fb name incoming] defines a phi under a caller-chosen register
+    name, needed when the phi's incoming values reference it recursively. *)
+let phi_named fb name incoming = emit fb ~dst:name (Instr.Phi incoming)
+
+let set_term (fb : fbuilder) (tkind : Instr.term_kind) =
+  match fb.current with
+  | Some (_, term) ->
+      if !term <> None then invalid_arg "Builder: block already terminated";
+      term := Some { Instr.tid = fresh_id fb.parent; tkind }
+  | None -> invalid_arg "Builder: no current block"
+
+let br fb label = set_term fb (Instr.Br label)
+
+let condbr fb cond ~if_true ~if_false =
+  set_term fb (Instr.Condbr { cond; if_true; if_false })
+
+let ret fb v = set_term fb (Instr.Ret v)
+let unreachable fb = set_term fb Instr.Unreachable
+
+(** [end_func fb] seals the function and adds it to the module. *)
+let end_func (fb : fbuilder) =
+  let blocks =
+    List.map
+      (fun (label, instrs, term) ->
+        match !term with
+        | Some t -> { Block.label; instrs = List.rev !instrs; term = t }
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Builder.end_func: block %s of @%s not terminated"
+                 label fb.fname))
+      fb.blocks
+  in
+  if blocks = [] then
+    invalid_arg (Printf.sprintf "Builder.end_func: @%s has no blocks" fb.fname);
+  fb.parent.funcs <- fb.parent.funcs @ [ { Func.name = fb.fname; params = fb.params; blocks } ]
+
+let finish (b : t) : Irmod.t =
+  { Irmod.globals = List.rev b.globals; decls = List.rev b.decls; funcs = b.funcs }

@@ -1,0 +1,74 @@
+(** MIR functions and external declarations.
+
+    A definition has a body (the first block is the entry). A declaration is
+    an external function known only through attributes, which the analyses
+    use to summarize its memory behaviour (the MIR analogue of the C standard
+    library features CAF reasons about). *)
+
+type attr =
+  | Readnone  (** accesses no memory visible to the program *)
+  | Readonly  (** may read but never writes program memory *)
+  | Malloc_like  (** returns a fresh, unaliased allocation *)
+  | Free_like  (** deallocates its pointer argument *)
+  | Argmemonly  (** touches only memory reachable from its arguments *)
+  | Noreturn
+
+type t = {
+  name : string;
+  params : string list;  (** parameter register names *)
+  blocks : Block.t list;  (** first block is the entry *)
+}
+
+type decl = { dname : string; dattrs : attr list }
+
+let attr_name = function
+  | Readnone -> "readnone"
+  | Readonly -> "readonly"
+  | Malloc_like -> "malloc_like"
+  | Free_like -> "free_like"
+  | Argmemonly -> "argmemonly"
+  | Noreturn -> "noreturn"
+
+let attr_of_name = function
+  | "readnone" -> Some Readnone
+  | "readonly" -> Some Readonly
+  | "malloc_like" -> Some Malloc_like
+  | "free_like" -> Some Free_like
+  | "argmemonly" -> Some Argmemonly
+  | "noreturn" -> Some Noreturn
+  | _ -> None
+
+let entry (f : t) : Block.t =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" f.name)
+
+let find_block (f : t) (label : string) : Block.t option =
+  List.find_opt (fun (b : Block.t) -> String.equal b.label label) f.blocks
+
+(** [iter_instrs f fn] applies [fn] to every non-terminator instruction. *)
+let iter_instrs (f : t) (fn : Block.t -> Instr.t -> unit) : unit =
+  List.iter (fun (b : Block.t) -> List.iter (fn b) b.instrs) f.blocks
+
+let fold_instrs (f : t) (fn : 'a -> Block.t -> Instr.t -> 'a) (init : 'a) : 'a
+    =
+  List.fold_left
+    (fun acc (b : Block.t) -> List.fold_left (fun acc i -> fn acc b i) acc b.instrs)
+    init f.blocks
+
+(** [instrs f] is every instruction of [f] in block order. *)
+let instrs (f : t) : Instr.t list =
+  List.concat_map (fun (b : Block.t) -> b.instrs) f.blocks
+
+let pp ppf (f : t) =
+  Fmt.pf ppf "func @%s(%a) {@."
+    f.name
+    (Fmt.list ~sep:Fmt.comma (fun ppf p -> Fmt.pf ppf "%%%s" p))
+    f.params;
+  List.iter (fun b -> Block.pp ppf b) f.blocks;
+  Fmt.pf ppf "}@."
+
+let pp_decl ppf (d : decl) =
+  Fmt.pf ppf "declare @%s%a@." d.dname
+    (Fmt.list ~sep:Fmt.nop (fun ppf a -> Fmt.pf ppf " %s" (attr_name a)))
+    d.dattrs

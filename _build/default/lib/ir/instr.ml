@@ -1,0 +1,158 @@
+(** MIR instructions and terminators.
+
+    Every instruction and terminator carries a module-unique integer [id];
+    analyses, profiles and assertions refer to program points by id. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type cmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type kind =
+  | Alloca of { size : int }  (** stack object of [size] bytes *)
+  | Load of { ptr : Value.t; size : int }  (** read [size] bytes *)
+  | Store of { ptr : Value.t; value : Value.t; size : int }
+      (** write [size] bytes *)
+  | Gep of { base : Value.t; offset : Value.t }
+      (** pointer arithmetic: [base + offset] (byte offset) *)
+  | Binop of binop * Value.t * Value.t
+  | Icmp of cmp * Value.t * Value.t
+  | Select of { cond : Value.t; if_true : Value.t; if_false : Value.t }
+  | Call of { callee : string; args : Value.t list }
+  | Phi of (string * Value.t) list  (** [(predecessor label, value)] *)
+
+type t = { id : int; dst : string option; kind : kind }
+
+type term_kind =
+  | Br of string
+  | Condbr of { cond : Value.t; if_true : string; if_false : string }
+  | Ret of Value.t option
+  | Unreachable
+
+type term = { tid : int; tkind : term_kind }
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+
+let binop_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv
+  | "srem" -> Some Srem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "lshr" -> Some Lshr
+  | "ashr" -> Some Ashr
+  | _ -> None
+
+let cmp_of_name = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "slt" -> Some Slt
+  | "sle" -> Some Sle
+  | "sgt" -> Some Sgt
+  | "sge" -> Some Sge
+  | _ -> None
+
+(** [operands i] lists every value the instruction reads. *)
+let operands (i : t) : Value.t list =
+  match i.kind with
+  | Alloca _ -> []
+  | Load { ptr; _ } -> [ ptr ]
+  | Store { ptr; value; _ } -> [ ptr; value ]
+  | Gep { base; offset } -> [ base; offset ]
+  | Binop (_, a, b) | Icmp (_, a, b) -> [ a; b ]
+  | Select { cond; if_true; if_false } -> [ cond; if_true; if_false ]
+  | Call { args; _ } -> args
+  | Phi incoming -> List.map snd incoming
+
+let term_operands (t : term) : Value.t list =
+  match t.tkind with
+  | Br _ | Unreachable -> []
+  | Condbr { cond; _ } -> [ cond ]
+  | Ret v -> Option.to_list v
+
+(** [accesses_memory i] holds for instructions with a memory footprint of
+    their own (loads and stores). Calls may also touch memory; the analyses
+    treat them via callee summaries. *)
+let accesses_memory (i : t) =
+  match i.kind with Load _ | Store _ -> true | _ -> false
+
+let writes_memory (i : t) = match i.kind with Store _ -> true | _ -> false
+let reads_memory (i : t) = match i.kind with Load _ -> true | _ -> false
+
+let is_call (i : t) = match i.kind with Call _ -> true | _ -> false
+
+(** [footprint i] is [(pointer, size)] for loads and stores. *)
+let footprint (i : t) : (Value.t * int) option =
+  match i.kind with
+  | Load { ptr; size } -> Some (ptr, size)
+  | Store { ptr; size; _ } -> Some (ptr, size)
+  | _ -> None
+
+let pp_kind ppf = function
+  | Alloca { size } -> Fmt.pf ppf "alloca %d" size
+  | Load { ptr; size } -> Fmt.pf ppf "load %d, %a" size Value.pp ptr
+  | Store { ptr; value; size } ->
+      Fmt.pf ppf "store %d, %a, %a" size Value.pp ptr Value.pp value
+  | Gep { base; offset } ->
+      Fmt.pf ppf "gep %a, %a" Value.pp base Value.pp offset
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "%s %a, %a" (binop_name op) Value.pp a Value.pp b
+  | Icmp (c, a, b) ->
+      Fmt.pf ppf "icmp %s %a, %a" (cmp_name c) Value.pp a Value.pp b
+  | Select { cond; if_true; if_false } ->
+      Fmt.pf ppf "select %a, %a, %a" Value.pp cond Value.pp if_true Value.pp
+        if_false
+  | Call { callee; args } ->
+      Fmt.pf ppf "call @%s(%a)" callee (Fmt.list ~sep:Fmt.comma Value.pp) args
+  | Phi incoming ->
+      let pp_in ppf (l, v) = Fmt.pf ppf "[%s: %a]" l Value.pp v in
+      Fmt.pf ppf "phi %a" (Fmt.list ~sep:Fmt.comma pp_in) incoming
+
+let pp ppf (i : t) =
+  match i.dst with
+  | Some d -> Fmt.pf ppf "%%%s = %a" d pp_kind i.kind
+  | None -> pp_kind ppf i.kind
+
+let pp_term ppf (t : term) =
+  match t.tkind with
+  | Br l -> Fmt.pf ppf "br %s" l
+  | Condbr { cond; if_true; if_false } ->
+      Fmt.pf ppf "condbr %a, %s, %s" Value.pp cond if_true if_false
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some v) -> Fmt.pf ppf "ret %a" Value.pp v
+  | Unreachable -> Fmt.string ppf "unreachable"
+
+let to_string i = Fmt.str "%a" pp i

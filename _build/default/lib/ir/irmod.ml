@@ -1,0 +1,134 @@
+(** An MIR module: globals, external declarations, function definitions.
+
+    [Index] provides the id- and register-based lookup maps most analyses
+    need (instruction id -> occurrence, register -> defining instruction). *)
+
+type global = {
+  gname : string;
+  gsize : int;  (** byte size *)
+  ginit : (int * int64) list;  (** sparse initializer: (byte offset, value) *)
+}
+
+type t = {
+  globals : global list;
+  decls : Func.decl list;
+  funcs : Func.t list;
+}
+
+let empty = { globals = []; decls = []; funcs = [] }
+
+let find_func (m : t) name : Func.t option =
+  List.find_opt (fun (f : Func.t) -> String.equal f.name name) m.funcs
+
+let find_decl (m : t) name : Func.decl option =
+  List.find_opt (fun (d : Func.decl) -> String.equal d.dname name) m.decls
+
+let find_global (m : t) name : global option =
+  List.find_opt (fun g -> String.equal g.gname name) m.globals
+
+(** Intrinsics the interpreter implements natively. They are implicitly
+    declared; programs may call them without a [declare]. *)
+let intrinsic_decls : Func.decl list =
+  [
+    { dname = "malloc"; dattrs = [ Func.Malloc_like ] };
+    { dname = "calloc"; dattrs = [ Func.Malloc_like ] };
+    { dname = "free"; dattrs = [ Func.Free_like; Func.Argmemonly ] };
+    { dname = "memcpy"; dattrs = [ Func.Argmemonly ] };
+    { dname = "memset"; dattrs = [ Func.Argmemonly ] };
+    { dname = "print"; dattrs = [ Func.Readnone ] };
+    { dname = "input"; dattrs = [ Func.Readnone ] };
+    { dname = "exit"; dattrs = [ Func.Noreturn; Func.Readnone ] };
+    (* SCAF validation runtime (inserted by Scaf_transform.Instrument) *)
+    { dname = "scaf.check_residue"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.check_heap"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.check_not_heap"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.ms_forbid"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.check_value"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.misspec"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.set_heap"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.ms_read"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.ms_write"; dattrs = [ Func.Readnone ] };
+    { dname = "scaf.iter_check"; dattrs = [ Func.Readnone ] };
+  ]
+
+(** [decl_of m name] resolves a callee to its declaration, looking at
+    explicit declarations first, then intrinsics. *)
+let decl_of (m : t) name : Func.decl option =
+  match find_decl m name with
+  | Some d -> Some d
+  | None ->
+      List.find_opt
+        (fun (d : Func.decl) -> String.equal d.dname name)
+        intrinsic_decls
+
+let has_attr (m : t) callee (a : Func.attr) =
+  match decl_of m callee with
+  | Some d -> List.mem a d.dattrs
+  | None -> false
+
+let iter_instrs (m : t) (fn : Func.t -> Block.t -> Instr.t -> unit) : unit =
+  List.iter (fun f -> Func.iter_instrs f (fun b i -> fn f b i)) m.funcs
+
+let pp ppf (m : t) =
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "global @%s %d" g.gname g.gsize;
+      (match g.ginit with
+      | [] -> ()
+      | init ->
+          let pp_pair ppf (o, v) = Fmt.pf ppf "%d: %Ld" o v in
+          Fmt.pf ppf " init [%a]" (Fmt.list ~sep:Fmt.comma pp_pair) init);
+      Fmt.pf ppf "@.")
+    m.globals;
+  if m.globals <> [] then Fmt.pf ppf "@.";
+  List.iter (fun d -> Func.pp_decl ppf d) m.decls;
+  if m.decls <> [] then Fmt.pf ppf "@.";
+  Fmt.(list ~sep:(any "@.") Func.pp) ppf m.funcs
+
+let to_string m = Fmt.str "%a" pp m
+
+(** Lookup maps over a module. Build once, reuse everywhere. *)
+module Index = struct
+  type occurrence = { func : Func.t; block : Block.t; instr : Instr.t }
+
+  type index = {
+    by_id : (int, occurrence) Hashtbl.t;
+    term_by_id : (int, Func.t * Block.t) Hashtbl.t;
+    def_of_reg : (string * string, Instr.t) Hashtbl.t;
+        (** (func name, register) -> defining instruction *)
+    parent : t;
+  }
+
+  let build (m : t) : index =
+    let by_id = Hashtbl.create 256 in
+    let term_by_id = Hashtbl.create 64 in
+    let def_of_reg = Hashtbl.create 256 in
+    List.iter
+      (fun (f : Func.t) ->
+        List.iter
+          (fun (b : Block.t) ->
+            List.iter
+              (fun (i : Instr.t) ->
+                Hashtbl.replace by_id i.id { func = f; block = b; instr = i };
+                match i.dst with
+                | Some d -> Hashtbl.replace def_of_reg (f.name, d) i
+                | None -> ())
+              b.instrs;
+            Hashtbl.replace term_by_id b.term.tid (f, b))
+          f.blocks)
+      m.funcs;
+    { by_id; term_by_id; def_of_reg; parent = m }
+
+  let find (idx : index) (id : int) : occurrence option =
+    Hashtbl.find_opt idx.by_id id
+
+  let find_exn (idx : index) (id : int) : occurrence =
+    match find idx id with
+    | Some o -> o
+    | None -> invalid_arg (Printf.sprintf "Irmod.Index.find_exn: no instr %d" id)
+
+  (** [def idx f r] is the instruction defining register [r] in function
+      [f], if [r] is instruction-defined (parameters have no def). *)
+  let def (idx : index) (fname : string) (r : string) : Instr.t option =
+    Hashtbl.find_opt idx.def_of_reg (fname, r)
+end

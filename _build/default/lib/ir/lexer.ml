@@ -1,0 +1,132 @@
+(** Hand-written lexer for the MIR textual format.
+
+    Menhir is not available in this environment, so the frontend is a
+    classic hand-rolled lexer + recursive-descent parser pair, which also
+    gives precise error positions. Comments run from [;] to end of line. *)
+
+type token =
+  | IDENT of string
+  | GLOBAL of string  (** [@name] *)
+  | REG of string  (** [%name] *)
+  | INT of int64
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUALS
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | GLOBAL s -> Fmt.pf ppf "@%s" s
+  | REG s -> Fmt.pf ppf "%%%s" s
+  | INT i -> Fmt.pf ppf "%Ld" i
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | COMMA -> Fmt.string ppf ","
+  | COLON -> Fmt.string ppf ":"
+  | EQUALS -> Fmt.string ppf "="
+  | EOF -> Fmt.string ppf "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize src] lexes the whole input eagerly. *)
+let tokenize (src : string) : located list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let ident_from start =
+    let b = Buffer.create 16 in
+    pos := start;
+    let rec go () =
+      match peek () with
+      | Some c when is_ident_char c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      | _ -> Buffer.contents b
+    in
+    go ()
+  in
+  let int_from start =
+    let b = Buffer.create 16 in
+    pos := start;
+    (match peek () with
+    | Some '-' ->
+        Buffer.add_char b '-';
+        incr pos
+    | _ -> ());
+    let rec go () =
+      match peek () with
+      | Some c when is_digit c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let s = Buffer.contents b in
+    match Int64.of_string_opt s with
+    | Some i -> i
+    | None -> raise (Lex_error (Printf.sprintf "bad integer %S" s, !line))
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then (
+      incr line;
+      incr pos)
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = ';' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if c = '@' then (
+      incr pos;
+      match peek () with
+      | Some c' when is_ident_start c' -> emit (GLOBAL (ident_from !pos))
+      | _ -> raise (Lex_error ("expected name after '@'", !line)))
+    else if c = '%' then (
+      incr pos;
+      match peek () with
+      | Some c' when is_ident_char c' -> emit (REG (ident_from !pos))
+      | _ -> raise (Lex_error ("expected name after '%'", !line)))
+    else if is_digit c then emit (INT (int_from !pos))
+    else if c = '-' && !pos + 1 < n && is_digit src.[!pos + 1] then
+      emit (INT (int_from !pos))
+    else if is_ident_start c then emit (IDENT (ident_from !pos))
+    else (
+      (match c with
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | ',' -> emit COMMA
+      | ':' -> emit COLON
+      | '=' -> emit EQUALS
+      | _ ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+      incr pos)
+  done;
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,310 @@
+(** Recursive-descent parser for the MIR textual format.
+
+    Grammar (comments start with [;]; X,... denotes a comma-separated list):
+    {v
+    module  := { global | declare | func }
+    global  := "global" @name INT [ "init" "[" INT ":" INT ,... "]" ]
+    declare := "declare" @name { attr }
+    func    := "func" @name "(" [ %reg ,... ] ")" "{" block { block } "}"
+    block   := label ":" { instr } term
+    instr   := [ %reg "=" ] op
+    op      := "alloca" INT | "load" INT "," v | "store" INT "," v "," v
+             | "gep" v "," v | BINOP v "," v | "icmp" CMP v "," v
+             | "select" v "," v "," v | "call" @name "(" [ v ,... ] ")"
+             | "phi" "[" label ":" v "]" ,...
+    term    := "br" label | "condbr" v "," label "," label
+             | "ret" [ v ] | "unreachable"
+    v       := INT | "null" | "undef" | @name | %reg
+    v}
+
+    Instruction ids are assigned in source order, terminators included, and
+    are unique across the module. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+type state = { mutable toks : Lexer.located list; mutable next_id : int }
+
+let error st msg =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  raise (Parse_error (msg, line))
+
+let peek st : Lexer.token =
+  match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st (t : Lexer.token) =
+  let got = peek st in
+  if got = t then advance st
+  else
+    error st
+      (Fmt.str "expected %a but found %a" Lexer.pp_token t Lexer.pp_token got)
+
+let fresh_id st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> error st (Fmt.str "expected identifier, found %a" Lexer.pp_token t)
+
+let global_name st =
+  match peek st with
+  | Lexer.GLOBAL s ->
+      advance st;
+      s
+  | t -> error st (Fmt.str "expected @name, found %a" Lexer.pp_token t)
+
+let reg_name st =
+  match peek st with
+  | Lexer.REG s ->
+      advance st;
+      s
+  | t -> error st (Fmt.str "expected %%reg, found %a" Lexer.pp_token t)
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | t -> error st (Fmt.str "expected integer, found %a" Lexer.pp_token t)
+
+let value st : Value.t =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Value.Int i
+  | Lexer.GLOBAL g ->
+      advance st;
+      Value.Global g
+  | Lexer.REG r ->
+      advance st;
+      Value.Reg r
+  | Lexer.IDENT "null" ->
+      advance st;
+      Value.Null
+  | Lexer.IDENT "undef" ->
+      advance st;
+      Value.Undef
+  | t -> error st (Fmt.str "expected value, found %a" Lexer.pp_token t)
+
+let comma_sep st (elt : state -> 'a) : 'a list =
+  let rec more acc =
+    if peek st = Lexer.COMMA then (
+      advance st;
+      more (elt st :: acc))
+    else List.rev acc
+  in
+  more [ elt st ]
+
+let phi_arm st : string * Value.t =
+  expect st Lexer.LBRACKET;
+  let label = ident st in
+  expect st Lexer.COLON;
+  let v = value st in
+  expect st Lexer.RBRACKET;
+  (label, v)
+
+(* Opcode keywords that terminate a block. *)
+let is_term_opcode = function
+  | "br" | "condbr" | "ret" | "unreachable" -> true
+  | _ -> false
+
+let instr_kind st (opcode : string) : Instr.kind =
+  match opcode with
+  | "alloca" -> Instr.Alloca { size = Int64.to_int (int_lit st) }
+  | "load" ->
+      let size = Int64.to_int (int_lit st) in
+      expect st Lexer.COMMA;
+      let ptr = value st in
+      Instr.Load { ptr; size }
+  | "store" ->
+      let size = Int64.to_int (int_lit st) in
+      expect st Lexer.COMMA;
+      let ptr = value st in
+      expect st Lexer.COMMA;
+      let v = value st in
+      Instr.Store { ptr; value = v; size }
+  | "gep" ->
+      let base = value st in
+      expect st Lexer.COMMA;
+      let offset = value st in
+      Instr.Gep { base; offset }
+  | "icmp" ->
+      let c =
+        match Instr.cmp_of_name (ident st) with
+        | Some c -> c
+        | None -> error st "bad icmp predicate"
+      in
+      let a = value st in
+      expect st Lexer.COMMA;
+      let b = value st in
+      Instr.Icmp (c, a, b)
+  | "select" ->
+      let cond = value st in
+      expect st Lexer.COMMA;
+      let if_true = value st in
+      expect st Lexer.COMMA;
+      let if_false = value st in
+      Instr.Select { cond; if_true; if_false }
+  | "call" ->
+      let callee = global_name st in
+      expect st Lexer.LPAREN;
+      let args =
+        if peek st = Lexer.RPAREN then [] else comma_sep st value
+      in
+      expect st Lexer.RPAREN;
+      Instr.Call { callee; args }
+  | "phi" -> Instr.Phi (comma_sep st phi_arm)
+  | op -> (
+      match Instr.binop_of_name op with
+      | Some b ->
+          let a = value st in
+          expect st Lexer.COMMA;
+          let c = value st in
+          Instr.Binop (b, a, c)
+      | None -> error st (Printf.sprintf "unknown opcode %S" op))
+
+let terminator st (opcode : string) : Instr.term_kind =
+  match opcode with
+  | "br" -> Instr.Br (ident st)
+  | "condbr" ->
+      let cond = value st in
+      expect st Lexer.COMMA;
+      let if_true = ident st in
+      expect st Lexer.COMMA;
+      let if_false = ident st in
+      Instr.Condbr { cond; if_true; if_false }
+  | "ret" -> (
+      match peek st with
+      | Lexer.INT _ | Lexer.GLOBAL _ | Lexer.REG _ | Lexer.IDENT "null"
+      | Lexer.IDENT "undef" ->
+          Instr.Ret (Some (value st))
+      | _ -> Instr.Ret None)
+  | "unreachable" -> Instr.Unreachable
+  | op -> error st (Printf.sprintf "unknown terminator %S" op)
+
+let block st : Block.t =
+  let label = ident st in
+  expect st Lexer.COLON;
+  let instrs = ref [] in
+  let rec stmts () =
+    match peek st with
+    | Lexer.REG dst -> (
+        advance st;
+        expect st Lexer.EQUALS;
+        let opcode = ident st in
+        if is_term_opcode opcode then
+          error st "terminators cannot produce a value"
+        else
+          let kind = instr_kind st opcode in
+          instrs := { Instr.id = fresh_id st; dst = Some dst; kind } :: !instrs;
+          stmts ())
+    | Lexer.IDENT opcode when is_term_opcode opcode ->
+        advance st;
+        let tkind = terminator st opcode in
+        { Instr.tid = fresh_id st; tkind }
+    | Lexer.IDENT opcode ->
+        advance st;
+        let kind = instr_kind st opcode in
+        instrs := { Instr.id = fresh_id st; dst = None; kind } :: !instrs;
+        stmts ()
+    | t ->
+        error st
+          (Fmt.str "expected instruction or terminator, found %a"
+             Lexer.pp_token t)
+  in
+  let term = stmts () in
+  { Block.label; instrs = List.rev !instrs; term }
+
+let func st : Func.t =
+  let name = global_name st in
+  expect st Lexer.LPAREN;
+  let params = if peek st = Lexer.RPAREN then [] else comma_sep st reg_name in
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let blocks = ref [] in
+  while peek st <> Lexer.RBRACE do
+    blocks := block st :: !blocks
+  done;
+  expect st Lexer.RBRACE;
+  if !blocks = [] then error st (Printf.sprintf "function @%s has no blocks" name);
+  { Func.name; params; blocks = List.rev !blocks }
+
+let global st : Irmod.global =
+  let gname = global_name st in
+  let gsize = Int64.to_int (int_lit st) in
+  let ginit =
+    if peek st = Lexer.IDENT "init" then (
+      advance st;
+      expect st Lexer.LBRACKET;
+      let pair st =
+        let off = Int64.to_int (int_lit st) in
+        expect st Lexer.COLON;
+        let v = int_lit st in
+        (off, v)
+      in
+      let pairs = comma_sep st pair in
+      expect st Lexer.RBRACKET;
+      pairs)
+    else []
+  in
+  { Irmod.gname; gsize; ginit }
+
+let declare st : Func.decl =
+  let dname = global_name st in
+  let rec attrs acc =
+    match peek st with
+    | Lexer.IDENT a when Func.attr_of_name a <> None ->
+        advance st;
+        attrs (Option.get (Func.attr_of_name a) :: acc)
+    | _ -> List.rev acc
+  in
+  { Func.dname; dattrs = attrs [] }
+
+(** [parse src] parses a whole module from [src].
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)
+let parse (src : string) : Irmod.t =
+  let st = { toks = Lexer.tokenize src; next_id = 0 } in
+  let globals = ref [] and decls = ref [] and funcs = ref [] in
+  let rec toplevel () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "global" ->
+        advance st;
+        globals := global st :: !globals;
+        toplevel ()
+    | Lexer.IDENT "declare" ->
+        advance st;
+        decls := declare st :: !decls;
+        toplevel ()
+    | Lexer.IDENT "func" ->
+        advance st;
+        funcs := func st :: !funcs;
+        toplevel ()
+    | t ->
+        error st
+          (Fmt.str "expected 'global', 'declare' or 'func', found %a"
+             Lexer.pp_token t)
+  in
+  toplevel ();
+  {
+    Irmod.globals = List.rev !globals;
+    decls = List.rev !decls;
+    funcs = List.rev !funcs;
+  }
+
+(** [parse_exn_msg src] parses, turning errors into a human-readable
+    [Failure] with line numbers; convenient in tests and examples. *)
+let parse_exn_msg (src : string) : Irmod.t =
+  try parse src with
+  | Parse_error (msg, line) ->
+      failwith (Printf.sprintf "parse error at line %d: %s" line msg)
+  | Lexer.Lex_error (msg, line) ->
+      failwith (Printf.sprintf "lex error at line %d: %s" line msg)

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for the MIR textual format.
+
+    Grammar (comments start with [;]; X,... denotes a comma-separated list):
+    {v
+    module  := { global | declare | func }
+    global  := "global" @name INT [ "init" "[" INT ":" INT ,... "]" ]
+    declare := "declare" @name { attr }
+    func    := "func" @name "(" [ %reg ,... ] ")" "{" block { block } "}"
+    block   := label ":" { instr } term
+    instr   := [ %reg "=" ] op
+    op      := "alloca" INT | "load" INT "," v | "store" INT "," v "," v
+             | "gep" v "," v | BINOP v "," v | "icmp" CMP v "," v
+             | "select" v "," v "," v | "call" @name "(" [ v ,... ] ")"
+             | "phi" "[" label ":" v "]" ,...
+    term    := "br" label | "condbr" v "," label "," label
+             | "ret" [ v ] | "unreachable"
+    v       := INT | "null" | "undef" | @name | %reg
+    v}
+
+    Instruction ids are assigned in source order, terminators included, and
+    are unique across the module. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** [parse src] parses a whole module.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)
+val parse : string -> Irmod.t
+
+(** Like {!parse} but turns errors into a readable [Failure] with line
+    numbers; convenient in tests, examples and tools. *)
+val parse_exn_msg : string -> Irmod.t

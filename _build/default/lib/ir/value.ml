@@ -1,0 +1,43 @@
+(** SSA values of the MIR.
+
+    MIR is word-oriented: every register holds a 64-bit integer or a
+    pointer. Sizes only matter at memory operations ([load]/[store] carry a
+    byte width). This keeps the interpreter and the alias footprint
+    arithmetic simple without losing anything the dependence analyses need. *)
+
+type t =
+  | Int of int64  (** integer constant *)
+  | Null  (** the null pointer *)
+  | Global of string  (** address of global [@name] *)
+  | Reg of string  (** SSA register [%name] *)
+  | Undef  (** undefined value *)
+
+let int i = Int (Int64.of_int i)
+let i64 i = Int i
+let reg r = Reg r
+let global g = Global g
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Null, Null | Undef, Undef -> true
+  | Global x, Global y | Reg x, Reg y -> String.equal x y
+  | _ -> false
+
+let compare = Stdlib.compare
+
+let is_const = function
+  | Int _ | Null | Global _ | Undef -> true
+  | Reg _ -> false
+
+(** [as_reg v] is the register name if [v] is a register. *)
+let as_reg = function Reg r -> Some r | _ -> None
+
+let pp ppf = function
+  | Int i -> Fmt.pf ppf "%Ld" i
+  | Null -> Fmt.string ppf "null"
+  | Global g -> Fmt.pf ppf "@%s" g
+  | Reg r -> Fmt.pf ppf "%%%s" r
+  | Undef -> Fmt.string ppf "undef"
+
+let to_string v = Fmt.str "%a" pp v

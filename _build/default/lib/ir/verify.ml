@@ -1,0 +1,152 @@
+(** Structural well-formedness checks for MIR modules.
+
+    Checks performed here are purely local (no dominance analysis — the CFG
+    library layers a dominance-based SSA check on top):
+    - instruction and terminator ids are unique module-wide;
+    - every register is assigned at most once per function (SSA);
+    - every used register has a definition (a parameter or an instruction);
+    - branch targets and phi predecessor labels name existing blocks;
+    - phis appear only at the start of a block and have one arm per
+      predecessor;
+    - globals referenced by value exist;
+    - direct callees are defined, declared, or intrinsic;
+    - load/store sizes are positive. *)
+
+type error = { where : string; what : string }
+
+let err where fmt = Fmt.kstr (fun what -> { where; what }) fmt
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+(* Collect predecessors per label. *)
+let preds_of (f : Func.t) : (string, string list) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl s) in
+          if not (List.mem b.label cur) then Hashtbl.replace tbl s (b.label :: cur))
+        (Block.successors b))
+    f.blocks;
+  tbl
+
+let check_func (m : Irmod.t) (f : Func.t) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let where_block (b : Block.t) = Printf.sprintf "@%s:%s" f.name b.label in
+  let defined : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace defined p ()) f.params;
+  (* First pass: record all defs, catch double-assignment. *)
+  Func.iter_instrs f (fun b (i : Instr.t) ->
+      match i.dst with
+      | Some d ->
+          if Hashtbl.mem defined d then
+            add (err (where_block b) "register %%%s assigned more than once" d)
+          else Hashtbl.replace defined d ()
+      | None -> ());
+  let labels = List.map (fun (b : Block.t) -> b.label) f.blocks in
+  let check_label where l =
+    if not (List.mem l labels) then add (err where "unknown label %s" l)
+  in
+  let check_value where (v : Value.t) =
+    match v with
+    | Value.Reg r ->
+        if not (Hashtbl.mem defined r) then
+          add (err where "use of undefined register %%%s" r)
+    | Value.Global g ->
+        if Irmod.find_global m g = None then
+          add (err where "use of undefined global @%s" g)
+    | _ -> ()
+  in
+  let preds = preds_of f in
+  List.iter
+    (fun (b : Block.t) ->
+      let where = where_block b in
+      (* Phis must lead the block. *)
+      let seen_nonphi = ref false in
+      List.iter
+        (fun (i : Instr.t) ->
+          (match i.kind with
+          | Instr.Phi incoming ->
+              if !seen_nonphi then
+                add (err where "phi after non-phi instruction");
+              let ps =
+                Option.value ~default:[] (Hashtbl.find_opt preds b.label)
+              in
+              List.iter
+                (fun (l, v) ->
+                  check_label where l;
+                  if not (List.mem l ps) then
+                    add (err where "phi arm for non-predecessor %s" l);
+                  check_value where v)
+                incoming;
+              List.iter
+                (fun p ->
+                  if not (List.exists (fun (l, _) -> String.equal l p) incoming)
+                  then add (err where "phi missing arm for predecessor %s" p))
+                ps
+          | Instr.Load { size; _ } | Instr.Store { size; _ } ->
+              if size <= 0 then add (err where "non-positive access size");
+              seen_nonphi := true
+          | Instr.Call { callee; args = _ } ->
+              if
+                Irmod.find_func m callee = None
+                && Irmod.decl_of m callee = None
+              then add (err where "call to unknown function @%s" callee);
+              seen_nonphi := true
+          | _ -> seen_nonphi := true);
+          (match i.kind with
+          | Instr.Phi _ -> () (* phi operand checks above *)
+          | _ -> List.iter (check_value where) (Instr.operands i)))
+        b.instrs;
+      List.iter (check_value where) (Instr.term_operands b.term);
+      match b.term.tkind with
+      | Instr.Br l -> check_label where l
+      | Instr.Condbr { if_true; if_false; _ } ->
+          check_label where if_true;
+          check_label where if_false
+      | Instr.Ret _ | Instr.Unreachable -> ())
+    f.blocks;
+  (* Duplicate labels. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem seen b.label then
+        add (err ("@" ^ f.name) "duplicate block label %s" b.label)
+      else Hashtbl.replace seen b.label ())
+    f.blocks;
+  List.rev !errors
+
+(** [check m] is the list of structural errors in [m] (empty = well-formed). *)
+let check (m : Irmod.t) : error list =
+  let errors = ref [] in
+  (* Unique ids module-wide. *)
+  let ids = Hashtbl.create 256 in
+  let check_id where id =
+    if Hashtbl.mem ids id then
+      errors := err where "duplicate instruction id %d" id :: !errors
+    else Hashtbl.replace ids id ()
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          let where = Printf.sprintf "@%s:%s" f.name b.label in
+          List.iter (fun (i : Instr.t) -> check_id where i.id) b.instrs;
+          check_id where b.term.tid)
+        f.blocks)
+    m.funcs;
+  let func_errors = List.concat_map (check_func m) m.funcs in
+  List.rev !errors @ func_errors
+
+(** [check_exn m] raises [Invalid_argument] with a readable report if [m]
+    is not well-formed. *)
+let check_exn (m : Irmod.t) : unit =
+  match check m with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Fmt.str "ill-formed MIR module:@.%a"
+           (Fmt.list ~sep:Fmt.cut pp_error)
+           errs)

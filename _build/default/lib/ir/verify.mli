@@ -1,0 +1,14 @@
+(** Structural well-formedness checks for MIR modules: unique ids, single
+    assignment, defined uses, valid branch targets and phi arms, known
+    callees, positive access sizes. (Dominance-based SSA validation lives
+    with the CFG analyses.) *)
+
+type error = { where : string; what : string }
+
+val pp_error : error Fmt.t
+
+(** [check m] is the list of structural errors ([[]] = well-formed). *)
+val check : Irmod.t -> error list
+
+(** @raise Invalid_argument with a readable report if [m] is ill-formed. *)
+val check_exn : Irmod.t -> unit

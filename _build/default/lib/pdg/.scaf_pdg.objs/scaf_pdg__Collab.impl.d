@@ -1,0 +1,1 @@
+lib/pdg/collab.ml: List Nodep Pdg Scaf

@@ -1,0 +1,1 @@
+lib/pdg/nodep.ml: List Pdg Profiles Scaf_profile Schemes Time_profile

@@ -1,0 +1,1 @@
+lib/pdg/pdg.ml: Aresult Block Cfg Cost_model Fun Func Instr Irmod List Loops Progctx Query Response Scaf Scaf_cfg Scaf_ir

@@ -1,0 +1,1 @@
+lib/pdg/schemes.ml: Aresult Assertion Cost_model Join List Memdep_profile Orchestrator Profiles Query Residue_profile Response Scaf Scaf_analysis Scaf_profile Scaf_speculation

@@ -1,0 +1,143 @@
+(** Table 2 accounting: which modules participate in the collaborations
+    that make SCAF beat composition by confluence, at benchmark, loop and
+    improved-query granularity. Participation is read off the provenance
+    sets that responses accumulate as premise queries flow through the
+    ensemble. *)
+
+module Sset = Scaf.Response.Sset
+
+let memory_module_names =
+  [
+    "basic-aa";
+    "underlying-objects-aa";
+    "callsite-aa";
+    "disjoint-fields-aa";
+    "scev-aa";
+    "induction-range-aa";
+    "loop-fresh-aa";
+    "unique-paths-aa";
+    "kill-flow-aa";
+    "semi-local-fun-aa";
+    "global-malloc-aa";
+    "no-capture-source-aa";
+    "no-capture-global-aa";
+  ]
+
+let speculation_module_names =
+  [
+    "control-spec";
+    "value-pred";
+    "pointer-residue";
+    "read-only";
+    "short-lived";
+    "points-to";
+  ]
+
+(** Table rows, in the paper's order. *)
+type row =
+  | RCaf
+  | RModule of string
+  | RAmong_speculation
+  | RBetween_caf_and_spec
+  | RAll
+
+let rows : (row * string) list =
+  [
+    (RCaf, "Memory Analysis (CAF)");
+    (RModule "read-only", "Read-only");
+    (RModule "value-pred", "Value Prediction");
+    (RModule "pointer-residue", "Pointer-Residue");
+    (RModule "control-spec", "Control Speculation");
+    (RModule "points-to", "Points-to");
+    (RModule "short-lived", "Short-lived");
+    (RAmong_speculation, "Among Speculation Modules");
+    (RBetween_caf_and_spec, "Between CAF and Speculation");
+    (RAll, "All");
+  ]
+
+let has_memory (prov : Sset.t) =
+  List.exists (fun n -> Sset.mem n prov) memory_module_names
+
+let spec_count (prov : Sset.t) =
+  List.length (List.filter (fun n -> Sset.mem n prov) speculation_module_names)
+
+(** Does this provenance satisfy the row predicate? *)
+let row_matches (r : row) (prov : Sset.t) : bool =
+  match r with
+  | RCaf -> has_memory prov
+  | RModule m -> Sset.mem m prov
+  | RAmong_speculation -> spec_count prov >= 2
+  | RBetween_caf_and_spec -> has_memory prov && spec_count prov >= 1
+  | RAll -> true
+
+type improved = {
+  ibench : string;
+  iloop : string;
+  iprov : Sset.t;  (** SCAF provenance of the improved query *)
+}
+
+(** Improved queries: disproven by SCAF (affordably) but not by
+    confluence. *)
+let improved_queries ~(bname : string) (scaf_r : Nodep.benchmark_report)
+    (conf_r : Nodep.benchmark_report) : improved list =
+  List.concat_map
+    (fun (lid, (sr : Pdg.loop_report)) ->
+      match List.assoc_opt lid conf_r.Nodep.per_loop with
+      | None -> []
+      | Some cr ->
+          let conf_nodep =
+            List.fold_left
+              (fun acc (q : Pdg.qresult) ->
+                if q.Pdg.nodep then (q.Pdg.dq :: acc) else acc)
+              [] cr.Pdg.queries
+          in
+          List.filter_map
+            (fun (q : Pdg.qresult) ->
+              if q.Pdg.nodep && not (List.mem q.Pdg.dq conf_nodep) then
+                Some
+                  {
+                    ibench = bname;
+                    iloop = lid;
+                    iprov = q.Pdg.resp.Scaf.Response.provenance;
+                  }
+              else None)
+            sr.Pdg.queries)
+    scaf_r.Nodep.per_loop
+
+type coverage = {
+  row_label : string;
+  bench_pct : float;
+  loop_pct : float;
+  query_pct : float;
+}
+
+(** Aggregate Table 2 over all benchmarks. [all_loops] is the total number
+    of evaluated hot loops; [benchmarks] the benchmark names. *)
+let table2 ~(benchmarks : string list) ~(all_loops : (string * string) list)
+    (improved : improved list) : coverage list =
+  let nb = List.length benchmarks and nl = List.length all_loops in
+  let nq = List.length improved in
+  List.map
+    (fun (r, row_label) ->
+      let matching = List.filter (fun i -> row_matches r i.iprov) improved in
+      let benches =
+        List.sort_uniq compare (List.map (fun i -> i.ibench) matching)
+      in
+      let loops =
+        List.sort_uniq compare
+          (List.map (fun i -> (i.ibench, i.iloop)) matching)
+      in
+      {
+        row_label;
+        bench_pct =
+          (if nb = 0 then 0.0
+           else 100.0 *. float_of_int (List.length benches) /. float_of_int nb);
+        loop_pct =
+          (if nl = 0 then 0.0
+           else 100.0 *. float_of_int (List.length loops) /. float_of_int nl);
+        query_pct =
+          (if nq = 0 then 0.0
+           else
+             100.0 *. float_of_int (List.length matching) /. float_of_int nq);
+      })
+    rows

@@ -1,0 +1,61 @@
+(** The %NoDep metric (§5 "Metric"): per-loop percentages weighted by each
+    hot loop's share of execution time. *)
+
+open Scaf_profile
+
+type benchmark_report = {
+  bname : string;
+  loops : (string * float) list;  (** (loop id, weight) — weights sum to 1 *)
+  per_loop : (string * Pdg.loop_report) list;
+  weighted_nodep : float;
+}
+
+(** Hot loops of a profiled program, with time weights normalized over the
+    hot set. *)
+let hot_loop_weights ?(min_fraction = 0.10) ?(min_avg_iters = 50.0)
+    (profiles : Profiles.t) : (string * float) list =
+  let hot =
+    Time_profile.hot_loops ~min_fraction ~min_avg_iters profiles.Profiles.time
+  in
+  let fractions =
+    List.map
+      (fun lid -> (lid, Time_profile.time_fraction profiles.Profiles.time ~lid))
+      hot
+  in
+  let total = List.fold_left (fun a (_, f) -> a +. f) 0.0 fractions in
+  if total <= 0.0 then []
+  else List.map (fun (l, f) -> (l, f /. total)) fractions
+
+(** Run the PDG client on every hot loop with [resolver] and compute the
+    weighted %NoDep. *)
+let evaluate ~(bname : string) (profiles : Profiles.t)
+    (resolver : Schemes.resolver) : benchmark_report =
+  let prog = profiles.Profiles.ctx in
+  let loops = hot_loop_weights profiles in
+  let per_loop =
+    List.map
+      (fun (lid, _) ->
+        (lid, Pdg.run_loop prog ~resolver:resolver.Schemes.resolve lid))
+      loops
+  in
+  let weighted_nodep =
+    List.fold_left
+      (fun acc (lid, w) ->
+        let r = List.assoc lid per_loop in
+        acc +. (w *. Pdg.nodep_pct r))
+      0.0 loops
+  in
+  { bname; loops; per_loop; weighted_nodep }
+
+let geomean (xs : float list) : float =
+  match List.filter (fun x -> x > 0.0) xs with
+  | [] -> 0.0
+  | xs ->
+      exp
+        (List.fold_left (fun a x -> a +. log x) 0.0 xs
+        /. float_of_int (List.length xs))
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

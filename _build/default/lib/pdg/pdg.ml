@@ -1,0 +1,125 @@
+(** The Program Dependence Graph client (§5 "Client").
+
+    For each hot loop it issues an intra-iteration and a cross-iteration
+    dependence query for every (ordered) pair of memory operations, through
+    whichever resolver a scheme provides, and records which dependences
+    were disproven. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+type dep_query = {
+  src : int;
+  dst : int;
+  cross : bool;  (** cross-iteration ([Before]) vs intra-iteration ([Same]) *)
+}
+
+type qresult = {
+  dq : dep_query;
+  resp : Response.t;
+  nodep : bool;
+      (** the dependence is disproven at an affordable validation cost
+          (responses carrying only prohibitive options are discarded, §5) *)
+}
+
+type loop_report = {
+  lid : string;
+  queries : qresult list;
+  mem_ops : int list;
+}
+
+(* May instruction [i] touch memory (and so participate in dependences)? *)
+let is_mem_op (prog : Progctx.t) (i : Instr.t) : bool =
+  match i.Instr.kind with
+  | Instr.Load _ | Instr.Store _ -> true
+  | Instr.Call { callee; _ } ->
+      let m = prog.Progctx.m in
+      not
+        (Irmod.has_attr m callee Func.Readnone
+        || Irmod.has_attr m callee Func.Malloc_like)
+  | _ -> false
+
+(* May instruction [i] write memory? *)
+let may_write (prog : Progctx.t) (i : Instr.t) : bool =
+  match i.Instr.kind with
+  | Instr.Store _ -> true
+  | Instr.Call { callee; _ } ->
+      let m = prog.Progctx.m in
+      is_mem_op prog i && not (Irmod.has_attr m callee Func.Readonly)
+  | _ -> false
+
+(** Memory operations of a loop, in block order. *)
+let mem_ops_of_loop (prog : Progctx.t) (lid : string) : Instr.t list =
+  match Progctx.loop_of_lid prog lid with
+  | None -> []
+  | Some (fname, loop) -> (
+      match Progctx.cfg_of prog fname with
+      | None -> []
+      | Some cfg ->
+          List.concat_map
+            (fun b ->
+              if Loops.contains loop b then
+                List.filter (is_mem_op prog) (Cfg.block cfg b).Block.instrs
+              else [])
+            (List.init (Cfg.num_blocks cfg) Fun.id))
+
+(** The dependence queries of a loop: for each ordered pair of memory ops
+    with at least one potential writer, one intra- and one cross-iteration
+    query; potential writers additionally get a self cross-iteration
+    query. *)
+let queries_of_loop (prog : Progctx.t) (lid : string) : dep_query list =
+  let ops = mem_ops_of_loop prog lid in
+  let qs = ref [] in
+  List.iter
+    (fun (i1 : Instr.t) ->
+      List.iter
+        (fun (i2 : Instr.t) ->
+          if i1.Instr.id <> i2.Instr.id then
+            if may_write prog i1 || may_write prog i2 then begin
+              qs := { src = i1.Instr.id; dst = i2.Instr.id; cross = false } :: !qs;
+              qs := { src = i1.Instr.id; dst = i2.Instr.id; cross = true } :: !qs
+            end)
+        ops;
+      if may_write prog i1 then
+        qs := { src = i1.Instr.id; dst = i1.Instr.id; cross = true } :: !qs)
+    ops;
+  List.rev !qs
+
+let to_query (lid : string) (dq : dep_query) : Query.t =
+  Query.modref_instrs ~loop:lid
+    ~tr:(if dq.cross then Query.Before else Query.Same)
+    dq.src dq.dst
+
+(** [affordable_nodep resp] — did the resolver disprove the dependence at a
+    cost a rational client would pay? *)
+let affordable_nodep (resp : Response.t) : bool =
+  (match resp.Response.result with
+  | Aresult.RModref Aresult.NoModRef -> true
+  | _ -> false)
+  && Cost_model.affordable (Response.cheapest_cost resp)
+
+(** Run the PDG client for one loop against a resolver. *)
+let run_loop (prog : Progctx.t) ~(resolver : Query.t -> Response.t)
+    (lid : string) : loop_report =
+  let queries =
+    List.map
+      (fun dq ->
+        let resp = resolver (to_query lid dq) in
+        { dq; resp; nodep = affordable_nodep resp })
+      (queries_of_loop prog lid)
+  in
+  {
+    lid;
+    queries;
+    mem_ops = List.map (fun (i : Instr.t) -> i.Instr.id) (mem_ops_of_loop prog lid);
+  }
+
+(** %NoDep of a loop report. *)
+let nodep_pct (r : loop_report) : float =
+  match r.queries with
+  | [] -> 100.0
+  | qs ->
+      100.0
+      *. float_of_int (List.length (List.filter (fun q -> q.nodep) qs))
+      /. float_of_int (List.length qs)

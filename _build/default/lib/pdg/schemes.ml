@@ -1,0 +1,136 @@
+(** The evaluated schemes (§5): CAF (static only), composition by
+    confluence (best prior), composition by collaboration (SCAF), the
+    desired-result ablation of SCAF, memory speculation, and the observed
+    dependences themselves. *)
+
+open Scaf
+open Scaf_profile
+
+type resolver = {
+  rname : string;
+  resolve : Query.t -> Response.t;
+  latencies : unit -> float list;  (** client-query latencies, if tracked *)
+}
+
+let orchestrate ?clock ?(respect_desired = true) prog modules : Orchestrator.t
+    =
+  Orchestrator.create prog
+    { (Orchestrator.default_config modules) with
+      Orchestrator.respect_desired;
+      clock;
+    }
+
+(** CAF: collaboration among the 13 memory-analysis modules only. *)
+let caf ?clock (profiles : Profiles.t) : resolver =
+  let prog = profiles.Profiles.ctx in
+  let o = orchestrate ?clock prog (Scaf_analysis.Registry.create prog) in
+  {
+    rname = "CAF";
+    resolve = (fun q -> Orchestrator.handle o q);
+    latencies = (fun () -> Orchestrator.latencies o);
+  }
+
+(** SCAF: full collaboration among memory analysis and speculation. *)
+let scaf ?clock ?(respect_desired = true) (profiles : Profiles.t) : resolver =
+  let prog = profiles.Profiles.ctx in
+  let modules =
+    Scaf_analysis.Registry.create prog
+    @ Scaf_speculation.Registry.create profiles
+  in
+  let o = orchestrate ?clock ~respect_desired prog modules in
+  {
+    rname = (if respect_desired then "SCAF" else "SCAF w/o Desired Result");
+    resolve = (fun q -> Orchestrator.handle o q);
+    latencies = (fun () -> Orchestrator.latencies o);
+  }
+
+(** Composition by confluence: CAF as one collaborative component, each
+    speculative technique self-contained, results joined. *)
+let confluence ?clock (profiles : Profiles.t) : resolver =
+  let prog = profiles.Profiles.ctx in
+  let caf_o = orchestrate prog (Scaf_analysis.Registry.create prog) in
+  let unit_os =
+    List.map (orchestrate prog)
+      (Scaf_speculation.Registry.confluence_units profiles)
+  in
+  let t0 = ref 0.0 in
+  let lats = ref [] in
+  let resolve q =
+    (match clock with Some c -> t0 := c () | None -> ());
+    let r =
+      List.fold_left
+        (fun acc o -> Join.join Join.Cheapest acc (Orchestrator.handle o q))
+        (Orchestrator.handle caf_o q)
+        unit_os
+    in
+    (match clock with Some c -> lats := (c () -. !t0) :: !lats | None -> ());
+    r
+  in
+  {
+    rname = "Confluence";
+    resolve;
+    latencies = (fun () -> List.rev !lats);
+  }
+
+(** Memory speculation: assert the absence of every dependence that did not
+    manifest during profiling (loop-sensitive dependence profile), at
+    shadow-memory validation cost. *)
+let memory_speculation (profiles : Profiles.t) : resolver =
+  let resolve (q : Query.t) : Response.t =
+    match q with
+    | Query.Alias _ -> Response.bottom_alias
+    | Query.Modref mq -> (
+        match (mq.Query.mloop, mq.Query.mtarget) with
+        | Some lid, Query.TInstr i2 ->
+            let cross =
+              match mq.Query.mtr with
+              | Query.Same -> false
+              | Query.Before | Query.After -> true
+            in
+            let i1 = mq.Query.minstr in
+            if
+              Memdep_profile.observed profiles.Profiles.memdep ~lid ~src:i1
+                ~dst:i2 ~cross
+            then Response.bottom_modref
+            else
+              let count id =
+                Residue_profile.exec_count profiles.Profiles.residues id
+              in
+              Response.speculative (Aresult.RModref Aresult.NoModRef)
+                [
+                  {
+                    Assertion.module_id = "memory-speculation";
+                    points = [ i1; i2 ];
+                    cost =
+                      Cost_model.scaled Cost_model.memspec_check
+                        (count i1 + count i2);
+                    conflicts = [];
+                    payload = Assertion.Mem_nodep { src = i1; dst = i2; cross };
+                  };
+                ]
+        | _ -> Response.bottom_modref)
+  in
+  { rname = "Memory Speculation"; resolve; latencies = (fun () -> []) }
+
+(** Observed dependences: what actually manifested while profiling —
+    the floor no speculative scheme can beat. *)
+let observed (profiles : Profiles.t) : resolver =
+  let resolve (q : Query.t) : Response.t =
+    match q with
+    | Query.Alias _ -> Response.bottom_alias
+    | Query.Modref mq -> (
+        match (mq.Query.mloop, mq.Query.mtarget) with
+        | Some lid, Query.TInstr i2 ->
+            let cross =
+              match mq.Query.mtr with
+              | Query.Same -> false
+              | Query.Before | Query.After -> true
+            in
+            if
+              Memdep_profile.observed profiles.Profiles.memdep ~lid
+                ~src:mq.Query.minstr ~dst:i2 ~cross
+            then Response.bottom_modref
+            else Response.free (Aresult.RModref Aresult.NoModRef)
+        | _ -> Response.bottom_modref)
+  in
+  { rname = "Observed"; resolve; latencies = (fun () -> []) }

@@ -1,0 +1,1 @@
+lib/profile/edge_profile.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/profile/lifetime_profile.ml: Hashtbl List Site String

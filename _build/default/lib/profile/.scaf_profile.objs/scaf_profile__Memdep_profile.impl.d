@@ -1,0 +1,1 @@
+lib/profile/memdep_profile.ml: Hashtbl Int64 List Option String

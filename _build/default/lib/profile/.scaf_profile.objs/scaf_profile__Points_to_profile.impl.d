@@ -1,0 +1,1 @@
+lib/profile/points_to_profile.ml: Hashtbl Scaf_interp Site

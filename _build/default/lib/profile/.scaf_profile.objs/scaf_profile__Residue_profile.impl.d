@@ -1,0 +1,1 @@
+lib/profile/residue_profile.ml: Hashtbl Int64

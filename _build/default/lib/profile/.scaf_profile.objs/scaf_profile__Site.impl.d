@@ -1,0 +1,1 @@
+lib/profile/site.ml: Fmt Scaf_interp Set Stdlib

@@ -1,0 +1,1 @@
+lib/profile/time_profile.ml: Hashtbl List Option String Tracker

@@ -1,0 +1,1 @@
+lib/profile/tracker.ml: Cfg Hashtbl List Loops Option Scaf_cfg String

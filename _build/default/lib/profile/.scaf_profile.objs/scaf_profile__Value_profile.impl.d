@@ -1,0 +1,1 @@
+lib/profile/value_profile.ml: Hashtbl Int64

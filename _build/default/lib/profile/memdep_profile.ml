@@ -1,0 +1,94 @@
+(** Loop-aware memory-dependence profiler (after Chen et al.):
+
+    tracks, through a byte-granular shadow memory, which (store -> load),
+    (load -> store) and (store -> store) pairs actually manifested during
+    profiling, attributed per loop and split into intra-iteration and
+    cross-iteration (loop-carried) dependences.
+
+    Memory speculation — the expensive baseline SCAF competes with —
+    asserts the absence of every dependence *not* in this profile. *)
+
+type access = { ainstr : int; asnap : (string * int * int) list }
+
+type byte_state = { mutable writer : access option; mutable readers : access list }
+
+type t = {
+  shadow : (int64, byte_state) Hashtbl.t;
+  deps : (string, (int * int * bool, int) Hashtbl.t) Hashtbl.t;
+      (** lid -> (src instr, dst instr, cross-iteration?) -> count *)
+}
+
+let create () : t = { shadow = Hashtbl.create 4096; deps = Hashtbl.create 16 }
+
+let dep_tbl (t : t) lid =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.replace t.deps lid tbl;
+      tbl
+
+(* Record a dependence from [src] to [dst] for every loop invocation both
+   accesses executed in. *)
+let add_dep (t : t) (src : access) (dst : access) =
+  List.iter
+    (fun (lid, inv_d, iter_d) ->
+      match
+        List.find_opt (fun (l, _, _) -> String.equal l lid) src.asnap
+      with
+      | Some (_, inv_s, iter_s) when inv_s = inv_d ->
+          let cross = iter_d <> iter_s in
+          let tbl = dep_tbl t lid in
+          let key = (src.ainstr, dst.ainstr, cross) in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    dst.asnap
+
+let byte_state (t : t) a =
+  match Hashtbl.find_opt t.shadow a with
+  | Some bs -> bs
+  | None ->
+      let bs = { writer = None; readers = [] } in
+      Hashtbl.replace t.shadow a bs;
+      bs
+
+let record_store (t : t) ~(instr : int) ~(addr : int64) ~(size : int)
+    ~(snap : (string * int * int) list) =
+  let acc = { ainstr = instr; asnap = snap } in
+  for k = 0 to size - 1 do
+    let bs = byte_state t (Int64.add addr (Int64.of_int k)) in
+    (* anti dependences: every reader since the last write *)
+    List.iter (fun r -> add_dep t r acc) bs.readers;
+    (* output dependence: the previous writer *)
+    (match bs.writer with Some w -> add_dep t w acc | None -> ());
+    bs.writer <- Some acc;
+    bs.readers <- []
+  done
+
+let record_load (t : t) ~(instr : int) ~(addr : int64) ~(size : int)
+    ~(snap : (string * int * int) list) =
+  let acc = { ainstr = instr; asnap = snap } in
+  for k = 0 to size - 1 do
+    let bs = byte_state t (Int64.add addr (Int64.of_int k)) in
+    (* flow dependence from the last writer *)
+    (match bs.writer with Some w -> add_dep t w acc | None -> ());
+    (* keep the most recent access per reading instruction (standard
+       last-reader practice in dependence profilers) *)
+    bs.readers <- acc :: List.filter (fun r -> r.ainstr <> instr) bs.readers
+  done
+
+(** [observed t ~lid ~src ~dst ~cross] - did a dependence from [src] to
+    [dst] (cross- or intra-iteration) manifest during profiling of loop
+    [lid]? *)
+let observed (t : t) ~(lid : string) ~(src : int) ~(dst : int) ~(cross : bool)
+    : bool =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> Hashtbl.mem tbl (src, dst, cross)
+  | None -> false
+
+(** All observed dependences of a loop. *)
+let all (t : t) ~(lid : string) : (int * int * bool) list =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  | None -> []

@@ -1,0 +1,85 @@
+(** Points-to profiler: for every memory access (and pointer-producing
+    instruction), the set of underlying objects (allocation sites) it was
+    observed referring to, together with the within-object offset range.
+
+    This is the profile behind the points-to speculation module, which in
+    turn is what the read-only and short-lived modules premise-query. *)
+
+type entry = {
+  mutable sites : Site.Set.t;
+  mutable min_off : int;
+  mutable max_off : int;  (** inclusive of last byte touched *)
+  mutable const_off : int option;
+      (** [Some o] while every observation had offset [o] into a single
+          static site *)
+  mutable count : int;
+}
+
+type t = {
+  by_instr : (int, entry) Hashtbl.t;
+  by_instr_ctx : (int * int list, entry) Hashtbl.t;
+      (** context-sensitive view, keyed by trimmed access context *)
+}
+
+let create () : t =
+  { by_instr = Hashtbl.create 256; by_instr_ctx = Hashtbl.create 256 }
+
+let fresh_entry site off size =
+  {
+    sites = Site.Set.singleton site;
+    min_off = off;
+    max_off = off + size - 1;
+    const_off = Some off;
+    count = 1;
+  }
+
+let update_entry (e : entry) (site : Site.t) (off : int) (size : int) =
+  let single_static =
+    Site.Set.for_all (fun s -> Site.same_static s site) e.sites
+  in
+  e.sites <- Site.Set.add site e.sites;
+  e.min_off <- min e.min_off off;
+  e.max_off <- max e.max_off (off + size - 1);
+  (match e.const_off with
+  | Some o when o = off && single_static -> ()
+  | _ -> e.const_off <- None);
+  (* re-check: const_off survives only if this observation matches *)
+  (match e.const_off with
+  | Some o when o <> off -> e.const_off <- None
+  | _ -> ());
+  e.count <- e.count + 1
+
+let record (t : t) ~(instr : int) ~(obj : Scaf_interp.Memory.obj) ~(off : int)
+    ~(size : int) ~(ctx : int list) =
+  let site = Site.of_obj obj in
+  (match Hashtbl.find_opt t.by_instr instr with
+  | None -> Hashtbl.replace t.by_instr instr (fresh_entry site off size)
+  | Some e -> update_entry e site off size);
+  let key = (instr, Site.trim_ctx ctx) in
+  match Hashtbl.find_opt t.by_instr_ctx key with
+  | None -> Hashtbl.replace t.by_instr_ctx key (fresh_entry site off size)
+  | Some e -> update_entry e site off size
+
+(** [observed t ?ctx instr] is the profile entry for [instr]; when [ctx] is
+    given, the context-sensitive entry is preferred. [None] means the
+    instruction never executed while profiling. *)
+let observed (t : t) ?(ctx : int list option) (instr : int) : entry option =
+  match ctx with
+  | Some c -> (
+      match Hashtbl.find_opt t.by_instr_ctx (instr, Site.trim_ctx c) with
+      | Some e -> Some e
+      | None -> Hashtbl.find_opt t.by_instr instr)
+  | None -> Hashtbl.find_opt t.by_instr instr
+
+(** Underlying-object sets are speculatively disjoint when the profiled
+    site sets do not intersect. Without [ctx_sensitive], two dynamic
+    instances of one static site are conservatively treated as the same
+    object; with it (the query supplied a calling context, §3.2.2), the
+    full (site, context) identity is compared. *)
+let disjoint_sites ?(ctx_sensitive = false) (a : entry) (b : entry) : bool =
+  Site.Set.is_empty (Site.Set.inter a.sites b.sites)
+  && (ctx_sensitive
+     || Site.Set.for_all
+          (fun sa ->
+            Site.Set.for_all (fun sb -> not (Site.same_static sa sb)) b.sites)
+          a.sites)

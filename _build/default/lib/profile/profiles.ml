@@ -1,0 +1,25 @@
+(** The bundle of every profile SCAF's speculation modules consume
+    (§4.2.2), together with the program context they were gathered on. *)
+
+type t = {
+  ctx : Scaf_cfg.Progctx.t;
+  edges : Edge_profile.t;
+  values : Value_profile.t;
+  residues : Residue_profile.t;
+  points_to : Points_to_profile.t;
+  lifetime : Lifetime_profile.t;
+  memdep : Memdep_profile.t;
+  time : Time_profile.t;
+}
+
+let create (ctx : Scaf_cfg.Progctx.t) : t =
+  {
+    ctx;
+    edges = Edge_profile.create ();
+    values = Value_profile.create ();
+    residues = Residue_profile.create ();
+    points_to = Points_to_profile.create ();
+    lifetime = Lifetime_profile.create ();
+    memdep = Memdep_profile.create ();
+    time = Time_profile.create ();
+  }

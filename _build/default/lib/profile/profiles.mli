@@ -1,0 +1,16 @@
+(** The bundle of every profile SCAF's speculation modules consume (paper
+    §4.2.2), with the program context they were gathered on. Produce with
+    {!Profiler.profile_module}. *)
+
+type t = {
+  ctx : Scaf_cfg.Progctx.t;
+  edges : Edge_profile.t;  (** branch/block execution counts *)
+  values : Value_profile.t;  (** value-stable loads *)
+  residues : Residue_profile.t;  (** 4-LSB residue sets per access *)
+  points_to : Points_to_profile.t;  (** underlying objects per access *)
+  lifetime : Lifetime_profile.t;  (** read-only / short-lived sites *)
+  memdep : Memdep_profile.t;  (** observed loop-aware dependences *)
+  time : Time_profile.t;  (** loop time, iterations; hot-loop selection *)
+}
+
+val create : Scaf_cfg.Progctx.t -> t

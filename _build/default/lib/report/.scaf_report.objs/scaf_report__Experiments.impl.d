@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Benchmark Collab List Nodep Pdg Printf Profiler Profiles Registry Report Scaf_pdg Scaf_profile Scaf_suite Schemes

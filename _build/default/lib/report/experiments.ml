@@ -1,0 +1,267 @@
+(** Experiment drivers: everything needed to regenerate the paper's
+    evaluation section (Figures 8, 9, 10 and Tables 1, 2) on the synthetic
+    suite. See DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
+    recorded paper-vs-measured results. *)
+
+open Scaf_profile
+open Scaf_pdg
+open Scaf_suite
+
+type bench_eval = {
+  bench : Benchmark.t;
+  profiles : Profiles.t;
+  caf : Nodep.benchmark_report;
+  confluence : Nodep.benchmark_report;
+  scaf : Nodep.benchmark_report;
+  memspec : Nodep.benchmark_report;
+  observed : Nodep.benchmark_report;
+}
+
+(** Profile one benchmark on its training inputs and run the PDG client
+    under every scheme. *)
+let evaluate_bench (b : Benchmark.t) : bench_eval =
+  let m = Benchmark.program b in
+  let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  let eval r = Nodep.evaluate ~bname:b.Benchmark.name profiles r in
+  {
+    bench = b;
+    profiles;
+    caf = eval (Schemes.caf profiles);
+    confluence = eval (Schemes.confluence profiles);
+    scaf = eval (Schemes.scaf profiles);
+    memspec = eval (Schemes.memory_speculation profiles);
+    observed = eval (Schemes.observed profiles);
+  }
+
+let evaluate_all ?(benchmarks = Registry.all) () : bench_eval list =
+  List.map evaluate_bench benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Figure 8: %NoDep per benchmark under each scheme (weighted by loop
+    time). "Observed" is reported as the paper plots it: the share of
+    dependences that *did* manifest (the ceiling no scheme passes is
+    100 - observed). *)
+let fig8 (evals : bench_eval list) : string =
+  let rows =
+    List.map
+      (fun e ->
+        [
+          e.bench.Benchmark.name;
+          Report.pct e.caf.Nodep.weighted_nodep;
+          Report.pct e.confluence.Nodep.weighted_nodep;
+          Report.pct e.scaf.Nodep.weighted_nodep;
+          Report.pct e.memspec.Nodep.weighted_nodep;
+          Report.pct (100.0 -. e.observed.Nodep.weighted_nodep);
+          Report.bar e.scaf.Nodep.weighted_nodep;
+        ])
+      evals
+  in
+  let col f = List.map f evals in
+  let avg = Nodep.mean and geo = Nodep.geomean in
+  let summary name f =
+    [
+      name;
+      Report.pct (avg (col (fun e -> f e)));
+      "";
+      "";
+      "";
+      "";
+      "";
+    ]
+  in
+  ignore summary;
+  let caf_c = col (fun e -> e.caf.Nodep.weighted_nodep) in
+  let conf_c = col (fun e -> e.confluence.Nodep.weighted_nodep) in
+  let scaf_c = col (fun e -> e.scaf.Nodep.weighted_nodep) in
+  let ms_c = col (fun e -> e.memspec.Nodep.weighted_nodep) in
+  let obs_c = col (fun e -> 100.0 -. e.observed.Nodep.weighted_nodep) in
+  let stat name f =
+    [
+      name;
+      Report.pct (f caf_c);
+      Report.pct (f conf_c);
+      Report.pct (f scaf_c);
+      Report.pct (f ms_c);
+      Report.pct (f obs_c);
+      "";
+    ]
+  in
+  Report.table
+    ~header:
+      [ "Benchmark"; "CAF"; "Confl."; "SCAF"; "MemSpec"; "Observed"; "SCAF bar" ]
+    ~rows:(rows @ [ stat "Average" avg; stat "Geomean" geo ])
+
+(** Figure 8 headline deltas: coverage gain over confluence, and shrink of
+    the memory-speculation residual (MemSpec - X). *)
+let fig8_deltas (evals : bench_eval list) : string =
+  let gain e =
+    e.scaf.Nodep.weighted_nodep -. e.confluence.Nodep.weighted_nodep
+  in
+  let residual f e = max 0.0 (e.memspec.Nodep.weighted_nodep -. f e) in
+  let res_conf = residual (fun e -> e.confluence.Nodep.weighted_nodep) in
+  let res_scaf = residual (fun e -> e.scaf.Nodep.weighted_nodep) in
+  let shrink =
+    List.filter_map
+      (fun e ->
+        let c = res_conf e in
+        if c > 0.0 then Some (100.0 *. (c -. res_scaf e) /. c) else None)
+      evals
+  in
+  (* speculation-attributable coverage: what cheap speculation adds beyond
+     CAF; the paper reports SCAF's relative increase over confluence *)
+  let rel =
+    List.filter_map
+      (fun e ->
+        let caf = e.caf.Nodep.weighted_nodep in
+        let conf = e.confluence.Nodep.weighted_nodep -. caf in
+        let scaf = e.scaf.Nodep.weighted_nodep -. caf in
+        if conf > 0.0 then Some (100.0 *. (scaf -. conf) /. conf) else None)
+      evals
+  in
+  Printf.sprintf
+    "SCAF coverage gain over Confluence: %+.2f mean / %+.2f geomean (pp)\n\
+     Speculation-attributable coverage gain: %+.2f%% mean / %+.2f%% geomean\n\
+     Memory-speculation residual shrink: %.2f%% mean / %.2f%% geomean\n\
+     (paper: +68.35%% mean / +56.27%% geomean relative gain; 58.41%% geomean \
+     residual shrink)"
+    (Nodep.mean (List.map gain evals))
+    (Nodep.geomean (List.map gain evals))
+    (Nodep.mean rel)
+    (Nodep.geomean (List.map (fun x -> max x 0.0) rel))
+    (Nodep.mean shrink) (Nodep.geomean shrink)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Figure 9: per-hot-loop scatter of Confluence vs SCAF %NoDep. *)
+let fig9_points (evals : bench_eval list) : (string * float * float) list =
+  List.concat_map
+    (fun e ->
+      List.map
+        (fun (lid, r) ->
+          let conf =
+            match List.assoc_opt lid e.confluence.Nodep.per_loop with
+            | Some cr -> Pdg.nodep_pct cr
+            | None -> 0.0
+          in
+          (Printf.sprintf "%s %s" e.bench.Benchmark.name lid, conf, Pdg.nodep_pct r))
+        e.scaf.Nodep.per_loop)
+    evals
+
+let fig9 (evals : bench_eval list) : string =
+  let pts = fig9_points evals in
+  let above =
+    List.length (List.filter (fun (_, c, s) -> s > c +. 1e-9) pts)
+  in
+  let rows =
+    List.map
+      (fun (n, c, s) ->
+        [
+          n;
+          Report.pct c;
+          Report.pct s;
+          (if s > c +. 1e-9 then "SCAF wins" else "tie");
+        ])
+      pts
+  in
+  Report.table ~header:[ "Hot loop"; "Confluence"; "SCAF"; "" ] ~rows
+  ^ Printf.sprintf
+      "\n%d hot loops; SCAF above the diagonal on %d (paper: 56 loops, 37 \
+       above)\n"
+      (List.length pts) above
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 (evals : bench_eval list) : string =
+  let improved =
+    List.concat_map
+      (fun e ->
+        Collab.improved_queries ~bname:e.bench.Benchmark.name e.scaf
+          e.confluence)
+      evals
+  in
+  let all_loops =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun (lid, _) -> (e.bench.Benchmark.name, lid))
+          e.scaf.Nodep.per_loop)
+      evals
+  in
+  let cov =
+    Collab.table2
+      ~benchmarks:(List.map (fun e -> e.bench.Benchmark.name) evals)
+      ~all_loops improved
+  in
+  Report.table
+    ~header:[ "Analysis Modules"; "Benchmark %"; "Loop %"; "Improved Query %" ]
+    ~rows:
+      (List.map
+         (fun (c : Collab.coverage) ->
+           [
+             c.Collab.row_label;
+             Report.pct2 c.Collab.bench_pct;
+             Report.pct2 c.Collab.loop_pct;
+             Report.pct2 c.Collab.query_pct;
+           ])
+         cov)
+  ^ Printf.sprintf "\n(%d improved queries across %d hot loops)\n"
+      (List.length improved) (List.length all_loops)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Figure 10: query-latency CDFs for CAF, SCAF without the Desired-Result
+    parameter, and SCAF. Latencies are measured with [clock] over every
+    PDG query of every benchmark. *)
+let fig10 ~(clock : unit -> float) (evals : bench_eval list) : string =
+  let collect mk =
+    List.concat_map
+      (fun e ->
+        let r = mk e.profiles in
+        let _ = Nodep.evaluate ~bname:e.bench.Benchmark.name e.profiles r in
+        r.Schemes.latencies ())
+      evals
+  in
+  let caf_l = collect (fun p -> Schemes.caf ~clock p) in
+  let nodr_l =
+    collect (fun p -> Schemes.scaf ~clock ~respect_desired:false p)
+  in
+  let scaf_l = collect (fun p -> Schemes.scaf ~clock p) in
+  let fmt_line name lats =
+    let s = Report.cdf_summary lats in
+    name
+    :: List.map (fun (_, v) -> Printf.sprintf "%8.1f" (v *. 1e6)) s
+  in
+  let header =
+    "Scheme (us)"
+    :: List.map fst (Report.cdf_summary [ 1.0 ])
+  in
+  let geo l =
+    match List.filter (fun x -> x > 0.0) l with
+    | [] -> 0.0
+    | xs ->
+        exp
+          (List.fold_left (fun s x -> s +. log x) 0.0 xs
+          /. float_of_int (List.length xs))
+  in
+  let g_caf = geo caf_l and g_nodr = geo nodr_l and g_scaf = geo scaf_l in
+  Report.table ~header
+    ~rows:
+      [
+        fmt_line "CAF" caf_l;
+        fmt_line "SCAF w/o Desired Result" nodr_l;
+        fmt_line "SCAF" scaf_l;
+      ]
+  ^ Printf.sprintf
+      "\nDesired-Result parameter cuts SCAF geomean latency by %.1f%% (paper: \
+       27.50%%)\nSCAF vs CAF geomean latency: %+.1f%% (paper: +1.61%%)\n"
+      (if g_nodr > 0.0 then 100.0 *. (g_nodr -. g_scaf) /. g_nodr else 0.0)
+      (if g_caf > 0.0 then 100.0 *. (g_scaf -. g_caf) /. g_caf else 0.0)

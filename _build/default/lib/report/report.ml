@@ -1,0 +1,81 @@
+(** ASCII rendering of the paper's tables and figures. *)
+
+let hr width = String.make width '-'
+
+(** Fixed-width table printer: [header] then [rows]. *)
+let table ~(header : string list) ~(rows : string list list) : string =
+  let cols =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w r -> max w (String.length (List.nth r i)))
+          (String.length h) rows)
+      header
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line cells =
+    "| " ^ String.concat " | " (List.map2 pad cells cols) ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> hr (w + 2)) cols) ^ "+"
+  in
+  String.concat "\n"
+    ([ sep; line header; sep ] @ List.map line rows @ [ sep ])
+
+let pct f = Printf.sprintf "%5.1f" f
+let pct2 f = Printf.sprintf "%6.2f" f
+
+(** A horizontal ASCII bar scaled to [width] for a 0-100 value. *)
+let bar ?(width = 40) (v : float) : string =
+  let n = int_of_float (v /. 100.0 *. float_of_int width) in
+  let n = max 0 (min width n) in
+  String.make n '#' ^ String.make (width - n) '.'
+
+(** Percentile of a sorted array. *)
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
+    sorted.(max 0 (min (n - 1) idx))
+
+(** CDF summary of latencies (seconds): selected percentiles + geomean. *)
+let cdf_summary (latencies : float list) : (string * float) list =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let geo =
+    match List.filter (fun x -> x > 0.0) latencies with
+    | [] -> 0.0
+    | xs ->
+        exp
+          (List.fold_left (fun s x -> s +. log x) 0.0 xs
+          /. float_of_int (List.length xs))
+  in
+  [
+    ("p10", percentile a 10.0);
+    ("p25", percentile a 25.0);
+    ("p50", percentile a 50.0);
+    ("p75", percentile a 75.0);
+    ("p90", percentile a 90.0);
+    ("p95", percentile a 95.0);
+    ("p99", percentile a 99.0);
+    ("max", percentile a 100.0);
+    ("geomean", geo);
+  ]
+
+(** Table 1 of the paper — qualitative; printed verbatim. *)
+let table1 : string =
+  table
+    ~header:
+      [
+        "Approach";
+        "Analysis decoupled from speculation";
+        "Collab. among spec. techniques";
+        "Collab. analysis <-> speculation";
+      ]
+    ~rows:
+      [
+        [ "Monolithic Integration"; "no"; "yes"; "no" ];
+        [ "Composition by Confluence"; "no"; "no"; "yes" ];
+        [ "Composition by Collaboration (SCAF)"; "yes"; "yes"; "yes" ];
+      ]

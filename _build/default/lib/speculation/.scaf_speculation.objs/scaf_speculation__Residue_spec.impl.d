@@ -1,0 +1,1 @@
+lib/speculation/residue_spec.ml: Aresult Assertion Autil Cost_model Func Instr Irmod Module_api Profiles Progctx Query Residue_profile Response Scaf Scaf_analysis Scaf_cfg Scaf_ir Scaf_profile Value

@@ -1,0 +1,1 @@
+lib/speculation/sep_util.ml: Aresult Func Instr Int64 Irmod List Module_api Progctx Query Response Scaf Scaf_cfg Scaf_ir Scaf_profile Site Value

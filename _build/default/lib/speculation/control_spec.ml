@@ -1,0 +1,145 @@
+(** Control speculation module (factored, §4.2.4).
+
+    Uses the edge profile to find *speculatively dead* blocks (never
+    executed while their function ran). Two behaviours:
+
+    - directly answers modref queries whose endpoints are speculatively
+      dead ("dead instructions cannot source or sink dependences");
+    - initiates collaboration by re-issuing the incoming query with a
+      *speculative control-flow view* (dominator/post-dominator trees of
+      the CFG with dead blocks removed). Control-flow-sensitive modules
+      such as kill-flow then prove facts the static CFG cannot support;
+      this module appends the required dead-block assertions to whatever
+      comes back (Figure 6's flow).
+
+    Validation is a misspec beacon at the head of each dead block — zero
+    cost on the hot path. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_profile
+
+type fstate = {
+  dead : int list;  (** dead block indices *)
+  spec_view : Ctrl.t;  (** view with dead blocks filtered; physical identity
+                           marks queries we already augmented *)
+}
+
+let fstate_of (prog : Progctx.t) (profiles : Profiles.t)
+    (cache : (string, fstate option) Hashtbl.t) (fname : string) :
+    fstate option =
+  match Hashtbl.find_opt cache fname with
+  | Some v -> v
+  | None ->
+      let v =
+        match Progctx.cfg_of prog fname with
+        | None -> None
+        | Some cfg ->
+            let dead =
+              List.filter
+                (fun b ->
+                  Edge_profile.spec_dead profiles.Profiles.edges ~func:fname
+                    ~label:(Cfg.label cfg b))
+                (List.init (Cfg.num_blocks cfg) Fun.id)
+            in
+            if dead = [] then None
+            else
+              Some
+                {
+                  dead;
+                  spec_view = Ctrl.filtered cfg ~dead:(fun b -> List.mem b dead);
+                }
+      in
+      Hashtbl.replace cache fname v;
+      v
+
+let beacon_of (cfg : Cfg.t) (b : int) : int =
+  match (Cfg.block cfg b).Block.instrs with
+  | i :: _ -> i.Instr.id
+  | [] -> (Cfg.block cfg b).Block.term.Instr.tid
+
+let dead_block_assertion (cfg : Cfg.t) (fname : string) (b : int) : Assertion.t
+    =
+  {
+    Assertion.module_id = "control-spec";
+    points = [ beacon_of cfg b ];
+    cost = Cost_model.ctrl_check;
+    conflicts = [];
+    payload =
+      Assertion.Ctrl_block_dead
+        { fname; label = Cfg.label cfg b; beacon = beacon_of cfg b };
+  }
+
+(* Is instruction [id] in a speculatively dead block? *)
+let dead_instr (prog : Progctx.t) (fs : fstate) (fname : string) (id : int) :
+    int option =
+  match Progctx.cfg_of prog fname with
+  | Some cfg -> (
+      match Cfg.position cfg id with
+      | Some (b, _) when List.mem b fs.dead -> Some b
+      | _ -> None)
+  | None -> None
+
+let answer (prog : Progctx.t) (profiles : Profiles.t)
+    (cache : (string, fstate option) Hashtbl.t) (ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref mq -> (
+      match Progctx.func_of_instr prog mq.Query.minstr with
+      | None -> Module_api.no_answer q
+      | Some f -> (
+          let fname = f.Func.name in
+          match fstate_of prog profiles cache fname with
+          | None -> Module_api.no_answer q
+          | Some fs -> (
+              let cfg = Option.get (Progctx.cfg_of prog fname) in
+              (* endpoints in dead blocks *)
+              let dead_endpoint =
+                match dead_instr prog fs fname mq.Query.minstr with
+                | Some b -> Some b
+                | None -> (
+                    match mq.Query.mtarget with
+                    | Query.TInstr i2 -> dead_instr prog fs fname i2
+                    | Query.TLoc _ -> None)
+              in
+              match dead_endpoint with
+              | Some b ->
+                  Response.speculative (Aresult.RModref Aresult.NoModRef)
+                    [ dead_block_assertion cfg fname b ]
+              | None -> (
+                  (* factored: re-issue with the speculative view, unless
+                     the query already carries it *)
+                  let already =
+                    match mq.Query.mctrl with
+                    | Some c -> c == fs.spec_view
+                    | None -> false
+                  in
+                  if already then Module_api.no_answer q
+                  else begin
+                    let premise =
+                      Query.Modref { mq with Query.mctrl = Some fs.spec_view }
+                    in
+                    let presp = ctx.Module_api.handle premise in
+                    match presp.Response.result with
+                    | Aresult.RModref Aresult.NoModRef ->
+                        let extra =
+                          List.map (dead_block_assertion cfg fname) fs.dead
+                        in
+                        {
+                          presp with
+                          Response.options =
+                            List.map
+                              (fun o ->
+                                List.sort_uniq Assertion.compare (extra @ o))
+                              presp.Response.options;
+                        }
+                    | _ -> Module_api.no_answer q
+                  end))))
+
+let create (profiles : Profiles.t) : Module_api.t =
+  let prog = profiles.Profiles.ctx in
+  let cache = Hashtbl.create 16 in
+  Module_api.make ~name:"control-spec" ~kind:Module_api.Speculation
+    ~factored:true (fun ctx q -> answer prog profiles cache ctx q)

@@ -1,0 +1,233 @@
+(** Points-to speculation module (base, §4.2.3).
+
+    Answers alias queries from the points-to profile: pointers whose
+    observed underlying-object sets are disjoint get NoAlias; a location
+    observed wholly inside another's object gets SubAlias/MustAlias. The
+    calling-context query parameter selects the context-sensitive profile
+    view, distinguishing dynamic instances of one allocation site.
+
+    Full points-to validation is prohibitively expensive, so every answer
+    carries a prohibitive-cost assertion: rational clients never pay it,
+    but the read-only and short-lived modules consume these answers
+    through premise queries and *replace* the assertion with their own
+    cheap heap checks. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_profile
+open Scaf_analysis
+
+(* Memory accesses whose address operand is exactly a given register: their
+   access entries describe that register's observed pointees. Built once. *)
+let addr_uses (prog : Progctx.t) : (string * string, int list) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Irmod.iter_instrs prog.Progctx.m (fun f _ (i : Instr.t) ->
+      match Instr.footprint i with
+      | Some (Value.Reg r, _) ->
+          let key = (f.Func.name, r) in
+          Hashtbl.replace tbl key
+            (i.Instr.id :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+      | _ -> ());
+  tbl
+
+let merge_entries (es : Points_to_profile.entry list) :
+    Points_to_profile.entry option =
+  match es with
+  | [] -> None
+  | e :: rest ->
+      Some
+        (List.fold_left
+           (fun (acc : Points_to_profile.entry) (e : Points_to_profile.entry) ->
+             {
+               Points_to_profile.sites =
+                 Site.Set.union acc.Points_to_profile.sites
+                   e.Points_to_profile.sites;
+               min_off = min acc.Points_to_profile.min_off e.Points_to_profile.min_off;
+               max_off = max acc.Points_to_profile.max_off e.Points_to_profile.max_off;
+               const_off =
+                 (if acc.Points_to_profile.const_off = e.Points_to_profile.const_off
+                  then acc.Points_to_profile.const_off
+                  else None);
+               count = acc.Points_to_profile.count + e.Points_to_profile.count;
+             })
+           { e with Points_to_profile.sites = e.Points_to_profile.sites }
+           rest)
+
+(* The profile entry standing for a pointer value: the entry of its
+   defining instruction (gep/malloc/alloca results are recorded by the
+   profiler's on_ptr hook), a synthetic entry for globals, or — for
+   pointers of other provenance (e.g. load results) — the merged access
+   entries of the memory operations addressed by the register. *)
+let entry_of ?(uses : (string * string, int list) Hashtbl.t option)
+    (prog : Progctx.t) (profiles : Profiles.t) ?cc ~(fname : string)
+    (v : Value.t) : (Points_to_profile.entry * int option) option =
+  match v with
+  | Value.Global g ->
+      let size =
+        match Irmod.find_global prog.Progctx.m g with
+        | Some gl -> gl.Irmod.gsize
+        | None -> 1
+      in
+      ignore size;
+      Some
+        ( {
+            Points_to_profile.sites =
+              Site.Set.singleton { Site.skind = Site.SGlobal g; sctx = [] };
+            min_off = 0;
+            max_off = 0;
+            const_off = Some 0;
+            count = 1;
+          },
+          None )
+  | Value.Reg r -> (
+      match Progctx.def prog fname r with
+      | Some def -> (
+          (* only pointer-PRODUCING definitions carry a profile entry about
+             the value: gep/alloca/malloc results (the on_ptr hook). A
+             load's access entry describes the address it reads FROM, not
+             the pointer it produces — using it here would be unsound. *)
+          let producing =
+            match def.Instr.kind with
+            | Instr.Gep _ | Instr.Alloca _ -> true
+            | Instr.Call { callee; _ } ->
+                Irmod.has_attr prog.Progctx.m callee Func.Malloc_like
+            | _ -> false
+          in
+          if producing then
+            match
+              Points_to_profile.observed profiles.Profiles.points_to ?ctx:cc
+                def.Instr.id
+            with
+            | Some e -> Some (e, Some def.Instr.id)
+            | None -> None
+          else
+            (* fall back to the access entries of memory operations that
+               use this register directly as their address *)
+            match uses with
+            | None -> None
+            | Some uses -> (
+                match Hashtbl.find_opt uses (fname, r) with
+                | Some (first :: _ as ids) -> (
+                    let es =
+                      List.filter_map
+                        (Points_to_profile.observed profiles.Profiles.points_to
+                           ?ctx:cc)
+                        ids
+                    in
+                    if List.length es <> List.length ids then None
+                    else
+                      match merge_entries es with
+                      | Some e -> Some (e, Some first)
+                      | None -> None)
+                | _ -> None))
+      | None -> None)
+  | _ -> None
+
+let assertion_for (instr : int option) : Assertion.t =
+  {
+    Assertion.module_id = "points-to";
+    points = Option.to_list instr;
+    cost = Cost_model.prohibitive;
+    conflicts = [];
+    payload = Assertion.Points_to_objects { instr = Option.value ~default:(-1) instr };
+  }
+
+(* Instance stability for Must/SubAlias across iterations: globals always;
+   allocation sites only when outside the query loop (for cross-iteration)
+   or unique per iteration (intra). *)
+let site_stable (prog : Progctx.t) (tr : Query.temporal) (lid : string option)
+    (s : Site.t) : bool =
+  match s.Site.skind with
+  | Site.SGlobal _ -> true
+  | Site.SStack id | Site.SHeap id -> (
+      match tr with
+      | Query.Same -> Autil.unique_per_iteration prog ~lid id
+      | Query.Before | Query.After -> (
+          match lid with
+          | None -> false
+          | Some lid -> (
+              match Progctx.loop_of_lid prog lid with
+              | Some (lf, loop) -> (
+                  match Progctx.loops_of prog lf with
+                  | Some li -> not (Loops.contains_instr li loop id)
+                  | None -> false)
+              | None -> false)))
+
+let answer ~uses (prog : Progctx.t) (profiles : Profiles.t)
+    (_ctx : Module_api.ctx) (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref _ -> Module_api.no_answer q
+  | Query.Alias a -> (
+      let cc = a.Query.acc in
+      match
+        ( entry_of ~uses prog profiles ?cc ~fname:a.Query.a1.Query.fname
+            a.Query.a1.Query.ptr,
+          entry_of ~uses prog profiles ?cc ~fname:a.Query.a2.Query.fname
+            a.Query.a2.Query.ptr )
+      with
+      | Some (e1, d1), Some (e2, d2) ->
+          let asserts =
+            List.sort_uniq Assertion.compare
+              [ assertion_for d1; assertion_for d2 ]
+          in
+          if
+            Points_to_profile.disjoint_sites ~ctx_sensitive:(cc <> None) e1 e2
+          then
+            Response.speculative (Aresult.RAlias Aresult.NoAlias) asserts
+          else begin
+            (* containment: every observed site of one side is the same
+               dynamic site — static point AND allocation context; two
+               instances of one static site (e.g. one malloc reached from
+               two call sites) are different objects *)
+            let single_site (e : Points_to_profile.entry) : Site.t option =
+              match Site.Set.choose_opt e.Points_to_profile.sites with
+              | Some s
+                when Site.Set.for_all
+                       (fun s' -> Site.equal s s')
+                       e.Points_to_profile.sites ->
+                  Some s
+              | _ -> None
+            in
+            match (single_site e1, single_site e2) with
+            | Some s1, Some s2
+              when Site.equal s1 s2
+                   && site_stable prog a.Query.atr a.Query.aloop s1 -> (
+                match
+                  (e1.Points_to_profile.const_off, e2.Points_to_profile.const_off)
+                with
+                | Some o1, Some o2 ->
+                    let r =
+                      Basic_aa.classify_offsets (Int64.of_int o1)
+                        a.Query.a1.Query.size (Int64.of_int o2)
+                        a.Query.a2.Query.size
+                    in
+                    if r = Aresult.MayAlias then Module_api.no_answer q
+                    else Response.speculative (Aresult.RAlias r) asserts
+                | _ ->
+                    (* one side at a fixed offset: its exact extent can
+                       contain the other's whole observed range *)
+                    let contains (outer : Points_to_profile.entry)
+                        (osize : int) (inner : Points_to_profile.entry) =
+                      match outer.Points_to_profile.const_off with
+                      | Some o ->
+                          inner.Points_to_profile.min_off >= o
+                          && inner.Points_to_profile.max_off < o + osize
+                      | None -> false
+                    in
+                    if
+                      contains e1 a.Query.a1.Query.size e2
+                      || contains e2 a.Query.a2.Query.size e1
+                    then
+                      Response.speculative (Aresult.RAlias Aresult.SubAlias)
+                        asserts
+                    else Module_api.no_answer q)
+            | _ -> Module_api.no_answer q
+          end
+      | _ -> Module_api.no_answer q)
+
+let create (profiles : Profiles.t) : Module_api.t =
+  let prog = profiles.Profiles.ctx in
+  let uses = addr_uses prog in
+  Module_api.make ~name:"points-to" ~kind:Module_api.Speculation
+    ~factored:false (fun ctx q -> answer ~uses prog profiles ctx q)

@@ -1,0 +1,95 @@
+(** Read-only speculation module (factored, §4.2.4).
+
+    The lifetime profiler marks allocation sites whose objects are read but
+    never written inside a target loop. A dependence between a store and a
+    load whose location lies inside such an object is asserted absent: the
+    store would otherwise violate read-only-ness.
+
+    The containment fact is obtained through a premise query (resolved by
+    the points-to speculation module) whose prohibitive points-to assertion
+    is *replaced* by this module's own cheap validation: re-allocate the
+    read-only objects into a separate heap and guard the store's pointer
+    with a heap check (Figure 7a). *)
+
+open Scaf
+open Scaf_cfg
+open Scaf_profile
+open Scaf_analysis
+
+let ro_sites (profiles : Profiles.t) (lid : string) : Site.t list =
+  List.filter
+    (Lifetime_profile.read_only profiles.Profiles.lifetime ~lid)
+    (Lifetime_profile.sites_of_loop profiles.Profiles.lifetime ~lid)
+
+let assertion_for (profiles : Profiles.t) ~(lid : string) ~(site : Site.t)
+    ~(protected_side : int) ~(store_side : int) : Assertion.t =
+  let count g = Residue_profile.exec_count profiles.Profiles.residues g in
+  {
+    Assertion.module_id = "read-only";
+    points = [ protected_side; store_side ];
+    cost =
+      Cost_model.scaled Cost_model.heap_check
+        (count protected_side + count store_side);
+    conflicts = Sep_util.site_conflicts [ site ];
+    payload =
+      Assertion.Heap_separate
+        {
+          loop = lid;
+          sites = Sep_util.site_conflicts [ site ];
+          gsites = Sep_util.site_globals [ site ];
+          heap = Assertion.Read_only_heap;
+          inside = [ protected_side ];
+          outside = [ store_side ];
+        };
+  }
+
+let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref mq -> (
+      match (mq.Query.mloop, mq.Query.mtarget) with
+      | Some lid, Query.TInstr i2 -> (
+          let i1 = mq.Query.minstr in
+          (* orient: the store side would violate read-only-ness *)
+          let oriented =
+            match (Autil.rw_of_instr prog i1, Autil.rw_of_instr prog i2) with
+            | `Store, `Load -> Some (i1, i2)
+            | `Load, `Store -> Some (i2, i1)
+            | `Store, `Store -> Some (i1, i2)
+            | _ -> None
+          in
+          match oriented with
+          | None -> Module_api.no_answer q
+          | Some (store_side, protected_side) -> (
+              match ro_sites profiles lid with
+              | [] -> Module_api.no_answer q
+              | sites -> (
+                  match Autil.loc_of_instr prog protected_side with
+                  | None -> Module_api.no_answer q
+                  | Some loc -> (
+                      match
+                        Sep_util.find_containing_site ctx prog ~loop:lid
+                          ?cc:mq.Query.mcc loc sites
+                      with
+                      | Some (site, presp) ->
+                          (* replace the premise's prohibitive points-to
+                             assertion with our cheap heap check *)
+                          {
+                            Response.result = Aresult.RModref Aresult.NoModRef;
+                            options =
+                              [
+                                [
+                                  assertion_for profiles ~lid ~site
+                                    ~protected_side ~store_side;
+                                ];
+                              ];
+                            provenance = presp.Response.provenance;
+                          }
+                      | None -> Module_api.no_answer q))))
+      | _ -> Module_api.no_answer q)
+
+let create (profiles : Profiles.t) : Module_api.t =
+  let prog = profiles.Profiles.ctx in
+  Module_api.make ~name:"read-only" ~kind:Module_api.Speculation ~factored:true
+    (fun ctx q -> answer prog profiles ctx q)

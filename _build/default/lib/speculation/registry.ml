@@ -1,0 +1,33 @@
+(** The speculation-module ensemble, in the default consultation order:
+    cheapest average assertion cost first (§3.3 — "modules with the smaller
+    average cost of speculative assertions are prioritized"); points-to
+    last, since its own assertions are prohibitive and its value is as a
+    premise resolver. *)
+
+let create (profiles : Scaf_profile.Profiles.t) : Scaf.Module_api.t list =
+  [
+    Control_spec.create profiles;
+    Value_pred_spec.create profiles;
+    Residue_spec.create profiles;
+    Read_only_spec.create profiles;
+    Short_lived_spec.create profiles;
+    Points_to_spec.create profiles;
+  ]
+
+(** The composition units for the *composition by confluence* baseline
+    (§5): "each dependence query is passed to each module in isolation,
+    and the confluence of individual results is returned". Only the memory
+    analysis modules are grouped (as CAF), to avoid crediting this work for
+    CAF's collaboration; every speculative technique stands alone, so e.g.
+    the read-only module cannot lean on points-to answers the way it does
+    inside SCAF. *)
+let confluence_units (profiles : Scaf_profile.Profiles.t) :
+    Scaf.Module_api.t list list =
+  [
+    [ Control_spec.create profiles ];
+    [ Value_pred_spec.create profiles ];
+    [ Residue_spec.create profiles ];
+    [ Read_only_spec.create profiles ];
+    [ Short_lived_spec.create profiles ];
+    [ Points_to_spec.create profiles ];
+  ]

@@ -1,0 +1,111 @@
+(** Pointer-residue speculation module (base, §4.2.3, after Johnson).
+
+    Characterizes each pointer by the observed values of its four
+    least-significant bits. Accesses whose residue sets — widened by their
+    access sizes — are disjoint cannot overlap, whatever their base
+    objects. Validation is a couple of bitwise operations per guarded
+    pointer computation and conflicts with nothing. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_profile
+open Scaf_analysis
+
+(* The profiled residue set standing for a pointer value: that of its
+   defining instruction (recorded by the on_ptr/access hooks). *)
+let residues_of (prog : Progctx.t) (profiles : Profiles.t) ~(fname : string)
+    (v : Value.t) : (int * int * int) option =
+  match v with
+  | Value.Reg r -> (
+      match Progctx.def prog fname r with
+      | Some def -> (
+          (* only pointer-producing defs (gep/alloca/malloc) have a residue
+             entry describing their value; a load's entry describes the
+             address it reads from *)
+          let producing =
+            match def.Instr.kind with
+            | Instr.Gep _ | Instr.Alloca _ -> true
+            | Instr.Call { callee; _ } ->
+                Irmod.has_attr prog.Progctx.m callee Func.Malloc_like
+            | _ -> false
+          in
+          if not producing then None
+          else
+            match
+              Residue_profile.residue_set profiles.Profiles.residues
+                def.Instr.id
+            with
+            | Some set ->
+                Some
+                  ( set,
+                    def.Instr.id,
+                    Residue_profile.exec_count profiles.Profiles.residues
+                      def.Instr.id )
+            | None -> None)
+      | None -> None)
+  | _ -> None
+
+let assertion_for (access : int) (allowed : int) (count : int) : Assertion.t =
+  {
+    Assertion.module_id = "pointer-residue";
+    points = [ access ];
+    cost = Cost_model.scaled Cost_model.residue_check count;
+    conflicts = [];
+    payload = Assertion.Residue { access; allowed };
+  }
+
+(* Residue set of an access instruction itself (profiled at the access). *)
+let residues_of_access (profiles : Profiles.t) (id : int) : (int * int) option =
+  match Residue_profile.residue_set profiles.Profiles.residues id with
+  | Some set ->
+      Some (set, Residue_profile.exec_count profiles.Profiles.residues id)
+  | None -> None
+
+let answer (prog : Progctx.t) (profiles : Profiles.t) (_ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  match q with
+  | Query.Modref mq -> (
+      (* self-contained modref handling: compare the two accesses' own
+         profiled residue sets — the technique works in isolation, as in
+         prior speculative systems *)
+      match (mq.Query.mtarget, Autil.loc_of_instr prog mq.Query.minstr) with
+      | Query.TInstr i2, Some loc1 -> (
+          match
+            ( Autil.loc_of_instr prog i2,
+              residues_of_access profiles mq.Query.minstr,
+              residues_of_access profiles i2 )
+          with
+          | Some loc2, Some (s1, c1), Some (s2, c2)
+            when Residue_profile.disjoint s1 loc1.Query.size s2
+                   loc2.Query.size ->
+              Response.speculative (Aresult.RModref Aresult.NoModRef)
+                [
+                  assertion_for mq.Query.minstr s1 c1;
+                  assertion_for i2 s2 c2;
+                ]
+          | _ -> Module_api.no_answer q)
+      | _ -> Module_api.no_answer q)
+  | Query.Alias a -> (
+      if a.Query.adr = Some Query.DMustAlias then Module_api.no_answer q
+      else
+        match
+          ( residues_of prog profiles ~fname:a.Query.a1.Query.fname
+              a.Query.a1.Query.ptr,
+            residues_of prog profiles ~fname:a.Query.a2.Query.fname
+              a.Query.a2.Query.ptr )
+        with
+        | Some (s1, d1, c1), Some (s2, d2, c2) ->
+            if
+              Residue_profile.disjoint s1 a.Query.a1.Query.size s2
+                a.Query.a2.Query.size
+            then
+              Response.speculative (Aresult.RAlias Aresult.NoAlias)
+                [ assertion_for d1 s1 c1; assertion_for d2 s2 c2 ]
+            else Module_api.no_answer q
+        | _ -> Module_api.no_answer q)
+
+let create (profiles : Profiles.t) : Module_api.t =
+  let prog = profiles.Profiles.ctx in
+  Module_api.make ~name:"pointer-residue" ~kind:Module_api.Speculation
+    ~factored:false (fun ctx q -> answer prog profiles ctx q)

@@ -1,0 +1,94 @@
+(** Shared machinery for the separation-speculation modules (read-only and
+    short-lived), which the paper obtains by decomposing the monolithic
+    analysis of Johnson et al. [25] into simple collaborating modules
+    (§4.2.1 "Design with Collaboration in Mind"). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_profile
+
+(** A queryable handle for an allocation site: the SSA value holding the
+    object's base address, the object size, and the owning function. *)
+let site_handle (prog : Progctx.t) (s : Site.t) : (Value.t * int * string) option
+    =
+  match s.Site.skind with
+  | Site.SGlobal g -> (
+      match Irmod.find_global prog.Progctx.m g with
+      | Some gl -> Some (Value.Global g, gl.Irmod.gsize, "")
+      | None -> None)
+  | Site.SHeap id | Site.SStack id -> (
+      match Progctx.occ prog id with
+      | Some o -> (
+          let fname = o.Irmod.Index.func.Func.name in
+          match (o.Irmod.Index.instr.Instr.dst, o.Irmod.Index.instr.Instr.kind) with
+          | Some dst, Instr.Call { args = Value.Int n :: _; _ } ->
+              Some (Value.Reg dst, Int64.to_int n, fname)
+          | Some dst, Instr.Alloca { size } -> Some (Value.Reg dst, size, fname)
+          | Some dst, _ -> Some (Value.Reg dst, 1 lsl 20, fname)
+          | None, _ -> None)
+      | None -> None)
+
+(** Program points whose transformation re-allocates the site (the
+    conflict points of separation assertions). *)
+let site_conflicts (sites : Site.t list) : int list =
+  List.filter_map
+    (fun (s : Site.t) ->
+      match s.Site.skind with
+      | Site.SHeap id | Site.SStack id -> Some id
+      | Site.SGlobal _ -> None)
+    sites
+
+(** Global objects among the sites (separated at program entry instead of
+    at an allocation instruction). *)
+let site_globals (sites : Site.t list) : string list =
+  List.filter_map
+    (fun (s : Site.t) ->
+      match s.Site.skind with
+      | Site.SGlobal g -> Some g
+      | Site.SHeap _ | Site.SStack _ -> None)
+    sites
+
+(** [loc_within_site ctx prog ~fname loc s] premise-queries the ensemble —
+    in practice the points-to speculation module — asking whether [loc]
+    lies inside an object of site [s]. On SubAlias/MustAlias, returns the
+    premise response (whose prohibitive points-to assertion the caller
+    *replaces* with its own cheap heap check, §4.2.3). *)
+let loc_within_site (ctx : Module_api.ctx) (prog : Progctx.t)
+    ?(loop : string option) ?(cc : int list option) (loc : Query.memloc)
+    (s : Site.t) : Response.t option =
+  match site_handle prog s with
+  | None -> None
+  | Some (sptr, ssize, sfname) -> (
+      let sfname = if sfname = "" then loc.Query.fname else sfname in
+      let premise =
+        Query.Alias
+          {
+            Query.a1 = { Query.ptr = sptr; size = ssize; fname = sfname };
+            atr = Query.Same;
+            a2 = loc;
+            aloop = loop;
+            acc = cc;
+            adr = None;
+          }
+      in
+      let presp = ctx.Module_api.handle premise in
+      match presp.Response.result with
+      | Aresult.RAlias Aresult.SubAlias | Aresult.RAlias Aresult.MustAlias ->
+          Some presp
+      | _ -> None)
+
+(** Find the first site in [sites] containing [loc] (capped search). *)
+let find_containing_site (ctx : Module_api.ctx) (prog : Progctx.t)
+    ?loop ?cc (loc : Query.memloc) (sites : Site.t list) :
+    (Site.t * Response.t) option =
+  let rec go n = function
+    | [] -> None
+    | s :: rest -> (
+        if n <= 0 then None
+        else
+          match loc_within_site ctx prog ?loop ?cc loc s with
+          | Some r -> Some (s, r)
+          | None -> go (n - 1) rest)
+  in
+  go 8 sites

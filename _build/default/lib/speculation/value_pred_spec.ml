@@ -1,0 +1,157 @@
+(** Value-prediction speculation module (factored, §4.2.4).
+
+    Loads that produced the same value on every profiled execution are
+    *predictable*. Dependences that source from or sink into a predictable
+    load are asserted absent (the load's value is supplied by the validated
+    prediction, decoupling it from memory ordering).
+
+    Factored behaviour: a predictable load [k] that post-dominates the
+    dependence source and dominates its destination acts as a *kill*: the
+    module premise-queries whether [k]'s footprint must-alias the
+    dependent footprint; on MustAlias the dependence is asserted absent
+    under the prediction check on [k]. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_profile
+open Scaf_analysis
+
+let assertion_for (profiles : Profiles.t) (load : int) (value : int64) :
+    Assertion.t =
+  {
+    Assertion.module_id = "value-pred";
+    points = [ load ];
+    cost =
+      Cost_model.scaled Cost_model.value_check
+        (Value_profile.exec_count profiles.Profiles.values load);
+    conflicts = [];
+    payload = Assertion.Value_predict { load; value };
+  }
+
+(* Predictable loads of a function (or loop), with their values. *)
+let predictable_loads_in (prog : Progctx.t) (profiles : Profiles.t)
+    ~(fname : string) ~(lid : string option) : (Instr.t * int64) list =
+  match Progctx.cfg_of prog fname with
+  | None -> []
+  | Some cfg ->
+      let in_scope (i : Instr.t) =
+        match lid with
+        | None -> true
+        | Some lid -> (
+            match Progctx.loop_of_lid prog lid with
+            | Some (lf, loop) when String.equal lf fname -> (
+                match Progctx.loops_of prog fname with
+                | Some li -> Loops.contains_instr li loop i.Instr.id
+                | None -> false)
+            | _ -> false)
+      in
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with
+              | Instr.Load _ when in_scope i -> (
+                  match
+                    Value_profile.predictable profiles.Profiles.values
+                      i.Instr.id
+                  with
+                  | Some (v, _) -> Some (i, v)
+                  | None -> None)
+              | _ -> None)
+            (Cfg.block cfg b).Block.instrs)
+        (List.init (Cfg.num_blocks cfg) Fun.id)
+
+let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  match q with
+  | Query.Alias _ -> Module_api.no_answer q
+  | Query.Modref mq -> (
+      match mq.Query.mtarget with
+      | Query.TLoc _ -> Module_api.no_answer q
+      | Query.TInstr i2 -> (
+          let i1 = mq.Query.minstr in
+          let k1 = Autil.rw_of_instr prog i1
+          and k2 = Autil.rw_of_instr prog i2 in
+          let pred id =
+            Value_profile.predictable profiles.Profiles.values id
+          in
+          (* direct: one endpoint is a predictable load, the other a store *)
+          match (k1, k2) with
+          | `Load, `Store when pred i1 <> None ->
+              let v, _ = Option.get (pred i1) in
+              Response.speculative (Aresult.RModref Aresult.NoModRef)
+                [ assertion_for profiles i1 v ]
+          | `Store, `Load when pred i2 <> None ->
+              let v, _ = Option.get (pred i2) in
+              Response.speculative (Aresult.RModref Aresult.NoModRef)
+                [ assertion_for profiles i2 v ]
+          | `Store, (`Load | `Store) -> (
+              (* kill behaviour: predictable load between the endpoints *)
+              match Progctx.func_of_instr prog i1 with
+              | None -> Module_api.no_answer q
+              | Some f -> (
+                  let fname = f.Func.name in
+                  let ctrl =
+                    match mq.Query.mctrl with
+                    | Some c -> Some c
+                    | None -> Progctx.ctrl_of prog fname
+                  in
+                  match (ctrl, Autil.loc_of_instr prog i2) with
+                  | Some ctrl, Some loc2 ->
+                      let candidates =
+                        predictable_loads_in prog profiles ~fname
+                          ~lid:mq.Query.mloop
+                      in
+                      let try_k ((k : Instr.t), v) : Response.t option =
+                        if k.Instr.id = i1 || k.Instr.id = i2 then None
+                        else if
+                          not
+                            (Ctrl.post_dominates_instr ctrl k.Instr.id i1
+                            && Ctrl.dominates_instr ctrl k.Instr.id i2)
+                        then None
+                        else
+                          match Instr.footprint k with
+                          | None -> None
+                          | Some (kptr, ksize) -> (
+                              if ksize < loc2.Query.size then None
+                              else
+                                let premise =
+                                  Query.alias ~fname ?loop:mq.Query.mloop
+                                    ?cc:mq.Query.mcc ~dr:Query.DMustAlias
+                                    ~tr:Query.Same
+                                    (kptr, loc2.Query.size)
+                                    (loc2.Query.ptr, loc2.Query.size)
+                                in
+                                let presp = ctx.Module_api.handle premise in
+                                match presp.Response.result with
+                                | Aresult.RAlias Aresult.MustAlias ->
+                                    Some
+                                      {
+                                        Response.result =
+                                          Aresult.RModref Aresult.NoModRef;
+                                        options =
+                                          List.map
+                                            (fun o ->
+                                              List.sort_uniq Assertion.compare
+                                                (assertion_for profiles
+                                                   k.Instr.id v
+                                                :: o))
+                                            presp.Response.options;
+                                        provenance = presp.Response.provenance;
+                                      }
+                                | _ -> None)
+                      in
+                      let rec first = function
+                        | [] -> Module_api.no_answer q
+                        | c :: rest -> (
+                            match try_k c with Some r -> r | None -> first rest)
+                      in
+                      first candidates
+                  | _ -> Module_api.no_answer q))
+          | _ -> Module_api.no_answer q))
+
+let create (profiles : Profiles.t) : Module_api.t =
+  let prog = profiles.Profiles.ctx in
+  Module_api.make ~name:"value-pred" ~kind:Module_api.Speculation
+    ~factored:true (fun ctx q -> answer prog profiles ctx q)

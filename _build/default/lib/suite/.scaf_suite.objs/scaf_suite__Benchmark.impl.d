@@ -1,0 +1,1 @@
+lib/suite/benchmark.ml: Patterns Scaf_ir

@@ -1,0 +1,1 @@
+lib/suite/patterns.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Benchmark List Patterns String

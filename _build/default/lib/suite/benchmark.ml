@@ -1,0 +1,31 @@
+(** A synthetic stand-in for one evaluated SPEC benchmark: an MIR program,
+    its training inputs (the paper profiles on SPEC "train" inputs) and a
+    reference input that exercises the rare paths (for misspeculation
+    tests). *)
+
+type t = {
+  name : string;  (** the SPEC benchmark this stands in for *)
+  descr : string;  (** which dependence idioms its hot loops exercise *)
+  source : string;  (** MIR program text *)
+  train_inputs : int64 array list;
+  ref_input : int64 array;
+}
+
+(** Parse (and verify) the program. *)
+let program (t : t) : Scaf_ir.Irmod.t =
+  let m = Scaf_ir.Parser.parse_exn_msg t.source in
+  Scaf_ir.Verify.check_exn m;
+  m
+
+(* All rare-path gates read index 0; training input keeps them closed. *)
+let train = [ [| 0L |] ]
+let ref_in = [| 1L |]
+
+let make ~name ~descr pieces : t =
+  {
+    name;
+    descr;
+    source = Patterns.compose pieces;
+    train_inputs = train;
+    ref_input = ref_in;
+  }

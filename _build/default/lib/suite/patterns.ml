@@ -1,0 +1,492 @@
+(** Loop-pattern generators for the synthetic SPEC stand-ins.
+
+    The SPEC benchmarks are unavailable here (see DESIGN.md §2), so each
+    evaluated benchmark is a composition of hot-loop *dependence idioms*
+    distilled from what the paper's analyses exploit. Every generator emits
+    one kernel function with one hot loop (>= 50 iterations per invocation)
+    plus any init function and globals it needs. The idioms:
+
+    - {!rare_kill}: a never-profiled path bypasses the killing store — the
+      motivating example; SCAF wins via control-spec + kill-flow.
+    - {!ro_table}: lookups in a heap table that is read-only in the loop,
+      reachable only through opaque slot loads; SCAF wins via read-only +
+      points-to.
+    - {!short_lived}: a per-iteration heap buffer whose address escapes
+      into a global slot; SCAF wins via short-lived + points-to.
+    - {!dead_store_global_malloc}: a speculatively dead store poisons a
+      global's malloc partition; SCAF wins via reachability analyses +
+      control-spec premise discharge.
+    - {!unique_path_chain}: the killer's must-alias premise needs a stable
+      pointer slot whose only interfering store is speculatively dead; a
+      three-deep premise chain (kill-flow -> unique-paths -> control-spec).
+    - {!value_kill_output}: an output dependence between stores of a
+      value-stable flag; SCAF wins via value-prediction kills + basic-aa.
+    - {!residue_streams}: even/odd 16-byte phases with opaque indices;
+      pointer-residue resolves it *in isolation* — confluence ties.
+    - {!static_arrays}: textbook affine arrays; CAF resolves — ties.
+    - {!indirect_index}: input-dependent disjoint regions no cheap
+      technique can validate — only memory speculation covers them. *)
+
+type piece = {
+  globals : string;
+  funcs : string;
+  init_calls : string list;
+  run_calls : string list;
+}
+
+let k = Printf.sprintf
+
+(** The motivating-example idiom (Figures 1/5/6). *)
+let rare_kill ~name ~iters ~gate : piece =
+  {
+    globals = k "global @%s_a 8\nglobal @%s_b 8\n" name name;
+    init_calls = [];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [latch: %%i2]
+  %%r = call @input(%d)
+  %%c = icmp ne %%r, 0
+  condbr %%c, rare, common
+rare:
+  store 8, @%s_b, 7
+  br cont
+common:
+  store 8, @%s_a, %%i
+  br cont
+cont:
+  %%v = load 8, @%s_a
+  %%w = load 8, @%s_b
+  %%s = add %%v, %%w
+  store 8, @%s_b, %%s
+  br latch
+latch:
+  %%i2 = add %%i, 1
+  store 8, @%s_a, %%i2
+  %%d = icmp slt %%i2, %d
+  condbr %%d, loop, exit
+exit:
+  %%f = load 8, @%s_b
+  call @print(%%f)
+  ret
+}
+|}
+        name gate name name name name name name iters name;
+  }
+
+(** Read-only heap table behind opaque slot loads. [size] must be a
+    multiple of 8; the fill loop strides by 32 to stay cold. *)
+let ro_table ~name ~iters ~size : piece =
+  let nslots = size / 8 in
+  {
+    globals =
+      k "global @%s_tbl 8\nglobal @%s_out 8\nglobal @%s_acc 8\n" name name name;
+    init_calls = [ k "call @%s_init()" name ];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_init() {
+entry:
+  %%t = call @malloc(%d)
+  store 8, @%s_tbl, %%t
+  %%o = call @malloc(%d)
+  store 8, @%s_out, %%o
+  %%q = load 8, @%s_out
+  store 8, @%s_out, %%q
+  %%tp = load 8, @%s_tbl
+  call @sink(%%tp)
+  br fill
+fill:
+  %%i = phi [entry: 0], [fill: %%i2]
+  %%p = gep %%t, %%i
+  store 8, %%p, %%i
+  %%i2 = add %%i, 32
+  %%c = icmp slt %%i2, %d
+  condbr %%c, fill, exit
+exit:
+  ret
+}
+
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [loop: %%i2], [entry: 0]
+  %%t = load 8, @%s_tbl
+  %%o = load 8, @%s_out
+  %%h = mul %%i, 37
+  %%h2 = srem %%h, %d
+  %%h3 = mul %%h2, 8
+  %%p = gep %%t, %%h3
+  %%v = load 8, %%p
+  %%j = srem %%i, %d
+  %%j3 = mul %%j, 8
+  %%q = gep %%o, %%j3
+  store 8, %%q, %%v
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name size name size name name name name size name name name nslots
+        nslots name name iters name;
+  }
+
+(** Per-iteration heap buffer escaping into a global slot. *)
+let short_lived ~name ~iters : piece =
+  {
+    globals = k "global @%s_slot 8\nglobal @%s_acc 8\n" name name;
+    init_calls = [];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [loop: %%i2]
+  %%b = call @malloc(64)
+  store 8, @%s_slot, %%b
+  %%p = load 8, @%s_slot
+  %%j = srem %%i, 8
+  %%j8 = mul %%j, 8
+  %%q = gep %%p, %%j8
+  store 8, %%q, %%i
+  %%r = gep %%p, 8
+  %%v = load 8, %%r
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  %%b2 = load 8, @%s_slot
+  call @free(%%b2)
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name name name name name name iters name;
+  }
+
+(** Two malloc partitions; a speculatively dead store poisons one. *)
+let dead_store_global_malloc ~name ~iters ~gate : piece =
+  {
+    globals = k "global @%s_sa 8\nglobal @%s_sb 8\nglobal @%s_acc 8\n" name name name;
+    init_calls = [ k "call @%s_init()" name ];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_init() {
+entry:
+  %%a = call @malloc(128)
+  store 8, @%s_sa, %%a
+  %%b = call @malloc(128)
+  store 8, @%s_sb, %%b
+  br fill
+fill:
+  %%i = phi [entry: 0], [fill: %%i2]
+  %%p = gep %%b, %%i
+  store 8, %%p, %%i
+  %%i2 = add %%i, 32
+  %%c = icmp slt %%i2, 128
+  condbr %%c, fill, exit
+exit:
+  ret
+}
+
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [latch: %%i2]
+  %%r = call @input(%d)
+  %%c = icmp ne %%r, 0
+  condbr %%c, rare, body
+rare:
+  %%x = load 8, @%s_sb
+  %%x8 = gep %%x, 8
+  store 8, @%s_sa, %%x8
+  br body
+body:
+  %%pa = load 8, @%s_sa
+  %%pb = load 8, @%s_sb
+  %%j = srem %%i, 14
+  %%j8 = mul %%j, 8
+  %%qa = gep %%pa, %%j8
+  store 8, %%qa, %%i
+  %%qb = gep %%pb, %%j8
+  %%v = load 8, %%qb
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  br latch
+latch:
+  %%i2 = add %%i, 1
+  %%d = icmp slt %%i2, %d
+  condbr %%d, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name name name name gate name name name name name name iters name;
+  }
+
+(** Stable pointer slot + dead slot rewrite: a three-deep premise chain. *)
+let unique_path_chain ~name ~iters ~gate : piece =
+  {
+    globals = k "global @%s_base 8\nglobal @%s_acc 8\n" name name;
+    init_calls = [ k "call @%s_init()" name ];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_init() {
+entry:
+  %%b = call @malloc(64)
+  store 8, @%s_base, %%b
+  ret
+}
+
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [latch: %%i2]
+  %%g = call @input(%d)
+  %%c = icmp ne %%g, 0
+  condbr %%c, rare, cont
+rare:
+  %%nb = call @malloc(64)
+  store 8, @%s_base, %%nb
+  br cont
+cont:
+  %%p1 = load 8, @%s_base
+  %%k1 = gep %%p1, 0
+  store 8, %%k1, %%i
+  %%p2 = load 8, @%s_base
+  %%k2 = gep %%p2, 0
+  %%v = load 8, %%k2
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  br latch
+latch:
+  %%i2 = add %%i, 1
+  %%p3 = load 8, @%s_base
+  %%k3 = gep %%p3, 0
+  store 8, %%k3, %%i2
+  %%d = icmp slt %%i2, %d
+  condbr %%d, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name name name gate name name name name name name iters name;
+  }
+
+(** Output dependence between stores of a value-stable flag. *)
+let value_kill_output ~name ~iters : piece =
+  {
+    globals = k "global @%s_flag 8\nglobal @%s_acc 8\n" name name;
+    init_calls = [];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [loop: %%i2]
+  %%z = icmp sgt %%i, 1000000
+  store 8, @%s_flag, %%z
+  %%fv = load 8, @%s_flag
+  %%sel = select %%fv, 3, 1
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%sel
+  store 8, @%s_acc, %%a2
+  %%z2 = icmp sgt %%i, 2000000
+  store 8, @%s_flag, %%z2
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name name name name name name iters name;
+  }
+
+(** Even/odd 16-byte phases with opaque indices: residue territory. *)
+let residue_streams ~name ~iters ~gate : piece =
+  {
+    globals = k "global @%s_arr 256\nglobal @%s_acc 8\n" name name;
+    init_calls = [];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [loop: %%i2]
+  %%e = call @input(%d)
+  %%io = mul %%i, 48
+  %%k0 = add %%io, %%e
+  %%k2 = srem %%k0, 240
+  %%p = gep @%s_arr, %%k2
+  store 8, %%p, %%i
+  %%j = mul %%i, 31
+  %%j2 = srem %%j, 15
+  %%j3 = mul %%j2, 16
+  %%j4 = add %%j3, 8
+  %%q = gep @%s_arr, %%j4
+  %%v = load 8, %%q
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name gate name name name name iters name;
+  }
+
+(** Textbook affine arrays: [x[i] = x[i] + y[i]] — CAF resolves it. The
+    kernel runs twice (and [y] holds varying data) so no load is
+    value-stable; a cold init loop fills [y]. *)
+let static_arrays ~name ~size : piece =
+  let iters = size / 8 in
+  {
+    globals = k "global @%s_x %d\nglobal @%s_y %d\n" name size name size;
+    init_calls = [ k "call @%s_init()" name ];
+    run_calls = [ k "call @%s_run()" name; k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_init() {
+entry:
+  br fill
+fill:
+  %%i = phi [entry: 0], [fill: %%i2]
+  %%p = gep @%s_y, %%i
+  %%v = add %%i, 5
+  store 8, %%p, %%v
+  %%i2 = add %%i, 24
+  %%c = icmp slt %%i2, %d
+  condbr %%c, fill, exit
+exit:
+  ret
+}
+
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [loop: %%i2]
+  %%i8 = mul %%i, 8
+  %%p = gep @%s_x, %%i8
+  %%q = gep @%s_y, %%i8
+  %%v = load 8, %%q
+  %%w = load 8, %%p
+  %%s = add %%v, %%w
+  store 8, %%p, %%s
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_x
+  call @print(%%f)
+  ret
+}
+|}
+        name name size name name name iters name;
+  }
+
+(** Input-dependent disjoint regions only memory speculation covers. *)
+let indirect_index ~name ~iters ~gate : piece =
+  {
+    globals = k "global @%s_arr 240\nglobal @%s_acc 8\n" name name;
+    init_calls = [];
+    run_calls = [ k "call @%s_run()" name ];
+    funcs =
+      k
+        {|
+func @%s_run() {
+entry:
+  br loop
+loop:
+  %%i = phi [entry: 0], [loop: %%i2]
+  %%r1 = call @input(%d)
+  %%h = mul %%i, 24
+  %%h1 = add %%h, %%r1
+  %%h2 = srem %%h1, 120
+  %%p = gep @%s_arr, %%h2
+  store 8, %%p, %%i
+  %%g = mul %%i, 24
+  %%g2 = srem %%g, 120
+  %%g3 = add %%g2, 120
+  %%q = gep @%s_arr, %%g3
+  %%v = load 8, %%q
+  %%a = load 8, @%s_acc
+  %%a2 = add %%a, %%v
+  store 8, @%s_acc, %%a2
+  %%i2 = add %%i, 1
+  %%c = icmp slt %%i2, %d
+  condbr %%c, loop, exit
+exit:
+  %%f = load 8, @%s_acc
+  call @print(%%f)
+  ret
+}
+|}
+        name gate name name name name iters name;
+  }
+
+(** Assemble a program from pieces: globals, the shared [@sink]
+    declaration, all kernel functions, and a [@main] that runs every init
+    then every kernel. *)
+let compose (pieces : piece list) : string =
+  let b = Buffer.create 4096 in
+  List.iter (fun p -> Buffer.add_string b p.globals) pieces;
+  Buffer.add_string b "\ndeclare @sink readonly\n";
+  List.iter (fun p -> Buffer.add_string b p.funcs) pieces;
+  Buffer.add_string b "\nfunc @main() {\nentry:\n";
+  List.iter
+    (fun p -> List.iter (fun c -> Buffer.add_string b ("  " ^ c ^ "\n")) p.init_calls)
+    pieces;
+  List.iter
+    (fun p -> List.iter (fun c -> Buffer.add_string b ("  " ^ c ^ "\n")) p.run_calls)
+    pieces;
+  Buffer.add_string b "  ret\n}\n";
+  Buffer.contents b

@@ -1,0 +1,217 @@
+(** The 16 evaluated benchmarks (§5 "Benchmark Selection"), one synthetic
+    stand-in per C/C++ SPEC benchmark the paper evaluates. Each is composed
+    of the hot-loop dependence idioms (see {!Patterns}) that characterize
+    the original: e.g. the neural-net codes lean on read-only weight
+    tables, the mcf codes on pointer-chasing through stable slots, and the
+    compression codes saturate under cheap isolated speculation (the
+    paper's Figure 9 outliers). *)
+
+open Patterns
+
+let spec_052_alvinn =
+  Benchmark.make ~name:"052.alvinn"
+    ~descr:
+      "neural-net training: two read-only weight-table layers, a rare \
+       saturation-reset path, and an affine update sweep"
+    [
+      ro_table ~name:"fwd" ~iters:120 ~size:512;
+      ro_table ~name:"hid" ~iters:120 ~size:512;
+      rare_kill ~name:"err" ~iters:120 ~gate:0;
+      static_arrays ~name:"upd" ~size:800;
+    ]
+
+let spec_056_ear =
+  Benchmark.make ~name:"056.ear"
+    ~descr:
+      "ear model: filterbank with even/odd channel phases and affine \
+       sweeps; one small read-only gain table"
+    [
+      residue_streams ~name:"fb" ~iters:130 ~gate:0;
+      static_arrays ~name:"win" ~size:880;
+      ro_table ~name:"gain" ~iters:110 ~size:256;
+    ]
+
+let spec_129_compress =
+  Benchmark.make ~name:"129.compress"
+    ~descr:
+      "LZW: hash probing with parity-split buckets, an affine copy, and a \
+       rare table-clear path"
+    [
+      residue_streams ~name:"hash" ~iters:140 ~gate:0;
+      static_arrays ~name:"copy" ~size:840;
+      rare_kill ~name:"clear" ~iters:120 ~gate:0;
+    ]
+
+let spec_164_gzip =
+  Benchmark.make ~name:"164.gzip"
+    ~descr:
+      "deflate: per-block short-lived window buffer, parity-split hash \
+       chains, affine literal copy, and input-indexed history"
+    [
+      short_lived ~name:"blk" ~iters:110;
+      residue_streams ~name:"chain" ~iters:120 ~gate:0;
+      static_arrays ~name:"lit" ~size:800;
+      indirect_index ~name:"hist" ~iters:110 ~gate:0;
+    ]
+
+let spec_175_vpr =
+  Benchmark.make ~name:"175.vpr"
+    ~descr:
+      "placement: rare re-routing paths around killing updates, a poisoned \
+       net partition, and a read-only timing table"
+    [
+      rare_kill ~name:"swap" ~iters:120 ~gate:0;
+      dead_store_global_malloc ~name:"net" ~iters:110 ~gate:0;
+      ro_table ~name:"tmg" ~iters:120 ~size:512;
+      static_arrays ~name:"cost" ~size:800;
+    ]
+
+let spec_179_art =
+  Benchmark.make ~name:"179.art"
+    ~descr:
+      "adaptive resonance: read-only weight matrix, affine activation \
+       sweep, parity-split f1 layer"
+    [
+      ro_table ~name:"wgt" ~iters:130 ~size:512;
+      static_arrays ~name:"act" ~size:880;
+      residue_streams ~name:"f1" ~iters:120 ~gate:0;
+    ]
+
+let spec_181_mcf =
+  Benchmark.make ~name:"181.mcf"
+    ~descr:
+      "min-cost flow: pointer chasing through a stable arc slot with a rare \
+       rebase, a poisoned node partition, input-indexed buckets"
+    [
+      unique_path_chain ~name:"arc" ~iters:130 ~gate:0;
+      dead_store_global_malloc ~name:"node" ~iters:110 ~gate:0;
+      indirect_index ~name:"bkt" ~iters:110 ~gate:0;
+    ]
+
+let spec_183_equake =
+  Benchmark.make ~name:"183.equake"
+    ~descr:
+      "earthquake FEM: read-only stiffness table, rare boundary fixup \
+       around the killing store, affine time-step sweep"
+    [
+      ro_table ~name:"stif" ~iters:130 ~size:512;
+      rare_kill ~name:"bnd" ~iters:120 ~gate:0;
+      static_arrays ~name:"step" ~size:840;
+    ]
+
+let spec_429_mcf =
+  Benchmark.make ~name:"429.mcf"
+    ~descr:
+      "min-cost flow (2006): two chased slots, a poisoned partition, a rare \
+       pricing reset, and an affine refresh"
+    [
+      unique_path_chain ~name:"arc" ~iters:120 ~gate:0;
+      dead_store_global_malloc ~name:"basket" ~iters:110 ~gate:0;
+      rare_kill ~name:"price" ~iters:110 ~gate:0;
+      static_arrays ~name:"rfr" ~size:800;
+    ]
+
+let spec_456_hmmer =
+  Benchmark.make ~name:"456.hmmer"
+    ~descr:
+      "profile HMM: read-only transition table, rare underflow rescue, \
+       value-stable termination flag, affine row sweep"
+    [
+      ro_table ~name:"trans" ~iters:120 ~size:512;
+      rare_kill ~name:"resc" ~iters:110 ~gate:0;
+      value_kill_output ~name:"term" ~iters:120;
+      static_arrays ~name:"row" ~size:800;
+    ]
+
+let spec_462_libquantum =
+  Benchmark.make ~name:"462.libquantum"
+    ~descr:
+      "quantum simulation: read-only gate table, short-lived scratch \
+       register file per step, parity-split amplitudes"
+    [
+      ro_table ~name:"gate" ~iters:130 ~size:512;
+      short_lived ~name:"scr" ~iters:120;
+      residue_streams ~name:"amp" ~iters:120 ~gate:0;
+    ]
+
+let spec_470_lbm =
+  Benchmark.make ~name:"470.lbm"
+    ~descr:
+      "lattice Boltzmann: poisoned src/dst grid partitions, read-only \
+       collision weights, affine streaming sweep"
+    [
+      dead_store_global_malloc ~name:"grid" ~iters:120 ~gate:0;
+      ro_table ~name:"coll" ~iters:120 ~size:512;
+      static_arrays ~name:"strm" ~size:840;
+    ]
+
+let spec_482_sphinx3 =
+  Benchmark.make ~name:"482.sphinx3"
+    ~descr:
+      "speech recognition: read-only dictionary and senone tables, rare \
+       beam-reset around killing updates, input-indexed lattice"
+    [
+      ro_table ~name:"dict" ~iters:120 ~size:512;
+      ro_table ~name:"sen" ~iters:110 ~size:512;
+      rare_kill ~name:"beam" ~iters:110 ~gate:0;
+      indirect_index ~name:"lat" ~iters:100 ~gate:0;
+    ]
+
+let spec_519_lbm =
+  Benchmark.make ~name:"519.lbm"
+    ~descr:
+      "lattice Boltzmann (2017): read-only weights, rare boundary handling, \
+       affine streaming"
+    [
+      ro_table ~name:"w" ~iters:130 ~size:512;
+      rare_kill ~name:"bc" ~iters:120 ~gate:0;
+      static_arrays ~name:"st" ~size:840;
+    ]
+
+let spec_525_x264 =
+  Benchmark.make ~name:"525.x264"
+    ~descr:
+      "video encoding: value-stable slice flag, read-only quant tables, \
+       short-lived per-macroblock scratch, affine SAD sweep"
+    [
+      value_kill_output ~name:"slice" ~iters:120;
+      ro_table ~name:"quant" ~iters:110 ~size:512;
+      short_lived ~name:"mb" ~iters:110;
+      static_arrays ~name:"sad" ~size:800;
+    ]
+
+let spec_544_nab =
+  Benchmark.make ~name:"544.nab"
+    ~descr:
+      "molecular dynamics: read-only force-field parameters, chased \
+       neighbour-list slot, parity-split coordinates, affine integration"
+    [
+      ro_table ~name:"ff" ~iters:120 ~size:512;
+      unique_path_chain ~name:"nbr" ~iters:110 ~gate:0;
+      residue_streams ~name:"crd" ~iters:110 ~gate:0;
+      static_arrays ~name:"intg" ~size:800;
+    ]
+
+(** All 16 benchmarks, in the paper's Figure 8 order. *)
+let all : Benchmark.t list =
+  [
+    spec_052_alvinn;
+    spec_056_ear;
+    spec_129_compress;
+    spec_164_gzip;
+    spec_175_vpr;
+    spec_179_art;
+    spec_181_mcf;
+    spec_183_equake;
+    spec_429_mcf;
+    spec_456_hmmer;
+    spec_462_libquantum;
+    spec_470_lbm;
+    spec_482_sphinx3;
+    spec_519_lbm;
+    spec_525_x264;
+    spec_544_nab;
+  ]
+
+let find (name : string) : Benchmark.t option =
+  List.find_opt (fun (b : Benchmark.t) -> String.equal b.Benchmark.name name) all

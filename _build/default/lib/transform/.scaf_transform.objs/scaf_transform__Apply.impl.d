@@ -1,0 +1,1 @@
+lib/transform/apply.ml: Eval Instrument Irmod List Plan Runtime Scaf_interp Scaf_ir Scaf_pdg Scaf_profile

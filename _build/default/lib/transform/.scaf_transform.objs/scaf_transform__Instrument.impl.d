@@ -1,0 +1,1 @@
+lib/transform/instrument.ml: Assertion Block Cfg Func Hashtbl Instr Int64 Irmod List Loops Option Progctx Scaf Scaf_cfg Scaf_ir String Value

@@ -1,0 +1,1 @@
+lib/transform/plan.ml: Assertion Cost_model Float Fmt List Pdg Response Scaf Scaf_pdg

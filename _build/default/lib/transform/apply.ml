@@ -1,0 +1,43 @@
+(** End-to-end speculation: plan -> instrument -> run with recovery.
+
+    Recovery model: the interpreter checkpoint is the program entry (the
+    simplest of the process-based schemes of §4.2.5) — on misspeculation
+    the original, uninstrumented program is re-executed from the start.
+    Clients with finer-grained rollback would checkpoint per loop
+    invocation; the correctness contract tested here is the same: the
+    final result always equals the original program's. *)
+
+open Scaf_ir
+open Scaf_interp
+
+type outcome = {
+  result : Eval.result;
+  misspeculated : bool;
+  misspec_tag : int64 option;
+}
+
+(** [run_with_recovery ~original ~instrumented ?input ?fuel ()] — execute
+    the speculative binary; fall back to the original on misspeculation. *)
+let run_with_recovery ~(original : Irmod.t) ~(instrumented : Irmod.t)
+    ?(input = [||]) ?fuel () : outcome =
+  match Eval.run ?fuel ~input instrumented with
+  | result -> { result; misspeculated = false; misspec_tag = None }
+  | exception Runtime.Misspec { tag } ->
+      let result = Eval.run ?fuel ~input original in
+      { result; misspeculated = true; misspec_tag = Some tag }
+
+(** Full pipeline for a profiled program: run the PDG client over the hot
+    loops with SCAF, plan, instrument, and return the instrumented module
+    with its plan. *)
+let speculate (profiles : Scaf_profile.Profiles.t) : Plan.t * Irmod.t =
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let resolver = Scaf_pdg.Schemes.scaf profiles in
+  let reports =
+    List.map
+      (fun (lid, _) ->
+        Scaf_pdg.Pdg.run_loop prog ~resolver:resolver.Scaf_pdg.Schemes.resolve
+          lid)
+      (Scaf_pdg.Nodep.hot_loop_weights profiles)
+  in
+  let plan = Plan.build reports in
+  (plan, Instrument.apply prog plan.Plan.selected)

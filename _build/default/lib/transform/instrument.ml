@@ -1,0 +1,246 @@
+(** Validation code generation — the "transformation part" of each
+    decomposed speculative transformation (§4.2.1).
+
+    Realizes a plan's assertions by rewriting the module:
+
+    - dead blocks get a misspec beacon at their head;
+    - predictable loads get a value check right after them;
+    - residue-guarded pointers get a residue check after their definition;
+    - heap separations tag their allocation sites ([scaf.set_heap] after
+      the allocation — the moral equivalent of re-allocating to a separate
+      heap) and guard the involved accesses with heap membership /
+      absence checks;
+    - short-lived balances insert an iteration check at every loop latch;
+    - memory-speculation assertions wrap the involved accesses with
+      shadow-memory reads/writes and declare the forbidden pair at entry.
+
+    Checks are inserted *adjacent to* the guarded operations, never
+    replacing them — the paper's directive for minimizing conflicts. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+
+type edits = {
+  mutable before : (int, Instr.kind list) Hashtbl.t;
+      (** instr id -> kinds to insert before it *)
+  mutable after : (int, Instr.kind list) Hashtbl.t;
+  mutable block_head : (string * string, Instr.kind list) Hashtbl.t;
+  mutable before_term : (string * string, Instr.kind list) Hashtbl.t;
+  mutable entry_setup : Instr.kind list;  (** inserted at @main entry *)
+}
+
+let empty_edits () =
+  {
+    before = Hashtbl.create 16;
+    after = Hashtbl.create 16;
+    block_head = Hashtbl.create 8;
+    before_term = Hashtbl.create 8;
+    entry_setup = [];
+  }
+
+let push tbl key kind =
+  Hashtbl.replace tbl key (Option.value ~default:[] (Hashtbl.find_opt tbl key) @ [ kind ])
+
+let call callee args : Instr.kind = Instr.Call { callee; args }
+
+(* The pointer operand of a memory access, and its result register. *)
+let access_ptr (prog : Progctx.t) (id : int) : Value.t option =
+  match Progctx.occ prog id with
+  | Some o -> Option.map fst (Instr.footprint o.Irmod.Index.instr)
+  | None -> None
+
+let result_reg (prog : Progctx.t) (id : int) : Value.t option =
+  match Progctx.occ prog id with
+  | Some o -> Option.map Value.reg o.Irmod.Index.instr.Instr.dst
+  | None -> None
+
+(* Heap tags are keyed by the separated site set, so a balance check pairs
+   with its companion separation no matter the assertion order. *)
+type state = {
+  mutable next_heap_tag : int;
+  mutable next_misspec_tag : int64;
+  heap_of_sites : (int list * string list, int) Hashtbl.t;
+}
+
+let heap_for st (sites : int list) (gsites : string list) =
+  let key = (List.sort compare sites, List.sort compare gsites) in
+  match Hashtbl.find_opt st.heap_of_sites key with
+  | Some t -> t
+  | None ->
+      let t = st.next_heap_tag in
+      st.next_heap_tag <- t + 1;
+      Hashtbl.replace st.heap_of_sites key t;
+      t
+
+let fresh_tag st =
+  let t = st.next_misspec_tag in
+  st.next_misspec_tag <- Int64.add t 1L;
+  t
+
+let add_assertion (prog : Progctx.t) (st : state) (e : edits)
+    (a : Assertion.t) : unit =
+  let tag = fresh_tag st in
+  let tagv = Value.Int tag in
+  match a.Assertion.payload with
+  | Assertion.Ctrl_block_dead { fname; label; beacon = _ } ->
+      push e.block_head (fname, label) (call "scaf.misspec" [ tagv ])
+  | Assertion.Value_predict { load; value } -> (
+      match result_reg prog load with
+      | Some r ->
+          push e.after load
+            (call "scaf.check_value" [ r; Value.Int value; tagv ])
+      | None -> ())
+  | Assertion.Residue { access; allowed } -> (
+      (* [access] is either a memory access (guard its address operand) or
+         a pointer-producing instruction (guard its result) *)
+      let ptr =
+        match access_ptr prog access with
+        | Some p -> Some p
+        | None -> result_reg prog access
+      in
+      match ptr with
+      | Some p ->
+          push e.after access
+            (call "scaf.check_residue"
+               [ p; Value.Int (Int64.of_int allowed); tagv ])
+      | None -> ())
+  | Assertion.Heap_separate { sites; gsites; inside; outside; _ } ->
+      let heap = heap_for st sites gsites in
+      let heapv = Value.Int (Int64.of_int heap) in
+      List.iter
+        (fun site ->
+          match result_reg prog site with
+          | Some r -> push e.after site (call "scaf.set_heap" [ r; heapv ])
+          | None -> ())
+        sites;
+      List.iter
+        (fun g ->
+          e.entry_setup <-
+            e.entry_setup @ [ call "scaf.set_heap" [ Value.Global g; heapv ] ])
+        gsites;
+      List.iter
+        (fun acc ->
+          match access_ptr prog acc with
+          | Some p ->
+              push e.before acc (call "scaf.check_heap" [ p; heapv; tagv ])
+          | None -> ())
+        inside;
+      List.iter
+        (fun acc ->
+          match access_ptr prog acc with
+          | Some p ->
+              push e.before acc (call "scaf.check_not_heap" [ p; heapv; tagv ])
+          | None -> ())
+        outside
+  | Assertion.Short_lived_balance { loop; sites } -> (
+      (* pair with the companion Heap_separate of the same sites *)
+      let heap = heap_for st sites [] in
+      match Progctx.loop_of_lid prog loop with
+      | Some (fname, l) -> (
+          match Progctx.cfg_of prog fname with
+          | Some cfg ->
+              List.iter
+                (fun latch ->
+                  push e.before_term (fname, Cfg.label cfg latch)
+                    (call "scaf.iter_check"
+                       [ Value.Int (Int64.of_int heap); tagv ]))
+                l.Loops.latches
+          | None -> ())
+      | None -> ())
+  | Assertion.Points_to_objects _ ->
+      (* prohibitive: a rational client never selects it; realize it as an
+         immediate beacon so accidental selection is loud *)
+      e.entry_setup <- e.entry_setup @ [ call "scaf.misspec" [ tagv ] ]
+  | Assertion.Mem_nodep { src; dst; cross = _ } ->
+      e.entry_setup <-
+        e.entry_setup
+        @ [
+            call "scaf.ms_forbid"
+              [ Value.Int (Int64.of_int src); Value.Int (Int64.of_int dst) ];
+          ];
+      (* wrap both accesses with shadow tracking *)
+      List.iter
+        (fun id ->
+          match Progctx.occ prog id with
+          | Some o -> (
+              match Instr.footprint o.Irmod.Index.instr with
+              | Some (ptr, size) ->
+                  let group = Value.Int (Int64.of_int id) in
+                  let f =
+                    if Instr.writes_memory o.Irmod.Index.instr then
+                      "scaf.ms_write"
+                    else "scaf.ms_read"
+                  in
+                  push e.after id
+                    (call f [ ptr; Value.Int (Int64.of_int size); group; tagv ])
+              | None -> ())
+          | None -> ())
+        [ src; dst ]
+
+(** [apply prog assertions] — the instrumented module. The original module
+    is left untouched. *)
+let apply (prog : Progctx.t) (assertions : Assertion.t list) : Irmod.t =
+  let m = prog.Progctx.m in
+  let e = empty_edits () in
+  let st =
+    { next_heap_tag = 1; next_misspec_tag = 1L; heap_of_sites = Hashtbl.create 8 }
+  in
+  List.iter (add_assertion prog st e) assertions;
+  let next_id = ref (Scaf_ir.Builder.next_id_after m) in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let mk kind = { Instr.id = fresh (); dst = None; kind } in
+  let rewrite_block (f : Func.t) (b : Block.t) : Block.t =
+    let head =
+      Option.value ~default:[]
+        (Hashtbl.find_opt e.block_head (f.Func.name, b.Block.label))
+    in
+    let tail =
+      Option.value ~default:[]
+        (Hashtbl.find_opt e.before_term (f.Func.name, b.Block.label))
+    in
+    (* entry setup goes at the very beginning of @main's entry block *)
+    let setup =
+      if
+        String.equal f.Func.name "main"
+        && b.Block.label = (Func.entry f).Block.label
+      then e.entry_setup
+      else []
+    in
+    let instrs =
+      List.concat_map
+        (fun (i : Instr.t) ->
+          let bs =
+            Option.value ~default:[] (Hashtbl.find_opt e.before i.Instr.id)
+          in
+          let as_ =
+            Option.value ~default:[] (Hashtbl.find_opt e.after i.Instr.id)
+          in
+          List.map mk bs @ [ i ] @ List.map mk as_)
+        b.Block.instrs
+    in
+    (* phis must stay at the head: insert head edits after the phi run *)
+    let phis, rest =
+      List.partition
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with Instr.Phi _ -> true | _ -> false)
+        instrs
+    in
+    {
+      b with
+      Block.instrs =
+        phis @ List.map mk setup @ List.map mk head @ rest @ List.map mk tail;
+    }
+  in
+  {
+    m with
+    Irmod.funcs =
+      List.map
+        (fun (f : Func.t) ->
+          { f with Func.blocks = List.map (rewrite_block f) f.Func.blocks })
+        m.Irmod.funcs;
+  }

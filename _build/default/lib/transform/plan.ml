@@ -1,0 +1,76 @@
+(** Speculation planning (§3.4 "SCAF facilitates planning").
+
+    Given the PDG client's per-loop query results — each disproven
+    dependence annotated with the assertion options that justify it — pick
+    the set of assertions to actually enforce: per dependence, the cheapest
+    affordable option whose assertions do not conflict with what has
+    already been selected. Assertions are deduplicated, so one cheap
+    assertion (e.g. a dead block) pays for many dependences — the
+    "fewer and cheaper assertions" effect of §5.1. *)
+
+open Scaf
+open Scaf_pdg
+
+type t = {
+  selected : Assertion.t list;  (** deduplicated, conflict-free *)
+  covered : Pdg.dep_query list;  (** dependences removed under [selected] *)
+  dropped : Pdg.dep_query list;
+      (** disproven dependences whose every option conflicted *)
+  total_cost : float;
+}
+
+let conflicts_with_any (a : Assertion.t) (sel : Assertion.t list) : bool =
+  List.exists (Assertion.conflicts_with a) sel
+
+let option_compatible (o : Assertion.t list) (sel : Assertion.t list) : bool =
+  List.for_all (fun a -> not (conflicts_with_any a sel)) o
+
+(* Marginal cost of an option given already-selected assertions (shared
+   assertions are free). *)
+let marginal_cost (o : Assertion.t list) (sel : Assertion.t list) : float =
+  List.fold_left
+    (fun acc (a : Assertion.t) ->
+      if List.exists (Assertion.equal a) sel then acc else acc +. a.Assertion.cost)
+    0.0 o
+
+(** [build reports] — greedy selection over every affordable disproven
+    dependence of every loop report. *)
+let build (reports : Pdg.loop_report list) : t =
+  let sel = ref [] in
+  let covered = ref [] and dropped = ref [] in
+  let consider (q : Pdg.qresult) =
+    if q.Pdg.nodep then begin
+      let options =
+        List.filter
+          (fun o -> Cost_model.affordable (Response.option_cost o))
+          q.Pdg.resp.Response.options
+        |> List.sort (fun a b ->
+               Float.compare (marginal_cost a !sel) (marginal_cost b !sel))
+      in
+      match List.find_opt (fun o -> option_compatible o !sel) options with
+      | Some o ->
+          List.iter
+            (fun a -> if not (List.exists (Assertion.equal a) !sel) then sel := a :: !sel)
+            o;
+          covered := q.Pdg.dq :: !covered
+      | None -> dropped := q.Pdg.dq :: !dropped
+    end
+  in
+  List.iter
+    (fun (r : Pdg.loop_report) -> List.iter consider r.Pdg.queries)
+    reports;
+  let selected = List.rev !sel in
+  {
+    selected;
+    covered = List.rev !covered;
+    dropped = List.rev !dropped;
+    total_cost =
+      List.fold_left (fun a (x : Assertion.t) -> a +. x.Assertion.cost) 0.0 selected;
+  }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf
+    "plan: %d assertions, %d dependences covered, %d dropped, cost %.1f@."
+    (List.length t.selected) (List.length t.covered) (List.length t.dropped)
+    t.total_cost;
+  List.iter (fun a -> Fmt.pf ppf "  %a@." Assertion.pp a) t.selected

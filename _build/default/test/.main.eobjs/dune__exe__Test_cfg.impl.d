@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Ctrl Dom Func Gen Instr Int64 Irmod List Loops Option Parser Printf QCheck QCheck_alcotest Reach Scaf_cfg Scaf_ir String Value

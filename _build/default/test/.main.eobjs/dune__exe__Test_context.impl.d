@@ -1,0 +1,1 @@
+test/test_context.ml: Alcotest Aresult Instr Irmod Module_api Orchestrator Parser Printf Profiler Profiles Query Response Scaf Scaf_cfg Scaf_ir Scaf_profile Scaf_speculation Value Verify

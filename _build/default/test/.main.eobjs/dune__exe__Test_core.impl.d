@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Aresult Assertion Fmt Gen Join List Module_api Orchestrator QCheck QCheck_alcotest Query Response Scaf Scaf_cfg Scaf_ir

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Astring_contains Buffer Eval Gen Hooks Int64 List Memory Parser Printf QCheck QCheck_alcotest Runtime Scaf_interp Scaf_ir

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Builder Fmt Func Gen Instr Irmod Lexer List Option Parser QCheck QCheck_alcotest Scaf_ir Stdlib Value Verify

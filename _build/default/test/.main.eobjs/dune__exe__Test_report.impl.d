@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Aresult Array Astring_contains List Module_api Orchestrator Query Response Scaf Scaf_cfg Scaf_ir Scaf_pdg Scaf_report

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Bool Buffer Fun Instr Irmod List Memdep_profile Parser Pdg Printf Profiler Profiles QCheck QCheck_alcotest Response Scaf Scaf_ir Scaf_pdg Scaf_profile Schemes String Verify

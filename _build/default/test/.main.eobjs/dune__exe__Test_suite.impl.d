@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Benchmark List Option Printf Registry Scaf_interp Scaf_pdg Scaf_profile Scaf_report Scaf_suite Scaf_transform

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Aresult Orchestrator Parser Progctx Query Registry Response Scaf Scaf_analysis Scaf_cfg Scaf_ir Value Verify

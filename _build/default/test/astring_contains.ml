@@ -1,0 +1,13 @@
+(** Substring containment helper for test assertions. *)
+
+let contains (haystack : string) (needle : string) : bool =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + nl <= hl do
+      if String.sub haystack !i nl = needle then found := true else incr i
+    done;
+    !found
+  end

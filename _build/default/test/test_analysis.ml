@@ -1,0 +1,684 @@
+(** Tests for the 13 memory-analysis modules: each is exercised directly on
+    a crafted program, plus ensemble behaviour through a CAF orchestrator. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_analysis
+
+let checkb = Alcotest.check Alcotest.bool
+
+let build src =
+  let m = Parser.parse_exn_msg src in
+  Verify.check_exn m;
+  Progctx.build m
+
+let caf prog = Orchestrator.create prog (Orchestrator.default_config (Registry.create prog))
+
+let find prog p =
+  let r = ref (-1) in
+  Irmod.iter_instrs prog.Progctx.m (fun _ _ i -> if p i then r := i.Instr.id);
+  !r
+
+let dst prog d = find prog (fun i -> i.Instr.dst = Some d)
+
+let result_of (r : Response.t) = r.Response.result
+
+let alias_q ?loop ?dr ~fname ~tr prog p1 s1 p2 s2 =
+  ignore prog;
+  Query.alias ?loop ?dr ~fname ~tr (p1, s1) (p2, s2)
+
+(* -- basic-aa ------------------------------------------------------ *)
+
+let basic_src =
+  {|
+global @g 32
+global @h 8
+func @main() {
+entry:
+  %a = alloca 16
+  %p = gep @g, 0
+  %q = gep @g, 8
+  %r = gep @g, 4
+  %m = call @malloc(8)
+  store 8, %p, 1
+  store 8, %q, 2
+  store 8, %a, 3
+  store 8, %m, 4
+  ret
+}
+|}
+
+let test_basic_aa () =
+  let prog = build basic_src in
+  let o = caf prog in
+  let q v1 s1 v2 s2 =
+    result_of (Orchestrator.handle o (alias_q ~fname:"main" ~tr:Query.Same prog v1 s1 v2 s2))
+  in
+  let reg = Value.reg in
+  checkb "distinct offsets NoAlias" true
+    (q (reg "p") 8 (reg "q") 8 = Aresult.RAlias Aresult.NoAlias);
+  checkb "same ptr MustAlias" true
+    (q (reg "p") 8 (reg "p") 8 = Aresult.RAlias Aresult.MustAlias);
+  checkb "overlap stays conservative" true
+    (Aresult.pr (q (reg "p") 8 (reg "r") 8) = 1);
+  checkb "global vs alloca NoAlias" true
+    (q (reg "p") 8 (reg "a") 8 = Aresult.RAlias Aresult.NoAlias);
+  checkb "alloca vs malloc NoAlias" true
+    (q (reg "a") 8 (reg "m") 8 = Aresult.RAlias Aresult.NoAlias);
+  checkb "distinct globals NoAlias" true
+    (q (Value.global "g") 8 (Value.global "h") 8 = Aresult.RAlias Aresult.NoAlias);
+  checkb "contained is SubAlias" true
+    (q (reg "p") 4 (reg "p") 8 = Aresult.RAlias Aresult.SubAlias)
+
+(* -- underlying-objects-aa (phi tracing) --------------------------- *)
+
+let test_underlying_objects () =
+  let prog =
+    build
+      {|
+global @g 8
+func @main(%c) {
+entry:
+  %a = alloca 8
+  %b = alloca 8
+  condbr %c, t, f
+t:
+  br join
+f:
+  br join
+join:
+  %p = phi [t: %a], [f: %b]
+  store 8, %p, 1
+  store 8, @g, 2
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~fname:"main" ~tr:Query.Same prog (Value.reg "p") 8
+         (Value.global "g") 8)
+  in
+  checkb "phi of allocas vs global: NoAlias" true
+    (result_of r = Aresult.RAlias Aresult.NoAlias)
+
+(* -- scev-aa ------------------------------------------------------- *)
+
+let scev_src =
+  {|
+global @arr 800
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 8
+  %p = gep @arr, %o
+  store 8, %p, %i
+  %o2 = add %o, 0
+  %q = gep @arr, %o2
+  %v = load 8, %q
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let test_scev_cross_iteration () =
+  let prog = build scev_src in
+  let o = caf prog in
+  let p = Value.reg "p" and q = Value.reg "q" in
+  (* same iteration, same index: MustAlias *)
+  let r1 =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Same prog p 8 q 8)
+  in
+  checkb "same-iter same-index MustAlias" true
+    (result_of r1 = Aresult.RAlias Aresult.MustAlias);
+  (* different iterations: stride 8 >= size 8: NoAlias *)
+  let r2 =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Before prog p 8 q 8)
+  in
+  checkb "cross-iter strided NoAlias" true
+    (result_of r2 = Aresult.RAlias Aresult.NoAlias)
+
+let test_scev_small_stride_overlaps () =
+  (* stride 4 with 8-byte accesses: adjacent iterations overlap *)
+  let prog =
+    build
+      {|
+global @arr 800
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 4
+  %p = gep @arr, %o
+  store 8, %p, %i
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Before prog
+         (Value.reg "p") 8 (Value.reg "p") 8)
+  in
+  checkb "overlapping stride stays MayAlias" true
+    (Aresult.pr (result_of r) = 1)
+
+(* -- induction-range-aa (different ivs, congruence) ---------------- *)
+
+let test_induction_range_real () =
+  let prog =
+    build
+      {|
+global @aos 1600
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %j = phi [entry: 5], [loop: %j2]
+  %io = mul %i, 16
+  %p = gep @aos, %io
+  store 8, %p, %i
+  %jo = mul %j, 16
+  %jo8 = add %jo, 8
+  %q = gep @aos, %jo8
+  %v = load 8, %q
+  %i2 = add %i, 1
+  %j2 = add %j, 3
+  %c = icmp slt %i2, 90
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  (* field 0 via iv i vs field 8 via unrelated iv j: congruence mod 16 *)
+  let r =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Same prog
+         (Value.reg "p") 8 (Value.reg "q") 8)
+  in
+  checkb "disjoint fields across ivs: NoAlias" true
+    (result_of r = Aresult.RAlias Aresult.NoAlias);
+  let r2 =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Before prog
+         (Value.reg "p") 8 (Value.reg "q") 8)
+  in
+  checkb "also cross-iteration" true
+    (result_of r2 = Aresult.RAlias Aresult.NoAlias)
+
+(* -- kill-flow-aa (static) ----------------------------------------- *)
+
+let test_kill_flow_static () =
+  let prog =
+    build
+      {|
+global @a 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  store 8, @a, %i
+  %v = load 8, @a
+  %i2 = add %i, 1
+  store 8, @a, %i2
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let i3 =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "i2"; _ } -> true
+        | _ -> false)
+  in
+  let i2 = dst prog "v" in
+  (* the flow from the latch store to next iteration's load is killed by
+     the unconditional store at the loop head *)
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Before i3 i2)
+  in
+  checkb "statically killed" true
+    (result_of r = Aresult.RModref Aresult.NoModRef);
+  checkb "cost free" true (Response.has_free_option r)
+
+let test_kill_flow_respects_bypass () =
+  (* same but the killing store is conditional: no kill *)
+  let prog =
+    build
+      {|
+global @a 8
+func @main(%c0) {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  condbr %c0, doit, skip
+doit:
+  store 8, @a, %i
+  br skip
+skip:
+  %v = load 8, @a
+  br latch
+latch:
+  %i2 = add %i, 1
+  store 8, @a, %i2
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let i3 =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "i2"; _ } -> true
+        | _ -> false)
+  in
+  let i2 = dst prog "v" in
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Before i3 i2)
+  in
+  checkb "bypass prevents kill" true
+    (result_of r <> Aresult.RModref Aresult.NoModRef)
+
+(* -- callsite-aa --------------------------------------------------- *)
+
+let test_callsite_aa () =
+  let prog =
+    build
+      {|
+global @g 8
+global @h 8
+declare @pure readnone
+func @main() {
+entry:
+  %x = call @pure(1)
+  store 8, @g, %x
+  %d = call @malloc(16)
+  call @memset(%d, 0, 16)
+  %v = load 8, @g
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let pure_call = dst prog "x" in
+  let g_store =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Global "g"; _ } -> true
+        | _ -> false)
+  in
+  let memset =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Call { callee = "memset"; _ } -> true
+        | _ -> false)
+  in
+  (* readnone call has no footprint *)
+  let r1 =
+    Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same pure_call g_store)
+  in
+  checkb "readnone NoModRef" true (result_of r1 = Aresult.RModref Aresult.NoModRef);
+  (* memset touches only its argument's memory, disjoint from @g *)
+  let r2 =
+    Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same memset g_store)
+  in
+  checkb "memset vs global NoModRef" true
+    (result_of r2 = Aresult.RModref Aresult.NoModRef)
+
+(* -- loop-fresh-aa -------------------------------------------------- *)
+
+let test_loop_fresh () =
+  let prog =
+    build
+      {|
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %b = call @malloc(16)
+  store 8, %b, %i
+  %v = load 8, %b
+  call @free(%b)
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 80
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let b = Value.reg "b" in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Before prog b 8 b 8)
+  in
+  checkb "per-iteration object: cross-iter NoAlias" true
+    (result_of r = Aresult.RAlias Aresult.NoAlias);
+  (* but captured objects are not iteration-private *)
+  let prog2 =
+    build
+      {|
+global @slot 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %b = call @malloc(16)
+  store 8, @slot, %b
+  store 8, %b, %i
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 80
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o2 = caf prog2 in
+  let r2 =
+    Orchestrator.handle o2
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Before prog2 b 8 b 8)
+  in
+  checkb "captured object stays MayAlias" true (Aresult.pr (result_of r2) = 1)
+
+(* -- no-capture-source-aa ------------------------------------------- *)
+
+let test_no_capture_source () =
+  let prog =
+    build
+      {|
+func @main(%unknown) {
+entry:
+  %a = alloca 8
+  store 8, %a, 1
+  store 8, %unknown, 2
+  %v = load 8, %a
+  ret %v
+}
+|}
+  in
+  let o = caf prog in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~fname:"main" ~tr:Query.Same prog (Value.reg "a") 8
+         (Value.reg "unknown") 8)
+  in
+  checkb "uncaptured alloca vs arg: NoAlias" true
+    (result_of r = Aresult.RAlias Aresult.NoAlias);
+  (* once the address escapes, no such luck *)
+  let prog2 =
+    build
+      {|
+global @slot 8
+func @main(%unknown) {
+entry:
+  %a = alloca 8
+  store 8, @slot, %a
+  store 8, %a, 1
+  store 8, %unknown, 2
+  %v = load 8, %a
+  ret %v
+}
+|}
+  in
+  let o2 = caf prog2 in
+  let r2 =
+    Orchestrator.handle o2
+      (alias_q ~fname:"main" ~tr:Query.Same prog2 (Value.reg "a") 8
+         (Value.reg "unknown") 8)
+  in
+  checkb "escaped alloca stays MayAlias" true (Aresult.pr (result_of r2) = 1)
+
+(* -- global-malloc-aa / heap confinement ---------------------------- *)
+
+let test_global_malloc_partitions () =
+  let prog =
+    build
+      {|
+global @sa 8
+global @sb 8
+func @main() {
+entry:
+  %a = call @malloc(64)
+  store 8, @sa, %a
+  %b = call @malloc(64)
+  store 8, @sb, %b
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %pa = load 8, @sa
+  %qa = gep %pa, 8
+  store 8, %qa, %i
+  %pb = load 8, @sb
+  %qb = gep %pb, 8
+  %v = load 8, %qb
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 70
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Same prog
+         (Value.reg "qa") 8 (Value.reg "qb") 8)
+  in
+  checkb "disjoint partitions NoAlias" true
+    (result_of r = Aresult.RAlias Aresult.NoAlias);
+  checkb "free of charge" true (Response.has_free_option r)
+
+(* -- unique-paths-aa ------------------------------------------------ *)
+
+let test_unique_paths_mustalias () =
+  let prog =
+    build
+      {|
+global @base 8
+func @init() {
+entry:
+  %b = call @malloc(32)
+  store 8, @base, %b
+  ret
+}
+func @main() {
+entry:
+  call @init()
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %p1 = load 8, @base
+  %p2 = load 8, @base
+  store 8, %p1, %i
+  %v = load 8, %p2
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 70
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let r =
+    Orchestrator.handle o
+      (alias_q ~loop:"main:loop" ~fname:"main" ~tr:Query.Same prog
+         (Value.reg "p1") 8 (Value.reg "p2") 8)
+  in
+  checkb "two loads of a stable slot: MustAlias" true
+    (result_of r = Aresult.RAlias Aresult.MustAlias)
+
+(* -- semi-local-fun-aa ---------------------------------------------- *)
+
+let test_semi_local_summaries () =
+  let prog =
+    build
+      {|
+global @g 8
+global @h 8
+func @touch_g() {
+entry:
+  store 8, @g, 1
+  ret
+}
+func @main() {
+entry:
+  %x = call @touch_g()
+  store 8, @h, 2
+  %v = load 8, @h
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let call = dst prog "x" in
+  let h_store =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Global "h"; _ } -> true
+        | _ -> false)
+  in
+  let g_store =
+    find prog (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Global "g"; _ } -> true
+        | _ -> false)
+  in
+  (* the call writes only @g: no dependence with the @h store *)
+  let r =
+    Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same call h_store)
+  in
+  checkb "callee summary excludes @h" true
+    (result_of r = Aresult.RModref Aresult.NoModRef);
+  (* but it does conflict with @g *)
+  let r2 =
+    Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same call g_store)
+  in
+  checkb "callee summary includes @g" true
+    (result_of r2 <> Aresult.RModref Aresult.NoModRef)
+
+(* -- ptrexpr / induction / affine units ----------------------------- *)
+
+let test_ptrexpr_resolution () =
+  let prog = build basic_src in
+  let r = Ptrexpr.resolve prog ~fname:"main" (Value.reg "q") in
+  (match r with
+  | [ { Ptrexpr.base = Ptrexpr.BGlobal "g"; off = Some 8L } ] -> ()
+  | _ -> Alcotest.failf "unexpected resolution %a" (Fmt.Dump.list Ptrexpr.pp) r);
+  let rm = Ptrexpr.resolve prog ~fname:"main" (Value.reg "m") in
+  match rm with
+  | [ { Ptrexpr.base = Ptrexpr.BMalloc _; off = Some 0L } ] -> ()
+  | _ -> Alcotest.fail "malloc resolution"
+
+let test_induction_detection () =
+  let prog = build scev_src in
+  let li = Option.get (Progctx.loops_of prog "main") in
+  let loop = List.hd li.Loops.loops in
+  let ivs = Induction.of_loop prog ~fname:"main" li loop in
+  match ivs with
+  | [ iv ] ->
+      Alcotest.(check string) "iv reg" "i" iv.Induction.reg;
+      Alcotest.(check int64) "step" 1L iv.Induction.step
+  | _ -> Alcotest.failf "expected one iv, got %d" (List.length ivs)
+
+let test_affine_form () =
+  let prog = build scev_src in
+  let li = Option.get (Progctx.loops_of prog "main") in
+  let loop = List.hd li.Loops.loops in
+  let env = Affine.make_env prog ~fname:"main" li loop in
+  match Affine.of_value env (Value.reg "p") with
+  | Some f ->
+      checkb "root is @arr" true (Value.equal f.Affine.root (Value.global "arr"));
+      Alcotest.(check int64) "stride" 8L (Affine.stride env f)
+  | None -> Alcotest.fail "no affine form"
+
+let test_escape_analysis () =
+  let prog =
+    build
+      {|
+global @slot 8
+func @main() {
+entry:
+  %a = call @malloc(8)
+  %b = call @malloc(8)
+  store 8, @slot, %a
+  store 8, %b, 3
+  call @free(%b)
+  ret
+}
+|}
+  in
+  let a = dst prog "a" and b = dst prog "b" in
+  (match Escape.captures_of_site prog a with
+  | Some [ { Escape.ckind = `Stored; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one Stored capture for %a");
+  match Escape.captures_of_site prog b with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "free must not count as a capture"
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "basic-aa" `Quick test_basic_aa;
+        Alcotest.test_case "underlying-objects-aa" `Quick
+          test_underlying_objects;
+        Alcotest.test_case "scev-aa cross-iteration" `Quick
+          test_scev_cross_iteration;
+        Alcotest.test_case "scev-aa small stride" `Quick
+          test_scev_small_stride_overlaps;
+        Alcotest.test_case "induction-range-aa" `Quick
+          test_induction_range_real;
+        Alcotest.test_case "kill-flow-aa static kill" `Quick
+          test_kill_flow_static;
+        Alcotest.test_case "kill-flow-aa respects bypass" `Quick
+          test_kill_flow_respects_bypass;
+        Alcotest.test_case "callsite-aa" `Quick test_callsite_aa;
+        Alcotest.test_case "loop-fresh-aa" `Quick test_loop_fresh;
+        Alcotest.test_case "no-capture-source-aa" `Quick
+          test_no_capture_source;
+        Alcotest.test_case "global-malloc-aa" `Quick
+          test_global_malloc_partitions;
+        Alcotest.test_case "unique-paths-aa" `Quick test_unique_paths_mustalias;
+        Alcotest.test_case "semi-local-fun-aa" `Quick test_semi_local_summaries;
+        Alcotest.test_case "ptrexpr resolution" `Quick test_ptrexpr_resolution;
+        Alcotest.test_case "induction detection" `Quick
+          test_induction_detection;
+        Alcotest.test_case "affine form" `Quick test_affine_form;
+        Alcotest.test_case "escape analysis" `Quick test_escape_analysis;
+      ] );
+  ]

@@ -1,0 +1,310 @@
+(** Tests for CFG construction, dominators, post-dominators, loops,
+    reachability and control-flow views. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* A diamond with a loop around it:
+   entry -> header; header -> (then | else) -> join; join -> (header | exit) *)
+let diamond_loop_src =
+  {|
+global @a 8
+func @main() {
+entry:
+  br header
+header:
+  %i = phi [entry: 0], [join: %i2]
+  %c = icmp slt %i, 10
+  condbr %c, then_, else_
+then_:
+  store 8, @a, 1
+  br join
+else_:
+  store 8, @a, 2
+  br join
+join:
+  %i2 = add %i, 1
+  %d = icmp slt %i2, 20
+  condbr %d, header, exit
+exit:
+  ret %i2
+}
+|}
+
+let cfg_of src =
+  let m = Parser.parse_exn_msg src in
+  Cfg.of_func (Option.get (Irmod.find_func m "main"))
+
+let test_cfg_structure () =
+  let cfg = cfg_of diamond_loop_src in
+  checki "blocks" 6 (Cfg.num_blocks cfg);
+  let i = Cfg.index_of cfg in
+  Alcotest.(check (list int))
+    "header succs"
+    [ i "then_"; i "else_" ]
+    cfg.Cfg.succs.(i "header");
+  Alcotest.(check (list int))
+    "join preds"
+    [ i "then_"; i "else_" ]
+    cfg.Cfg.preds.(i "join")
+
+let test_dominators () =
+  let cfg = cfg_of diamond_loop_src in
+  let dom = Dom.compute cfg in
+  let i = Cfg.index_of cfg in
+  checkb "entry dom all" true (Dom.dominates dom (i "entry") (i "exit"));
+  checkb "header dom join" true (Dom.dominates dom (i "header") (i "join"));
+  checkb "then not dom join" false (Dom.dominates dom (i "then_") (i "join"));
+  checkb "join not dom header" false (Dom.dominates dom (i "join") (i "header"));
+  checkb "self dom" true (Dom.dominates dom (i "join") (i "join"))
+
+let test_post_dominators () =
+  let cfg = cfg_of diamond_loop_src in
+  let pdom = Dom.compute_post cfg in
+  let i = Cfg.index_of cfg in
+  checkb "exit pdom header" true (Dom.dominates pdom (i "exit") (i "header"));
+  checkb "join pdom then" true (Dom.dominates pdom (i "join") (i "then_"));
+  checkb "join pdom header" true (Dom.dominates pdom (i "join") (i "header"));
+  checkb "then not pdom header" false
+    (Dom.dominates pdom (i "then_") (i "header"))
+
+let test_unreachable_block () =
+  let cfg =
+    cfg_of
+      "func @main() {\nentry:\n  ret\ndead:\n  br dead2\ndead2:\n  br dead\n}"
+  in
+  Alcotest.(check (list int)) "unreachable" [ 1; 2 ] (Cfg.unreachable_blocks cfg);
+  let dom = Dom.compute cfg in
+  checkb "dead not reachable" false (Dom.reachable dom 1);
+  checkb "dead dominates nothing" false (Dom.dominates dom 1 2)
+
+let test_loops_basic () =
+  let cfg = cfg_of diamond_loop_src in
+  let li = Loops.compute cfg in
+  checki "one loop" 1 (List.length li.Loops.loops);
+  let l = List.hd li.Loops.loops in
+  let i = Cfg.index_of cfg in
+  checki "header" (i "header") l.Loops.header;
+  checkb "contains then" true (Loops.contains l (i "then_"));
+  checkb "contains join" true (Loops.contains l (i "join"));
+  checkb "not contains exit" false (Loops.contains l (i "exit"));
+  checkb "not contains entry" false (Loops.contains l (i "entry"));
+  Alcotest.(check (list int)) "latches" [ i "join" ] l.Loops.latches;
+  checki "depth" 1 l.Loops.depth;
+  Alcotest.(check (list (pair int int)))
+    "exits"
+    [ (i "join", i "exit") ]
+    (Loops.exits li l)
+
+let nested_src =
+  {|
+func @main() {
+entry:
+  br outer
+outer:
+  %i = phi [entry: 0], [outer_latch: %i2]
+  br inner
+inner:
+  %j = phi [outer: 0], [inner: %j2]
+  %j2 = add %j, 1
+  %c = icmp slt %j2, 5
+  condbr %c, inner, outer_latch
+outer_latch:
+  %i2 = add %i, 1
+  %d = icmp slt %i2, 5
+  condbr %d, outer, exit
+exit:
+  ret
+}
+|}
+
+let test_loops_nested () =
+  let cfg = cfg_of nested_src in
+  let li = Loops.compute cfg in
+  checki "two loops" 2 (List.length li.Loops.loops);
+  let i = Cfg.index_of cfg in
+  let outer =
+    Option.get (List.find_opt (fun l -> l.Loops.header = i "outer") li.Loops.loops)
+  in
+  let inner =
+    Option.get (List.find_opt (fun l -> l.Loops.header = i "inner") li.Loops.loops)
+  in
+  checki "outer depth" 1 outer.Loops.depth;
+  checki "inner depth" 2 inner.Loops.depth;
+  Alcotest.(check (option string))
+    "inner parent" (Some outer.Loops.lid) inner.Loops.parent;
+  checkb "outer contains inner hdr" true (Loops.contains outer (i "inner"));
+  (match li.Loops.innermost.(i "inner") with
+  | Some l -> Alcotest.(check string) "innermost of inner" inner.Loops.lid l.Loops.lid
+  | None -> Alcotest.fail "no innermost");
+  match li.Loops.innermost.(i "outer_latch") with
+  | Some l -> Alcotest.(check string) "innermost of latch" outer.Loops.lid l.Loops.lid
+  | None -> Alcotest.fail "no innermost"
+
+let test_instr_dominance () =
+  let m = Parser.parse_exn_msg diamond_loop_src in
+  let f = Option.get (Irmod.find_func m "main") in
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  (* store in then_ vs add in join *)
+  let find_store v =
+    let r = ref (-1) in
+    Func.iter_instrs f (fun _ (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Int x; _ } when Int64.equal x v ->
+            r := i.Instr.id
+        | _ -> ());
+    !r
+  in
+  let find_dst d =
+    let r = ref (-1) in
+    Func.iter_instrs f (fun _ (i : Instr.t) ->
+        if i.Instr.dst = Some d then r := i.Instr.id);
+    !r
+  in
+  let st1 = find_store 1L in
+  let i2 = find_dst "i2" in
+  let iphi = find_dst "i" in
+  checkb "phi dom store" true (Dom.dominates_instr dom cfg iphi st1);
+  checkb "store not dom i2" false (Dom.dominates_instr dom cfg st1 i2);
+  checkb "phi dom i2" true (Dom.dominates_instr dom cfg iphi i2);
+  let pdom = Dom.compute_post cfg in
+  checkb "i2 pdom store" true (Dom.post_dominates_instr pdom cfg i2 st1);
+  checkb "store not pdom phi" false (Dom.post_dominates_instr pdom cfg st1 iphi)
+
+let test_ctrl_filtered () =
+  let cfg = cfg_of diamond_loop_src in
+  let i = Cfg.index_of cfg in
+  let static = Ctrl.of_cfg cfg in
+  checkb "then live statically" true (static.Ctrl.live (i "then_"));
+  (* kill the else_ path, as control speculation would *)
+  let spec = Ctrl.filtered cfg ~dead:(fun b -> b = i "else_") in
+  checkb "else dead" false (spec.Ctrl.live (i "else_"));
+  checkb "then live" true (spec.Ctrl.live (i "then_"));
+  (* under the speculative view, then_ dominates join *)
+  checkb "then dom join (spec)" true
+    (Dom.dominates spec.Ctrl.dom (i "then_") (i "join"));
+  checkb "then dom join (static) is false" false
+    (Dom.dominates static.Ctrl.dom (i "then_") (i "join"))
+
+let test_reach_basic () =
+  let cfg = cfg_of diamond_loop_src in
+  let i = Cfg.index_of cfg in
+  let succs b = cfg.Cfg.succs.(b) in
+  checkb "entry reaches exit" true
+    (Reach.reaches ~succs ~from:(i "entry") ~target:(i "exit") ());
+  checkb "exit not reaches entry" false
+    (Reach.reaches ~succs ~from:(i "exit") ~target:(i "entry") ());
+  checkb "avoid join blocks exit" false
+    (Reach.reaches ~succs
+       ~block_ok:(fun b -> b <> i "join")
+       ~from:(i "entry") ~target:(i "exit") ())
+
+let test_path_avoiding () =
+  let cfg = cfg_of diamond_loop_src in
+  let i = Cfg.index_of cfg in
+  let succs b = cfg.Cfg.succs.(b) in
+  let pt b pos = { Reach.blk = i b; pos } in
+  (* From header exit to join entry, avoiding then_'s store: possible via
+     else_. *)
+  checkb "diamond has alternative" true
+    (Reach.path_avoiding ~succs ~src:(pt "header" max_int)
+       ~dst:(Reach.entry_of (i "join"))
+       ~kill:(pt "then_" 0) ());
+  (* Avoiding the join add: impossible to reach exit. *)
+  checkb "join is a choke point" false
+    (Reach.path_avoiding ~succs ~src:(pt "header" max_int)
+       ~dst:(Reach.entry_of (i "exit"))
+       ~kill:(pt "join" 0) ());
+  (* Same-block: src pos 0, dst pos 2, killer at pos 1 blocks. *)
+  checkb "same-block killer blocks" false
+    (Reach.path_avoiding ~succs
+       ~src:{ Reach.blk = i "join"; pos = 0 }
+       ~dst:{ Reach.blk = i "join"; pos = 2 }
+       ~kill:{ Reach.blk = i "join"; pos = 1 }
+       ());
+  (* Same-block killer after dst does not block. *)
+  checkb "killer after dst ok" true
+    (Reach.path_avoiding ~succs
+       ~src:{ Reach.blk = i "join"; pos = 0 }
+       ~dst:{ Reach.blk = i "join"; pos = 1 }
+       ~kill:{ Reach.blk = i "join"; pos = 2 }
+       ())
+
+(* qcheck: on random DAG-ish graphs, dominance is consistent with exhaustive
+   path enumeration: a dominates b iff removing a disconnects b from entry. *)
+let arb_graph =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = int_range 2 12 in
+      let* edges =
+        list_size (int_range 1 (2 * n))
+          (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      return (n, edges))
+  in
+  make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+    gen
+
+let prop_dom_vs_cut =
+  QCheck.Test.make ~name:"dominance equals cut-vertex property" ~count:200
+    arb_graph (fun (n, edges) ->
+      let succs_tbl = Array.make n [] in
+      List.iter
+        (fun (a, b) ->
+          if not (List.mem b succs_tbl.(a)) then
+            succs_tbl.(a) <- b :: succs_tbl.(a))
+        edges;
+      let succs i = succs_tbl.(i) in
+      let dom = Dom.compute_generic ~n ~entry:0 ~succs in
+      let reachable_avoiding avoid target =
+        if target = 0 then avoid <> 0
+        else begin
+          let seen = Array.make n false in
+          let rec go b =
+            if b <> avoid && not seen.(b) then begin
+              seen.(b) <- true;
+              List.iter go (succs b)
+            end
+          in
+          if avoid <> 0 then go 0;
+          seen.(target)
+        end
+      in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b && Dom.reachable dom b && Dom.reachable dom a then begin
+            let d = Dom.dominates dom a b in
+            let cut = not (reachable_avoiding a b) in
+            if d <> cut then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "cfg",
+      [
+        Alcotest.test_case "structure" `Quick test_cfg_structure;
+        Alcotest.test_case "dominators" `Quick test_dominators;
+        Alcotest.test_case "post-dominators" `Quick test_post_dominators;
+        Alcotest.test_case "unreachable blocks" `Quick test_unreachable_block;
+        Alcotest.test_case "loops basic" `Quick test_loops_basic;
+        Alcotest.test_case "loops nested" `Quick test_loops_nested;
+        Alcotest.test_case "instruction dominance" `Quick test_instr_dominance;
+        Alcotest.test_case "speculative ctrl view" `Quick test_ctrl_filtered;
+        Alcotest.test_case "reach basic" `Quick test_reach_basic;
+        Alcotest.test_case "path avoiding killer" `Quick test_path_avoiding;
+        QCheck_alcotest.to_alcotest prop_dom_vs_cut;
+      ] );
+  ]

@@ -1,0 +1,362 @@
+(** Tests for the SCAF core: the result lattice, assertions, responses,
+    Algorithm 2 (join) and Algorithm 1 (the Orchestrator). *)
+
+open Scaf
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* -- Aresult ------------------------------------------------------- *)
+
+let test_precision_order () =
+  let open Aresult in
+  checkb "NoAlias = MustAlias" true (pr (RAlias NoAlias) = pr (RAlias MustAlias));
+  checkb "MustAlias > SubAlias" true (pr (RAlias MustAlias) > pr (RAlias SubAlias));
+  checkb "SubAlias > MayAlias" true (pr (RAlias SubAlias) > pr (RAlias MayAlias));
+  checkb "NoModRef > Mod" true (pr (RModref NoModRef) > pr (RModref Mod));
+  checkb "Mod = Ref" true (pr (RModref Mod) = pr (RModref Ref));
+  checkb "Ref > ModRef" true (pr (RModref Ref) > pr (RModref ModRef));
+  checkb "bottom alias" true (is_bottom bottom_alias);
+  checkb "definite" true (is_definite (RModref NoModRef));
+  checkb "not definite" false (is_definite (RModref Mod))
+
+(* -- Assertions ---------------------------------------------------- *)
+
+let mk_assert ?(points = []) ?(conflicts = []) ?(cost = 1.0) id payload =
+  { Assertion.module_id = id; points; cost; conflicts; payload }
+
+let a_ctrl =
+  mk_assert ~cost:0.0 "control-spec"
+    (Assertion.Ctrl_block_dead { fname = "f"; label = "rare"; beacon = 1 })
+
+let a_val v =
+  mk_assert ~cost:10.0 ~points:[ 5 ] "value-pred"
+    (Assertion.Value_predict { load = 5; value = v })
+
+let a_sep sites =
+  mk_assert ~cost:20.0 ~conflicts:sites "read-only"
+    (Assertion.Heap_separate
+       {
+         loop = "f:loop";
+         sites;
+         gsites = [];
+         heap = Assertion.Read_only_heap;
+         inside = [];
+         outside = [];
+       })
+
+let a_sl sites =
+  mk_assert ~cost:15.0 ~conflicts:sites "short-lived"
+    (Assertion.Heap_separate
+       {
+         loop = "f:loop";
+         sites;
+         gsites = [];
+         heap = Assertion.Short_lived_heap;
+         inside = [];
+         outside = [];
+       })
+
+let test_assertion_conflicts () =
+  checkb "same sites conflict" true (Assertion.conflicts_with (a_sep [ 3 ]) (a_sl [ 3 ]));
+  checkb "disjoint sites fine" false
+    (Assertion.conflicts_with (a_sep [ 3 ]) (a_sl [ 4 ]));
+  checkb "ctrl conflicts nothing" false
+    (Assertion.conflicts_with a_ctrl (a_sep [ 3 ]));
+  checkb "self is not a conflict" false
+    (Assertion.conflicts_with (a_sep [ 3 ]) (a_sep [ 3 ]))
+
+(* -- Responses ----------------------------------------------------- *)
+
+let test_response_costs () =
+  let r =
+    Response.make (Aresult.RModref Aresult.NoModRef)
+      ~options:[ [ a_val 1L; a_ctrl ]; [ a_sep [ 1 ] ] ]
+  in
+  checkf "cheapest" 10.0 (Response.cheapest_cost r);
+  checkb "no free option" false (Response.has_free_option r);
+  checkb "not definite-free" false (Response.is_definite_free r);
+  let free = Response.free (Aresult.RModref Aresult.NoModRef) in
+  checkf "free cost" 0.0 (Response.cheapest_cost free);
+  checkb "definite-free" true (Response.is_definite_free free)
+
+(* -- Join (Algorithm 2) -------------------------------------------- *)
+
+let nomodref ?(options = [ [] ]) () =
+  Response.make ~options (Aresult.RModref Aresult.NoModRef)
+
+let test_join_precision_wins () =
+  let lo = Response.free (Aresult.RModref Aresult.Mod) in
+  let hi = nomodref ~options:[ [ a_val 1L ] ] () in
+  let j = Join.join Join.Cheapest lo hi in
+  checkb "more precise wins despite cost" true
+    (j.Response.result = Aresult.RModref Aresult.NoModRef);
+  let j' = Join.join Join.Cheapest hi lo in
+  checkb "commutes" true (j'.Response.result = j.Response.result)
+
+let test_join_cheapest_picks_cheaper () =
+  let expensive = nomodref ~options:[ [ a_sep [ 1 ] ] ] () in
+  let cheap = nomodref ~options:[ [ a_ctrl ] ] () in
+  let j = Join.join Join.Cheapest expensive cheap in
+  checkf "picked the free option" 0.0 (Response.cheapest_cost j)
+
+let test_join_all_keeps_options () =
+  let r1 = nomodref ~options:[ [ a_sep [ 1 ] ] ] () in
+  let r2 = nomodref ~options:[ [ a_ctrl ] ] () in
+  let j = Join.join Join.All r1 r2 in
+  checki "both options kept" 2 (List.length j.Response.options)
+
+let test_join_mod_ref_combination () =
+  (* Mod + Ref => NoModRef with the cross product of assertion sets *)
+  let m = Response.make (Aresult.RModref Aresult.Mod) ~options:[ [ a_ctrl ] ] in
+  let r =
+    Response.make (Aresult.RModref Aresult.Ref) ~options:[ [ a_val 2L ] ]
+  in
+  let j = Join.join Join.Cheapest m r in
+  checkb "NoModRef" true (j.Response.result = Aresult.RModref Aresult.NoModRef);
+  (match j.Response.options with
+  | [ o ] -> checki "combined assertions" 2 (List.length o)
+  | _ -> Alcotest.fail "expected one combined option");
+  (* conflicting assertion sets cannot combine: falls back to cheaper *)
+  let m' =
+    Response.make (Aresult.RModref Aresult.Mod) ~options:[ [ a_sep [ 7 ] ] ]
+  in
+  let r' =
+    Response.make (Aresult.RModref Aresult.Ref) ~options:[ [ a_sl [ 7 ] ] ]
+  in
+  let j' = Join.join Join.Cheapest m' r' in
+  checkb "conflict: no NoModRef" true
+    (j'.Response.result <> Aresult.RModref Aresult.NoModRef)
+
+let test_join_conflicting_results () =
+  (* NoAlias vs MustAlias at equal precision: the assertion-free side wins *)
+  let spec =
+    Response.make (Aresult.RAlias Aresult.NoAlias) ~options:[ [ a_val 3L ] ]
+  in
+  let sure = Response.free (Aresult.RAlias Aresult.MustAlias) in
+  let j = Join.join Join.Cheapest spec sure in
+  checkb "free side wins" true (j.Response.result = Aresult.RAlias Aresult.MustAlias)
+
+let test_product_filters_conflicts () =
+  let s1 = [ [ a_sep [ 1 ] ]; [ a_ctrl ] ] in
+  let s2 = [ [ a_sl [ 1 ] ] ] in
+  (* sep[1] x sl[1] conflicts; ctrl x sl[1] survives *)
+  let p = Join.product s1 s2 in
+  checki "one surviving combo" 1 (List.length p)
+
+(* qcheck: join is monotone in precision and never invents precision *)
+let arb_response =
+  let open QCheck in
+  let gen_result =
+    Gen.oneofl
+      Aresult.
+        [ RModref NoModRef; RModref Mod; RModref Ref; RModref ModRef ]
+  in
+  let gen_option = Gen.oneofl [ []; [ a_ctrl ]; [ a_val 1L ]; [ a_sep [ 2 ] ] ] in
+  let gen =
+    Gen.(
+      let* r = gen_result in
+      let* os = list_size (int_range 1 3) gen_option in
+      return (Response.make r ~options:os))
+  in
+  make ~print:(fun r -> Fmt.str "%a" Response.pp r) gen
+
+let prop_join_monotone =
+  QCheck.Test.make ~name:"join result at least as precise as either side"
+    ~count:300 (QCheck.pair arb_response arb_response) (fun (r1, r2) ->
+      let j = Join.join Join.Cheapest r1 r2 in
+      Aresult.pr j.Response.result
+      >= max (Aresult.pr r1.Response.result) (Aresult.pr r2.Response.result))
+
+let prop_join_commutative_result =
+  QCheck.Test.make ~name:"join result is commutative" ~count:300
+    (QCheck.pair arb_response arb_response) (fun (r1, r2) ->
+      let a = Join.join Join.Cheapest r1 r2 in
+      let b = Join.join Join.Cheapest r2 r1 in
+      Aresult.equal a.Response.result b.Response.result)
+
+let prop_join_bottom_identity =
+  QCheck.Test.make ~name:"bottom is a join identity" ~count:300 arb_response
+    (fun r ->
+      let j = Join.join Join.Cheapest Response.bottom_modref r in
+      Aresult.equal j.Response.result r.Response.result
+      || Aresult.is_bottom r.Response.result)
+
+(* -- Orchestrator (Algorithm 1) ------------------------------------ *)
+
+let tiny_prog =
+  Scaf_cfg.Progctx.build
+    (Scaf_ir.Parser.parse_exn_msg "func @main() {\nentry:\n  ret\n}")
+
+let const_module ?(kind = Module_api.Memory) name resp =
+  Module_api.make ~name ~kind ~factored:false (fun _ q ->
+      match q with Query.Modref _ -> resp | Query.Alias _ -> Module_api.no_answer q)
+
+let counting_module name resp counter =
+  Module_api.make ~name ~kind:Module_api.Memory ~factored:false (fun _ q ->
+      incr counter;
+      match q with Query.Modref _ -> resp | Query.Alias _ -> Module_api.no_answer q)
+
+let mq = Query.modref_instrs ~tr:Query.Same 100 101
+
+let test_orchestrator_bailout_free () =
+  (* once a definite cost-free answer arrives, later modules are skipped *)
+  let later = ref 0 in
+  let o =
+    Orchestrator.create tiny_prog
+      (Orchestrator.default_config
+         [
+           const_module "m1" (Response.free (Aresult.RModref Aresult.NoModRef));
+           counting_module "m2" (nomodref ()) later;
+         ])
+  in
+  let r = Orchestrator.handle o mq in
+  checkb "definite" true (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checki "later module skipped" 0 !later
+
+let test_orchestrator_no_bailout_on_costly () =
+  (* a costly definite answer does not stop the search under Definite_free *)
+  let later = ref 0 in
+  let o =
+    Orchestrator.create tiny_prog
+      (Orchestrator.default_config
+         [
+           const_module "m1" (nomodref ~options:[ [ a_val 9L ] ] ());
+           counting_module "m2" Response.bottom_modref later;
+         ])
+  in
+  let _ = Orchestrator.handle o mq in
+  checki "later module consulted" 1 !later
+
+let test_orchestrator_exhaustive () =
+  let later = ref 0 in
+  let o =
+    Orchestrator.create tiny_prog
+      {
+        (Orchestrator.default_config
+           [
+             const_module "m1" (Response.free (Aresult.RModref Aresult.NoModRef));
+             counting_module "m2" (nomodref ()) later;
+           ])
+        with
+        Orchestrator.bailout = Orchestrator.Exhaustive;
+      }
+  in
+  let _ = Orchestrator.handle o mq in
+  checki "later module still consulted" 1 !later
+
+let test_orchestrator_premise_depth () =
+  (* a module that always re-issues its query must be cut off by the
+     premise budget, not loop forever *)
+  let evals = ref 0 in
+  let recursive =
+    Module_api.make ~name:"rec" ~kind:Module_api.Memory ~factored:true
+      (fun ctx q ->
+        incr evals;
+        ctx.Module_api.handle q)
+  in
+  let o =
+    Orchestrator.create tiny_prog
+      { (Orchestrator.default_config [ recursive ]) with Orchestrator.max_premise_depth = 3 }
+  in
+  let r = Orchestrator.handle o mq in
+  checkb "conservative result" true (Aresult.is_bottom r.Response.result);
+  checkb "bounded evaluations" true (!evals <= 5)
+
+let test_orchestrator_provenance () =
+  let o =
+    Orchestrator.create tiny_prog
+      (Orchestrator.default_config
+         [ const_module "answerer" (Response.free (Aresult.RModref Aresult.NoModRef)) ])
+  in
+  let r = Orchestrator.handle o mq in
+  checkb "provenance recorded" true
+    (Response.Sset.mem "answerer" r.Response.provenance)
+
+let test_orchestrator_desired_stripping () =
+  (* with respect_desired=false, premise queries lose their dr parameter *)
+  let seen_dr = ref None in
+  let observer =
+    Module_api.make ~name:"obs" ~kind:Module_api.Memory ~factored:false
+      (fun _ q ->
+        (match q with
+        | Query.Alias a -> seen_dr := a.Query.adr
+        | _ -> ());
+        Module_api.no_answer q)
+  in
+  let asker =
+    Module_api.make ~name:"ask" ~kind:Module_api.Memory ~factored:true
+      (fun ctx q ->
+        (match q with
+        | Query.Modref _ ->
+            ignore
+              (ctx.Module_api.handle
+                 (Query.alias ~fname:"main" ~tr:Query.Same ~dr:Query.DMustAlias
+                    (Scaf_ir.Value.Null, 1) (Scaf_ir.Value.Null, 1)))
+        | _ -> ());
+        Module_api.no_answer q)
+  in
+  let run ~respect =
+    seen_dr := None;
+    let o =
+      Orchestrator.create tiny_prog
+        { (Orchestrator.default_config [ asker; observer ]) with
+          Orchestrator.respect_desired = respect }
+    in
+    ignore (Orchestrator.handle o mq);
+    !seen_dr
+  in
+  checkb "dr kept" true (run ~respect:true = Some Query.DMustAlias);
+  checkb "dr stripped" true (run ~respect:false = None)
+
+let test_orchestrator_latency_stats () =
+  let t = ref 0.0 in
+  let clock () = t := !t +. 1.0; !t in
+  let o =
+    Orchestrator.create tiny_prog
+      { (Orchestrator.default_config
+           [ const_module "m" (Response.free (Aresult.RModref Aresult.NoModRef)) ])
+        with Orchestrator.clock = Some clock }
+  in
+  ignore (Orchestrator.handle o mq);
+  ignore (Orchestrator.handle o mq);
+  checki "two latencies" 2 (List.length (Orchestrator.latencies o))
+
+let suite =
+  [
+    ( "core",
+      [
+        Alcotest.test_case "precision order" `Quick test_precision_order;
+        Alcotest.test_case "assertion conflicts" `Quick test_assertion_conflicts;
+        Alcotest.test_case "response costs" `Quick test_response_costs;
+        Alcotest.test_case "join: precision wins" `Quick test_join_precision_wins;
+        Alcotest.test_case "join: CHEAPEST picks cheaper" `Quick
+          test_join_cheapest_picks_cheaper;
+        Alcotest.test_case "join: ALL keeps options" `Quick
+          test_join_all_keeps_options;
+        Alcotest.test_case "join: Mod x Ref => NoModRef" `Quick
+          test_join_mod_ref_combination;
+        Alcotest.test_case "join: conflicting results" `Quick
+          test_join_conflicting_results;
+        Alcotest.test_case "product filters conflicts" `Quick
+          test_product_filters_conflicts;
+        QCheck_alcotest.to_alcotest prop_join_monotone;
+        QCheck_alcotest.to_alcotest prop_join_commutative_result;
+        QCheck_alcotest.to_alcotest prop_join_bottom_identity;
+        Alcotest.test_case "orchestrator: bail-out on free definite" `Quick
+          test_orchestrator_bailout_free;
+        Alcotest.test_case "orchestrator: costly answer continues" `Quick
+          test_orchestrator_no_bailout_on_costly;
+        Alcotest.test_case "orchestrator: exhaustive policy" `Quick
+          test_orchestrator_exhaustive;
+        Alcotest.test_case "orchestrator: premise budget" `Quick
+          test_orchestrator_premise_depth;
+        Alcotest.test_case "orchestrator: provenance" `Quick
+          test_orchestrator_provenance;
+        Alcotest.test_case "orchestrator: desired-result stripping" `Quick
+          test_orchestrator_desired_stripping;
+        Alcotest.test_case "orchestrator: latency stats" `Quick
+          test_orchestrator_latency_stats;
+      ] );
+  ]

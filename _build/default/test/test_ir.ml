@@ -1,0 +1,282 @@
+(** Tests for the MIR: lexer, parser, printer round-trip, builder, verifier. *)
+
+open Scaf_ir
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let sample_src =
+  {|
+; a tiny program
+global @g 8
+global @table 64 init [0: 5, 8: 7]
+
+declare @ext readonly
+
+func @main() {
+entry:
+  %a = alloca 16
+  %n = add 0, 10
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %p = gep %a, %i
+  store 8, %p, %i
+  %v = load 8, %p
+  %c = icmp slt %i, %n
+  condbr %c, latch, exit
+latch:
+  %i2 = add %i, 1
+  br loop
+exit:
+  ret %v
+}
+|}
+
+let parse () = Parser.parse_exn_msg sample_src
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "%x = add @g, -42 ; comment\nret" in
+  let kinds = List.map (fun (t : Lexer.located) -> t.tok) toks in
+  check
+    (Alcotest.testable
+       (Fmt.Dump.list Lexer.pp_token)
+       (List.equal Stdlib.( = )))
+    "tokens" kinds
+    [
+      Lexer.REG "x";
+      Lexer.EQUALS;
+      Lexer.IDENT "add";
+      Lexer.GLOBAL "g";
+      Lexer.COMMA;
+      Lexer.INT (-42L);
+      Lexer.IDENT "ret";
+      Lexer.EOF;
+    ]
+
+let test_lexer_lines () =
+  match Lexer.tokenize "a\nb\n  c" with
+  | [ a; b; c; _eof ] ->
+      check Alcotest.int "line a" 1 a.line;
+      check Alcotest.int "line b" 2 b.line;
+      check Alcotest.int "line c" 3 c.line
+  | _ -> Alcotest.fail "expected 4 tokens"
+
+let test_lexer_error () =
+  match Lexer.tokenize "a $ b" with
+  | exception Lexer.Lex_error (_, 1) -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_parse_module () =
+  let m = parse () in
+  check Alcotest.int "globals" 2 (List.length m.Irmod.globals);
+  check Alcotest.int "decls" 1 (List.length m.Irmod.decls);
+  check Alcotest.int "funcs" 1 (List.length m.Irmod.funcs);
+  let f = Option.get (Irmod.find_func m "main") in
+  check Alcotest.int "blocks" 4 (List.length f.Func.blocks)
+
+let test_parse_global_init () =
+  let m = parse () in
+  let g = Option.get (Irmod.find_global m "table") in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64))
+    "init" [ (0, 5L); (8, 7L) ] g.Irmod.ginit
+
+let test_parse_ids_unique () =
+  let m = parse () in
+  let ids = ref [] in
+  Irmod.iter_instrs m (fun _ _ i -> ids := i.Instr.id :: !ids);
+  let sorted = List.sort_uniq Stdlib.compare !ids in
+  check Alcotest.int "unique ids" (List.length !ids) (List.length sorted)
+
+let test_parse_error_line () =
+  match Parser.parse "func @f() {\nentry:\n  %x = bogus 1\n  ret\n}" with
+  | exception Parser.Parse_error (_, 3) -> ()
+  | exception Parser.Parse_error (_, l) ->
+      Alcotest.failf "wrong line %d" l
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_roundtrip () =
+  let m = parse () in
+  let printed = Irmod.to_string m in
+  let m2 = Parser.parse_exn_msg printed in
+  let printed2 = Irmod.to_string m2 in
+  check Alcotest.string "print/parse/print fixpoint" printed printed2
+
+let test_verify_ok () =
+  let m = parse () in
+  check Alcotest.int "no errors" 0 (List.length (Verify.check m))
+
+let verify_errs src =
+  let m = Parser.parse_exn_msg src in
+  Verify.check m
+
+let test_verify_undefined_reg () =
+  let errs =
+    verify_errs "func @f() {\nentry:\n  %x = add %y, 1\n  ret %x\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "undefined register")
+       errs)
+
+let test_verify_double_assign () =
+  let errs =
+    verify_errs
+      "func @f() {\nentry:\n  %x = add 1, 1\n  %x = add 2, 2\n  ret %x\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "assigned more than once")
+       errs)
+
+let test_verify_bad_label () =
+  let errs = verify_errs "func @f() {\nentry:\n  br nowhere\n}" in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "unknown label")
+       errs)
+
+let test_verify_phi_nonpred () =
+  let errs =
+    verify_errs
+      "func @f() {\nentry:\n  br b\nb:\n  %x = phi [entry: 1], [nowhere: 2]\n\
+       \  ret %x\n}"
+  in
+  checkb "caught" true (errs <> [])
+
+let test_verify_phi_missing_arm () =
+  let errs =
+    verify_errs
+      "func @f() {\nentry:\n  condbr 1, a, b\na:\n  br c\nb:\n  br c\nc:\n\
+       \  %x = phi [a: 1]\n  ret %x\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "missing arm")
+       errs)
+
+let test_verify_unknown_callee () =
+  let errs = verify_errs "func @f() {\nentry:\n  %x = call @nope()\n  ret\n}" in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "unknown function")
+       errs)
+
+let test_verify_intrinsic_callee_ok () =
+  let errs =
+    verify_errs "func @f() {\nentry:\n  %x = call @malloc(8)\n  ret\n}"
+  in
+  check Alcotest.int "no errors" 0 (List.length errs)
+
+let test_builder_simple () =
+  let b = Builder.create () in
+  Builder.add_global b "g" 8;
+  let fb = Builder.start_func b "main" [] in
+  Builder.block fb "entry";
+  let a = Builder.alloca fb ~size:8 in
+  Builder.store fb ~size:8 ~ptr:a ~value:(Value.int 7);
+  let v = Builder.load fb ~size:8 a in
+  Builder.ret fb (Some v);
+  Builder.end_func fb;
+  let m = Builder.finish b in
+  check Alcotest.int "verifies" 0 (List.length (Verify.check m));
+  let printed = Irmod.to_string m in
+  let m2 = Parser.parse_exn_msg printed in
+  check Alcotest.int "roundtrips" 0 (List.length (Verify.check m2))
+
+let test_builder_unterminated () =
+  let b = Builder.create () in
+  let fb = Builder.start_func b "f" [] in
+  Builder.block fb "entry";
+  match Builder.end_func fb with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_builder_next_id_after () =
+  let m = parse () in
+  let floor = Builder.next_id_after m in
+  Irmod.iter_instrs m (fun _ _ i -> checkb "below floor" true (i.Instr.id < floor))
+
+(* qcheck: printing then parsing a random straight-line function preserves
+   the instruction count and verifies. *)
+let arb_straightline =
+  let open QCheck in
+  let gen =
+    Gen.(
+      list_size (int_range 1 30)
+        (oneofl [ `Add; `Alloca; `StoreLoad; `Icmp; `Gep ]))
+  in
+  make ~print:(fun ops -> string_of_int (List.length ops)) gen
+
+let prop_roundtrip_straightline =
+  QCheck.Test.make ~name:"roundtrip random straight-line function" ~count:50
+    arb_straightline (fun ops ->
+      let b = Builder.create () in
+      let fb = Builder.start_func b "main" [] in
+      Builder.block fb "entry";
+      let last_ptr = ref None in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add -> ignore (Builder.add fb (Value.int 1) (Value.int 2))
+          | `Alloca -> last_ptr := Some (Builder.alloca fb ~size:16)
+          | `StoreLoad -> (
+              match !last_ptr with
+              | Some p ->
+                  Builder.store fb ~size:8 ~ptr:p ~value:(Value.int 3);
+                  ignore (Builder.load fb ~size:8 p)
+              | None -> ignore (Builder.add fb (Value.int 0) (Value.int 0)))
+          | `Icmp -> ignore (Builder.icmp fb Instr.Slt (Value.int 1) (Value.int 2))
+          | `Gep -> (
+              match !last_ptr with
+              | Some p -> last_ptr := Some (Builder.gep fb p (Value.int 4))
+              | None -> ()))
+        ops;
+      Builder.ret fb (Some (Value.int 0));
+      Builder.end_func fb;
+      let m = Builder.finish b in
+      let m2 = Parser.parse_exn_msg (Irmod.to_string m) in
+      Verify.check m = [] && Verify.check m2 = []
+      && List.length (Func.instrs (Option.get (Irmod.find_func m2 "main")))
+         = List.length (Func.instrs (Option.get (Irmod.find_func m "main"))))
+
+let suite =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+        Alcotest.test_case "lexer line numbers" `Quick test_lexer_lines;
+        Alcotest.test_case "lexer error" `Quick test_lexer_error;
+        Alcotest.test_case "parse module" `Quick test_parse_module;
+        Alcotest.test_case "parse global init" `Quick test_parse_global_init;
+        Alcotest.test_case "instruction ids unique" `Quick test_parse_ids_unique;
+        Alcotest.test_case "parse error has line" `Quick test_parse_error_line;
+        Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "verify accepts sample" `Quick test_verify_ok;
+        Alcotest.test_case "verify undefined register" `Quick
+          test_verify_undefined_reg;
+        Alcotest.test_case "verify double assignment" `Quick
+          test_verify_double_assign;
+        Alcotest.test_case "verify bad label" `Quick test_verify_bad_label;
+        Alcotest.test_case "verify phi non-pred arm" `Quick
+          test_verify_phi_nonpred;
+        Alcotest.test_case "verify phi missing arm" `Quick
+          test_verify_phi_missing_arm;
+        Alcotest.test_case "verify unknown callee" `Quick
+          test_verify_unknown_callee;
+        Alcotest.test_case "verify intrinsic callee" `Quick
+          test_verify_intrinsic_callee_ok;
+        Alcotest.test_case "builder simple" `Quick test_builder_simple;
+        Alcotest.test_case "builder rejects unterminated" `Quick
+          test_builder_unterminated;
+        Alcotest.test_case "builder next_id_after" `Quick
+          test_builder_next_id_after;
+        QCheck_alcotest.to_alcotest prop_roundtrip_straightline;
+      ] );
+  ]

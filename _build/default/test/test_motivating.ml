@@ -1,0 +1,198 @@
+(** End-to-end test of the paper's motivating example (Figures 1, 5, 6).
+
+    A rare (never profiled) path skips the store [i1] that kills the
+    cross-iteration flow from [i3] to [i2]. Statically the kill cannot be
+    proven (the rare path bypasses [i1]); control speculation alone cannot
+    disprove the dependence (neither endpoint is speculatively dead);
+    composition by confluence therefore fails. SCAF resolves it: control
+    speculation re-issues the query with a speculative control-flow view
+    and kill-flow proves the kill under it. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_profile
+open Scaf_pdg
+
+let checkb = Alcotest.check Alcotest.bool
+
+let src =
+  {|
+global @a 8
+global @b 8
+
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %r = call @input(%i)
+  %c = icmp ne %r, 0
+  condbr %c, rare, common
+rare:
+  store 8, @b, 7
+  br cont
+common:
+  store 8, @a, %i          ; i1: kills the flow when executed
+  br cont
+cont:
+  %v = load 8, @a          ; i2: reads a
+  store 8, @b, %v
+  br latch
+latch:
+  %i2 = add %i, 1
+  store 8, @a, %i2         ; i3: cross-iteration flow source
+  %d = icmp slt %i2, 200
+  condbr %d, loop, exit
+exit:
+  ret
+}
+|}
+
+let setup () =
+  let m = Parser.parse_exn_msg src in
+  Verify.check_exn m;
+  let profiles = Profiler.profile_module m in
+  let prog = profiles.Profiles.ctx in
+  let find_store value_dst =
+    (* identify i1/i3 by stored value register, i2 by being the @a load *)
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg v; ptr = Value.Global "a"; _ }
+          when String.equal v value_dst ->
+            r := i.Instr.id
+        | _ -> ());
+    !r
+  in
+  let find_load () =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Load { ptr = Value.Global "a"; _ } -> r := i.Instr.id
+        | _ -> ());
+    !r
+  in
+  let i1 = find_store "i" in
+  let i3 = find_store "i2" in
+  let i2 = find_load () in
+  checkb "found i1" true (i1 >= 0);
+  checkb "found i2" true (i2 >= 0);
+  checkb "found i3" true (i3 >= 0);
+  (profiles, prog, i1, i2, i3)
+
+let lid = "main:loop"
+
+let query i3 i2 = Query.modref_instrs ~loop:lid ~tr:Query.Before i3 i2
+
+let test_profile_facts () =
+  let profiles, prog, _, _, _ = setup () in
+  ignore prog;
+  (* the rare block never executed *)
+  checkb "rare is spec-dead" true
+    (Edge_profile.spec_dead profiles.Profiles.edges ~func:"main" ~label:"rare");
+  checkb "common not dead" false
+    (Edge_profile.spec_dead profiles.Profiles.edges ~func:"main"
+       ~label:"common");
+  (* the loop is hot *)
+  checkb "loop is hot" true
+    (List.mem lid (Time_profile.hot_loops profiles.Profiles.time))
+
+let test_dep_not_observed () =
+  let profiles, _, _, i2, i3 = setup () in
+  (* i3 -> i2 cross-iteration flow never manifests: i1 always kills it *)
+  checkb "i3->i2 cross not observed" false
+    (Memdep_profile.observed profiles.Profiles.memdep ~lid ~src:i3 ~dst:i2
+       ~cross:true);
+  (* but i3 -> i1 output dep does manifest cross-iteration *)
+  let _, _, i1, _, _ = setup () in
+  ignore i1
+
+let test_caf_cannot () =
+  let profiles, _, _, i2, i3 = setup () in
+  let r = Schemes.caf profiles in
+  let resp = r.Schemes.resolve (query i3 i2) in
+  checkb "CAF cannot disprove" false (Pdg.affordable_nodep resp)
+
+let test_confluence_cannot () =
+  let profiles, _, _, i2, i3 = setup () in
+  let r = Schemes.confluence profiles in
+  let resp = r.Schemes.resolve (query i3 i2) in
+  checkb "confluence cannot disprove" false (Pdg.affordable_nodep resp)
+
+let test_scaf_disproves () =
+  let profiles, _, _, i2, i3 = setup () in
+  let r = Schemes.scaf profiles in
+  let resp = r.Schemes.resolve (query i3 i2) in
+  checkb "SCAF disproves" true (Pdg.affordable_nodep resp);
+  (* the collaboration involved control speculation and kill-flow *)
+  let prov = resp.Response.provenance in
+  checkb "control-spec participated" true
+    (Response.Sset.mem "control-spec" prov);
+  checkb "kill-flow participated" true (Response.Sset.mem "kill-flow-aa" prov);
+  (* the assertion is the dead rare block, at zero validation cost *)
+  checkb "has free option" true (Response.has_free_option resp);
+  match Response.cheapest_option resp with
+  | Some (a :: _) ->
+      Alcotest.(check string) "module" "control-spec" a.Assertion.module_id;
+      (match a.Assertion.payload with
+      | Assertion.Ctrl_block_dead { label; _ } ->
+          Alcotest.(check string) "dead block" "rare" label
+      | _ -> Alcotest.fail "expected dead-block assertion")
+  | _ -> Alcotest.fail "expected an assertion option"
+
+let test_memspec_covers_expensively () =
+  let profiles, _, _, i2, i3 = setup () in
+  let r = Schemes.memory_speculation profiles in
+  let resp = r.Schemes.resolve (query i3 i2) in
+  checkb "memspec disproves" true (Pdg.affordable_nodep resp);
+  (* ... but at much higher cost than SCAF's free answer *)
+  checkb "memspec is expensive" true (Response.cheapest_cost resp > 1000.0)
+
+let test_intra_dep_respected () =
+  (* i1 -> i2 intra-iteration flow is real: nobody may disprove it *)
+  let profiles, _, i1, i2, _ = setup () in
+  let scaf = Schemes.scaf profiles in
+  let q = Query.modref_instrs ~loop:lid ~tr:Query.Same i1 i2 in
+  let resp = scaf.Schemes.resolve q in
+  checkb "real dep respected" false (Pdg.affordable_nodep resp);
+  (* and it is observed during profiling *)
+  checkb "observed" true
+    (Memdep_profile.observed profiles.Profiles.memdep ~lid ~src:i1 ~dst:i2
+       ~cross:false)
+
+let test_pdg_scheme_order () =
+  (* %NoDep must be monotone: CAF <= Confluence <= SCAF <= MemSpec-ish *)
+  let profiles, prog, _, _, _ = setup () in
+  let pct r =
+    (Nodep.evaluate ~bname:"motivating" profiles r).Nodep.weighted_nodep
+  in
+  ignore prog;
+  let caf = pct (Schemes.caf profiles) in
+  let conf = pct (Schemes.confluence profiles) in
+  let scaf = pct (Schemes.scaf profiles) in
+  checkb
+    (Printf.sprintf "caf(%.1f) <= conf(%.1f)" caf conf)
+    true (caf <= conf +. 1e-9);
+  checkb
+    (Printf.sprintf "conf(%.1f) < scaf(%.1f)" conf scaf)
+    true (conf < scaf)
+
+let suite =
+  [
+    ( "motivating-example",
+      [
+        Alcotest.test_case "profile facts" `Quick test_profile_facts;
+        Alcotest.test_case "dep not observed" `Quick test_dep_not_observed;
+        Alcotest.test_case "CAF cannot disprove" `Quick test_caf_cannot;
+        Alcotest.test_case "confluence cannot disprove" `Quick
+          test_confluence_cannot;
+        Alcotest.test_case "SCAF disproves collaboratively" `Quick
+          test_scaf_disproves;
+        Alcotest.test_case "memory speculation covers, expensively" `Quick
+          test_memspec_covers_expensively;
+        Alcotest.test_case "real dependence respected" `Quick
+          test_intra_dep_respected;
+        Alcotest.test_case "scheme precision order" `Quick
+          test_pdg_scheme_order;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(** Tests for the reporting helpers, Table 2 accounting and the
+    Orchestrator's query memoization. *)
+
+open Scaf
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_table_render () =
+  let t =
+    Scaf_report.Report.table ~header:[ "a"; "bb" ]
+      ~rows:[ [ "x"; "y" ]; [ "long"; "z" ] ]
+  in
+  checkb "aligned" true (Astring_contains.contains t "| long | z  |");
+  checkb "has header" true (Astring_contains.contains t "| a    | bb |")
+
+let test_percentiles () =
+  let a = Array.init 101 (fun i -> float_of_int i) in
+  checkf "p50" 50.0 (Scaf_report.Report.percentile a 50.0);
+  checkf "p0" 0.0 (Scaf_report.Report.percentile a 0.0);
+  checkf "p100" 100.0 (Scaf_report.Report.percentile a 100.0);
+  checkf "empty" 0.0 (Scaf_report.Report.percentile [||] 50.0)
+
+let test_geomean_mean () =
+  checkf "geomean" 2.0 (Scaf_pdg.Nodep.geomean [ 1.0; 2.0; 4.0 ]);
+  checkf "mean" 2.0 (Scaf_pdg.Nodep.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "geomean skips zeros" 4.0 (Scaf_pdg.Nodep.geomean [ 0.0; 4.0 ])
+
+let test_bar () =
+  Alcotest.(check string) "full" "####" (Scaf_report.Report.bar ~width:4 100.0);
+  Alcotest.(check string) "half" "##.." (Scaf_report.Report.bar ~width:4 50.0);
+  Alcotest.(check string) "clamped" "...." (Scaf_report.Report.bar ~width:4 (-5.0))
+
+(* -- Table 2 accounting -------------------------------------------- *)
+
+let prov names =
+  List.fold_left (fun s n -> Response.Sset.add n s) Response.Sset.empty names
+
+let test_collab_rows () =
+  let open Scaf_pdg.Collab in
+  checkb "caf row" true (row_matches RCaf (prov [ "kill-flow-aa" ]));
+  checkb "caf row negative" false (row_matches RCaf (prov [ "control-spec" ]));
+  checkb "among spec needs two" false
+    (row_matches RAmong_speculation (prov [ "read-only" ]));
+  checkb "among spec with two" true
+    (row_matches RAmong_speculation (prov [ "read-only"; "points-to" ]));
+  checkb "between needs both" true
+    (row_matches RBetween_caf_and_spec
+       (prov [ "kill-flow-aa"; "control-spec" ]));
+  checkb "between not spec-only" false
+    (row_matches RBetween_caf_and_spec (prov [ "read-only"; "points-to" ]))
+
+let test_collab_coverage_math () =
+  let open Scaf_pdg.Collab in
+  let improved =
+    [
+      { ibench = "b1"; iloop = "l1"; iprov = prov [ "read-only"; "points-to" ] };
+      { ibench = "b1"; iloop = "l2"; iprov = prov [ "control-spec" ] };
+      { ibench = "b2"; iloop = "l3"; iprov = prov [ "read-only"; "points-to" ] };
+    ]
+  in
+  let cov =
+    table2 ~benchmarks:[ "b1"; "b2"; "b3" ]
+      ~all_loops:[ ("b1", "l1"); ("b1", "l2"); ("b2", "l3"); ("b3", "l4") ]
+      improved
+  in
+  let row name =
+    List.find (fun (c : coverage) -> c.row_label = name) cov
+  in
+  let ro = row "Read-only" in
+  checkf "ro bench%" (100.0 *. 2.0 /. 3.0) ro.bench_pct;
+  checkf "ro loop%" 50.0 ro.loop_pct;
+  checkf "ro query%" (100.0 *. 2.0 /. 3.0) ro.query_pct;
+  let all = row "All" in
+  checkf "all query%" 100.0 all.query_pct
+
+(* -- Orchestrator memoization --------------------------------------- *)
+
+let test_orchestrator_cache () =
+  let prog =
+    Scaf_cfg.Progctx.build
+      (Scaf_ir.Parser.parse_exn_msg "func @main() {\nentry:\n  ret\n}")
+  in
+  let evals = ref 0 in
+  let m =
+    Module_api.make ~name:"m" ~kind:Module_api.Memory ~factored:false
+      (fun _ q ->
+        incr evals;
+        match q with
+        | Query.Modref _ -> Response.free (Aresult.RModref Aresult.NoModRef)
+        | _ -> Module_api.no_answer q)
+  in
+  let o = Orchestrator.create prog (Orchestrator.default_config [ m ]) in
+  let q = Query.modref_instrs ~tr:Query.Same 1 2 in
+  let r1 = Orchestrator.handle o q in
+  let r2 = Orchestrator.handle o q in
+  checki "evaluated once" 1 !evals;
+  checkb "same answer" true
+    (Aresult.equal r1.Response.result r2.Response.result);
+  (* a different query is a cache miss *)
+  let _ = Orchestrator.handle o (Query.modref_instrs ~tr:Query.Before 1 2) in
+  checki "new query evaluated" 2 !evals
+
+let suite =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "table rendering" `Quick test_table_render;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "geomean/mean" `Quick test_geomean_mean;
+        Alcotest.test_case "bars" `Quick test_bar;
+        Alcotest.test_case "table 2 row predicates" `Quick test_collab_rows;
+        Alcotest.test_case "table 2 coverage math" `Quick
+          test_collab_coverage_math;
+        Alcotest.test_case "orchestrator memoization" `Quick
+          test_orchestrator_cache;
+      ] );
+  ]

@@ -1,0 +1,164 @@
+(** Property-based soundness: on randomly generated affine loop programs,
+    any dependence that the analyses disprove *without assertions* must
+    never manifest during execution, and any dependence disproven by SCAF
+    at an affordable cost must not manifest on the profiled input (the
+    input the assertions were validated against). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_profile
+open Scaf_pdg
+
+(* A random access: array choice, stride and offset of an affine address,
+   and whether it stores. All offsets stay in-bounds for 64 iterations over
+   an 800-byte array. *)
+type acc = { arr : string; stride : int; off : int; is_store : bool }
+
+let gen_acc =
+  QCheck.Gen.(
+    let* arr = oneofl [ "A"; "B" ] in
+    let* stride = oneofl [ 0; 4; 8 ] in
+    let* off = int_range 0 8 >|= fun k -> 8 * k in
+    let* is_store = bool in
+    return { arr; stride; off; is_store })
+
+let gen_prog = QCheck.Gen.list_size (QCheck.Gen.int_range 2 6) gen_acc
+
+let print_prog accs =
+  String.concat "; "
+    (List.map
+       (fun a ->
+         Printf.sprintf "%s@%s[%di+%d]"
+           (if a.is_store then "st" else "ld")
+           a.arr a.stride a.off)
+       accs)
+
+let program_of (accs : acc list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "global @A 800\nglobal @B 800\n";
+  Buffer.add_string b "func @main() {\nentry:\n  br loop\nloop:\n";
+  Buffer.add_string b "  %i = phi [entry: 0], [loop: %i2]\n";
+  List.iteri
+    (fun k a ->
+      Buffer.add_string b
+        (Printf.sprintf "  %%m%d = mul %%i, %d\n" k a.stride);
+      Buffer.add_string b
+        (Printf.sprintf "  %%o%d = add %%m%d, %d\n" k k a.off);
+      Buffer.add_string b
+        (Printf.sprintf "  %%p%d = gep @%s, %%o%d\n" k a.arr k);
+      if a.is_store then
+        Buffer.add_string b (Printf.sprintf "  store 8, %%p%d, %%i\n" k)
+      else
+        Buffer.add_string b (Printf.sprintf "  %%v%d = load 8, %%p%d\n" k k))
+    accs;
+  Buffer.add_string b
+    "  %i2 = add %i, 1\n  %c = icmp slt %i2, 64\n  condbr %c, loop, exit\n";
+  Buffer.add_string b "exit:\n  ret\n}\n";
+  Buffer.contents b
+
+let check_scheme ~require_free (accs : acc list)
+    (mk : Profiles.t -> Schemes.resolver) : bool =
+  let m = Parser.parse_exn_msg (program_of accs) in
+  Verify.check_exn m;
+  let profiles = Profiler.profile_module m in
+  let prog = profiles.Profiles.ctx in
+  let lid = "main:loop" in
+  let r = Pdg.run_loop prog ~resolver:(mk profiles).Schemes.resolve lid in
+  List.for_all
+    (fun (q : Pdg.qresult) ->
+      let counts =
+        q.Pdg.nodep
+        && ((not require_free) || Response.has_free_option q.Pdg.resp)
+      in
+      (not counts)
+      || not
+           (Memdep_profile.observed profiles.Profiles.memdep ~lid
+              ~src:q.Pdg.dq.Pdg.src ~dst:q.Pdg.dq.Pdg.dst
+              ~cross:q.Pdg.dq.Pdg.cross))
+    r.Pdg.queries
+
+let prop_caf_sound =
+  QCheck.Test.make ~count:60
+    ~name:"CAF never disproves a dependence that manifests"
+    (QCheck.make ~print:print_prog gen_prog)
+    (fun accs -> check_scheme ~require_free:true accs Schemes.caf)
+
+let prop_scaf_free_answers_sound =
+  QCheck.Test.make ~count:40
+    ~name:"SCAF's assertion-free answers never contradict execution"
+    (QCheck.make ~print:print_prog gen_prog)
+    (fun accs -> check_scheme ~require_free:true accs Schemes.scaf)
+
+let prop_scaf_at_least_as_precise =
+  QCheck.Test.make ~count:30
+    ~name:"SCAF resolves a superset of what CAF and confluence resolve"
+    (QCheck.make ~print:print_prog gen_prog)
+    (fun accs ->
+      let m = Parser.parse_exn_msg (program_of accs) in
+      let profiles = Profiler.profile_module m in
+      let prog = profiles.Profiles.ctx in
+      let lid = "main:loop" in
+      let nodeps mk =
+        let r = Pdg.run_loop prog ~resolver:(mk profiles).Schemes.resolve lid in
+        List.filter_map
+          (fun (q : Pdg.qresult) -> if q.Pdg.nodep then Some q.Pdg.dq else None)
+          r.Pdg.queries
+      in
+      let caf = nodeps Schemes.caf in
+      let conf = nodeps Schemes.confluence in
+      let scaf = nodeps Schemes.scaf in
+      List.for_all (fun d -> List.mem d scaf) caf
+      && List.for_all (fun d -> List.mem d scaf) conf)
+
+(* The interpreter agrees with the affine model: two affine accesses with a
+   constant same-iteration distance overlap exactly when the intervals do. *)
+let prop_affine_model_matches_interp =
+  QCheck.Test.make ~count:60
+    ~name:"affine same-iteration distance model matches execution"
+    (QCheck.make
+       ~print:(fun (a, b) -> print_prog [ a; b ])
+       QCheck.Gen.(pair gen_acc gen_acc))
+    (fun (a, b) ->
+      (* force same array and a store so a dependence is possible *)
+      let a = { a with is_store = true } in
+      let b = { b with arr = a.arr } in
+      let m = Parser.parse_exn_msg (program_of [ a; b ]) in
+      let profiles = Profiler.profile_module m in
+      let lid = "main:loop" in
+      (* the model: did any same-iteration byte overlap happen? *)
+      let observed_intra =
+        List.exists
+          (fun k ->
+            let addr1 = (a.stride * k) + a.off
+            and addr2 = (b.stride * k) + b.off in
+            addr1 < addr2 + 8 && addr2 < addr1 + 8)
+          (List.init 64 Fun.id)
+      in
+      (* find instruction ids of the two accesses *)
+      let ids = ref [] in
+      Irmod.iter_instrs m (fun _ _ i ->
+          if Instr.accesses_memory i then ids := i.Instr.id :: !ids);
+      match List.rev !ids with
+      | [ i1; i2 ] ->
+          let obs =
+            Memdep_profile.observed profiles.Profiles.memdep ~lid ~src:i1
+              ~dst:i2 ~cross:false
+            || Memdep_profile.observed profiles.Profiles.memdep ~lid ~src:i2
+                 ~dst:i1 ~cross:false
+          in
+          (* the model and the profiler agree on whether any same-iteration
+             byte overlap occurred (profiler only records when one side
+             writes, which [a] does) *)
+          Bool.equal obs observed_intra
+      | _ -> QCheck.assume_fail ())
+
+let suite =
+  [
+    ( "soundness",
+      [
+        QCheck_alcotest.to_alcotest prop_caf_sound;
+        QCheck_alcotest.to_alcotest prop_scaf_free_answers_sound;
+        QCheck_alcotest.to_alcotest prop_scaf_at_least_as_precise;
+        QCheck_alcotest.to_alcotest prop_affine_model_matches_interp;
+      ] );
+  ]

@@ -1,0 +1,384 @@
+(** Tests for the six speculation modules, each on a crafted program +
+    profile, both standalone (confluence-style) and in the full SCAF
+    ensemble. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_profile
+open Scaf_speculation
+
+let checkb = Alcotest.check Alcotest.bool
+
+let setup ?(inputs = [ [||] ]) src =
+  let m = Parser.parse_exn_msg src in
+  Verify.check_exn m;
+  let profiles = Profiler.profile_module ~inputs m in
+  (m, profiles)
+
+let find m p =
+  let r = ref (-1) in
+  Irmod.iter_instrs m (fun _ _ i -> if p i then r := i.Instr.id);
+  !r
+
+let solo (mk : Profiles.t -> Module_api.t) profiles =
+  let prog = profiles.Profiles.ctx in
+  Orchestrator.create prog (Orchestrator.default_config [ mk profiles ])
+
+let full profiles =
+  let prog = profiles.Profiles.ctx in
+  Orchestrator.create prog
+    (Orchestrator.default_config
+       (Scaf_analysis.Registry.create prog @ Registry.create profiles))
+
+(* -- control speculation -------------------------------------------- *)
+
+let test_control_spec_dead_endpoint () =
+  let m, profiles =
+    setup ~inputs:[ [| 0L |] ]
+      {|
+global @g 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %r = call @input(0)
+  %c = icmp ne %r, 0
+  condbr %c, dead, live
+dead:
+  store 8, @g, 1
+  br latch
+live:
+  store 8, @g, %i
+  br latch
+latch:
+  %i2 = add %i, 1
+  %d = icmp slt %i2, 60
+  condbr %d, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let dead_store =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Int 1L; _ } -> true
+        | _ -> false)
+  in
+  let live_store =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "i"; _ } -> true
+        | _ -> false)
+  in
+  let o = solo Control_spec.create profiles in
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same dead_store
+         live_store)
+  in
+  checkb "dead endpoint removed" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  (* the assertion names the dead block at zero cost *)
+  (match Response.cheapest_option r with
+  | Some [ a ] ->
+      checkb "cost 0" true (a.Assertion.cost = 0.0);
+      (match a.Assertion.payload with
+      | Assertion.Ctrl_block_dead { label = "dead"; _ } -> ()
+      | _ -> Alcotest.fail "wrong payload")
+  | _ -> Alcotest.fail "expected a single assertion");
+  (* both endpoints live: no answer from control spec alone *)
+  let r2 =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same live_store
+         live_store)
+  in
+  checkb "live endpoints untouched" true
+    (r2.Response.result <> Aresult.RModref Aresult.NoModRef)
+
+(* -- value prediction ------------------------------------------------ *)
+
+let vp_src =
+  {|
+global @flag 8
+global @acc 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %z = icmp sgt %i, 1000000
+  store 8, @flag, %z
+  %fv = load 8, @flag
+  %a = load 8, @acc
+  %a2 = add %a, %fv
+  store 8, @acc, %a2
+  %z2 = icmp sgt %i, 2000000
+  store 8, @flag, %z2
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 60
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let test_value_pred_direct () =
+  let m, profiles = setup vp_src in
+  let flag_load = find m (fun i -> i.Instr.dst = Some "fv") in
+  let store1 =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "z"; _ } -> true
+        | _ -> false)
+  in
+  let o = solo Value_pred_spec.create profiles in
+  (* store -> predictable load: removable in isolation *)
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same store1 flag_load)
+  in
+  checkb "direct rule fires" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "costs the load's checks" true (Response.cheapest_cost r > 0.0)
+
+let test_value_pred_kill_needs_collaboration () =
+  let m, profiles = setup vp_src in
+  let store1 =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "z"; _ } -> true
+        | _ -> false)
+  in
+  let store2 =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { value = Value.Reg "z2"; _ } -> true
+        | _ -> false)
+  in
+  let q = Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same store1 store2 in
+  (* isolated: the kill needs a must-alias premise nobody can answer *)
+  let o1 = solo Value_pred_spec.create profiles in
+  checkb "isolated fails" true
+    ((Orchestrator.handle o1 q).Response.result
+    <> Aresult.RModref Aresult.NoModRef);
+  (* ensemble: basic-aa resolves the premise *)
+  let o2 = full profiles in
+  let r = Orchestrator.handle o2 q in
+  checkb "ensemble succeeds" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "value-pred involved" true
+    (Response.Sset.mem "value-pred" r.Response.provenance)
+
+(* -- pointer residue ------------------------------------------------- *)
+
+let test_residue_spec () =
+  let m, profiles =
+    setup
+      {|
+global @arr 256
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 16
+  %om = srem %o, 240
+  %p = gep @arr, %om
+  store 8, %p, %i
+  %o8 = add %om, 8
+  %q = gep @arr, %o8
+  %v = load 8, %q
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 60
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let st = find m (fun i -> match i.Instr.kind with Instr.Store { ptr = Value.Reg "p"; _ } -> true | _ -> false) in
+  let ld = find m (fun i -> i.Instr.dst = Some "v") in
+  let o = solo Residue_spec.create profiles in
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same st ld)
+  in
+  checkb "disjoint residues, isolated modref" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "two residue assertions" true
+    (match Response.cheapest_option r with Some o -> List.length o = 2 | None -> false)
+
+(* -- read-only + points-to ------------------------------------------- *)
+
+let ro_src =
+  {|
+global @tbl 8
+global @out 8
+declare @sink readonly
+func @main() {
+entry:
+  %t = call @malloc(64)
+  store 8, @tbl, %t
+  store 8, %t, 9
+  %tp = load 8, @tbl
+  call @sink(%tp)
+  %o = call @malloc(64)
+  store 8, @out, %o
+  %oq = load 8, @out
+  store 8, @out, %oq
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %p = load 8, @tbl
+  %v = load 8, %p
+  %w = load 8, @out
+  %j = srem %i, 8
+  %j8 = mul %j, 8
+  %q = gep %w, %j8
+  store 8, %q, %v
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 60
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let test_read_only_needs_points_to () =
+  let m, profiles = setup ro_src in
+  let tbl_load = find m (fun i -> i.Instr.dst = Some "v") in
+  let out_store =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Reg "q"; _ } -> true
+        | _ -> false)
+  in
+  let q =
+    Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same out_store tbl_load
+  in
+  (* read-only alone cannot establish containment *)
+  let o1 = solo Read_only_spec.create profiles in
+  checkb "isolated read-only fails" true
+    ((Orchestrator.handle o1 q).Response.result
+    <> Aresult.RModref Aresult.NoModRef);
+  (* with points-to it collaborates, and the prohibitive points-to
+     assertion is replaced by a cheap heap check *)
+  let prog = profiles.Profiles.ctx in
+  let o2 =
+    Orchestrator.create prog
+      (Orchestrator.default_config
+         [ Read_only_spec.create profiles; Points_to_spec.create profiles ])
+  in
+  let r = Orchestrator.handle o2 q in
+  checkb "pair succeeds" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "cheap to validate" true
+    (Cost_model.affordable (Response.cheapest_cost r));
+  checkb "points-to in provenance" true
+    (Response.Sset.mem "points-to" r.Response.provenance)
+
+(* -- short-lived ------------------------------------------------------ *)
+
+let sl_src =
+  {|
+global @slot 8
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %b = call @malloc(32)
+  store 8, @slot, %b
+  %p = load 8, @slot
+  store 8, %p, %i
+  %r = gep %p, 8
+  %v = load 8, %r
+  %b2 = load 8, @slot
+  call @free(%b2)
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 60
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let test_short_lived_cross_iteration_only () =
+  let m, profiles = setup sl_src in
+  let st = find m (fun i -> match i.Instr.kind with Instr.Store { ptr = Value.Reg "p"; _ } -> true | _ -> false) in
+  let ld = find m (fun i -> i.Instr.dst = Some "v") in
+  let prog = profiles.Profiles.ctx in
+  let o =
+    Orchestrator.create prog
+      (Orchestrator.default_config
+         [ Short_lived_spec.create profiles; Points_to_spec.create profiles ])
+  in
+  let cross = Query.modref_instrs ~loop:"main:loop" ~tr:Query.Before st ld in
+  let intra = Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same st ld in
+  let rc = Orchestrator.handle o cross in
+  checkb "cross-iteration removed" true
+    (rc.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "affordable" true (Cost_model.affordable (Response.cheapest_cost rc));
+  (* the balance check is part of the option *)
+  checkb "has balance assertion" true
+    (match Response.cheapest_option rc with
+    | Some os ->
+        List.exists
+          (fun (a : Assertion.t) ->
+            match a.Assertion.payload with
+            | Assertion.Short_lived_balance _ -> true
+            | _ -> false)
+          os
+    | None -> false);
+  let ri = Orchestrator.handle o intra in
+  checkb "intra-iteration untouched" true
+    (ri.Response.result <> Aresult.RModref Aresult.NoModRef)
+
+(* -- points-to -------------------------------------------------------- *)
+
+let test_points_to_prohibitive () =
+  let m, profiles = setup ro_src in
+  let tbl_load = find m (fun i -> i.Instr.dst = Some "v") in
+  let out_store =
+    find m (fun i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Reg "q"; _ } -> true
+        | _ -> false)
+  in
+  let prog = profiles.Profiles.ctx in
+  (* points-to + basic (for the footprint lift): NoModRef but unaffordable *)
+  let o =
+    Orchestrator.create prog
+      (Orchestrator.default_config
+         [ Scaf_analysis.Basic_aa.create prog; Points_to_spec.create profiles ])
+  in
+  let r =
+    Orchestrator.handle o
+      (Query.modref_instrs ~loop:"main:loop" ~tr:Query.Same out_store tbl_load)
+  in
+  checkb "points-to disproves" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "but prohibitively" false
+    (Cost_model.affordable (Response.cheapest_cost r))
+
+let suite =
+  [
+    ( "speculation",
+      [
+        Alcotest.test_case "control-spec dead endpoint" `Quick
+          test_control_spec_dead_endpoint;
+        Alcotest.test_case "value-pred direct" `Quick test_value_pred_direct;
+        Alcotest.test_case "value-pred kill needs collaboration" `Quick
+          test_value_pred_kill_needs_collaboration;
+        Alcotest.test_case "pointer-residue standalone" `Quick
+          test_residue_spec;
+        Alcotest.test_case "read-only needs points-to" `Quick
+          test_read_only_needs_points_to;
+        Alcotest.test_case "short-lived: cross-iteration only" `Quick
+          test_short_lived_cross_iteration_only;
+        Alcotest.test_case "points-to is prohibitive" `Quick
+          test_points_to_prohibitive;
+      ] );
+  ]

@@ -1,0 +1,198 @@
+(** Tests for temporal-relation handling: [After] queries, cross-iteration
+    instance reasoning, and nested-loop scoping subtleties. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_cfg
+open Scaf_analysis
+
+let checkb = Alcotest.check Alcotest.bool
+
+let build src =
+  let m = Parser.parse_exn_msg src in
+  Verify.check_exn m;
+  Progctx.build m
+
+let caf prog =
+  Orchestrator.create prog (Orchestrator.default_config (Registry.create prog))
+
+let strided =
+  build
+    {|
+global @arr 800
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 8
+  %p = gep @arr, %o
+  store 8, %p, %i
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let q tr =
+  Query.alias ~loop:"main:loop" ~fname:"main" ~tr (Value.reg "p", 8)
+    (Value.reg "p", 8)
+
+let test_after_mirrors_before () =
+  let o = caf strided in
+  let before = Orchestrator.handle o (q Query.Before) in
+  let after = Orchestrator.handle o (q Query.After) in
+  checkb "Before NoAlias" true
+    (before.Response.result = Aresult.RAlias Aresult.NoAlias);
+  checkb "After NoAlias" true
+    (after.Response.result = Aresult.RAlias Aresult.NoAlias);
+  let same = Orchestrator.handle o (q Query.Same) in
+  checkb "Same MustAlias" true
+    (same.Response.result = Aresult.RAlias Aresult.MustAlias)
+
+let test_asymmetric_stride_window () =
+  (* addresses p = 16i and q = 16i + 8: Before (p earlier) hits q's window
+     at no dk; check both directions stay NoAlias while Same does too *)
+  let prog =
+    build
+      {|
+global @arr 1700
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 16
+  %p = gep @arr, %o
+  store 8, %p, %i
+  %o8 = add %o, 8
+  %q = gep @arr, %o8
+  %v = load 8, %q
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let mk tr =
+    (Orchestrator.handle o
+       (Query.alias ~loop:"main:loop" ~fname:"main" ~tr (Value.reg "p", 8)
+          (Value.reg "q", 8)))
+      .Response.result
+  in
+  checkb "Same disjoint fields" true (mk Query.Same = Aresult.RAlias Aresult.NoAlias);
+  checkb "Before disjoint" true (mk Query.Before = Aresult.RAlias Aresult.NoAlias);
+  checkb "After disjoint" true (mk Query.After = Aresult.RAlias Aresult.NoAlias)
+
+let test_overlapping_after_window () =
+  (* a genuine cross-iteration overlap: q = 16i + 16, so q at iteration k
+     addresses exactly what p addresses at iteration k+1; the overlapping
+     direction must stay conservative while the diverging one is disjoint *)
+  let prog =
+    build
+      {|
+global @arr 1800
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %o = mul %i, 16
+  %p = gep @arr, %o
+  store 8, %p, %i
+  %o16 = add %o, 16
+  %q = gep @arr, %o16
+  %v = load 8, %q
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let mk tr a b =
+    (Orchestrator.handle o
+       (Query.alias ~loop:"main:loop" ~fname:"main" ~tr (Value.reg a, 8)
+          (Value.reg b, 8)))
+      .Response.result
+  in
+  (* q in iteration k addresses what p addresses in iteration k+1: the
+     (q Before p) direction overlaps at dk = 1 *)
+  checkb "real cross overlap stays conservative" true
+    (Aresult.pr (mk Query.Before "q" "p") = 1);
+  (* while (p Before q) moves away and is disjoint *)
+  checkb "diverging direction disjoint" true
+    (mk Query.Before "p" "q" = Aresult.RAlias Aresult.NoAlias);
+  checkb "Same disjoint" true (mk Query.Same "p" "q" = Aresult.RAlias Aresult.NoAlias)
+
+let test_nested_loop_instances () =
+  (* an alloca inside the outer loop is NOT unique per inner-loop-scoped
+     queries' instances when scoped to the outer loop... here: the inner
+     loop re-executes the store against one alloca instance per outer
+     iteration; same-SSA-value reasoning must stay valid for the inner
+     query but cross-outer-iteration queries must not claim MustAlias *)
+  let prog =
+    build
+      {|
+func @main() {
+entry:
+  br outer
+outer:
+  %i = phi [entry: 0], [olatch: %i2]
+  %a = call @malloc(8)
+  br inner
+inner:
+  %j = phi [outer: 0], [inner: %j2]
+  store 8, %a, %j
+  %v = load 8, %a
+  %j2 = add %j, 1
+  %c = icmp slt %j2, 60
+  condbr %c, inner, olatch
+olatch:
+  call @free(%a)
+  %i2 = add %i, 1
+  %d = icmp slt %i2, 55
+  condbr %d, outer, exit
+exit:
+  ret
+}
+|}
+  in
+  let o = caf prog in
+  let mk ~loop tr =
+    (Orchestrator.handle o
+       (Query.alias ~loop ~fname:"main" ~tr (Value.reg "a", 8)
+          (Value.reg "a", 8)))
+      .Response.result
+  in
+  (* within one inner iteration, %a is the same instance *)
+  checkb "inner Same MustAlias" true
+    (mk ~loop:"main:inner" Query.Same = Aresult.RAlias Aresult.MustAlias);
+  (* across inner iterations, %a is invariant (allocated outside inner) *)
+  checkb "inner Before MustAlias" true
+    (mk ~loop:"main:inner" Query.Before = Aresult.RAlias Aresult.MustAlias);
+  (* across outer iterations it is a fresh object each time: NoAlias *)
+  checkb "outer Before NoAlias" true
+    (mk ~loop:"main:outer" Query.Before = Aresult.RAlias Aresult.NoAlias)
+
+let suite =
+  [
+    ( "temporal",
+      [
+        Alcotest.test_case "After mirrors Before" `Quick
+          test_after_mirrors_before;
+        Alcotest.test_case "asymmetric stride windows" `Quick
+          test_asymmetric_stride_window;
+        Alcotest.test_case "real cross-iteration overlap respected" `Quick
+          test_overlapping_after_window;
+        Alcotest.test_case "nested-loop instance reasoning" `Quick
+          test_nested_loop_instances;
+      ] );
+  ]

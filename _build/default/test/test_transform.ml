@@ -1,0 +1,319 @@
+(** Tests for the transformation side: plan selection (conflicts, sharing),
+    validation instrumentation per assertion kind, and misspeculation
+    recovery. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_transform
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_assert ?(points = []) ?(conflicts = []) ?(cost = 1.0) id payload =
+  { Assertion.module_id = id; points; cost; conflicts; payload }
+
+let sep heap sites =
+  mk_assert ~conflicts:sites "m"
+    (Assertion.Heap_separate
+       { loop = "l"; sites; gsites = []; heap; inside = []; outside = [] })
+
+let dq src dst = { Scaf_pdg.Pdg.src; dst; cross = false }
+
+let qres ?(nodep = true) dqv options =
+  {
+    Scaf_pdg.Pdg.dq = dqv;
+    resp =
+      Response.make (Aresult.RModref Aresult.NoModRef) ~options;
+    nodep;
+  }
+
+let report queries =
+  { Scaf_pdg.Pdg.lid = "l"; queries; mem_ops = [] }
+
+(* -- plan ------------------------------------------------------------ *)
+
+let test_plan_shares_assertions () =
+  let a = mk_assert ~cost:5.0 "ctrl"
+      (Assertion.Ctrl_block_dead { fname = "f"; label = "r"; beacon = 0 })
+  in
+  let p =
+    Plan.build [ report [ qres (dq 1 2) [ [ a ] ]; qres (dq 3 4) [ [ a ] ] ] ]
+  in
+  checki "one shared assertion" 1 (List.length p.Plan.selected);
+  checki "covers both deps" 2 (List.length p.Plan.covered);
+  Alcotest.check (Alcotest.float 1e-9) "paid once" 5.0 p.Plan.total_cost
+
+let test_plan_avoids_conflicts () =
+  let ro = sep Assertion.Read_only_heap [ 7 ] in
+  let sl = sep Assertion.Short_lived_heap [ 7 ] in
+  let p =
+    Plan.build [ report [ qres (dq 1 2) [ [ ro ] ]; qres (dq 3 4) [ [ sl ] ] ] ]
+  in
+  (* the second dependence's only option conflicts with the first *)
+  checki "one covered" 1 (List.length p.Plan.covered);
+  checki "one dropped" 1 (List.length p.Plan.dropped)
+
+let test_plan_falls_back_to_alternative () =
+  let ro = sep Assertion.Read_only_heap [ 7 ] in
+  let sl = sep Assertion.Short_lived_heap [ 7 ] in
+  let ctrl =
+    mk_assert ~cost:100.0 "ctrl"
+      (Assertion.Ctrl_block_dead { fname = "f"; label = "r"; beacon = 0 })
+  in
+  (* second dep has a non-conflicting (but costlier) alternative *)
+  let p =
+    Plan.build
+      [ report [ qres (dq 1 2) [ [ ro ] ]; qres (dq 3 4) [ [ sl ]; [ ctrl ] ] ] ]
+  in
+  checki "both covered" 2 (List.length p.Plan.covered);
+  checkb "alternative selected" true
+    (List.exists
+       (fun (a : Assertion.t) -> a.Assertion.module_id = "ctrl")
+       p.Plan.selected)
+
+let test_plan_skips_prohibitive () =
+  let pt = mk_assert ~cost:Cost_model.prohibitive "points-to"
+      (Assertion.Points_to_objects { instr = 3 })
+  in
+  let p = Plan.build [ report [ qres (dq 1 2) [ [ pt ] ] ] ] in
+  checki "nothing selected" 0 (List.length p.Plan.selected);
+  checki "nothing covered" 0 (List.length p.Plan.covered)
+
+(* -- instrumentation -------------------------------------------------- *)
+
+let instr_prog src = Scaf_cfg.Progctx.build (Parser.parse_exn_msg src)
+
+let count_calls m callee =
+  let n = ref 0 in
+  Irmod.iter_instrs m (fun _ _ i ->
+      match i.Instr.kind with
+      | Instr.Call { callee = c; _ } when String.equal c callee -> incr n
+      | _ -> ());
+  !n
+
+let test_instrument_value_check () =
+  let prog =
+    instr_prog
+      {|
+global @g 8
+func @main() {
+entry:
+  %v = load 8, @g
+  call @print(%v)
+  ret
+}
+|}
+  in
+  let load =
+    let r = ref (-1) in
+    Irmod.iter_instrs prog.Scaf_cfg.Progctx.m (fun _ _ i ->
+        if i.Instr.dst = Some "v" then r := i.Instr.id);
+    !r
+  in
+  let m' =
+    Instrument.apply prog
+      [
+        mk_assert "value-pred"
+          (Assertion.Value_predict { load; value = 0L });
+      ]
+  in
+  Verify.check_exn m';
+  checki "one value check" 1 (count_calls m' "scaf.check_value");
+  (* the check passes when the prediction holds *)
+  let r = Scaf_interp.Eval.run m' in
+  checki "ran" 1 (List.length r.Scaf_interp.Eval.output)
+
+let test_instrument_dead_block_beacon () =
+  let prog =
+    instr_prog
+      {|
+func @main(%c) {
+entry:
+  condbr %c, rare, ok
+rare:
+  br ok
+ok:
+  ret
+}
+|}
+  in
+  let m' =
+    Instrument.apply prog
+      [
+        mk_assert "control-spec"
+          (Assertion.Ctrl_block_dead { fname = "main"; label = "rare"; beacon = 0 });
+      ]
+  in
+  Verify.check_exn m';
+  checki "one beacon" 1 (count_calls m' "scaf.misspec");
+  (* %c defaults to 0: the false edge goes to ok, no misspec *)
+  let r = Scaf_interp.Eval.run m' in
+  checkb "clean run" true (Int64.equal r.Scaf_interp.Eval.ret 0L)
+
+let test_instrument_heap_separation () =
+  let prog =
+    instr_prog
+      {|
+global @slot 8
+func @main() {
+entry:
+  %t = call @malloc(16)
+  store 8, @slot, %t
+  br loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %p = load 8, @slot
+  %v = load 8, %p
+  store 8, @slot, %p
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 5
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let m = prog.Scaf_cfg.Progctx.m in
+  let site =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i ->
+        match i.Instr.kind with
+        | Instr.Call { callee = "malloc"; _ } -> r := i.Instr.id
+        | _ -> ());
+    !r
+  in
+  let reader =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if i.Instr.dst = Some "v" then r := i.Instr.id);
+    !r
+  in
+  let slot_store =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i ->
+        match i.Instr.kind with
+        | Instr.Store { ptr = Value.Global "slot"; value = Value.Reg "p"; _ } ->
+            r := i.Instr.id
+        | _ -> ());
+    !r
+  in
+  let m' =
+    Instrument.apply prog
+      [
+        mk_assert "read-only"
+          (Assertion.Heap_separate
+             {
+               loop = "main:loop";
+               sites = [ site ];
+               gsites = [];
+               heap = Assertion.Read_only_heap;
+               inside = [ reader ];
+               outside = [ slot_store ];
+             });
+      ]
+  in
+  Verify.check_exn m';
+  checki "site tagged" 1 (count_calls m' "scaf.set_heap");
+  checki "inside check" 1 (count_calls m' "scaf.check_heap");
+  checki "outside check" 1 (count_calls m' "scaf.check_not_heap");
+  (* inside: %p is in the heap; outside: @slot is not: both hold *)
+  let r = Scaf_interp.Eval.run m' in
+  checkb "clean" true (Int64.equal r.Scaf_interp.Eval.ret 0L)
+
+let test_instrument_memspec_catches_violation () =
+  let prog =
+    instr_prog
+      {|
+global @x 8
+func @main() {
+entry:
+  store 8, @x, 1
+  %v = load 8, @x
+  ret %v
+}
+|}
+  in
+  let m = prog.Scaf_cfg.Progctx.m in
+  let st =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if Instr.writes_memory i then r := i.Instr.id);
+    !r
+  in
+  let ld =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if i.Instr.dst = Some "v" then r := i.Instr.id);
+    !r
+  in
+  (* assert (falsely) that the store never feeds the load *)
+  let m' =
+    Instrument.apply prog
+      [
+        mk_assert "memory-speculation"
+          (Assertion.Mem_nodep { src = st; dst = ld; cross = false });
+      ]
+  in
+  Verify.check_exn m';
+  match Scaf_interp.Eval.run m' with
+  | exception Scaf_interp.Runtime.Misspec _ -> ()
+  | _ -> Alcotest.fail "the manifest dependence must trip the check"
+
+let test_recovery_restores_semantics () =
+  let src =
+    {|
+global @x 8
+func @main() {
+entry:
+  store 8, @x, 5
+  %v = load 8, @x
+  call @print(%v)
+  ret
+}
+|}
+  in
+  let prog = instr_prog src in
+  let m = prog.Scaf_cfg.Progctx.m in
+  let st =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if Instr.writes_memory i then r := i.Instr.id);
+    !r
+  in
+  let ld =
+    let r = ref (-1) in
+    Irmod.iter_instrs m (fun _ _ i -> if i.Instr.dst = Some "v" then r := i.Instr.id);
+    !r
+  in
+  let instrumented =
+    Instrument.apply prog
+      [
+        mk_assert "memory-speculation"
+          (Assertion.Mem_nodep { src = st; dst = ld; cross = false });
+      ]
+  in
+  let o = Apply.run_with_recovery ~original:m ~instrumented () in
+  checkb "misspeculated" true o.Apply.misspeculated;
+  Alcotest.(check (list int64))
+    "recovered output" [ 5L ] o.Apply.result.Scaf_interp.Eval.output
+
+let suite =
+  [
+    ( "transform",
+      [
+        Alcotest.test_case "plan shares assertions" `Quick
+          test_plan_shares_assertions;
+        Alcotest.test_case "plan avoids conflicts" `Quick
+          test_plan_avoids_conflicts;
+        Alcotest.test_case "plan falls back to alternative" `Quick
+          test_plan_falls_back_to_alternative;
+        Alcotest.test_case "plan skips prohibitive options" `Quick
+          test_plan_skips_prohibitive;
+        Alcotest.test_case "instrument: value check" `Quick
+          test_instrument_value_check;
+        Alcotest.test_case "instrument: dead-block beacon" `Quick
+          test_instrument_dead_block_beacon;
+        Alcotest.test_case "instrument: heap separation" `Quick
+          test_instrument_heap_separation;
+        Alcotest.test_case "instrument: memspec catches violation" `Quick
+          test_instrument_memspec_catches_violation;
+        Alcotest.test_case "recovery restores semantics" `Quick
+          test_recovery_restores_semantics;
+      ] );
+  ]
