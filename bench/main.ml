@@ -9,6 +9,9 @@
       and premise depth (plus a precision table printed after the timings).
     - [substrate/*] — parser, dominator tree, loop detection, interpreter
       and profiler throughput.
+    - [resilience/*] — checkpoint/journal overhead: an uninstrumented run
+      vs. checkpoints-only vs. a forced rollback+replay, plus one chaos
+      sweep with the whole ensemble raising behind the circuit breaker.
 
     Run with: dune exec bench/main.exe *)
 
@@ -197,6 +200,60 @@ let substrate_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* resilience/* — checkpoint overhead and recovery cost                 *)
+(* ------------------------------------------------------------------ *)
+
+let resilience_tests =
+  let prog = Scaf_cfg.Progctx.build motivating in
+  let m = prog.Scaf_cfg.Progctx.m in
+  let lids =
+    Hashtbl.fold (fun lid _ acc -> lid :: acc) prog.Scaf_cfg.Progctx.by_lid []
+    |> List.sort compare
+  in
+  let load_v = ref (-1) in
+  Scaf_ir.Irmod.iter_instrs m (fun _ _ i ->
+      if i.Scaf_ir.Instr.dst = Some "v" then load_v := i.Scaf_ir.Instr.id);
+  let ckpt_only = Scaf_transform.Instrument.instrument prog ~checkpoints:lids [] in
+  let failing =
+    {
+      Scaf.Assertion.module_id = "bench-false";
+      points = [];
+      cost = 1.0;
+      conflicts = [];
+      payload = Scaf.Assertion.Value_predict { load = !load_v; value = -999L };
+    }
+  in
+  let rollback =
+    Scaf_transform.Instrument.instrument prog ~checkpoints:lids [ failing ]
+  in
+  let chaos_sweep () =
+    let p = Lazy.force profiles in
+    let prog = p.Scaf_profile.Profiles.ctx in
+    let modules =
+      Scaf_analysis.Registry.create prog @ Scaf_speculation.Registry.create p
+    in
+    let wrapped, _ =
+      Scaf_faultinject.Chaos.wrap_all
+        (Scaf_faultinject.Chaos.config ~seed:1 ~p_raise:0.5 ())
+        modules
+    in
+    let o = Scaf.Orchestrator.create prog (Scaf.Orchestrator.default_config wrapped) in
+    ignore
+      (Scaf_pdg.Pdg.run_loop prog ~resolver:(Scaf.Orchestrator.handle o) "main:loop")
+  in
+  [
+    Test.make ~name:"resilience/run-plain"
+      (Staged.stage (fun () -> ignore (Scaf_interp.Eval.run m)));
+    Test.make ~name:"resilience/run-checkpointed"
+      (Staged.stage (fun () ->
+           ignore (Scaf_interp.Eval.run ckpt_only.Scaf_transform.Instrument.imod)));
+    Test.make ~name:"resilience/rollback-replay"
+      (Staged.stage (fun () ->
+           ignore (Scaf_interp.Eval.run rollback.Scaf_transform.Instrument.imod)));
+    Test.make ~name:"resilience/chaos-sweep" (Staged.stage chaos_sweep);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -258,4 +315,6 @@ let () =
   run_tests ablation_tests;
   Fmt.pr "@.== substrate ==@.";
   run_tests substrate_tests;
+  Fmt.pr "@.== resilience ==@.";
+  run_tests resilience_tests;
   precision_table ()

@@ -1,8 +1,10 @@
 (** scaf-eval: regenerate the paper's evaluation artifacts.
 
     Subcommands: [table1], [fig8], [fig9], [table2], [fig10], [all] (the
-    whole evaluation), [bench NAME] (per-benchmark detail), and [speculate
-    NAME] (plan + instrument + run with recovery for one benchmark). *)
+    whole evaluation), [bench NAME] (per-benchmark detail), [speculate
+    NAME] (plan + instrument + run with recovery for one benchmark), and
+    [resilience] (the seeded fault-injection matrix: recovery scenarios
+    plus orchestrator chaos). *)
 
 open Cmdliner
 open Scaf_report
@@ -132,6 +134,59 @@ let run_speculate name =
     = (Scaf_interp.Eval.run ~input:b.Scaf_suite.Benchmark.ref_input m)
         .Scaf_interp.Eval.output)
 
+let run_resilience seed =
+  let open Scaf_faultinject in
+  print_endline "Recovery scenarios — every run must commit or recover:";
+  let outcomes = Harness.run_all ~seed () in
+  print_endline
+    (Report.table
+       ~header:
+         [ "scenario"; "ok"; "misspec"; "rollbacks"; "replans"; "degraded"; "detail" ]
+       ~rows:
+         (List.map
+            (fun (r : Harness.outcome) ->
+              [
+                r.Harness.scenario;
+                (if r.Harness.ok then "yes" else "NO");
+                (if r.Harness.misspeculated then "yes" else "-");
+                string_of_int r.Harness.rollbacks;
+                string_of_int r.Harness.replans;
+                (if r.Harness.degraded then "yes" else "-");
+                r.Harness.detail;
+              ])
+            outcomes));
+  let bad = List.filter (fun (r : Harness.outcome) -> not r.Harness.ok) outcomes in
+  Fmt.pr "%d scenarios, %d recovered/committed, %d WRONG@.@."
+    (List.length outcomes)
+    (List.length outcomes - List.length bad)
+    (List.length bad);
+  print_endline "Orchestrator chaos — no module failure may abort a query:";
+  let chaos =
+    [
+      Harness.run_chaos ~seed ~p_raise:0.3 "052.alvinn";
+      Harness.run_chaos ~seed ~p_delay:0.3 ~module_budget:10.0 "052.alvinn";
+      Harness.run_chaos ~seed ~p_raise:0.2 ~p_delay:0.2 ~p_corrupt:0.2
+        ~module_budget:10.0 "164.gzip";
+    ]
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "scenario"; "queries"; "answered"; "faults"; "overruns"; "quarantined" ]
+       ~rows:
+         (List.map
+            (fun (c : Harness.chaos_outcome) ->
+              [
+                c.Harness.c_scenario;
+                string_of_int c.Harness.c_queries;
+                string_of_int c.Harness.c_answered;
+                string_of_int c.Harness.c_faults;
+                string_of_int c.Harness.c_overruns;
+                String.concat "," c.Harness.c_quarantined;
+              ])
+            chaos));
+  if bad <> [] then exit 1
+
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg)
 
@@ -161,4 +216,13 @@ let () =
               (Cmd.info "speculate"
                  ~doc:"Plan, instrument and run one benchmark with recovery")
               Term.(const run_speculate $ name_arg);
+            Cmd.v
+              (Cmd.info "resilience"
+                 ~doc:"Seeded fault-injection matrix: recovery + chaos")
+              Term.(
+                const run_resilience
+                $ Arg.(
+                    value & opt int 2026
+                    & info [ "seed" ] ~docv:"SEED"
+                        ~doc:"PRNG seed for the fault injector."));
           ]))

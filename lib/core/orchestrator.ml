@@ -27,6 +27,11 @@ type config = {
       (** when false, the desired-result parameter is stripped from premise
           queries (the Figure 10 ablation) *)
   clock : (unit -> float) option;  (** for per-query latency statistics *)
+  module_budget : float option;
+      (** per-module-evaluation latency budget in [clock] units; an answer
+          arriving past it is discarded as a fault *)
+  breaker_threshold : int;
+      (** quarantine a module after this many consecutive faults *)
 }
 
 let default_config (modules : Module_api.t list) : config =
@@ -37,6 +42,8 @@ let default_config (modules : Module_api.t list) : config =
     max_premise_depth = 4;
     respect_desired = true;
     clock = None;
+    module_budget = None;
+    breaker_threshold = 3;
   }
 
 type stats = {
@@ -44,6 +51,18 @@ type stats = {
   mutable premise_queries : int;
   mutable module_evals : int;
   mutable latencies : float list;  (** per client query, reversed *)
+  mutable module_faults : int;  (** module evaluations that raised *)
+  mutable module_overruns : int;  (** evaluations past [module_budget] *)
+  mutable quarantine_skips : int;  (** evaluations skipped by the breaker *)
+}
+
+(** Per-module fault-isolation record (§3.3 collaboration requires that one
+    misbehaving module cannot take down the ensemble). *)
+type health = {
+  mutable faults : int;
+  mutable overruns : int;
+  mutable consecutive : int;  (** consecutive faults; a success resets it *)
+  mutable quarantined : bool;
 }
 
 type t = {
@@ -55,6 +74,7 @@ type t = {
           without a control-flow view are keyed (views are closures) *)
   deadline : float option ref;
       (** per-client-query deadline when the bail-out policy is [Timeout] *)
+  health : (string, health) Hashtbl.t;  (** keyed by module name *)
 }
 
 let create (prog : Scaf_cfg.Progctx.t) (config : config) : t =
@@ -62,27 +82,96 @@ let create (prog : Scaf_cfg.Progctx.t) (config : config) : t =
     config;
     prog;
     stats =
-      { client_queries = 0; premise_queries = 0; module_evals = 0; latencies = [] };
+      {
+        client_queries = 0;
+        premise_queries = 0;
+        module_evals = 0;
+        latencies = [];
+        module_faults = 0;
+        module_overruns = 0;
+        quarantine_skips = 0;
+      };
     cache = Hashtbl.create 1024;
     deadline = ref None;
+    health = Hashtbl.create 8;
   }
+
+let health_of (t : t) (name : string) : health =
+  match Hashtbl.find_opt t.health name with
+  | Some h -> h
+  | None ->
+      let h = { faults = 0; overruns = 0; consecutive = 0; quarantined = false } in
+      Hashtbl.replace t.health name h;
+      h
+
+(** Names of the modules currently quarantined by the circuit breaker. *)
+let quarantined (t : t) : string list =
+  Hashtbl.fold (fun n h acc -> if h.quarantined then n :: acc else acc) t.health []
+    |> List.sort compare
 
 let cacheable (q : Query.t) : bool =
   match q with
   | Query.Alias _ -> true
   | Query.Modref m -> m.Query.mctrl = None
 
+let deadline_passed (t : t) : bool =
+  match (!(t.deadline), t.config.clock) with
+  | Some d, Some clock -> clock () >= d
+  | _ -> false
+
 let should_bail (t : t) (r : Response.t) : bool =
   match t.config.bailout with
   | Definite_free -> Response.is_definite_free r
   | Definite_any -> Aresult.is_definite r.Response.result
   | Exhaustive -> false
-  | Timeout _ -> (
-      Response.is_definite_free r
-      ||
-      match (!(t.deadline), t.config.clock) with
-      | Some d, Some clock -> clock () >= d
-      | _ -> false)
+  | Timeout _ -> Response.is_definite_free r || deadline_passed t
+
+(** [guarded_answer t m ctx q] — fault-isolated module evaluation
+    (Algorithm 1, hardened): an exception or a [module_budget] overrun is
+    recorded against the module and converted into the conservative
+    [no_answer]; [breaker_threshold] consecutive faults quarantine the
+    module for the rest of the session. A quarantined or faulting module
+    can therefore never abort a client query. *)
+let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
+    (q : Query.t) : Response.t =
+  let name = m.Module_api.name in
+  let h = health_of t name in
+  if h.quarantined then begin
+    t.stats.quarantine_skips <- t.stats.quarantine_skips + 1;
+    Module_api.no_answer q
+  end
+  else begin
+    t.stats.module_evals <- t.stats.module_evals + 1;
+    let fault ~overrun =
+      if overrun then begin
+        h.overruns <- h.overruns + 1;
+        t.stats.module_overruns <- t.stats.module_overruns + 1
+      end
+      else begin
+        h.faults <- h.faults + 1;
+        t.stats.module_faults <- t.stats.module_faults + 1
+      end;
+      h.consecutive <- h.consecutive + 1;
+      if h.consecutive >= t.config.breaker_threshold then h.quarantined <- true;
+      Module_api.no_answer q
+    in
+    (* only sample the clock when a budget is configured, so fake-clock
+       latency accounting is unchanged otherwise *)
+    let t0 =
+      match (t.config.module_budget, t.config.clock) with
+      | Some _, Some clock -> Some (clock ())
+      | _ -> None
+    in
+    match m.Module_api.answer ctx q with
+    | r -> (
+        match (t0, t.config.module_budget, t.config.clock) with
+        | Some start, Some budget, Some clock when clock () -. start > budget ->
+            fault ~overrun:true
+        | _ ->
+            h.consecutive <- 0;
+            r)
+    | exception _ -> fault ~overrun:false
+  end
 
 let rec handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
   match if cacheable q then Hashtbl.find_opt t.cache q else None with
@@ -110,14 +199,16 @@ and handle_uncached (t : t) (depth : int) (q : Query.t) : Response.t =
   (try
      List.iter
        (fun (m : Module_api.t) ->
-         t.stats.module_evals <- t.stats.module_evals + 1;
-         let res = m.Module_api.answer ctx q in
+         let res = guarded_answer t m ctx q in
          final := Join.join t.config.join_policy !final res;
          if should_bail t !final then raise Stdlib.Exit)
        t.config.modules
    with Stdlib.Exit -> ());
-  (* memoize answers computed with (nearly) full premise budget *)
-  if depth <= 1 && cacheable q then Hashtbl.replace t.cache q !final;
+  (* memoize answers computed with (nearly) full premise budget — but not
+     one truncated by an expired deadline: a partial join replayed for a
+     later query with a fresh budget would poison it *)
+  if depth <= 1 && cacheable q && not (deadline_passed t) then
+    Hashtbl.replace t.cache q !final;
   !final
 
 (** [handle t q] — Algorithm 1: resolve a client query. *)
@@ -132,6 +223,8 @@ let handle (t : t) (q : Query.t) : Response.t =
       | _ -> ());
       let r = handle_at t 0 q in
       t.stats.latencies <- (clock () -. t0) :: t.stats.latencies;
+      (* don't leak this query's deadline into the next one *)
+      t.deadline := None;
       r
 
 (** Latencies of all client queries so far, in query order. *)

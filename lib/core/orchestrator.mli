@@ -21,10 +21,15 @@ type config = {
       (** when false, the desired-result parameter is stripped from premise
           queries (the Figure 10 ablation) *)
   clock : (unit -> float) option;  (** per-query latency statistics *)
+  module_budget : float option;
+      (** per-module-evaluation latency budget in [clock] units; an answer
+          arriving past it is discarded as a fault *)
+  breaker_threshold : int;
+      (** quarantine a module after this many consecutive faults *)
 }
 
 (** CHEAPEST join, definite-free bail-out, premise depth 4, desired-result
-    respected, no clock. *)
+    respected, no clock, no module budget, breaker threshold 3. *)
 val default_config : Module_api.t list -> config
 
 type stats = {
@@ -32,6 +37,19 @@ type stats = {
   mutable premise_queries : int;
   mutable module_evals : int;
   mutable latencies : float list;
+  mutable module_faults : int;  (** module evaluations that raised *)
+  mutable module_overruns : int;  (** evaluations past [module_budget] *)
+  mutable quarantine_skips : int;  (** evaluations skipped by the breaker *)
+}
+
+(** Per-module fault-isolation record: a faulting or overrunning module is
+    converted into a conservative no-answer, and [breaker_threshold]
+    consecutive faults quarantine it for the rest of the session. *)
+type health = {
+  mutable faults : int;
+  mutable overruns : int;
+  mutable consecutive : int;  (** consecutive faults; a success resets it *)
+  mutable quarantined : bool;
 }
 
 type t = {
@@ -40,9 +58,16 @@ type t = {
   stats : stats;
   cache : (Query.t, Response.t) Hashtbl.t;
   deadline : float option ref;
+  health : (string, health) Hashtbl.t;  (** keyed by module name *)
 }
 
 val create : Scaf_cfg.Progctx.t -> config -> t
+
+(** The (created-on-demand) health record of the module named [name]. *)
+val health_of : t -> string -> health
+
+(** Names of the modules currently quarantined by the circuit breaker. *)
+val quarantined : t -> string list
 
 (** [handle t q] — Algorithm 1: resolve a client query. *)
 val handle : t -> Query.t -> Response.t

@@ -1,0 +1,88 @@
+(** Chaos wrapper: seeded fault injection for analysis/speculation modules.
+
+    Wraps a [Module_api.t] so each [answer] call, driven by a seeded PRNG,
+    may (a) raise, (b) stall past any configured per-module latency budget,
+    or (c) return a corrupted speculative answer — a maximally precise
+    claim justified only by a bogus assertion whose validation
+    misspeculates immediately. Together with the Orchestrator's fault
+    isolation this exercises every failure path a misbehaving module can
+    take without ever aborting a client query. *)
+
+open Scaf
+
+exception Injected of string
+(** the fault a chaos-wrapped module raises *)
+
+type counters = {
+  mutable raises : int;
+  mutable delays : int;
+  mutable corrupts : int;
+  mutable clean : int;  (** answers passed through untouched *)
+}
+
+type config = {
+  seed : int;
+  p_raise : float;
+  p_delay : float;
+  p_corrupt : float;
+  burn : unit -> unit;
+      (** consume enough (fake) clock to overrun the module budget *)
+}
+
+let config ?(seed = 1) ?(p_raise = 0.0) ?(p_delay = 0.0) ?(p_corrupt = 0.0)
+    ?(burn = fun () -> ()) () : config =
+  { seed; p_raise; p_delay; p_corrupt; burn }
+
+(** A corrupted speculative answer: the most precise result for the query,
+    "justified" by a cheap bogus assertion that the instrumentation
+    realizes as an immediate misspec beacon ([Points_to_objects] with no
+    real site). A client acting on it must go through recovery. *)
+let corrupt_response (name : string) (q : Query.t) : Response.t =
+  let bogus =
+    {
+      Assertion.module_id = name ^ "!chaos";
+      points = [];
+      cost = 0.5;
+      conflicts = [];
+      payload = Assertion.Points_to_objects { instr = -1 };
+    }
+  in
+  let result =
+    match q with
+    | Query.Alias _ -> Aresult.RAlias Aresult.NoAlias
+    | Query.Modref _ -> Aresult.RModref Aresult.NoModRef
+  in
+  Response.speculative result [ bogus ]
+
+(** [wrap cfg m] — the chaos-wrapped module plus its injection counters.
+    Fault kinds are drawn per call from one [0,1) sample: raise below
+    [p_raise], delay below [p_raise + p_delay], and so on. *)
+let wrap (cfg : config) (m : Module_api.t) : Module_api.t * counters =
+  let rng = Random.State.make [| cfg.seed; Hashtbl.hash m.Module_api.name |] in
+  let c = { raises = 0; delays = 0; corrupts = 0; clean = 0 } in
+  let answer ctx q =
+    let x = Random.State.float rng 1.0 in
+    if x < cfg.p_raise then begin
+      c.raises <- c.raises + 1;
+      raise (Injected m.Module_api.name)
+    end
+    else if x < cfg.p_raise +. cfg.p_delay then begin
+      c.delays <- c.delays + 1;
+      cfg.burn ();
+      m.Module_api.answer ctx q
+    end
+    else if x < cfg.p_raise +. cfg.p_delay +. cfg.p_corrupt then begin
+      c.corrupts <- c.corrupts + 1;
+      corrupt_response m.Module_api.name q
+    end
+    else begin
+      c.clean <- c.clean + 1;
+      m.Module_api.answer ctx q
+    end
+  in
+  ({ m with Module_api.answer }, c)
+
+(** Wrap a whole ensemble with one config; counters in module order. *)
+let wrap_all (cfg : config) (ms : Module_api.t list) :
+    Module_api.t list * counters list =
+  List.split (List.map (wrap cfg) ms)

@@ -1,0 +1,340 @@
+(** The fault-injection harness: seeded end-to-end scenarios that force
+    misspeculations (profile perturbation), per-payload failing assertions
+    (direct scenarios) and module failures (chaos + Orchestrator) — and
+    check the resilience contract: every run either commits its
+    speculation or recovers via rollback/re-plan, and the final result
+    always equals the original program's. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_interp
+open Scaf_profile
+open Scaf_suite
+open Scaf_transform
+
+(* ---- scenario outcomes ---- *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  forced : bool;  (** constructed so a misspeculation must occur *)
+  ok : bool;  (** final result equals the original program's *)
+  misspeculated : bool;
+  committed : bool;  (** ran speculatively with no misspeculation at all *)
+  rollbacks : int;  (** in-run checkpoint rollbacks (last attempt) *)
+  recovered : int;  (** assertions squashed in-run *)
+  replans : int;  (** assertions blacklisted by adaptive re-planning *)
+  degraded : bool;  (** fell back to the uninstrumented original *)
+  detail : string;
+}
+
+let same_result (a : Eval.result) (b : Eval.result) : bool =
+  a.Eval.output = b.Eval.output && Int64.equal a.Eval.ret b.Eval.ret
+
+let outcome_of ~scenario ~seed ~forced ~detail (reference : Eval.result)
+    (a : Apply.adaptive) : outcome =
+  let rollbacks = a.Apply.final.Eval.rollbacks in
+  let recovered = List.length a.Apply.recovered in
+  let replans = List.length a.Apply.blacklisted in
+  let misspeculated =
+    a.Apply.degraded || rollbacks > 0 || recovered > 0 || replans > 0
+  in
+  {
+    scenario;
+    seed;
+    forced;
+    ok = same_result a.Apply.final reference;
+    misspeculated;
+    committed = not misspeculated;
+    rollbacks;
+    recovered;
+    replans;
+    degraded = a.Apply.degraded;
+    detail;
+  }
+
+(* ---- pipeline scenarios: perturbed profiles through the full stack ---- *)
+
+(** [run_pipeline ~seed bench kind] — profile [bench] on its training
+    inputs, perturb one profile entry, then speculate adaptively on the
+    reference input and compare against the original run. *)
+let run_pipeline ~(seed : int) (bench : string) (k : Perturb.kind) : outcome =
+  let b =
+    match Registry.find bench with
+    | Some b -> b
+    | None -> invalid_arg ("Harness.run_pipeline: unknown benchmark " ^ bench)
+  in
+  let m = Benchmark.program b in
+  let p = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  let detail =
+    Option.value ~default:"no perturbation point" (Perturb.apply ~seed k p)
+  in
+  let input = b.Benchmark.ref_input in
+  let reference = Eval.run ~input m in
+  let _plan, a = Apply.speculate_adaptive p ~input () in
+  outcome_of
+    ~scenario:(Printf.sprintf "%s/%s" bench (Perturb.kind_name k))
+    ~seed ~forced:false ~detail reference a
+
+(* ---- direct scenarios: one failing assertion per payload variant ---- *)
+
+(* A small checkpointable program: a counted loop (entered by an
+   unconditional branch, so it gets invocation checkpoints) that reads a
+   global, writes through a heap pointer and prints per iteration. Every
+   direct assertion below is *false* for it, so its check must fire. *)
+let direct_src =
+  {|
+global @g 8
+global @slot 8
+func @main() {
+entry:
+  %t = call @malloc(16)
+  store 8, @slot, %t
+  store 8, @g, 7
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %v = load 8, @g
+  %p = load 8, @slot
+  store 8, %p, %i
+  call @print(%v)
+  br latch
+latch:
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 4
+  condbr %c, loop, exit
+exit:
+  %r = load 8, @g
+  ret %r
+}
+|}
+
+let find_instr (m : Irmod.t) (f : Instr.t -> bool) : int =
+  let r = ref (-1) in
+  Irmod.iter_instrs m (fun _ _ i -> if f i then r := i.Instr.id);
+  !r
+
+let by_dst m reg = find_instr m (fun i -> i.Instr.dst = Some reg)
+
+let malloc_site m =
+  find_instr m (fun i ->
+      match i.Instr.kind with
+      | Instr.Call { callee = "malloc"; _ } -> true
+      | _ -> false)
+
+let heap_store m =
+  find_instr m (fun i ->
+      match i.Instr.kind with
+      | Instr.Store { ptr = Value.Reg "p"; _ } -> true
+      | _ -> false)
+
+let g_store m =
+  find_instr m (fun i ->
+      match i.Instr.kind with
+      | Instr.Store { ptr = Value.Global "g"; _ } -> true
+      | _ -> false)
+
+let mk_assert ?(points = []) ?(conflicts = []) ?(cost = 1.0) id payload =
+  { Assertion.module_id = id; points; cost; conflicts; payload }
+
+(** One failing assertion set per [Assertion.payload] variant. [seed]
+    varies the wrongly-predicted value. *)
+let direct_cases ~(seed : int) (m : Irmod.t) :
+    (string * Assertion.t list) list =
+  let lid = "main:loop" in
+  [
+    ( "ctrl-block-dead",
+      [
+        mk_assert "fi-ctrl"
+          (Assertion.Ctrl_block_dead
+             { fname = "main"; label = "latch"; beacon = 0 });
+      ] );
+    ( "value-predict",
+      [
+        mk_assert "fi-value"
+          (Assertion.Value_predict
+             {
+               load = by_dst m "v";
+               (* actual value is 7: any shifted prediction fails *)
+               value = Int64.of_int (8 + (abs seed mod 5));
+             });
+      ] );
+    ( "residue",
+      [
+        mk_assert "fi-residue"
+          (Assertion.Residue { access = heap_store m; allowed = 0 });
+      ] );
+    ( "heap-separate",
+      [
+        mk_assert "fi-heap"
+          (Assertion.Heap_separate
+             {
+               loop = lid;
+               sites = [ malloc_site m ];
+               gsites = [];
+               heap = Assertion.Read_only_heap;
+               (* @g's object never lands in the separated heap *)
+               inside = [ by_dst m "v" ];
+               outside = [];
+             });
+      ] );
+    ( "short-lived-balance",
+      [
+        (* the separation companion tags the site; the object is never
+           freed, so the balance check at the latch must fire *)
+        mk_assert "fi-sl-sep"
+          (Assertion.Heap_separate
+             {
+               loop = lid;
+               sites = [ malloc_site m ];
+               gsites = [];
+               heap = Assertion.Short_lived_heap;
+               inside = [];
+               outside = [];
+             });
+        mk_assert "fi-sl-bal"
+          (Assertion.Short_lived_balance
+             { loop = lid; sites = [ malloc_site m ] });
+      ] );
+    ( "points-to-objects",
+      [
+        (* realized as an entry beacon, outside every checkpoint: must
+           escape to the adaptive re-planner *)
+        mk_assert "fi-points-to" (Assertion.Points_to_objects { instr = -1 });
+      ] );
+    ( "mem-nodep",
+      [
+        mk_assert "fi-memspec"
+          (Assertion.Mem_nodep
+             { src = g_store m; dst = by_dst m "v"; cross = false });
+      ] );
+  ]
+
+let all_lids (prog : Scaf_cfg.Progctx.t) : string list =
+  Hashtbl.fold (fun lid _ acc -> lid :: acc) prog.Scaf_cfg.Progctx.by_lid []
+  |> List.sort compare
+
+(** [run_direct ~seed case assertions] — instrument [direct_src] with a
+    known-false assertion set, run with checkpoint + adaptive recovery and
+    compare against the original. *)
+let run_direct ~(seed : int) (case : string) : outcome =
+  let prog = Scaf_cfg.Progctx.build (Parser.parse_exn_msg direct_src) in
+  let m = prog.Scaf_cfg.Progctx.m in
+  let assertions =
+    match List.assoc_opt case (direct_cases ~seed m) with
+    | Some a -> a
+    | None -> invalid_arg ("Harness.run_direct: unknown case " ^ case)
+  in
+  let reference = Eval.run m in
+  let lids = all_lids prog in
+  let replan ~blacklist =
+    let remaining =
+      List.filter
+        (fun a -> not (List.exists (Assertion.equal a) blacklist))
+        assertions
+    in
+    Some (Instrument.instrument prog ~checkpoints:lids remaining)
+  in
+  let a = Apply.run_adaptive ~original:m ~replan () in
+  outcome_of
+    ~scenario:("direct/" ^ case)
+    ~seed ~forced:true
+    ~detail:(Printf.sprintf "%d assertions known false" (List.length assertions))
+    reference a
+
+let direct_case_names =
+  [
+    "ctrl-block-dead";
+    "value-predict";
+    "residue";
+    "heap-separate";
+    "short-lived-balance";
+    "points-to-objects";
+    "mem-nodep";
+  ]
+
+(* ---- chaos scenarios: misbehaving modules under the Orchestrator ---- *)
+
+type chaos_outcome = {
+  c_scenario : string;
+  c_queries : int;  (** client queries issued by the PDG client *)
+  c_answered : int;  (** queries that returned (none may abort) *)
+  c_injected_raises : int;
+  c_injected_delays : int;
+  c_faults : int;  (** faults the orchestrator recorded *)
+  c_overruns : int;
+  c_quarantined : string list;
+}
+
+(** [run_chaos ~seed bench ...] — wrap the whole SCAF ensemble in the
+    chaos injector and drive the PDG client over [bench]'s hot loops. The
+    orchestrator must answer every query (conservatively if need be). *)
+let run_chaos ~(seed : int) ?(p_raise = 0.0) ?(p_delay = 0.0)
+    ?(p_corrupt = 0.0) ?module_budget (bench : string) : chaos_outcome =
+  let b =
+    match Registry.find bench with
+    | Some b -> b
+    | None -> invalid_arg ("Harness.run_chaos: unknown benchmark " ^ bench)
+  in
+  let m = Benchmark.program b in
+  let p = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  let prog = p.Profiles.ctx in
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 1.0;
+    !now
+  in
+  let burn () = now := !now +. 1.0e6 in
+  let modules =
+    Scaf_analysis.Registry.create prog @ Scaf_speculation.Registry.create p
+  in
+  let cfg = Chaos.config ~seed ~p_raise ~p_delay ~p_corrupt ~burn () in
+  let wrapped, counters = Chaos.wrap_all cfg modules in
+  let o =
+    Orchestrator.create prog
+      {
+        (Orchestrator.default_config wrapped) with
+        Orchestrator.clock = Some clock;
+        module_budget;
+      }
+  in
+  let queries = ref 0 and answered = ref 0 in
+  let resolve q =
+    incr queries;
+    let r = Orchestrator.handle o q in
+    incr answered;
+    r
+  in
+  List.iter
+    (fun (lid, _) -> ignore (Scaf_pdg.Pdg.run_loop prog ~resolver:resolve lid))
+    (Scaf_pdg.Nodep.hot_loop_weights p);
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 counters in
+  {
+    c_scenario =
+      Printf.sprintf "%s/chaos(r=%.2f,d=%.2f,c=%.2f)" bench p_raise p_delay
+        p_corrupt;
+    c_queries = !queries;
+    c_answered = !answered;
+    c_injected_raises = sum (fun c -> c.Chaos.raises);
+    c_injected_delays = sum (fun c -> c.Chaos.delays);
+    c_faults = o.Orchestrator.stats.Orchestrator.module_faults;
+    c_overruns = o.Orchestrator.stats.Orchestrator.module_overruns;
+    c_quarantined = Orchestrator.quarantined o;
+  }
+
+(* ---- the full suite of scenarios ---- *)
+
+let pipeline_benches =
+  [ "052.alvinn"; "164.gzip"; "175.vpr"; "429.mcf"; "462.libquantum" ]
+
+(** Every recovery scenario (>= 20, covering each payload variant): the
+    5x3 perturbed-pipeline grid plus the 7 per-payload direct cases. *)
+let run_all ?(seed = 2026) () : outcome list =
+  let pipeline =
+    List.concat_map
+      (fun bench ->
+        List.map (fun k -> run_pipeline ~seed bench k) Perturb.all_kinds)
+      pipeline_benches
+  in
+  let direct = List.map (run_direct ~seed) direct_case_names in
+  pipeline @ direct

@@ -16,6 +16,11 @@ type result = {
   instrs_executed : int;
   cheap_checks : int;
   expensive_checks : int;
+  checkpoints : int;  (** loop-invocation checkpoints taken *)
+  rollbacks : int;
+      (** misspeculations recovered in place by checkpoint rollback *)
+  recovered_tags : int64 list;
+      (** assertion tags squashed during rollback recovery *)
 }
 
 type state = {
@@ -27,6 +32,9 @@ type state = {
   mutable fuel : int;
   mutable output_rev : int64 list;
   mutable executed : int;
+  mutable pending_checkpoint : int option;
+      (** loop ordinal set by [scaf.checkpoint]; consumed by the next
+          control-flow edge, which opens the checkpointed region *)
   globals : (string, int64) Hashtbl.t;
 }
 
@@ -113,7 +121,15 @@ let intrinsic (st : state) ~(instr : Instr.t) ~(callee : string)
         let i = Int64.to_int (Int64.rem (Int64.abs (arg 0)) (Int64.of_int n)) in
         st.input.(i)
   | "exit" -> raise (Program_exit (arg 0))
-  | "scaf.misspec" -> Runtime.misspec ~tag:(arg 0)
+  | "scaf.misspec" ->
+      Runtime.beacon st.rt ~tag:(arg 0);
+      0L
+  | "scaf.checkpoint" ->
+      st.pending_checkpoint <- Some (Int64.to_int (arg 0));
+      0L
+  | "scaf.commit" ->
+      Runtime.commit st.rt ~loop_ord:(Int64.to_int (arg 0));
+      0L
   | "scaf.check_residue" ->
       Runtime.check_residue st.rt ~addr:(arg 0) ~allowed:(arg 1) ~tag:(arg 2);
       0L
@@ -218,8 +234,39 @@ let rec exec_func (st : state) (f : Func.t) (args : int64 list)
       st.hooks.Hooks.on_edge ~src_term:b.Block.term.Instr.tid
         ~src:b.Block.label ~dst:l ~func:f;
       match Func.find_block f l with
-      | Some nb -> exec_block nb (Some b.Block.label)
       | None -> Memory.trap "branch to unknown block %s" l
+      | Some nb -> (
+          let continue () = exec_block nb (Some b.Block.label) in
+          match st.pending_checkpoint with
+          | None -> continue ()
+          | Some loop_ord ->
+              (* Loop-invocation checkpoint (§4.2.5): on misspeculation
+                 inside the region, restore memory/runtime/frame state,
+                 squash the offending assertion and replay from this edge.
+                 The replayed code is semantically the original (checks are
+                 only ever inserted adjacent to existing instructions), so
+                 squash-and-replay preserves the original semantics. *)
+              st.pending_checkpoint <- None;
+              let id = Runtime.checkpoint st.rt ~loop_ord in
+              let env_snap = Hashtbl.copy env in
+              let objs_snap = !frame_objs in
+              let out_snap = st.output_rev in
+              let rec attempt () =
+                try continue ()
+                with Runtime.Misspec { tag } when Runtime.is_active st.rt id ->
+                  Runtime.rollback_to st.rt id;
+                  Runtime.disable_tag st.rt tag;
+                  (* a check that fired between [scaf.checkpoint] and its
+                     edge leaves the flag set; drop it or the replay would
+                     open a checkpoint at the wrong edge *)
+                  st.pending_checkpoint <- None;
+                  Hashtbl.reset env;
+                  Hashtbl.iter (fun r v -> Hashtbl.replace env r v) env_snap;
+                  frame_objs := objs_snap;
+                  st.output_rev <- out_snap;
+                  attempt ()
+              in
+              attempt ())
     in
     match b.Block.term.Instr.tkind with
     | Instr.Br l -> goto l
@@ -301,6 +348,7 @@ let run ?(hooks = Hooks.nop) ?(fuel = 50_000_000) ?(input = [||])
       fuel;
       output_rev = [];
       executed = 0;
+      pending_checkpoint = None;
       globals = Hashtbl.create 16;
     }
   in
@@ -331,4 +379,7 @@ let run ?(hooks = Hooks.nop) ?(fuel = 50_000_000) ?(input = [||])
     instrs_executed = st.executed;
     cheap_checks = st.rt.Runtime.cheap_checks;
     expensive_checks = st.rt.Runtime.expensive_checks;
+    checkpoints = st.rt.Runtime.checkpoints_taken;
+    rollbacks = st.rt.Runtime.rollbacks;
+    recovered_tags = Runtime.disabled_tags st.rt;
   }

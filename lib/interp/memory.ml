@@ -25,11 +25,36 @@ type obj = {
 
 module Addr_map = Map.Make (Int64)
 
+(** Undo-log entries for checkpoint/rollback (§4.2.5 recovery). Each entry
+    is the inverse of one state change, applied in LIFO order. *)
+type journal_entry =
+  | JData of { o : obj; old : Bytes.t }
+      (** object payload before its first write in the current epoch *)
+  | JAlloc of obj  (** object created since the mark; undo removes it *)
+  | JLive of { o : obj; was : bool }  (** liveness flip (free / frame kill) *)
+  | JTag of { o : obj; was : int }  (** speculative heap-tag change *)
+
 type t = {
   mutable next_base : int64;
   mutable by_base : obj Addr_map.t;
   objects : (int, obj) Hashtbl.t;
   mutable next_oid : int;
+  mutable journal : journal_entry list;
+  mutable journaling : bool;
+      (** record undo entries; enabled while any checkpoint is active *)
+  mutable epoch : int;
+      (** bumped on every checkpoint and rollback; scopes the first-write
+          dedup below *)
+  written : (int * int, unit) Hashtbl.t;
+      (** (epoch, oid) pairs whose old bytes are already journaled *)
+}
+
+(** A position in the undo log plus the allocation cursors, so rollback
+    restores deterministic addresses for replayed allocations. *)
+type mark = {
+  m_journal : journal_entry list;
+  m_next_base : int64;
+  m_next_oid : int;
 }
 
 exception Trap of string
@@ -42,7 +67,62 @@ let create () =
     by_base = Addr_map.empty;
     objects = Hashtbl.create 64;
     next_oid = 0;
+    journal = [];
+    journaling = false;
+    epoch = 0;
+    written = Hashtbl.create 64;
   }
+
+(* ---- checkpoint journal ---- *)
+
+(** [set_journaling t on] toggles undo recording. Turning it off (no active
+    checkpoint remains) discards the accumulated log. *)
+let set_journaling (t : t) (on : bool) : unit =
+  t.journaling <- on;
+  if not on then begin
+    t.journal <- [];
+    Hashtbl.reset t.written
+  end
+
+(** [mark t] opens a new epoch and returns the current undo-log position. *)
+let mark (t : t) : mark =
+  t.epoch <- t.epoch + 1;
+  { m_journal = t.journal; m_next_base = t.next_base; m_next_oid = t.next_oid }
+
+let journal_data (t : t) (o : obj) : unit =
+  if t.journaling && not (Hashtbl.mem t.written (t.epoch, o.oid)) then begin
+    Hashtbl.replace t.written (t.epoch, o.oid) ();
+    t.journal <- JData { o; old = Bytes.copy o.data } :: t.journal
+  end
+
+let journal_live (t : t) (o : obj) : unit =
+  if t.journaling then t.journal <- JLive { o; was = o.live } :: t.journal
+
+let journal_tag (t : t) (o : obj) : unit =
+  if t.journaling then t.journal <- JTag { o; was = o.heap_tag } :: t.journal
+
+(** [undo_to t m] rolls memory back to [m]: restores journaled payloads,
+    liveness and heap tags, removes objects allocated since the mark, and
+    rewinds the allocation cursors so a replay re-allocates at the same
+    addresses. *)
+let undo_to (t : t) (m : mark) : unit =
+  let rec go = function
+    | j when j == m.m_journal -> j
+    | [] -> []  (* mark predates the log: nothing left to undo *)
+    | entry :: rest ->
+        (match entry with
+        | JData { o; old } -> Bytes.blit old 0 o.data 0 (Bytes.length old)
+        | JAlloc o ->
+            t.by_base <- Addr_map.remove o.base t.by_base;
+            Hashtbl.remove t.objects o.oid
+        | JLive { o; was } -> o.live <- was
+        | JTag { o; was } -> o.heap_tag <- was);
+        go rest
+  in
+  t.journal <- go t.journal;
+  t.next_base <- m.m_next_base;
+  t.next_oid <- m.m_next_oid;
+  t.epoch <- t.epoch + 1
 
 let align16 n = Int64.logand (Int64.add n 15L) (Int64.lognot 15L)
 
@@ -69,6 +149,7 @@ let alloc (t : t) ~(size : int) ~(kind : obj_kind) ~(ctx : int list) : obj =
   in
   t.by_base <- Addr_map.add base o t.by_base;
   Hashtbl.replace t.objects oid o;
+  if t.journaling then t.journal <- JAlloc o :: t.journal;
   o
 
 (** [find_addr t a] resolves address [a] to [(object, offset)]. Traps on
@@ -95,6 +176,7 @@ let free (t : t) (a : int64) : obj =
   (match o.kind with
   | KHeap _ -> ()
   | _ -> trap "free of non-heap object %d" o.oid);
+  journal_live t o;
   o.live <- false;
   o
 
@@ -115,6 +197,7 @@ let store (t : t) (a : int64) (size : int) (value : int64) : unit =
   let o, off = find_addr t a in
   if off + size > o.size then
     trap "store of %d bytes at 0x%Lx overruns object %d" size a o.oid;
+  journal_data t o;
   let v = ref value in
   for k = 0 to size - 1 do
     Bytes.set o.data (off + k)
@@ -134,4 +217,12 @@ let memset (t : t) ~(dst : int64) ~(byte : int64) ~(len : int) : unit =
   done
 
 (** [kill t o] marks a returning frame's alloca dead. *)
-let kill (_t : t) (o : obj) : unit = o.live <- false
+let kill (t : t) (o : obj) : unit =
+  journal_live t o;
+  o.live <- false
+
+(** [set_heap_tag t o tag] re-tags [o]'s logical heap, journaled so a
+    rollback restores the previous separation state. *)
+let set_heap_tag (t : t) (o : obj) (tag : int) : unit =
+  journal_tag t o;
+  o.heap_tag <- tag

@@ -1,12 +1,21 @@
 (** End-to-end speculation: plan -> instrument -> run with recovery.
 
-    Recovery model: the interpreter checkpoint is the program entry (the
-    simplest of the process-based schemes of §4.2.5) — on misspeculation
-    the original, uninstrumented program is re-executed from the start.
-    Clients with finer-grained rollback would checkpoint per loop
-    invocation; the correctness contract tested here is the same: the
-    final result always equals the original program's. *)
+    Two recovery models (§4.2.5):
 
+    - [run_with_recovery] — the paper's simplest process-based scheme: the
+      checkpoint is program entry, so on misspeculation the original,
+      uninstrumented program is re-executed from the start.
+    - [run_adaptive] — loop-invocation-granularity recovery. Misspeculation
+      inside a checkpointed loop rolls back and replays in-run (see
+      [Eval]); a misspeculation that escapes every checkpoint is mapped
+      back to the offending [Assertion.t], which is blacklisted before
+      re-planning and re-instrumenting, with a capped retry budget before
+      degrading to the uninstrumented original.
+
+    Either way the correctness contract is the same: the final result
+    always equals the original program's. *)
+
+open Scaf
 open Scaf_ir
 open Scaf_interp
 
@@ -26,18 +35,101 @@ let run_with_recovery ~(original : Irmod.t) ~(instrumented : Irmod.t)
       let result = Eval.run ?fuel ~input original in
       { result; misspeculated = true; misspec_tag = Some tag }
 
+(* ---- adaptive re-planning ---- *)
+
+type adaptive = {
+  final : Eval.result;
+  attempts : int;  (** instrumented executions tried *)
+  blacklisted : Assertion.t list;
+      (** assertions abandoned by re-planning after an escaped misspec *)
+  recovered : Assertion.t list;
+      (** assertions squashed in-run by checkpoint rollback/replay *)
+  degraded : bool;  (** fell back to the uninstrumented original *)
+}
+
+(** [run_adaptive ~original ~replan ?input ?fuel ?max_retries ()] — drive
+    the blacklist/re-plan/retry loop. [replan ~blacklist] produces the next
+    instrumented candidate (or [None] when nothing speculative is left
+    worth running). Termination: each retry blacklists one more assertion
+    from a finite set, and [max_retries] caps the loop regardless. *)
+let run_adaptive ~(original : Irmod.t)
+    ~(replan : blacklist:Assertion.t list -> Instrument.instrumented option)
+    ?(input = [||]) ?fuel ?(max_retries = 3) () : adaptive =
+  let degrade attempts blacklisted =
+    {
+      final = Eval.run ?fuel ~input original;
+      attempts;
+      blacklisted;
+      recovered = [];
+      degraded = true;
+    }
+  in
+  let rec go attempts blacklisted =
+    if attempts > max_retries then degrade attempts blacklisted
+    else
+      match replan ~blacklist:blacklisted with
+      | None -> degrade attempts blacklisted
+      | Some inst -> (
+          match Eval.run ?fuel ~input inst.Instrument.imod with
+          | result ->
+              {
+                final = result;
+                attempts = attempts + 1;
+                blacklisted;
+                recovered =
+                  List.filter_map
+                    (Instrument.assertion_of_tag inst)
+                    result.Eval.recovered_tags;
+                degraded = false;
+              }
+          | exception Runtime.Misspec { tag } -> (
+              match Instrument.assertion_of_tag inst tag with
+              | Some a -> go (attempts + 1) (a :: blacklisted)
+              | None ->
+                  (* unattributable misspec: no plan survives it *)
+                  degrade (attempts + 1) blacklisted))
+  in
+  go 0 []
+
+(* ---- full pipelines over a profiled program ---- *)
+
+let hot_reports (profiles : Scaf_profile.Profiles.t) =
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let resolver = Scaf_pdg.Schemes.scaf profiles in
+  let lids = List.map fst (Scaf_pdg.Nodep.hot_loop_weights profiles) in
+  ( lids,
+    List.map
+      (fun lid ->
+        Scaf_pdg.Pdg.run_loop prog ~resolver:resolver.Scaf_pdg.Schemes.resolve
+          lid)
+      lids )
+
 (** Full pipeline for a profiled program: run the PDG client over the hot
     loops with SCAF, plan, instrument, and return the instrumented module
     with its plan. *)
 let speculate (profiles : Scaf_profile.Profiles.t) : Plan.t * Irmod.t =
   let prog = profiles.Scaf_profile.Profiles.ctx in
-  let resolver = Scaf_pdg.Schemes.scaf profiles in
-  let reports =
-    List.map
-      (fun (lid, _) ->
-        Scaf_pdg.Pdg.run_loop prog ~resolver:resolver.Scaf_pdg.Schemes.resolve
-          lid)
-      (Scaf_pdg.Nodep.hot_loop_weights profiles)
-  in
+  let _, reports = hot_reports profiles in
   let plan = Plan.build reports in
   (plan, Instrument.apply prog plan.Plan.selected)
+
+(** Full adaptive pipeline: plan, instrument with checkpoints on the hot
+    loops, execute with rollback/re-plan recovery. Returns the last plan
+    attempted together with the execution outcome. *)
+let speculate_adaptive (profiles : Scaf_profile.Profiles.t) ?(input = [||])
+    ?fuel ?max_retries () : Plan.t * adaptive =
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let lids, reports = hot_reports profiles in
+  let last_plan = ref (Plan.build reports) in
+  let replan ~blacklist =
+    let plan = Plan.build ~blacklist reports in
+    last_plan := plan;
+    if plan.Plan.selected = [] && blacklist <> [] then None
+    else
+      Some (Instrument.instrument prog ~checkpoints:lids plan.Plan.selected)
+  in
+  let a =
+    run_adaptive ~original:prog.Scaf_cfg.Progctx.m ~replan ~input ?fuel
+      ?max_retries ()
+  in
+  (!last_plan, a)

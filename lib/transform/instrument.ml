@@ -21,13 +21,19 @@ open Scaf
 open Scaf_ir
 open Scaf_cfg
 
+(* Edit lists are built reversed (cons) and read back through [edits_of] /
+   [List.rev] — appending with [@] per push is quadratic in edits per key. *)
 type edits = {
   mutable before : (int, Instr.kind list) Hashtbl.t;
-      (** instr id -> kinds to insert before it *)
+      (** instr id -> kinds to insert before it (reversed) *)
   mutable after : (int, Instr.kind list) Hashtbl.t;
   mutable block_head : (string * string, Instr.kind list) Hashtbl.t;
+  mutable commit_head : (string * string, Instr.kind list) Hashtbl.t;
+      (** checkpoint commits at loop-exit blocks; run before [block_head]
+          edits so a dead-block beacon cannot fire inside a finished
+          invocation's checkpoint *)
   mutable before_term : (string * string, Instr.kind list) Hashtbl.t;
-  mutable entry_setup : Instr.kind list;  (** inserted at @main entry *)
+  mutable entry_setup : Instr.kind list;  (** inserted at @main entry, reversed *)
 }
 
 let empty_edits () =
@@ -35,12 +41,17 @@ let empty_edits () =
     before = Hashtbl.create 16;
     after = Hashtbl.create 16;
     block_head = Hashtbl.create 8;
+    commit_head = Hashtbl.create 8;
     before_term = Hashtbl.create 8;
     entry_setup = [];
   }
 
 let push tbl key kind =
-  Hashtbl.replace tbl key (Option.value ~default:[] (Hashtbl.find_opt tbl key) @ [ kind ])
+  Hashtbl.replace tbl key
+    (kind :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let edits_of tbl key =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl key))
 
 let call callee args : Instr.kind = Instr.Call { callee; args }
 
@@ -61,6 +72,8 @@ type state = {
   mutable next_heap_tag : int;
   mutable next_misspec_tag : int64;
   heap_of_sites : (int list * string list, int) Hashtbl.t;
+  mutable tag_map : (int64 * Assertion.t) list;
+      (** misspec tag -> the assertion it validates (reversed) *)
 }
 
 let heap_for st (sites : int list) (gsites : string list) =
@@ -81,6 +94,7 @@ let fresh_tag st =
 let add_assertion (prog : Progctx.t) (st : state) (e : edits)
     (a : Assertion.t) : unit =
   let tag = fresh_tag st in
+  st.tag_map <- (tag, a) :: st.tag_map;
   let tagv = Value.Int tag in
   match a.Assertion.payload with
   | Assertion.Ctrl_block_dead { fname; label; beacon = _ } ->
@@ -117,7 +131,7 @@ let add_assertion (prog : Progctx.t) (st : state) (e : edits)
       List.iter
         (fun g ->
           e.entry_setup <-
-            e.entry_setup @ [ call "scaf.set_heap" [ Value.Global g; heapv ] ])
+            call "scaf.set_heap" [ Value.Global g; heapv ] :: e.entry_setup)
         gsites;
       List.iter
         (fun acc ->
@@ -151,14 +165,12 @@ let add_assertion (prog : Progctx.t) (st : state) (e : edits)
   | Assertion.Points_to_objects _ ->
       (* prohibitive: a rational client never selects it; realize it as an
          immediate beacon so accidental selection is loud *)
-      e.entry_setup <- e.entry_setup @ [ call "scaf.misspec" [ tagv ] ]
+      e.entry_setup <- call "scaf.misspec" [ tagv ] :: e.entry_setup
   | Assertion.Mem_nodep { src; dst; cross = _ } ->
       e.entry_setup <-
-        e.entry_setup
-        @ [
-            call "scaf.ms_forbid"
-              [ Value.Int (Int64.of_int src); Value.Int (Int64.of_int dst) ];
-          ];
+        call "scaf.ms_forbid"
+          [ Value.Int (Int64.of_int src); Value.Int (Int64.of_int dst) ]
+        :: e.entry_setup;
       (* wrap both accesses with shadow tracking *)
       List.iter
         (fun id ->
@@ -178,15 +190,102 @@ let add_assertion (prog : Progctx.t) (st : state) (e : edits)
           | None -> ())
         [ src; dst ]
 
-(** [apply prog assertions] — the instrumented module. The original module
-    is left untouched. *)
-let apply (prog : Progctx.t) (assertions : Assertion.t list) : Irmod.t =
+(* ---- checkpoint / commit insertion (§4.2.5 recovery) ---- *)
+
+(** Insert [scaf.checkpoint] on every loop-entry edge and [scaf.commit] at
+    every exit target of the loops named by [lids]; returns the lid ->
+    runtime ordinal mapping for the loops actually protected.
+
+    A checkpoint is only inserted when every entry edge into the header is
+    an unconditional branch — placing one before a conditional terminator
+    would open a checkpoint even when the branch bypasses the loop, leaving
+    an unbalanced region. Deeper loops are processed first so a shared exit
+    block commits the inner invocation before the outer one. *)
+let add_checkpoints (prog : Progctx.t) (e : edits) (lids : string list) :
+    (string * int) list =
+  let loops =
+    List.filter_map
+      (fun lid ->
+        match Progctx.loop_of_lid prog lid with
+        | Some (fname, l) -> Some (lid, fname, l)
+        | None -> None)
+      (List.sort_uniq compare lids)
+  in
+  let loops =
+    List.sort
+      (fun (_, _, a) (_, _, b) -> compare b.Loops.depth a.Loops.depth)
+      loops
+  in
+  let next_ord = ref 1 in
+  List.filter_map
+    (fun (lid, fname, l) ->
+      match (Progctx.cfg_of prog fname, Progctx.loops_of prog fname) with
+      | Some cfg, Some li ->
+          let entry_preds =
+            List.filter
+              (fun p -> not (Loops.contains l p))
+              cfg.Cfg.preds.(l.Loops.header)
+          in
+          let unconditional p =
+            match (Cfg.block cfg p).Block.term.Instr.tkind with
+            | Instr.Br _ -> true
+            | _ -> false
+          in
+          if entry_preds <> [] && List.for_all unconditional entry_preds then begin
+            let ord = !next_ord in
+            incr next_ord;
+            let ordv = Value.Int (Int64.of_int ord) in
+            List.iter
+              (fun p ->
+                push e.before_term (fname, Cfg.label cfg p)
+                  (call "scaf.checkpoint" [ ordv ]))
+              entry_preds;
+            (* one commit per distinct exit target: a duplicate would pop a
+               recursive caller's checkpoint of the same loop *)
+            let targets =
+              List.sort_uniq compare (List.map snd (Loops.exits li l))
+            in
+            List.iter
+              (fun dst ->
+                push e.commit_head (fname, Cfg.label cfg dst)
+                  (call "scaf.commit" [ ordv ]))
+              targets;
+            Some (lid, ord)
+          end
+          else None
+      | _ -> None)
+    loops
+
+(** The instrumented module together with the metadata recovery needs. *)
+type instrumented = {
+  imod : Irmod.t;
+  tag_map : (int64 * Assertion.t) list;
+      (** misspec tag -> the assertion whose check raises it *)
+  checkpoints : (string * int) list;
+      (** protected loop lid -> runtime checkpoint ordinal *)
+}
+
+let assertion_of_tag (inst : instrumented) (tag : int64) : Assertion.t option =
+  List.assoc_opt tag inst.tag_map
+
+(** [instrument prog ?checkpoints assertions] — realize [assertions] in a
+    copy of the module, optionally protecting the loops in [checkpoints]
+    (lids) with invocation-granularity checkpoint/commit calls. The
+    original module is left untouched. *)
+let instrument (prog : Progctx.t) ?(checkpoints = [])
+    (assertions : Assertion.t list) : instrumented =
   let m = prog.Progctx.m in
   let e = empty_edits () in
   let st =
-    { next_heap_tag = 1; next_misspec_tag = 1L; heap_of_sites = Hashtbl.create 8 }
+    {
+      next_heap_tag = 1;
+      next_misspec_tag = 1L;
+      heap_of_sites = Hashtbl.create 8;
+      tag_map = [];
+    }
   in
   List.iter (add_assertion prog st e) assertions;
+  let ck_map = add_checkpoints prog e checkpoints in
   let next_id = ref (Scaf_ir.Builder.next_id_after m) in
   let fresh () =
     let id = !next_id in
@@ -195,35 +294,30 @@ let apply (prog : Progctx.t) (assertions : Assertion.t list) : Irmod.t =
   in
   let mk kind = { Instr.id = fresh (); dst = None; kind } in
   let rewrite_block (f : Func.t) (b : Block.t) : Block.t =
-    let head =
-      Option.value ~default:[]
-        (Hashtbl.find_opt e.block_head (f.Func.name, b.Block.label))
-    in
-    let tail =
-      Option.value ~default:[]
-        (Hashtbl.find_opt e.before_term (f.Func.name, b.Block.label))
-    in
+    let key = (f.Func.name, b.Block.label) in
+    let commits = edits_of e.commit_head key in
+    let head = edits_of e.block_head key in
+    let tail = edits_of e.before_term key in
     (* entry setup goes at the very beginning of @main's entry block *)
     let setup =
       if
         String.equal f.Func.name "main"
         && b.Block.label = (Func.entry f).Block.label
-      then e.entry_setup
+      then List.rev e.entry_setup
       else []
     in
     let instrs =
       List.concat_map
         (fun (i : Instr.t) ->
-          let bs =
-            Option.value ~default:[] (Hashtbl.find_opt e.before i.Instr.id)
-          in
-          let as_ =
-            Option.value ~default:[] (Hashtbl.find_opt e.after i.Instr.id)
-          in
+          let bs = edits_of e.before i.Instr.id in
+          let as_ = edits_of e.after i.Instr.id in
           List.map mk bs @ [ i ] @ List.map mk as_)
         b.Block.instrs
     in
-    (* phis must stay at the head: insert head edits after the phi run *)
+    (* phis must stay at the head: insert head edits after the phi run;
+       commits come first so no other inserted check (e.g. a dead-block
+       beacon at a loop exit) can fire inside the finished invocation's
+       checkpoint *)
     let phis, rest =
       List.partition
         (fun (i : Instr.t) ->
@@ -233,14 +327,23 @@ let apply (prog : Progctx.t) (assertions : Assertion.t list) : Irmod.t =
     {
       b with
       Block.instrs =
-        phis @ List.map mk setup @ List.map mk head @ rest @ List.map mk tail;
+        phis @ List.map mk commits @ List.map mk setup @ List.map mk head
+        @ rest @ List.map mk tail;
     }
   in
-  {
-    m with
-    Irmod.funcs =
-      List.map
-        (fun (f : Func.t) ->
-          { f with Func.blocks = List.map (rewrite_block f) f.Func.blocks })
-        m.Irmod.funcs;
-  }
+  let imod =
+    {
+      m with
+      Irmod.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            { f with Func.blocks = List.map (rewrite_block f) f.Func.blocks })
+          m.Irmod.funcs;
+    }
+  in
+  { imod; tag_map = List.rev st.tag_map; checkpoints = ck_map }
+
+(** [apply prog assertions] — the instrumented module, discarding the
+    recovery metadata (original checkpoint-free entry point). *)
+let apply (prog : Progctx.t) (assertions : Assertion.t list) : Irmod.t =
+  (instrument prog assertions).imod

@@ -33,16 +33,26 @@ let marginal_cost (o : Assertion.t list) (sel : Assertion.t list) : float =
       if List.exists (Assertion.equal a) sel then acc else acc +. a.Assertion.cost)
     0.0 o
 
-(** [build reports] — greedy selection over every affordable disproven
-    dependence of every loop report. *)
-let build (reports : Pdg.loop_report list) : t =
+(** [build ?blacklist reports] — greedy selection over every affordable
+    disproven dependence of every loop report. Options containing a
+    blacklisted assertion (one already refuted at run time) are skipped, so
+    re-planning after a misspeculation converges on a plan that avoids the
+    offending speculation. *)
+let build ?(blacklist = []) (reports : Pdg.loop_report list) : t =
   let sel = ref [] in
   let covered = ref [] and dropped = ref [] in
+  let blacklisted (o : Assertion.t list) =
+    List.exists
+      (fun a -> List.exists (Assertion.equal a) blacklist)
+      o
+  in
   let consider (q : Pdg.qresult) =
     if q.Pdg.nodep then begin
       let options =
         List.filter
-          (fun o -> Cost_model.affordable (Response.option_cost o))
+          (fun o ->
+            (not (blacklisted o))
+            && Cost_model.affordable (Response.option_cost o))
           q.Pdg.resp.Response.options
         |> List.sort (fun a b ->
                Float.compare (marginal_cost a !sel) (marginal_cost b !sel))

@@ -67,6 +67,51 @@ let test_assertion_conflicts () =
   checkb "self is not a conflict" false
     (Assertion.conflicts_with (a_sep [ 3 ]) (a_sep [ 3 ]))
 
+(* qcheck: an assertion never conflicts with itself (the planner relies
+   on this when it packs an option's assertions into one set) *)
+let arb_assertion =
+  let open QCheck in
+  let gen_sites = Gen.(list_size (int_range 0 3) (int_range 0 5)) in
+  let gen_payload =
+    Gen.oneof
+      [
+        Gen.return
+          (Assertion.Ctrl_block_dead { fname = "f"; label = "b"; beacon = 1 });
+        Gen.map
+          (fun v -> Assertion.Value_predict { load = 5; value = Int64.of_int v })
+          Gen.small_int;
+        Gen.map (fun s -> Assertion.Residue { access = s; allowed = 3 }) Gen.small_int;
+        Gen.map
+          (fun sites ->
+            Assertion.Heap_separate
+              {
+                loop = "f:l";
+                sites;
+                gsites = [];
+                heap = Assertion.Read_only_heap;
+                inside = [];
+                outside = [];
+              })
+          gen_sites;
+        Gen.map
+          (fun sites -> Assertion.Short_lived_balance { loop = "f:l"; sites })
+          gen_sites;
+        Gen.map (fun i -> Assertion.Points_to_objects { instr = i }) Gen.small_int;
+      ]
+  in
+  let gen =
+    Gen.(
+      let* id = oneofl [ "m1"; "m2" ] in
+      let* conflicts = gen_sites in
+      let* payload = gen_payload in
+      return { Assertion.module_id = id; points = []; cost = 1.0; conflicts; payload })
+  in
+  make ~print:(fun a -> Fmt.str "%a" Assertion.pp a) gen
+
+let prop_conflicts_irreflexive =
+  QCheck.Test.make ~name:"conflicts_with is irreflexive" ~count:300
+    arb_assertion (fun a -> not (Assertion.conflicts_with a a))
+
 (* -- Responses ----------------------------------------------------- *)
 
 let test_response_costs () =
@@ -323,6 +368,84 @@ let test_orchestrator_latency_stats () =
   ignore (Orchestrator.handle o mq);
   checki "two latencies" 2 (List.length (Orchestrator.latencies o))
 
+let test_orchestrator_timeout_deadline () =
+  (* once the per-query budget is spent, remaining modules are skipped *)
+  let t = ref 0.0 in
+  let clock () = t := !t +. 1.0; !t in
+  let later = ref 0 in
+  let o =
+    Orchestrator.create tiny_prog
+      { (Orchestrator.default_config
+           [
+             const_module "m1" Response.bottom_modref;
+             counting_module "m2" (nomodref ()) later;
+           ])
+        with
+        Orchestrator.bailout = Orchestrator.Timeout 0.5;
+        clock = Some clock;
+      }
+  in
+  let r = Orchestrator.handle o mq in
+  checkb "bails with what it has" true (Aresult.is_bottom r.Response.result);
+  checki "module past the deadline skipped" 0 !later;
+  checki "latency still recorded" 1 (List.length (Orchestrator.latencies o));
+  checkb "deadline cleared after the query" true (!(o.Orchestrator.deadline) = None)
+
+let test_orchestrator_timeout_generous () =
+  (* a generous budget behaves like Definite_free *)
+  let t = ref 0.0 in
+  let clock () = t := !t +. 1.0; !t in
+  let o =
+    Orchestrator.create tiny_prog
+      { (Orchestrator.default_config
+           [
+             const_module "m1" Response.bottom_modref;
+             const_module "m2" (Response.free (Aresult.RModref Aresult.NoModRef));
+           ])
+        with
+        Orchestrator.bailout = Orchestrator.Timeout 100.0;
+        clock = Some clock;
+      }
+  in
+  let r = Orchestrator.handle o mq in
+  checkb "full-precision answer" true
+    (r.Response.result = Aresult.RModref Aresult.NoModRef)
+
+let test_orchestrator_timeout_no_cache_poisoning () =
+  (* regression: an answer truncated by an expired deadline must not be
+     memoized, or a later identical query with a fresh budget would replay
+     the partial (bottom) join *)
+  let t = ref 0.0 in
+  let clock () = t := !t +. 1.0; !t in
+  let first = ref true in
+  let slow_once =
+    Module_api.make ~name:"slow-once" ~kind:Module_api.Memory ~factored:false
+      (fun _ q ->
+        if !first then begin
+          first := false;
+          t := !t +. 100.0
+        end;
+        Module_api.no_answer q)
+  in
+  let o =
+    Orchestrator.create tiny_prog
+      { (Orchestrator.default_config
+           [
+             slow_once;
+             const_module "m2" (Response.free (Aresult.RModref Aresult.NoModRef));
+           ])
+        with
+        Orchestrator.bailout = Orchestrator.Timeout 10.0;
+        clock = Some clock;
+      }
+  in
+  let r1 = Orchestrator.handle o mq in
+  checkb "first query timed out conservatively" true
+    (Aresult.is_bottom r1.Response.result);
+  let r2 = Orchestrator.handle o mq in
+  checkb "fresh budget reaches the full answer" true
+    (r2.Response.result = Aresult.RModref Aresult.NoModRef)
+
 let suite =
   [
     ( "core",
@@ -358,5 +481,12 @@ let suite =
           test_orchestrator_desired_stripping;
         Alcotest.test_case "orchestrator: latency stats" `Quick
           test_orchestrator_latency_stats;
+        QCheck_alcotest.to_alcotest prop_conflicts_irreflexive;
+        Alcotest.test_case "orchestrator: timeout deadline respected" `Quick
+          test_orchestrator_timeout_deadline;
+        Alcotest.test_case "orchestrator: generous timeout" `Quick
+          test_orchestrator_timeout_generous;
+        Alcotest.test_case "orchestrator: timeout never poisons the cache"
+          `Quick test_orchestrator_timeout_no_cache_poisoning;
       ] );
   ]
