@@ -7,6 +7,12 @@
     - [ablation/*] — the design choices DESIGN.md §7 calls out: the
       desired-result parameter, join policy, bail-out policy, module order
       and premise depth (plus a precision table printed after the timings).
+    - [cache/*] — the canonicalizing sharded response cache: hit, miss,
+      canonical (mirrored-alias) hit, insert-with-eviction, and shared-
+      cache contention at 1/2/4 domains.
+    - [parallel/*] — the domain-parallel batched query engine: one full
+      429.mcf hot-loop sweep under SCAF at jobs 1/2/4 (shared cache, one
+      orchestrator per worker).
     - [substrate/*] — parser, dominator tree, loop detection, interpreter
       and profiler throughput.
     - [resilience/*] — checkpoint/journal overhead: an uninstrumented run
@@ -173,6 +179,97 @@ let ablation_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* cache/* — the canonicalizing sharded response cache                  *)
+(* ------------------------------------------------------------------ *)
+
+let cache_tests =
+  let resp = Scaf.Response.free (Scaf.Aresult.RModref Scaf.Aresult.NoModRef) in
+  let mq n = Scaf.Query.modref_instrs ~tr:Scaf.Query.Same n (n + 1) in
+  let aq n =
+    Scaf.Query.alias ~fname:"main" ~tr:Scaf.Query.Before
+      (Scaf_ir.Value.Global "a", 8)
+      (Scaf_ir.Value.Reg (Printf.sprintf "r%d" n), 8)
+  in
+  let mirror q =
+    match q with
+    | Scaf.Query.Alias a ->
+        Scaf.Query.Alias
+          {
+            a with
+            Scaf.Query.a1 = a.Scaf.Query.a2;
+            a2 = a.Scaf.Query.a1;
+            atr = Scaf.Query.flip_temporal a.Scaf.Query.atr;
+          }
+    | q -> q
+  in
+  let warm = Scaf.Qcache.create () in
+  for n = 0 to 1023 do
+    Scaf.Qcache.add_q warm (mq n) resp;
+    Scaf.Qcache.add_q warm (aq n) resp
+  done;
+  let full = Scaf.Qcache.create ~shards:1 ~capacity:256 () in
+  for n = 0 to 255 do
+    Scaf.Qcache.add_q full (mq n) resp
+  done;
+  let evict_n = ref 0 in
+  (* one run = [ops] lookups + inserts per domain, all on one shared cache *)
+  let contention domains =
+    let ops = 8192 in
+    fun () ->
+      let body i () =
+        for n = 0 to ops - 1 do
+          let k = ((i * ops) + n) mod 1024 in
+          ignore (Scaf.Qcache.find_q warm (mq k));
+          if n mod 8 = 0 then Scaf.Qcache.add_q warm (mq k) resp
+        done
+      in
+      let ds = List.init (domains - 1) (fun i -> Domain.spawn (body (i + 1))) in
+      body 0 ();
+      List.iter Domain.join ds
+  in
+  [
+    Test.make ~name:"cache/hit"
+      (Staged.stage (fun () -> ignore (Scaf.Qcache.find_q warm (mq 17))));
+    Test.make ~name:"cache/canonical-hit"
+      (Staged.stage (fun () -> ignore (Scaf.Qcache.find_q warm (mirror (aq 17)))));
+    Test.make ~name:"cache/miss"
+      (Staged.stage (fun () -> ignore (Scaf.Qcache.find_q warm (mq 999_999))));
+    Test.make ~name:"cache/add-evict"
+      (Staged.stage (fun () ->
+           incr evict_n;
+           Scaf.Qcache.add_q full (mq (256 + !evict_n)) resp));
+    Test.make ~name:"cache/contention-1dom" (Staged.stage (contention 1));
+    Test.make ~name:"cache/contention-2dom" (Staged.stage (contention 2));
+    Test.make ~name:"cache/contention-4dom" (Staged.stage (contention 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* parallel/* — the batched query engine: fig8-style sweep vs jobs      *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_tests =
+  let p =
+    lazy
+      (let b = Option.get (Scaf_suite.Registry.find "429.mcf") in
+       Scaf_profile.Profiler.profile_module
+         ~inputs:b.Scaf_suite.Benchmark.train_inputs
+         (Scaf_suite.Benchmark.program b))
+  in
+  (* one run = the full hot-loop PDG sweep of 429.mcf (4 hot loops) under
+     SCAF, fanned out across [jobs] worker domains over a shared cache *)
+  let sweep jobs () =
+    let p = Lazy.force p in
+    ignore
+      (Scaf_pdg.Nodep.evaluate_scheme ~jobs ~bname:"429.mcf" p
+         (Scaf_pdg.Schemes.scaf_scheme p))
+  in
+  [
+    Test.make ~name:"parallel/fig8-sweep-jobs-1" (Staged.stage (sweep 1));
+    Test.make ~name:"parallel/fig8-sweep-jobs-2" (Staged.stage (sweep 2));
+    Test.make ~name:"parallel/fig8-sweep-jobs-4" (Staged.stage (sweep 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* substrate/*                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -313,6 +410,10 @@ let () =
   run_tests query_tests;
   Fmt.pr "@.== ablations (latency) ==@.";
   run_tests ablation_tests;
+  Fmt.pr "@.== cache ==@.";
+  run_tests cache_tests;
+  Fmt.pr "@.== parallel batch engine ==@.";
+  run_tests parallel_tests;
   Fmt.pr "@.== substrate ==@.";
   run_tests substrate_tests;
   Fmt.pr "@.== resilience ==@.";

@@ -26,35 +26,74 @@ let bench_arg =
   Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME"
        ~doc:"Restrict to benchmark $(docv) (repeatable).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Scaf_pdg.Schemes.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the evaluation: each scheme's hot loops fan \
+           out across $(docv) domains, one orchestrator per worker over a \
+           shared canonicalizing cache. Tables are byte-identical for every \
+           $(docv); 1 disables spawning. Defaults to the recommended domain \
+           count.")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print per-scheme shared-cache counters (hits, canonical hits, \
+           evictions) to stderr after the evaluation.")
+
 let run_table1 () = print_endline Report.table1
 
-let with_evals names f =
-  let evals = Experiments.evaluate_all ~benchmarks:(select_benchmarks names) () in
-  f evals
+let report_cache_stats evals =
+  List.iter
+    (fun (name, (s : Scaf.Qcache.stats)) ->
+      let total = s.Scaf.Qcache.hits + s.Scaf.Qcache.misses in
+      Printf.eprintf
+        "cache %-12s lookups %8d  hit%% %5.1f  canonical-hits %6d  \
+         evictions %6d  entries %6d\n"
+        name total
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int s.Scaf.Qcache.hits /. float_of_int total)
+        s.Scaf.Qcache.canonical_hits s.Scaf.Qcache.evictions
+        s.Scaf.Qcache.entries)
+    (Experiments.cache_stats_summary evals)
 
-let run_fig8 names =
-  with_evals names (fun evals ->
+let with_evals ?(jobs = 1) ?(cache_stats = false) names f =
+  let evals =
+    Experiments.evaluate_all ~jobs ~benchmarks:(select_benchmarks names) ()
+  in
+  f evals;
+  if cache_stats then report_cache_stats evals
+
+let run_fig8 names jobs cache_stats =
+  with_evals ~jobs ~cache_stats names (fun evals ->
       print_endline "Figure 8 — dependence coverage (%NoDep, time-weighted):";
       print_endline (Experiments.fig8 evals);
       print_endline (Experiments.fig8_deltas evals))
 
-let run_fig9 names =
-  with_evals names (fun evals ->
+let run_fig9 names jobs cache_stats =
+  with_evals ~jobs ~cache_stats names (fun evals ->
       print_endline "Figure 9 — per-hot-loop Confluence vs SCAF:";
       print_endline (Experiments.fig9 evals))
 
-let run_table2 names =
-  with_evals names (fun evals ->
+let run_table2 names jobs cache_stats =
+  with_evals ~jobs ~cache_stats names (fun evals ->
       print_endline "Table 2 — collaboration coverage:";
       print_endline (Experiments.table2 evals))
 
 let run_fig10 names =
+  (* latency CDFs need one resolver per scheme timing every query — the
+     measurement itself must stay sequential *)
   with_evals names (fun evals ->
       print_endline "Figure 10 — query latency CDF:";
       print_endline (Experiments.fig10 ~clock evals))
 
-let run_all names =
-  with_evals names (fun evals ->
+let run_all names jobs cache_stats =
+  with_evals ~jobs ~cache_stats names (fun evals ->
       print_endline "Table 1 — integration approaches:";
       print_endline Report.table1;
       print_endline "";
@@ -190,6 +229,9 @@ let run_resilience seed =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg)
 
+let cmd_jobs name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg $ jobs_arg $ cache_stats_arg)
+
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
 
@@ -204,11 +246,11 @@ let () =
        (Cmd.group ~default info
           [
             Cmd.v (Cmd.info "table1" ~doc:"Print Table 1") Term.(const run_table1 $ const ());
-            cmd "fig8" "Figure 8: %NoDep per benchmark per scheme" run_fig8;
-            cmd "fig9" "Figure 9: per-loop Confluence vs SCAF" run_fig9;
-            cmd "table2" "Table 2: collaboration coverage" run_table2;
+            cmd_jobs "fig8" "Figure 8: %NoDep per benchmark per scheme" run_fig8;
+            cmd_jobs "fig9" "Figure 9: per-loop Confluence vs SCAF" run_fig9;
+            cmd_jobs "table2" "Table 2: collaboration coverage" run_table2;
             cmd "fig10" "Figure 10: query latency CDF" run_fig10;
-            cmd "all" "Run the whole evaluation" run_all;
+            cmd_jobs "all" "Run the whole evaluation" run_all;
             Cmd.v
               (Cmd.info "bench" ~doc:"Per-benchmark detail")
               Term.(const run_bench $ name_arg);

@@ -46,14 +46,28 @@ let default_config (modules : Module_api.t list) : config =
     breaker_threshold = 3;
   }
 
-type stats = {
+(* Internal mutable counters; exposed to clients only as the immutable
+   [stats_snapshot] below. Latencies go through a bounded reservoir, not an
+   unbounded list, so million-query sessions stay O(1) per query. *)
+type counters = {
   mutable client_queries : int;
   mutable premise_queries : int;
   mutable module_evals : int;
-  mutable latencies : float list;  (** per client query, reversed *)
+  lat : Reservoir.t;
   mutable module_faults : int;  (** module evaluations that raised *)
   mutable module_overruns : int;  (** evaluations past [module_budget] *)
   mutable quarantine_skips : int;  (** evaluations skipped by the breaker *)
+}
+
+type stats_snapshot = {
+  client_queries : int;
+  premise_queries : int;
+  module_evals : int;
+  module_faults : int;
+  module_overruns : int;
+  quarantine_skips : int;
+  latency_count : int;
+  cache : Qcache.stats;
 }
 
 (** Per-module fault-isolation record (§3.3 collaboration requires that one
@@ -68,32 +82,49 @@ type health = {
 type t = {
   config : config;
   prog : Scaf_cfg.Progctx.t;
-  stats : stats;
-  cache : (Query.t, Response.t) Hashtbl.t;
-      (** structural memo for repeated (premise) queries; only queries
-          without a control-flow view are keyed (views are closures) *)
+  c : counters;
+  cache : Qcache.t;
+      (** canonicalizing memo for repeated (premise) queries; queries
+          carrying a control-flow view are never keyed (views are closures,
+          enforced by [Qcache.key_of]) *)
   deadline : float option ref;
       (** per-client-query deadline when the bail-out policy is [Timeout] *)
   health : (string, health) Hashtbl.t;  (** keyed by module name *)
 }
 
-let create (prog : Scaf_cfg.Progctx.t) (config : config) : t =
+let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
   {
     config;
     prog;
-    stats =
+    c =
       {
         client_queries = 0;
         premise_queries = 0;
         module_evals = 0;
-        latencies = [];
+        lat = Reservoir.create ();
         module_faults = 0;
         module_overruns = 0;
         quarantine_skips = 0;
       };
-    cache = Hashtbl.create 1024;
+    cache = (match cache with Some c -> c | None -> Qcache.create ());
     deadline = ref None;
     health = Hashtbl.create 8;
+  }
+
+let config (t : t) : config = t.config
+let prog (t : t) : Scaf_cfg.Progctx.t = t.prog
+let cache (t : t) : Qcache.t = t.cache
+
+let stats (t : t) : stats_snapshot =
+  {
+    client_queries = t.c.client_queries;
+    premise_queries = t.c.premise_queries;
+    module_evals = t.c.module_evals;
+    module_faults = t.c.module_faults;
+    module_overruns = t.c.module_overruns;
+    quarantine_skips = t.c.quarantine_skips;
+    latency_count = Reservoir.count t.c.lat;
+    cache = Qcache.stats t.cache;
   }
 
 let health_of (t : t) (name : string) : health =
@@ -109,15 +140,12 @@ let quarantined (t : t) : string list =
   Hashtbl.fold (fun n h acc -> if h.quarantined then n :: acc else acc) t.health []
     |> List.sort compare
 
-let cacheable (q : Query.t) : bool =
-  match q with
-  | Query.Alias _ -> true
-  | Query.Modref m -> m.Query.mctrl = None
-
 let deadline_passed (t : t) : bool =
   match (!(t.deadline), t.config.clock) with
   | Some d, Some clock -> clock () >= d
   | _ -> false
+
+let deadline_pending (t : t) : bool = !(t.deadline) <> None
 
 let should_bail (t : t) (r : Response.t) : bool =
   match t.config.bailout with
@@ -137,19 +165,19 @@ let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
   let name = m.Module_api.name in
   let h = health_of t name in
   if h.quarantined then begin
-    t.stats.quarantine_skips <- t.stats.quarantine_skips + 1;
+    t.c.quarantine_skips <- t.c.quarantine_skips + 1;
     Module_api.no_answer q
   end
   else begin
-    t.stats.module_evals <- t.stats.module_evals + 1;
+    t.c.module_evals <- t.c.module_evals + 1;
     let fault ~overrun =
       if overrun then begin
         h.overruns <- h.overruns + 1;
-        t.stats.module_overruns <- t.stats.module_overruns + 1
+        t.c.module_overruns <- t.c.module_overruns + 1
       end
       else begin
         h.faults <- h.faults + 1;
-        t.stats.module_faults <- t.stats.module_faults + 1
+        t.c.module_faults <- t.c.module_faults + 1
       end;
       h.consecutive <- h.consecutive + 1;
       if h.consecutive >= t.config.breaker_threshold then h.quarantined <- true;
@@ -174,11 +202,15 @@ let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
   end
 
 let rec handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
-  match if cacheable q then Hashtbl.find_opt t.cache q else None with
-  | Some r -> r
-  | None -> handle_uncached t depth q
+  match Qcache.key_of q with
+  | None -> handle_uncached t depth None q
+  | Some k -> (
+      match Qcache.find t.cache k with
+      | Some r -> r
+      | None -> handle_uncached t depth (Some k) q)
 
-and handle_uncached (t : t) (depth : int) (q : Query.t) : Response.t =
+and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
+    (q : Query.t) : Response.t =
   let ctx =
     {
       Module_api.prog = t.prog;
@@ -187,7 +219,7 @@ and handle_uncached (t : t) (depth : int) (q : Query.t) : Response.t =
         (fun pq ->
           if depth + 1 > t.config.max_premise_depth then Response.bottom_for pq
           else begin
-            t.stats.premise_queries <- t.stats.premise_queries + 1;
+            t.c.premise_queries <- t.c.premise_queries + 1;
             let pq =
               if t.config.respect_desired then pq else Query.without_desired pq
             in
@@ -207,13 +239,15 @@ and handle_uncached (t : t) (depth : int) (q : Query.t) : Response.t =
   (* memoize answers computed with (nearly) full premise budget — but not
      one truncated by an expired deadline: a partial join replayed for a
      later query with a fresh budget would poison it *)
-  if depth <= 1 && cacheable q && not (deadline_passed t) then
-    Hashtbl.replace t.cache q !final;
+  (match key with
+  | Some k when depth <= 1 && not (deadline_passed t) ->
+      Qcache.add t.cache k !final
+  | _ -> ());
   !final
 
 (** [handle t q] — Algorithm 1: resolve a client query. *)
 let handle (t : t) (q : Query.t) : Response.t =
-  t.stats.client_queries <- t.stats.client_queries + 1;
+  t.c.client_queries <- t.c.client_queries + 1;
   match t.config.clock with
   | None -> handle_at t 0 q
   | Some clock ->
@@ -222,10 +256,22 @@ let handle (t : t) (q : Query.t) : Response.t =
       | Timeout budget -> t.deadline := Some (t0 +. budget)
       | _ -> ());
       let r = handle_at t 0 q in
-      t.stats.latencies <- (clock () -. t0) :: t.stats.latencies;
+      Reservoir.add t.c.lat (clock () -. t0);
       (* don't leak this query's deadline into the next one *)
       t.deadline := None;
       r
 
-(** Latencies of all client queries so far, in query order. *)
-let latencies (t : t) : float list = List.rev t.stats.latencies
+(** [ask_many t qs] — the batch entry point: the i-th response answers the
+    i-th query. The domain-parallel fan-out (several orchestrators over a
+    shared cache) lives in [Scaf_pdg.Schemes]; this sequential form is its
+    [jobs=1] reference semantics. *)
+let ask_many (t : t) (qs : Query.t list) : Response.t list =
+  List.map (handle t) qs
+
+(** Retained client-query latency sample (bounded reservoir). *)
+let latencies (t : t) : float list = Reservoir.samples t.c.lat
+
+let latency_count (t : t) : int = Reservoir.count t.c.lat
+
+let latency_percentile (t : t) (p : float) : float =
+  Reservoir.percentile t.c.lat p

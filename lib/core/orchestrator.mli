@@ -2,7 +2,14 @@
     configured order, joins their responses, stops per the bail-out policy
     and routes premise queries back through the ensemble with a recursion
     budget. Configurable per the paper: module subset and order, join
-    policy, bail-out policy, and the desired-result ablation switch. *)
+    policy, bail-out policy, and the desired-result ablation switch.
+
+    The orchestrator's state is abstract: clients observe it only through
+    the immutable {!stats} snapshot and the accessors below, so nothing
+    outside this module can poison the memo table or the latency
+    accounting. Memoization lives in a {!Qcache.t} that may be shared by
+    several orchestrators — one per worker domain — to build a parallel
+    batch engine (see [Scaf_pdg.Schemes]). *)
 
 type bailout =
   | Definite_free  (** stop at a maximally precise, assertion-free answer *)
@@ -32,14 +39,16 @@ type config = {
     respected, no clock, no module budget, breaker threshold 3. *)
 val default_config : Module_api.t list -> config
 
-type stats = {
-  mutable client_queries : int;
-  mutable premise_queries : int;
-  mutable module_evals : int;
-  mutable latencies : float list;
-  mutable module_faults : int;  (** module evaluations that raised *)
-  mutable module_overruns : int;  (** evaluations past [module_budget] *)
-  mutable quarantine_skips : int;  (** evaluations skipped by the breaker *)
+(** An immutable view of the orchestrator's counters at one instant. *)
+type stats_snapshot = {
+  client_queries : int;
+  premise_queries : int;
+  module_evals : int;
+  module_faults : int;  (** module evaluations that raised *)
+  module_overruns : int;  (** evaluations past [module_budget] *)
+  quarantine_skips : int;  (** evaluations skipped by the breaker *)
+  latency_count : int;  (** client queries with a recorded latency *)
+  cache : Qcache.stats;  (** the memo table's own counters *)
 }
 
 (** Per-module fault-isolation record: a faulting or overrunning module is
@@ -52,16 +61,22 @@ type health = {
   mutable quarantined : bool;
 }
 
-type t = {
-  config : config;
-  prog : Scaf_cfg.Progctx.t;
-  stats : stats;
-  cache : (Query.t, Response.t) Hashtbl.t;
-  deadline : float option ref;
-  health : (string, health) Hashtbl.t;  (** keyed by module name *)
-}
+type t
 
-val create : Scaf_cfg.Progctx.t -> config -> t
+(** [create ?cache prog config] — a fresh orchestrator. When [cache] is
+    given it is used as the memo table (and may be shared with other
+    orchestrators, e.g. one per worker domain); otherwise a private one is
+    created. *)
+val create : ?cache:Qcache.t -> Scaf_cfg.Progctx.t -> config -> t
+
+val config : t -> config
+val prog : t -> Scaf_cfg.Progctx.t
+
+(** The memo table — pass it to [create ?cache] to share memoization. *)
+val cache : t -> Qcache.t
+
+(** Counters right now, as an immutable snapshot. *)
+val stats : t -> stats_snapshot
 
 (** The (created-on-demand) health record of the module named [name]. *)
 val health_of : t -> string -> health
@@ -72,5 +87,23 @@ val quarantined : t -> string list
 (** [handle t q] — Algorithm 1: resolve a client query. *)
 val handle : t -> Query.t -> Response.t
 
-(** Client-query latencies so far, in query order (needs [clock]). *)
+(** [ask_many t qs] — resolve a batch; the i-th response answers the i-th
+    query. Equivalent to [List.map (handle t) qs]; the domain-parallel
+    fan-out over a shared cache lives in [Scaf_pdg.Schemes]. *)
+val ask_many : t -> Query.t list -> Response.t list
+
+(** Retained client-query latency sample (needs [clock]). Bounded by the
+    latency reservoir's capacity; see [latency_count] for the exact number
+    of observations. *)
 val latencies : t -> float list
+
+(** Exact number of client queries whose latency was recorded. *)
+val latency_count : t -> int
+
+(** [latency_percentile t p] — the [p]-th percentile (0..100) of the
+    retained latency sample. *)
+val latency_percentile : t -> float -> float
+
+(** Is a [Timeout] deadline currently armed? (Always false between
+    queries — [handle] clears it on exit.) *)
+val deadline_pending : t -> bool

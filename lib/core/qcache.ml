@@ -1,0 +1,166 @@
+(** Canonicalizing, sharded, bounded response cache (see qcache.mli). *)
+
+type key = {
+  cq : Query.t;  (** canonical form; guaranteed closure-free *)
+  mirrored : bool;  (** the original query was the mirrored alias form *)
+}
+
+type entry = {
+  resp : Response.t;
+  mutable referenced : bool;  (** second-chance reference bit *)
+}
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (Query.t, entry) Hashtbl.t;
+  order : Query.t Queue.t;  (** insertion ring for the clock scan *)
+  cap : int;
+}
+
+type t = {
+  shards : shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  canonical_hits : int Atomic.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  canonical_hits : int;
+  entries : int;
+  capacity : int;
+  shards : int;
+}
+
+let create ?(shards = 8) ?(capacity = 65536) () : t =
+  let shards = max 1 shards in
+  let per_shard = max 1 ((capacity + shards - 1) / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create (min per_shard 1024);
+            order = Queue.create ();
+            cap = per_shard;
+          });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    canonical_hits = Atomic.make 0;
+  }
+
+(* Alias queries are symmetric up to operand order: alias (l1, tr, l2) is
+   alias (l2, flip tr, l1). Canonical form: the structurally smaller
+   location first. The desired-result and calling-context parameters
+   describe the pair, not an operand, so they survive the swap. *)
+let key_of (q : Query.t) : key option =
+  match q with
+  | Query.Alias a ->
+      if Stdlib.compare a.Query.a2 a.Query.a1 < 0 then
+        Some
+          {
+            cq =
+              Query.Alias
+                {
+                  a with
+                  Query.a1 = a.Query.a2;
+                  a2 = a.Query.a1;
+                  atr = Query.flip_temporal a.Query.atr;
+                };
+            mirrored = true;
+          }
+      else Some { cq = q; mirrored = false }
+  | Query.Modref m ->
+      (* a control-flow view holds closures; structural keying would raise
+         on a bucket collision — refuse the key altogether *)
+      if m.Query.mctrl = None then Some { cq = q; mirrored = false } else None
+
+let shard_of (t : t) (k : key) : shard =
+  t.shards.(Hashtbl.hash k.cq mod Array.length t.shards)
+
+let with_lock (s : shard) (f : unit -> 'a) : 'a =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let find (t : t) (k : key) : Response.t option =
+  let s = shard_of t k in
+  let r =
+    with_lock s (fun () ->
+        match Hashtbl.find_opt s.tbl k.cq with
+        | Some e ->
+            e.referenced <- true;
+            Some e.resp
+        | None -> None)
+  in
+  (match r with
+  | Some _ ->
+      Atomic.incr t.hits;
+      if k.mirrored then Atomic.incr t.canonical_hits
+  | None -> Atomic.incr t.misses);
+  r
+
+(* Second-chance eviction: walk the ring; a referenced entry gets its bit
+   cleared and one more lap, the first unreferenced entry is the victim.
+   Terminates within two laps (after one lap every bit is clear). *)
+let evict_one (t : t) (s : shard) : unit =
+  let rec scan () =
+    match Queue.take_opt s.order with
+    | None -> ()
+    | Some q -> (
+        match Hashtbl.find_opt s.tbl q with
+        | None -> scan () (* stale ring slot for an overwritten key *)
+        | Some e ->
+            if e.referenced then begin
+              e.referenced <- false;
+              Queue.add q s.order;
+              scan ()
+            end
+            else begin
+              Hashtbl.remove s.tbl q;
+              Atomic.incr t.evictions
+            end)
+  in
+  scan ()
+
+let add (t : t) (k : key) (r : Response.t) : unit =
+  let s = shard_of t k in
+  with_lock s (fun () ->
+      if not (Hashtbl.mem s.tbl k.cq) then begin
+        if Hashtbl.length s.tbl >= s.cap then evict_one t s;
+        Queue.add k.cq s.order
+      end;
+      Hashtbl.replace s.tbl k.cq { resp = r; referenced = false })
+
+let find_q (t : t) (q : Query.t) : Response.t option =
+  match key_of q with None -> None | Some k -> find t k
+
+let add_q (t : t) (q : Query.t) (r : Response.t) : unit =
+  match key_of q with None -> () | Some k -> add t k r
+
+let length (t : t) : int =
+  Array.fold_left
+    (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+let stats (t : t) : stats =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    canonical_hits = Atomic.get t.canonical_hits;
+    entries = length t;
+    capacity = Array.fold_left (fun acc s -> acc + s.cap) 0 t.shards;
+    shards = Array.length t.shards;
+  }
+
+let clear (t : t) : unit =
+  Array.iter
+    (fun s ->
+      with_lock s (fun () ->
+          Hashtbl.reset s.tbl;
+          Queue.clear s.order))
+    t.shards

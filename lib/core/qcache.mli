@@ -1,0 +1,74 @@
+(** Canonicalizing, sharded, bounded response cache.
+
+    The memoization layer behind the orchestrator (and shared by the
+    domain-parallel batch engine): maps dependence queries to their joined
+    responses.
+
+    {b Canonicalization.} Alias queries are symmetric up to operand order:
+    [alias (l1, tr, l2)] asks the same question as
+    [alias (l2, flip_temporal tr, l1)]. Keys are normalized so both forms
+    share one entry; a hit through the mirrored form is additionally
+    counted as a {e canonical hit}. Modref queries are directional and are
+    never mirrored.
+
+    {b Key safety.} Queries carrying a control-flow view ([mctrl]) embed
+    closures ([Scaf_cfg.Ctrl.t] holds [succs]/[live] functions) and must
+    never be used as structural table keys — [Stdlib.compare] would raise
+    [Invalid_argument "compare: functional value"] on a bucket collision.
+    The only way to obtain a {!key} is {!key_of}, which returns [None] for
+    such queries, so the invariant is enforced by construction.
+
+    {b Concurrency.} The table is split into shards, each guarded by its
+    own [Mutex], so orchestrators running on different domains can share
+    one cache with low contention. Counters are [Atomic].
+
+    {b Bounded capacity.} Each shard holds at most [capacity / shards]
+    entries and evicts with the second-chance (clock) policy: a hit sets
+    the entry's reference bit; the victim scan clears bits and evicts the
+    first entry found clear. *)
+
+type t
+
+(** A canonicalized, closure-free cache key. *)
+type key
+
+type stats = {
+  hits : int;  (** lookups answered from the cache *)
+  misses : int;  (** lookups that found nothing *)
+  evictions : int;  (** entries removed by the clock policy *)
+  canonical_hits : int;
+      (** subset of [hits] served through a mirrored alias form *)
+  entries : int;  (** live entries right now *)
+  capacity : int;  (** configured bound (total across shards) *)
+  shards : int;
+}
+
+(** [create ()] — default 8 shards, 65536 entries total. [capacity] is
+    rounded up to at least one entry per shard. *)
+val create : ?shards:int -> ?capacity:int -> unit -> t
+
+(** [key_of q] is the canonical key for [q], or [None] when [q] cannot be
+    a table key (it carries a [Ctrl.t] control-flow view). *)
+val key_of : Query.t -> key option
+
+(** [find t k] — the cached response, if any. Bumps hit/miss counters
+    (and canonical-hit when [k] was built from a mirrored alias form). *)
+val find : t -> key -> Response.t option
+
+(** [add t k r] — insert (or overwrite) the entry for [k], evicting a
+    second-chance victim if the shard is full. *)
+val add : t -> key -> Response.t -> unit
+
+(** [find_q]/[add_q] — conveniences over {!key_of}; no-ops (resp. [None])
+    on uncacheable queries. *)
+val find_q : t -> Query.t -> Response.t option
+
+val add_q : t -> Query.t -> Response.t -> unit
+
+val stats : t -> stats
+
+(** Number of live entries across all shards. *)
+val length : t -> int
+
+(** Drop every entry (counters are kept). *)
+val clear : t -> unit

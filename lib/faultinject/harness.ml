@@ -317,8 +317,8 @@ let run_chaos ~(seed : int) ?(p_raise = 0.0) ?(p_delay = 0.0)
     c_answered = !answered;
     c_injected_raises = sum (fun c -> c.Chaos.raises);
     c_injected_delays = sum (fun c -> c.Chaos.delays);
-    c_faults = o.Orchestrator.stats.Orchestrator.module_faults;
-    c_overruns = o.Orchestrator.stats.Orchestrator.module_overruns;
+    c_faults = (Orchestrator.stats o).Orchestrator.module_faults;
+    c_overruns = (Orchestrator.stats o).Orchestrator.module_overruns;
     c_quarantined = Orchestrator.quarantined o;
   }
 

@@ -26,6 +26,16 @@ let hot_loop_weights ?(min_fraction = 0.10) ?(min_avg_iters = 50.0)
   if total <= 0.0 then []
   else List.map (fun (l, f) -> (l, f /. total)) fractions
 
+let report_of ~bname ~loops per_loop : benchmark_report =
+  let weighted_nodep =
+    List.fold_left
+      (fun acc (lid, w) ->
+        let r = List.assoc lid per_loop in
+        acc +. (w *. Pdg.nodep_pct r))
+      0.0 loops
+  in
+  { bname; loops; per_loop; weighted_nodep }
+
 (** Run the PDG client on every hot loop with [resolver] and compute the
     weighted %NoDep. *)
 let evaluate ~(bname : string) (profiles : Profiles.t)
@@ -38,14 +48,24 @@ let evaluate ~(bname : string) (profiles : Profiles.t)
         (lid, Pdg.run_loop prog ~resolver:resolver.Schemes.resolve lid))
       loops
   in
-  let weighted_nodep =
-    List.fold_left
-      (fun acc (lid, w) ->
-        let r = List.assoc lid per_loop in
-        acc +. (w *. Pdg.nodep_pct r))
-      0.0 loops
+  report_of ~bname ~loops per_loop
+
+(** The batch path: hot loops fan out across [jobs] worker domains, each
+    with a private resolver spawned from [scheme] over its shared cache.
+    Per-loop results land at fixed positions, so the report is
+    deterministic and identical to [jobs = 1] (which runs sequentially in
+    the calling domain, no spawn). *)
+let evaluate_scheme ?(jobs = 1) ~(bname : string) (profiles : Profiles.t)
+    (scheme : Schemes.scheme) : benchmark_report =
+  let prog = profiles.Profiles.ctx in
+  let loops = hot_loop_weights profiles in
+  let per_loop =
+    Schemes.parallel_map ~jobs ~worker:scheme.Schemes.spawn
+      ~f:(fun (r : Schemes.resolver) (lid, _) ->
+        (lid, Pdg.run_loop prog ~resolver:r.Schemes.resolve lid))
+      loops
   in
-  { bname; loops; per_loop; weighted_nodep }
+  report_of ~bname ~loops per_loop
 
 let geomean (xs : float list) : float =
   match List.filter (fun x -> x > 0.0) xs with

@@ -1,7 +1,16 @@
 (** The evaluated schemes (§5): CAF (static only), composition by
     confluence (best prior), composition by collaboration (SCAF), the
     desired-result ablation of SCAF, memory speculation, and the observed
-    dependences themselves. *)
+    dependences themselves.
+
+    Each scheme exists in two forms:
+
+    - a {!resolver} — one live instance (the classic sequential path);
+    - a {!scheme} — a domain-safe factory: every [spawn ()] builds a
+      private module ensemble and orchestrator, but all workers spawned
+      from one scheme share a single canonicalizing {!Scaf.Qcache.t}, so
+      memoized answers flow between worker domains. {!parallel_map} is the
+      deterministic fan-out that ties them together. *)
 
 open Scaf
 open Scaf_profile
@@ -12,64 +21,102 @@ type resolver = {
   latencies : unit -> float list;  (** client-query latencies, if tracked *)
 }
 
-let orchestrate ?clock ?(respect_desired = true) prog modules : Orchestrator.t
-    =
-  Orchestrator.create prog
+(** A scheme as a factory of per-worker resolvers over one shared cache.
+    [scache] is that cache when the scheme memoizes (None for the
+    stateless profile-replay schemes). *)
+type scheme = {
+  sname : string;
+  spawn : unit -> resolver;
+  scache : Qcache.t option;
+}
+
+let orchestrate ?clock ?(respect_desired = true) ?cache prog modules :
+    Orchestrator.t =
+  Orchestrator.create ?cache prog
     { (Orchestrator.default_config modules) with
       Orchestrator.respect_desired;
       clock;
     }
 
-(** CAF: collaboration among the 13 memory-analysis modules only. *)
-let caf ?clock (profiles : Profiles.t) : resolver =
-  let prog = profiles.Profiles.ctx in
-  let o = orchestrate ?clock prog (Scaf_analysis.Registry.create prog) in
+let resolver_of_orchestrator (rname : string) (o : Orchestrator.t) : resolver =
   {
-    rname = "CAF";
+    rname;
     resolve = (fun q -> Orchestrator.handle o q);
     latencies = (fun () -> Orchestrator.latencies o);
+  }
+
+(** CAF: collaboration among the 13 memory-analysis modules only. *)
+let caf_scheme ?clock (profiles : Profiles.t) : scheme =
+  let prog = profiles.Profiles.ctx in
+  let cache = Qcache.create () in
+  {
+    sname = "CAF";
+    spawn =
+      (fun () ->
+        resolver_of_orchestrator "CAF"
+          (orchestrate ?clock ~cache prog (Scaf_analysis.Registry.create prog)));
+    scache = Some cache;
   }
 
 (** SCAF: full collaboration among memory analysis and speculation. *)
-let scaf ?clock ?(respect_desired = true) (profiles : Profiles.t) : resolver =
+let scaf_scheme ?clock ?(respect_desired = true) (profiles : Profiles.t) :
+    scheme =
   let prog = profiles.Profiles.ctx in
-  let modules =
-    Scaf_analysis.Registry.create prog
-    @ Scaf_speculation.Registry.create profiles
-  in
-  let o = orchestrate ?clock ~respect_desired prog modules in
+  let cache = Qcache.create () in
+  let name = if respect_desired then "SCAF" else "SCAF w/o Desired Result" in
   {
-    rname = (if respect_desired then "SCAF" else "SCAF w/o Desired Result");
-    resolve = (fun q -> Orchestrator.handle o q);
-    latencies = (fun () -> Orchestrator.latencies o);
+    sname = name;
+    spawn =
+      (fun () ->
+        let modules =
+          Scaf_analysis.Registry.create prog
+          @ Scaf_speculation.Registry.create profiles
+        in
+        resolver_of_orchestrator name
+          (orchestrate ?clock ~respect_desired ~cache prog modules));
+    scache = Some cache;
   }
 
 (** Composition by confluence: CAF as one collaborative component, each
-    speculative technique self-contained, results joined. *)
-let confluence ?clock (profiles : Profiles.t) : resolver =
+    speculative technique self-contained, results joined. Every
+    sub-ensemble keeps its own shared cache (their answers differ, so they
+    must never share entries). *)
+let confluence_scheme ?clock (profiles : Profiles.t) : scheme =
   let prog = profiles.Profiles.ctx in
-  let caf_o = orchestrate prog (Scaf_analysis.Registry.create prog) in
-  let unit_os =
-    List.map (orchestrate prog)
+  let caf_cache = Qcache.create () in
+  let unit_caches =
+    List.map
+      (fun _ -> Qcache.create ())
       (Scaf_speculation.Registry.confluence_units profiles)
   in
-  let t0 = ref 0.0 in
-  let lats = ref [] in
-  let resolve q =
-    (match clock with Some c -> t0 := c () | None -> ());
-    let r =
-      List.fold_left
-        (fun acc o -> Join.join Join.Cheapest acc (Orchestrator.handle o q))
-        (Orchestrator.handle caf_o q)
-        unit_os
-    in
-    (match clock with Some c -> lats := (c () -. !t0) :: !lats | None -> ());
-    r
-  in
   {
-    rname = "Confluence";
-    resolve;
-    latencies = (fun () -> List.rev !lats);
+    sname = "Confluence";
+    spawn =
+      (fun () ->
+        let caf_o =
+          orchestrate ~cache:caf_cache prog (Scaf_analysis.Registry.create prog)
+        in
+        let unit_os =
+          List.map2
+            (fun cache units -> orchestrate ~cache prog units)
+            unit_caches
+            (Scaf_speculation.Registry.confluence_units profiles)
+        in
+        let t0 = ref 0.0 in
+        let lats = ref [] in
+        let resolve q =
+          (match clock with Some c -> t0 := c () | None -> ());
+          let r =
+            List.fold_left
+              (fun acc o -> Join.join Join.Cheapest acc (Orchestrator.handle o q))
+              (Orchestrator.handle caf_o q)
+              unit_os
+          in
+          (match clock with Some c -> lats := (c () -. !t0) :: !lats | None -> ());
+          r
+        in
+        { rname = "Confluence"; resolve; latencies = (fun () -> List.rev !lats) });
+    scache = Some caf_cache;
   }
 
 (** Memory speculation: assert the absence of every dependence that did not
@@ -134,3 +181,72 @@ let observed (profiles : Profiles.t) : resolver =
         | _ -> Response.bottom_modref)
   in
   { rname = "Observed"; resolve; latencies = (fun () -> []) }
+
+(* The classic one-instance entry points are the single-worker
+   instantiations of the schemes above. *)
+let caf ?clock (profiles : Profiles.t) : resolver =
+  (caf_scheme ?clock profiles).spawn ()
+
+let scaf ?clock ?(respect_desired = true) (profiles : Profiles.t) : resolver =
+  (scaf_scheme ?clock ~respect_desired profiles).spawn ()
+
+let confluence ?clock (profiles : Profiles.t) : resolver =
+  (confluence_scheme ?clock profiles).spawn ()
+
+(** A stateless resolver lifted to a (trivially domain-safe) scheme. *)
+let stateless_scheme (mk : Profiles.t -> resolver) (profiles : Profiles.t) :
+    scheme =
+  let name = (mk profiles).rname in
+  { sname = name; spawn = (fun () -> mk profiles); scache = None }
+
+let memory_speculation_scheme = stateless_scheme memory_speculation
+let observed_scheme = stateless_scheme observed
+
+(* ------------------------------------------------------------------ *)
+(* The domain-parallel batch engine                                    *)
+(* ------------------------------------------------------------------ *)
+
+let default_jobs () : int = Domain.recommended_domain_count ()
+
+(** [parallel_map ~jobs ~worker ~f items] — deterministic parallel map:
+    the i-th result always comes from the i-th item, whatever the
+    interleaving. [jobs - 1] extra domains are spawned; each worker (the
+    calling domain included) builds its private state with [worker ()] —
+    for the schemes above, a fresh orchestrator over the shared cache —
+    and pulls items off a shared counter until the list is drained. With
+    [jobs <= 1] no domain is spawned and this is exactly
+    [List.map (f (worker ())) items]. A worker exception is re-raised in
+    the calling domain after all workers join. *)
+let parallel_map ~(jobs : int) ~(worker : unit -> 'w) ~(f : 'w -> 'a -> 'b)
+    (items : 'a list) : 'b list =
+  let n = List.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    let w = worker () in
+    List.map (f w) items
+  else begin
+    let arr = Array.of_list items in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let err : exn option Atomic.t = Atomic.make None in
+    let body () =
+      let w = worker () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Option.is_none (Atomic.get err) then begin
+          (try out.(i) <- Some (f w arr.(i))
+           with e -> ignore (Atomic.compare_and_set err None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn body) in
+    body ();
+    List.iter Domain.join domains;
+    (match Atomic.get err with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> invalid_arg "parallel_map: lost item")
+         out)
+  end

@@ -15,26 +15,76 @@ type bench_eval = {
   scaf : Nodep.benchmark_report;
   memspec : Nodep.benchmark_report;
   observed : Nodep.benchmark_report;
+  cache_stats : (string * Scaf.Qcache.stats) list;
+      (** per-scheme shared-cache counters, for the memoizing schemes *)
 }
 
 (** Profile one benchmark on its training inputs and run the PDG client
-    under every scheme. *)
-let evaluate_bench (b : Benchmark.t) : bench_eval =
+    under every scheme. [jobs > 1] fans the hot loops of each scheme out
+    across that many worker domains (one orchestrator per worker over the
+    scheme's shared cache); results are identical to [jobs = 1]. *)
+let evaluate_bench ?(jobs = 1) (b : Benchmark.t) : bench_eval =
   let m = Benchmark.program b in
   let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
-  let eval r = Nodep.evaluate ~bname:b.Benchmark.name profiles r in
-  {
-    bench = b;
-    profiles;
-    caf = eval (Schemes.caf profiles);
-    confluence = eval (Schemes.confluence profiles);
-    scaf = eval (Schemes.scaf profiles);
-    memspec = eval (Schemes.memory_speculation profiles);
-    observed = eval (Schemes.observed profiles);
-  }
+  let eval s = Nodep.evaluate_scheme ~jobs ~bname:b.Benchmark.name profiles s in
+  let caf_s = Schemes.caf_scheme profiles in
+  let conf_s = Schemes.confluence_scheme profiles in
+  let scaf_s = Schemes.scaf_scheme profiles in
+  let caf = eval caf_s in
+  let confluence = eval conf_s in
+  let scaf = eval scaf_s in
+  let memspec = eval (Schemes.memory_speculation_scheme profiles) in
+  let observed = eval (Schemes.observed_scheme profiles) in
+  let cache_stats =
+    List.filter_map
+      (fun (s : Schemes.scheme) ->
+        Option.map
+          (fun c -> (s.Schemes.sname, Scaf.Qcache.stats c))
+          s.Schemes.scache)
+      [ caf_s; conf_s; scaf_s ]
+  in
+  { bench = b; profiles; caf; confluence; scaf; memspec; observed; cache_stats }
 
-let evaluate_all ?(benchmarks = Registry.all) () : bench_eval list =
-  List.map evaluate_bench benchmarks
+(** Two-level fan-out: with several benchmarks, whole benchmarks (profiling
+    included — the dominant cost) spread across the worker domains and each
+    benchmark's loops run sequentially inside its worker; a single
+    benchmark instead fans its hot loops out. Either way the reports are
+    identical to [jobs = 1]. *)
+let evaluate_all ?(jobs = 1) ?(benchmarks = Registry.all) () : bench_eval list =
+  if jobs <= 1 || List.length benchmarks = 1 then
+    List.map (evaluate_bench ~jobs) benchmarks
+  else
+    Schemes.parallel_map ~jobs
+      ~worker:(fun () -> ())
+      ~f:(fun () b -> evaluate_bench ~jobs:1 b)
+      benchmarks
+
+(** Shared-cache counters summed over all benchmarks, per scheme — the
+    hit-rate report behind the [--cache-stats] flag of [scaf_eval]. *)
+let cache_stats_summary (evals : bench_eval list) :
+    (string * Scaf.Qcache.stats) list =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc (name, (s : Scaf.Qcache.stats)) ->
+          let merged =
+            match List.assoc_opt name acc with
+            | None -> s
+            | Some (t : Scaf.Qcache.stats) ->
+                {
+                  s with
+                  Scaf.Qcache.hits = s.Scaf.Qcache.hits + t.Scaf.Qcache.hits;
+                  misses = s.Scaf.Qcache.misses + t.Scaf.Qcache.misses;
+                  evictions = s.Scaf.Qcache.evictions + t.Scaf.Qcache.evictions;
+                  canonical_hits =
+                    s.Scaf.Qcache.canonical_hits + t.Scaf.Qcache.canonical_hits;
+                  entries = s.Scaf.Qcache.entries + t.Scaf.Qcache.entries;
+                }
+          in
+          (name, merged) :: List.remove_assoc name acc)
+        acc e.cache_stats)
+    [] evals
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8                                                            *)

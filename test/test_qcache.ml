@@ -1,0 +1,327 @@
+(** Tests for the canonicalizing sharded cache (Qcache), the latency
+    reservoir, and the domain-parallel batch engine: canonicalization and
+    mirror-query sharing, second-chance eviction, the closure-key
+    regression ([mctrl] views must never become table keys), and the
+    qcheck equivalences (parallel batch = sequential; ask q = ask
+    (mirror q)). *)
+
+open Scaf
+open Scaf_ir
+open Scaf_pdg
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let nomodref_free = Response.free (Aresult.RModref Aresult.NoModRef)
+
+let mloc ?(size = 8) ptr : Value.t * int = (ptr, size)
+
+let alias_q ?dr ~tr p1 p2 =
+  Query.alias ?dr ~fname:"main" ~tr (mloc p1) (mloc p2)
+
+let mirror (q : Query.t) : Query.t =
+  match q with
+  | Query.Alias a ->
+      Query.Alias
+        {
+          a with
+          Query.a1 = a.Query.a2;
+          a2 = a.Query.a1;
+          atr = Query.flip_temporal a.Query.atr;
+        }
+  | Query.Modref _ -> q
+
+(* -- canonicalization ----------------------------------------------- *)
+
+let test_canonical_alias_sharing () =
+  let c = Qcache.create () in
+  let q = alias_q ~tr:Query.Before (Value.Global "a") (Value.Global "b") in
+  Qcache.add_q c q nomodref_free;
+  (* the mirrored form must land on the same entry *)
+  (match Qcache.find_q c (mirror q) with
+  | Some r ->
+      checkb "mirrored query shares the entry" true
+        (r.Response.result = Aresult.RModref Aresult.NoModRef)
+  | None -> Alcotest.fail "mirrored alias query missed");
+  let s = Qcache.stats c in
+  checki "one entry, not two" 1 s.Qcache.entries;
+  checki "one hit" 1 s.Qcache.hits;
+  checki "counted as canonical hit" 1 s.Qcache.canonical_hits;
+  (* the straight form hits without the canonical marker *)
+  ignore (Qcache.find_q c q);
+  let s = Qcache.stats c in
+  checki "two hits" 2 s.Qcache.hits;
+  checki "still one canonical hit" 1 s.Qcache.canonical_hits
+
+let test_canonical_same_temporal () =
+  (* Same is its own flip: both operand orders still share one entry *)
+  let c = Qcache.create () in
+  let q = alias_q ~tr:Query.Same (Value.Global "x") (Value.Global "y") in
+  Qcache.add_q c q nomodref_free;
+  checkb "mirror of a Same query hits" true (Qcache.find_q c (mirror q) <> None);
+  checki "one entry" 1 (Qcache.stats c).Qcache.entries
+
+let test_modref_not_mirrored () =
+  (* modref is directional: src/dst swapped is a different question *)
+  let c = Qcache.create () in
+  Qcache.add_q c (Query.modref_instrs ~tr:Query.Same 1 2) nomodref_free;
+  checkb "swapped modref misses" true
+    (Qcache.find_q c (Query.modref_instrs ~tr:Query.Same 2 1) = None)
+
+(* -- key safety: control-flow views hold closures ------------------- *)
+
+let tiny_prog =
+  Scaf_cfg.Progctx.build
+    (Parser.parse_exn_msg "func @main() {\nentry:\n  ret\n}")
+
+let ctrl_view () = Option.get (Scaf_cfg.Progctx.ctrl_of tiny_prog "main")
+
+let test_ctrl_query_has_no_key () =
+  let q = Query.modref_instrs ~ctrl:(ctrl_view ()) ~tr:Query.Same 1 2 in
+  checkb "mctrl query refused as key" true (Qcache.key_of q = None);
+  checkb "plain modref keyed" true
+    (Qcache.key_of (Query.modref_instrs ~tr:Query.Same 1 2) <> None)
+
+let test_ctrl_query_roundtrip_regression () =
+  (* regression: a speculative-view query must round-trip through the
+     orchestrator (twice: the second resolution must not consult a memo
+     keyed on a closure) without Invalid_argument "compare: functional
+     value" *)
+  let evals = ref 0 in
+  let m =
+    Module_api.make ~name:"m" ~kind:Module_api.Memory ~factored:false
+      (fun _ q ->
+        incr evals;
+        match q with Query.Modref _ -> nomodref_free | _ -> Module_api.no_answer q)
+  in
+  let o = Orchestrator.create tiny_prog (Orchestrator.default_config [ m ]) in
+  let q = Query.modref_instrs ~ctrl:(ctrl_view ()) ~tr:Query.Same 1 2 in
+  let r1 = Orchestrator.handle o q in
+  let r2 = Orchestrator.handle o q in
+  checkb "answered" true (r1.Response.result = Aresult.RModref Aresult.NoModRef);
+  checkb "same answer" true (Aresult.equal r1.Response.result r2.Response.result);
+  (* never memoized: both resolutions evaluated the module *)
+  checki "view queries bypass the cache" 2 !evals
+
+(* -- bounded capacity and second-chance eviction -------------------- *)
+
+let mq n = Query.modref_instrs ~tr:Query.Same n (n + 1)
+
+let test_bounded_eviction () =
+  let c = Qcache.create ~shards:1 ~capacity:4 () in
+  List.iter (fun n -> Qcache.add_q c (mq n) nomodref_free) [ 0; 1; 2; 3; 4; 5 ];
+  checki "capacity respected" 4 (Qcache.length c);
+  checkb "evictions counted" true ((Qcache.stats c).Qcache.evictions >= 2)
+
+let test_second_chance_protects_hot_entry () =
+  let c = Qcache.create ~shards:1 ~capacity:4 () in
+  List.iter (fun n -> Qcache.add_q c (mq n) nomodref_free) [ 0; 1; 2; 3 ];
+  (* touch the oldest entry: its reference bit must save it once *)
+  checkb "hot entry present" true (Qcache.find_q c (mq 0) <> None);
+  Qcache.add_q c (mq 4) nomodref_free;
+  checkb "hot entry survived the scan" true (Qcache.find_q c (mq 0) <> None);
+  checkb "cold head evicted instead" true (Qcache.find_q c (mq 1) = None)
+
+let test_clear_keeps_counters () =
+  let c = Qcache.create () in
+  Qcache.add_q c (mq 1) nomodref_free;
+  ignore (Qcache.find_q c (mq 1));
+  Qcache.clear c;
+  checki "empty after clear" 0 (Qcache.length c);
+  checki "hit counter kept" 1 (Qcache.stats c).Qcache.hits
+
+(* -- shared cache across orchestrators ------------------------------ *)
+
+let test_shared_cache_across_orchestrators () =
+  let evals = ref 0 in
+  let m =
+    Module_api.make ~name:"m" ~kind:Module_api.Memory ~factored:false
+      (fun _ q ->
+        incr evals;
+        match q with Query.Modref _ -> nomodref_free | _ -> Module_api.no_answer q)
+  in
+  let cache = Qcache.create () in
+  let o1 = Orchestrator.create ~cache tiny_prog (Orchestrator.default_config [ m ]) in
+  let o2 = Orchestrator.create ~cache tiny_prog (Orchestrator.default_config [ m ]) in
+  ignore (Orchestrator.handle o1 (mq 7));
+  ignore (Orchestrator.handle o2 (mq 7));
+  checki "second orchestrator reused the first's entry" 1 !evals
+
+(* -- the latency reservoir ------------------------------------------ *)
+
+let test_reservoir_bounded_exact_count () =
+  let r = Reservoir.create ~capacity:16 () in
+  for i = 1 to 1000 do
+    Reservoir.add r (float_of_int i)
+  done;
+  checki "exact count" 1000 (Reservoir.count r);
+  checki "sample bounded" 16 (List.length (Reservoir.samples r));
+  let p50 = Reservoir.percentile r 50.0 in
+  checkb "percentile inside observed range" true (p50 >= 1.0 && p50 <= 1000.0)
+
+let test_reservoir_small_stream_kept_whole () =
+  let r = Reservoir.create ~capacity:16 () in
+  List.iter (Reservoir.add r) [ 3.0; 1.0; 2.0 ];
+  checki "count" 3 (Reservoir.count r);
+  checki "all retained" 3 (List.length (Reservoir.samples r));
+  Alcotest.check (Alcotest.float 1e-9) "p0 is the min" 1.0
+    (Reservoir.percentile r 0.0);
+  Alcotest.check (Alcotest.float 1e-9) "p100 is the max" 3.0
+    (Reservoir.percentile r 100.0)
+
+let test_reservoir_merge_counts () =
+  let a = Reservoir.create ~capacity:8 () in
+  let b = Reservoir.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Reservoir.add a (float_of_int i)
+  done;
+  for i = 1 to 5 do
+    Reservoir.add b (float_of_int i)
+  done;
+  Reservoir.merge ~into:a b;
+  checki "merged count exact" 25 (Reservoir.count a);
+  checki "sample still bounded" 8 (List.length (Reservoir.samples a))
+
+(* -- ask_many and the parallel batch path ---------------------------- *)
+
+let resp_equal (a : Response.t) (b : Response.t) : bool =
+  Aresult.equal a.Response.result b.Response.result
+  && Response.Sset.equal a.Response.provenance b.Response.provenance
+  && a.Response.options = b.Response.options
+
+let test_ask_many_order () =
+  let o =
+    Orchestrator.create tiny_prog
+      (Orchestrator.default_config
+         [
+           Module_api.make ~name:"echo" ~kind:Module_api.Memory ~factored:false
+             (fun _ q ->
+               match q with
+               | Query.Modref m when m.Query.minstr mod 2 = 0 -> nomodref_free
+               | _ -> Module_api.no_answer q);
+         ])
+  in
+  let qs = List.init 10 mq in
+  let rs = Orchestrator.ask_many o qs in
+  checki "one response per query" 10 (List.length rs);
+  List.iteri
+    (fun i (r : Response.t) ->
+      checkb
+        (Printf.sprintf "response %d answers query %d" i i)
+        true
+        (if i mod 2 = 0 then r.Response.result = Aresult.RModref Aresult.NoModRef
+         else Aresult.is_bottom r.Response.result))
+    rs
+
+(* Random suite programs: the parallel batch path must return exactly the
+   sequential responses, at every job count. *)
+let prop_parallel_equals_sequential =
+  let bench_names =
+    List.map
+      (fun (b : Scaf_suite.Benchmark.t) -> b.Scaf_suite.Benchmark.name)
+      Scaf_suite.Registry.all
+  in
+  QCheck.Test.make ~name:"batch path: jobs in {1,2,4} = sequential" ~count:8
+    QCheck.(pair (oneofl bench_names) small_nat)
+    (fun (bname, skip) ->
+      let b = Option.get (Scaf_suite.Registry.find bname) in
+      let m = Scaf_suite.Benchmark.program b in
+      let profiles =
+        Scaf_profile.Profiler.profile_module
+          ~inputs:b.Scaf_suite.Benchmark.train_inputs m
+      in
+      let prog = profiles.Scaf_profile.Profiles.ctx in
+      let lids = List.map fst (Nodep.hot_loop_weights profiles) in
+      match lids with
+      | [] -> true
+      | _ ->
+          let lid = List.nth lids (skip mod List.length lids) in
+          let qs =
+            List.map (Pdg.to_query lid) (Pdg.queries_of_loop prog lid)
+          in
+          let seq =
+            let r = (Schemes.scaf_scheme profiles).Schemes.spawn () in
+            List.map r.Schemes.resolve qs
+          in
+          List.for_all
+            (fun jobs ->
+              let scheme = Schemes.scaf_scheme profiles in
+              let par =
+                Schemes.parallel_map ~jobs ~worker:scheme.Schemes.spawn
+                  ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
+                  qs
+              in
+              List.for_all2 resp_equal seq par)
+            [ 1; 2; 4 ])
+
+(* Canonicalized alias queries: ask q = ask (mirror q). *)
+let prop_mirror_alias_equal =
+  let arb_val =
+    QCheck.oneofl
+      [
+        Value.Global "a";
+        Value.Global "b";
+        Value.Reg "i";
+        Value.Reg "v";
+        Value.Int 0L;
+        Value.Int 8L;
+        Value.Null;
+      ]
+  in
+  let arb_tr = QCheck.oneofl [ Query.Before; Query.Same; Query.After ] in
+  let arb_sz = QCheck.oneofl [ 1; 4; 8 ] in
+  let bench = Option.get (Scaf_suite.Registry.find "181.mcf") in
+  let profiles =
+    lazy
+      (Scaf_profile.Profiler.profile_module
+         ~inputs:bench.Scaf_suite.Benchmark.train_inputs
+         (Scaf_suite.Benchmark.program bench))
+  in
+  QCheck.Test.make ~name:"canonicalized alias: ask q = ask (mirror q)"
+    ~count:60
+    QCheck.(quad arb_val arb_sz arb_val arb_tr)
+    (fun (p1, s1, p2, tr) ->
+      let profiles = Lazy.force profiles in
+      let r = (Schemes.scaf_scheme profiles).Schemes.spawn () in
+      let q = Query.alias ~fname:"main" ~tr (p1, s1) (p2, 8) in
+      let rq = r.Schemes.resolve q in
+      let rm = r.Schemes.resolve (mirror q) in
+      Aresult.equal rq.Response.result rm.Response.result
+      && Response.cheapest_cost rq = Response.cheapest_cost rm)
+
+let suite =
+  [
+    ( "qcache",
+      [
+        Alcotest.test_case "canonical alias sharing" `Quick
+          test_canonical_alias_sharing;
+        Alcotest.test_case "Same temporal mirrors" `Quick
+          test_canonical_same_temporal;
+        Alcotest.test_case "modref not mirrored" `Quick test_modref_not_mirrored;
+        Alcotest.test_case "ctrl query has no key" `Quick
+          test_ctrl_query_has_no_key;
+        Alcotest.test_case "ctrl query round-trip (regression)" `Quick
+          test_ctrl_query_roundtrip_regression;
+        Alcotest.test_case "bounded eviction" `Quick test_bounded_eviction;
+        Alcotest.test_case "second chance protects hot entry" `Quick
+          test_second_chance_protects_hot_entry;
+        Alcotest.test_case "clear keeps counters" `Quick test_clear_keeps_counters;
+        Alcotest.test_case "shared cache across orchestrators" `Quick
+          test_shared_cache_across_orchestrators;
+      ] );
+    ( "reservoir",
+      [
+        Alcotest.test_case "bounded sample, exact count" `Quick
+          test_reservoir_bounded_exact_count;
+        Alcotest.test_case "small stream kept whole" `Quick
+          test_reservoir_small_stream_kept_whole;
+        Alcotest.test_case "merge keeps exact counts" `Quick
+          test_reservoir_merge_counts;
+      ] );
+    ( "parallel",
+      [
+        Alcotest.test_case "ask_many preserves order" `Quick test_ask_many_order;
+        QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+        QCheck_alcotest.to_alcotest prop_mirror_alias_equal;
+      ] );
+  ]

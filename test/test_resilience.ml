@@ -184,15 +184,15 @@ let test_isolation_raising_module () =
   let r = Orchestrator.handle o (mq 100) in
   checkb "query still answered precisely" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
-  checki "fault recorded" 1 o.Orchestrator.stats.Orchestrator.module_faults;
+  checki "fault recorded" 1 (Orchestrator.stats o).Orchestrator.module_faults;
   (* distinct queries (the memo would absorb repeats) trip the breaker *)
   ignore (Orchestrator.handle o (mq 200));
   ignore (Orchestrator.handle o (mq 300));
   checkb "module quarantined" true (Orchestrator.quarantined o = [ "bad" ]);
   ignore (Orchestrator.handle o (mq 400));
   checkb "quarantined module skipped" true
-    (o.Orchestrator.stats.Orchestrator.quarantine_skips >= 1);
-  checki "three faults total" 3 o.Orchestrator.stats.Orchestrator.module_faults
+    ((Orchestrator.stats o).Orchestrator.quarantine_skips >= 1);
+  checki "three faults total" 3 (Orchestrator.stats o).Orchestrator.module_faults
 
 let test_isolation_success_resets_breaker () =
   let flaky_fails = ref true in
@@ -241,7 +241,7 @@ let test_isolation_budget_overrun () =
   let r = Orchestrator.handle o (mq 100) in
   checkb "stalled answer discarded, good answer used" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
-  checki "overrun recorded" 1 o.Orchestrator.stats.Orchestrator.module_overruns;
+  checki "overrun recorded" 1 (Orchestrator.stats o).Orchestrator.module_overruns;
   checki "overrun counts against the module" 1
     (Orchestrator.health_of o "stall").Orchestrator.overruns
 
