@@ -2,7 +2,9 @@
 
     Subcommands: [table1], [fig8], [fig9], [table2], [fig10], [all] (the
     whole evaluation), [bench NAME] (per-benchmark detail), [speculate
-    NAME] (plan + instrument + run with recovery for one benchmark), and
+    NAME] (plan + instrument + run with recovery for one benchmark),
+    [audit] (the framework self-audit: contradiction detection, dynamic
+    oracle, query-plan lint — non-zero exit on soundness findings), and
     [resilience] (the seeded fault-injection matrix: recovery scenarios
     plus orchestrator chaos). *)
 
@@ -173,6 +175,19 @@ let run_speculate name =
     = (Scaf_interp.Eval.run ~input:b.Scaf_suite.Benchmark.ref_input m)
         .Scaf_interp.Eval.output)
 
+let run_audit names json_out =
+  let benchmarks = select_benchmarks names in
+  let r = Scaf_audit.Audit.run ~benchmarks () in
+  print_string (Scaf_audit.Audit.render r);
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Scaf_audit.Audit.to_json r);
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  if Scaf_audit.Audit.exit_code r <> 0 then exit 1
+
 let run_resilience seed =
   let open Scaf_faultinject in
   print_endline "Recovery scenarios — every run must commit or recover:";
@@ -258,6 +273,19 @@ let () =
               (Cmd.info "speculate"
                  ~doc:"Plan, instrument and run one benchmark with recovery")
               Term.(const run_speculate $ name_arg);
+            Cmd.v
+              (Cmd.info "audit"
+                 ~doc:
+                   "Audit the framework itself: cross-module contradictions, \
+                    the dynamic-dependence oracle, and the query-plan lint. \
+                    Exits non-zero on any soundness-class finding.")
+              Term.(
+                const run_audit $ bench_arg
+                $ Arg.(
+                    value
+                    & opt (some string) None
+                    & info [ "json" ] ~docv:"FILE"
+                        ~doc:"Also write the machine-readable report to $(docv)."));
             Cmd.v
               (Cmd.info "resilience"
                  ~doc:"Seeded fault-injection matrix: recovery + chaos")

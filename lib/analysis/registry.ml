@@ -1,21 +1,30 @@
 (** The CAF memory-analysis ensemble: all 13 modules, in the default
     consultation order (cheap local reasoning first, module-wide
     reachability last — memory modules are assertion-free, so order only
-    affects latency, §3.3). *)
+    affects latency, §3.3).
+
+    Each module is annotated with its capability declaration
+    ({!Scaf.Module_api.caps}): the query classes it can improve and the
+    premise classes it emits. The orchestrator never filters on these —
+    they feed the audit layer's query-plan lint. *)
+
+open Scaf.Module_api
+
+let w answers emits m = with_caps { answers; emits } m
 
 let create (prog : Scaf_cfg.Progctx.t) : Scaf.Module_api.t list =
   [
-    Basic_aa.create prog;
-    Underlying_objects_aa.create prog;
-    Callsite_aa.create prog;
-    Disjoint_fields_aa.create prog;
-    Scev_aa.create prog;
-    Induction_range_aa.create prog;
-    Loop_fresh_aa.create prog;
-    Unique_paths_aa.create prog;
-    Kill_flow_aa.create prog;
-    Semi_local_fun_aa.create prog;
-    Global_malloc_aa.create prog;
-    No_capture_source_aa.create prog;
-    No_capture_global_aa.create prog;
+    w [ CAlias; CModref_instr; CModref_loc ] [ CAlias ] (Basic_aa.create prog);
+    w [ CAlias ] [] (Underlying_objects_aa.create prog);
+    w [ CModref_instr; CModref_loc ] [ CAlias ] (Callsite_aa.create prog);
+    w [ CAlias ] [ CAlias ] (Disjoint_fields_aa.create prog);
+    w [ CAlias ] [ CAlias ] (Scev_aa.create prog);
+    w [ CAlias ] [ CAlias ] (Induction_range_aa.create prog);
+    w [ CAlias ] [] (Loop_fresh_aa.create prog);
+    w [ CAlias ] [ CAlias ] (Unique_paths_aa.create prog);
+    w [ CModref_instr; CModref_loc ] [ CAlias ] (Kill_flow_aa.create prog);
+    w [ CModref_instr; CModref_loc ] [ CAlias ] (Semi_local_fun_aa.create prog);
+    w [ CAlias ] [ CAlias ] (Global_malloc_aa.create prog);
+    w [ CAlias ] [ CAlias ] (No_capture_source_aa.create prog);
+    w [ CAlias ] [ CAlias ] (No_capture_global_aa.create prog);
   ]

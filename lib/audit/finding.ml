@@ -1,0 +1,62 @@
+(** Audit findings: what a pass discovered, about whom, with what evidence.
+
+    Severity taxonomy (see DESIGN.md):
+    - [Soundness] — the module (or configuration) can produce wrong
+      optimizations: a free answer contradicted by another free answer or
+      by an observed execution. The auditor exits non-zero on any of
+      these.
+    - [Warning] — suspicious but not demonstrably unsound: precision
+      asymmetries, unreachable modules, misconfiguration that silently
+      degrades to a weaker policy.
+    - [Info] — structural observations worth a look (e.g. premise cycles,
+      which the depth budget bounds by design). *)
+
+type severity = Soundness | Warning | Info
+
+type pass = Contradiction | Oracle | Lint
+
+type t = {
+  pass : pass;
+  severity : severity;
+  modname : string;  (** implicated module(s); "config" for wiring findings *)
+  bench : string;  (** benchmark, or "-" for configuration findings *)
+  query : string;  (** rendered query, or "" *)
+  detail : string;  (** what exactly is wrong *)
+  witness : string;  (** shrunk witness program, or "" *)
+}
+
+let severity_name = function
+  | Soundness -> "SOUNDNESS"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pass_name = function
+  | Contradiction -> "contradiction"
+  | Oracle -> "oracle"
+  | Lint -> "lint"
+
+let is_soundness (f : t) = f.severity = Soundness
+
+let severity_rank = function Soundness -> 0 | Warning -> 1 | Info -> 2
+
+(** Most severe first, then by pass, module and benchmark. *)
+let compare (a : t) (b : t) : int =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 ->
+      Stdlib.compare
+        (pass_name a.pass, a.modname, a.bench, a.query, a.detail)
+        (pass_name b.pass, b.modname, b.bench, b.query, b.detail)
+  | c -> c
+
+let make ~pass ~severity ~modname ?(bench = "-") ?(query = "") ?(witness = "")
+    detail : t =
+  { pass; severity; modname; bench; query; detail; witness }
+
+let pp ppf (f : t) =
+  Fmt.pf ppf "[%s] %s/%s %s: %s" (severity_name f.severity) (pass_name f.pass)
+    f.modname f.bench f.detail;
+  if f.query <> "" then Fmt.pf ppf "@.  query: %s" f.query;
+  if f.witness <> "" then
+    Fmt.pf ppf "@.  witness:@.%a"
+      (Fmt.list ~sep:Fmt.cut (fun ppf l -> Fmt.pf ppf "    %s" l))
+      (String.split_on_char '\n' f.witness)

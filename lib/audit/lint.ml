@@ -1,0 +1,191 @@
+(** Pass 3 — query-plan lint: static checks over an orchestrator
+    configuration, using the modules' declared capabilities
+    ({!Scaf.Module_api.caps}). Nothing here runs a query; these are the
+    wiring mistakes that produce silently weak (not wrong) ensembles:
+
+    - modules that can never fire: the reachable query classes are the
+      client's classes plus everything reachable modules may emit as
+      premises (a fixpoint); a module whose [answers] never intersects
+      them is dead weight;
+    - premise cycles (module A emits a class module B answers and vice
+      versa): legal — the premise depth budget bounds them — but worth
+      surfacing, so reported at Info severity;
+    - degenerate policies: a [Timeout] bail-out or a module budget without
+      a clock silently degrades to the un-budgeted behavior; a
+      non-positive premise depth turns every factored module into a
+      non-factored one;
+    - duplicate module names, which fold distinct modules into one health
+      record and one provenance entry. *)
+
+open Scaf
+
+let qclass_mem (c : Module_api.qclass) (cs : Module_api.qclass list) =
+  List.mem c cs
+
+let inter (a : Module_api.qclass list) (b : Module_api.qclass list) =
+  List.filter (fun c -> qclass_mem c b) a
+
+let config_finding ?(severity = Finding.Warning) detail =
+  Finding.make ~pass:Finding.Lint ~severity ~modname:"config" detail
+
+(* Reachability fixpoint over query classes. *)
+let check_reachability ~(client : Module_api.qclass list)
+    (modules : Module_api.t list) : Finding.t list =
+  let reachable = ref client in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (m : Module_api.t) ->
+        if inter m.Module_api.caps.Module_api.answers !reachable <> [] then
+          List.iter
+            (fun c ->
+              if not (qclass_mem c !reachable) then begin
+                reachable := c :: !reachable;
+                changed := true
+              end)
+            m.Module_api.caps.Module_api.emits)
+      modules
+  done;
+  List.filter_map
+    (fun (m : Module_api.t) ->
+      if inter m.Module_api.caps.Module_api.answers !reachable = [] then
+        Some
+          (Finding.make ~pass:Finding.Lint ~severity:Finding.Warning
+             ~modname:m.Module_api.name
+             (Printf.sprintf
+                "module can never fire: it answers {%s} but only {%s} is \
+                 reachable from the client query language"
+                (String.concat ", "
+                   (List.map Module_api.qclass_name
+                      m.Module_api.caps.Module_api.answers))
+                (String.concat ", "
+                   (List.map Module_api.qclass_name !reachable))))
+      else None)
+    modules
+
+(* Premise cycles: strongly-connected components of the emits->answers
+   graph with at least two modules. *)
+let check_cycles ~(max_premise_depth : int) (modules : Module_api.t list) :
+    Finding.t list =
+  let n = List.length modules in
+  let arr = Array.of_list modules in
+  let edge i j =
+    i <> j
+    && arr.(i).Module_api.factored
+    && inter
+         arr.(i).Module_api.caps.Module_api.emits
+         arr.(j).Module_api.caps.Module_api.answers
+       <> []
+  in
+  (* tiny Tarjan *)
+  let index = Array.make n (-1)
+  and low = Array.make n 0
+  and on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    for w = 0 to n - 1 do
+      if edge v w then
+        if index.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+    done;
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let scc = pop [] in
+      if List.length scc > 1 then sccs := scc :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.map
+    (fun scc ->
+      config_finding ~severity:Finding.Info
+        (Printf.sprintf
+           "premise cycle among {%s} (bounded by max_premise_depth = %d)"
+           (String.concat ", "
+              (List.map (fun i -> arr.(i).Module_api.name) scc))
+           max_premise_depth))
+    (List.rev !sccs)
+
+(** Lint an orchestrator configuration against the [client] query classes
+    (defaults to the PDG client, which issues modref(instr,instr) only). *)
+let check ?(client = [ Module_api.CModref_instr ])
+    (config : Orchestrator.config) : Finding.t list =
+  let modules = config.Orchestrator.modules in
+  let dup_names =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun (m : Module_api.t) ->
+        if Hashtbl.mem seen m.Module_api.name then
+          Some
+            (config_finding
+               (Printf.sprintf
+                  "duplicate module name %S: health tracking and provenance \
+                   fold both instances into one"
+                  m.Module_api.name))
+        else begin
+          Hashtbl.replace seen m.Module_api.name ();
+          None
+        end)
+      modules
+  in
+  let policy =
+    (match (config.Orchestrator.bailout, config.Orchestrator.clock) with
+    | Orchestrator.Timeout _, None ->
+        [
+          config_finding
+            "Timeout bail-out without a clock: the deadline can never fire, \
+             silently degrading to Definite_free";
+        ]
+    | _ -> [])
+    @ (match (config.Orchestrator.module_budget, config.Orchestrator.clock) with
+      | Some _, None ->
+          [
+            config_finding
+              "module_budget without a clock: per-module overruns can never \
+               be detected";
+          ]
+      | _ -> [])
+    @
+    if
+      config.Orchestrator.max_premise_depth <= 0
+      && List.exists (fun (m : Module_api.t) -> m.Module_api.factored) modules
+    then
+      [
+        config_finding
+          "max_premise_depth <= 0: every premise query of the factored \
+           modules is answered bottom";
+      ]
+    else []
+  in
+  let empty_caps =
+    List.filter_map
+      (fun (m : Module_api.t) ->
+        if m.Module_api.caps.Module_api.answers = [] then
+          Some
+            (Finding.make ~pass:Finding.Lint ~severity:Finding.Warning
+               ~modname:m.Module_api.name
+               "module declares no answerable query class")
+        else None)
+      modules
+  in
+  dup_names @ policy @ empty_caps
+  @ check_reachability ~client modules
+  @ check_cycles
+      ~max_premise_depth:config.Orchestrator.max_premise_depth modules

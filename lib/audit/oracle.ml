@@ -1,0 +1,221 @@
+(** Pass 2 — the dynamic-dependence oracle.
+
+    The benchmark is executed under the interpreter with the
+    {!Scaf_interp.Depwatch} instrumentation attached (driven by the loop
+    tracker), once per training input and once on the reference input.
+    What actually happened is ground truth:
+
+    - an *assertion-free* NoDep/NoAlias answer claims every execution; one
+      observed contradicting dependence — on any input — is a soundness
+      bug in the answering module;
+    - a *speculative* answer only claims the profiled behavior, so it is
+      graded against the training inputs alone: a module whose speculative
+      answer is contradicted by the very inputs it profiled misread its own
+      profile (the reference input legitimately misspeculates — that is
+      what validation and rollback are for).
+
+    The pass also tallies per-module "audit cards": how often each module
+    was consulted, answered, answered free vs speculatively, disproved a
+    dependence, and was caught unsound. *)
+
+open Scaf
+open Scaf_cfg
+open Scaf_interp
+open Scaf_profile
+
+(* ------------------------------------------------------------------ *)
+(* Audit cards                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type card = {
+  cname : string;
+  mutable consulted : int;
+  mutable answered : int;  (** non-bottom results *)
+  mutable free : int;  (** answered with an assertion-free option *)
+  mutable speculative : int;  (** answered under assertions only *)
+  mutable nodep : int;  (** affordable NoModRef answers (client currency) *)
+  mutable unsound : int;  (** answers contradicted by observation *)
+}
+
+type cards = (string, card) Hashtbl.t
+
+let create_cards () : cards = Hashtbl.create 32
+
+let card_of (cards : cards) (name : string) : card =
+  match Hashtbl.find_opt cards name with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          cname = name;
+          consulted = 0;
+          answered = 0;
+          free = 0;
+          speculative = 0;
+          nodep = 0;
+          unsound = 0;
+        }
+      in
+      Hashtbl.replace cards name c;
+      c
+
+let all_cards (cards : cards) : card list =
+  Hashtbl.fold (fun _ c acc -> c :: acc) cards []
+  |> List.sort (fun a b -> compare a.cname b.cname)
+
+let tally (cards : cards) (name : string) (r : Response.t) : card =
+  let c = card_of cards name in
+  c.consulted <- c.consulted + 1;
+  if not (Aresult.is_bottom r.Response.result) then begin
+    c.answered <- c.answered + 1;
+    if Response.has_unconditional_option r then c.free <- c.free + 1
+    else c.speculative <- c.speculative + 1;
+    if Scaf_pdg.Pdg.affordable_nodep r then c.nodep <- c.nodep + 1
+  end;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hooks that drive a tracker from interpreter events. *)
+let tracker_hooks (tracker : Tracker.t) : Hooks.t =
+  {
+    Hooks.nop with
+    Hooks.on_edge =
+      (fun ~src_term:_ ~src ~dst ~func ->
+        Tracker.edge tracker ~func:func.Scaf_ir.Func.name ~src ~dst);
+    on_call_enter =
+      (fun f ~ctx:_ -> Tracker.call_enter tracker f.Scaf_ir.Func.name);
+    on_call_exit = (fun _ -> Tracker.call_exit tracker);
+  }
+
+(** Run the program once per input with dependence watchers attached.
+    Returns [(train, any)]: the dependences observed on the training
+    inputs only, and on training plus reference inputs. *)
+let observe ?(fuel = 50_000_000) (prog : Progctx.t)
+    ~(train : int64 array list) ~(ref_input : int64 array) :
+    Depwatch.t * Depwatch.t =
+  let wt = Depwatch.create () and wa = Depwatch.create () in
+  let run (watchers : Depwatch.t list) (input : int64 array) =
+    List.iter Depwatch.reset_run watchers;
+    let tracker =
+      Tracker.create ~loops_of:(fun fname -> Progctx.loops_of prog fname)
+    in
+    let snapshot () = Tracker.snapshot tracker in
+    let hooks =
+      Hooks.combine_all
+        (tracker_hooks tracker
+        :: List.map (fun w -> Depwatch.hooks w ~snapshot) watchers)
+    in
+    let (_ : Eval.result) = Eval.run ~hooks ~fuel ~input prog.Progctx.m in
+    Tracker.finish tracker
+  in
+  List.iter (run [ wt; wa ]) train;
+  run [ wa ] ref_input;
+  (wt, wa)
+
+(* ------------------------------------------------------------------ *)
+(* Grading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let render_query (q : Query.t) : string = Fmt.str "%a" Query.pp q
+
+(* Value prediction breaks dependences that *do* manifest: the validated
+   claim is the loaded value (at an endpoint, or at a must-aliasing kill
+   load between the endpoints), not the absence of the store/load edge. A
+   manifested dependence is therefore excused whenever an option carries a
+   value-prediction check. *)
+let value_predicted (r : Response.t) : bool =
+  List.exists
+    (List.exists (fun (a : Assertion.t) ->
+         match a.Assertion.payload with
+         | Assertion.Value_predict _ -> true
+         | _ -> false))
+    r.Response.options
+
+(* Grade one module's response to a no-dependence/no-alias claim in loop
+   [lid]. [evidence] lists the observed-dependence patterns (src, dst,
+   cross) any one of which contradicts the claim — alias claims deny both
+   directions, dependence claims exactly one. *)
+let grade ~bench ~lid ~(train : Depwatch.t) ~(any : Depwatch.t) ~witness
+    ~(evidence : (int * int * bool) list) ~(claim : string) (name : string)
+    (r : Response.t) (card : card) (q : Query.t) : Finding.t option =
+  let disproves =
+    match (q, r.Response.result) with
+    | Query.Modref _, Aresult.RModref Aresult.NoModRef -> true
+    | Query.Alias _, Aresult.RAlias Aresult.NoAlias -> true
+    | _ -> false
+  in
+  let manifested (w : Depwatch.t) =
+    List.find_opt
+      (fun (src, dst, cross) -> Depwatch.observed w ~lid ~src ~dst ~cross)
+      evidence
+  in
+  let finding ~phrase (src, dst, cross) =
+    card.unsound <- card.unsound + 1;
+    Some
+      (Finding.make ~pass:Finding.Oracle ~severity:Finding.Soundness
+         ~modname:name ~bench ~query:(render_query q) ~witness:(witness ())
+         (Printf.sprintf
+            "%s %s contradicted by %s: dependence %d -> %d (%s-iteration) \
+             manifested in loop %s"
+            phrase claim
+            (if phrase = "assertion-free" then "execution"
+             else "its own profiling inputs")
+            src dst
+            (if cross then "cross" else "intra")
+            lid))
+  in
+  if not disproves then None
+  else if Response.has_unconditional_option r then
+    match manifested any with
+    | Some ev -> finding ~phrase:"assertion-free" ev
+    | None -> None
+  else if value_predicted r then None
+  else
+    match manifested train with
+    | Some ev -> finding ~phrase:"speculative" ev
+    | None -> None
+
+(** Grade every module's individual answers over one hot loop's workload
+    against the observed dependences, tallying audit cards along the way. *)
+let check_loop (orch : Orchestrator.t) (prog : Progctx.t) ~(bench : string)
+    ~(lid : string) ~(train : Depwatch.t) ~(any : Depwatch.t) (cards : cards)
+    : Finding.t list =
+  let w = lazy (Witness.for_loop prog ~lid) in
+  let witness () = Lazy.force w in
+  let dep_work =
+    List.map
+      (fun (dq : Scaf_pdg.Pdg.dep_query) ->
+        ( Scaf_pdg.Pdg.to_query lid dq,
+          [ (dq.Scaf_pdg.Pdg.src, dq.Scaf_pdg.Pdg.dst, dq.Scaf_pdg.Pdg.cross) ],
+          "NoDep" ))
+      (Scaf_pdg.Pdg.queries_of_loop prog lid)
+  in
+  let alias_work =
+    List.map
+      (fun (i1, i2, q) ->
+        let evidence =
+          match q with
+          | Query.Alias { Query.atr = Query.Before; _ } ->
+              (* (a1 from an earlier iteration) vs a2: the matching observed
+                 pattern is i1-as-source, cross-iteration *)
+              [ (i1, i2, true) ]
+          | _ ->
+              (* intra-iteration NoAlias denies overlap in both execution
+                 orders *)
+              [ (i1, i2, false); (i2, i1, false) ]
+        in
+        (q, evidence, "NoAlias"))
+      (Scaf_pdg.Pdg.alias_probes_of_loop prog lid)
+  in
+  List.concat_map
+    (fun (q, evidence, claim) ->
+      List.filter_map
+        (fun (name, r) ->
+          let card = tally cards name r in
+          grade ~bench ~lid ~train ~any ~witness ~evidence ~claim name r card
+            q)
+        (Orchestrator.consult_all orch q))
+    (dep_work @ alias_work)

@@ -1,0 +1,84 @@
+(** Witness extraction: shrink a whole benchmark module down to the part a
+    finding is actually about — the function containing the offending
+    query's loop, its transitive direct callees, the globals any of them
+    reference, and the external declarations they call. The slice is a
+    well-formed MIR module printable with the standard pretty-printer, so a
+    finding's witness can be re-parsed and replayed in isolation. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+module Sset = Set.Make (String)
+
+let values_of_func (f : Func.t) : Value.t list =
+  List.concat_map
+    (fun (b : Block.t) ->
+      List.concat_map Instr.operands b.Block.instrs
+      @ Instr.term_operands b.Block.term)
+    f.Func.blocks
+
+let callees_of_func (f : Func.t) : string list =
+  List.concat_map
+    (fun (b : Block.t) ->
+      List.filter_map
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with
+          | Instr.Call { callee; _ } -> Some callee
+          | _ -> None)
+        b.Block.instrs)
+    f.Func.blocks
+
+(** [slice prog ~fname] — the sub-module reachable from function [fname]. *)
+let slice (prog : Progctx.t) ~(fname : string) : Irmod.t =
+  let m = prog.Progctx.m in
+  let rec close seen = function
+    | [] -> seen
+    | n :: rest ->
+        if Sset.mem n seen then close seen rest
+        else (
+          match Irmod.find_func m n with
+          | None -> close seen rest (* external: kept via decls below *)
+          | Some f -> close (Sset.add n seen) (callees_of_func f @ rest))
+  in
+  let fnames = close Sset.empty [ fname ] in
+  let funcs =
+    List.filter (fun (f : Func.t) -> Sset.mem f.Func.name fnames) m.Irmod.funcs
+  in
+  let called =
+    List.fold_left
+      (fun acc f -> Sset.union acc (Sset.of_list (callees_of_func f)))
+      Sset.empty funcs
+  in
+  let globals_used =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left
+          (fun acc v ->
+            match v with Value.Global g -> Sset.add g acc | _ -> acc)
+          acc (values_of_func f))
+      Sset.empty funcs
+  in
+  {
+    Irmod.globals =
+      List.filter
+        (fun (g : Irmod.global) -> Sset.mem g.Irmod.gname globals_used)
+        m.Irmod.globals;
+    decls =
+      List.filter
+        (fun (d : Func.decl) -> Sset.mem d.Func.dname called)
+        m.Irmod.decls;
+    funcs;
+  }
+
+(** The witness for a loop-scoped finding: the slice of the function that
+    owns loop [lid], printed; empty string if the loop is unknown. *)
+let for_loop (prog : Progctx.t) ~(lid : string) : string =
+  match Progctx.loop_of_lid prog lid with
+  | Some (fname, _) -> Irmod.to_string (slice prog ~fname)
+  | None -> ""
+
+(** The witness for an instruction-scoped finding. *)
+let for_instr (prog : Progctx.t) ~(id : int) : string =
+  match Progctx.func_of_instr prog id with
+  | Some f -> Irmod.to_string (slice prog ~fname:f.Func.name)
+  | None -> ""

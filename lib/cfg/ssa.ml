@@ -1,0 +1,102 @@
+(** Dominance-based SSA validation — the check [Scaf_ir.Verify] declares
+    out of scope (it needs dominator trees, which live in this library).
+
+    Rules, per function:
+    - every (non-phi) use of a register must be dominated by its
+      definition (parameters count as defined at the entry);
+    - a phi arm's value must be defined by the end of the arm's
+      predecessor block (dominate the predecessor's terminator);
+    - uses inside unreachable blocks are skipped — no dominance relation
+      exists there, and structural verification already validates them
+      locally.
+
+    [check_full] is the whole-module entry point clients should use:
+    structural verification first (its errors would make CFG construction
+    meaningless), then the SSA pass. *)
+
+open Scaf_ir
+
+let err where fmt = Fmt.kstr (fun what -> { Verify.where; what }) fmt
+
+let check_ssa_func (f : Func.t) : Verify.error list =
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  (* register -> defining instruction id (params have no entry: they
+     dominate every reachable point by definition) *)
+  let def_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.dst with
+          | Some d -> Hashtbl.replace def_of d i.Instr.id
+          | None -> ())
+        b.Block.instrs)
+    cfg.Cfg.blocks;
+  let check_use where ~(at : int) (v : Value.t) =
+    match v with
+    | Value.Reg r -> (
+        match Hashtbl.find_opt def_of r with
+        | None -> () (* parameter, or structurally undefined (Verify's job) *)
+        | Some d ->
+            (* [dominates_instr] is reflexive within a block, but a
+               definition never dominates its own operands *)
+            if d = at || not (Dom.dominates_instr dom cfg d at) then
+              add
+                (err where
+                   "use of %%%s not dominated by its definition (instr %d)" r d))
+    | _ -> ()
+  in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      if Dom.reachable dom bi then begin
+        let where = Printf.sprintf "@%s:%s" f.Func.name b.Block.label in
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Phi incoming ->
+                List.iter
+                  (fun (l, v) ->
+                    match Hashtbl.find_opt cfg.Cfg.index_of_label l with
+                    | Some pi when Dom.reachable dom pi ->
+                        (* the arm's value must be available at the end of
+                           the predecessor *)
+                        check_use where
+                          ~at:(Cfg.block cfg pi).Block.term.Instr.tid v
+                    | _ -> ())
+                  incoming
+            | _ ->
+                List.iter (check_use where ~at:i.Instr.id) (Instr.operands i))
+          b.Block.instrs;
+        List.iter
+          (check_use where ~at:b.Block.term.Instr.tid)
+          (Instr.term_operands b.Block.term)
+      end)
+    cfg.Cfg.blocks;
+  List.rev !errors
+
+(** [check_ssa m] — dominance errors of every function. Assumes [m] is
+    structurally well-formed (run [Verify.check] first, or use
+    [check_full]); a function whose CFG cannot be built is skipped. *)
+let check_ssa (m : Irmod.t) : Verify.error list =
+  List.concat_map
+    (fun f -> try check_ssa_func f with Invalid_argument _ -> [])
+    m.Irmod.funcs
+
+(** Full verification: structural checks, then (only when those pass) the
+    dominance-based SSA check. *)
+let check_full (m : Irmod.t) : Verify.error list =
+  match Verify.check m with [] -> check_ssa m | errs -> errs
+
+(** @raise Invalid_argument with a readable report if [m] fails full
+    verification. *)
+let check_full_exn (m : Irmod.t) : unit =
+  match check_full m with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Fmt.str "ill-formed MIR module:@.%a"
+           (Fmt.list ~sep:Fmt.cut Verify.pp_error)
+           errs)

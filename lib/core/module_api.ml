@@ -15,10 +15,41 @@ type ctx = {
 
 type kind = Memory | Speculation
 
+(** The classes of SCAF's query language (Figure 3), at the granularity the
+    query-plan lint reasons about: a module either can or cannot improve on
+    the conservative answer for a whole class. *)
+type qclass = CAlias | CModref_instr | CModref_loc
+
+let all_qclasses = [ CAlias; CModref_instr; CModref_loc ]
+
+let qclass_name = function
+  | CAlias -> "alias"
+  | CModref_instr -> "modref(instr,instr)"
+  | CModref_loc -> "modref(instr,loc)"
+
+let qclass_of_query (q : Query.t) : qclass =
+  match q with
+  | Query.Alias _ -> CAlias
+  | Query.Modref { Query.mtarget = Query.TInstr _; _ } -> CModref_instr
+  | Query.Modref { Query.mtarget = Query.TLoc _; _ } -> CModref_loc
+
+(** Declared capabilities: which query classes a module may improve
+    ([answers]) and which classes of premise queries it may submit through
+    [ctx.handle] ([emits]). Purely declarative — the Orchestrator never
+    filters on them — but the audit layer's query-plan lint cross-checks
+    them against the client query language and the ensemble wiring. *)
+type caps = { answers : qclass list; emits : qclass list }
+
+(** The conservative declaration assumed for unannotated modules: may
+    improve anything; factored modules may emit any premise class. *)
+let default_caps ~(factored : bool) : caps =
+  { answers = all_qclasses; emits = (if factored then all_qclasses else []) }
+
 type t = {
   name : string;
   kind : kind;
   factored : bool;  (** does this module generate premise queries? *)
+  caps : caps;
   answer : ctx -> Query.t -> Response.t;
 }
 
@@ -27,10 +58,15 @@ let no_answer (q : Query.t) : Response.t = Response.bottom_for q
 
 (** Wrap [answer] so that any non-bottom response carries the module's name
     in its provenance. *)
-let make ~name ~kind ~factored answer : t =
+let make ?caps ~name ~kind ~factored answer : t =
   let answer ctx q =
     let r = answer ctx q in
     if Aresult.is_bottom r.Response.result && r.Response.options = [ [] ] then r
     else Response.add_provenance name r
   in
-  { name; kind; factored; answer }
+  let caps = match caps with Some c -> c | None -> default_caps ~factored in
+  { name; kind; factored; caps; answer }
+
+(** [with_caps caps m] — [m] with its capability declaration replaced
+    (registries annotate shipped modules without touching their code). *)
+let with_caps (caps : caps) (m : t) : t = { m with caps }

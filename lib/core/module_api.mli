@@ -15,10 +15,29 @@ type ctx = {
 
 type kind = Memory | Speculation
 
+(** Query-language classes, the granularity of capability declarations and
+    of the audit layer's query-plan lint. *)
+type qclass = CAlias | CModref_instr | CModref_loc
+
+val all_qclasses : qclass list
+val qclass_name : qclass -> string
+val qclass_of_query : Query.t -> qclass
+
+(** Declared capabilities: the query classes a module may improve
+    ([answers]) and the premise classes it may submit ([emits]).
+    Declarative only — consulted by the audit lint, never enforced by the
+    Orchestrator. *)
+type caps = { answers : qclass list; emits : qclass list }
+
+(** Conservative default: answers everything; emits everything if
+    [factored], nothing otherwise. *)
+val default_caps : factored:bool -> caps
+
 type t = {
   name : string;
   kind : kind;
   factored : bool;  (** does this module generate premise queries? *)
+  caps : caps;
   answer : ctx -> Query.t -> Response.t;
 }
 
@@ -26,10 +45,15 @@ type t = {
 val no_answer : Query.t -> Response.t
 
 (** Build a module; every non-bottom answer automatically carries the
-    module's name in its provenance. *)
+    module's name in its provenance. [caps] defaults to
+    [default_caps ~factored]. *)
 val make :
+  ?caps:caps ->
   name:string ->
   kind:kind ->
   factored:bool ->
   (ctx -> Query.t -> Response.t) ->
   t
+
+(** [with_caps caps m] — [m] with its capability declaration replaced. *)
+val with_caps : caps -> t -> t

@@ -201,7 +201,23 @@ let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
     | exception _ -> fault ~overrun:false
   end
 
-let rec handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
+let rec premise_ctx (t : t) (depth : int) : Module_api.ctx =
+  {
+    Module_api.prog = t.prog;
+    depth;
+    handle =
+      (fun pq ->
+        if depth + 1 > t.config.max_premise_depth then Response.bottom_for pq
+        else begin
+          t.c.premise_queries <- t.c.premise_queries + 1;
+          let pq =
+            if t.config.respect_desired then pq else Query.without_desired pq
+          in
+          handle_at t (depth + 1) pq
+        end);
+  }
+
+and handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
   match Qcache.key_of q with
   | None -> handle_uncached t depth None q
   | Some k -> (
@@ -211,22 +227,7 @@ let rec handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
 
 and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
     (q : Query.t) : Response.t =
-  let ctx =
-    {
-      Module_api.prog = t.prog;
-      depth;
-      handle =
-        (fun pq ->
-          if depth + 1 > t.config.max_premise_depth then Response.bottom_for pq
-          else begin
-            t.c.premise_queries <- t.c.premise_queries + 1;
-            let pq =
-              if t.config.respect_desired then pq else Query.without_desired pq
-            in
-            handle_at t (depth + 1) pq
-          end);
-    }
-  in
+  let ctx = premise_ctx t depth in
   let final = ref (Response.bottom_for q) in
   (try
      List.iter
@@ -267,6 +268,21 @@ let handle (t : t) (q : Query.t) : Response.t =
     [jobs=1] reference semantics. *)
 let ask_many (t : t) (qs : Query.t list) : Response.t list =
   List.map (handle t) qs
+
+(** [consult_all t q] — every module's *individual* answer to [q], in
+    configuration order, bypassing the join and the bail-out policy (and
+    never memoizing the per-module answers). Premise queries a factored
+    module raises still flow through the whole ensemble exactly as under
+    [handle], so each response is what that module contributes given full
+    collaboration — the per-module provenance the audit layer's
+    contradiction detector and oracle grade against. Module evaluations are
+    guarded (fault isolation and the circuit breaker apply) but no
+    [Timeout] deadline is armed. *)
+let consult_all (t : t) (q : Query.t) : (string * Response.t) list =
+  let ctx = premise_ctx t 0 in
+  List.map
+    (fun (m : Module_api.t) -> (m.Module_api.name, guarded_answer t m ctx q))
+    t.config.modules
 
 (** Retained client-query latency sample (bounded reservoir). *)
 let latencies (t : t) : float list = Reservoir.samples t.c.lat

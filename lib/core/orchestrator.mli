@@ -92,6 +92,14 @@ val handle : t -> Query.t -> Response.t
     fan-out over a shared cache lives in [Scaf_pdg.Schemes]. *)
 val ask_many : t -> Query.t list -> Response.t list
 
+(** [consult_all t q] — every module's individual answer to [q], in
+    configuration order, bypassing the join and the bail-out policy.
+    Premise queries still flow through the whole ensemble, so each response
+    is the module's contribution under full collaboration; per-module
+    answers are never memoized. This is the audit layer's entry point for
+    grading modules one by one. *)
+val consult_all : t -> Query.t -> (string * Response.t) list
+
 (** Retained client-query latency sample (needs [clock]). Bounded by the
     latency reservoir's capacity; see [latency_count] for the exact number
     of observations. *)

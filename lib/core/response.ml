@@ -60,6 +60,13 @@ let cheapest_option (t : t) : Assertion.t list option =
 let has_free_option (t : t) : bool =
   List.exists (fun o -> option_cost o = 0.0) t.options
 
+(** Does the response include a literally assertion-free option — a claim
+    about every execution? Distinct from {!has_free_option}, which also
+    accepts zero-{e cost} assertions (e.g. control speculation's dead-block
+    beacons): those are free to validate but still speculative. *)
+let has_unconditional_option (t : t) : bool =
+  List.exists (fun o -> o = []) t.options
+
 (** Is the response both maximally precise and free to use? This is the
     Orchestrator's default bail-out condition. *)
 let is_definite_free (t : t) : bool =

@@ -35,6 +35,11 @@ val cheapest_cost : t -> float
 val cheapest_option : t -> Assertion.t list option
 val has_free_option : t -> bool
 
+(** A literally assertion-free option exists — a claim about every
+    execution. Stricter than {!has_free_option}, which also accepts
+    zero-cost (but still speculative) assertions. *)
+val has_unconditional_option : t -> bool
+
 (** Maximally precise *and* free — the default bail-out condition. *)
 val is_definite_free : t -> bool
 

@@ -1,0 +1,144 @@
+(** Dynamic memory-dependence watcher — the runtime oracle behind the audit
+    layer.
+
+    Observes every load and store through {!Hooks} and records, per loop,
+    which (src instr -> dst instr) memory dependences actually manifested
+    (byte-granular, split intra-/cross-iteration), plus the set of
+    instruction pairs whose accesses ever overlapped in memory at all. A
+    static answer of "no dependence" (or "no alias") that contradicts these
+    observations is definitionally unsound — the program just did it.
+
+    This watcher deliberately knows nothing about loops itself: the active
+    loop-invocation/iteration scope is supplied by a [snapshot] callback
+    (wired to [Scaf_profile.Tracker] by clients — this library sits below
+    the profile layer and cannot depend on it). *)
+
+type access = { ainstr : int; asnap : (string * int * int) list }
+
+type byte_state = {
+  mutable writer : access option;
+  mutable readers : access list;
+  mutable touched : int list;  (** every instr that ever accessed this byte *)
+}
+
+type t = {
+  shadow : (int64, byte_state) Hashtbl.t;
+  deps : (string, (int * int * bool, unit) Hashtbl.t) Hashtbl.t;
+      (** lid -> set of (src instr, dst instr, cross-iteration?) *)
+  overlaps : (int * int, unit) Hashtbl.t;
+      (** unordered instr pairs (min, max) that touched a common byte *)
+}
+
+let create () : t =
+  {
+    shadow = Hashtbl.create 4096;
+    deps = Hashtbl.create 16;
+    overlaps = Hashtbl.create 256;
+  }
+
+(** Interpreter addresses are reused between runs: call between runs to
+    clear the transient shadow state while keeping the accumulated
+    dependence and overlap sets. *)
+let reset_run (t : t) = Hashtbl.reset t.shadow
+
+let dep_tbl (t : t) lid =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t.deps lid tbl;
+      tbl
+
+(* A dependence src -> dst holds for every loop invocation both accesses
+   executed in (same attribution rule as the memory-dependence profiler). *)
+let add_dep (t : t) (src : access) (dst : access) =
+  List.iter
+    (fun (lid, inv_d, iter_d) ->
+      match
+        List.find_opt (fun (l, _, _) -> String.equal l lid) src.asnap
+      with
+      | Some (_, inv_s, iter_s) when inv_s = inv_d ->
+          let key = (src.ainstr, dst.ainstr, iter_d <> iter_s) in
+          Hashtbl.replace (dep_tbl t lid) key ()
+      | _ -> ())
+    dst.asnap
+
+let byte_state (t : t) a =
+  match Hashtbl.find_opt t.shadow a with
+  | Some bs -> bs
+  | None ->
+      let bs = { writer = None; readers = []; touched = [] } in
+      Hashtbl.replace t.shadow a bs;
+      bs
+
+let touch (t : t) (bs : byte_state) (instr : int) =
+  List.iter
+    (fun j ->
+      if j <> instr then
+        Hashtbl.replace t.overlaps (min instr j, max instr j) ())
+    bs.touched;
+  if not (List.mem instr bs.touched) then bs.touched <- instr :: bs.touched
+
+let record_store (t : t) ~(instr : int) ~(addr : int64) ~(size : int)
+    ~(snap : (string * int * int) list) =
+  let acc = { ainstr = instr; asnap = snap } in
+  for k = 0 to size - 1 do
+    let bs = byte_state t (Int64.add addr (Int64.of_int k)) in
+    touch t bs instr;
+    List.iter (fun r -> add_dep t r acc) bs.readers;
+    (match bs.writer with Some w -> add_dep t w acc | None -> ());
+    bs.writer <- Some acc;
+    bs.readers <- []
+  done
+
+let record_load (t : t) ~(instr : int) ~(addr : int64) ~(size : int)
+    ~(snap : (string * int * int) list) =
+  let acc = { ainstr = instr; asnap = snap } in
+  for k = 0 to size - 1 do
+    let bs = byte_state t (Int64.add addr (Int64.of_int k)) in
+    touch t bs instr;
+    (match bs.writer with Some w -> add_dep t w acc | None -> ());
+    bs.readers <- acc :: List.filter (fun r -> r.ainstr <> instr) bs.readers
+  done
+
+(** Hooks recording through this watcher; [snapshot] supplies the active
+    loop scopes [(lid, invocation, iteration)], innermost first. Combine
+    with tracker-driving hooks via {!Hooks.combine}. *)
+let hooks (t : t) ~(snapshot : unit -> (string * int * int) list) : Hooks.t =
+  {
+    Hooks.nop with
+    Hooks.on_load =
+      (fun ~instr ~addr ~size ~value:_ ~obj:_ ~ctx:_ ->
+        record_load t ~instr:instr.Scaf_ir.Instr.id ~addr ~size
+          ~snap:(snapshot ()));
+    on_store =
+      (fun ~instr ~addr ~size ~value:_ ~obj:_ ~ctx:_ ->
+        record_store t ~instr:instr.Scaf_ir.Instr.id ~addr ~size
+          ~snap:(snapshot ()));
+  }
+
+(** Did a dependence from [src] to [dst] manifest in loop [lid]? *)
+let observed (t : t) ~(lid : string) ~(src : int) ~(dst : int) ~(cross : bool)
+    : bool =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> Hashtbl.mem tbl (src, dst, cross)
+  | None -> false
+
+(** All observed dependences of loop [lid], as [(src, dst, cross)]. *)
+let deps_of (t : t) ~(lid : string) : (int * int * bool) list =
+  match Hashtbl.find_opt t.deps lid with
+  | Some tbl -> Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+  | None -> []
+
+(** Loops that manifested at least one dependence. *)
+let loops (t : t) : string list =
+  Hashtbl.fold (fun lid _ acc -> lid :: acc) t.deps [] |> List.sort compare
+
+(** Did accesses of instructions [a] and [b] ever touch a common byte?
+    (Evidence that their pointers alias at runtime.) *)
+let overlapped (t : t) ~(a : int) ~(b : int) : bool =
+  Hashtbl.mem t.overlaps (min a b, max a b)
+
+(** Every instruction pair that touched a common byte. *)
+let all_overlaps (t : t) : (int * int) list =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.overlaps [] |> List.sort compare

@@ -1,7 +1,8 @@
 (** Structural well-formedness checks for MIR modules: unique ids, single
     assignment, defined uses, valid branch targets and phi arms, known
-    callees, positive access sizes. (Dominance-based SSA validation lives
-    with the CFG analyses.) *)
+    callees, positive access sizes. (Dominance-based SSA validation needs
+    dominator trees and therefore lives with the CFG analyses: see
+    [Scaf_cfg.Ssa.check_ssa] and the combined [Scaf_cfg.Ssa.check_full].) *)
 
 type error = { where : string; what : string }
 

@@ -86,6 +86,45 @@ let queries_of_loop (prog : Progctx.t) (lid : string) : dep_query list =
     ops;
   List.rev !qs
 
+(** Alias probes of a loop: for every unordered pair of direct accesses
+    (self-pairs included), an intra- and a cross-iteration alias query over
+    their footprints. Not part of the client's dependence workload — the
+    audit layer fans these to every module to cross-examine alias answers
+    (a self-pair in particular must never come back NoAlias while another
+    module proves MustAlias). *)
+let alias_probes_of_loop (prog : Progctx.t) (lid : string) :
+    (int * int * Query.t) list =
+  let ops = mem_ops_of_loop prog lid in
+  List.concat_map
+    (fun (i1 : Instr.t) ->
+      List.concat_map
+        (fun (i2 : Instr.t) ->
+          if i1.Instr.id > i2.Instr.id then []
+          else
+            match
+              ( Scaf_analysis.Autil.loc_of_instr prog i1.Instr.id,
+                Scaf_analysis.Autil.loc_of_instr prog i2.Instr.id )
+            with
+            | Some l1, Some l2
+              when String.equal l1.Query.fname l2.Query.fname ->
+                List.map
+                  (fun tr ->
+                    ( i1.Instr.id,
+                      i2.Instr.id,
+                      Query.Alias
+                        {
+                          Query.a1 = l1;
+                          atr = tr;
+                          a2 = l2;
+                          aloop = Some lid;
+                          acc = None;
+                          adr = None;
+                        } ))
+                  [ Query.Same; Query.Before ]
+            | _ -> [])
+        ops)
+    ops
+
 let to_query (lid : string) (dq : dep_query) : Query.t =
   Query.modref_instrs ~loop:lid
     ~tr:(if dq.cross then Query.Before else Query.Same)

@@ -2,16 +2,45 @@
     cheapest average assertion cost first (§3.3 — "modules with the smaller
     average cost of speculative assertions are prioritized"); points-to
     last, since its own assertions are prohibitive and its value is as a
-    premise resolver. *)
+    premise resolver.
+
+    Capability declarations ({!Scaf.Module_api.caps}) annotate what each
+    module answers and which premise classes it emits; the audit layer's
+    query-plan lint consumes them. *)
+
+open Scaf.Module_api
+
+let w answers emits m = with_caps { answers; emits } m
+
+let control profiles =
+  (* re-submits the incoming modref with a speculative control-flow view *)
+  w
+    [ CModref_instr; CModref_loc ]
+    [ CModref_instr; CModref_loc ]
+    (Control_spec.create profiles)
+
+let value_pred profiles =
+  w [ CModref_instr ] [ CAlias ] (Value_pred_spec.create profiles)
+
+let residue profiles =
+  w [ CModref_instr; CAlias ] [] (Residue_spec.create profiles)
+
+let read_only profiles =
+  w [ CModref_instr ] [ CAlias ] (Read_only_spec.create profiles)
+
+let short_lived profiles =
+  w [ CModref_instr ] [ CAlias ] (Short_lived_spec.create profiles)
+
+let points_to profiles = w [ CAlias ] [] (Points_to_spec.create profiles)
 
 let create (profiles : Scaf_profile.Profiles.t) : Scaf.Module_api.t list =
   [
-    Control_spec.create profiles;
-    Value_pred_spec.create profiles;
-    Residue_spec.create profiles;
-    Read_only_spec.create profiles;
-    Short_lived_spec.create profiles;
-    Points_to_spec.create profiles;
+    control profiles;
+    value_pred profiles;
+    residue profiles;
+    read_only profiles;
+    short_lived profiles;
+    points_to profiles;
   ]
 
 (** The composition units for the *composition by confluence* baseline
@@ -24,10 +53,10 @@ let create (profiles : Scaf_profile.Profiles.t) : Scaf.Module_api.t list =
 let confluence_units (profiles : Scaf_profile.Profiles.t) :
     Scaf.Module_api.t list list =
   [
-    [ Control_spec.create profiles ];
-    [ Value_pred_spec.create profiles ];
-    [ Residue_spec.create profiles ];
-    [ Read_only_spec.create profiles ];
-    [ Short_lived_spec.create profiles ];
-    [ Points_to_spec.create profiles ];
+    [ control profiles ];
+    [ value_pred profiles ];
+    [ residue profiles ];
+    [ read_only profiles ];
+    [ short_lived profiles ];
+    [ points_to profiles ];
   ]

@@ -11,21 +11,29 @@ type t = {
   ref_input : int64 array;
 }
 
-(** Parse (and verify) the program. *)
+(** Parse and fully verify the program: structural checks plus the
+    dominance-based SSA check. *)
 let program (t : t) : Scaf_ir.Irmod.t =
   let m = Scaf_ir.Parser.parse_exn_msg t.source in
-  Scaf_ir.Verify.check_exn m;
+  Scaf_cfg.Ssa.check_full_exn m;
   m
 
 (* All rare-path gates read index 0; training input keeps them closed. *)
 let train = [ [| 0L |] ]
 let ref_in = [| 1L |]
 
+(** [make] runs full verification at construction, so an ill-formed
+    benchmark blows up when the registry is built, not when a client first
+    asks for its program. *)
 let make ~name ~descr pieces : t =
-  {
-    name;
-    descr;
-    source = Patterns.compose pieces;
-    train_inputs = train;
-    ref_input = ref_in;
-  }
+  let t =
+    {
+      name;
+      descr;
+      source = Patterns.compose pieces;
+      train_inputs = train;
+      ref_input = ref_in;
+    }
+  in
+  ignore (program t);
+  t

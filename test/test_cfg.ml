@@ -291,6 +291,69 @@ let prop_dom_vs_cut =
       done;
       !ok)
 
+(* -- dominance-based SSA validation --------------------------------- *)
+
+let ssa_errs src = Ssa.check_full (Parser.parse_exn_msg src)
+
+let test_ssa_accepts_diamond_loop () =
+  checki "well-formed SSA" 0 (List.length (ssa_errs diamond_loop_src))
+
+let test_ssa_def_must_dominate_use () =
+  (* %x is defined on only one arm of a diamond: structurally verifiable,
+     but the def does not dominate the join-point use *)
+  let errs =
+    ssa_errs
+      "func @f() {\nentry:\n  condbr 1, a, b\na:\n  %x = add 1, 1\n  br c\n\
+       b:\n  br c\nc:\n  ret %x\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "not dominated by its definition")
+       errs)
+
+let test_ssa_self_use_rejected () =
+  (* the verifier's def-anywhere scan accepts %x = add %x, 1; dominance
+     (irreflexive on the defining instruction) must not *)
+  let errs = ssa_errs "func @f() {\nentry:\n  %x = add %x, 1\n  ret\n}" in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "not dominated by its definition")
+       errs)
+
+let test_ssa_phi_arm_checked_at_pred () =
+  (* arm values are evaluated at the predecessor's terminator: %x flowing
+     in from block b is fine for arm [a: %x] but not for arm [b: %x] *)
+  let errs =
+    ssa_errs
+      "func @f() {\nentry:\n  condbr 1, a, b\na:\n  %x = add 1, 1\n  br c\n\
+       b:\n  br c\nc:\n  %p = phi [a: %x], [b: %x]\n  ret %p\n}"
+  in
+  checki "exactly the b arm is rejected" 1 (List.length errs);
+  checkb "names the arm" true
+    (Astring_contains.contains (List.hd errs).Verify.what "not dominated by its definition")
+
+let test_ssa_loop_carried_phi_ok () =
+  (* the canonical loop-carried phi: %i2 defined below the phi, flowing in
+     through the latch terminator — legal SSA *)
+  let errs =
+    ssa_errs
+      "func @f() {\nentry:\n  br loop\nloop:\n  %i = phi [entry: 0], [loop: \
+       %i2]\n  %i2 = add %i, 1\n  %c = icmp slt %i2, 9\n  condbr %c, loop, \
+       exit\nexit:\n  ret\n}"
+  in
+  checki "accepted" 0 (List.length errs)
+
+let test_ssa_check_full_exn_raises () =
+  match
+    Ssa.check_full_exn
+      (Parser.parse_exn_msg
+         "func @f() {\nentry:\n  %x = add %x, 1\n  ret\n}")
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
 let suite =
   [
     ( "cfg",
@@ -306,5 +369,19 @@ let suite =
         Alcotest.test_case "reach basic" `Quick test_reach_basic;
         Alcotest.test_case "path avoiding killer" `Quick test_path_avoiding;
         QCheck_alcotest.to_alcotest prop_dom_vs_cut;
+      ] );
+    ( "ssa",
+      [
+        Alcotest.test_case "accepts diamond+loop" `Quick
+          test_ssa_accepts_diamond_loop;
+        Alcotest.test_case "def must dominate use" `Quick
+          test_ssa_def_must_dominate_use;
+        Alcotest.test_case "self-use rejected" `Quick test_ssa_self_use_rejected;
+        Alcotest.test_case "phi arm checked at predecessor" `Quick
+          test_ssa_phi_arm_checked_at_pred;
+        Alcotest.test_case "loop-carried phi accepted" `Quick
+          test_ssa_loop_carried_phi_ok;
+        Alcotest.test_case "check_full_exn raises" `Quick
+          test_ssa_check_full_exn_raises;
       ] );
   ]

@@ -174,6 +174,65 @@ let test_verify_intrinsic_callee_ok () =
   in
   check Alcotest.int "no errors" 0 (List.length errs)
 
+let test_verify_duplicate_ids () =
+  (* ids are parser-assigned, so forge the collision on the records *)
+  let m = parse () in
+  let clobber (f : Func.t) =
+    {
+      f with
+      Func.blocks =
+        List.map
+          (fun (b : Block.t) ->
+            {
+              b with
+              Block.instrs =
+                List.map
+                  (fun (i : Instr.t) -> { i with Instr.id = 1 })
+                  b.Block.instrs;
+            })
+          f.Func.blocks;
+    }
+  in
+  let m = { m with Irmod.funcs = List.map clobber m.Irmod.funcs } in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "duplicate instruction id")
+       (Verify.check m))
+
+let test_verify_duplicate_labels () =
+  let m = Parser.parse_exn_msg "func @f() {\nentry:\n  br entry\n}" in
+  let dup (f : Func.t) =
+    { f with Func.blocks = f.Func.blocks @ f.Func.blocks }
+  in
+  let m = { m with Irmod.funcs = List.map dup m.Irmod.funcs } in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "duplicate block label")
+       (Verify.check m))
+
+let test_verify_non_positive_size () =
+  let errs =
+    verify_errs
+      "func @f() {\nentry:\n  %a = alloca 8\n  %v = load 0, %a\n  ret\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "non-positive access size")
+       errs)
+
+let test_verify_undefined_global () =
+  let errs =
+    verify_errs "func @f() {\nentry:\n  %v = load 8, @nope\n  ret\n}"
+  in
+  checkb "caught" true
+    (List.exists
+       (fun (e : Verify.error) ->
+         Astring_contains.contains e.what "undefined global")
+       errs)
+
 let test_builder_simple () =
   let b = Builder.create () in
   Builder.add_global b "g" 8;
@@ -272,6 +331,14 @@ let suite =
           test_verify_unknown_callee;
         Alcotest.test_case "verify intrinsic callee" `Quick
           test_verify_intrinsic_callee_ok;
+        Alcotest.test_case "verify duplicate instruction ids" `Quick
+          test_verify_duplicate_ids;
+        Alcotest.test_case "verify duplicate block labels" `Quick
+          test_verify_duplicate_labels;
+        Alcotest.test_case "verify non-positive access size" `Quick
+          test_verify_non_positive_size;
+        Alcotest.test_case "verify undefined global" `Quick
+          test_verify_undefined_global;
         Alcotest.test_case "builder simple" `Quick test_builder_simple;
         Alcotest.test_case "builder rejects unterminated" `Quick
           test_builder_unterminated;

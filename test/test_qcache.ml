@@ -68,6 +68,40 @@ let test_modref_not_mirrored () =
   checkb "swapped modref misses" true
     (Qcache.find_q c (Query.modref_instrs ~tr:Query.Same 2 1) = None)
 
+let test_asymmetric_modref_counters () =
+  (* a directional modref hit must never be credited to canonicalization *)
+  let c = Qcache.create () in
+  let q = Query.modref_instrs ~tr:Query.Before 3 9 in
+  Qcache.add_q c q nomodref_free;
+  checkb "direct hit" true (Qcache.find_q c q <> None);
+  checkb "swapped+flipped form misses" true
+    (Qcache.find_q c (Query.modref_instrs ~tr:Query.After 9 3) = None);
+  let s = Qcache.stats c in
+  checki "one hit" 1 s.Qcache.hits;
+  checki "one miss" 1 s.Qcache.misses;
+  checki "no canonical hits on directional modref" 0 s.Qcache.canonical_hits
+
+(* Canonicalization must never conflate the Mod direction with the Ref
+   direction: modref(i1, tr, i2) asks whether i1 touches what i2 accesses;
+   the swapped (and temporally flipped) query is a different question. *)
+let prop_modref_direction_never_conflated =
+  QCheck.Test.make ~name:"canonicalization keeps Mod vs Ref direction"
+    ~count:200
+    QCheck.(
+      triple (int_bound 50) (int_bound 50)
+        (oneofl [ Query.Before; Query.Same; Query.After ]))
+    (fun (i1, i2, tr) ->
+      QCheck.assume (i1 <> i2);
+      let q = Query.modref_instrs ~tr i1 i2 in
+      let swapped =
+        Query.modref_instrs ~tr:(Query.flip_temporal tr) i2 i1
+      in
+      let c = Qcache.create ~shards:1 () in
+      Qcache.add_q c q nomodref_free;
+      Qcache.key_of q <> Qcache.key_of swapped
+      && Qcache.find_q c swapped = None
+      && (Qcache.stats c).Qcache.canonical_hits = 0)
+
 (* -- key safety: control-flow views hold closures ------------------- *)
 
 let tiny_prog =
@@ -298,6 +332,9 @@ let suite =
         Alcotest.test_case "Same temporal mirrors" `Quick
           test_canonical_same_temporal;
         Alcotest.test_case "modref not mirrored" `Quick test_modref_not_mirrored;
+        Alcotest.test_case "asymmetric modref counters" `Quick
+          test_asymmetric_modref_counters;
+        QCheck_alcotest.to_alcotest prop_modref_direction_never_conflated;
         Alcotest.test_case "ctrl query has no key" `Quick
           test_ctrl_query_has_no_key;
         Alcotest.test_case "ctrl query round-trip (regression)" `Quick
