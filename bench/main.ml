@@ -18,8 +18,14 @@
     - [resilience/*] — checkpoint/journal overhead: an uninstrumented run
       vs. checkpoints-only vs. a forced rollback+replay, plus one chaos
       sweep with the whole ensemble raising behind the circuit breaker.
+    - [trace/*] — the observability layer: the same SCAF sweep with the
+      no-op sink, an enabled-but-sampled-out sink, a collect-everything
+      sink, and a metrics registry attached.
 
-    Run with: dune exec bench/main.exe *)
+    Run with: dune exec bench/main.exe [-- GROUP...] — group names select
+    a subset. The special argument [trace-gate] instead runs the CI
+    regression gate: the enabled-but-sampled-out hot path must stay within
+    tolerance of the no-op-sink baseline (non-zero exit otherwise). *)
 
 open Bechamel
 open Toolkit
@@ -351,6 +357,78 @@ let resilience_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* trace/* — observability overhead                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* one run = the motivating example's hot-loop PDG sweep under SCAF with
+   the given sink / metrics registry attached (fresh resolver per run,
+   like query/scaf-sweep) *)
+let traced_sweep ?metrics (sink : Scaf_trace.Sink.t) () =
+  let p = Lazy.force profiles in
+  let r =
+    (Scaf_pdg.Schemes.scaf_scheme ~trace:sink ?metrics p).Scaf_pdg.Schemes.spawn
+      ()
+  in
+  ignore
+    (Scaf_pdg.Pdg.run_loop p.Scaf_profile.Profiles.ctx
+       ~resolver:r.Scaf_pdg.Schemes.resolve "main:loop")
+
+let trace_tests =
+  [
+    Test.make ~name:"trace/sweep-noop-sink"
+      (Staged.stage (traced_sweep Scaf_trace.Sink.noop));
+    Test.make ~name:"trace/sweep-sampled-out"
+      (Staged.stage (fun () ->
+           traced_sweep (Scaf_trace.Sink.create ~sample_every:1_000_000 ()) ()));
+    Test.make ~name:"trace/sweep-collect-all"
+      (Staged.stage (fun () -> traced_sweep (Scaf_trace.Sink.create ()) ()));
+    Test.make ~name:"trace/sweep-metrics"
+      (Staged.stage (fun () ->
+           traced_sweep
+             ~metrics:(Scaf_trace.Metrics.create ())
+             Scaf_trace.Sink.noop ()));
+  ]
+
+(* The CI regression gate: tracing must be near-zero-cost when it is not
+   collecting. Alternates the no-op-sink sweep with an enabled sink whose
+   sampler rejects every query, and compares medians, so machine drift
+   hits both configurations equally. *)
+let gate_tolerance = 1.35
+
+let trace_gate () =
+  let noop = traced_sweep Scaf_trace.Sink.noop in
+  let sampled_sink = Scaf_trace.Sink.create ~sample_every:1_000_000 () in
+  let sampled = traced_sweep sampled_sink in
+  (* force lazy profiling and warm both paths *)
+  noop ();
+  sampled ();
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let t_noop = ref [] and t_sampled = ref [] in
+  for _ = 1 to 21 do
+    t_noop := time noop :: !t_noop;
+    t_sampled := time sampled :: !t_sampled
+  done;
+  let median xs =
+    let a = List.sort Float.compare xs in
+    List.nth a (List.length a / 2)
+  in
+  let m0 = median !t_noop and m1 = median !t_sampled in
+  let ratio = if m0 > 0.0 then m1 /. m0 else 1.0 in
+  Fmt.pr
+    "trace-gate: noop-sink median %.3f ms, sampled-out median %.3f ms, \
+     ratio %.2f (limit %.2f)@."
+    (1e3 *. m0) (1e3 *. m1) ratio gate_tolerance;
+  if ratio > gate_tolerance then begin
+    Fmt.pr "trace-gate: FAIL — disabled tracing regressed the hot path@.";
+    exit 1
+  end;
+  Fmt.pr "trace-gate: OK@."
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -403,19 +481,29 @@ let precision_table () =
     (nodep_with (fun c ->
          { c with Scaf.Orchestrator.modules = List.rev c.Scaf.Orchestrator.modules }))
 
+let groups =
+  [
+    ("validation", "validation primitives (Figure 7)", validation_tests);
+    ("query", "per-scheme PDG sweeps", query_tests);
+    ("ablation", "ablations (latency)", ablation_tests);
+    ("cache", "cache", cache_tests);
+    ("parallel", "parallel batch engine", parallel_tests);
+    ("substrate", "substrate", substrate_tests);
+    ("resilience", "resilience", resilience_tests);
+    ("trace", "observability", trace_tests);
+  ]
+
 let () =
-  Fmt.pr "== validation primitives (Figure 7) ==@.";
-  run_tests validation_tests;
-  Fmt.pr "@.== per-scheme PDG sweeps ==@.";
-  run_tests query_tests;
-  Fmt.pr "@.== ablations (latency) ==@.";
-  run_tests ablation_tests;
-  Fmt.pr "@.== cache ==@.";
-  run_tests cache_tests;
-  Fmt.pr "@.== parallel batch engine ==@.";
-  run_tests parallel_tests;
-  Fmt.pr "@.== substrate ==@.";
-  run_tests substrate_tests;
-  Fmt.pr "@.== resilience ==@.";
-  run_tests resilience_tests;
-  precision_table ()
+  match List.tl (Array.to_list Sys.argv) with
+  | [ "trace-gate" ] -> trace_gate ()
+  | args ->
+      let want name = args = [] || List.mem name args in
+      List.iter
+        (fun (name, title, tests) ->
+          if want name then begin
+            Fmt.pr "== %s ==@." title;
+            run_tests tests;
+            Fmt.pr "@."
+          end)
+        groups;
+      if want "ablation" then precision_table ()

@@ -1,12 +1,21 @@
 (** scaf-eval: regenerate the paper's evaluation artifacts.
 
     Subcommands: [table1], [fig8], [fig9], [table2], [fig10], [all] (the
-    whole evaluation), [bench NAME] (per-benchmark detail), [speculate
-    NAME] (plan + instrument + run with recovery for one benchmark),
-    [audit] (the framework self-audit: contradiction detection, dynamic
-    oracle, query-plan lint — non-zero exit on soundness findings), and
-    [resilience] (the seeded fault-injection matrix: recovery scenarios
-    plus orchestrator chaos). *)
+    whole evaluation), [bench NAME] (per-benchmark detail), [explain NAME
+    [QUERY]] (pretty-print the full derivation tree of one PDG query),
+    [speculate NAME] (plan + instrument + run with recovery for one
+    benchmark), [audit] (the framework self-audit: contradiction detection,
+    dynamic oracle, query-plan lint — non-zero exit on soundness findings),
+    and [resilience] (the seeded fault-injection matrix: recovery scenarios
+    plus orchestrator chaos).
+
+    The evaluation subcommands share one flag set ({!common}): benchmark
+    selection, worker-domain count, and the observability switches
+    [--cache-stats], [--trace FILE] (Chrome trace_event JSON of the SCAF
+    scheme's derivations) and [--metrics] (counter/histogram registry dump).
+    Observability output goes to stderr or a file — stdout stays
+    byte-identical whatever the flags, preserving the [--jobs] determinism
+    contract. *)
 
 open Cmdliner
 open Scaf_report
@@ -23,6 +32,18 @@ let select_benchmarks (names : string list) : Scaf_suite.Benchmark.t list =
           | Some b -> b
           | None -> Fmt.failwith "unknown benchmark %S" n)
         names
+
+(* ------------------------------------------------------------------ *)
+(* The shared flag set of the evaluation subcommands                   *)
+(* ------------------------------------------------------------------ *)
+
+type common = {
+  benchmarks : string list;
+  jobs : int;
+  cache_stats : bool;
+  trace_out : string option;
+  metrics : bool;
+}
 
 let bench_arg =
   Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME"
@@ -46,7 +67,35 @@ let cache_stats_arg =
     & info [ "cache-stats" ]
         ~doc:
           "Print per-scheme shared-cache counters (hits, canonical hits, \
-           evictions) to stderr after the evaluation.")
+           evictions, lock contention) to stderr after the evaluation.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a provenance tree for every SCAF client query and write \
+           all of them as Chrome trace_event JSON to $(docv) (load in \
+           chrome://tracing or Perfetto). Strictly observational: tables \
+           are unchanged.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Maintain the metrics registry (query classes, cache behaviour, \
+           bail-outs, premise depths, latencies) during the SCAF scheme \
+           and dump it as JSON to stderr after the evaluation.")
+
+let common_term : common Term.t =
+  let mk benchmarks jobs cache_stats trace_out metrics =
+    { benchmarks; jobs; cache_stats; trace_out; metrics }
+  in
+  Term.(
+    const mk $ bench_arg $ jobs_arg $ cache_stats_arg $ trace_arg
+    $ metrics_arg)
 
 let run_table1 () = print_endline Report.table1
 
@@ -56,46 +105,78 @@ let report_cache_stats evals =
       let total = s.Scaf.Qcache.hits + s.Scaf.Qcache.misses in
       Printf.eprintf
         "cache %-12s lookups %8d  hit%% %5.1f  canonical-hits %6d  \
-         evictions %6d  entries %6d\n"
+         evictions %6d  contended %6d  entries %6d\n"
         name total
         (if total = 0 then 0.0
          else 100.0 *. float_of_int s.Scaf.Qcache.hits /. float_of_int total)
         s.Scaf.Qcache.canonical_hits s.Scaf.Qcache.evictions
-        s.Scaf.Qcache.entries)
+        s.Scaf.Qcache.contended s.Scaf.Qcache.entries)
     (Experiments.cache_stats_summary evals)
 
-let with_evals ?(jobs = 1) ?(cache_stats = false) names f =
+let sink_of (c : common) : Scaf_trace.Sink.t option =
+  Option.map (fun _ -> Scaf_trace.Sink.create ~clock ()) c.trace_out
+
+let metrics_of (c : common) : Scaf_trace.Metrics.t option =
+  if c.metrics then Some Scaf_trace.Metrics.global else None
+
+(* Flush the observability flags' output once the run is over: the Chrome
+   trace file and the metrics JSON dump (stderr). *)
+let emit_observability (c : common) (trace : Scaf_trace.Sink.t option) =
+  (match (c.trace_out, trace) with
+  | Some path, Some sink ->
+      let oc = open_out path in
+      output_string oc (Scaf_trace.Sink.to_chrome_json sink);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "trace: wrote %d derivation tree(s)%s to %s\n"
+        (Scaf_trace.Sink.root_count sink)
+        (match Scaf_trace.Sink.dropped sink with
+        | 0 -> ""
+        | d -> Printf.sprintf " (%d dropped)" d)
+        path
+  | _ -> ());
+  if c.metrics then
+    prerr_endline (Scaf_trace.Metrics.to_json Scaf_trace.Metrics.global)
+
+(* Run the evaluation under [c]'s flags and hand the reports to [f]. All
+   observability output lands on stderr or in files, never stdout. *)
+let with_evals ?(sequential = false) (c : common) f =
+  let trace = sink_of c in
+  let metrics = metrics_of c in
+  let jobs = if sequential then 1 else c.jobs in
   let evals =
-    Experiments.evaluate_all ~jobs ~benchmarks:(select_benchmarks names) ()
+    Experiments.evaluate_all ~jobs ?trace ?metrics
+      ~benchmarks:(select_benchmarks c.benchmarks) ()
   in
   f evals;
-  if cache_stats then report_cache_stats evals
+  if c.cache_stats then report_cache_stats evals;
+  emit_observability c trace
 
-let run_fig8 names jobs cache_stats =
-  with_evals ~jobs ~cache_stats names (fun evals ->
+let run_fig8 c =
+  with_evals c (fun evals ->
       print_endline "Figure 8 — dependence coverage (%NoDep, time-weighted):";
       print_endline (Experiments.fig8 evals);
       print_endline (Experiments.fig8_deltas evals))
 
-let run_fig9 names jobs cache_stats =
-  with_evals ~jobs ~cache_stats names (fun evals ->
+let run_fig9 c =
+  with_evals c (fun evals ->
       print_endline "Figure 9 — per-hot-loop Confluence vs SCAF:";
       print_endline (Experiments.fig9 evals))
 
-let run_table2 names jobs cache_stats =
-  with_evals ~jobs ~cache_stats names (fun evals ->
+let run_table2 c =
+  with_evals c (fun evals ->
       print_endline "Table 2 — collaboration coverage:";
       print_endline (Experiments.table2 evals))
 
-let run_fig10 names =
+let run_fig10 c =
   (* latency CDFs need one resolver per scheme timing every query — the
      measurement itself must stay sequential *)
-  with_evals names (fun evals ->
+  with_evals ~sequential:true c (fun evals ->
       print_endline "Figure 10 — query latency CDF:";
       print_endline (Experiments.fig10 ~clock evals))
 
-let run_all names jobs cache_stats =
-  with_evals ~jobs ~cache_stats names (fun evals ->
+let run_all c =
+  with_evals c (fun evals ->
       print_endline "Table 1 — integration approaches:";
       print_endline Report.table1;
       print_endline "";
@@ -109,6 +190,97 @@ let run_all names jobs cache_stats =
       print_endline (Experiments.table2 evals);
       print_endline "Figure 10 — query latency CDF:";
       print_endline (Experiments.fig10 ~clock evals))
+
+(* ------------------------------------------------------------------ *)
+(* explain: one query's full derivation tree                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the PDG workload of [name] through a traced SCAF ensemble,
+   sequentially, with sampling off — the i-th collected tree then IS the
+   derivation of the i-th query issued, so query ids are stable
+   ("<loop>#<index>", or a global index). *)
+let run_explain name query_sel =
+  let b =
+    match Scaf_suite.Registry.find name with
+    | Some b -> b
+    | None -> Fmt.failwith "unknown benchmark %S" name
+  in
+  let m = Scaf_suite.Benchmark.program b in
+  let profiles =
+    Scaf_profile.Profiler.profile_module
+      ~inputs:b.Scaf_suite.Benchmark.train_inputs m
+  in
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let sink = Scaf_trace.Sink.create ~max_roots:max_int ~clock () in
+  let resolver =
+    (Scaf_pdg.Schemes.scaf_scheme ~trace:sink profiles).Scaf_pdg.Schemes.spawn
+      ()
+  in
+  let loops = Scaf_pdg.Nodep.hot_loop_weights profiles in
+  if loops = [] then Fmt.failwith "benchmark %S has no hot loops" name;
+  let entries =
+    List.concat_map
+      (fun (lid, _) ->
+        let before = Scaf_trace.Sink.root_count sink in
+        let r =
+          Scaf_pdg.Pdg.run_loop prog
+            ~resolver:resolver.Scaf_pdg.Schemes.resolve lid
+        in
+        let roots =
+          List.filteri
+            (fun i _ -> i >= before)
+            (Scaf_trace.Sink.roots sink)
+        in
+        List.mapi
+          (fun i (qr : Scaf_pdg.Pdg.qresult) ->
+            (Printf.sprintf "%s#%d" lid i, qr, List.nth_opt roots i))
+          r.Scaf_pdg.Pdg.queries)
+      loops
+  in
+  let print_entry (qid, (qr : Scaf_pdg.Pdg.qresult), root) =
+    Fmt.pr "query %s%s@." qid (if qr.Scaf_pdg.Pdg.nodep then "  [nodep]" else "");
+    match root with
+    | Some n -> Fmt.pr "%s@." (Scaf_trace.Sink.tree_to_string n)
+    | None -> Fmt.pr "  (no derivation tree collected)@."
+  in
+  match query_sel with
+  | Some sel -> (
+      let found =
+        match int_of_string_opt sel with
+        | Some i -> List.nth_opt entries i
+        | None ->
+            List.find_opt (fun (qid, _, _) -> String.equal qid sel) entries
+      in
+      match found with
+      | Some e -> print_entry e
+      | None ->
+          Fmt.failwith
+            "unknown query %S (use \"<loop>#<index>\" or a global index; \
+             %s has %d queries — run without QUERY for the list)"
+            sel name (List.length entries))
+  | None ->
+      Fmt.pr "%s: %d hot loops, %d PDG queries@." name (List.length loops)
+        (List.length entries);
+      List.iter
+        (fun (qid, (qr : Scaf_pdg.Pdg.qresult), _) ->
+          Fmt.pr "  %-24s %a%s@." qid Scaf.Aresult.pp
+            qr.Scaf_pdg.Pdg.resp.Scaf.Response.result
+            (if qr.Scaf_pdg.Pdg.nodep then "  [nodep]" else ""))
+        entries;
+      (* the full tree of the first disproven dependence — the interesting
+         kind — or of the first query when nothing was disproven *)
+      let pick =
+        match
+          List.find_opt (fun (_, qr, _) -> qr.Scaf_pdg.Pdg.nodep) entries
+        with
+        | Some e -> Some e
+        | None -> (match entries with e :: _ -> Some e | [] -> None)
+      in
+      (match pick with
+      | Some e ->
+          Fmt.pr "@.";
+          print_entry e
+      | None -> ())
 
 let run_bench name =
   let b =
@@ -175,9 +347,13 @@ let run_speculate name =
     = (Scaf_interp.Eval.run ~input:b.Scaf_suite.Benchmark.ref_input m)
         .Scaf_interp.Eval.output)
 
-let run_audit names json_out =
-  let benchmarks = select_benchmarks names in
-  let r = Scaf_audit.Audit.run ~benchmarks () in
+let run_audit c json_out =
+  (* the audit is sequential by construction; [c.jobs]/[c.cache_stats] do
+     not apply, the observability flags do *)
+  let benchmarks = select_benchmarks c.benchmarks in
+  let trace = sink_of c in
+  let metrics = metrics_of c in
+  let r = Scaf_audit.Audit.run ?trace ?metrics ~benchmarks () in
   print_string (Scaf_audit.Audit.render r);
   (match json_out with
   | Some path ->
@@ -186,6 +362,7 @@ let run_audit names json_out =
       output_char oc '\n';
       close_out oc
   | None -> ());
+  emit_observability c trace;
   if Scaf_audit.Audit.exit_code r <> 0 then exit 1
 
 let run_resilience seed =
@@ -241,14 +418,20 @@ let run_resilience seed =
             chaos));
   if bad <> [] then exit 1
 
-let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg)
-
-let cmd_jobs name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ bench_arg $ jobs_arg $ cache_stats_arg)
+(* every evaluation subcommand shares the [common] flag set *)
+let cmd_common name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ common_term)
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+
+let query_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Query to explain: \"<loop>#<index>\" or a global index. Omit to \
+           list every query and explain the first disproven dependence.")
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -261,14 +444,22 @@ let () =
        (Cmd.group ~default info
           [
             Cmd.v (Cmd.info "table1" ~doc:"Print Table 1") Term.(const run_table1 $ const ());
-            cmd_jobs "fig8" "Figure 8: %NoDep per benchmark per scheme" run_fig8;
-            cmd_jobs "fig9" "Figure 9: per-loop Confluence vs SCAF" run_fig9;
-            cmd_jobs "table2" "Table 2: collaboration coverage" run_table2;
-            cmd "fig10" "Figure 10: query latency CDF" run_fig10;
-            cmd_jobs "all" "Run the whole evaluation" run_all;
+            cmd_common "fig8" "Figure 8: %NoDep per benchmark per scheme" run_fig8;
+            cmd_common "fig9" "Figure 9: per-loop Confluence vs SCAF" run_fig9;
+            cmd_common "table2" "Table 2: collaboration coverage" run_table2;
+            cmd_common "fig10" "Figure 10: query latency CDF (sequential)" run_fig10;
+            cmd_common "all" "Run the whole evaluation" run_all;
             Cmd.v
               (Cmd.info "bench" ~doc:"Per-benchmark detail")
               Term.(const run_bench $ name_arg);
+            Cmd.v
+              (Cmd.info "explain"
+                 ~doc:
+                   "Pretty-print the SCAF ensemble's full derivation tree \
+                    for one PDG query of a benchmark: modules consulted, \
+                    premise sub-queries at each depth, per-module answers, \
+                    the join decision and the chosen assertion set.")
+              Term.(const run_explain $ name_arg $ query_arg);
             Cmd.v
               (Cmd.info "speculate"
                  ~doc:"Plan, instrument and run one benchmark with recovery")
@@ -280,7 +471,7 @@ let () =
                     the dynamic-dependence oracle, and the query-plan lint. \
                     Exits non-zero on any soundness-class finding.")
               Term.(
-                const run_audit $ bench_arg
+                const run_audit $ common_term
                 $ Arg.(
                     value
                     & opt (some string) None

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a minimal JSON-Schema subset.
+
+Supports: type (object/array/string/number/integer/boolean), properties,
+required, items, enum, minItems — enough for ci/trace_schema.json, with no
+third-party dependencies.
+
+Usage: validate_trace.py SCHEMA.json DOC.json
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"schema violation at {path}: {msg}")
+
+
+TYPES = {
+    "object": lambda d: isinstance(d, dict),
+    "array": lambda d: isinstance(d, list),
+    "string": lambda d: isinstance(d, str),
+    "number": lambda d: isinstance(d, (int, float)) and not isinstance(d, bool),
+    "integer": lambda d: isinstance(d, int) and not isinstance(d, bool),
+    "boolean": lambda d: isinstance(d, bool),
+}
+
+
+def check(doc, schema, path="$"):
+    t = schema.get("type")
+    if t and not TYPES[t](doc):
+        fail(path, f"expected {t}, got {type(doc).__name__}")
+    if "enum" in schema and doc not in schema["enum"]:
+        fail(path, f"{doc!r} not in {schema['enum']}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                fail(path, f"missing required property {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                check(doc[key], sub, f"{path}.{key}")
+    if isinstance(doc, list):
+        if len(doc) < schema.get("minItems", 0):
+            fail(path, f"fewer than {schema['minItems']} items")
+        items = schema.get("items")
+        if items is not None:
+            for i, el in enumerate(doc):
+                check(el, items, f"{path}[{i}]")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: validate_trace.py SCHEMA.json DOC.json")
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        doc = json.load(f)
+    check(doc, schema)
+    n = len(doc.get("traceEvents", [])) if isinstance(doc, dict) else 0
+    print(f"trace OK: {n} events validated against {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

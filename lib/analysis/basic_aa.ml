@@ -92,7 +92,7 @@ let answer_alias (prog : Progctx.t) (q : Query.alias_q) : Response.t =
       else Response.bottom_alias
   | _ -> Response.bottom_alias
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) :
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) :
     Response.t =
   match q with
   | Query.Alias a -> answer_alias prog a
@@ -102,7 +102,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) :
          accesses *)
       match Autil.footprint_alias_premise prog m ~dr:Query.DNoAlias () with
       | Some premise ->
-          let presp = ctx.Module_api.handle (Query.Alias premise) in
+          let presp = Module_api.Ctx.ask ctx (Query.Alias premise) in
           let lifted =
             Autil.modref_of_alias_response prog m.Query.minstr presp
           in

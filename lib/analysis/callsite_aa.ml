@@ -49,7 +49,7 @@ let arg_regions (callee : string) (args : Value.t list) :
   | _ -> None
 
 (* How does a call with [callee] relate to location [loc]? *)
-let call_vs_loc (prog : Progctx.t) (ctx : Module_api.ctx) ~(tr : Query.temporal)
+let call_vs_loc (prog : Progctx.t) (ctx : Module_api.Ctx.t) ~(tr : Query.temporal)
     ~(loop : string option) ~(cc : int list option) (callee : string)
     (args : Value.t list) (call_fname : string) (loc : Query.memloc) :
     Response.t =
@@ -88,7 +88,7 @@ let call_vs_loc (prog : Progctx.t) (ctx : Module_api.ctx) ~(tr : Query.temporal)
                   (p, size)
                   (loc.Query.ptr, loc.Query.size)
               in
-              let presp = ctx.Module_api.handle premise in
+              let presp = Module_api.Ctx.ask ctx premise in
               match presp.Response.result with
               | Aresult.RAlias Aresult.NoAlias ->
                   go
@@ -103,7 +103,7 @@ let call_vs_loc (prog : Progctx.t) (ctx : Module_api.ctx) ~(tr : Query.temporal)
     Response.free (Aresult.RModref Aresult.Ref)
   else Response.bottom_modref
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Alias _ -> Module_api.no_answer q

@@ -29,7 +29,7 @@ let rec strip (prog : Progctx.t) (fname : string) (depth : int) (v : Value.t) :
         | _ -> (v, 0L))
     | _ -> (v, 0L)
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
@@ -60,7 +60,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
               ?cc:a.Query.acc ~dr:Query.DMustAlias ~tr:a.Query.atr (root1, 1)
               (root2, 1)
           in
-          let presp = ctx.Module_api.handle premise in
+          let presp = Module_api.Ctx.ask ctx premise in
           match presp.Response.result with
           | Aresult.RAlias Aresult.MustAlias ->
               { presp with Response.result = Aresult.RAlias res }

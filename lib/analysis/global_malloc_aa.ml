@@ -23,7 +23,7 @@ let max_offenders = 4
 
 (* Try to prove every offending store harmless w.r.t. global [g]; returns
    the combined assertion options on success. *)
-let discharge (ctx : Module_api.ctx) (g : string)
+let discharge (ctx : Module_api.Ctx.t) (g : string)
     (offenders : Globsum.store_info list) :
     (Assertion.t list list * Response.Sset.t) option =
   if List.length offenders > max_offenders then None
@@ -35,7 +35,7 @@ let discharge (ctx : Module_api.ctx) (g : string)
             Query.modref_loc ~tr:Query.Same s.Globsum.sid
               (Value.Global g, 8, s.Globsum.sfname)
           in
-          let presp = ctx.Module_api.handle premise in
+          let presp = Module_api.Ctx.ask ctx premise in
           match presp.Response.result with
           | Aresult.RModref Aresult.NoModRef ->
               go
@@ -46,7 +46,7 @@ let discharge (ctx : Module_api.ctx) (g : string)
     in
     go [ [] ] Response.Sset.empty offenders
 
-let region_of (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.ctx)
+let region_of (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.Ctx.t)
     ~(fname : string) (v : Value.t) :
     (region * Assertion.t list list * Response.Sset.t) list =
   List.map
@@ -85,7 +85,7 @@ let disjoint (r1 : region) (r2 : region) : bool =
   | RSite a, RSite b -> Ptrexpr.distinct_objects a b
   | _ -> false
 
-let answer (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.ctx)
+let answer (prog : Progctx.t) (gsum : Globsum.t) (ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
   match q with
   | Query.Modref _ -> Module_api.no_answer q

@@ -14,7 +14,7 @@ open Scaf_cfg
 let rec gcd64 (a : int64) (b : int64) : int64 =
   if Int64.equal b 0L then Int64.abs a else gcd64 b (Int64.rem a b)
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
@@ -73,7 +73,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
                             (f1.Affine.root, 1)
                             (f2.Affine.root, 1)
                         in
-                        let presp = ctx.Module_api.handle premise in
+                        let presp = Module_api.Ctx.ask ctx premise in
                         match presp.Response.result with
                         | Aresult.RAlias Aresult.MustAlias ->
                             {

@@ -95,7 +95,7 @@ let paths_all_killed (ctrl : Ctrl.t) ~(loop : Loops.loop option)
                      l.Loops.latches))
   | _ -> false
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Alias _ -> Module_api.no_answer q
@@ -167,7 +167,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
                                         adr = Some Query.DMustAlias;
                                       }
                                   in
-                                  let presp = ctx.Module_api.handle premise in
+                                  let presp = Module_api.Ctx.ask ctx premise in
                                   match presp.Response.result with
                                   | Aresult.RAlias Aresult.MustAlias ->
                                       Some presp

@@ -10,7 +10,7 @@ open Scaf
 open Scaf_cfg
 
 let answer (prog : Progctx.t) (cache : (int, bool) Hashtbl.t)
-    (_ctx : Module_api.ctx) (q : Query.t) : Response.t =
+    (_ctx : Module_api.Ctx.t) (q : Query.t) : Response.t =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
   | Query.Alias a -> (

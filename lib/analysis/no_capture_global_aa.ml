@@ -61,7 +61,7 @@ let capture_offenders (prog : Progctx.t) (g : string) : int list option =
     (loads_of_global prog g);
   if !ok then Some (List.sort_uniq compare !offenders) else None
 
-let discharge_instrs (prog : Progctx.t) (ctx : Module_api.ctx)
+let discharge_instrs (prog : Progctx.t) (ctx : Module_api.Ctx.t)
     (ids : int list) : (Assertion.t list list * Response.Sset.t) option =
   if List.length ids > max_offenders then None
   else
@@ -80,7 +80,7 @@ let discharge_instrs (prog : Progctx.t) (ctx : Module_api.ctx)
                 | None -> (Value.Null, 1, fname)
               in
               let premise = Query.modref_loc ~tr:Query.Same id loc in
-              let presp = ctx.Module_api.handle premise in
+              let presp = Module_api.Ctx.ask ctx premise in
               match presp.Response.result with
               | Aresult.RModref Aresult.NoModRef ->
                   go
@@ -173,7 +173,7 @@ let props_of (prog : Progctx.t) (gsum : Globsum.t) (cache : gcache) (g : string)
       v
 
 let answer (prog : Progctx.t) (gsum : Globsum.t) (cache : gcache)
-    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+    (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
   | Query.Alias a ->

@@ -39,7 +39,7 @@ let offenders_of (prog : Progctx.t) (cache : (int, int list option) Hashtbl.t)
       Hashtbl.replace cache site v;
       v
 
-let discharge (prog : Progctx.t) (ctx : Module_api.ctx) (ids : int list) :
+let discharge (prog : Progctx.t) (ctx : Module_api.Ctx.t) (ids : int list) :
     (Assertion.t list list * Response.Sset.t) option =
   if List.length ids > max_offenders then None
   else
@@ -56,7 +56,7 @@ let discharge (prog : Progctx.t) (ctx : Module_api.ctx) (ids : int list) :
                 | None -> (Value.Null, 1, fname)
               in
               let premise = Query.modref_loc ~tr:Query.Same id loc in
-              let presp = ctx.Module_api.handle premise in
+              let presp = Module_api.Ctx.ask ctx premise in
               match presp.Response.result with
               | Aresult.RModref Aresult.NoModRef ->
                   go
@@ -80,7 +80,7 @@ let all_opaque (prog : Progctx.t) ~(fname : string) (v : Value.t) : bool =
        rs
 
 let answer (prog : Progctx.t) (cache : (int, int list option) Hashtbl.t)
-    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+    (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
   | Query.Alias a ->

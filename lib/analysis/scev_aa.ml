@@ -10,7 +10,7 @@ open Scaf
 open Scaf_ir
 open Scaf_cfg
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
@@ -53,7 +53,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
                       (f1.Affine.root, 1)
                       (f2.Affine.root, 1)
                   in
-                  let presp = ctx.Module_api.handle premise in
+                  let presp = Module_api.Ctx.ask ctx premise in
                   match presp.Response.result with
                   | Aresult.RAlias Aresult.MustAlias ->
                       compare_with presp.Response.options

@@ -135,7 +135,7 @@ let summarize (prog : Progctx.t) : (string, summary) Hashtbl.t =
 (* Answer "how does a call to [callee](args) relate to [loc]" using the
    summary, premise-comparing argument pointers against [loc]. *)
 let call_vs_loc (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
-    (ctx : Module_api.ctx) ~(tr : Query.temporal) ~(loop : string option)
+    (ctx : Module_api.Ctx.t) ~(tr : Query.temporal) ~(loop : string option)
     ~(cc : int list option) ~(call_fname : string) (callee : string)
     (args : Value.t list) (loc : Query.memloc) : Response.t =
   match Hashtbl.find_opt sums callee with
@@ -181,7 +181,7 @@ let call_vs_loc (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
                             ~dr:Query.DNoAlias ~tr (v, loc.Query.size)
                             (loc.Query.ptr, loc.Query.size)
                         in
-                        let presp = ctx.Module_api.handle premise in
+                        let presp = Module_api.Ctx.ask ctx premise in
                         match presp.Response.result with
                         | Aresult.RAlias Aresult.NoAlias ->
                             ( false,
@@ -210,7 +210,7 @@ let call_vs_loc (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
       end)
 
 let answer (prog : Progctx.t) (sums : (string, summary) Hashtbl.t)
-    (ctx : Module_api.ctx) (q : Query.t) : Response.t =
+    (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t =
   match q with
   | Query.Alias _ -> Module_api.no_answer q
   | Query.Modref mq -> (

@@ -19,7 +19,7 @@ let answer_alias (prog : Progctx.t) (q : Query.alias_q) : Response.t =
   then Response.free (Aresult.RAlias Aresult.NoAlias)
   else Response.bottom_alias
 
-let answer (prog : Progctx.t) (_ctx : Module_api.ctx) (q : Query.t) :
+let answer (prog : Progctx.t) (_ctx : Module_api.Ctx.t) (q : Query.t) :
     Response.t =
   match q with
   | Query.Alias a -> answer_alias prog a

@@ -77,7 +77,7 @@ let interfering_stores (prog : Progctx.t) ~(lid : string option)
         | _ -> ());
   List.rev !out
 
-let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
+let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.t
     =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
@@ -116,7 +116,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.ctx) (q : Query.t) : Response.t
                           Query.modref_loc ~tr:Query.Same ?loop:a.Query.aloop
                             s.Instr.id (slot1, ssize1, f1)
                         in
-                        let presp = ctx.Module_api.handle premise in
+                        let presp = Module_api.Ctx.ask ctx premise in
                         match presp.Response.result with
                         | Aresult.RModref Aresult.NoModRef
                         | Aresult.RModref Aresult.Ref ->

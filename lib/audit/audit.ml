@@ -25,21 +25,25 @@ type report = {
 }
 
 let scaf_config ?(extra_modules = fun (_ : Profiles.t) -> [])
-    (profiles : Profiles.t) : Orchestrator.config =
+    ?(trace = Scaf_trace.Sink.noop) ?metrics (profiles : Profiles.t) :
+    Orchestrator.config =
   let prog = profiles.Profiles.ctx in
-  Orchestrator.default_config
-    (Scaf_analysis.Registry.create prog
-    @ Scaf_speculation.Registry.create profiles
-    @ extra_modules profiles)
+  let base =
+    Orchestrator.default_config
+      (Scaf_analysis.Registry.create prog
+      @ Scaf_speculation.Registry.create profiles
+      @ extra_modules profiles)
+  in
+  { base with Orchestrator.trace; metrics }
 
-let audit_bench ?extra_modules (cards : Oracle.cards) (b : Benchmark.t) :
-    Finding.t list * Orchestrator.config * int =
+let audit_bench ?extra_modules ?trace ?metrics (cards : Oracle.cards)
+    (b : Benchmark.t) : Finding.t list * Orchestrator.config * int =
   let m = Benchmark.program b in
   let profiles =
     Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
   in
   let prog = profiles.Profiles.ctx in
-  let config = scaf_config ?extra_modules profiles in
+  let config = scaf_config ?extra_modules ?trace ?metrics profiles in
   let orch = Orchestrator.create prog config in
   let train, any =
     Oracle.observe prog ~train:b.Benchmark.train_inputs
@@ -58,13 +62,15 @@ let audit_bench ?extra_modules (cards : Oracle.cards) (b : Benchmark.t) :
 
 (** Run the full audit. [extra_modules] appends modules under audit to the
     shipped ensemble (used by tests to demonstrate that a deliberately
-    broken module is caught). *)
-let run ?extra_modules ?(benchmarks = Registry.all) () : report =
+    broken module is caught). [trace]/[metrics] attach an observability
+    sink and a metrics registry to every orchestrator the audit builds. *)
+let run ?extra_modules ?trace ?metrics ?(benchmarks = Registry.all) () :
+    report =
   let cards = Oracle.create_cards () in
   let findings, queries, modules, lint_done =
     List.fold_left
       (fun (fs, qs, mods, linted) b ->
-        let bfs, config, q = audit_bench ?extra_modules cards b in
+        let bfs, config, q = audit_bench ?extra_modules ?trace ?metrics cards b in
         let lint_fs, mods =
           if linted then ([], mods)
           else
@@ -182,11 +188,12 @@ let to_json (r : report) : string =
   let str s = Printf.sprintf "\"%s\"" (json_escape s) in
   let finding (f : Finding.t) =
     Printf.sprintf
-      "{\"pass\":%s,\"severity\":%s,\"module\":%s,\"benchmark\":%s,\"query\":%s,\"detail\":%s,\"witness\":%s}"
+      "{\"pass\":%s,\"severity\":%s,\"module\":%s,\"benchmark\":%s,\"query\":%s,\"detail\":%s,\"witness\":%s,\"explain\":%s}"
       (str (Finding.pass_name f.Finding.pass))
       (str (Finding.severity_name f.Finding.severity))
       (str f.Finding.modname) (str f.Finding.bench) (str f.Finding.query)
       (str f.Finding.detail) (str f.Finding.witness)
+      (str f.Finding.explain)
   in
   let card (c : Oracle.card) =
     Printf.sprintf

@@ -24,10 +24,25 @@ open Scaf
 
 let render_query (q : Query.t) : string = Fmt.str "%a" Query.pp q
 
+(** The ensemble's derivation tree for [q], rendered: a fresh traced
+    orchestrator (same program, same configuration, fresh cache — replaying
+    through the shared memo table would show only a cache hit with no
+    consults) re-resolves the query with a collecting sink attached. *)
+let explain_query (orch : Orchestrator.t) (q : Query.t) : string =
+  let sink = Scaf_trace.Sink.create () in
+  let o =
+    Orchestrator.create (Orchestrator.prog orch)
+      { (Orchestrator.config orch) with Orchestrator.trace = sink }
+  in
+  ignore (Orchestrator.handle o q);
+  match Scaf_trace.Sink.roots sink with
+  | n :: _ -> Scaf_trace.Sink.tree_to_string n
+  | [] -> ""
+
 (* Assertion-free definite claims only: speculative options may legally
    contradict each other (each is validated at runtime). *)
 let free_alias (r : Response.t) : Aresult.alias_res option =
-  if not (Response.has_unconditional_option r) then None
+  if not (Response.Options.has_unconditional r.Response.options) then None
   else match r.Response.result with Aresult.RAlias a -> Some a | _ -> None
 
 let contradictory (a : Aresult.alias_res) (b : Aresult.alias_res) : bool =
@@ -51,8 +66,8 @@ let mirror (q : Query.t) : Query.t option =
   | Query.Modref _ -> None
 
 (* Pairwise free-answer contradictions within one fan-out. *)
-let check_pairwise ~bench ~query ~witness (answers : (string * Response.t) list)
-    : Finding.t list =
+let check_pairwise ~bench ~query ~witness ~explain
+    (answers : (string * Response.t) list) : Finding.t list =
   let frees =
     List.filter_map
       (fun (name, r) -> Option.map (fun a -> (name, a)) (free_alias r))
@@ -68,7 +83,7 @@ let check_pairwise ~bench ~query ~witness (answers : (string * Response.t) list)
                 Finding.make ~pass:Finding.Contradiction
                   ~severity:Finding.Soundness
                   ~modname:(Printf.sprintf "%s vs %s" n1 n2)
-                  ~bench ~query ~witness:(witness ())
+                  ~bench ~query ~witness:(witness ()) ~explain:(explain ())
                   (Printf.sprintf
                      "assertion-free answers contradict: %s says %s, %s says \
                       %s"
@@ -82,8 +97,8 @@ let check_pairwise ~bench ~query ~witness (answers : (string * Response.t) list)
   pairs [] frees
 
 (* Per-module symmetry under operand swap + temporal flip. *)
-let check_symmetry (orch : Orchestrator.t) ~bench ~witness (q : Query.t)
-    (answers : (string * Response.t) list) : Finding.t list =
+let check_symmetry (orch : Orchestrator.t) ~bench ~witness ~explain
+    (q : Query.t) (answers : (string * Response.t) list) : Finding.t list =
   match mirror q with
   | None -> []
   | Some mq ->
@@ -99,6 +114,7 @@ let check_symmetry (orch : Orchestrator.t) ~bench ~witness (q : Query.t)
                     Finding.make ~pass:Finding.Contradiction
                       ~severity:Finding.Soundness ~modname:name ~bench
                       ~query:(render_query q) ~witness:(witness ())
+                      ~explain:(explain ())
                       (Printf.sprintf
                          "free answers to a query and its mirror contradict: \
                           %s vs %s under operand swap + flip_temporal"
@@ -126,7 +142,7 @@ let check_monotonicity (orch : Orchestrator.t) ~bench (q : Query.t)
   List.filter_map
     (fun (name, r) ->
       if
-        Response.has_unconditional_option r
+        Response.Options.has_unconditional r.Response.options
         && Aresult.pr r.Response.result > joined_pr
       then
         Some
@@ -159,7 +175,10 @@ let check_loop (orch : Orchestrator.t) (prog : Scaf_cfg.Progctx.t)
     (fun q ->
       let answers = Orchestrator.consult_all orch q in
       let query = render_query q in
-      check_pairwise ~bench ~query ~witness answers
-      @ check_symmetry orch ~bench ~witness q answers
+      (* the derivation tree is only rendered when a finding embeds it *)
+      let e = lazy (explain_query orch q) in
+      let explain () = Lazy.force e in
+      check_pairwise ~bench ~query ~witness ~explain answers
+      @ check_symmetry orch ~bench ~witness ~explain q answers
       @ check_monotonicity orch ~bench q answers)
     (dep_queries @ alias_queries)

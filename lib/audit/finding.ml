@@ -23,6 +23,10 @@ type t = {
   query : string;  (** rendered query, or "" *)
   detail : string;  (** what exactly is wrong *)
   witness : string;  (** shrunk witness program, or "" *)
+  explain : string;
+      (** rendered provenance tree of the implicated query — how the
+          ensemble actually derived its answer (modules consulted, premise
+          sub-queries, join decisions) — or "" *)
 }
 
 let severity_name = function
@@ -49,14 +53,18 @@ let compare (a : t) (b : t) : int =
   | c -> c
 
 let make ~pass ~severity ~modname ?(bench = "-") ?(query = "") ?(witness = "")
-    detail : t =
-  { pass; severity; modname; bench; query; detail; witness }
+    ?(explain = "") detail : t =
+  { pass; severity; modname; bench; query; detail; witness; explain }
+
+let pp_indented ppf (s : string) =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:Fmt.cut (fun ppf l -> Fmt.pf ppf "    %s" l))
+    (String.split_on_char '\n' s)
 
 let pp ppf (f : t) =
   Fmt.pf ppf "[%s] %s/%s %s: %s" (severity_name f.severity) (pass_name f.pass)
     f.modname f.bench f.detail;
   if f.query <> "" then Fmt.pf ppf "@.  query: %s" f.query;
-  if f.witness <> "" then
-    Fmt.pf ppf "@.  witness:@.%a"
-      (Fmt.list ~sep:Fmt.cut (fun ppf l -> Fmt.pf ppf "    %s" l))
-      (String.split_on_char '\n' f.witness)
+  if f.witness <> "" then Fmt.pf ppf "@.  witness:@.%a" pp_indented f.witness;
+  if f.explain <> "" then
+    Fmt.pf ppf "@.  derivation:@.%a" pp_indented f.explain

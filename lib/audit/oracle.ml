@@ -68,7 +68,7 @@ let tally (cards : cards) (name : string) (r : Response.t) : card =
   c.consulted <- c.consulted + 1;
   if not (Aresult.is_bottom r.Response.result) then begin
     c.answered <- c.answered + 1;
-    if Response.has_unconditional_option r then c.free <- c.free + 1
+    if Response.Options.has_unconditional r.Response.options then c.free <- c.free + 1
     else c.speculative <- c.speculative + 1;
     if Scaf_pdg.Pdg.affordable_nodep r then c.nodep <- c.nodep + 1
   end;
@@ -139,8 +139,9 @@ let value_predicted (r : Response.t) : bool =
    cross) any one of which contradicts the claim — alias claims deny both
    directions, dependence claims exactly one. *)
 let grade ~bench ~lid ~(train : Depwatch.t) ~(any : Depwatch.t) ~witness
-    ~(evidence : (int * int * bool) list) ~(claim : string) (name : string)
-    (r : Response.t) (card : card) (q : Query.t) : Finding.t option =
+    ~explain ~(evidence : (int * int * bool) list) ~(claim : string)
+    (name : string) (r : Response.t) (card : card) (q : Query.t) :
+    Finding.t option =
   let disproves =
     match (q, r.Response.result) with
     | Query.Modref _, Aresult.RModref Aresult.NoModRef -> true
@@ -157,6 +158,7 @@ let grade ~bench ~lid ~(train : Depwatch.t) ~(any : Depwatch.t) ~witness
     Some
       (Finding.make ~pass:Finding.Oracle ~severity:Finding.Soundness
          ~modname:name ~bench ~query:(render_query q) ~witness:(witness ())
+         ~explain:(explain ())
          (Printf.sprintf
             "%s %s contradicted by %s: dependence %d -> %d (%s-iteration) \
              manifested in loop %s"
@@ -168,7 +170,7 @@ let grade ~bench ~lid ~(train : Depwatch.t) ~(any : Depwatch.t) ~witness
             lid))
   in
   if not disproves then None
-  else if Response.has_unconditional_option r then
+  else if Response.Options.has_unconditional r.Response.options then
     match manifested any with
     | Some ev -> finding ~phrase:"assertion-free" ev
     | None -> None
@@ -212,10 +214,12 @@ let check_loop (orch : Orchestrator.t) (prog : Progctx.t) ~(bench : string)
   in
   List.concat_map
     (fun (q, evidence, claim) ->
+      let e = lazy (Contradiction.explain_query orch q) in
+      let explain () = Lazy.force e in
       List.filter_map
         (fun (name, r) ->
           let card = tally cards name r in
-          grade ~bench ~lid ~train ~any ~witness ~evidence ~claim name r card
-            q)
+          grade ~bench ~lid ~train ~any ~witness ~explain ~evidence ~claim
+            name r card q)
         (Orchestrator.consult_all orch q))
     (dep_work @ alias_work)

@@ -43,7 +43,11 @@ let product (s1 : Assertion.t list list) (s2 : Assertion.t list list) :
 
 (* cheaper(S1, S2): the side whose best option costs less. *)
 let cheaper (r1 : Response.t) (r2 : Response.t) : Response.t =
-  if Response.cheapest_cost r1 <= Response.cheapest_cost r2 then r1 else r2
+  if
+    Response.Options.cheapest_cost r1.Response.options
+    <= Response.Options.cheapest_cost r2.Response.options
+  then r1
+  else r2
 
 (* Same-precision but contradictory results (e.g. NoAlias vs MustAlias).
    With speculation in play this is possible under different profiles; the
@@ -51,11 +55,13 @@ let cheaper (r1 : Response.t) (r2 : Response.t) : Response.t =
    indicate an analysis bug (§3.3), which we surface via Logs. *)
 let handle_conflicting_results (r1 : Response.t) (r2 : Response.t) :
     Response.t =
-  if Response.has_free_option r1 && Response.has_free_option r2 then
+  let free1 = Response.Options.has_free r1.Response.options
+  and free2 = Response.Options.has_free r2.Response.options in
+  if free1 && free2 then
     Logs.warn (fun m ->
         m "conflicting assertion-free analysis results: %a vs %a — analysis bug"
           Aresult.pp r1.Response.result Aresult.pp r2.Response.result);
-  match (Response.has_free_option r1, Response.has_free_option r2) with
+  match (free1, free2) with
   | true, false -> r1
   | false, true -> r2
   | _ -> cheaper r1 r2

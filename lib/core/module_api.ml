@@ -2,16 +2,56 @@
 
     A module — memory analysis or speculation — answers queries through
     [answer]. *Factored* modules may formulate premise queries from an
-    incoming query and submit them through [ctx.handle]; the Orchestrator
+    incoming query and submit them through [Ctx.ask]; the Orchestrator
     routes premises through the whole ensemble, so a module never knows (or
     cares) who resolves them (§3.1). *)
 
-type ctx = {
-  prog : Scaf_cfg.Progctx.t;
-  handle : Query.t -> Response.t;
-      (** submit a premise query back to the Orchestrator *)
-  depth : int;  (** premise nesting depth of the incoming query *)
-}
+(** The evaluation context handed to every module. One extensible record
+    (constructed only through {!Ctx.make}, read only through accessors)
+    instead of the accreted positional parameters of old: growing a new
+    capability — the trace sink was the first — adds a field and a default
+    here, and no module signature anywhere changes. *)
+module Ctx = struct
+  type t = {
+    prog : Scaf_cfg.Progctx.t;
+    ask : Query.t -> Response.t;
+        (** the premise oracle: submit a premise query back to the
+            Orchestrator *)
+    depth : int;  (** premise nesting depth of the incoming query *)
+    desired : Query.desired option;
+        (** the incoming query's desired-result parameter, if any *)
+    loop : string option;  (** the incoming query's loop scope, if any *)
+    ctrl_view : Scaf_cfg.Ctrl.t option;
+        (** speculative control-flow view carried by the incoming query *)
+    sink : Scaf_trace.Sink.t;  (** trace sink (noop unless tracing) *)
+  }
+
+  let make ?(depth = 0) ?desired ?loop ?ctrl_view
+      ?(sink = Scaf_trace.Sink.noop) ~(ask : Query.t -> Response.t)
+      (prog : Scaf_cfg.Progctx.t) : t =
+    { prog; ask; depth; desired; loop; ctrl_view; sink }
+
+  let prog (t : t) = t.prog
+  let ask (t : t) (q : Query.t) : Response.t = t.ask q
+  let depth (t : t) = t.depth
+  let desired (t : t) = t.desired
+  let loop (t : t) = t.loop
+  let sink (t : t) = t.sink
+
+  (** The control-flow view to reason under: the speculative view carried
+      by the incoming query when present, the static one otherwise. *)
+  let ctrl (t : t) ~(fname : string) : Scaf_cfg.Ctrl.t option =
+    match t.ctrl_view with
+    | Some v -> Some v
+    | None -> Scaf_cfg.Progctx.ctrl_of t.prog fname
+
+  (** [with_ask ask t] — [t] with the premise oracle replaced (wrappers and
+      tests interpose on premise routing without rebuilding the record). *)
+  let with_ask (ask : Query.t -> Response.t) (t : t) : t = { t with ask }
+end
+
+(** @deprecated spelling of {!Ctx.t}; gone next PR. *)
+type ctx = Ctx.t
 
 type kind = Memory | Speculation
 
@@ -35,7 +75,7 @@ let qclass_of_query (q : Query.t) : qclass =
 
 (** Declared capabilities: which query classes a module may improve
     ([answers]) and which classes of premise queries it may submit through
-    [ctx.handle] ([emits]). Purely declarative — the Orchestrator never
+    [Ctx.ask] ([emits]). Purely declarative — the Orchestrator never
     filters on them — but the audit layer's query-plan lint cross-checks
     them against the client query language and the ensemble wiring. *)
 type caps = { answers : qclass list; emits : qclass list }
@@ -50,7 +90,7 @@ type t = {
   kind : kind;
   factored : bool;  (** does this module generate premise queries? *)
   caps : caps;
-  answer : ctx -> Query.t -> Response.t;
+  answer : Ctx.t -> Query.t -> Response.t;
 }
 
 (** "I cannot improve on the conservative answer." *)

@@ -2,16 +2,61 @@
 
     A module — memory analysis or speculation — answers queries through
     [answer]. *Factored* modules may formulate premise queries from an
-    incoming query and submit them through [ctx.handle]; the Orchestrator
+    incoming query and submit them through [Ctx.ask]; the Orchestrator
     routes premises through the whole ensemble, so a module never knows who
     resolves them (§3.1). *)
 
-type ctx = {
-  prog : Scaf_cfg.Progctx.t;
-  handle : Query.t -> Response.t;
-      (** submit a premise query back to the Orchestrator *)
-  depth : int;  (** premise nesting depth of the incoming query *)
-}
+(** The evaluation context handed to every module: one extensible,
+    abstract record instead of accreted positional parameters. Modules
+    read it through accessors only, so growing a new capability (the trace
+    sink was the first) changes no module signature. Only the Orchestrator
+    (or a test harness) builds one, via {!Ctx.make}. *)
+module Ctx : sig
+  type t
+
+  (** [make ~ask prog] — a context whose premise oracle is [ask]. All
+      capability fields default to absent; the Orchestrator fills them
+      from the incoming query and its configuration. *)
+  val make :
+    ?depth:int ->
+    ?desired:Query.desired ->
+    ?loop:string ->
+    ?ctrl_view:Scaf_cfg.Ctrl.t ->
+    ?sink:Scaf_trace.Sink.t ->
+    ask:(Query.t -> Response.t) ->
+    Scaf_cfg.Progctx.t ->
+    t
+
+  (** The program under analysis. *)
+  val prog : t -> Scaf_cfg.Progctx.t
+
+  (** [ask t pq] — submit premise query [pq] back to the Orchestrator,
+      which routes it through the whole ensemble. *)
+  val ask : t -> Query.t -> Response.t
+
+  (** Premise nesting depth of the incoming query (0 = client query). *)
+  val depth : t -> int
+
+  (** The incoming query's desired-result parameter, if any. *)
+  val desired : t -> Query.desired option
+
+  (** The incoming query's loop scope, if any. *)
+  val loop : t -> string option
+
+  (** The trace sink ({!Scaf_trace.Sink.noop} unless tracing is on). *)
+  val sink : t -> Scaf_trace.Sink.t
+
+  (** The control-flow view to reason under: the speculative
+      dominator/post-dominator trees carried by the incoming query when
+      present, the function's static ones otherwise. *)
+  val ctrl : t -> fname:string -> Scaf_cfg.Ctrl.t option
+
+  (** [with_ask ask t] — [t] with the premise oracle replaced. *)
+  val with_ask : (Query.t -> Response.t) -> t -> t
+end
+
+(** @deprecated spelling of {!Ctx.t}; gone next PR. *)
+type ctx = Ctx.t
 
 type kind = Memory | Speculation
 
@@ -38,7 +83,7 @@ type t = {
   kind : kind;
   factored : bool;  (** does this module generate premise queries? *)
   caps : caps;
-  answer : ctx -> Query.t -> Response.t;
+  answer : Ctx.t -> Query.t -> Response.t;
 }
 
 (** "I cannot improve on the conservative answer." *)
@@ -52,7 +97,7 @@ val make :
   name:string ->
   kind:kind ->
   factored:bool ->
-  (ctx -> Query.t -> Response.t) ->
+  (Ctx.t -> Query.t -> Response.t) ->
   t
 
 (** [with_caps caps m] — [m] with its capability declaration replaced. *)

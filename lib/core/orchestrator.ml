@@ -8,7 +8,16 @@
 
     Configurability per the paper: module subset and order, join policy
     (ALL vs CHEAPEST), bail-out policy (definite-and-free, definite-at-any-
-    cost, exhaustive), and the desired-result ablation switch. *)
+    cost, exhaustive), and the desired-result ablation switch.
+
+    Observability (optional, off by default): a {!Scaf_trace.Sink.t}
+    receives one provenance tree per sampled client query, and a
+    {!Scaf_trace.Metrics.t} registry receives counters and latency
+    histograms. Both are strictly observational — with the no-op sink and
+    no registry the query path is the plain Algorithm 1. *)
+
+module Sink = Scaf_trace.Sink
+module Metrics = Scaf_trace.Metrics
 
 type bailout =
   | Definite_free  (** stop at a maximally precise, assertion-free answer *)
@@ -32,6 +41,9 @@ type config = {
           arriving past it is discarded as a fault *)
   breaker_threshold : int;
       (** quarantine a module after this many consecutive faults *)
+  trace : Sink.t;
+      (** provenance-tree sink; {!Scaf_trace.Sink.noop} disables tracing *)
+  metrics : Metrics.t option;  (** metrics registry, if any *)
 }
 
 let default_config (modules : Module_api.t list) : config =
@@ -44,6 +56,8 @@ let default_config (modules : Module_api.t list) : config =
     clock = None;
     module_budget = None;
     breaker_threshold = 3;
+    trace = Sink.noop;
+    metrics = None;
   }
 
 (* Internal mutable counters; exposed to clients only as the immutable
@@ -79,6 +93,56 @@ type health = {
   mutable quarantined : bool;
 }
 
+(* Metric handles resolved once at [create], so the hot path never touches
+   the registry's name table. *)
+type mx = {
+  mx_client : Metrics.counter;
+  mx_premise : Metrics.counter;
+  mx_alias : Metrics.counter;
+  mx_modref_instr : Metrics.counter;
+  mx_modref_loc : Metrics.counter;
+  mx_bailouts : Metrics.counter;
+  mx_hit : Metrics.counter;
+  mx_canonical : Metrics.counter;
+  mx_miss : Metrics.counter;
+  mx_uncacheable : Metrics.counter;
+  mx_budget_denied : Metrics.counter;
+  mx_premise_depth : Metrics.histogram;
+  mx_query_latency : Metrics.histogram;
+  mx_module_lat : (string, Metrics.histogram) Hashtbl.t;
+      (** read-only after [create]; safe to share across domains *)
+}
+
+let bind_metrics (config : config) : mx option =
+  match config.metrics with
+  | None -> None
+  | Some r ->
+      let c = Metrics.counter r and h = Metrics.histogram r in
+      Some
+        {
+          mx_client = c "queries.client";
+          mx_premise = c "queries.premise";
+          mx_alias = c "queries.class.alias";
+          mx_modref_instr = c "queries.class.modref_instr";
+          mx_modref_loc = c "queries.class.modref_loc";
+          mx_bailouts = c "orchestrator.bailouts";
+          mx_hit = c "cache.hit";
+          mx_canonical = c "cache.canonical_hit";
+          mx_miss = c "cache.miss";
+          mx_uncacheable = c "cache.uncacheable";
+          mx_budget_denied = c "premise.budget_denied";
+          mx_premise_depth = h "premise.depth";
+          mx_query_latency = h "query.latency";
+          mx_module_lat =
+            (let tbl = Hashtbl.create 16 in
+             List.iter
+               (fun (m : Module_api.t) ->
+                 Hashtbl.replace tbl m.Module_api.name
+                   (h ("module.latency." ^ m.Module_api.name)))
+               config.modules;
+             tbl);
+        }
+
 type t = {
   config : config;
   prog : Scaf_cfg.Progctx.t;
@@ -90,6 +154,7 @@ type t = {
   deadline : float option ref;
       (** per-client-query deadline when the bail-out policy is [Timeout] *)
   health : (string, health) Hashtbl.t;  (** keyed by module name *)
+  mx : mx option;  (** pre-bound metric handles, when [config.metrics] *)
 }
 
 let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
@@ -109,6 +174,7 @@ let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
     cache = (match cache with Some c -> c | None -> Qcache.create ());
     deadline = ref None;
     health = Hashtbl.create 8;
+    mx = bind_metrics config;
   }
 
 let config (t : t) : config = t.config
@@ -154,18 +220,48 @@ let should_bail (t : t) (r : Response.t) : bool =
   | Exhaustive -> false
   | Timeout _ -> Response.is_definite_free r || deadline_passed t
 
+let class_counter (m : mx) (q : Query.t) : Metrics.counter =
+  match Module_api.qclass_of_query q with
+  | Module_api.CAlias -> m.mx_alias
+  | Module_api.CModref_instr -> m.mx_modref_instr
+  | Module_api.CModref_loc -> m.mx_modref_loc
+
+let render_query (q : Query.t) : string = Fmt.str "%a" Query.pp q
+let render_result (r : Response.t) : string =
+  Fmt.str "%a" Aresult.pp r.Response.result
+
+(* Fill a node's summary fields from its final (joined) response and close
+   its span. *)
+let seal_node (sink : Sink.t) (n : Sink.node) (r : Response.t) : unit =
+  n.Sink.result <- render_result r;
+  n.Sink.cost <- Response.Options.cheapest_cost r.Response.options;
+  n.Sink.n_options <- Response.Options.count r.Response.options;
+  n.Sink.assertions <-
+    (match Response.Options.cheapest r.Response.options with
+    | Some o -> List.map (fun a -> Fmt.str "%a" Assertion.pp a) o
+    | None -> []);
+  n.Sink.provenance <- Response.Sset.elements r.Response.provenance;
+  Sink.finish_node sink n
+
 (** [guarded_answer t m ctx q] — fault-isolated module evaluation
     (Algorithm 1, hardened): an exception or a [module_budget] overrun is
     recorded against the module and converted into the conservative
     [no_answer]; [breaker_threshold] consecutive faults quarantine the
     module for the rest of the session. A quarantined or faulting module
-    can therefore never abort a client query. *)
-let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
+    can therefore never abort a client query. When tracing, the outcome is
+    annotated on [consult]. *)
+let guarded_answer ?consult (t : t) (m : Module_api.t) (ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
+  let note (s : string) =
+    match consult with
+    | Some (c : Sink.consult) -> c.Sink.c_note <- s
+    | None -> ()
+  in
   let name = m.Module_api.name in
   let h = health_of t name in
   if h.quarantined then begin
     t.c.quarantine_skips <- t.c.quarantine_skips + 1;
+    note "quarantined";
     Module_api.no_answer q
   end
   else begin
@@ -173,70 +269,219 @@ let guarded_answer (t : t) (m : Module_api.t) (ctx : Module_api.ctx)
     let fault ~overrun =
       if overrun then begin
         h.overruns <- h.overruns + 1;
-        t.c.module_overruns <- t.c.module_overruns + 1
+        t.c.module_overruns <- t.c.module_overruns + 1;
+        note "overrun"
       end
       else begin
         h.faults <- h.faults + 1;
-        t.c.module_faults <- t.c.module_faults + 1
+        t.c.module_faults <- t.c.module_faults + 1;
+        note "fault"
       end;
       h.consecutive <- h.consecutive + 1;
       if h.consecutive >= t.config.breaker_threshold then h.quarantined <- true;
       Module_api.no_answer q
     in
-    (* only sample the clock when a budget is configured, so fake-clock
-       latency accounting is unchanged otherwise *)
+    let mlat =
+      match t.mx with
+      | Some m -> Hashtbl.find_opt m.mx_module_lat name
+      | None -> None
+    in
+    (* only sample the clock when a budget or a latency histogram needs it,
+       so fake-clock latency accounting is unchanged otherwise *)
     let t0 =
-      match (t.config.module_budget, t.config.clock) with
-      | Some _, Some clock -> Some (clock ())
+      match t.config.clock with
+      | Some clock when t.config.module_budget <> None || mlat <> None ->
+          Some (clock ())
       | _ -> None
     in
     match m.Module_api.answer ctx q with
     | r -> (
-        match (t0, t.config.module_budget, t.config.clock) with
-        | Some start, Some budget, Some clock when clock () -. start > budget ->
-            fault ~overrun:true
+        let elapsed =
+          match (t0, t.config.clock) with
+          | Some start, Some clock -> Some (clock () -. start)
+          | _ -> None
+        in
+        (match (mlat, elapsed) with
+        | Some hist, Some e -> Metrics.observe hist e
+        | _ -> ());
+        match (t.config.module_budget, elapsed) with
+        | Some budget, Some e when e > budget -> fault ~overrun:true
         | _ ->
             h.consecutive <- 0;
             r)
     | exception _ -> fault ~overrun:false
   end
 
-let rec premise_ctx (t : t) (depth : int) : Module_api.ctx =
-  {
-    Module_api.prog = t.prog;
-    depth;
-    handle =
-      (fun pq ->
-        if depth + 1 > t.config.max_premise_depth then Response.bottom_for pq
-        else begin
-          t.c.premise_queries <- t.c.premise_queries + 1;
-          let pq =
-            if t.config.respect_desired then pq else Query.without_desired pq
+(* The context handed to modules answering [q] at [depth]. Scope fields
+   come from the incoming query itself (its desired result, loop scope and
+   speculative control-flow view); [dest], when tracing, is where resolved
+   premise trees attach. *)
+let rec premise_ctx (t : t) (depth : int) (dest : (Sink.node -> unit) option)
+    (q : Query.t) : Module_api.Ctx.t =
+  let desired, loop, ctrl_view =
+    match q with
+    | Query.Alias a -> (a.Query.adr, a.Query.aloop, None)
+    | Query.Modref m -> (None, m.Query.mloop, m.Query.mctrl)
+  in
+  let ask pq =
+    if depth + 1 > t.config.max_premise_depth then begin
+      (match t.mx with
+      | Some m -> Metrics.incr m.mx_budget_denied
+      | None -> ());
+      let r = Response.bottom_for pq in
+      (match dest with
+      | Some attach ->
+          (* the denial is part of the derivation: record a leaf *)
+          let sink = t.config.trace in
+          let n =
+            Sink.node sink ~query:(render_query pq)
+              ~qclass:
+                (Module_api.qclass_name (Module_api.qclass_of_query pq))
+              ~depth:(depth + 1)
           in
-          handle_at t (depth + 1) pq
-        end);
-  }
+          n.Sink.cache <- Sink.Budget_denied;
+          seal_node sink n r;
+          attach n
+      | None -> ());
+      r
+    end
+    else begin
+      t.c.premise_queries <- t.c.premise_queries + 1;
+      (match t.mx with
+      | Some m ->
+          Metrics.incr m.mx_premise;
+          Metrics.observe m.mx_premise_depth (float_of_int (depth + 1))
+      | None -> ());
+      let pq =
+        if t.config.respect_desired then pq else Query.without_desired pq
+      in
+      handle_at t (depth + 1) dest pq
+    end
+  in
+  Module_api.Ctx.make ~depth ?desired ?loop ?ctrl_view ~sink:t.config.trace
+    ~ask t.prog
 
-and handle_at (t : t) (depth : int) (q : Query.t) : Response.t =
-  match Qcache.key_of q with
-  | None -> handle_uncached t depth None q
-  | Some k -> (
-      match Qcache.find t.cache k with
-      | Some r -> r
-      | None -> handle_uncached t depth (Some k) q)
+and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
+    (q : Query.t) : Response.t =
+  (match t.mx with
+  | Some m -> Metrics.incr (class_counter m q)
+  | None -> ());
+  match dest with
+  | None -> (
+      (* untraced fast path: Algorithm 1 with memoization, nothing else *)
+      match Qcache.key_of q with
+      | None ->
+          (match t.mx with
+          | Some m -> Metrics.incr m.mx_uncacheable
+          | None -> ());
+          handle_uncached t depth None None q
+      | Some k -> (
+          match Qcache.find t.cache k with
+          | Some r ->
+              (match t.mx with
+              | Some m ->
+                  Metrics.incr
+                    (if Qcache.mirrored k then m.mx_canonical else m.mx_hit)
+              | None -> ());
+              r
+          | None ->
+              (match t.mx with
+              | Some m -> Metrics.incr m.mx_miss
+              | None -> ());
+              handle_uncached t depth (Some k) None q))
+  | Some attach ->
+      let sink = t.config.trace in
+      let n =
+        Sink.node sink ~query:(render_query q)
+          ~qclass:(Module_api.qclass_name (Module_api.qclass_of_query q))
+          ~depth
+      in
+      let finish status r =
+        n.Sink.cache <- status;
+        seal_node sink n r;
+        attach n;
+        r
+      in
+      (match Qcache.key_of q with
+      | None ->
+          (match t.mx with
+          | Some m -> Metrics.incr m.mx_uncacheable
+          | None -> ());
+          finish Sink.Uncacheable (handle_uncached t depth None (Some n) q)
+      | Some k -> (
+          match Qcache.find t.cache k with
+          | Some r ->
+              let mirrored = Qcache.mirrored k in
+              (match t.mx with
+              | Some m ->
+                  Metrics.incr (if mirrored then m.mx_canonical else m.mx_hit)
+              | None -> ());
+              finish
+                (if mirrored then Sink.Cache_canonical_hit else Sink.Cache_hit)
+                r
+          | None ->
+              (match t.mx with
+              | Some m -> Metrics.incr m.mx_miss
+              | None -> ());
+              finish Sink.Cache_miss
+                (handle_uncached t depth (Some k) (Some n) q)))
 
 and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
-    (q : Query.t) : Response.t =
-  let ctx = premise_ctx t depth in
+    (node : Sink.node option) (q : Query.t) : Response.t =
   let final = ref (Response.bottom_for q) in
-  (try
-     List.iter
-       (fun (m : Module_api.t) ->
-         let res = guarded_answer t m ctx q in
-         final := Join.join t.config.join_policy !final res;
-         if should_bail t !final then raise Stdlib.Exit)
-       t.config.modules
-   with Stdlib.Exit -> ());
+  (match node with
+  | None ->
+      (* one shared context for the whole consult sweep, as always *)
+      let ctx = premise_ctx t depth None q in
+      (try
+         List.iter
+           (fun (m : Module_api.t) ->
+             let res = guarded_answer t m ctx q in
+             final := Join.join t.config.join_policy !final res;
+             if should_bail t !final then raise Stdlib.Exit)
+           t.config.modules
+       with Stdlib.Exit -> ())
+  | Some n ->
+      let sink = t.config.trace in
+      let total = List.length t.config.modules in
+      n.Sink.modules_total <- total;
+      let consulted = ref 0 in
+      let bailed = ref false in
+      (try
+         List.iter
+           (fun (m : Module_api.t) ->
+             incr consulted;
+             let c = Sink.consult sink n m.Module_api.name in
+             (* per-consult context so this module's premises attach to
+                its own consult record *)
+             let ctx =
+               premise_ctx t depth
+                 (Some (fun pn -> Sink.add_premise c pn))
+                 q
+             in
+             let before = !final in
+             let res = guarded_answer ~consult:c t m ctx q in
+             c.Sink.c_result <- render_result res;
+             c.Sink.c_cost <-
+               Response.Options.cheapest_cost res.Response.options;
+             final := Join.join t.config.join_policy before res;
+             (* structural check only on the All policy, where the join
+                rebuilds an equal record even from a no-op merge *)
+             if (not (before == !final)) && before <> !final then
+               c.Sink.c_improved <- true;
+             Sink.finish_consult sink c;
+             if should_bail t !final then begin
+               bailed := true;
+               raise Stdlib.Exit
+             end)
+           t.config.modules
+       with Stdlib.Exit -> ());
+      if !bailed then begin
+        n.Sink.bailed_after <- Some !consulted;
+        match t.mx with
+        | Some m -> Metrics.incr m.mx_bailouts
+        | None -> ()
+      end);
   (* memoize answers computed with (nearly) full premise budget — but not
      one truncated by an expired deadline: a partial join replayed for a
      later query with a fresh budget would poison it *)
@@ -249,15 +494,26 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
 (** [handle t q] — Algorithm 1: resolve a client query. *)
 let handle (t : t) (q : Query.t) : Response.t =
   t.c.client_queries <- t.c.client_queries + 1;
+  (match t.mx with Some m -> Metrics.incr m.mx_client | None -> ());
+  let sink = t.config.trace in
+  let dest =
+    if Sink.enabled sink && Sink.sample sink then
+      Some (fun n -> Sink.add_root sink n)
+    else None
+  in
   match t.config.clock with
-  | None -> handle_at t 0 q
+  | None -> handle_at t 0 dest q
   | Some clock ->
       let t0 = clock () in
       (match t.config.bailout with
       | Timeout budget -> t.deadline := Some (t0 +. budget)
       | _ -> ());
-      let r = handle_at t 0 q in
-      Reservoir.add t.c.lat (clock () -. t0);
+      let r = handle_at t 0 dest q in
+      let dt = clock () -. t0 in
+      Reservoir.add t.c.lat dt;
+      (match t.mx with
+      | Some m -> Metrics.observe m.mx_query_latency dt
+      | None -> ());
       (* don't leak this query's deadline into the next one *)
       t.deadline := None;
       r
@@ -279,7 +535,7 @@ let ask_many (t : t) (qs : Query.t list) : Response.t list =
     guarded (fault isolation and the circuit breaker apply) but no
     [Timeout] deadline is armed. *)
 let consult_all (t : t) (q : Query.t) : (string * Response.t) list =
-  let ctx = premise_ctx t 0 in
+  let ctx = premise_ctx t 0 None q in
   List.map
     (fun (m : Module_api.t) -> (m.Module_api.name, guarded_answer t m ctx q))
     t.config.modules

@@ -33,10 +33,24 @@ type config = {
           arriving past it is discarded as a fault *)
   breaker_threshold : int;
       (** quarantine a module after this many consecutive faults *)
+  trace : Scaf_trace.Sink.t;
+      (** provenance-tree sink. With {!Scaf_trace.Sink.noop} (the default)
+          the query path is byte-for-byte the untraced one; with a
+          collecting sink, every sampled client query records a full
+          derivation tree: cache behaviour, each module consulted, the
+          premise sub-queries it raised (recursively), what the join kept,
+          and the final assertion set and cost. *)
+  metrics : Scaf_trace.Metrics.t option;
+      (** metrics registry. When set, the orchestrator maintains counters
+          (query classes, cache hit/miss/canonical-hit, bail-outs, premise
+          budget denials) and histograms (premise depth; with [clock],
+          per-module and per-query latency). Handles are resolved once at
+          {!create}. *)
 }
 
 (** CHEAPEST join, definite-free bail-out, premise depth 4, desired-result
-    respected, no clock, no module budget, breaker threshold 3. *)
+    respected, no clock, no module budget, breaker threshold 3, no-op
+    trace sink, no metrics. *)
 val default_config : Module_api.t list -> config
 
 (** An immutable view of the orchestrator's counters at one instant. *)

@@ -23,6 +23,7 @@ type t = {
   misses : int Atomic.t;
   evictions : int Atomic.t;
   canonical_hits : int Atomic.t;
+  contended : int Atomic.t;
 }
 
 type stats = {
@@ -30,6 +31,7 @@ type stats = {
   misses : int;
   evictions : int;
   canonical_hits : int;
+  contended : int;
   entries : int;
   capacity : int;
   shards : int;
@@ -51,6 +53,7 @@ let create ?(shards = 8) ?(capacity = 65536) () : t =
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
     canonical_hits = Atomic.make 0;
+    contended = Atomic.make 0;
   }
 
 (* Alias queries are symmetric up to operand order: alias (l1, tr, l2) is
@@ -79,6 +82,8 @@ let key_of (q : Query.t) : key option =
          on a bucket collision — refuse the key altogether *)
       if m.Query.mctrl = None then Some { cq = q; mirrored = false } else None
 
+let mirrored (k : key) : bool = k.mirrored
+
 let shard_of (t : t) (k : key) : shard =
   t.shards.(Hashtbl.hash k.cq mod Array.length t.shards)
 
@@ -86,10 +91,19 @@ let with_lock (s : shard) (f : unit -> 'a) : 'a =
   Mutex.lock s.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
+(* Same, but counts a contention event when the shard lock is already held
+   by another domain — the signal behind the shard-contention metric. *)
+let with_lock_counted (t : t) (s : shard) (f : unit -> 'a) : 'a =
+  if not (Mutex.try_lock s.lock) then begin
+    Atomic.incr t.contended;
+    Mutex.lock s.lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
 let find (t : t) (k : key) : Response.t option =
   let s = shard_of t k in
   let r =
-    with_lock s (fun () ->
+    with_lock_counted t s (fun () ->
         match Hashtbl.find_opt s.tbl k.cq with
         | Some e ->
             e.referenced <- true;
@@ -152,6 +166,7 @@ let stats (t : t) : stats =
     misses = Atomic.get t.misses;
     evictions = Atomic.get t.evictions;
     canonical_hits = Atomic.get t.canonical_hits;
+    contended = Atomic.get t.contended;
     entries = length t;
     capacity = Array.fold_left (fun acc s -> acc + s.cap) 0 t.shards;
     shards = Array.length t.shards;

@@ -38,6 +38,9 @@ type stats = {
   evictions : int;  (** entries removed by the clock policy *)
   canonical_hits : int;
       (** subset of [hits] served through a mirrored alias form *)
+  contended : int;
+      (** lookups that found their shard lock already held by another
+          domain (shard-contention signal for the metrics layer) *)
   entries : int;  (** live entries right now *)
   capacity : int;  (** configured bound (total across shards) *)
   shards : int;
@@ -50,6 +53,11 @@ val create : ?shards:int -> ?capacity:int -> unit -> t
 (** [key_of q] is the canonical key for [q], or [None] when [q] cannot be
     a table key (it carries a [Ctrl.t] control-flow view). *)
 val key_of : Query.t -> key option
+
+(** [mirrored k] — was [k] built from the mirrored alias form? A hit
+    through such a key is a canonical hit (the trace layer distinguishes
+    the two). *)
+val mirrored : key -> bool
 
 (** [find t k] — the cached response, if any. Bumps hit/miss counters
     (and canonical-hit when [k] was built from a mirrored alias form). *)

@@ -1,59 +1,6 @@
-(** Fixed-capacity reservoir sample (Algorithm R); see reservoir.mli. *)
+(** Compatibility alias: the reservoir sampler now lives in [Scaf_trace]
+    (the metrics layer's histograms are built on it, and [scaf_trace] sits
+    below [scaf] in the library stack). [Scaf.Reservoir] remains a
+    re-export so existing users keep compiling. *)
 
-type t = {
-  buf : float array;
-  mutable filled : int;  (** live prefix of [buf] *)
-  mutable count : int;  (** exact observations ever added *)
-  mutable state : int64;  (** deterministic LCG state *)
-}
-
-let create ?(capacity = 4096) ?(seed = 0x5caf) () : t =
-  {
-    buf = Array.make (max 1 capacity) 0.0;
-    filled = 0;
-    count = 0;
-    state = Int64.of_int seed;
-  }
-
-(* Knuth MMIX LCG; only the high bits are used below. *)
-let next_state (s : int64) : int64 =
-  Int64.add (Int64.mul s 6364136223846793005L) 1442695040888963407L
-
-(* Uniform int in [0, n): high 32 bits of the LCG state mod n. *)
-let rand_below (t : t) (n : int) : int =
-  t.state <- next_state t.state;
-  let hi = Int64.to_int (Int64.shift_right_logical t.state 33) in
-  hi mod n
-
-let add (t : t) (x : float) : unit =
-  t.count <- t.count + 1;
-  if t.filled < Array.length t.buf then begin
-    t.buf.(t.filled) <- x;
-    t.filled <- t.filled + 1
-  end
-  else
-    let j = rand_below t t.count in
-    if j < Array.length t.buf then t.buf.(j) <- x
-
-let count (t : t) : int = t.count
-
-let samples (t : t) : float list =
-  Array.to_list (Array.sub t.buf 0 t.filled)
-
-let percentile (t : t) (p : float) : float =
-  if t.filled = 0 then 0.0
-  else begin
-    let a = Array.sub t.buf 0 t.filled in
-    Array.sort Float.compare a;
-    let idx = int_of_float (p /. 100.0 *. float_of_int (t.filled - 1)) in
-    a.(max 0 (min (t.filled - 1) idx))
-  end
-
-let mean (t : t) : float =
-  if t.filled = 0 then 0.0
-  else Array.fold_left ( +. ) 0.0 (Array.sub t.buf 0 t.filled) /. float_of_int t.filled
-
-let merge ~(into : t) (src : t) : unit =
-  let retained = src.filled in
-  Array.iter (add into) (Array.sub src.buf 0 retained);
-  into.count <- into.count + (src.count - retained)
+include Scaf_trace.Reservoir

@@ -1,36 +1,7 @@
-(** Fixed-capacity reservoir sample of a float stream.
+(** Compatibility re-export of {!Scaf_trace.Reservoir} (its new home —
+    the metrics layer's histograms are built on it). Types are equal, so
+    values flow freely between the two spellings. *)
 
-    Replaces the orchestrator's old unbounded per-query latency list:
-    memory stays O(capacity) no matter how many observations arrive, while
-    the sample remains uniform over the whole stream (Vitter's
-    Algorithm R, driven by a deterministic per-reservoir LCG so runs are
-    reproducible and domain-local reservoirs need no locking).
-
-    The exact observation {e count} is always tracked; only the retained
-    sample is bounded. *)
-
-type t
-
-(** [create ()] — capacity 4096 by default. *)
-val create : ?capacity:int -> ?seed:int -> unit -> t
-
-val add : t -> float -> unit
-
-(** Exact number of observations ever added (not the sample size). *)
-val count : t -> int
-
-(** The retained sample, in no particular order; its length is
-    [min (count t) capacity]. *)
-val samples : t -> float list
-
-(** [percentile t p] — the [p]-th percentile (0..100) of the retained
-    sample; 0.0 when empty. *)
-val percentile : t -> float -> float
-
-(** Arithmetic mean of the retained sample; 0.0 when empty. *)
-val mean : t -> float
-
-(** [merge ~into src] — feed every retained sample of [src] into [into]
-    and add [src]'s unretained observation count, so [count] stays exact
-    when per-worker reservoirs are folded into a shared one. *)
-val merge : into:t -> t -> unit
+include module type of struct
+  include Scaf_trace.Reservoir
+end

@@ -37,40 +37,76 @@ let speculative ?provenance (r : Aresult.t) (assertions : Assertion.t list) : t
     =
   make ~options:[ assertions ] ?provenance r
 
-let option_cost (o : Assertion.t list) : float =
-  List.fold_left (fun acc (a : Assertion.t) -> acc +. a.Assertion.cost) 0.0 o
+(** The one home of assertion-set introspection. A response's [options]
+    field is a disjunction of conjunctions; everything a client wants to
+    know about it — iteration, filtering, costs, the free/unconditional
+    distinction — lives here, instead of the ad-hoc helpers that used to
+    accrete on [Response] one predicate at a time. *)
+module Options = struct
+  (** The assertion-option disjunction, as stored in [Response.options]. *)
+  type nonrec t = Assertion.t list list
 
-(** Cost of the cheapest option. *)
-let cheapest_cost (t : t) : float =
-  match t.options with
-  | [] -> infinity
-  | os -> List.fold_left (fun acc o -> min acc (option_cost o)) infinity os
+  (** Validation cost of one option: the sum of its assertion costs. *)
+  let cost (o : Assertion.t list) : float =
+    List.fold_left (fun acc (a : Assertion.t) -> acc +. a.Assertion.cost) 0.0 o
 
-(** The cheapest option itself. *)
+  (** A literally assertion-free option — a claim about every execution.
+      Distinct from costing 0.0: zero-cost assertions (e.g. control
+      speculation's dead-block beacons) are free to validate but still
+      speculative. *)
+  let is_unconditional (o : Assertion.t list) : bool = o = []
+
+  let count : t -> int = List.length
+  let iter : (Assertion.t list -> unit) -> t -> unit = List.iter
+  let fold : ('a -> Assertion.t list -> 'a) -> 'a -> t -> 'a = List.fold_left
+  let filter : (Assertion.t list -> bool) -> t -> t = List.filter
+  let exists : (Assertion.t list -> bool) -> t -> bool = List.exists
+
+  (** Cost of the cheapest option ([infinity] on the ill-formed empty
+      disjunction). *)
+  let cheapest_cost (os : t) : float =
+    match os with
+    | [] -> infinity
+    | os -> fold (fun acc o -> min acc (cost o)) infinity os
+
+  (** The cheapest option itself. *)
+  let cheapest (os : t) : Assertion.t list option =
+    match os with
+    | [] -> None
+    | o :: rest ->
+        Some (fold (fun best o -> if cost o < cost best then o else best) o rest)
+
+  (** Some option costs nothing to validate. *)
+  let has_free (os : t) : bool = exists (fun o -> cost o = 0.0) os
+
+  (** Some option is literally assertion-free. *)
+  let has_unconditional (os : t) : bool = exists is_unconditional os
+end
+
+(* Thin deprecated aliases over {!Options} — kept for one PR so external
+   callers migrate at leisure; new code goes through [Options]. *)
+
+(** @deprecated use {!Options.cost}. *)
+let option_cost = Options.cost
+
+(** @deprecated use [Options.cheapest_cost t.options]. *)
+let cheapest_cost (t : t) : float = Options.cheapest_cost t.options
+
+(** @deprecated use [Options.cheapest t.options]. *)
 let cheapest_option (t : t) : Assertion.t list option =
-  match t.options with
-  | [] -> None
-  | os ->
-      Some
-        (List.fold_left
-           (fun best o -> if option_cost o < option_cost best then o else best)
-           (List.hd os) (List.tl os))
+  Options.cheapest t.options
 
-(** Does the response include a zero-cost (assertion-free) option? *)
-let has_free_option (t : t) : bool =
-  List.exists (fun o -> option_cost o = 0.0) t.options
+(** @deprecated use [Options.has_free t.options]. *)
+let has_free_option (t : t) : bool = Options.has_free t.options
 
-(** Does the response include a literally assertion-free option — a claim
-    about every execution? Distinct from {!has_free_option}, which also
-    accepts zero-{e cost} assertions (e.g. control speculation's dead-block
-    beacons): those are free to validate but still speculative. *)
+(** @deprecated use [Options.has_unconditional t.options]. *)
 let has_unconditional_option (t : t) : bool =
-  List.exists (fun o -> o = []) t.options
+  Options.has_unconditional t.options
 
 (** Is the response both maximally precise and free to use? This is the
     Orchestrator's default bail-out condition. *)
 let is_definite_free (t : t) : bool =
-  Aresult.is_definite t.result && has_free_option t
+  Aresult.is_definite t.result && Options.has_free t.options
 
 let add_provenance (name : string) (t : t) : t =
   { t with provenance = Sset.add name t.provenance }

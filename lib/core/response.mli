@@ -30,14 +30,53 @@ val free : ?provenance:Sset.t -> Aresult.t -> t
 (** A speculative answer under a single option of assertions. *)
 val speculative : ?provenance:Sset.t -> Aresult.t -> Assertion.t list -> t
 
+(** Assertion-set introspection: the one documented iteration/filter API
+    over a response's option disjunction. *)
+module Options : sig
+  (** The assertion-option disjunction, as stored in [options]. *)
+  type nonrec t = Assertion.t list list
+
+  (** Validation cost of one option: the sum of its assertion costs. *)
+  val cost : Assertion.t list -> float
+
+  (** A literally assertion-free option — a claim about every execution
+      (stricter than costing 0.0: zero-cost assertions are free to
+      validate but still speculative). *)
+  val is_unconditional : Assertion.t list -> bool
+
+  val count : t -> int
+  val iter : (Assertion.t list -> unit) -> t -> unit
+  val fold : ('a -> Assertion.t list -> 'a) -> 'a -> t -> 'a
+  val filter : (Assertion.t list -> bool) -> t -> t
+  val exists : (Assertion.t list -> bool) -> t -> bool
+
+  (** Cost of the cheapest option ([infinity] on the ill-formed empty
+      disjunction). *)
+  val cheapest_cost : t -> float
+
+  (** The cheapest option itself. *)
+  val cheapest : t -> Assertion.t list option
+
+  (** Some option costs nothing to validate. *)
+  val has_free : t -> bool
+
+  (** Some option is literally assertion-free. *)
+  val has_unconditional : t -> bool
+end
+
+(** @deprecated use {!Options.cost}. *)
 val option_cost : Assertion.t list -> float
+
+(** @deprecated use [Options.cheapest_cost t.options]. *)
 val cheapest_cost : t -> float
+
+(** @deprecated use [Options.cheapest t.options]. *)
 val cheapest_option : t -> Assertion.t list option
+
+(** @deprecated use [Options.has_free t.options]. *)
 val has_free_option : t -> bool
 
-(** A literally assertion-free option exists — a claim about every
-    execution. Stricter than {!has_free_option}, which also accepts
-    zero-cost (but still speculative) assertions. *)
+(** @deprecated use [Options.has_unconditional t.options]. *)
 val has_unconditional_option : t -> bool
 
 (** Maximally precise *and* free — the default bail-out condition. *)

@@ -136,7 +136,7 @@ let affordable_nodep (resp : Response.t) : bool =
   (match resp.Response.result with
   | Aresult.RModref Aresult.NoModRef -> true
   | _ -> false)
-  && Cost_model.affordable (Response.cheapest_cost resp)
+  && Cost_model.affordable (Response.Options.cheapest_cost resp.Response.options)
 
 (** Run the PDG client for one loop against a resolver. *)
 let run_loop (prog : Progctx.t) ~(resolver : Query.t -> Response.t)

@@ -30,12 +30,14 @@ type scheme = {
   scache : Qcache.t option;
 }
 
-let orchestrate ?clock ?(respect_desired = true) ?cache prog modules :
-    Orchestrator.t =
+let orchestrate ?clock ?(respect_desired = true) ?cache
+    ?(trace = Scaf_trace.Sink.noop) ?metrics prog modules : Orchestrator.t =
   Orchestrator.create ?cache prog
     { (Orchestrator.default_config modules) with
       Orchestrator.respect_desired;
       clock;
+      trace;
+      metrics;
     }
 
 let resolver_of_orchestrator (rname : string) (o : Orchestrator.t) : resolver =
@@ -46,7 +48,7 @@ let resolver_of_orchestrator (rname : string) (o : Orchestrator.t) : resolver =
   }
 
 (** CAF: collaboration among the 13 memory-analysis modules only. *)
-let caf_scheme ?clock (profiles : Profiles.t) : scheme =
+let caf_scheme ?clock ?trace ?metrics (profiles : Profiles.t) : scheme =
   let prog = profiles.Profiles.ctx in
   let cache = Qcache.create () in
   {
@@ -54,13 +56,16 @@ let caf_scheme ?clock (profiles : Profiles.t) : scheme =
     spawn =
       (fun () ->
         resolver_of_orchestrator "CAF"
-          (orchestrate ?clock ~cache prog (Scaf_analysis.Registry.create prog)));
+          (orchestrate ?clock ?trace ?metrics ~cache prog
+             (Scaf_analysis.Registry.create prog)));
     scache = Some cache;
   }
 
-(** SCAF: full collaboration among memory analysis and speculation. *)
-let scaf_scheme ?clock ?(respect_desired = true) (profiles : Profiles.t) :
-    scheme =
+(** SCAF: full collaboration among memory analysis and speculation.
+    [trace]/[metrics] attach one shared sink/registry to every spawned
+    worker's orchestrator (both are domain-safe). *)
+let scaf_scheme ?clock ?(respect_desired = true) ?trace ?metrics
+    (profiles : Profiles.t) : scheme =
   let prog = profiles.Profiles.ctx in
   let cache = Qcache.create () in
   let name = if respect_desired then "SCAF" else "SCAF w/o Desired Result" in
@@ -73,7 +78,8 @@ let scaf_scheme ?clock ?(respect_desired = true) (profiles : Profiles.t) :
           @ Scaf_speculation.Registry.create profiles
         in
         resolver_of_orchestrator name
-          (orchestrate ?clock ~respect_desired ~cache prog modules));
+          (orchestrate ?clock ~respect_desired ?trace ?metrics ~cache prog
+             modules));
     scache = Some cache;
   }
 
@@ -81,7 +87,7 @@ let scaf_scheme ?clock ?(respect_desired = true) (profiles : Profiles.t) :
     speculative technique self-contained, results joined. Every
     sub-ensemble keeps its own shared cache (their answers differ, so they
     must never share entries). *)
-let confluence_scheme ?clock (profiles : Profiles.t) : scheme =
+let confluence_scheme ?clock ?trace ?metrics (profiles : Profiles.t) : scheme =
   let prog = profiles.Profiles.ctx in
   let caf_cache = Qcache.create () in
   let unit_caches =
@@ -94,7 +100,8 @@ let confluence_scheme ?clock (profiles : Profiles.t) : scheme =
     spawn =
       (fun () ->
         let caf_o =
-          orchestrate ~cache:caf_cache prog (Scaf_analysis.Registry.create prog)
+          orchestrate ?trace ?metrics ~cache:caf_cache prog
+            (Scaf_analysis.Registry.create prog)
         in
         let unit_os =
           List.map2
@@ -184,14 +191,15 @@ let observed (profiles : Profiles.t) : resolver =
 
 (* The classic one-instance entry points are the single-worker
    instantiations of the schemes above. *)
-let caf ?clock (profiles : Profiles.t) : resolver =
-  (caf_scheme ?clock profiles).spawn ()
+let caf ?clock ?trace ?metrics (profiles : Profiles.t) : resolver =
+  (caf_scheme ?clock ?trace ?metrics profiles).spawn ()
 
-let scaf ?clock ?(respect_desired = true) (profiles : Profiles.t) : resolver =
-  (scaf_scheme ?clock ~respect_desired profiles).spawn ()
+let scaf ?clock ?(respect_desired = true) ?trace ?metrics
+    (profiles : Profiles.t) : resolver =
+  (scaf_scheme ?clock ~respect_desired ?trace ?metrics profiles).spawn ()
 
-let confluence ?clock (profiles : Profiles.t) : resolver =
-  (confluence_scheme ?clock profiles).spawn ()
+let confluence ?clock ?trace ?metrics (profiles : Profiles.t) : resolver =
+  (confluence_scheme ?clock ?trace ?metrics profiles).spawn ()
 
 (** A stateless resolver lifted to a (trivially domain-safe) scheme. *)
 let stateless_scheme (mk : Profiles.t -> resolver) (profiles : Profiles.t) :

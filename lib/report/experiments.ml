@@ -22,14 +22,17 @@ type bench_eval = {
 (** Profile one benchmark on its training inputs and run the PDG client
     under every scheme. [jobs > 1] fans the hot loops of each scheme out
     across that many worker domains (one orchestrator per worker over the
-    scheme's shared cache); results are identical to [jobs = 1]. *)
-let evaluate_bench ?(jobs = 1) (b : Benchmark.t) : bench_eval =
+    scheme's shared cache); results are identical to [jobs = 1].
+    [trace]/[metrics] attach to the SCAF scheme — the one whose derivations
+    the observability layer explains; both are domain-safe and strictly
+    observational (reports are unchanged). *)
+let evaluate_bench ?(jobs = 1) ?trace ?metrics (b : Benchmark.t) : bench_eval =
   let m = Benchmark.program b in
   let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
   let eval s = Nodep.evaluate_scheme ~jobs ~bname:b.Benchmark.name profiles s in
   let caf_s = Schemes.caf_scheme profiles in
   let conf_s = Schemes.confluence_scheme profiles in
-  let scaf_s = Schemes.scaf_scheme profiles in
+  let scaf_s = Schemes.scaf_scheme ?trace ?metrics profiles in
   let caf = eval caf_s in
   let confluence = eval conf_s in
   let scaf = eval scaf_s in
@@ -50,13 +53,14 @@ let evaluate_bench ?(jobs = 1) (b : Benchmark.t) : bench_eval =
     benchmark's loops run sequentially inside its worker; a single
     benchmark instead fans its hot loops out. Either way the reports are
     identical to [jobs = 1]. *)
-let evaluate_all ?(jobs = 1) ?(benchmarks = Registry.all) () : bench_eval list =
+let evaluate_all ?(jobs = 1) ?trace ?metrics ?(benchmarks = Registry.all) () :
+    bench_eval list =
   if jobs <= 1 || List.length benchmarks = 1 then
-    List.map (evaluate_bench ~jobs) benchmarks
+    List.map (evaluate_bench ~jobs ?trace ?metrics) benchmarks
   else
     Schemes.parallel_map ~jobs
       ~worker:(fun () -> ())
-      ~f:(fun () b -> evaluate_bench ~jobs:1 b)
+      ~f:(fun () b -> evaluate_bench ~jobs:1 ?trace ?metrics b)
       benchmarks
 
 (** Shared-cache counters summed over all benchmarks, per scheme — the
@@ -78,6 +82,7 @@ let cache_stats_summary (evals : bench_eval list) :
                   evictions = s.Scaf.Qcache.evictions + t.Scaf.Qcache.evictions;
                   canonical_hits =
                     s.Scaf.Qcache.canonical_hits + t.Scaf.Qcache.canonical_hits;
+                  contended = s.Scaf.Qcache.contended + t.Scaf.Qcache.contended;
                   entries = s.Scaf.Qcache.entries + t.Scaf.Qcache.entries;
                 }
           in

@@ -82,7 +82,7 @@ let dead_instr (prog : Progctx.t) (fs : fstate) (fname : string) (id : int) :
   | None -> None
 
 let answer (prog : Progctx.t) (profiles : Profiles.t)
-    (cache : (string, fstate option) Hashtbl.t) (ctx : Module_api.ctx)
+    (cache : (string, fstate option) Hashtbl.t) (ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
   match q with
   | Query.Alias _ -> Module_api.no_answer q
@@ -121,7 +121,7 @@ let answer (prog : Progctx.t) (profiles : Profiles.t)
                     let premise =
                       Query.Modref { mq with Query.mctrl = Some fs.spec_view }
                     in
-                    let presp = ctx.Module_api.handle premise in
+                    let presp = Module_api.Ctx.ask ctx premise in
                     match presp.Response.result with
                     | Aresult.RModref Aresult.NoModRef ->
                         let extra =

@@ -155,7 +155,7 @@ let site_stable (prog : Progctx.t) (tr : Query.temporal) (lid : string option)
               | None -> false)))
 
 let answer ~uses (prog : Progctx.t) (profiles : Profiles.t)
-    (_ctx : Module_api.ctx) (q : Query.t) : Response.t =
+    (_ctx : Module_api.Ctx.t) (q : Query.t) : Response.t =
   match q with
   | Query.Modref _ -> Module_api.no_answer q
   | Query.Alias a -> (

@@ -43,7 +43,7 @@ let assertion_for (profiles : Profiles.t) ~(lid : string) ~(site : Site.t)
         };
   }
 
-let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.ctx)
+let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
   match q with
   | Query.Alias _ -> Module_api.no_answer q

@@ -62,7 +62,7 @@ let residues_of_access (profiles : Profiles.t) (id : int) : (int * int) option =
       Some (set, Residue_profile.exec_count profiles.Profiles.residues id)
   | None -> None
 
-let answer (prog : Progctx.t) (profiles : Profiles.t) (_ctx : Module_api.ctx)
+let answer (prog : Progctx.t) (profiles : Profiles.t) (_ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
   match q with
   | Query.Modref mq -> (

@@ -54,7 +54,7 @@ let site_globals (sites : Site.t list) : string list =
     lies inside an object of site [s]. On SubAlias/MustAlias, returns the
     premise response (whose prohibitive points-to assertion the caller
     *replaces* with its own cheap heap check, §4.2.3). *)
-let loc_within_site (ctx : Module_api.ctx) (prog : Progctx.t)
+let loc_within_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
     ?(loop : string option) ?(cc : int list option) (loc : Query.memloc)
     (s : Site.t) : Response.t option =
   match site_handle prog s with
@@ -72,14 +72,14 @@ let loc_within_site (ctx : Module_api.ctx) (prog : Progctx.t)
             adr = None;
           }
       in
-      let presp = ctx.Module_api.handle premise in
+      let presp = Module_api.Ctx.ask ctx premise in
       match presp.Response.result with
       | Aresult.RAlias Aresult.SubAlias | Aresult.RAlias Aresult.MustAlias ->
           Some presp
       | _ -> None)
 
 (** Find the first site in [sites] containing [loc] (capped search). *)
-let find_containing_site (ctx : Module_api.ctx) (prog : Progctx.t)
+let find_containing_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
     ?loop ?cc (loc : Query.memloc) (sites : Site.t list) :
     (Site.t * Response.t) option =
   let rec go n = function

@@ -62,7 +62,7 @@ let predictable_loads_in (prog : Progctx.t) (profiles : Profiles.t)
             (Cfg.block cfg b).Block.instrs)
         (List.init (Cfg.num_blocks cfg) Fun.id)
 
-let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.ctx)
+let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.Ctx.t)
     (q : Query.t) : Response.t =
   match q with
   | Query.Alias _ -> Module_api.no_answer q
@@ -123,7 +123,7 @@ let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.ctx)
                                     (kptr, loc2.Query.size)
                                     (loc2.Query.ptr, loc2.Query.size)
                                 in
-                                let presp = ctx.Module_api.handle premise in
+                                let presp = Module_api.Ctx.ask ctx premise in
                                 match presp.Response.result with
                                 | Aresult.RAlias Aresult.MustAlias ->
                                     Some

@@ -1,0 +1,125 @@
+(** Process-wide metrics registry (see metrics.mli). *)
+
+type counter = { cname : string; value : int Atomic.t }
+
+type histogram = { hname : string; hlock : Mutex.t; sample : Reservoir.t }
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () : t =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 16;
+  }
+
+let global : t = create ()
+
+let with_lock (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Get-or-create is the registration point: handles are meant to be
+   resolved once (at orchestrator creation) and then hit lock-free. *)
+let counter (t : t) (name : string) : counter =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; value = Atomic.make 0 } in
+          Hashtbl.replace t.counters name c;
+          c)
+
+let incr (c : counter) : unit = Atomic.incr c.value
+let add (c : counter) (n : int) : unit = ignore (Atomic.fetch_and_add c.value n)
+let counter_value (c : counter) : int = Atomic.get c.value
+
+let histogram (t : t) (name : string) : histogram =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            { hname = name; hlock = Mutex.create (); sample = Reservoir.create () }
+          in
+          Hashtbl.replace t.histograms name h;
+          h)
+
+let observe (h : histogram) (x : float) : unit =
+  Mutex.lock h.hlock;
+  Reservoir.add h.sample x;
+  Mutex.unlock h.hlock
+
+let observed_count (h : histogram) : int =
+  Mutex.lock h.hlock;
+  let n = Reservoir.count h.sample in
+  Mutex.unlock h.hlock;
+  n
+
+type histogram_snapshot = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let histogram_snapshot (h : histogram) : histogram_snapshot =
+  Mutex.lock h.hlock;
+  let s =
+    {
+      count = Reservoir.count h.sample;
+      mean = Reservoir.mean h.sample;
+      p50 = Reservoir.percentile h.sample 50.0;
+      p90 = Reservoir.percentile h.sample 90.0;
+      p99 = Reservoir.percentile h.sample 99.0;
+    }
+  in
+  Mutex.unlock h.hlock;
+  s
+
+(** Sorted (name, value) views — the stable, diff-friendly order. *)
+let counters (t : t) : (string * int) list =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun n c acc -> (n, Atomic.get c.value) :: acc) t.counters [])
+  |> List.sort compare
+
+let histograms (t : t) : (string * histogram_snapshot) list =
+  with_lock t (fun () -> Hashtbl.fold (fun n h acc -> (n, h) :: acc) t.histograms [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (n, h) -> (n, histogram_snapshot h))
+
+(* Zero in place, keeping registrations: handles are pre-bound (e.g. at
+   orchestrator creation), so dropping the tables would leave them counting
+   into orphaned cells invisible to the exporters. *)
+let reset (t : t) : unit =
+  with_lock t (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) t.counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.hlock;
+          Reservoir.clear h.sample;
+          Mutex.unlock h.hlock)
+        t.histograms)
+
+let to_json (t : t) : string =
+  let jstr s = Printf.sprintf "\"%s\"" (Sink.json_escape s) in
+  let cs =
+    List.map
+      (fun (n, v) -> Printf.sprintf "%s:%d" (jstr n) v)
+      (counters t)
+  in
+  let hs =
+    List.map
+      (fun (n, (s : histogram_snapshot)) ->
+        Printf.sprintf
+          "%s:{\"count\":%d,\"mean\":%g,\"p50\":%g,\"p90\":%g,\"p99\":%g}"
+          (jstr n) s.count s.mean s.p50 s.p90 s.p99)
+      (histograms t)
+  in
+  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}"
+    (String.concat "," cs) (String.concat "," hs)

@@ -1,0 +1,63 @@
+(** Process-wide metrics registry: named counters and histograms with JSON
+    export.
+
+    Producers resolve a handle once ({!counter} / {!histogram} get or
+    create under the registry lock) and then update it lock-free: counters
+    are [Atomic], histograms a mutex-guarded bounded {!Reservoir} (exact
+    count, sampled percentiles). Both are safe to update from several
+    worker domains — parallel evaluation loses no increments.
+
+    {!global} is the conventional process-wide registry (the [--metrics]
+    flag of [scaf_eval] exports it); private registries for tests or
+    isolated subsystems come from {!create}. *)
+
+type t
+
+type counter
+
+type histogram
+
+val create : unit -> t
+
+(** The process-wide default registry. *)
+val global : t
+
+(** [counter t name] — the counter named [name], created at 0 on first
+    use. *)
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** [histogram t name] — the histogram named [name], created empty on
+    first use. *)
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+(** Exact number of observations ever made. *)
+val observed_count : histogram -> int
+
+type histogram_snapshot = {
+  count : int;  (** exact observation count *)
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;  (** percentiles over the retained sample *)
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+(** Sorted name/value views (deterministic order). *)
+val counters : t -> (string * int) list
+
+val histograms : t -> (string * histogram_snapshot) list
+
+(** Zero every counter and forget every histogram observation, in place:
+    handles resolved before a [reset] stay valid and keep feeding the same
+    (now zeroed) cells. *)
+val reset : t -> unit
+
+(** [{"counters":{...},"histograms":{...}}] with sorted keys. *)
+val to_json : t -> string

@@ -1,0 +1,338 @@
+(** Trace sinks and provenance trees (see sink.mli). *)
+
+type cache_status =
+  | Cache_hit
+  | Cache_canonical_hit
+  | Cache_miss
+  | Uncacheable
+  | Budget_denied
+
+let cache_status_name = function
+  | Cache_hit -> "hit"
+  | Cache_canonical_hit -> "canonical-hit"
+  | Cache_miss -> "miss"
+  | Uncacheable -> "uncacheable"
+  | Budget_denied -> "budget-denied"
+
+type node = {
+  query : string;
+  qclass : string;
+  depth : int;
+  mutable cache : cache_status;
+  mutable consults : consult list;  (** reverse chronological *)
+  mutable result : string;
+  mutable cost : float;
+  mutable n_options : int;
+  mutable assertions : string list;  (** cheapest option, rendered *)
+  mutable provenance : string list;
+  mutable bailed_after : int option;  (** [Some k]: stopped after k modules *)
+  mutable modules_total : int;
+  mutable t0 : float;
+  mutable t1 : float;
+}
+
+and consult = {
+  c_module : string;
+  mutable c_result : string;
+  mutable c_cost : float;
+  mutable c_note : string;  (** "", "quarantined", "fault", "overrun" *)
+  mutable c_improved : bool;  (** the join kept (part of) this answer *)
+  mutable c_premises : node list;  (** reverse chronological *)
+  mutable c_t0 : float;
+  mutable c_t1 : float;
+}
+
+type t = {
+  enabled : bool;
+  sample_every : int;
+  seen : int Atomic.t;
+  clock : (unit -> float) option;
+  lock : Mutex.t;
+  mutable roots : node list;  (** reverse chronological *)
+  mutable n_roots : int;
+  mutable dropped : int;
+  max_roots : int;
+}
+
+let noop : t =
+  {
+    enabled = false;
+    sample_every = 1;
+    seen = Atomic.make 0;
+    clock = None;
+    lock = Mutex.create ();
+    roots = [];
+    n_roots = 0;
+    dropped = 0;
+    max_roots = 0;
+  }
+
+let create ?(sample_every = 1) ?(max_roots = 100_000) ?clock () : t =
+  {
+    enabled = true;
+    sample_every = max 1 sample_every;
+    seen = Atomic.make 0;
+    clock;
+    lock = Mutex.create ();
+    roots = [];
+    n_roots = 0;
+    dropped = 0;
+    max_roots = max 1 max_roots;
+  }
+
+let enabled (t : t) : bool = t.enabled
+
+(* Callers must check [enabled] first (the no-op fast path); [sample] then
+   decides whether THIS client query gets a tree. *)
+let sample (t : t) : bool =
+  t.enabled
+  && Atomic.fetch_and_add t.seen 1 mod t.sample_every = 0
+
+let now (t : t) : float = match t.clock with Some c -> c () | None -> 0.0
+
+let node (t : t) ~(query : string) ~(qclass : string) ~(depth : int) : node =
+  {
+    query;
+    qclass;
+    depth;
+    cache = Uncacheable;
+    consults = [];
+    result = "";
+    cost = 0.0;
+    n_options = 0;
+    assertions = [];
+    provenance = [];
+    bailed_after = None;
+    modules_total = 0;
+    t0 = now t;
+    t1 = 0.0;
+  }
+
+let consult (t : t) (n : node) (modname : string) : consult =
+  let c =
+    {
+      c_module = modname;
+      c_result = "";
+      c_cost = 0.0;
+      c_note = "";
+      c_improved = false;
+      c_premises = [];
+      c_t0 = now t;
+      c_t1 = 0.0;
+    }
+  in
+  n.consults <- c :: n.consults;
+  c
+
+let add_premise (c : consult) (n : node) : unit = c.c_premises <- n :: c.c_premises
+
+let finish_consult (t : t) (c : consult) : unit = c.c_t1 <- now t
+
+let finish_node (t : t) (n : node) : unit = n.t1 <- now t
+
+let add_root (t : t) (n : node) : unit =
+  Mutex.lock t.lock;
+  if t.n_roots < t.max_roots then begin
+    t.roots <- n :: t.roots;
+    t.n_roots <- t.n_roots + 1
+  end
+  else t.dropped <- t.dropped + 1;
+  Mutex.unlock t.lock
+
+let roots (t : t) : node list =
+  Mutex.lock t.lock;
+  let r = List.rev t.roots in
+  Mutex.unlock t.lock;
+  r
+
+let root_count (t : t) : int =
+  Mutex.lock t.lock;
+  let n = t.n_roots in
+  Mutex.unlock t.lock;
+  n
+
+let dropped (t : t) : int = t.dropped
+
+let clear (t : t) : unit =
+  Mutex.lock t.lock;
+  t.roots <- [];
+  t.n_roots <- 0;
+  t.dropped <- 0;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Structure queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let consults (n : node) : consult list = List.rev n.consults
+let premises (c : consult) : node list = List.rev c.c_premises
+
+let rec max_depth (n : node) : int =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left (fun acc p -> max acc (max_depth p)) acc c.c_premises)
+    n.depth n.consults
+
+(** A premise query whose rendered form equals one of its ancestors': the
+    shape the depth budget exists to cut (factored modules ping-ponging). *)
+let has_cycle (n : node) : bool =
+  let rec go ancestors (n : node) =
+    List.mem n.query ancestors
+    || List.exists
+         (fun c -> List.exists (go (n.query :: ancestors)) c.c_premises)
+         n.consults
+  in
+  go [] n
+
+(* ------------------------------------------------------------------ *)
+(* Derivation-tree rendering                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_assertions ppf = function
+  | [] -> Fmt.pf ppf "(unconditional)"
+  | assertions ->
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") Fmt.string) assertions
+
+let pp_tree ppf (root : node) : unit =
+  let pf fmt = Fmt.pf ppf fmt in
+  let rec pp_node indent ancestors (n : node) =
+    let cycle = List.mem n.query ancestors in
+    pf "%s%s %s [%s]%s@." indent
+      (if n.depth = 0 then "query" else "premise")
+      n.query
+      (cache_status_name n.cache)
+      (if cycle then "  (cycle: repeats an enclosing query)" else "");
+    pf "%s  -> %s @@ cost %g, %d option(s), assertions %a@." indent n.result
+      n.cost n.n_options pp_assertions n.assertions;
+    if n.provenance <> [] then
+      pf "%s  via %a@." indent
+        (Fmt.list ~sep:Fmt.comma Fmt.string)
+        n.provenance;
+    (match n.bailed_after with
+    | Some k when k < n.modules_total ->
+        pf "%s  bailed out after %d of %d module(s)@." indent k n.modules_total
+    | _ -> ());
+    List.iter
+      (fun (c : consult) ->
+        pf "%s  consult %-22s -> %s%s%s@." indent c.c_module
+          (if c.c_result = "" then "(no answer)" else c.c_result)
+          (if c.c_cost > 0.0 then Printf.sprintf " @ cost %g" c.c_cost else "")
+          (match (c.c_improved, c.c_note) with
+          | _, ("quarantined" | "fault" | "overrun") ->
+              Printf.sprintf "  [%s]" c.c_note
+          | true, _ -> "  [join kept this]"
+          | false, _ -> "");
+        List.iter
+          (pp_node (indent ^ "    ") (n.query :: ancestors))
+          (premises c))
+      (consults n)
+  in
+  pp_node "" [] root
+
+let tree_to_string (n : node) : string = Fmt.str "%a" pp_tree n
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled: no JSON library in the toolchain)                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jnum (f : float) = Printf.sprintf "%g" f
+
+let rec node_to_json (n : node) : string =
+  Printf.sprintf
+    "{\"query\":%s,\"class\":%s,\"depth\":%d,\"cache\":%s,\"result\":%s,\"cost\":%s,\"options\":%d,\"assertions\":[%s],\"provenance\":[%s],\"consults\":[%s]}"
+    (jstr n.query) (jstr n.qclass) n.depth
+    (jstr (cache_status_name n.cache))
+    (jstr n.result) (jnum n.cost) n.n_options
+    (String.concat "," (List.map jstr n.assertions))
+    (String.concat "," (List.map jstr n.provenance))
+    (String.concat "," (List.map consult_to_json (consults n)))
+
+and consult_to_json (c : consult) : string =
+  Printf.sprintf
+    "{\"module\":%s,\"result\":%s,\"cost\":%s,\"note\":%s,\"improved\":%b,\"premises\":[%s]}"
+    (jstr c.c_module) (jstr c.c_result) (jnum c.c_cost) (jstr c.c_note)
+    c.c_improved
+    (String.concat "," (List.map node_to_json (premises c)))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete events ("ph":"X") with microsecond timestamps, one per query
+   node and per module consult, so the derivation nests as a flamegraph in
+   Chrome's trace viewer (chrome://tracing or Perfetto). When the sink has
+   no clock every recorded duration is 0; a synthetic virtual clock then
+   assigns each leaf 1us so the nesting is still visible. *)
+let to_chrome_json (t : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit ~name ~cat ~ts ~dur ~args =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+         (jstr name) (jstr cat) (jnum ts) (jnum dur) args)
+  in
+  let vt = ref 0.0 in
+  (* virtual clock, in us *)
+  let rec emit_node (n : node) : unit =
+    let real = n.t1 > n.t0 in
+    let ts = if real then n.t0 *. 1e6 else !vt in
+    let start_vt = !vt in
+    List.iter
+      (fun (c : consult) ->
+        let c_real = c.c_t1 > c.c_t0 in
+        let c_ts = if c_real then c.c_t0 *. 1e6 else !vt in
+        let c_start = !vt in
+        List.iter emit_node (premises c);
+        let c_dur =
+          if c_real then (c.c_t1 -. c.c_t0) *. 1e6
+          else begin
+            vt := max !vt (c_start +. 1.0);
+            !vt -. c_start
+          end
+        in
+        emit ~name:("consult " ^ c.c_module) ~cat:"module" ~ts:c_ts ~dur:c_dur
+          ~args:
+            (Printf.sprintf "\"result\":%s,\"cost\":%s,\"improved\":%b"
+               (jstr c.c_result) (jnum c.c_cost) c.c_improved))
+      (consults n);
+    let dur =
+      if real then (n.t1 -. n.t0) *. 1e6
+      else begin
+        vt := max !vt (start_vt +. 1.0);
+        !vt -. start_vt
+      end
+    in
+    emit ~name:n.query
+      ~cat:(if n.depth = 0 then "query" else "premise")
+      ~ts ~dur
+      ~args:
+        (Printf.sprintf
+           "\"class\":%s,\"depth\":%d,\"cache\":%s,\"result\":%s,\"cost\":%s"
+           (jstr n.qclass) n.depth
+           (jstr (cache_status_name n.cache))
+           (jstr n.result) (jnum n.cost))
+  in
+  List.iter emit_node (roots t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,144 @@
+(** Trace sinks: the structured-observability channel of the query hot
+    path.
+
+    A sink receives one {e provenance tree} per (sampled) client query:
+    which modules were consulted, which premise sub-queries each consult
+    raised at which depth, what every module answered, which answer the
+    join kept, how the cache behaved, and the final assertion set and
+    cost. The orchestrator builds the tree; this library only defines the
+    (domain-safe) collection substrate and the exporters.
+
+    The substrate is deliberately generic — queries, results and
+    assertions arrive {e rendered as strings} — so it has no dependency on
+    the core query language and can sit below it in the library stack.
+
+    {b Zero cost when disabled.} {!noop} is a shared, permanently disabled
+    sink; producers must check {!enabled} (one immutable bool read) before
+    doing any rendering or allocation. With the no-op sink the hot path is
+    byte-for-byte the untraced one.
+
+    {b Sampling.} A collector created with [~sample_every:n] accepts every
+    n-th client query ({!sample}); non-sampled queries pay exactly the
+    disabled-path cost after one atomic increment.
+
+    {b Concurrency.} Completed trees are appended under a mutex, so one
+    sink may be shared by orchestrators on several worker domains. *)
+
+type cache_status =
+  | Cache_hit
+  | Cache_canonical_hit  (** served through the mirrored alias form *)
+  | Cache_miss
+  | Uncacheable  (** carries a control-flow view; never keyed *)
+  | Budget_denied  (** premise refused: depth budget exhausted *)
+
+val cache_status_name : cache_status -> string
+
+(** One resolved query: the root is the client query, nested nodes are the
+    premise queries raised while answering it. *)
+type node = {
+  query : string;  (** rendered query *)
+  qclass : string;  (** query-language class, for grouping *)
+  depth : int;  (** premise nesting depth (0 = client query) *)
+  mutable cache : cache_status;
+  mutable consults : consult list;  (** reverse chronological *)
+  mutable result : string;  (** rendered final (joined) result *)
+  mutable cost : float;  (** cheapest-option validation cost *)
+  mutable n_options : int;
+  mutable assertions : string list;  (** cheapest option, rendered *)
+  mutable provenance : string list;  (** modules behind the final answer *)
+  mutable bailed_after : int option;
+      (** [Some k]: the bail-out policy stopped after [k] modules *)
+  mutable modules_total : int;
+  mutable t0 : float;
+  mutable t1 : float;
+}
+
+(** One module evaluation within a node. *)
+and consult = {
+  c_module : string;
+  mutable c_result : string;  (** "" = no answer *)
+  mutable c_cost : float;
+  mutable c_note : string;  (** "", "quarantined", "fault", "overrun" *)
+  mutable c_improved : bool;  (** the join kept (part of) this answer *)
+  mutable c_premises : node list;  (** reverse chronological *)
+  mutable c_t0 : float;
+  mutable c_t1 : float;
+}
+
+type t
+
+(** The permanently disabled sink ([enabled] = false, collects nothing). *)
+val noop : t
+
+(** A collecting sink. [sample_every] traces every n-th client query
+    (default 1: all); [max_roots] bounds retained trees (further trees are
+    counted in {!dropped}); [clock] timestamps spans (omitted: synthetic
+    ordering, still viewable). *)
+val create :
+  ?sample_every:int -> ?max_roots:int -> ?clock:(unit -> float) -> unit -> t
+
+val enabled : t -> bool
+
+(** Should THIS client query be traced? Advances the sampling counter;
+    callers check {!enabled} first and call this once per client query. *)
+val sample : t -> bool
+
+(** Current clock reading (0. without a clock). *)
+val now : t -> float
+
+(** {2 Tree construction (producer side)} *)
+
+val node : t -> query:string -> qclass:string -> depth:int -> node
+val consult : t -> node -> string -> consult
+val add_premise : consult -> node -> unit
+val finish_consult : t -> consult -> unit
+val finish_node : t -> node -> unit
+
+(** Record a completed client-query tree (thread-safe). *)
+val add_root : t -> node -> unit
+
+(** {2 Consumption} *)
+
+(** Completed trees, oldest first (thread-safe snapshot). *)
+val roots : t -> node list
+
+val root_count : t -> int
+
+(** Trees discarded because [max_roots] was reached. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** Consults / premises in chronological order. *)
+val consults : node -> consult list
+
+val premises : consult -> node list
+
+(** Deepest premise depth reachable in the tree. *)
+val max_depth : node -> int
+
+(** Does any premise repeat an enclosing query (the ping-pong shape the
+    depth budget cuts)? *)
+val has_cycle : node -> bool
+
+(** {2 Export} *)
+
+(** Pretty-printed derivation tree (the [scaf_eval explain] format):
+    per-node query, cache status, joined result, cost, assertion option,
+    provenance; per-consult module answers with the join's pick marked;
+    premise recursion indented, cycles annotated. *)
+val pp_tree : Format.formatter -> node -> unit
+
+val tree_to_string : node -> string
+
+(** Structured JSON of one tree (consults and premises nested). *)
+val node_to_json : node -> string
+
+(** All collected trees as Chrome [trace_event] JSON (complete "X" events,
+    microsecond timestamps — synthetic when the sink has no clock), ready
+    for chrome://tracing or Perfetto. *)
+val to_chrome_json : t -> string
+
+(**/**)
+
+val json_escape : string -> string

@@ -52,7 +52,7 @@ let build ?(blacklist = []) (reports : Pdg.loop_report list) : t =
         List.filter
           (fun o ->
             (not (blacklisted o))
-            && Cost_model.affordable (Response.option_cost o))
+            && Cost_model.affordable (Response.Options.cost o))
           q.Pdg.resp.Response.options
         |> List.sort (fun a b ->
                Float.compare (marginal_cost a !sel) (marginal_cost b !sel))

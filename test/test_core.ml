@@ -299,7 +299,7 @@ let test_orchestrator_premise_depth () =
     Module_api.make ~name:"rec" ~kind:Module_api.Memory ~factored:true
       (fun ctx q ->
         incr evals;
-        ctx.Module_api.handle q)
+        Module_api.Ctx.ask ctx q)
   in
   let o =
     Orchestrator.create tiny_prog
@@ -336,7 +336,7 @@ let test_orchestrator_desired_stripping () =
         (match q with
         | Query.Modref _ ->
             ignore
-              (ctx.Module_api.handle
+              (Module_api.Ctx.ask ctx
                  (Query.alias ~fname:"main" ~tr:Query.Same ~dr:Query.DMustAlias
                     (Scaf_ir.Value.Null, 1) (Scaf_ir.Value.Null, 1)))
         | _ -> ());

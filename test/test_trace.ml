@@ -1,0 +1,373 @@
+(** Tests for the observability layer: provenance-tree shape under premise
+    recursion, the depth budget and cycle annotation, metrics-counter
+    exactness under the domain-parallel batch engine, the
+    tracing-never-changes-a-response qcheck property, the Chrome
+    trace_event export, and the [Module_api.Ctx] / [Response.Options] API
+    surfaces introduced alongside the trace layer. *)
+
+open Scaf
+open Scaf_ir
+open Scaf_pdg
+module Sink = Scaf_trace.Sink
+module Metrics = Scaf_trace.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let contains = Astring_contains.contains
+
+let nomodref_free = Response.free (Aresult.RModref Aresult.NoModRef)
+let noalias_free = Response.free (Aresult.RAlias Aresult.NoAlias)
+
+let tiny_prog =
+  Scaf_cfg.Progctx.build
+    (Parser.parse_exn_msg "func @main() {\nentry:\n  ret\n}")
+
+let alias_q =
+  Query.alias ~fname:"main" ~tr:Query.Same
+    (Value.Global "a", 8)
+    (Value.Global "b", 8)
+
+(* A factored module that establishes one alias premise before answering a
+   modref query, plus the leaf that resolves the premise: the smallest
+   ensemble exercising premise recursion. *)
+let premise_raiser =
+  Module_api.make ~name:"raiser" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q ->
+      match q with
+      | Query.Modref _ ->
+          let (_ : Response.t) = Module_api.Ctx.ask ctx alias_q in
+          nomodref_free
+      | _ -> Module_api.no_answer q)
+
+let alias_leaf =
+  Module_api.make ~name:"leaf" ~kind:Module_api.Memory ~factored:false
+    (fun _ q ->
+      match q with
+      | Query.Alias _ -> noalias_free
+      | _ -> Module_api.no_answer q)
+
+let traced_orch ?(modules = [ premise_raiser; alias_leaf ]) () =
+  let sink = Sink.create () in
+  let o =
+    Orchestrator.create tiny_prog
+      {
+        (Orchestrator.default_config modules) with
+        Orchestrator.trace = sink;
+      }
+  in
+  (o, sink)
+
+let rec exists_node pred (n : Sink.node) =
+  pred n
+  || List.exists
+       (fun c -> List.exists (exists_node pred) (Sink.premises c))
+       (Sink.consults n)
+
+(* -- provenance-tree shape ------------------------------------------- *)
+
+let test_tree_shape () =
+  let o, sink = traced_orch () in
+  ignore (Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same 1 2));
+  checki "one root per client query" 1 (Sink.root_count sink);
+  let n = List.hd (Sink.roots sink) in
+  checki "client query sits at depth 0" 0 n.Sink.depth;
+  checkb "fresh cache missed" true (n.Sink.cache = Sink.Cache_miss);
+  checkb "joined result recorded" true (contains n.Sink.result "NoModRef");
+  let cs = Sink.consults n in
+  checkb "first consult is the raiser" true
+    ((List.hd cs).Sink.c_module = "raiser");
+  checkb "the join kept the raiser's answer" true (List.hd cs).Sink.c_improved;
+  let ps = Sink.premises (List.hd cs) in
+  checki "exactly one premise raised" 1 (List.length ps);
+  let p = List.hd ps in
+  checki "premise sits at depth 1" 1 p.Sink.depth;
+  checkb "premise rendered as an alias query" true
+    (contains p.Sink.query "alias");
+  checkb "premise answer recorded" true (contains p.Sink.result "NoAlias");
+  checki "tree depth" 1 (Sink.max_depth n);
+  checkb "no cycle in a straight derivation" false (Sink.has_cycle n);
+  (* definite-free answer from module 1 of 2: the bail-out is visible *)
+  checkb "bail-out recorded" true (n.Sink.bailed_after = Some 1);
+  checki "ensemble size recorded" 2 n.Sink.modules_total
+
+let test_cache_hit_recorded () =
+  let o, sink = traced_orch () in
+  let q = Query.modref_instrs ~tr:Query.Same 1 2 in
+  ignore (Orchestrator.handle o q);
+  ignore (Orchestrator.handle o q);
+  match Sink.roots sink with
+  | [ _; second ] ->
+      checkb "second resolution served from the memo table" true
+        (second.Sink.cache = Sink.Cache_hit);
+      checki "a cache hit consults nobody" 0
+        (List.length (Sink.consults second))
+  | roots -> Alcotest.failf "expected 2 roots, got %d" (List.length roots)
+
+(* -- depth budget and cycle annotation ------------------------------- *)
+
+(* Asks its own query back as a premise: the ping-pong shape the depth
+   budget must cut, and the cycle detector must flag. *)
+let self_recursive =
+  Module_api.make ~name:"rec" ~kind:Module_api.Memory ~factored:true
+    (fun ctx q ->
+      match q with
+      | Query.Alias _ ->
+          let (_ : Response.t) = Module_api.Ctx.ask ctx q in
+          Module_api.no_answer q
+      | _ -> Module_api.no_answer q)
+
+let test_depth_budget_and_cycle () =
+  let o, sink = traced_orch ~modules:[ self_recursive ] () in
+  ignore (Orchestrator.handle o alias_q);
+  let n = List.hd (Sink.roots sink) in
+  let budget = (Orchestrator.config o).Orchestrator.max_premise_depth in
+  checkb "tree depth bounded by the premise budget" true
+    (Sink.max_depth n <= budget + 1);
+  checkb "the budget denial is a visible leaf" true
+    (exists_node (fun m -> m.Sink.cache = Sink.Budget_denied) n);
+  checkb "the repetition is annotated as a cycle" true (Sink.has_cycle n);
+  checkb "the rendering carries both annotations" true
+    (let s = Sink.tree_to_string n in
+     contains s "budget-denied" && contains s "cycle")
+
+(* -- sampling, bounding, the no-op sink ------------------------------ *)
+
+let test_sampling_and_noop () =
+  checkb "the no-op sink is disabled" false (Sink.enabled Sink.noop);
+  let s = Sink.create ~sample_every:3 () in
+  checkb "a collector is enabled" true (Sink.enabled s);
+  let taken = List.init 9 (fun _ -> Sink.sample s) in
+  checki "every third client query sampled" 3
+    (List.length (List.filter Fun.id taken))
+
+let test_max_roots_bound () =
+  let s = Sink.create ~max_roots:2 () in
+  for i = 0 to 4 do
+    Sink.add_root s (Sink.node s ~query:(string_of_int i) ~qclass:"t" ~depth:0)
+  done;
+  checki "retained trees bounded" 2 (Sink.root_count s);
+  checki "excess trees counted, not lost silently" 3 (Sink.dropped s)
+
+(* -- metrics registry ------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "counter arithmetic" 5 (Metrics.counter_value c);
+  checkb "get-or-create returns the same handle" true
+    (Metrics.counter m "a" == c);
+  let h = Metrics.histogram m "h" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let s = Metrics.histogram_snapshot h in
+  checki "observation count exact" 100 s.Metrics.count;
+  checkb "median within the observed range" true
+    (s.Metrics.p50 >= 1.0 && s.Metrics.p50 <= 100.0);
+  let j = Metrics.to_json m in
+  checkb "json carries the counter" true (contains j "\"a\":5");
+  checkb "json carries the histogram" true (contains j "\"h\":{");
+  Metrics.reset m;
+  checki "reset zeroes counters" 0 (Metrics.counter_value c);
+  checki "reset clears histograms" 0 (Metrics.observed_count h)
+
+(* Exactness under the domain-parallel batch engine: 4 workers, one shared
+   registry — every client query increments "queries.client" exactly once,
+   and the per-class counters partition client + premise traffic. *)
+let test_metrics_parallel_counters () =
+  let bench = Option.get (Scaf_suite.Registry.find "181.mcf") in
+  let profiles =
+    Scaf_profile.Profiler.profile_module
+      ~inputs:bench.Scaf_suite.Benchmark.train_inputs
+      (Scaf_suite.Benchmark.program bench)
+  in
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  let lid = fst (List.hd (Nodep.hot_loop_weights profiles)) in
+  let qs = List.map (Pdg.to_query lid) (Pdg.queries_of_loop prog lid) in
+  let m = Metrics.create () in
+  let scheme = Schemes.scaf_scheme ~metrics:m profiles in
+  let (_ : Response.t list) =
+    Schemes.parallel_map ~jobs:4 ~worker:scheme.Schemes.spawn
+      ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
+      qs
+  in
+  let v name = Metrics.counter_value (Metrics.counter m name) in
+  checki "every client query counted exactly once" (List.length qs)
+    (v "queries.client");
+  checki "class counters partition client + premise traffic"
+    (List.length qs + v "queries.premise")
+    (v "queries.class.alias" + v "queries.class.modref_instr"
+   + v "queries.class.modref_loc");
+  checkb "cache counters active" true
+    (v "cache.hit" + v "cache.canonical_hit" + v "cache.miss"
+     + v "cache.uncacheable"
+    > 0)
+
+(* -- tracing is pure -------------------------------------------------- *)
+
+let resp_equal (a : Response.t) (b : Response.t) : bool =
+  Aresult.equal a.Response.result b.Response.result
+  && Response.Sset.equal a.Response.provenance b.Response.provenance
+  && a.Response.options = b.Response.options
+
+(* Random workload queries on a real benchmark: attaching a collecting
+   sink and a metrics registry must never change any Response. *)
+let prop_tracing_pure =
+  let arb_val =
+    QCheck.oneofl
+      [
+        Value.Global "a";
+        Value.Global "b";
+        Value.Reg "i";
+        Value.Reg "v";
+        Value.Int 0L;
+        Value.Int 8L;
+        Value.Null;
+      ]
+  in
+  let arb_tr = QCheck.oneofl [ Query.Before; Query.Same; Query.After ] in
+  let arb_sz = QCheck.oneofl [ 1; 4; 8 ] in
+  let bench = Option.get (Scaf_suite.Registry.find "181.mcf") in
+  let profiles =
+    lazy
+      (Scaf_profile.Profiler.profile_module
+         ~inputs:bench.Scaf_suite.Benchmark.train_inputs
+         (Scaf_suite.Benchmark.program bench))
+  in
+  QCheck.Test.make ~name:"tracing never changes a response" ~count:40
+    QCheck.(
+      pair
+        (quad arb_val arb_sz arb_val arb_tr)
+        (option (pair (int_bound 30) (int_bound 30))))
+    (fun ((p1, s1, p2, tr), modref) ->
+      let profiles = Lazy.force profiles in
+      let q =
+        match modref with
+        | Some (i1, i2) -> Query.modref_instrs ~tr i1 i2
+        | None -> Query.alias ~fname:"main" ~tr (p1, s1) (p2, 8)
+      in
+      let plain = (Schemes.scaf_scheme profiles).Schemes.spawn () in
+      let sink = Sink.create () in
+      let traced =
+        (Schemes.scaf_scheme ~trace:sink ~metrics:(Metrics.create ()) profiles)
+          .Schemes.spawn ()
+      in
+      resp_equal (plain.Schemes.resolve q) (traced.Schemes.resolve q)
+      && Sink.root_count sink = 1)
+
+(* -- exporters -------------------------------------------------------- *)
+
+let test_chrome_export () =
+  let o, sink = traced_orch () in
+  ignore (Orchestrator.handle o (Query.modref_instrs ~tr:Query.Same 1 2));
+  let j = Sink.to_chrome_json sink in
+  checkb "trace_event envelope" true (contains j "\"traceEvents\"");
+  checkb "complete (X) events" true (contains j "\"ph\":\"X\"");
+  checkb "module spans exported" true (contains j "consult raiser");
+  let nj = Sink.node_to_json (List.hd (Sink.roots sink)) in
+  checkb "node json carries the query" true (contains nj "modref");
+  checkb "node json nests premises" true (contains nj "\"premises\"")
+
+let test_json_escape () =
+  checkb "quotes and control characters escaped" true
+    (Sink.json_escape "a\"b\\c\nd" = "a\\\"b\\\\c\\nd")
+
+(* -- the Response.Options API ----------------------------------------- *)
+
+let assertion_of cost =
+  {
+    Assertion.module_id = "t";
+    points = [];
+    cost;
+    conflicts = [];
+    payload = Assertion.Value_predict { load = 0; value = 0L };
+  }
+
+let test_response_options () =
+  let a5 = assertion_of 5.0 and a2 = assertion_of 2.0 in
+  let opts = [ [ a5 ]; [ a2; a2 ] ] in
+  checkf "option cost sums its assertions" 4.0
+    (Response.Options.cost [ a2; a2 ]);
+  checki "count" 2 (Response.Options.count opts);
+  checkf "cheapest cost" 4.0 (Response.Options.cheapest_cost opts);
+  checkb "cheapest picks the two-assertion option" true
+    (Response.Options.cheapest opts = Some [ a2; a2 ]);
+  checkb "empty disjunction costs infinity" true
+    (Response.Options.cheapest_cost [] = infinity);
+  checki "filter keeps the affordable option" 1
+    (Response.Options.count
+       (Response.Options.filter (fun o -> Response.Options.cost o < 4.5) opts));
+  checkb "exists" true
+    (Response.Options.exists Response.Options.is_unconditional ([] :: opts));
+  (* free (zero-cost) is weaker than unconditional (assertion-free) *)
+  let zero = [ [ assertion_of 0.0 ] ] in
+  checkb "zero-cost option is free" true (Response.Options.has_free zero);
+  checkb "but not unconditional" false
+    (Response.Options.has_unconditional zero);
+  checkb "the empty option is unconditional" true
+    (Response.Options.has_unconditional [ [] ]);
+  (* the deprecated spellings stay equivalent during this PR's window *)
+  let r = Response.make ~options:opts (Aresult.RModref Aresult.NoModRef) in
+  checkf "deprecated cheapest_cost agrees" (Response.Options.cheapest_cost opts)
+    (Response.cheapest_cost r);
+  checkb "deprecated cheapest_option agrees" true
+    (Response.cheapest_option r = Response.Options.cheapest opts)
+
+(* -- the Module_api.Ctx record ----------------------------------------- *)
+
+let test_ctx_accessors () =
+  let asked = ref 0 in
+  let ask q =
+    incr asked;
+    Response.bottom_for q
+  in
+  let ctx = Module_api.Ctx.make ~ask tiny_prog in
+  checki "default depth" 0 (Module_api.Ctx.depth ctx);
+  checkb "no desired result by default" true
+    (Module_api.Ctx.desired ctx = None);
+  checkb "no loop scope by default" true (Module_api.Ctx.loop ctx = None);
+  checkb "sink defaults to the no-op" false
+    (Sink.enabled (Module_api.Ctx.sink ctx));
+  checkb "prog is the program handed in" true
+    (Module_api.Ctx.prog ctx == tiny_prog);
+  ignore (Module_api.Ctx.ask ctx alias_q);
+  checki "ask reaches the oracle" 1 !asked;
+  let ctx2 = Module_api.Ctx.with_ask (fun _ -> noalias_free) ctx in
+  let r = Module_api.Ctx.ask ctx2 alias_q in
+  checkb "with_ask replaced the oracle" true
+    (r.Response.result = Aresult.RAlias Aresult.NoAlias);
+  checki "the original oracle is untouched" 1 !asked;
+  (* without a speculative view, ctrl falls back to the static one *)
+  checkb "static ctrl view available" true
+    (Module_api.Ctx.ctrl ctx ~fname:"main" <> None)
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "provenance tree shape" `Quick test_tree_shape;
+        Alcotest.test_case "cache hit recorded" `Quick test_cache_hit_recorded;
+        Alcotest.test_case "depth budget + cycle annotation" `Quick
+          test_depth_budget_and_cycle;
+        Alcotest.test_case "sampling and the no-op sink" `Quick
+          test_sampling_and_noop;
+        Alcotest.test_case "max_roots bound" `Quick test_max_roots_bound;
+        Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        Alcotest.test_case "json escaping" `Quick test_json_escape;
+        QCheck_alcotest.to_alcotest prop_tracing_pure;
+      ] );
+    ( "metrics",
+      [
+        Alcotest.test_case "registry semantics" `Quick test_metrics_registry;
+        Alcotest.test_case "exact counters under parallel_map" `Quick
+          test_metrics_parallel_counters;
+      ] );
+    ( "ctx+options",
+      [
+        Alcotest.test_case "Response.Options API" `Quick test_response_options;
+        Alcotest.test_case "Module_api.Ctx accessors" `Quick test_ctx_accessors;
+      ] );
+  ]
