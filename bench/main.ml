@@ -23,9 +23,12 @@
       sink, and a metrics registry attached.
 
     Run with: dune exec bench/main.exe [-- GROUP...] — group names select
-    a subset. The special argument [trace-gate] instead runs the CI
-    regression gate: the enabled-but-sampled-out hot path must stay within
-    tolerance of the no-op-sink baseline (non-zero exit otherwise). *)
+    a subset. [--json FILE] additionally writes every estimate as a flat
+    JSON snapshot (the committed BENCH_*.json baselines;
+    ci/compare_bench.py diffs a fresh run against one). The special
+    argument [trace-gate] instead runs the CI regression gate: the
+    enabled-but-sampled-out hot path must stay within tolerance of the
+    no-op-sink baseline (non-zero exit otherwise). *)
 
 open Bechamel
 open Toolkit
@@ -432,6 +435,10 @@ let trace_gate () =
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Measured estimates of the current invocation, for the [--json]
+   snapshot (BENCH_*.json) that future PRs diff against. *)
+let measured : (string * float) list ref = ref []
+
 let run_tests (tests : Test.t list) =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
@@ -448,10 +455,34 @@ let run_tests (tests : Test.t list) =
       Hashtbl.iter
         (fun name v ->
           match Analyze.OLS.estimates v with
-          | Some [ t ] -> Fmt.pr "%-36s %12.1f ns/run@." name t
+          | Some [ t ] ->
+              measured := (name, t) :: !measured;
+              Fmt.pr "%-36s %12.1f ns/run@." name t
           | _ -> Fmt.pr "%-36s (no estimate)@." name)
         ols)
     tests
+
+(* Persist the run as a flat {"benchmarks": {name: ns_per_run}} snapshot;
+   ci/compare_bench.py gates regressions against a committed baseline. *)
+let write_json (path : string) =
+  let open Scaf_server in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> compare a b) !measured
+    |> List.map (fun (name, ns) -> (name, Json.float ns))
+  in
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Int 1);
+        ("unit", Json.String "ns/run");
+        ("benchmarks", Json.Obj entries);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %d estimates to %s@." (List.length entries) path
 
 (* Precision side of the ablations: premise depth and module order do not
    change soundness, only how much gets resolved (depth) and how fast. *)
@@ -497,6 +528,12 @@ let () =
   match List.tl (Array.to_list Sys.argv) with
   | [ "trace-gate" ] -> trace_gate ()
   | args ->
+      let rec split_json acc = function
+        | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+        | a :: rest -> split_json (a :: acc) rest
+        | [] -> (None, List.rev acc)
+      in
+      let json_out, args = split_json [] args in
       let want name = args = [] || List.mem name args in
       List.iter
         (fun (name, title, tests) ->
@@ -506,4 +543,5 @@ let () =
             Fmt.pr "@."
           end)
         groups;
+      (match json_out with Some path -> write_json path | None -> ());
       if want "ablation" then precision_table ()

@@ -365,6 +365,84 @@ let run_audit c json_out =
   emit_observability c trace;
   if Scaf_audit.Audit.exit_code r <> 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* serve / ask: the query daemon and its client                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock"
+
+let run_serve benchmarks socket workers capacity idle_timeout deadline_ms =
+  let open Scaf_server in
+  let base = Daemon.default_config ~socket_path:socket () in
+  let cfg =
+    {
+      base with
+      Daemon.benchmarks = select_benchmarks benchmarks;
+      workers;
+      admission = { base.Daemon.admission with Admission.capacity };
+      idle_timeout;
+      default_deadline_ms = deadline_ms;
+    }
+  in
+  let t = Daemon.start cfg in
+  Printf.eprintf "scaf-eval: serving %d benchmark(s) on %s\n%!"
+    (List.length cfg.Daemon.benchmarks)
+    socket;
+  Daemon.wait t
+
+let with_client socket (f : Scaf_server.Client.t -> string list -> unit) =
+  let open Scaf_server in
+  let c, benches = Client.connect ~name:"scaf-eval" socket in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c benches)
+
+(* [ask fig8] renders the daemon's per-benchmark rows with exactly the
+   batch code path, so a full-suite daemon replay is byte-identical to
+   [scaf_eval fig8]. *)
+let run_ask what socket bench loop src dst cross deadline_ms =
+  let open Scaf_server in
+  match what with
+  | "fig8" ->
+      with_client socket (fun c benches ->
+          let rows = List.map (fun b -> Client.report c ~bench:b) benches in
+          print_endline
+            "Figure 8 — dependence coverage (%NoDep, time-weighted):";
+          print_endline (Experiments.fig8_of_rows rows);
+          print_endline (Experiments.fig8_deltas_of_rows rows))
+  | "ping" ->
+      with_client socket (fun c _ ->
+          Client.ping c;
+          print_endline "pong")
+  | "stats" ->
+      with_client socket (fun c _ ->
+          print_endline (Json.to_string (Client.stats c)))
+  | "shutdown" -> with_client socket (fun c _ -> Client.shutdown c)
+  | "query" ->
+      let bench =
+        match bench with
+        | Some b -> b
+        | None -> Fmt.failwith "ask query needs --bench"
+      in
+      let loop =
+        match loop with
+        | Some l -> l
+        | None -> Fmt.failwith "ask query needs --loop"
+      in
+      with_client socket (fun c _ ->
+          let a =
+            Client.ask ?deadline_ms c ~bench
+              { Protocol.wloop = loop; wsrc = src; wdst = dst; wcross = cross }
+          in
+          Fmt.pr "%s%s  cost %.2f  options %d  provenance %s%s@."
+            a.Protocol.a_result
+            (if a.Protocol.a_nodep then "  [nodep]" else "")
+            a.Protocol.a_cost a.Protocol.a_options
+            (String.concat "," a.Protocol.a_provenance)
+            (match a.Protocol.a_degraded with
+            | Some tag -> "  [degraded: " ^ tag ^ "]"
+            | None -> ""))
+  | other -> Fmt.failwith "unknown ask request %S" other
+
 let run_resilience seed =
   let open Scaf_faultinject in
   print_endline "Recovery scenarios — every run must commit or recover:";
@@ -416,7 +494,31 @@ let run_resilience seed =
                 String.concat "," c.Harness.c_quarantined;
               ])
             chaos));
-  if bad <> [] then exit 1
+  print_endline
+    "Server chaos — every request answered, rejected, or expired:";
+  let server = Server_chaos.run_server_chaos ~seed () in
+  print_endline
+    (Report.table
+       ~header:[ "scenario"; "ok"; "detail" ]
+       ~rows:
+         (List.map
+            (fun (s : Server_chaos.server_outcome) ->
+              [
+                s.Server_chaos.s_scenario;
+                (if s.Server_chaos.s_ok then "yes" else "NO");
+                s.Server_chaos.s_detail;
+              ])
+            server));
+  let server_bad =
+    List.filter
+      (fun (s : Server_chaos.server_outcome) -> not s.Server_chaos.s_ok)
+      server
+  in
+  Fmt.pr "%d server scenarios, %d ok, %d FAILED@."
+    (List.length server)
+    (List.length server - List.length server_bad)
+    (List.length server_bad);
+  if bad <> [] || server_bad <> [] then exit 1
 
 (* every evaluation subcommand shares the [common] flag set *)
 let cmd_common name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ common_term)
@@ -477,6 +579,91 @@ let () =
                     & opt (some string) None
                     & info [ "json" ] ~docv:"FILE"
                         ~doc:"Also write the machine-readable report to $(docv)."));
+            (let socket_arg =
+               Arg.(
+                 value & opt string default_socket
+                 & info [ "socket" ] ~docv:"PATH"
+                     ~doc:"Unix-domain socket path for the query daemon.")
+             in
+             Cmd.v
+               (Cmd.info "serve"
+                  ~doc:
+                    "Run the analysis-as-a-service daemon: load the \
+                     benchmarks once, then answer PDG dependence queries \
+                     over a Unix socket with admission control, per-request \
+                     deadlines, and graceful degradation under load.")
+               Term.(
+                 const run_serve $ bench_arg $ socket_arg
+                 $ Arg.(
+                     value & opt int 2
+                     & info [ "workers" ] ~docv:"N"
+                         ~doc:"Worker threads answering admitted queries.")
+                 $ Arg.(
+                     value & opt int 64
+                     & info [ "capacity" ] ~docv:"N"
+                         ~doc:
+                           "Admission-queue capacity; submissions beyond it \
+                            are rejected with a retry-after hint.")
+                 $ Arg.(
+                     value & opt float 30.0
+                     & info [ "idle-timeout" ] ~docv:"SECONDS"
+                         ~doc:"Reap client sessions idle longer than this.")
+                 $ Arg.(
+                     value
+                     & opt (some float) None
+                     & info [ "deadline-ms" ] ~docv:"MS"
+                         ~doc:
+                           "Default per-query deadline applied when a \
+                            request carries none.")));
+            (let socket_arg =
+               Arg.(
+                 value & opt string default_socket
+                 & info [ "socket" ] ~docv:"PATH"
+                     ~doc:"Unix-domain socket of a running daemon.")
+             in
+             Cmd.v
+               (Cmd.info "ask"
+                  ~doc:
+                    "Query a running daemon: $(b,fig8) replays the whole \
+                     Figure 8 evaluation through the wire (byte-identical \
+                     to the batch command), $(b,query) asks one dependence \
+                     query, $(b,stats) dumps daemon health, $(b,shutdown) \
+                     stops the daemon.")
+               Term.(
+                 const run_ask
+                 $ Arg.(
+                     required
+                     & pos 0 (some string) None
+                     & info [] ~docv:"WHAT"
+                         ~doc:"One of: fig8, query, ping, stats, shutdown.")
+                 $ socket_arg
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "b"; "bench" ] ~docv:"NAME"
+                         ~doc:"Benchmark for $(b,query).")
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "loop" ] ~docv:"LOOP"
+                         ~doc:"Hot loop for $(b,query).")
+                 $ Arg.(
+                     value & opt int 0
+                     & info [ "src" ] ~docv:"N"
+                         ~doc:"Source instruction index for $(b,query).")
+                 $ Arg.(
+                     value & opt int 0
+                     & info [ "dst" ] ~docv:"N"
+                         ~doc:"Destination instruction index for $(b,query).")
+                 $ Arg.(
+                     value & flag
+                     & info [ "cross" ]
+                         ~doc:"Ask the cross-iteration dependence.")
+                 $ Arg.(
+                     value
+                     & opt (some float) None
+                     & info [ "deadline-ms" ] ~docv:"MS"
+                         ~doc:"Per-request deadline in milliseconds.")));
             Cmd.v
               (Cmd.info "resilience"
                  ~doc:"Seeded fault-injection matrix: recovery + chaos")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json run against a committed BENCH_*.json baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [TOLERANCE]
+
+A benchmark regresses when current > baseline * TOLERANCE (default 3.0 —
+CI machines are noisy and shared, so the gate only catches order-of-
+magnitude blowups, not jitter). Missing benchmarks in CURRENT are errors
+(a silently dropped benchmark is how perf coverage rots); new benchmarks
+in CURRENT are reported but fine. Exits non-zero on any regression or
+missing benchmark.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc["benchmarks"]
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 3.0
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            failures.append(f"MISSING  {name}: in baseline but not measured")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "REGRESSED" if ratio > tolerance else "ok"
+        print(f"{status:9s} {name:40s} {base:12.1f} -> {cur:12.1f} ns/run"
+              f"  ({ratio:5.2f}x)")
+        if ratio > tolerance:
+            failures.append(f"{name}: {ratio:.2f}x over baseline"
+                            f" (limit {tolerance:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"new       {name:40s} {'':12s}    {current[name]:12.1f} ns/run")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(baseline)} baseline benchmarks within "
+          f"{tolerance:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -98,7 +98,7 @@ let () =
   let _ = show "Memory speculation" (Scaf_pdg.Schemes.memory_speculation profiles) in
 
   Fmt.pr "@.--- what the client must validate (Figure 5c) ---@.";
-  (match Response.cheapest_option scaf_resp with
+  (match Response.Options.cheapest scaf_resp.Response.options with
   | Some option ->
       List.iter (fun a -> Fmt.pr "  %a@." Assertion.pp a) option;
       (* apply it: instrument and run *)

@@ -47,7 +47,7 @@ let () =
       (fun acc (q : Pdg.qresult) ->
         let resp = memspec.Schemes.resolve (Pdg.to_query lid q.Pdg.dq) in
         match resp.Response.result with
-        | Aresult.RModref Aresult.NoModRef -> acc +. Response.cheapest_cost resp
+        | Aresult.RModref Aresult.NoModRef -> acc +. Response.Options.cheapest_cost resp.Response.options
         | _ -> acc)
       0.0 removable
   in

@@ -92,4 +92,4 @@ let () =
     Fmt.(list ~sep:comma string)
     (Response.Sset.elements resp.Response.provenance);
   Fmt.pr "validation cost of cheapest option: %.1f@."
-    (Response.cheapest_cost resp)
+    (Response.Options.cheapest_cost resp.Response.options)

@@ -50,9 +50,6 @@ module Ctx = struct
   let with_ask (ask : Query.t -> Response.t) (t : t) : t = { t with ask }
 end
 
-(** @deprecated spelling of {!Ctx.t}; gone next PR. *)
-type ctx = Ctx.t
-
 type kind = Memory | Speculation
 
 (** The classes of SCAF's query language (Figure 3), at the granularity the

@@ -55,9 +55,6 @@ module Ctx : sig
   val with_ask : (Query.t -> Response.t) -> t -> t
 end
 
-(** @deprecated spelling of {!Ctx.t}; gone next PR. *)
-type ctx = Ctx.t
-
 type kind = Memory | Speculation
 
 (** Query-language classes, the granularity of capability declarations and

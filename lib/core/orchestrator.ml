@@ -71,6 +71,9 @@ type counters = {
   mutable module_faults : int;  (** module evaluations that raised *)
   mutable module_overruns : int;  (** evaluations past [module_budget] *)
   mutable quarantine_skips : int;  (** evaluations skipped by the breaker *)
+  mutable deadline_expiries : int;
+      (** client queries whose armed deadline expired before the consult
+          sweep finished *)
 }
 
 type stats_snapshot = {
@@ -80,6 +83,7 @@ type stats_snapshot = {
   module_faults : int;
   module_overruns : int;
   quarantine_skips : int;
+  deadline_expiries : int;
   latency_count : int;
   cache : Qcache.stats;
 }
@@ -170,6 +174,7 @@ let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
         module_faults = 0;
         module_overruns = 0;
         quarantine_skips = 0;
+        deadline_expiries = 0;
       };
     cache = (match cache with Some c -> c | None -> Qcache.create ());
     deadline = ref None;
@@ -189,6 +194,7 @@ let stats (t : t) : stats_snapshot =
     module_faults = t.c.module_faults;
     module_overruns = t.c.module_overruns;
     quarantine_skips = t.c.quarantine_skips;
+    deadline_expiries = t.c.deadline_expiries;
     latency_count = Reservoir.count t.c.lat;
     cache = Qcache.stats t.cache;
   }
@@ -213,12 +219,18 @@ let deadline_passed (t : t) : bool =
 
 let deadline_pending (t : t) : bool = !(t.deadline) <> None
 
+(* An armed per-query deadline trumps every bail-out policy: once it has
+   passed, the current join is the best answer this query will get.
+   [t.deadline] is only armed by a [Timeout] policy or an explicit
+   [handle ~deadline], so the plain policies are unchanged otherwise. *)
 let should_bail (t : t) (r : Response.t) : bool =
+  deadline_passed t
+  ||
   match t.config.bailout with
   | Definite_free -> Response.is_definite_free r
   | Definite_any -> Aresult.is_definite r.Response.result
   | Exhaustive -> false
-  | Timeout _ -> Response.is_definite_free r || deadline_passed t
+  | Timeout _ -> Response.is_definite_free r
 
 let class_counter (m : mx) (q : Query.t) : Metrics.counter =
   match Module_api.qclass_of_query q with
@@ -491,8 +503,11 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
   | _ -> ());
   !final
 
-(** [handle t q] — Algorithm 1: resolve a client query. *)
-let handle (t : t) (q : Query.t) : Response.t =
+(* Resolve one client query with an optional per-request absolute deadline
+   (in [clock] units) armed alongside any [Timeout] policy budget; returns
+   the response and whether the armed deadline expired while answering. *)
+let handle_core (t : t) ~(deadline : float option) (q : Query.t) :
+    Response.t * bool =
   t.c.client_queries <- t.c.client_queries + 1;
   (match t.mx with Some m -> Metrics.incr m.mx_client | None -> ());
   let sink = t.config.trace in
@@ -502,13 +517,25 @@ let handle (t : t) (q : Query.t) : Response.t =
     else None
   in
   match t.config.clock with
-  | None -> handle_at t 0 dest q
+  | None ->
+      if deadline <> None then
+        invalid_arg "Orchestrator.handle: a deadline needs a clock";
+      (handle_at t 0 dest q, false)
   | Some clock ->
       let t0 = clock () in
-      (match t.config.bailout with
-      | Timeout budget -> t.deadline := Some (t0 +. budget)
-      | _ -> ());
+      let policy_deadline =
+        match t.config.bailout with
+        | Timeout budget -> Some (t0 +. budget)
+        | _ -> None
+      in
+      (t.deadline :=
+         match (policy_deadline, deadline) with
+         | Some a, Some b -> Some (Float.min a b)
+         | Some a, None -> Some a
+         | None, d -> d);
       let r = handle_at t 0 dest q in
+      let expired = deadline_passed t in
+      if expired then t.c.deadline_expiries <- t.c.deadline_expiries + 1;
       let dt = clock () -. t0 in
       Reservoir.add t.c.lat dt;
       (match t.mx with
@@ -516,7 +543,24 @@ let handle (t : t) (q : Query.t) : Response.t =
       | None -> ());
       (* don't leak this query's deadline into the next one *)
       t.deadline := None;
-      r
+      (r, expired)
+
+(** [handle t q] — Algorithm 1: resolve a client query. [deadline], when
+    given, is an absolute point in [clock] units past which the consult
+    sweep stops at the best joined answer so far (the analysis-as-a-service
+    path: the daemon propagates each request's deadline down here).
+    Requires a [clock]; answers truncated by an expired deadline are never
+    memoized, so a degraded answer cannot poison later full-budget ones. *)
+let handle ?deadline (t : t) (q : Query.t) : Response.t =
+  fst (handle_core t ~deadline q)
+
+(** [handle_deadlined t ~deadline q] — like [handle ~deadline] but also
+    reports whether the deadline expired while answering (i.e. the response
+    may be a truncated, conservative join — the daemon tags such answers as
+    degraded). *)
+let handle_deadlined (t : t) ~(deadline : float) (q : Query.t) :
+    Response.t * bool =
+  handle_core t ~deadline:(Some deadline) q
 
 (** [ask_many t qs] — the batch entry point: the i-th response answers the
     i-th query. The domain-parallel fan-out (several orchestrators over a

@@ -61,6 +61,10 @@ type stats_snapshot = {
   module_faults : int;  (** module evaluations that raised *)
   module_overruns : int;  (** evaluations past [module_budget] *)
   quarantine_skips : int;  (** evaluations skipped by the breaker *)
+  deadline_expiries : int;
+      (** client queries whose armed deadline (a [Timeout] policy budget or
+          an explicit [handle ~deadline]) expired before the consult sweep
+          finished — their answers were truncated joins *)
   latency_count : int;  (** client queries with a recorded latency *)
   cache : Qcache.stats;  (** the memo table's own counters *)
 }
@@ -98,8 +102,24 @@ val health_of : t -> string -> health
 (** Names of the modules currently quarantined by the circuit breaker. *)
 val quarantined : t -> string list
 
-(** [handle t q] — Algorithm 1: resolve a client query. *)
-val handle : t -> Query.t -> Response.t
+(** [handle t q] — Algorithm 1: resolve a client query.
+
+    [deadline], when given, is an {e absolute} point in [clock] units: once
+    it has passed, the consult sweep stops (whatever the bail-out policy)
+    and the best joined answer so far is returned — always sound, possibly
+    conservative. This is how a long-lived service propagates per-request
+    deadlines into the analysis without reconfiguring the orchestrator.
+    When the configuration's bail-out policy is [Timeout b], the effective
+    deadline is the earlier of the two. Requires [clock] (raises
+    [Invalid_argument] otherwise); answers truncated by an expired deadline
+    are never memoized, so they cannot poison later full-budget queries. *)
+val handle : ?deadline:float -> t -> Query.t -> Response.t
+
+(** [handle_deadlined t ~deadline q] — like [handle ~deadline q] but also
+    reports whether the deadline expired while answering, i.e. whether the
+    response may be a truncated join that a service should flag as
+    degraded. *)
+val handle_deadlined : t -> deadline:float -> Query.t -> Response.t * bool
 
 (** [ask_many t qs] — resolve a batch; the i-th response answers the i-th
     query. Equivalent to [List.map (handle t) qs]; the domain-parallel

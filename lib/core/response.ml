@@ -83,26 +83,6 @@ module Options = struct
   let has_unconditional (os : t) : bool = exists is_unconditional os
 end
 
-(* Thin deprecated aliases over {!Options} — kept for one PR so external
-   callers migrate at leisure; new code goes through [Options]. *)
-
-(** @deprecated use {!Options.cost}. *)
-let option_cost = Options.cost
-
-(** @deprecated use [Options.cheapest_cost t.options]. *)
-let cheapest_cost (t : t) : float = Options.cheapest_cost t.options
-
-(** @deprecated use [Options.cheapest t.options]. *)
-let cheapest_option (t : t) : Assertion.t list option =
-  Options.cheapest t.options
-
-(** @deprecated use [Options.has_free t.options]. *)
-let has_free_option (t : t) : bool = Options.has_free t.options
-
-(** @deprecated use [Options.has_unconditional t.options]. *)
-let has_unconditional_option (t : t) : bool =
-  Options.has_unconditional t.options
-
 (** Is the response both maximally precise and free to use? This is the
     Orchestrator's default bail-out condition. *)
 let is_definite_free (t : t) : bool =

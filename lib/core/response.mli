@@ -64,21 +64,6 @@ module Options : sig
   val has_unconditional : t -> bool
 end
 
-(** @deprecated use {!Options.cost}. *)
-val option_cost : Assertion.t list -> float
-
-(** @deprecated use [Options.cheapest_cost t.options]. *)
-val cheapest_cost : t -> float
-
-(** @deprecated use [Options.cheapest t.options]. *)
-val cheapest_option : t -> Assertion.t list option
-
-(** @deprecated use [Options.has_free t.options]. *)
-val has_free_option : t -> bool
-
-(** @deprecated use [Options.has_unconditional t.options]. *)
-val has_unconditional_option : t -> bool
-
 (** Maximally precise *and* free — the default bail-out condition. *)
 val is_definite_free : t -> bool
 

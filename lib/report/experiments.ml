@@ -25,10 +25,18 @@ type bench_eval = {
     scheme's shared cache); results are identical to [jobs = 1].
     [trace]/[metrics] attach to the SCAF scheme — the one whose derivations
     the observability layer explains; both are domain-safe and strictly
-    observational (reports are unchanged). *)
-let evaluate_bench ?(jobs = 1) ?trace ?metrics (b : Benchmark.t) : bench_eval =
-  let m = Benchmark.program b in
-  let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+    observational (reports are unchanged). [profiles] skips the profiling
+    step when the caller (e.g. the query daemon, which profiles every
+    benchmark once at load) already holds this benchmark's profiles. *)
+let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Benchmark.t) :
+    bench_eval =
+  let profiles =
+    match profiles with
+    | Some p -> p
+    | None ->
+        let m = Benchmark.program b in
+        Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
+  in
   let eval s = Nodep.evaluate_scheme ~jobs ~bname:b.Benchmark.name profiles s in
   let caf_s = Schemes.caf_scheme profiles in
   let conf_s = Schemes.confluence_scheme profiles in
@@ -95,44 +103,60 @@ let cache_stats_summary (evals : bench_eval list) :
 (* Figure 8                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(** The raw numbers behind one Figure 8 row: this benchmark's weighted
+    %NoDep under each scheme ([row_observed] is the raw observed share —
+    rendering flips it to the 100-x ceiling the paper plots). Splitting the
+    data from the rendering lets the query daemon ship rows over the wire
+    (bit-exact binary64) and a remote client render the very same table
+    bytes as the batch path. *)
+type fig8_row = {
+  row_bench : string;
+  row_caf : float;
+  row_confluence : float;
+  row_scaf : float;
+  row_memspec : float;
+  row_observed : float;
+}
+
+let fig8_row_of_eval (e : bench_eval) : fig8_row =
+  {
+    row_bench = e.bench.Benchmark.name;
+    row_caf = e.caf.Nodep.weighted_nodep;
+    row_confluence = e.confluence.Nodep.weighted_nodep;
+    row_scaf = e.scaf.Nodep.weighted_nodep;
+    row_memspec = e.memspec.Nodep.weighted_nodep;
+    row_observed = e.observed.Nodep.weighted_nodep;
+  }
+
+let fig8_rows (evals : bench_eval list) : fig8_row list =
+  List.map fig8_row_of_eval evals
+
 (** Figure 8: %NoDep per benchmark under each scheme (weighted by loop
     time). "Observed" is reported as the paper plots it: the share of
     dependences that *did* manifest (the ceiling no scheme passes is
     100 - observed). *)
-let fig8 (evals : bench_eval list) : string =
-  let rows =
+let fig8_of_rows (rows : fig8_row list) : string =
+  let table_rows =
     List.map
-      (fun e ->
+      (fun r ->
         [
-          e.bench.Benchmark.name;
-          Report.pct e.caf.Nodep.weighted_nodep;
-          Report.pct e.confluence.Nodep.weighted_nodep;
-          Report.pct e.scaf.Nodep.weighted_nodep;
-          Report.pct e.memspec.Nodep.weighted_nodep;
-          Report.pct (100.0 -. e.observed.Nodep.weighted_nodep);
-          Report.bar e.scaf.Nodep.weighted_nodep;
+          r.row_bench;
+          Report.pct r.row_caf;
+          Report.pct r.row_confluence;
+          Report.pct r.row_scaf;
+          Report.pct r.row_memspec;
+          Report.pct (100.0 -. r.row_observed);
+          Report.bar r.row_scaf;
         ])
-      evals
+      rows
   in
-  let col f = List.map f evals in
+  let col f = List.map f rows in
   let avg = Nodep.mean and geo = Nodep.geomean in
-  let summary name f =
-    [
-      name;
-      Report.pct (avg (col (fun e -> f e)));
-      "";
-      "";
-      "";
-      "";
-      "";
-    ]
-  in
-  ignore summary;
-  let caf_c = col (fun e -> e.caf.Nodep.weighted_nodep) in
-  let conf_c = col (fun e -> e.confluence.Nodep.weighted_nodep) in
-  let scaf_c = col (fun e -> e.scaf.Nodep.weighted_nodep) in
-  let ms_c = col (fun e -> e.memspec.Nodep.weighted_nodep) in
-  let obs_c = col (fun e -> 100.0 -. e.observed.Nodep.weighted_nodep) in
+  let caf_c = col (fun r -> r.row_caf) in
+  let conf_c = col (fun r -> r.row_confluence) in
+  let scaf_c = col (fun r -> r.row_scaf) in
+  let ms_c = col (fun r -> r.row_memspec) in
+  let obs_c = col (fun r -> 100.0 -. r.row_observed) in
   let stat name f =
     [
       name;
@@ -147,34 +171,33 @@ let fig8 (evals : bench_eval list) : string =
   Report.table
     ~header:
       [ "Benchmark"; "CAF"; "Confl."; "SCAF"; "MemSpec"; "Observed"; "SCAF bar" ]
-    ~rows:(rows @ [ stat "Average" avg; stat "Geomean" geo ])
+    ~rows:(table_rows @ [ stat "Average" avg; stat "Geomean" geo ])
+
+let fig8 (evals : bench_eval list) : string = fig8_of_rows (fig8_rows evals)
 
 (** Figure 8 headline deltas: coverage gain over confluence, and shrink of
     the memory-speculation residual (MemSpec - X). *)
-let fig8_deltas (evals : bench_eval list) : string =
-  let gain e =
-    e.scaf.Nodep.weighted_nodep -. e.confluence.Nodep.weighted_nodep
-  in
-  let residual f e = max 0.0 (e.memspec.Nodep.weighted_nodep -. f e) in
-  let res_conf = residual (fun e -> e.confluence.Nodep.weighted_nodep) in
-  let res_scaf = residual (fun e -> e.scaf.Nodep.weighted_nodep) in
+let fig8_deltas_of_rows (rows : fig8_row list) : string =
+  let gain r = r.row_scaf -. r.row_confluence in
+  let residual f r = max 0.0 (r.row_memspec -. f r) in
+  let res_conf = residual (fun r -> r.row_confluence) in
+  let res_scaf = residual (fun r -> r.row_scaf) in
   let shrink =
     List.filter_map
-      (fun e ->
-        let c = res_conf e in
-        if c > 0.0 then Some (100.0 *. (c -. res_scaf e) /. c) else None)
-      evals
+      (fun r ->
+        let c = res_conf r in
+        if c > 0.0 then Some (100.0 *. (c -. res_scaf r) /. c) else None)
+      rows
   in
   (* speculation-attributable coverage: what cheap speculation adds beyond
      CAF; the paper reports SCAF's relative increase over confluence *)
   let rel =
     List.filter_map
-      (fun e ->
-        let caf = e.caf.Nodep.weighted_nodep in
-        let conf = e.confluence.Nodep.weighted_nodep -. caf in
-        let scaf = e.scaf.Nodep.weighted_nodep -. caf in
+      (fun r ->
+        let conf = r.row_confluence -. r.row_caf in
+        let scaf = r.row_scaf -. r.row_caf in
         if conf > 0.0 then Some (100.0 *. (scaf -. conf) /. conf) else None)
-      evals
+      rows
   in
   Printf.sprintf
     "SCAF coverage gain over Confluence: %+.2f mean / %+.2f geomean (pp)\n\
@@ -182,11 +205,14 @@ let fig8_deltas (evals : bench_eval list) : string =
      Memory-speculation residual shrink: %.2f%% mean / %.2f%% geomean\n\
      (paper: +68.35%% mean / +56.27%% geomean relative gain; 58.41%% geomean \
      residual shrink)"
-    (Nodep.mean (List.map gain evals))
-    (Nodep.geomean (List.map gain evals))
+    (Nodep.mean (List.map gain rows))
+    (Nodep.geomean (List.map gain rows))
     (Nodep.mean rel)
     (Nodep.geomean (List.map (fun x -> max x 0.0) rel))
     (Nodep.mean shrink) (Nodep.geomean shrink)
+
+let fig8_deltas (evals : bench_eval list) : string =
+  fig8_deltas_of_rows (fig8_rows evals)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9                                                            *)

@@ -1,0 +1,153 @@
+(** Bounded admission queue with watermark-driven load shedding.
+
+    The daemon's backpressure state machine (DESIGN.md §11). Work is
+    admitted into a bounded FIFO consumed by the worker pool; the decision
+    at submission time depends only on the instantaneous queue depth:
+
+    - depth < [cheap_watermark]: {e Accepting} — full-fidelity evaluation;
+    - depth < [cache_watermark]: {e Shedding (cheap)} — admitted, but
+      evaluated by the cheap module subset (static analysis only, shallow
+      premise budget), answer tagged degraded;
+    - depth < [capacity]: {e Shedding (cached)} — admitted, answered from
+      the shared cache alone (a miss returns the sound conservative
+      bottom), tagged degraded;
+    - depth = [capacity]: {e Rejecting} — refused outright with an explicit
+      retry-after hint, never silently dropped or blocked.
+
+    Degrading {e admitted-but-late} work keeps the daemon's latency bounded
+    under overload while every answer stays sound; the explicit rejection
+    band bounds memory. All transitions are per-submission — the machine
+    has no hysteresis to get stuck in. *)
+
+type degrade = Full | Cheap | Cached_only
+
+let degrade_name = function
+  | Full -> "full"
+  | Cheap -> "cheap"
+  | Cached_only -> "cached"
+
+type config = {
+  capacity : int;  (** hard bound on queued jobs *)
+  cheap_watermark : int;  (** depth at which answers degrade to [Cheap] *)
+  cache_watermark : int;  (** depth at which answers degrade to [Cached_only] *)
+  retry_after_ms : float;  (** backoff hint attached to rejections *)
+}
+
+let default_config =
+  { capacity = 64; cheap_watermark = 16; cache_watermark = 32;
+    retry_after_ms = 50.0 }
+
+type submit_result =
+  | Admitted of degrade
+  | Overloaded of float  (** rejected; retry after this many ms *)
+  | Closed  (** queue closed — the daemon is shutting down *)
+
+type stats = {
+  depth : int;
+  capacity : int;
+  admitted_full : int;
+  shed_cheap : int;
+  shed_cached : int;
+  rejected : int;
+}
+
+type 'a t = {
+  cfg : config;
+  q : ('a * degrade) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable admitted_full : int;
+  mutable shed_cheap : int;
+  mutable shed_cached : int;
+  mutable rejected : int;
+}
+
+let create (cfg : config) : 'a t =
+  if cfg.capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  {
+    cfg;
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+    admitted_full = 0;
+    shed_cheap = 0;
+    shed_cached = 0;
+    rejected = 0;
+  }
+
+let with_lock (t : 'a t) (f : unit -> 'b) : 'b =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(** Admission decision and enqueue, atomically against the consumers. *)
+let submit (t : 'a t) (job : 'a) : submit_result =
+  with_lock t (fun () ->
+      if t.closed then Closed
+      else
+        let depth = Queue.length t.q in
+        if depth >= t.cfg.capacity then begin
+          t.rejected <- t.rejected + 1;
+          Overloaded t.cfg.retry_after_ms
+        end
+        else begin
+          let d =
+            if depth >= t.cfg.cache_watermark then Cached_only
+            else if depth >= t.cfg.cheap_watermark then Cheap
+            else Full
+          in
+          (match d with
+          | Full -> t.admitted_full <- t.admitted_full + 1
+          | Cheap -> t.shed_cheap <- t.shed_cheap + 1
+          | Cached_only -> t.shed_cached <- t.shed_cached + 1);
+          Queue.push (job, d) t.q;
+          Condition.signal t.nonempty;
+          Admitted d
+        end)
+
+(** Blocking pop for the worker pool; [None] once the queue is closed and
+    drained — the worker's signal to exit. *)
+let pop (t : 'a t) : ('a * degrade) option =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+(** Close the intake: further submissions get [Closed], blocked workers
+    drain what is queued and then wake to [None]. *)
+let close (t : 'a t) : unit =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth (t : 'a t) : int = with_lock t (fun () -> Queue.length t.q)
+
+let stats (t : 'a t) : stats =
+  with_lock t (fun () ->
+      {
+        depth = Queue.length t.q;
+        capacity = t.cfg.capacity;
+        admitted_full = t.admitted_full;
+        shed_cheap = t.shed_cheap;
+        shed_cached = t.shed_cached;
+        rejected = t.rejected;
+      })
+
+(** The state-machine label for a given depth — for the [stats] wire
+    response and the docs' state diagram. *)
+let state_name (t : 'a t) : string =
+  with_lock t (fun () ->
+      if t.closed then "closed"
+      else
+        let depth = Queue.length t.q in
+        if depth >= t.cfg.capacity then "rejecting"
+        else if depth >= t.cfg.cache_watermark then "shedding-cached"
+        else if depth >= t.cfg.cheap_watermark then "shedding-cheap"
+        else "accepting")

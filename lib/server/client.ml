@@ -1,0 +1,187 @@
+(** Blocking client for the SCAF query daemon.
+
+    Connection management is deliberately boring: one socket, one
+    outstanding request (the protocol is strictly request/response per
+    connection), and a retry layer with exponential backoff + jitter that
+    re-resolves both transport failures (connect refused, connection reset
+    mid-call) and the server's explicit retryable rejections — honoring a
+    [retry_after_ms] hint when the server provides one. Non-retryable
+    server errors surface immediately as {!Server_error}. *)
+
+exception Server_error of Protocol.err
+(** a structured failure the server deliberately sent *)
+
+exception Transport_error of string
+(** the conversation itself broke and retries were exhausted *)
+
+type retry = {
+  attempts : int;  (** total tries, the first included *)
+  base_ms : float;  (** first backoff step *)
+  cap_ms : float;  (** backoff ceiling *)
+}
+
+let default_retry = { attempts = 5; base_ms = 25.0; cap_ms = 1000.0 }
+let no_retry = { attempts = 1; base_ms = 0.0; cap_ms = 0.0 }
+
+type t = {
+  path : string;
+  name : string;
+  retry : retry;
+  rng : Random.State.t;
+  mutable fd : Unix.file_descr option;  (** [None] between reconnects *)
+  mutable closed : bool;
+}
+
+(* Full jitter: a uniform draw from [0, min(cap, base * 2^attempt)] — the
+   fleet of retrying clients decorrelates instead of thundering back in
+   lockstep. A server hint overrides the exponential base. *)
+let backoff_s (c : t) ~(attempt : int) ~(hint_ms : float option) : float =
+  let ceiling =
+    match hint_ms with
+    | Some ms -> Float.min c.retry.cap_ms (Float.max ms c.retry.base_ms)
+    | None ->
+        Float.min c.retry.cap_ms
+          (c.retry.base_ms *. Float.pow 2.0 (float_of_int attempt))
+  in
+  Random.State.float c.rng (Float.max ceiling 0.001) /. 1000.0
+
+let connect_fd (c : t) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX c.path) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+let disconnect (c : t) : unit =
+  match c.fd with
+  | Some fd ->
+      c.fd <- None;
+      (try Unix.close fd with _ -> ())
+  | None -> ()
+
+(* One request/response exchange over the current socket; raises
+   [Transport_error] (after dropping the socket) when the conversation
+   breaks — the retry layer above decides whether to reconnect. *)
+let exchange (c : t) (req : Protocol.request) : (Json.t, Protocol.err) result
+    =
+  let fd =
+    match c.fd with
+    | Some fd -> fd
+    | None ->
+        let fd =
+          try connect_fd c
+          with Unix.Unix_error (e, _, _) ->
+            raise (Transport_error (Unix.error_message e))
+        in
+        c.fd <- Some fd;
+        fd
+  in
+  let fail msg =
+    disconnect c;
+    raise (Transport_error msg)
+  in
+  match Wire.write_frame fd (Protocol.request_to_json req) with
+  | Error e -> fail (Wire.error_to_string e)
+  | Ok () -> (
+      match Wire.read_frame fd with
+      | Error e -> fail (Wire.error_to_string e)
+      | Ok j -> (
+          match Protocol.open_envelope j with
+          | r -> r
+          | exception Json.Parse_error msg -> fail msg))
+
+(** Send one request, retrying transport failures and retryable server
+    rejections with backoff. Raises {!Server_error} on a non-retryable
+    rejection, {!Transport_error} once retries are exhausted. *)
+let rpc (c : t) (req : Protocol.request) : Json.t =
+  if c.closed then raise (Transport_error "client closed");
+  let rec go attempt =
+    let retry_or ~hint_ms (fail : unit -> 'a) : Json.t =
+      if attempt + 1 >= c.retry.attempts then fail ()
+      else begin
+        Thread.delay (backoff_s c ~attempt ~hint_ms);
+        go (attempt + 1)
+      end
+    in
+    match exchange c req with
+    | Ok j -> j
+    | Error e when e.Protocol.retryable ->
+        retry_or ~hint_ms:e.Protocol.retry_after_ms (fun () ->
+            raise (Server_error e))
+    | Error e -> raise (Server_error e)
+    | exception Transport_error msg ->
+        retry_or ~hint_ms:None (fun () -> raise (Transport_error msg))
+  in
+  go 0
+
+(** [connect path] — connect and handshake. [retry] also governs the
+    initial connection (a client racing a still-starting daemon backs off
+    instead of failing). Returns the daemon's benchmark list. *)
+let connect ?(name = "client") ?(retry = default_retry) ?(seed = 7)
+    (path : string) : t * string list =
+  let c =
+    {
+      path;
+      name;
+      retry;
+      rng = Random.State.make [| seed; Hashtbl.hash path |];
+      fd = None;
+      closed = false;
+    }
+  in
+  let hello = rpc c (Protocol.Hello { client = name }) in
+  let benchmarks =
+    List.map Json.to_string_exn
+      (Json.to_list_exn (Json.mem_or "benchmarks" ~default:(Json.List []) hello))
+  in
+  (c, benchmarks)
+
+let close (c : t) : unit =
+  c.closed <- true;
+  disconnect c
+
+let ping (c : t) : unit = ignore (rpc c Protocol.Ping)
+
+(** Ask one dependence query. *)
+let ask ?deadline_ms (c : t) ~(bench : string) (q : Protocol.wire_query) :
+    Protocol.answer =
+  let j = rpc c (Protocol.Ask { bench; q; deadline_ms }) in
+  match Json.member "answer" j with
+  | Some a -> Protocol.answer_of_json a
+  | None -> raise (Transport_error "response missing \"answer\"")
+
+(** Ask a batch; the i-th answer matches the i-th query. *)
+let ask_many ?deadline_ms (c : t) ~(bench : string)
+    (qs : Protocol.wire_query list) : Protocol.answer list =
+  let j = rpc c (Protocol.Ask_many { bench; qs; deadline_ms }) in
+  match Json.member "answers" j with
+  | Some (Json.List l) -> List.map Protocol.answer_of_json l
+  | _ -> raise (Transport_error "response missing \"answers\"")
+
+(** The benchmark's PDG workload: (loop, weight, queries) per hot loop. *)
+let queries (c : t) ~(bench : string) :
+    (string * float * Protocol.wire_query list) list =
+  let j = rpc c (Protocol.Queries { bench }) in
+  let w = Json.mem_or "workload" ~default:(Json.Obj []) j in
+  List.map
+    (fun lj ->
+      ( Json.string_member "loop" lj,
+        Json.to_float_exn (Json.mem_or "weight" ~default:(Json.Float 0.0) lj),
+        List.map Protocol.query_of_json
+          (Json.to_list_exn (Json.mem_or "queries" ~default:(Json.List []) lj))
+      ))
+    (Json.to_list_exn (Json.mem_or "loops" ~default:(Json.List []) w))
+
+(** The benchmark's Figure 8 row, evaluated server-side. *)
+let report (c : t) ~(bench : string) : Scaf_report.Experiments.fig8_row =
+  let j = rpc c (Protocol.Report { bench }) in
+  match Json.member "row" j with
+  | Some r -> Protocol.fig8_row_of_json r
+  | None -> raise (Transport_error "response missing \"row\"")
+
+(** The daemon's health snapshot, as raw JSON. *)
+let stats (c : t) : Json.t = rpc c Protocol.Stats
+
+(** Ask the daemon to shut down (acknowledged before teardown). *)
+let shutdown (c : t) : unit = ignore (rpc c Protocol.Shutdown)

@@ -1,0 +1,547 @@
+(** The SCAF query daemon: analysis as a long-lived service.
+
+    One process loads every configured benchmark once (parse, verify,
+    profile — the dominant cost of a batch run), keeps the shared
+    canonicalizing caches warm, and answers dependence queries over a
+    length-prefixed JSON protocol ({!Wire}) on a Unix-domain socket.
+
+    Thread layout:
+
+    - the {e accept} thread owns the listening socket and, once asked to
+      stop, performs the final teardown (join everything, unlink socket);
+    - one thread {e per connection} reads frames, runs cheap ops inline,
+      and submits analysis work to the admission queue, so a stalled
+      client stalls only its own connection;
+    - a pool of {e worker} threads drains the admission queue, each with
+      its private orchestrators over the shared caches;
+    - a {e reaper} thread shuts down sessions idle past [idle_timeout]
+      ([Unix.shutdown], not [close] — shutdown reliably wakes a reader
+      blocked in [read], and the connection thread still owns the fd's
+      lifetime, so no double-close races).
+
+    Every accepted request is answered, cleanly rejected, or
+    deadline-expired — never silently dropped, never left hanging: frames
+    are written whole ({!Wire.write_frame}), admitted jobs survive
+    shutdown (the queue drains before workers exit), and a crashed worker
+    converts its job into an [internal] error response. *)
+
+open Scaf_trace
+
+type config = {
+  socket_path : string;
+  benchmarks : Scaf_suite.Benchmark.t list;
+  workers : int;
+  admission : Admission.config;
+  idle_timeout : float;  (** reap sessions idle this many seconds *)
+  frame_budget : float;  (** slow-loris bound: max seconds per frame *)
+  max_frame : int;  (** max payload bytes per frame *)
+  default_deadline_ms : float option;
+      (** deadline applied to requests that do not carry one *)
+  metrics : Metrics.t;
+  wrap : Scaf.Module_api.t list -> Scaf.Module_api.t list;
+      (** ensemble hook for the chaos harness; [Fun.id] in production *)
+}
+
+let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock")
+    ?(benchmarks = Scaf_suite.Registry.all) () : config =
+  {
+    socket_path;
+    benchmarks;
+    workers = 2;
+    admission = Admission.default_config;
+    idle_timeout = 30.0;
+    frame_budget = 5.0;
+    max_frame = Wire.default_max_len;
+    default_deadline_ms = None;
+    metrics = Metrics.create ();
+    wrap = Fun.id;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and sessions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  j_bench : Engine.bench;
+  j_queries : Protocol.wire_query list;
+  j_deadline : float option;  (** absolute, [Unix.gettimeofday] units *)
+  j_mail : mail;
+}
+
+and mail = {
+  mm : Mutex.t;
+  mc : Condition.t;
+  mutable result : (Protocol.answer list, Protocol.err) result option;
+}
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  peer : string;  (** client-announced name, for the stats view *)
+  mutable last_active : float;
+  mutable reaped : bool;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  listen_fd : Unix.file_descr;
+  queue : job Admission.t;
+  sessions : (int, session) Hashtbl.t;
+  sm : Mutex.t;
+  mutable next_sid : int;
+  mutable stopping : bool;
+  started_at : float;
+  mutable accept_thread : Thread.t option;
+  (* resolved metric handles (satellite: daemon health via the PR 4
+     registry) *)
+  m_requests : Metrics.counter;
+  m_answered : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_deadline_miss : Metrics.counter;
+  m_coalesced : Metrics.counter;
+  m_sessions_opened : Metrics.counter;
+  m_sessions_open : Metrics.counter;  (** gauge: [add +1 / -1] *)
+  m_sessions_reaped : Metrics.counter;
+  m_bad_frames : Metrics.counter;
+  m_queue_depth : Metrics.counter;  (** gauge *)
+  m_request_latency : Metrics.histogram;
+}
+
+let now () = Unix.gettimeofday ()
+
+let with_sessions (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.sm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sm) f
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let deliver (mail : mail) (r : (Protocol.answer list, Protocol.err) result) :
+    unit =
+  Mutex.lock mail.mm;
+  mail.result <- Some r;
+  Condition.signal mail.mc;
+  Mutex.unlock mail.mm
+
+let collect (mail : mail) : (Protocol.answer list, Protocol.err) result =
+  Mutex.lock mail.mm;
+  let rec wait () =
+    match mail.result with
+    | Some r ->
+        Mutex.unlock mail.mm;
+        r
+    | None ->
+        Condition.wait mail.mc mail.mm;
+        wait ()
+  in
+  wait ()
+
+let run_job (t : t) (w : Engine.worker) (job : job)
+    (degrade : Admission.degrade) : unit =
+  Metrics.add t.m_queue_depth (-1);
+  if degrade <> Admission.Full then Metrics.incr t.m_shed;
+  let res =
+    match
+      List.map
+        (fun wq ->
+          (* a job that waited out its whole deadline in the queue is not
+             evaluated at all: the sound bottom, tagged, immediately *)
+          match job.j_deadline with
+          | Some d when now () > d ->
+              Protocol.answer_of_response ~degraded:"deadline"
+                (Scaf.Response.bottom_for (Protocol.to_core_query wq))
+          | _ ->
+              Engine.answer w ~degrade ~deadline:job.j_deadline job.j_bench
+                wq)
+        job.j_queries
+    with
+    | answers -> Ok answers
+    | exception e ->
+        Error (Protocol.internal ("worker: " ^ Printexc.to_string e))
+  in
+  (match res with
+  | Ok answers ->
+      List.iter
+        (fun (a : Protocol.answer) ->
+          if a.Protocol.a_degraded = Some "deadline" then
+            Metrics.incr t.m_deadline_miss;
+          if a.Protocol.a_coalesced then Metrics.incr t.m_coalesced)
+        answers
+  | Error _ -> ());
+  deliver job.j_mail res
+
+let worker_loop (t : t) () : unit =
+  let w = Engine.worker t.engine in
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> ()  (* closed and drained *)
+    | Some (job, degrade) ->
+        run_job t w job degrade;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json (t : t) : Json.t =
+  let a = Admission.stats t.queue in
+  let sessions_open = with_sessions t (fun () -> Hashtbl.length t.sessions) in
+  Protocol.ok
+    [
+      ( "server",
+        Json.Obj
+          [
+            ("version", Json.Int Protocol.version);
+            ("uptime_s", Json.float (now () -. t.started_at));
+            ("stopping", Json.Bool t.stopping);
+            ("sessions_open", Json.Int sessions_open);
+            ( "benchmarks",
+              Json.List
+                (List.map
+                   (fun n -> Json.String n)
+                   (Engine.bench_names t.engine)) );
+          ] );
+      ( "admission",
+        Json.Obj
+          [
+            ("state", Json.String (Admission.state_name t.queue));
+            ("depth", Json.Int a.Admission.depth);
+            ("capacity", Json.Int a.Admission.capacity);
+            ("admitted_full", Json.Int a.Admission.admitted_full);
+            ("shed_cheap", Json.Int a.Admission.shed_cheap);
+            ("shed_cached", Json.Int a.Admission.shed_cached);
+            ("rejected", Json.Int a.Admission.rejected);
+          ] );
+      ( "engine",
+        Json.Obj
+          [
+            ("coalesced", Json.Int (Engine.coalesced_count t.engine));
+            ("caches", Engine.cache_stats_json t.engine);
+          ] );
+      ("metrics", Json.of_string (Metrics.to_json t.cfg.metrics));
+    ]
+
+let wake_accept (t : t) : unit =
+  (* a throwaway self-connection unblocks [accept] so it can observe
+     [stopping]; every failure mode here means accept is already awake *)
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception _ -> ()
+  | fd ->
+      (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+       with _ -> ());
+      (try Unix.close fd with _ -> ())
+
+let request_stop (t : t) : unit =
+  if not t.stopping then begin
+    t.stopping <- true;
+    Admission.close t.queue;
+    (* unblock readers stuck on dead clients *)
+    with_sessions t (fun () ->
+        Hashtbl.iter
+          (fun _ s -> try Unix.shutdown s.fd Unix.SHUTDOWN_ALL with _ -> ())
+          t.sessions);
+    wake_accept t
+  end
+
+(* Deadline of a request: explicit [deadline_ms], else the configured
+   default, as an absolute clock value. *)
+let deadline_of (t : t) (deadline_ms : float option) : float option =
+  match
+    (match deadline_ms with Some _ -> deadline_ms | None -> t.cfg.default_deadline_ms)
+  with
+  | Some ms -> Some (now () +. (ms /. 1000.0))
+  | None -> None
+
+let submit_ask (t : t) ~(bench : string)
+    ~(qs : Protocol.wire_query list) ~(deadline_ms : float option) :
+    (Protocol.answer list, Protocol.err) result =
+  match Engine.find_bench t.engine bench with
+  | None -> Error (Protocol.unknown_bench bench)
+  | Some b -> (
+      let mail =
+        { mm = Mutex.create (); mc = Condition.create (); result = None }
+      in
+      let job =
+        {
+          j_bench = b;
+          j_queries = qs;
+          j_deadline = deadline_of t deadline_ms;
+          j_mail = mail;
+        }
+      in
+      match Admission.submit t.queue job with
+      | Admission.Admitted _ ->
+          Metrics.add t.m_queue_depth 1;
+          collect mail
+      | Admission.Overloaded retry_after_ms ->
+          Metrics.incr t.m_rejected;
+          Error (Protocol.overloaded ~retry_after_ms)
+      | Admission.Closed ->
+          Metrics.incr t.m_rejected;
+          Error Protocol.shutting_down)
+
+let handle_request (t : t) (req : Protocol.request) : Json.t =
+  match req with
+  | Protocol.Hello { client = _ } ->
+      Protocol.ok
+        [
+          ("server", Json.String "scaf-eval");
+          ("version", Json.Int Protocol.version);
+          ( "benchmarks",
+            Json.List
+              (List.map (fun n -> Json.String n) (Engine.bench_names t.engine))
+          );
+        ]
+  | Protocol.Ping -> Protocol.ok []
+  | Protocol.Stats -> stats_json t
+  | Protocol.Queries { bench } -> (
+      match Engine.find_bench t.engine bench with
+      | Some b -> Protocol.ok [ ("workload", Engine.queries_json b) ]
+      | None -> Protocol.err_to_json (Protocol.unknown_bench bench))
+  | Protocol.Report { bench } -> (
+      match Engine.find_bench t.engine bench with
+      | Some b ->
+          Protocol.ok
+            [ ("row", Protocol.fig8_row_to_json (Engine.report_row b)) ]
+      | None -> Protocol.err_to_json (Protocol.unknown_bench bench))
+  | Protocol.Ask { bench; q; deadline_ms } -> (
+      match submit_ask t ~bench ~qs:[ q ] ~deadline_ms with
+      | Ok [ a ] -> Protocol.ok [ ("answer", Protocol.answer_to_json a) ]
+      | Ok _ -> Protocol.err_to_json (Protocol.internal "answer count mismatch")
+      | Error e -> Protocol.err_to_json e)
+  | Protocol.Ask_many { bench; qs; deadline_ms } -> (
+      match submit_ask t ~bench ~qs ~deadline_ms with
+      | Ok answers ->
+          Protocol.ok
+            [ ("answers", Json.List (List.map Protocol.answer_to_json answers)) ]
+      | Error e -> Protocol.err_to_json e)
+  | Protocol.Shutdown ->
+      (* reply first; the teardown happens after the frame is on the wire *)
+      Protocol.ok [ ("stopping", Json.Bool true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let close_session (t : t) (s : session) : unit =
+  let removed =
+    with_sessions t (fun () ->
+        if Hashtbl.mem t.sessions s.sid then begin
+          Hashtbl.remove t.sessions s.sid;
+          true
+        end
+        else false)
+  in
+  if removed then Metrics.add t.m_sessions_open (-1);
+  (try Unix.close s.fd with _ -> ())
+
+let serve_connection (t : t) (s : session) : unit =
+  Fun.protect
+    ~finally:(fun () -> close_session t s)
+    (fun () ->
+      (* the receive timeout turns a quiet socket into periodic [Idle]
+         results, giving this thread a heartbeat to notice stop/reap *)
+      (try Unix.setsockopt_float s.fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
+      let rec loop () =
+        if t.stopping || s.reaped then ()
+        else
+          match
+            Wire.read_frame ~max_len:t.cfg.max_frame
+              ~frame_budget:t.cfg.frame_budget s.fd
+          with
+          | Error Wire.Idle -> loop ()
+          | Error Wire.Closed -> ()
+          | Error (Wire.Truncated _ as e) | Error (Wire.Oversized _ as e) ->
+              (* framing is lost — answer if possible, then hang up *)
+              Metrics.incr t.m_bad_frames;
+              ignore
+                (Wire.write_frame s.fd
+                   (Protocol.err_to_json
+                      (Protocol.bad_request (Wire.error_to_string e))))
+          | Error (Wire.Bad_json msg) ->
+              (* the frame was well-delimited: report and keep serving *)
+              Metrics.incr t.m_bad_frames;
+              (match
+                 Wire.write_frame s.fd
+                   (Protocol.err_to_json
+                      (Protocol.bad_request ("bad json: " ^ msg)))
+               with
+              | Ok () -> loop ()
+              | Error _ -> ())
+          | Ok j -> (
+              s.last_active <- now ();
+              Metrics.incr t.m_requests;
+              let t0 = now () in
+              let reply, is_shutdown =
+                match Protocol.request_of_json j with
+                | Protocol.Shutdown as req -> (handle_request t req, true)
+                | req -> (handle_request t req, false)
+                | exception Json.Parse_error msg ->
+                    (Protocol.err_to_json (Protocol.bad_request msg), false)
+                | exception e ->
+                    ( Protocol.err_to_json
+                        (Protocol.internal (Printexc.to_string e)),
+                      false )
+              in
+              (match Json.member "ok" reply with
+              | Some (Json.Bool true) -> Metrics.incr t.m_answered
+              | _ -> ());
+              Metrics.observe t.m_request_latency (now () -. t0);
+              match Wire.write_frame s.fd reply with
+              | Error _ -> ()
+              | Ok () ->
+                  if is_shutdown then request_stop t else loop ())
+      in
+      loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Reaper                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reaper_loop (t : t) () : unit =
+  while not t.stopping do
+    Thread.delay (Float.min 0.5 (t.cfg.idle_timeout /. 2.0));
+    let stale =
+      with_sessions t (fun () ->
+          Hashtbl.fold
+            (fun _ s acc ->
+              if
+                (not s.reaped)
+                && now () -. s.last_active > t.cfg.idle_timeout
+              then begin
+                s.reaped <- true;
+                s :: acc
+              end
+              else acc)
+            t.sessions [])
+    in
+    List.iter
+      (fun s ->
+        Metrics.incr t.m_sessions_reaped;
+        (* wake the connection thread's blocked read; it closes the fd *)
+        try Unix.shutdown s.fd Unix.SHUTDOWN_ALL with _ -> ())
+      stale
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Listening socket lifecycle                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A socket file with no listener behind it (e.g. after [kill -9]) is
+    stale and silently removed; a live listener is a hard error. *)
+let prepare_socket_path (path : string) : unit =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception _ -> false
+    in
+    (try Unix.close probe with _ -> ());
+    if live then
+      failwith (Printf.sprintf "daemon already listening on %s" path)
+    else Unix.unlink path
+  end
+
+let accept_loop (t : t) (workers : Thread.t list) (reaper : Thread.t) () :
+    unit =
+  let conn_threads = ref [] in
+  (try
+     while not t.stopping do
+       match Unix.accept t.listen_fd with
+       | fd, _ ->
+           if t.stopping then (try Unix.close fd with _ -> ())
+           else begin
+             let s =
+               with_sessions t (fun () ->
+                   let sid = t.next_sid in
+                   t.next_sid <- sid + 1;
+                   let s =
+                     { sid; fd; peer = ""; last_active = now (); reaped = false }
+                   in
+                   Hashtbl.add t.sessions sid s;
+                   s)
+             in
+             Metrics.incr t.m_sessions_opened;
+             Metrics.add t.m_sessions_open 1;
+             conn_threads :=
+               Thread.create (fun () -> serve_connection t s) () :: !conn_threads
+           end
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+           (* listening fd torn down under us: only valid during stop *)
+           if not t.stopping then raise Exit
+     done
+   with Exit -> ());
+  (* teardown: the accept thread owns the final cleanup *)
+  request_stop t;
+  List.iter Thread.join !conn_threads;
+  List.iter Thread.join workers;
+  Thread.join reaper;
+  (try Unix.close t.listen_fd with _ -> ());
+  try Unix.unlink t.cfg.socket_path with _ -> ()
+
+(** [start cfg] — load the benchmarks (the slow part), bind and listen,
+    spawn the service threads, return the running daemon. The socket
+    accepts connections by the time this returns. *)
+let start (cfg : config) : t =
+  (* a dead peer must error the writer, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let engine = Engine.create ~wrap:cfg.wrap ~benchmarks:cfg.benchmarks () in
+  prepare_socket_path cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let m = cfg.metrics in
+  let t =
+    {
+      cfg;
+      engine;
+      listen_fd;
+      queue = Admission.create cfg.admission;
+      sessions = Hashtbl.create 16;
+      sm = Mutex.create ();
+      next_sid = 1;
+      stopping = false;
+      started_at = now ();
+      accept_thread = None;
+      m_requests = Metrics.counter m "server.requests";
+      m_answered = Metrics.counter m "server.answered";
+      m_rejected = Metrics.counter m "server.rejected";
+      m_shed = Metrics.counter m "server.shed";
+      m_deadline_miss = Metrics.counter m "server.deadline_miss";
+      m_coalesced = Metrics.counter m "server.coalesced";
+      m_sessions_opened = Metrics.counter m "server.sessions.opened";
+      m_sessions_open = Metrics.counter m "server.sessions.open";
+      m_sessions_reaped = Metrics.counter m "server.sessions.reaped";
+      m_bad_frames = Metrics.counter m "server.bad_frames";
+      m_queue_depth = Metrics.counter m "server.queue_depth";
+      m_request_latency = Metrics.histogram m "server.request_latency_s";
+    }
+  in
+  let workers =
+    List.init (max 1 cfg.workers) (fun _ -> Thread.create (worker_loop t) ())
+  in
+  let reaper = Thread.create (reaper_loop t) () in
+  t.accept_thread <- Some (Thread.create (accept_loop t workers reaper) ());
+  t
+
+(** Block until the daemon has fully stopped (socket unlinked). *)
+let wait (t : t) : unit =
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+(** Stop the daemon and wait for the teardown to finish. Idempotent. *)
+let stop (t : t) : unit =
+  request_stop t;
+  wait t
+
+(** [run cfg] — start and serve until a [shutdown] request (or a stop from
+    another thread) tears the daemon down. *)
+let run (cfg : config) : unit = wait (start cfg)

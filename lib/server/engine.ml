@@ -1,0 +1,300 @@
+(** The daemon's resident analysis state: every benchmark profiled once at
+    load, one warm shared {!Scaf.Qcache.t} per benchmark (plus a separate
+    one for the degraded cheap ensemble — their answers differ, so they
+    must never share entries), per-worker orchestrators over those caches,
+    and the in-flight coalescing table.
+
+    Threading model: orchestrators are single-threaded, so each worker
+    thread owns a private table of them (lazily instantiated per
+    benchmark); everything shared — caches, the flight table, the lazy
+    Figure 8 rows — is mutex-guarded or internally synchronized. *)
+
+open Scaf
+open Scaf_suite
+open Scaf_profile
+
+type bench = {
+  benchmark : Benchmark.t;
+  profiles : Profiles.t;
+  prog : Scaf_cfg.Progctx.t;
+  cache : Qcache.t;  (** shared by every worker's full-ensemble orchestrator *)
+  cheap_cache : Qcache.t;  (** ditto for the cheap (analysis-only) ensemble *)
+  loops : (string * float) list;  (** hot loops with time weights *)
+  row_mutex : Mutex.t;
+  mutable row : Scaf_report.Experiments.fig8_row option;
+      (** the benchmark's Figure 8 row, evaluated on first demand *)
+}
+
+type t = {
+  benches : (string * bench) list;
+  wrap : Module_api.t list -> Module_api.t list;
+      (** ensemble wrapper hook — identity in production, fault injection
+          under the chaos harness *)
+  flights : (string, flight) Hashtbl.t;
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable coalesced : int;  (** requests served by joining a peer's flight *)
+}
+
+(** One in-flight full-fidelity evaluation; identical concurrent requests
+    join it instead of re-running the consult sweep. *)
+and flight = {
+  mutable outcome : (Response.t * bool) option;  (** (response, expired) *)
+  mutable waiters : int;
+}
+
+let load_bench (b : Benchmark.t) : bench =
+  let m = Benchmark.program b in
+  let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  {
+    benchmark = b;
+    profiles;
+    prog = profiles.Profiles.ctx;
+    cache = Qcache.create ();
+    cheap_cache = Qcache.create ();
+    loops = Scaf_pdg.Nodep.hot_loop_weights profiles;
+    row_mutex = Mutex.create ();
+    row = None;
+  }
+
+let create ?(wrap = Fun.id) ~(benchmarks : Benchmark.t list) () : t =
+  {
+    benches =
+      List.map (fun b -> (b.Benchmark.name, load_bench b)) benchmarks;
+    wrap;
+    flights = Hashtbl.create 64;
+    fm = Mutex.create ();
+    fc = Condition.create ();
+    coalesced = 0;
+  }
+
+let bench_names (t : t) : string list = List.map fst t.benches
+let find_bench (t : t) (name : string) : bench option =
+  List.assoc_opt name t.benches
+
+let coalesced_count (t : t) : int =
+  Mutex.lock t.fm;
+  let n = t.coalesced in
+  Mutex.unlock t.fm;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker orchestrators                                            *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  eng : t;
+  full : (string, Orchestrator.t) Hashtbl.t;  (** by benchmark name *)
+  cheap : (string, Orchestrator.t) Hashtbl.t;
+}
+
+let worker (eng : t) : worker =
+  { eng; full = Hashtbl.create 8; cheap = Hashtbl.create 8 }
+
+let clock () = Unix.gettimeofday ()
+
+(* The full-fidelity ensemble: exactly the SCAF scheme's module stack, so
+   a non-degraded daemon answer is the batch evaluation's answer. *)
+let full_orchestrator (w : worker) (b : bench) : Orchestrator.t =
+  match Hashtbl.find_opt w.full b.benchmark.Benchmark.name with
+  | Some o -> o
+  | None ->
+      let modules =
+        w.eng.wrap
+          (Scaf_analysis.Registry.create b.prog
+          @ Scaf_speculation.Registry.create b.profiles)
+      in
+      let o =
+        Orchestrator.create ~cache:b.cache b.prog
+          {
+            (Orchestrator.default_config modules) with
+            Orchestrator.clock = Some clock;
+          }
+      in
+      Hashtbl.add w.full b.benchmark.Benchmark.name o;
+      o
+
+(* The load-shed ensemble: static analysis only, shallow premise budget —
+   cheap, assertion-free, still sound. *)
+let cheap_orchestrator (w : worker) (b : bench) : Orchestrator.t =
+  match Hashtbl.find_opt w.cheap b.benchmark.Benchmark.name with
+  | Some o -> o
+  | None ->
+      let modules = w.eng.wrap (Scaf_analysis.Registry.create b.prog) in
+      let o =
+        Orchestrator.create ~cache:b.cheap_cache b.prog
+          {
+            (Orchestrator.default_config modules) with
+            Orchestrator.clock = Some clock;
+            max_premise_depth = 2;
+          }
+      in
+      Hashtbl.add w.cheap b.benchmark.Benchmark.name o;
+      o
+
+(* ------------------------------------------------------------------ *)
+(* Answering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let flight_key (b : bench) (q : Query.t) : string =
+  b.benchmark.Benchmark.name ^ "\x00" ^ Fmt.str "%a" Query.pp q
+
+(* Full-fidelity evaluation with coalescing: the first thread in becomes
+   the flight's leader and runs the consult sweep; identical concurrent
+   queries block on the flight and share its outcome (a joiner inherits
+   the leader's deadline fate — sound either way, and flagged). *)
+let full_answer (w : worker) (b : bench) (q : Query.t)
+    ~(deadline : float option) : Response.t * bool * bool =
+  let eng = w.eng in
+  let key = flight_key b q in
+  Mutex.lock eng.fm;
+  match Hashtbl.find_opt eng.flights key with
+  | Some fl ->
+      fl.waiters <- fl.waiters + 1;
+      eng.coalesced <- eng.coalesced + 1;
+      let rec wait () =
+        match fl.outcome with
+        | Some (r, expired) ->
+            fl.waiters <- fl.waiters - 1;
+            Mutex.unlock eng.fm;
+            (r, expired, true)
+        | None ->
+            Condition.wait eng.fc eng.fm;
+            wait ()
+      in
+      wait ()
+  | None ->
+      let fl = { outcome = None; waiters = 0 } in
+      Hashtbl.add eng.flights key fl;
+      Mutex.unlock eng.fm;
+      let o = full_orchestrator w b in
+      let outcome =
+        match
+          (match deadline with
+          | Some d -> Orchestrator.handle_deadlined o ~deadline:d q
+          | None -> (Orchestrator.handle o q, false))
+        with
+        | r -> Ok r
+        | exception e -> Error e
+      in
+      Mutex.lock eng.fm;
+      (* publish (bottom on a leader crash — waiters must never hang),
+         then retire the flight so later requests re-evaluate *)
+      (match outcome with
+      | Ok re -> fl.outcome <- Some re
+      | Error _ -> fl.outcome <- Some (Response.bottom_for q, false));
+      Hashtbl.remove eng.flights key;
+      Condition.broadcast eng.fc;
+      Mutex.unlock eng.fm;
+      (match outcome with
+      | Ok (r, expired) -> (r, expired, false)
+      | Error e -> raise e)
+
+(** Answer one wire query at the given degradation level. Never raises on
+    deadline expiry or load shedding — degradation is data, not control
+    flow. *)
+let answer (w : worker) ~(degrade : Admission.degrade)
+    ~(deadline : float option) (b : bench) (wq : Protocol.wire_query) :
+    Protocol.answer =
+  let q = Protocol.to_core_query wq in
+  match degrade with
+  | Admission.Cached_only -> (
+      (* shed to the warm cache: a hit is a real (possibly speculative)
+         answer; a miss is the sound conservative bottom *)
+      match Qcache.find_q b.cache q with
+      | Some r ->
+          Protocol.answer_of_response ~degraded:"load_shed:cached" r
+      | None ->
+          Protocol.answer_of_response ~degraded:"load_shed:cached-miss"
+            (Response.bottom_for q))
+  | Admission.Cheap ->
+      let o = cheap_orchestrator w b in
+      let r, expired =
+        match deadline with
+        | Some d -> Orchestrator.handle_deadlined o ~deadline:d q
+        | None -> (Orchestrator.handle o q, false)
+      in
+      Protocol.answer_of_response
+        ~degraded:(if expired then "deadline" else "load_shed:cheap-modules")
+        r
+  | Admission.Full ->
+      let r, expired, coalesced = full_answer w b q ~deadline in
+      if expired then
+        Protocol.answer_of_response ~degraded:"deadline" ~coalesced r
+      else Protocol.answer_of_response ~coalesced r
+
+(* ------------------------------------------------------------------ *)
+(* Workload and report ops                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The benchmark's PDG workload as JSON: hot loops with weights and their
+    dependence queries — what a client needs to replay the Figure 8
+    workload query by query. *)
+let queries_json (b : bench) : Json.t =
+  Json.Obj
+    [
+      ("bench", Json.String b.benchmark.Benchmark.name);
+      ( "loops",
+        Json.List
+          (List.map
+             (fun (lid, weight) ->
+               Json.Obj
+                 [
+                   ("loop", Json.String lid);
+                   ("weight", Json.float weight);
+                   ( "queries",
+                     Json.List
+                       (List.map
+                          (fun (dq : Scaf_pdg.Pdg.dep_query) ->
+                            Protocol.query_to_json
+                              {
+                                Protocol.wloop = lid;
+                                wsrc = dq.Scaf_pdg.Pdg.src;
+                                wdst = dq.Scaf_pdg.Pdg.dst;
+                                wcross = dq.Scaf_pdg.Pdg.cross;
+                              })
+                          (Scaf_pdg.Pdg.queries_of_loop b.prog lid)) );
+                 ])
+             b.loops) );
+    ]
+
+(** The benchmark's Figure 8 row, evaluated with the batch scheme stack on
+    first demand and cached (the mutex makes the expensive evaluation
+    happen once, not once per concurrent request). *)
+let report_row (b : bench) : Scaf_report.Experiments.fig8_row =
+  Mutex.lock b.row_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock b.row_mutex)
+    (fun () ->
+      match b.row with
+      | Some r -> r
+      | None ->
+          let e =
+            Scaf_report.Experiments.evaluate_bench ~profiles:b.profiles
+              b.benchmark
+          in
+          let r = Scaf_report.Experiments.fig8_row_of_eval e in
+          b.row <- Some r;
+          r)
+
+let cache_stats_json (t : t) : Json.t =
+  let stats_obj (s : Qcache.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.Qcache.hits);
+        ("misses", Json.Int s.Qcache.misses);
+        ("canonical_hits", Json.Int s.Qcache.canonical_hits);
+        ("evictions", Json.Int s.Qcache.evictions);
+        ("entries", Json.Int s.Qcache.entries);
+      ]
+  in
+  Json.Obj
+    (List.map
+       (fun (name, b) ->
+         ( name,
+           Json.Obj
+             [
+               ("full", stats_obj (Qcache.stats b.cache));
+               ("cheap", stats_obj (Qcache.stats b.cheap_cache));
+             ] ))
+       t.benches)

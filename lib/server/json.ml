@@ -1,0 +1,326 @@
+(** A deliberately small JSON codec for the wire protocol.
+
+    The repo carries no JSON dependency (the trace layer emits JSON by
+    hand), so the server speaks through this self-contained value type: a
+    recursive-descent parser and a printer whose floats round-trip
+    binary64 exactly ([%.17g] out, [float_of_string] back), which is what
+    lets the daemon's fig8 replay be byte-identical to the batch
+    evaluation. Non-finite floats have no JSON spelling and are clamped by
+    {!float} at construction. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order is preserved *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction / access helpers                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Total float constructor: JSON has no spelling for nan/inf, so they are
+    clamped to null / +-max_float rather than producing unparseable
+    output. *)
+let float (f : float) : t =
+  match Float.classify_float f with
+  | Float.FP_nan -> Null
+  | Float.FP_infinite -> Float (if f > 0.0 then Float.max_float else -.Float.max_float)
+  | _ -> Float f
+
+let member (name : string) (j : t) : t option =
+  match j with Obj fields -> List.assoc_opt name fields | _ -> None
+
+let mem_or (name : string) ~(default : t) (j : t) : t =
+  Option.value ~default (member name j)
+
+let to_string_exn = function
+  | String s -> s
+  | j -> parse_error "expected a string, got %s" (match j with
+      | Null -> "null" | Bool _ -> "a bool" | Int _ -> "an int"
+      | Float _ -> "a float" | List _ -> "a list" | Obj _ -> "an object"
+      | String _ -> assert false)
+
+let to_int_exn = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | _ -> parse_error "expected an int"
+
+let to_float_exn = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> parse_error "expected a number"
+
+let to_bool_exn = function Bool b -> b | _ -> parse_error "expected a bool"
+let to_list_exn = function List l -> l | _ -> parse_error "expected a list"
+
+let string_member name j =
+  match member name j with
+  | Some v -> to_string_exn v
+  | None -> parse_error "missing field %S" name
+
+let int_member name j =
+  match member name j with
+  | Some v -> to_int_exn v
+  | None -> parse_error "missing field %S" name
+
+let float_member_opt name j = Option.map to_float_exn (member name j)
+
+let string_member_opt name j =
+  match member name j with
+  | Some Null | None -> None
+  | Some v -> Some (to_string_exn v)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape (b : Buffer.t) (s : string) : unit =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit (b : Buffer.t) (j : t) : unit =
+  match j with
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* %.17g round-trips every binary64; integral values pick up a ".0"
+         so they parse back as Float, not Int *)
+      let s = Printf.sprintf "%.17g" f in
+      Buffer.add_string b s;
+      if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+        Buffer.add_string b ".0"
+  | String s -> escape b s
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string (j : t) : string =
+  let b = Buffer.create 256 in
+  emit b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance (c : cursor) : unit = c.pos <- c.pos + 1
+
+let skip_ws (c : cursor) : unit =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "at %d: expected %C, got %C" c.pos ch x
+  | None -> parse_error "at %d: expected %C, got end of input" c.pos ch
+
+let parse_hex4 (c : cursor) : int =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+    | Some ch ->
+        let d =
+          match ch with
+          | '0' .. '9' -> Char.code ch - Char.code '0'
+          | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+          | _ -> parse_error "at %d: bad \\u escape" c.pos
+        in
+        v := (!v * 16) + d
+    | None -> parse_error "unterminated \\u escape");
+    advance c
+  done;
+  !v
+
+let parse_string (c : cursor) : string =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> Buffer.add_char b '"'; advance c; loop ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance c; loop ()
+        | Some '/' -> Buffer.add_char b '/'; advance c; loop ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance c; loop ()
+        | Some 't' -> Buffer.add_char b '\t'; advance c; loop ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance c; loop ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance c; loop ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance c; loop ()
+        | Some 'u' ->
+            advance c;
+            let code = parse_hex4 c in
+            (* good enough for the protocol: BMP code points as UTF-8 *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            loop ()
+        | _ -> parse_error "at %d: bad escape" c.pos)
+    | Some ch ->
+        Buffer.add_char b ch;
+        advance c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number (c : cursor) : t =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') -> advance c; loop ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance c;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_error "at %d: bad number %S" start text
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> parse_error "at %d: bad number %S" start text)
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> String (parse_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin advance c; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; fields_loop ()
+          | Some '}' -> advance c
+          | _ -> parse_error "at %d: expected ',' or '}'" c.pos
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin advance c; List [] end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; items_loop ()
+          | Some ']' -> advance c
+          | _ -> parse_error "at %d: expected ',' or ']'" c.pos
+        in
+        items_loop ();
+        List (List.rev !items)
+      end
+  | Some 't' ->
+      if c.pos + 4 <= String.length c.s && String.sub c.s c.pos 4 = "true" then begin
+        c.pos <- c.pos + 4;
+        Bool true
+      end
+      else parse_error "at %d: bad literal" c.pos
+  | Some 'f' ->
+      if c.pos + 5 <= String.length c.s && String.sub c.s c.pos 5 = "false"
+      then begin
+        c.pos <- c.pos + 5;
+        Bool false
+      end
+      else parse_error "at %d: bad literal" c.pos
+  | Some 'n' ->
+      if c.pos + 4 <= String.length c.s && String.sub c.s c.pos 4 = "null" then begin
+        c.pos <- c.pos + 4;
+        Null
+      end
+      else parse_error "at %d: bad literal" c.pos
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "at %d: unexpected %C" c.pos ch
+
+(** [of_string s] — parse one JSON value; trailing garbage is an error.
+    Raises {!Parse_error}. *)
+let of_string (s : string) : t =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    parse_error "at %d: trailing garbage after value" c.pos;
+  v

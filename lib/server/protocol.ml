@@ -1,0 +1,303 @@
+(** The daemon's wire vocabulary: request and response values and their
+    JSON codecs, shared by server and client so both sides round-trip
+    through the same code (and so tests can exercise the codec without a
+    socket).
+
+    Every response is an object with an ["ok"] boolean. Failures carry a
+    structured {!err} whose [retryable] flag tells a client whether backing
+    off and retrying can help (admission rejection, shutting down) or
+    cannot (unknown benchmark, malformed request). *)
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Queries on the wire                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A PDG dependence query in wire form — exactly the client workload of
+    [Scaf_pdg.Pdg]: may [src] (positioned cross- or intra-iteration) touch
+    the footprint of [dst] within hot loop [loop]? *)
+type wire_query = { wloop : string; wsrc : int; wdst : int; wcross : bool }
+
+let query_to_json (q : wire_query) : Json.t =
+  Json.Obj
+    [
+      ("loop", Json.String q.wloop);
+      ("src", Json.Int q.wsrc);
+      ("dst", Json.Int q.wdst);
+      ("cross", Json.Bool q.wcross);
+    ]
+
+let query_of_json (j : Json.t) : wire_query =
+  {
+    wloop = Json.string_member "loop" j;
+    wsrc = Json.int_member "src" j;
+    wdst = Json.int_member "dst" j;
+    wcross = Json.to_bool_exn (Json.mem_or "cross" ~default:(Json.Bool false) j);
+  }
+
+let to_core_query (q : wire_query) : Scaf.Query.t =
+  Scaf_pdg.Pdg.to_query q.wloop
+    { Scaf_pdg.Pdg.src = q.wsrc; dst = q.wdst; cross = q.wcross }
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Hello of { client : string }
+  | Ping
+  | Ask of { bench : string; q : wire_query; deadline_ms : float option }
+  | Ask_many of {
+      bench : string;
+      qs : wire_query list;
+      deadline_ms : float option;
+    }
+  | Queries of { bench : string }  (** the PDG workload of a benchmark *)
+  | Report of { bench : string }  (** the benchmark's Figure 8 row *)
+  | Stats
+  | Shutdown
+
+let request_to_json (r : request) : Json.t =
+  let obj op rest = Json.Obj (("op", Json.String op) :: rest) in
+  let deadline = function
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.float ms) ]
+  in
+  match r with
+  | Hello { client } -> obj "hello" [ ("client", Json.String client) ]
+  | Ping -> obj "ping" []
+  | Ask { bench; q; deadline_ms } ->
+      obj "ask"
+        ([ ("bench", Json.String bench); ("query", query_to_json q) ]
+        @ deadline deadline_ms)
+  | Ask_many { bench; qs; deadline_ms } ->
+      obj "ask_many"
+        ([
+           ("bench", Json.String bench);
+           ("queries", Json.List (List.map query_to_json qs));
+         ]
+        @ deadline deadline_ms)
+  | Queries { bench } -> obj "queries" [ ("bench", Json.String bench) ]
+  | Report { bench } -> obj "report" [ ("bench", Json.String bench) ]
+  | Stats -> obj "stats" []
+  | Shutdown -> obj "shutdown" []
+
+(** Raises [Json.Parse_error] on anything that is not a well-formed
+    request — the daemon turns that into a non-retryable [bad_request]. *)
+let request_of_json (j : Json.t) : request =
+  let deadline_ms = Json.float_member_opt "deadline_ms" j in
+  match Json.string_member "op" j with
+  | "hello" ->
+      Hello
+        {
+          client =
+            Json.to_string_exn
+              (Json.mem_or "client" ~default:(Json.String "?") j);
+        }
+  | "ping" -> Ping
+  | "ask" ->
+      let q =
+        match Json.member "query" j with
+        | Some qj -> query_of_json qj
+        | None -> raise (Json.Parse_error "ask: missing field \"query\"")
+      in
+      Ask { bench = Json.string_member "bench" j; q; deadline_ms }
+  | "ask_many" ->
+      let qs =
+        match Json.member "queries" j with
+        | Some qj -> List.map query_of_json (Json.to_list_exn qj)
+        | None -> raise (Json.Parse_error "ask_many: missing field \"queries\"")
+      in
+      Ask_many { bench = Json.string_member "bench" j; qs; deadline_ms }
+  | "queries" -> Queries { bench = Json.string_member "bench" j }
+  | "report" -> Report { bench = Json.string_member "bench" j }
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | op -> raise (Json.Parse_error (Printf.sprintf "unknown op %S" op))
+
+(* ------------------------------------------------------------------ *)
+(* Answers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** One resolved dependence query. [a_degraded] is the load-shedding /
+    deadline tag when the answer is {e not} the full-collaboration one
+    ([None] means full fidelity — byte-identical to batch evaluation);
+    degraded answers are always sound, merely conservative. *)
+type answer = {
+  a_result : string;  (** the analysis result, e.g. ["NoModRef"] *)
+  a_nodep : bool;  (** dependence disproven at an affordable cost *)
+  a_cost : float;  (** validation cost of the cheapest option *)
+  a_options : int;  (** size of the assertion-option disjunction *)
+  a_unconditional : bool;  (** some option is literally assertion-free *)
+  a_provenance : string list;  (** contributing modules *)
+  a_degraded : string option;
+  a_coalesced : bool;  (** shared an in-flight evaluation with a peer *)
+}
+
+let answer_of_response ?(degraded : string option) ?(coalesced = false)
+    (resp : Scaf.Response.t) : answer =
+  let opts = resp.Scaf.Response.options in
+  {
+    a_result = Fmt.str "%a" Scaf.Aresult.pp resp.Scaf.Response.result;
+    a_nodep = Scaf_pdg.Pdg.affordable_nodep resp;
+    a_cost = Scaf.Response.Options.cheapest_cost opts;
+    a_options = Scaf.Response.Options.count opts;
+    a_unconditional = Scaf.Response.Options.has_unconditional opts;
+    a_provenance =
+      Scaf.Response.Sset.elements resp.Scaf.Response.provenance;
+    a_degraded = degraded;
+    a_coalesced = coalesced;
+  }
+
+let answer_to_json (a : answer) : Json.t =
+  Json.Obj
+    [
+      ("result", Json.String a.a_result);
+      ("nodep", Json.Bool a.a_nodep);
+      ("cost", Json.float a.a_cost);
+      ("options", Json.Int a.a_options);
+      ("unconditional", Json.Bool a.a_unconditional);
+      ("provenance", Json.List (List.map (fun s -> Json.String s) a.a_provenance));
+      ( "degraded",
+        match a.a_degraded with None -> Json.Null | Some s -> Json.String s );
+      ("coalesced", Json.Bool a.a_coalesced);
+    ]
+
+let answer_of_json (j : Json.t) : answer =
+  {
+    a_result = Json.string_member "result" j;
+    a_nodep = Json.to_bool_exn (Json.mem_or "nodep" ~default:(Json.Bool false) j);
+    a_cost =
+      Json.to_float_exn (Json.mem_or "cost" ~default:(Json.Float infinity) j);
+    a_options = Json.int_member "options" j;
+    a_unconditional =
+      Json.to_bool_exn
+        (Json.mem_or "unconditional" ~default:(Json.Bool false) j);
+    a_provenance =
+      List.map Json.to_string_exn
+        (Json.to_list_exn (Json.mem_or "provenance" ~default:(Json.List []) j));
+    a_degraded = Json.string_member_opt "degraded" j;
+    a_coalesced =
+      Json.to_bool_exn (Json.mem_or "coalesced" ~default:(Json.Bool false) j);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type err = {
+  code : string;
+  msg : string;
+  retryable : bool;
+  retry_after_ms : float option;
+      (** server-suggested backoff, on admission rejection *)
+}
+
+let err_to_json (e : err) : Json.t =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          ([
+             ("code", Json.String e.code);
+             ("msg", Json.String e.msg);
+             ("retryable", Json.Bool e.retryable);
+           ]
+          @
+          match e.retry_after_ms with
+          | None -> []
+          | Some ms -> [ ("retry_after_ms", Json.float ms) ]) );
+    ]
+
+let bad_request msg =
+  { code = "bad_request"; msg; retryable = false; retry_after_ms = None }
+
+let unknown_bench bench =
+  {
+    code = "unknown_bench";
+    msg = Printf.sprintf "no benchmark named %S" bench;
+    retryable = false;
+    retry_after_ms = None;
+  }
+
+let overloaded ~retry_after_ms =
+  {
+    code = "overloaded";
+    msg = "admission queue full";
+    retryable = true;
+    retry_after_ms = Some retry_after_ms;
+  }
+
+let shutting_down =
+  {
+    code = "shutting_down";
+    msg = "server is shutting down";
+    retryable = true;
+    retry_after_ms = Some 1000.0;
+  }
+
+let internal msg =
+  { code = "internal"; msg; retryable = false; retry_after_ms = None }
+
+(* ------------------------------------------------------------------ *)
+(* Response envelopes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+(** Parse a response envelope into [Ok payload] / [Error err]. Raises
+    [Json.Parse_error] when it is not an envelope at all. *)
+let open_envelope (j : Json.t) : (Json.t, err) result =
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> Ok j
+  | Some (Json.Bool false) ->
+      let e = Json.mem_or "error" ~default:(Json.Obj []) j in
+      Error
+        {
+          code =
+            Json.to_string_exn
+              (Json.mem_or "code" ~default:(Json.String "unknown") e);
+          msg = Json.to_string_exn (Json.mem_or "msg" ~default:(Json.String "") e);
+          retryable =
+            Json.to_bool_exn
+              (Json.mem_or "retryable" ~default:(Json.Bool false) e);
+          retry_after_ms = Json.float_member_opt "retry_after_ms" e;
+        }
+  | _ -> raise (Json.Parse_error "response has no \"ok\" field")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 rows on the wire                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The raw numbers behind one Figure 8 row (see
+    [Scaf_report.Experiments.fig8_row]): weighted %NoDep per scheme, as
+    binary64. [Json.float] prints them with [%.17g], so a row survives the
+    wire bit-exactly and the client-side rendering of a replayed Figure 8
+    is byte-identical to the batch one. *)
+let fig8_row_to_json (r : Scaf_report.Experiments.fig8_row) : Json.t =
+  Json.Obj
+    [
+      ("bench", Json.String r.Scaf_report.Experiments.row_bench);
+      ("caf", Json.float r.Scaf_report.Experiments.row_caf);
+      ("confluence", Json.float r.Scaf_report.Experiments.row_confluence);
+      ("scaf", Json.float r.Scaf_report.Experiments.row_scaf);
+      ("memspec", Json.float r.Scaf_report.Experiments.row_memspec);
+      ("observed", Json.float r.Scaf_report.Experiments.row_observed);
+    ]
+
+let fig8_row_of_json (j : Json.t) : Scaf_report.Experiments.fig8_row =
+  let f name =
+    match Json.float_member_opt name j with
+    | Some v -> v
+    | None -> raise (Json.Parse_error ("fig8 row: missing field " ^ name))
+  in
+  {
+    Scaf_report.Experiments.row_bench = Json.string_member "bench" j;
+    row_caf = f "caf";
+    row_confluence = f "confluence";
+    row_scaf = f "scaf";
+    row_memspec = f "memspec";
+    row_observed = f "observed";
+  }

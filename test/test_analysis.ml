@@ -263,7 +263,7 @@ exit:
   in
   checkb "statically killed" true
     (result_of r = Aresult.RModref Aresult.NoModRef);
-  checkb "cost free" true (Response.has_free_option r)
+  checkb "cost free" true (Response.Options.has_free r.Response.options)
 
 let test_kill_flow_respects_bypass () =
   (* same but the killing store is conditional: no kill *)
@@ -500,7 +500,7 @@ exit:
   in
   checkb "disjoint partitions NoAlias" true
     (result_of r = Aresult.RAlias Aresult.NoAlias);
-  checkb "free of charge" true (Response.has_free_option r)
+  checkb "free of charge" true (Response.Options.has_free r.Response.options)
 
 (* -- unique-paths-aa ------------------------------------------------ *)
 

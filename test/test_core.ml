@@ -119,11 +119,11 @@ let test_response_costs () =
     Response.make (Aresult.RModref Aresult.NoModRef)
       ~options:[ [ a_val 1L; a_ctrl ]; [ a_sep [ 1 ] ] ]
   in
-  checkf "cheapest" 10.0 (Response.cheapest_cost r);
-  checkb "no free option" false (Response.has_free_option r);
+  checkf "cheapest" 10.0 (Response.Options.cheapest_cost r.Response.options);
+  checkb "no free option" false (Response.Options.has_free r.Response.options);
   checkb "not definite-free" false (Response.is_definite_free r);
   let free = Response.free (Aresult.RModref Aresult.NoModRef) in
-  checkf "free cost" 0.0 (Response.cheapest_cost free);
+  checkf "free cost" 0.0 (Response.Options.cheapest_cost free.Response.options);
   checkb "definite-free" true (Response.is_definite_free free)
 
 (* -- Join (Algorithm 2) -------------------------------------------- *)
@@ -144,7 +144,7 @@ let test_join_cheapest_picks_cheaper () =
   let expensive = nomodref ~options:[ [ a_sep [ 1 ] ] ] () in
   let cheap = nomodref ~options:[ [ a_ctrl ] ] () in
   let j = Join.join Join.Cheapest expensive cheap in
-  checkf "picked the free option" 0.0 (Response.cheapest_cost j)
+  checkf "picked the free option" 0.0 (Response.Options.cheapest_cost j.Response.options)
 
 let test_join_all_keeps_options () =
   let r1 = nomodref ~options:[ [ a_sep [ 1 ] ] ] () in

@@ -130,8 +130,8 @@ let test_scaf_disproves () =
     (Response.Sset.mem "control-spec" prov);
   checkb "kill-flow participated" true (Response.Sset.mem "kill-flow-aa" prov);
   (* the assertion is the dead rare block, at zero validation cost *)
-  checkb "has free option" true (Response.has_free_option resp);
-  match Response.cheapest_option resp with
+  checkb "has free option" true (Response.Options.has_free resp.Response.options);
+  match Response.Options.cheapest resp.Response.options with
   | Some (a :: _) ->
       Alcotest.(check string) "module" "control-spec" a.Assertion.module_id;
       (match a.Assertion.payload with
@@ -146,7 +146,7 @@ let test_memspec_covers_expensively () =
   let resp = r.Schemes.resolve (query i3 i2) in
   checkb "memspec disproves" true (Pdg.affordable_nodep resp);
   (* ... but at much higher cost than SCAF's free answer *)
-  checkb "memspec is expensive" true (Response.cheapest_cost resp > 1000.0)
+  checkb "memspec is expensive" true (Response.Options.cheapest_cost resp.Response.options > 1000.0)
 
 let test_intra_dep_respected () =
   (* i1 -> i2 intra-iteration flow is real: nobody may disprove it *)

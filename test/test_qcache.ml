@@ -321,7 +321,8 @@ let prop_mirror_alias_equal =
       let rq = r.Schemes.resolve q in
       let rm = r.Schemes.resolve (mirror q) in
       Aresult.equal rq.Response.result rm.Response.result
-      && Response.cheapest_cost rq = Response.cheapest_cost rm)
+      && Response.Options.cheapest_cost rq.Response.options
+         = Response.Options.cheapest_cost rm.Response.options)
 
 let suite =
   [

@@ -1,0 +1,466 @@
+(** Tests for the analysis-as-a-service layer ([lib/server]): the JSON
+    codec, the length-prefixed wire protocol's edge cases (truncated
+    prefix, oversized frame, malformed payload), the protocol codecs,
+    the admission queue's watermark state machine, in-flight coalescing
+    under concurrent clients (observable via the engine's counters), the
+    deadline path, an end-to-end daemon round-trip, and the full server
+    chaos matrix. *)
+
+open Scaf_server
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* -- Json ----------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\t\x01é");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.1);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Int 0 ]);
+        ("nested", Json.Obj [ ("x", Json.Float 1e-300) ]);
+      ]
+  in
+  let j' = Json.of_string (Json.to_string j) in
+  checkb "round-trips structurally" true (j = j')
+
+let test_json_float_bit_exact () =
+  (* %.17g printing must round-trip every binary64 exactly: this is what
+     makes the daemon's fig8 replay byte-identical to batch *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Json.Float f' ->
+          checkb (Printf.sprintf "%h survives" f) true (Int64.equal
+            (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | _ -> Alcotest.fail "float did not parse back as Float")
+    [ 0.1; 1.0 /. 3.0; 96.174999999999997; 1e300; -0.0; 4.9e-324 ]
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | _ -> Alcotest.failf "accepted malformed %S" s
+      | exception Json.Parse_error _ -> ())
+    [ "{nope"; "[1,]"; "\"unterminated"; "{\"a\":1} trailing"; ""; "nul" ]
+
+(* -- Wire ----------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_wire_roundtrip () =
+  with_socketpair (fun a b ->
+      let j = Json.Obj [ ("op", Json.String "ping") ] in
+      (match Wire.write_frame a j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Wire.error_to_string e));
+      match Wire.read_frame b with
+      | Ok j' -> checkb "frame round-trips" true (j = j')
+      | Error e -> Alcotest.failf "read: %s" (Wire.error_to_string e))
+
+let test_wire_truncated_prefix () =
+  (* peer dies after two bytes of the length prefix *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\x00\x00" 0 2);
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error (Wire.Truncated _) -> ()
+      | Ok _ -> Alcotest.fail "parsed a frame from half a prefix"
+      | Error e ->
+          Alcotest.failf "expected Truncated, got %s" (Wire.error_to_string e))
+
+let test_wire_truncated_payload () =
+  with_socketpair (fun a b ->
+      (* declare 10 payload bytes, deliver 3, hang up *)
+      ignore (Unix.write_substring a "\x00\x00\x00\x0aabc" 0 7);
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error (Wire.Truncated _) -> ()
+      | Ok _ -> Alcotest.fail "parsed a truncated payload"
+      | Error e ->
+          Alcotest.failf "expected Truncated, got %s" (Wire.error_to_string e))
+
+let test_wire_oversized () =
+  with_socketpair (fun a b ->
+      (* a 256 MiB declaration must be rejected from the prefix alone,
+         without the reader trying to buffer any payload *)
+      ignore (Unix.write_substring a "\x10\x00\x00\x00" 0 4);
+      match Wire.read_frame ~max_len:Wire.default_max_len b with
+      | Error (Wire.Oversized n) -> checki "declared length" 0x10000000 n
+      | Ok _ -> Alcotest.fail "accepted an oversized frame"
+      | Error e ->
+          Alcotest.failf "expected Oversized, got %s" (Wire.error_to_string e))
+
+let test_wire_bad_json () =
+  with_socketpair (fun a b ->
+      let payload = "{broken" in
+      let n = String.length payload in
+      let prefix =
+        Printf.sprintf "%c%c%c%c" '\x00' '\x00' '\x00' (Char.chr n)
+      in
+      ignore (Unix.write_substring a (prefix ^ payload) 0 (4 + n));
+      match Wire.read_frame b with
+      | Error (Wire.Bad_json _) -> ()
+      | Ok _ -> Alcotest.fail "accepted broken JSON"
+      | Error e ->
+          Alcotest.failf "expected Bad_json, got %s" (Wire.error_to_string e))
+
+let test_wire_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error Wire.Closed -> ()
+      | Ok _ -> Alcotest.fail "read a frame from a closed peer"
+      | Error e ->
+          Alcotest.failf "expected Closed, got %s" (Wire.error_to_string e))
+
+(* -- Protocol ------------------------------------------------------- *)
+
+let wq = { Protocol.wloop = "main_loop"; wsrc = 3; wdst = 7; wcross = true }
+
+let test_protocol_request_roundtrip () =
+  List.iter
+    (fun r ->
+      let r' = Protocol.request_of_json (Protocol.request_to_json r) in
+      checkb "request round-trips" true (r = r'))
+    [
+      Protocol.Hello { client = "t" };
+      Protocol.Ping;
+      Protocol.Ask { bench = "164.gzip"; q = wq; deadline_ms = Some 12.5 };
+      Protocol.Ask { bench = "164.gzip"; q = wq; deadline_ms = None };
+      Protocol.Ask_many
+        { bench = "b"; qs = [ wq; { wq with Protocol.wcross = false } ];
+          deadline_ms = None };
+      Protocol.Queries { bench = "b" };
+      Protocol.Report { bench = "b" };
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+
+let test_protocol_unknown_op () =
+  match Protocol.request_of_json (Json.Obj [ ("op", Json.String "nope") ]) with
+  | _ -> Alcotest.fail "accepted unknown op"
+  | exception Json.Parse_error _ -> ()
+
+let test_protocol_answer_roundtrip () =
+  let a =
+    {
+      Protocol.a_result = "NoModRef";
+      a_nodep = true;
+      a_cost = 12.25;
+      a_options = 3;
+      a_unconditional = false;
+      a_provenance = [ "points-to"; "read-only" ];
+      a_degraded = Some "load_shed:cheap-modules";
+      a_coalesced = true;
+    }
+  in
+  let a' = Protocol.answer_of_json (Protocol.answer_to_json a) in
+  checkb "answer round-trips" true (a = a')
+
+let test_protocol_err_envelope () =
+  let e = Protocol.overloaded ~retry_after_ms:50.0 in
+  match Protocol.open_envelope (Json.of_string
+    (Json.to_string (Protocol.err_to_json e))) with
+  | Error e' ->
+      checks "code" "overloaded" e'.Protocol.code;
+      checkb "retryable" true e'.Protocol.retryable;
+      checkb "hint" true (e'.Protocol.retry_after_ms = Some 50.0)
+  | Ok _ -> Alcotest.fail "error envelope opened as ok"
+
+(* -- Admission ------------------------------------------------------ *)
+
+let adm_config =
+  {
+    Admission.capacity = 4;
+    cheap_watermark = 1;
+    cache_watermark = 2;
+    retry_after_ms = 25.0;
+  }
+
+let test_admission_watermarks () =
+  let q = Admission.create adm_config in
+  (* queue depth at each submission decides that job's degrade level *)
+  (match Admission.submit q 0 with
+  | Admission.Admitted Admission.Full -> ()
+  | _ -> Alcotest.fail "depth 0 must admit Full");
+  (match Admission.submit q 1 with
+  | Admission.Admitted Admission.Cheap -> ()
+  | _ -> Alcotest.fail "depth 1 >= cheap_watermark must shed to Cheap");
+  (match Admission.submit q 2 with
+  | Admission.Admitted Admission.Cached_only -> ()
+  | _ -> Alcotest.fail "depth 2 >= cache_watermark must shed to Cached_only");
+  (match Admission.submit q 3 with
+  | Admission.Admitted Admission.Cached_only -> ()
+  | _ -> Alcotest.fail "depth 3 still admits Cached_only");
+  (match Admission.submit q 4 with
+  | Admission.Overloaded hint ->
+      checkb "retry-after hint" true (hint = 25.0)
+  | _ -> Alcotest.fail "at capacity must reject");
+  let s = Admission.stats q in
+  checki "depth" 4 s.Admission.depth;
+  checki "admitted full" 1 s.Admission.admitted_full;
+  checki "shed cheap" 1 s.Admission.shed_cheap;
+  checki "shed cached" 2 s.Admission.shed_cached;
+  checki "rejected" 1 s.Admission.rejected;
+  checks "state" "rejecting" (Admission.state_name q)
+
+let test_admission_close_drains () =
+  let q = Admission.create adm_config in
+  ignore (Admission.submit q 10);
+  ignore (Admission.submit q 11);
+  Admission.close q;
+  (* already-admitted jobs still drain after close ... *)
+  checkb "drains first" true
+    (match Admission.pop q with Some (10, _) -> true | _ -> false);
+  checkb "drains second" true
+    (match Admission.pop q with Some (11, _) -> true | _ -> false);
+  (* ... then pop returns None instead of blocking forever *)
+  checkb "then None" true (Admission.pop q = None);
+  (match Admission.submit q 12 with
+  | Admission.Closed -> ()
+  | _ -> Alcotest.fail "closed queue must refuse new work");
+  checks "state" "closed" (Admission.state_name q)
+
+let test_admission_pop_blocks_until_submit () =
+  let q = Admission.create adm_config in
+  let got = ref None in
+  let t = Thread.create (fun () -> got := Admission.pop q) () in
+  Thread.delay 0.05;
+  ignore (Admission.submit q 99);
+  Thread.join t;
+  checkb "woken with the job" true
+    (match !got with Some (99, _) -> true | _ -> false)
+
+(* -- Engine: coalescing, shedding, deadlines ------------------------ *)
+
+let bench_name = "052.alvinn"
+
+let shared_engine =
+  (* loading + profiling once for all engine tests; [wrap] adds a small
+     per-module delay so concurrent identical queries overlap in flight *)
+  lazy
+    (let wrap mods =
+       List.map
+         (fun m ->
+           let open Scaf in
+           {
+             m with
+             Module_api.answer =
+               (fun mctx q ->
+                 Thread.delay 0.002;
+                 m.Module_api.answer mctx q);
+           })
+         mods
+     in
+     let b =
+       match Scaf_suite.Registry.find bench_name with
+       | Some b -> b
+       | None -> Alcotest.failf "missing benchmark %s" bench_name
+     in
+     Engine.create ~wrap ~benchmarks:[ b ] ())
+
+let first_query eng =
+  let b = Engine.find_bench eng bench_name |> Option.get in
+  match
+    Engine.queries_json b
+    |> Json.mem_or "loops" ~default:Json.Null
+  with
+  | Json.List (first_loop :: _) -> (
+      match
+        Json.mem_or "queries" ~default:Json.Null first_loop
+      with
+      | Json.List (q :: _) -> Protocol.query_of_json q
+      | _ -> Alcotest.fail "loop has no queries")
+  | _ -> Alcotest.fail "no loops"
+
+let test_engine_coalescing () =
+  let eng = Lazy.force shared_engine in
+  let b = Engine.find_bench eng bench_name |> Option.get in
+  let q = first_query eng in
+  let before = Engine.coalesced_count eng in
+  let results = Array.make 8 None in
+  let threads =
+    Array.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            let w = Engine.worker eng in
+            results.(i) <-
+              Some (Engine.answer w ~degrade:Admission.Full ~deadline:None b q))
+          ())
+  in
+  Array.iter Thread.join threads;
+  let answers =
+    Array.to_list results |> List.filter_map Fun.id
+  in
+  checki "all eight answered" 8 (List.length answers);
+  (* identical concurrent queries must agree ... *)
+  let r0 = (List.hd answers).Protocol.a_result in
+  List.iter
+    (fun (a : Protocol.answer) ->
+      checks "answers agree" r0 a.Protocol.a_result;
+      checkb "none degraded" true (a.Protocol.a_degraded = None))
+    answers;
+  (* ... and at least one must have ridden another's in-flight
+     evaluation: the flight table, not just the cache, absorbed the
+     hammering (visible as either a coalesced answer or a cache hit) *)
+  let coalesced = Engine.coalesced_count eng - before in
+  let cache_hits = (Scaf.Qcache.stats b.Engine.cache).Scaf.Qcache.hits in
+  checkb "hammering was absorbed" true (coalesced > 0 || cache_hits > 0)
+
+let test_engine_shed_cached_only () =
+  let eng = Lazy.force shared_engine in
+  let b = Engine.find_bench eng bench_name |> Option.get in
+  let w = Engine.worker eng in
+  let q = { (first_query eng) with Protocol.wsrc = 0; wdst = 0 } in
+  let a = Engine.answer w ~degrade:Admission.Cached_only ~deadline:None b q in
+  (match a.Protocol.a_degraded with
+  | Some ("load_shed:cached" | "load_shed:cached-miss") -> ()
+  | other ->
+      Alcotest.failf "expected a load_shed:cached tag, got %s"
+        (Option.value ~default:"<none>" other));
+  (* a cached-only miss answers bottom: sound, never fabricated *)
+  if a.Protocol.a_degraded = Some "load_shed:cached-miss" then
+    checkb "miss answers bottom (no nodep claim)" false a.Protocol.a_nodep
+
+let test_engine_shed_cheap () =
+  let eng = Lazy.force shared_engine in
+  let b = Engine.find_bench eng bench_name |> Option.get in
+  let w = Engine.worker eng in
+  let a =
+    Engine.answer w ~degrade:Admission.Cheap ~deadline:None b (first_query eng)
+  in
+  checkb "tagged cheap-modules" true
+    (a.Protocol.a_degraded = Some "load_shed:cheap-modules")
+
+let test_engine_deadline_expired () =
+  let eng = Lazy.force shared_engine in
+  let b = Engine.find_bench eng bench_name |> Option.get in
+  let w = Engine.worker eng in
+  let q = { (first_query eng) with Protocol.wcross = false } in
+  let expired = Unix.gettimeofday () -. 1.0 in
+  let a = Engine.answer w ~degrade:Admission.Full ~deadline:(Some expired) b q in
+  checkb "tagged deadline" true (a.Protocol.a_degraded = Some "deadline")
+
+(* -- Daemon e2e ----------------------------------------------------- *)
+
+let scratch_sock () =
+  Filename.temp_file "scaf-test" ".sock" |> fun p ->
+  Sys.remove p;
+  p
+
+let test_daemon_end_to_end () =
+  let sock = scratch_sock () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let cfg =
+    { (Daemon.default_config ~socket_path:sock ()) with
+      Daemon.benchmarks = [ b ] }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let c, benches = Client.connect ~name:"test" sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          checkb "hello lists the benchmark" true (benches = [ bench_name ]);
+          Client.ping c;
+          let qs = Client.queries c ~bench:bench_name in
+          checkb "has hot loops" true (qs <> []);
+          let loop, _, wqs = List.hd qs in
+          let a = Client.ask c ~bench:bench_name
+              { (List.hd wqs) with Protocol.wloop = loop } in
+          checkb "answered undegraded" true (a.Protocol.a_degraded = None);
+          (* stats must expose the daemon health counters *)
+          let st = Client.stats c in
+          let requests =
+            Json.mem_or "metrics" ~default:Json.Null st
+            |> Json.mem_or "counters" ~default:Json.Null
+            |> Json.int_member "server.requests"
+          in
+          checkb "metrics count requests" true (requests > 0);
+          checks "admission state" "accepting"
+            (Json.mem_or "admission" ~default:Json.Null st
+            |> Json.string_member "state")))
+
+(* -- the full chaos matrix ------------------------------------------ *)
+
+let test_server_chaos_matrix () =
+  let outcomes = Scaf_faultinject.Server_chaos.run_server_chaos ~seed:2026 () in
+  checkb "at least 20 scenarios" true (List.length outcomes >= 20);
+  List.iter
+    (fun (o : Scaf_faultinject.Server_chaos.server_outcome) ->
+      if not o.Scaf_faultinject.Server_chaos.s_ok then
+        Alcotest.failf "server chaos %s: %s"
+          o.Scaf_faultinject.Server_chaos.s_scenario
+          o.Scaf_faultinject.Server_chaos.s_detail)
+    outcomes
+
+let suite =
+  [
+    ( "server-json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "float bit-exact" `Quick test_json_float_bit_exact;
+        Alcotest.test_case "malformed rejected" `Quick test_json_malformed;
+      ] );
+    ( "server-wire",
+      [
+        Alcotest.test_case "frame round-trip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "truncated prefix" `Quick test_wire_truncated_prefix;
+        Alcotest.test_case "truncated payload" `Quick
+          test_wire_truncated_payload;
+        Alcotest.test_case "oversized rejected from prefix" `Quick
+          test_wire_oversized;
+        Alcotest.test_case "bad json payload" `Quick test_wire_bad_json;
+        Alcotest.test_case "closed peer" `Quick test_wire_closed;
+      ] );
+    ( "server-protocol",
+      [
+        Alcotest.test_case "request round-trips" `Quick
+          test_protocol_request_roundtrip;
+        Alcotest.test_case "unknown op rejected" `Quick
+          test_protocol_unknown_op;
+        Alcotest.test_case "answer round-trips" `Quick
+          test_protocol_answer_roundtrip;
+        Alcotest.test_case "error envelope" `Quick test_protocol_err_envelope;
+      ] );
+    ( "server-admission",
+      [
+        Alcotest.test_case "watermark state machine" `Quick
+          test_admission_watermarks;
+        Alcotest.test_case "close drains then refuses" `Quick
+          test_admission_close_drains;
+        Alcotest.test_case "pop blocks until submit" `Quick
+          test_admission_pop_blocks_until_submit;
+      ] );
+    ( "server-engine",
+      [
+        Alcotest.test_case "concurrent hammering coalesces" `Quick
+          test_engine_coalescing;
+        Alcotest.test_case "cached-only shedding" `Quick
+          test_engine_shed_cached_only;
+        Alcotest.test_case "cheap-modules shedding" `Quick
+          test_engine_shed_cheap;
+        Alcotest.test_case "expired deadline degrades" `Quick
+          test_engine_deadline_expired;
+      ] );
+    ( "server-daemon",
+      [
+        Alcotest.test_case "end-to-end round-trip" `Quick
+          test_daemon_end_to_end;
+        Alcotest.test_case "chaos matrix all green" `Slow
+          test_server_chaos_matrix;
+      ] );
+  ]

@@ -68,7 +68,7 @@ let check_scheme ~require_free (accs : acc list)
     (fun (q : Pdg.qresult) ->
       let counts =
         q.Pdg.nodep
-        && ((not require_free) || Response.has_free_option q.Pdg.resp)
+        && ((not require_free) || Response.Options.has_free q.Pdg.resp.Response.options)
       in
       (not counts)
       || not

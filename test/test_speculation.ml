@@ -81,7 +81,7 @@ exit:
   checkb "dead endpoint removed" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
   (* the assertion names the dead block at zero cost *)
-  (match Response.cheapest_option r with
+  (match Response.Options.cheapest r.Response.options with
   | Some [ a ] ->
       checkb "cost 0" true (a.Assertion.cost = 0.0);
       (match a.Assertion.payload with
@@ -141,7 +141,7 @@ let test_value_pred_direct () =
   in
   checkb "direct rule fires" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
-  checkb "costs the load's checks" true (Response.cheapest_cost r > 0.0)
+  checkb "costs the load's checks" true (Response.Options.cheapest_cost r.Response.options > 0.0)
 
 let test_value_pred_kill_needs_collaboration () =
   let m, profiles = setup vp_src in
@@ -208,7 +208,7 @@ exit:
   checkb "disjoint residues, isolated modref" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
   checkb "two residue assertions" true
-    (match Response.cheapest_option r with Some o -> List.length o = 2 | None -> false)
+    (match Response.Options.cheapest r.Response.options with Some o -> List.length o = 2 | None -> false)
 
 (* -- read-only + points-to ------------------------------------------- *)
 
@@ -275,7 +275,7 @@ let test_read_only_needs_points_to () =
   checkb "pair succeeds" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
   checkb "cheap to validate" true
-    (Cost_model.affordable (Response.cheapest_cost r));
+    (Cost_model.affordable (Response.Options.cheapest_cost r.Response.options));
   checkb "points-to in provenance" true
     (Response.Sset.mem "points-to" r.Response.provenance)
 
@@ -320,10 +320,10 @@ let test_short_lived_cross_iteration_only () =
   let rc = Orchestrator.handle o cross in
   checkb "cross-iteration removed" true
     (rc.Response.result = Aresult.RModref Aresult.NoModRef);
-  checkb "affordable" true (Cost_model.affordable (Response.cheapest_cost rc));
+  checkb "affordable" true (Cost_model.affordable (Response.Options.cheapest_cost rc.Response.options));
   (* the balance check is part of the option *)
   checkb "has balance assertion" true
-    (match Response.cheapest_option rc with
+    (match Response.Options.cheapest rc.Response.options with
     | Some os ->
         List.exists
           (fun (a : Assertion.t) ->
@@ -361,7 +361,7 @@ let test_points_to_prohibitive () =
   checkb "points-to disproves" true
     (r.Response.result = Aresult.RModref Aresult.NoModRef);
   checkb "but prohibitively" false
-    (Cost_model.affordable (Response.cheapest_cost r))
+    (Cost_model.affordable (Response.Options.cheapest_cost r.Response.options))
 
 let suite =
   [

@@ -308,13 +308,7 @@ let test_response_options () =
   checkb "but not unconditional" false
     (Response.Options.has_unconditional zero);
   checkb "the empty option is unconditional" true
-    (Response.Options.has_unconditional [ [] ]);
-  (* the deprecated spellings stay equivalent during this PR's window *)
-  let r = Response.make ~options:opts (Aresult.RModref Aresult.NoModRef) in
-  checkf "deprecated cheapest_cost agrees" (Response.Options.cheapest_cost opts)
-    (Response.cheapest_cost r);
-  checkb "deprecated cheapest_option agrees" true
-    (Response.cheapest_option r = Response.Options.cheapest opts)
+    (Response.Options.has_unconditional [ [] ])
 
 (* -- the Module_api.Ctx record ----------------------------------------- *)
 
