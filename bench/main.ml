@@ -21,6 +21,9 @@
     - [trace/*] — the observability layer: the same SCAF sweep with the
       no-op sink, an enabled-but-sampled-out sink, a collect-everything
       sink, and a metrics registry attached.
+    - [incremental/*] — the incremental re-analysis engine: a warm
+      full-workload sweep (all cache hits), one edit/invalidate
+      round-trip, and edit + full re-answer.
 
     Run with: dune exec bench/main.exe [-- GROUP...] — group names select
     a subset. [--json FILE] additionally writes every estimate as a flat
@@ -28,7 +31,10 @@
     ci/compare_bench.py diffs a fresh run against one). The special
     argument [trace-gate] instead runs the CI regression gate: the
     enabled-but-sampled-out hot path must stay within tolerance of the
-    no-op-sink baseline (non-zero exit otherwise). *)
+    no-op-sink baseline (non-zero exit otherwise); [incremental-gate]
+    runs the incremental-engine gate: on every fig8 benchmark the
+    scripted single-loop edit must re-answer <20%% of the workload and
+    stay byte-identical to the batch run. *)
 
 open Bechamel
 open Toolkit
@@ -74,7 +80,7 @@ exit:
 let motivating = Scaf_ir.Parser.parse_exn_msg motivating_src
 
 let suite_bench =
-  Scaf_suite.Benchmark.program (Option.get (Scaf_suite.Registry.find "181.mcf"))
+  Scaf_suite.Program.program (Option.get (Scaf_suite.Registry.find "181.mcf"))
 
 let profiles = lazy (Scaf_profile.Profiler.profile_module motivating)
 
@@ -261,8 +267,8 @@ let parallel_tests =
     lazy
       (let b = Option.get (Scaf_suite.Registry.find "429.mcf") in
        Scaf_profile.Profiler.profile_module
-         ~inputs:b.Scaf_suite.Benchmark.train_inputs
-         (Scaf_suite.Benchmark.program b))
+         ~inputs:(Scaf_suite.Program.train_inputs b)
+         (Scaf_suite.Program.program b))
   in
   (* one run = the full hot-loop PDG sweep of 429.mcf (4 hot loops) under
      SCAF, fanned out across [jobs] worker domains over a shared cache *)
@@ -284,7 +290,7 @@ let parallel_tests =
 
 let substrate_tests =
   let big =
-    Scaf_suite.Benchmark.program (Option.get (Scaf_suite.Registry.find "429.mcf"))
+    Scaf_suite.Program.program (Option.get (Scaf_suite.Registry.find "429.mcf"))
   in
   let text = Scaf_ir.Irmod.to_string big in
   let f = Option.get (Scaf_ir.Irmod.find_func suite_bench "arc_run") in
@@ -391,6 +397,96 @@ let trace_tests =
              ~metrics:(Scaf_trace.Metrics.create ())
              Scaf_trace.Sink.noop ()));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* incremental/* — the edit/invalidate/re-answer engine                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One warm 181.mcf session, shared by the whole group. Each edit run is
+   an insert/delete round-trip: the program returns to its original shape,
+   so repeated bench iterations neither grow the module nor drift the
+   measured work. *)
+let incr_session =
+  lazy
+    (let s =
+       Scaf_incremental.Session.create
+         (Option.get (Scaf_suite.Registry.find "181.mcf"))
+     in
+     List.iter
+       (fun q -> ignore (Scaf_incremental.Session.ask s q))
+       (Scaf_incremental.Session.workload s);
+     s)
+
+let incr_edit_roundtrip (s : Scaf_incremental.Session.t) =
+  let module Session = Scaf_incremental.Session in
+  match Session.edit s [ Session.auto_edit s ] with
+  | Error e -> failwith e
+  | Ok (diff, _) -> (
+      match diff.Scaf_suite.Edit.touched_instrs with
+      | [ id ] -> (
+          match Session.edit s [ Scaf_suite.Edit.Delete_instr { id } ] with
+          | Error e -> failwith e
+          | Ok _ -> ())
+      | _ -> failwith "roundtrip: unexpected diff")
+
+let incremental_tests =
+  [
+    Test.make ~name:"incremental/warm-sweep"
+      (Staged.stage (fun () ->
+           let s = Lazy.force incr_session in
+           List.iter
+             (fun q -> ignore (Scaf_incremental.Session.ask s q))
+             (Scaf_incremental.Session.workload s)));
+    Test.make ~name:"incremental/edit-invalidate-roundtrip"
+      (Staged.stage (fun () ->
+           incr_edit_roundtrip (Lazy.force incr_session)));
+    Test.make ~name:"incremental/post-edit-reanswer"
+      (Staged.stage (fun () ->
+           let s = Lazy.force incr_session in
+           incr_edit_roundtrip s;
+           List.iter
+             (fun q -> ignore (Scaf_incremental.Session.ask s q))
+             (Scaf_incremental.Session.workload s)));
+  ]
+
+(* The incremental CI gate: on every fig8 benchmark, the scripted
+   single-loop edit must (a) re-answer fewer than 20% of the workload
+   queries and (b) leave the surviving answers byte-identical to a
+   from-scratch batch run of the edited program. *)
+let incremental_gate () =
+  let module Session = Scaf_incremental.Session in
+  let fail = ref 0 in
+  List.iter
+    (fun name ->
+      let s = Session.create (Option.get (Scaf_suite.Registry.find name)) in
+      List.iter (fun q -> ignore (Session.ask s q)) (Session.workload s);
+      match Session.edit s [ Session.auto_edit s ] with
+      | Error e ->
+          Fmt.pr "%-16s EDIT FAILED: %s@." name e;
+          incr fail
+      | Ok _ ->
+          Session.reset_counters s;
+          let inc = Session.render_answers s (Session.workload s) in
+          let c = Session.counters s in
+          let b = Session.baseline s in
+          let batch = Session.render_answers b (Session.workload b) in
+          let pct =
+            100.0
+            *. float_of_int c.Session.recomputed
+            /. float_of_int (max 1 c.Session.asked)
+          in
+          let same = String.equal inc batch in
+          if (not same) || pct >= 20.0 then incr fail;
+          Fmt.pr "%-16s re-answered %3d/%3d (%5.1f%%, limit 20%%)  \
+                  differential: %s@."
+            name c.Session.recomputed c.Session.asked pct
+            (if same then "byte-identical" else "MISMATCH"))
+    Scaf_suite.Registry.names;
+  if !fail > 0 then begin
+    Fmt.pr "incremental-gate: FAIL (%d benchmarks)@." !fail;
+    exit 1
+  end;
+  Fmt.pr "incremental-gate: OK@."
 
 (* The CI regression gate: tracing must be near-zero-cost when it is not
    collecting. Alternates the no-op-sink sweep with an enabled sink whose
@@ -522,11 +618,13 @@ let groups =
     ("substrate", "substrate", substrate_tests);
     ("resilience", "resilience", resilience_tests);
     ("trace", "observability", trace_tests);
+    ("incremental", "incremental re-analysis engine", incremental_tests);
   ]
 
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [ "trace-gate" ] -> trace_gate ()
+  | [ "incremental-gate" ] -> incremental_gate ()
   | args ->
       let rec split_json acc = function
         | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)

@@ -22,9 +22,9 @@ open Scaf_report
 
 let clock () = Unix.gettimeofday ()
 
-let select_benchmarks (names : string list) : Scaf_suite.Benchmark.t list =
+let select_benchmarks (names : string list) : Scaf_suite.Program.t list =
   match names with
-  | [] -> Scaf_suite.Registry.all
+  | [] -> Scaf_suite.Registry.all ()
   | names ->
       List.map
         (fun n ->
@@ -205,11 +205,8 @@ let run_explain name query_sel =
     | Some b -> b
     | None -> Fmt.failwith "unknown benchmark %S" name
   in
-  let m = Scaf_suite.Benchmark.program b in
-  let profiles =
-    Scaf_profile.Profiler.profile_module
-      ~inputs:b.Scaf_suite.Benchmark.train_inputs m
-  in
+  ignore (Scaf_suite.Program.program b);
+  let profiles = Scaf_suite.Program.profiles b in
   let prog = profiles.Scaf_profile.Profiles.ctx in
   let sink = Scaf_trace.Sink.create ~max_roots:max_int ~clock () in
   let resolver =
@@ -289,7 +286,7 @@ let run_bench name =
     | None -> Fmt.failwith "unknown benchmark %S" name
   in
   let e = Experiments.evaluate_bench b in
-  Fmt.pr "%s — %s@.@." b.Scaf_suite.Benchmark.name b.Scaf_suite.Benchmark.descr;
+  Fmt.pr "%s — %s@.@." (Scaf_suite.Program.id b) (Scaf_suite.Program.descr b);
   Fmt.pr "hot loops:@.";
   List.iter
     (fun (lid, w) ->
@@ -313,16 +310,13 @@ let run_speculate name =
     | Some b -> b
     | None -> Fmt.failwith "unknown benchmark %S" name
   in
-  let m = Scaf_suite.Benchmark.program b in
-  let profiles =
-    Scaf_profile.Profiler.profile_module
-      ~inputs:b.Scaf_suite.Benchmark.train_inputs m
-  in
+  let m = Scaf_suite.Program.program b in
+  let profiles = Scaf_suite.Program.profiles b in
   let plan, instrumented = Scaf_transform.Apply.speculate profiles in
   Fmt.pr "%a@." Scaf_transform.Plan.pp plan;
   let outcome_train =
     Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
-      ~input:(List.hd b.Scaf_suite.Benchmark.train_inputs)
+      ~input:(List.hd (Scaf_suite.Program.train_inputs b))
       ()
   in
   (match outcome_train.Scaf_transform.Apply.misspec_tag with
@@ -335,17 +329,73 @@ let run_speculate name =
   Fmt.pr "train input: misspeculated=%b, output matches original=%b@."
     outcome_train.Scaf_transform.Apply.misspeculated
     (outcome_train.Scaf_transform.Apply.result.Scaf_interp.Eval.output
-    = (Scaf_interp.Eval.run ~input:(List.hd b.Scaf_suite.Benchmark.train_inputs) m)
+    = (Scaf_interp.Eval.run
+         ~input:(List.hd (Scaf_suite.Program.train_inputs b))
+         m)
         .Scaf_interp.Eval.output);
   let outcome_ref =
     Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
-      ~input:b.Scaf_suite.Benchmark.ref_input ()
+      ~input:(Scaf_suite.Program.ref_input b) ()
   in
   Fmt.pr "ref input:   misspeculated=%b, output matches original=%b@."
     outcome_ref.Scaf_transform.Apply.misspeculated
     (outcome_ref.Scaf_transform.Apply.result.Scaf_interp.Eval.output
-    = (Scaf_interp.Eval.run ~input:b.Scaf_suite.Benchmark.ref_input m)
+    = (Scaf_interp.Eval.run ~input:(Scaf_suite.Program.ref_input b) m)
         .Scaf_interp.Eval.output)
+
+(* ------------------------------------------------------------------ *)
+(* watch: edit / invalidate / re-answer loop                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the incremental re-analysis engine on one benchmark: answer the
+   full PDG workload cold, then [edits] times apply the scripted
+   single-loop edit, run the invalidation pass, re-answer, and check the
+   surviving answers differentially against a from-scratch batch session
+   over the same (edited) program. Exits non-zero on any differential
+   mismatch or failed edit. *)
+let run_watch name edits =
+  let b =
+    match Scaf_suite.Registry.find name with
+    | Some b -> b
+    | None -> Fmt.failwith "unknown benchmark %S" name
+  in
+  let module Session = Scaf_incremental.Session in
+  let s = Session.create b in
+  let qs = Session.workload s in
+  Fmt.pr "%s @@ epoch %d: %d hot-loop queries@." name (Session.epoch s)
+    (List.length qs);
+  List.iter (fun q -> ignore (Session.ask s q)) qs;
+  let c = Session.counters s in
+  Fmt.pr "cold run: computed %d/%d@." c.Session.recomputed c.Session.asked;
+  let ok = ref true in
+  for i = 1 to edits do
+    let op = Session.auto_edit s in
+    Fmt.pr "@.edit %d: %a@." i Scaf_suite.Edit.pp_op op;
+    match Session.edit s [ op ] with
+    | Error e ->
+        Fmt.epr "edit failed: %s@." e;
+        ok := false
+    | Ok (diff, stats) ->
+        Fmt.pr "  %a@." Scaf_suite.Edit.pp_diff diff;
+        Fmt.pr "  invalidation: %a@." Scaf_incremental.Invalidate.pp_stats
+          stats;
+        Session.reset_counters s;
+        let qs = Session.workload s in
+        let answers = Session.render_answers s qs in
+        let c = Session.counters s in
+        Fmt.pr "  re-answered %d/%d (%.1f%%)@." c.Session.recomputed
+          c.Session.asked
+          (100.0
+          *. float_of_int c.Session.recomputed
+          /. float_of_int (max 1 c.Session.asked));
+        let base = Session.baseline s in
+        let batch = Session.render_answers base (Session.workload base) in
+        let same = String.equal answers batch in
+        Fmt.pr "  differential vs batch: %s@."
+          (if same then "byte-identical" else "MISMATCH");
+        if not same then ok := false
+  done;
+  if not !ok then exit 1
 
 let run_audit c json_out =
   (* the audit is sequential by construction; [c.jobs]/[c.cache_stats] do
@@ -566,6 +616,21 @@ let () =
               (Cmd.info "speculate"
                  ~doc:"Plan, instrument and run one benchmark with recovery")
               Term.(const run_speculate $ name_arg);
+            Cmd.v
+              (Cmd.info "watch"
+                 ~doc:
+                   "Incremental re-analysis loop for one benchmark: answer \
+                    the PDG workload, apply a scripted single-loop edit, \
+                    invalidate only the transitively affected cache \
+                    entries, re-answer, and verify the result \
+                    byte-identical to a from-scratch batch run of the \
+                    edited program.")
+              Term.(
+                const run_watch $ name_arg
+                $ Arg.(
+                    value & opt int 1
+                    & info [ "edits" ] ~docv:"N"
+                        ~doc:"Edit/invalidate/re-answer rounds to run."));
             Cmd.v
               (Cmd.info "audit"
                  ~doc:

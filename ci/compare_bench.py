@@ -3,15 +3,20 @@
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [TOLERANCE]
 
-A benchmark regresses when current > baseline * TOLERANCE (default 3.0 —
-CI machines are noisy and shared, so the gate only catches order-of-
-magnitude blowups, not jitter). Missing benchmarks in CURRENT are errors
-(a silently dropped benchmark is how perf coverage rots); new benchmarks
-in CURRENT are reported but fine. Exits non-zero on any regression or
-missing benchmark.
+Ratios are machine-normalized before gating: the median current/baseline
+ratio across all shared benchmarks is taken as the machine-speed factor
+(CI runners are rarely the machine that produced the committed baseline),
+and each benchmark is judged on its deviation from that factor. A
+benchmark regresses when its normalized ratio exceeds TOLERANCE (default
+1.10, i.e. +-10%); improvements beyond 1/TOLERANCE are reported as
+advisory "update the baseline" notes but do not fail. Missing benchmarks
+in CURRENT are errors (a silently dropped benchmark is how perf coverage
+rots); new benchmarks in CURRENT are reported but fine. Exits non-zero
+on any regression or missing benchmark.
 """
 
 import json
+import statistics
 import sys
 
 
@@ -28,7 +33,13 @@ def main():
         sys.exit(__doc__)
     baseline = load(sys.argv[1])
     current = load(sys.argv[2])
-    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 3.0
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 1.10
+
+    shared = [n for n in baseline if n in current and baseline[n] > 0]
+    if not shared:
+        sys.exit("no shared benchmarks between baseline and current run")
+    machine = statistics.median(current[n] / baseline[n] for n in shared)
+    print(f"machine-speed factor (median ratio): {machine:.3f}x\n")
 
     failures = []
     for name in sorted(baseline):
@@ -36,13 +47,18 @@ def main():
             failures.append(f"MISSING  {name}: in baseline but not measured")
             continue
         base, cur = baseline[name], current[name]
-        ratio = cur / base if base > 0 else float("inf")
-        status = "REGRESSED" if ratio > tolerance else "ok"
-        print(f"{status:9s} {name:40s} {base:12.1f} -> {cur:12.1f} ns/run"
-              f"  ({ratio:5.2f}x)")
+        ratio = (cur / base / machine) if base > 0 else float("inf")
         if ratio > tolerance:
-            failures.append(f"{name}: {ratio:.2f}x over baseline"
-                            f" (limit {tolerance:.2f}x)")
+            status = "REGRESSED"
+        elif ratio < 1.0 / tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        print(f"{status:9s} {name:40s} {base:12.1f} -> {cur:12.1f} ns/run"
+              f"  ({ratio:5.2f}x normalized)")
+        if ratio > tolerance:
+            failures.append(f"{name}: {ratio:.2f}x over baseline after "
+                            f"normalization (limit {tolerance:.2f}x)")
     for name in sorted(set(current) - set(baseline)):
         print(f"new       {name:40s} {'':12s}    {current[name]:12.1f} ns/run")
 
@@ -52,7 +68,7 @@ def main():
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)
     print(f"\nall {len(baseline)} baseline benchmarks within "
-          f"{tolerance:.2f}x")
+          f"{tolerance:.2f}x (normalized)")
 
 
 if __name__ == "__main__":

@@ -16,10 +16,7 @@ open Scaf_suite
 
 let () =
   let b = Option.get (Registry.find "181.mcf") in
-  let m = Benchmark.program b in
-  let profiles =
-    Scaf_profile.Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
-  in
+  let profiles = Program.profiles b in
   let prog = profiles.Scaf_profile.Profiles.ctx in
   let scaf = Schemes.scaf profiles in
   let memspec = Schemes.memory_speculation profiles in

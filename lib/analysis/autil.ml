@@ -141,6 +141,7 @@ let footprint_alias_premise (prog : Progctx.t) (q : Query.modref_q)
               aloop = q.Query.mloop;
               acc = q.Query.mcc;
               adr = dr;
+              aepoch = q.Query.mepoch;
             }
       | None -> None)
   | Some l1, Query.TLoc l2 ->
@@ -152,6 +153,7 @@ let footprint_alias_premise (prog : Progctx.t) (q : Query.modref_q)
           aloop = q.Query.mloop;
           acc = q.Query.mcc;
           adr = dr;
+          aepoch = q.Query.mepoch;
         }
   | None, _ -> None
 

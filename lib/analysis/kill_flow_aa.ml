@@ -165,6 +165,7 @@ let answer (prog : Progctx.t) (ctx : Module_api.Ctx.t) (q : Query.t) : Response.
                                         aloop = m.Query.mloop;
                                         acc = m.Query.mcc;
                                         adr = Some Query.DMustAlias;
+                                        aepoch = m.Query.mepoch;
                                       }
                                   in
                                   let presp = Module_api.Ctx.ask ctx premise in

@@ -4,27 +4,39 @@
     affects latency, §3.3).
 
     Each module is annotated with its capability declaration
-    ({!Scaf.Module_api.caps}): the query classes it can improve and the
-    premise classes it emits. The orchestrator never filters on these —
-    they feed the audit layer's query-plan lint. *)
+    ({!Scaf.Module_api.caps}): the query classes it can improve, the
+    premise classes it emits, and the invalidation scope of its answers
+    (reach / profile dependence). The orchestrator never filters on these —
+    they feed the audit layer's query-plan lint and the incremental
+    engine's invalidation pass. The memory modules are profile-free;
+    modules that chase underlying objects, call sites or globals across
+    function boundaries declare [Reach_symbols], the rest [Reach_local]. *)
 
 open Scaf.Module_api
 
-let w answers emits m = with_caps { answers; emits } m
+let w ?(reach = Reach_local) answers emits m =
+  with_caps { answers; emits; reach; uses_profile = false } m
 
 let create (prog : Scaf_cfg.Progctx.t) : Scaf.Module_api.t list =
   [
     w [ CAlias; CModref_instr; CModref_loc ] [ CAlias ] (Basic_aa.create prog);
-    w [ CAlias ] [] (Underlying_objects_aa.create prog);
-    w [ CModref_instr; CModref_loc ] [ CAlias ] (Callsite_aa.create prog);
+    w ~reach:Reach_symbols [ CAlias ] [] (Underlying_objects_aa.create prog);
+    w ~reach:Reach_symbols
+      [ CModref_instr; CModref_loc ]
+      [ CAlias ] (Callsite_aa.create prog);
     w [ CAlias ] [ CAlias ] (Disjoint_fields_aa.create prog);
     w [ CAlias ] [ CAlias ] (Scev_aa.create prog);
     w [ CAlias ] [ CAlias ] (Induction_range_aa.create prog);
     w [ CAlias ] [] (Loop_fresh_aa.create prog);
     w [ CAlias ] [ CAlias ] (Unique_paths_aa.create prog);
     w [ CModref_instr; CModref_loc ] [ CAlias ] (Kill_flow_aa.create prog);
-    w [ CModref_instr; CModref_loc ] [ CAlias ] (Semi_local_fun_aa.create prog);
-    w [ CAlias ] [ CAlias ] (Global_malloc_aa.create prog);
-    w [ CAlias ] [ CAlias ] (No_capture_source_aa.create prog);
-    w [ CAlias ] [ CAlias ] (No_capture_global_aa.create prog);
+    w ~reach:Reach_symbols
+      [ CModref_instr; CModref_loc ]
+      [ CAlias ]
+      (Semi_local_fun_aa.create prog);
+    w ~reach:Reach_symbols [ CAlias ] [ CAlias ] (Global_malloc_aa.create prog);
+    w ~reach:Reach_symbols [ CAlias ] [ CAlias ]
+      (No_capture_source_aa.create prog);
+    w ~reach:Reach_symbols [ CAlias ] [ CAlias ]
+      (No_capture_global_aa.create prog);
   ]

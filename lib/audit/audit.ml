@@ -37,20 +37,17 @@ let scaf_config ?(extra_modules = fun (_ : Profiles.t) -> [])
   { base with Orchestrator.trace; metrics }
 
 let audit_bench ?extra_modules ?trace ?metrics (cards : Oracle.cards)
-    (b : Benchmark.t) : Finding.t list * Orchestrator.config * int =
-  let m = Benchmark.program b in
-  let profiles =
-    Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
-  in
+    (b : Program.t) : Finding.t list * Orchestrator.config * int =
+  let profiles = Program.profiles b in
   let prog = profiles.Profiles.ctx in
   let config = scaf_config ?extra_modules ?trace ?metrics profiles in
   let orch = Orchestrator.create prog config in
   let train, any =
-    Oracle.observe prog ~train:b.Benchmark.train_inputs
-      ~ref_input:b.Benchmark.ref_input
+    Oracle.observe prog ~train:(Program.train_inputs b)
+      ~ref_input:(Program.ref_input b)
   in
   let loops = List.map fst (Scaf_pdg.Nodep.hot_loop_weights profiles) in
-  let bench = b.Benchmark.name in
+  let bench = Program.id b in
   let findings =
     List.concat_map
       (fun lid ->
@@ -64,8 +61,10 @@ let audit_bench ?extra_modules ?trace ?metrics (cards : Oracle.cards)
     shipped ensemble (used by tests to demonstrate that a deliberately
     broken module is caught). [trace]/[metrics] attach an observability
     sink and a metrics registry to every orchestrator the audit builds. *)
-let run ?extra_modules ?trace ?metrics ?(benchmarks = Registry.all) () :
-    report =
+let run ?extra_modules ?trace ?metrics ?benchmarks () : report =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Registry.all ()
+  in
   let cards = Oracle.create_cards () in
   let findings, queries, modules, lint_done =
     List.fold_left
@@ -86,7 +85,7 @@ let run ?extra_modules ?trace ?metrics ?(benchmarks = Registry.all) () :
   {
     findings = List.sort Finding.compare findings;
     cards = Oracle.all_cards cards;
-    benches = List.map (fun (b : Benchmark.t) -> b.Benchmark.name) benchmarks;
+    benches = List.map Program.id benchmarks;
     queries;
     modules;
   }

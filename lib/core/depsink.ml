@@ -1,0 +1,37 @@
+(** The always-on lightweight dependency sink.
+
+    A stripped-down cousin of the [Scaf_trace] provenance sink: where the
+    trace layer builds human-readable derivation trees for sampled queries,
+    this sink streams the four events an invalidation-graph collector needs
+    for {e every} query — cheap enough to leave on permanently (the no-op
+    sink is four inlined [ignore]s).
+
+    The orchestrator emits, per memoizable computation:
+
+    - [Enter] when a consult sweep starts for a query that missed (or could
+      not use) the cache;
+    - [Consult] for each module actually evaluated during that sweep;
+    - [Hit] when a (premise or client) query is answered from the cache —
+      the collector records a premise edge from the enclosing computation
+      to the hit query's node;
+    - [Exit] when the sweep finishes, with [memoized] telling the collector
+      whether the answer was stored (and hence needs its own invalidation
+      node) or folded into the enclosing computation's read-set.
+
+    Events of one orchestrator are strictly nested (orchestrators are
+    single-threaded); a collector keeps a frame stack per orchestrator and
+    publishes into a shared graph. *)
+
+type event =
+  | Enter of { depth : int; q : Query.t }
+  | Consult of { name : string }
+  | Hit of { depth : int; q : Query.t }
+  | Exit of { q : Query.t; memoized : bool }
+
+type t = { emit : event -> unit }
+
+let noop : t = { emit = ignore }
+
+(** Is this the no-op sink? The orchestrator's fast path skips event
+    construction entirely when it is. *)
+let enabled (t : t) : bool = not (t == noop)

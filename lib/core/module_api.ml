@@ -70,17 +70,46 @@ let qclass_of_query (q : Query.t) : qclass =
   | Query.Modref { Query.mtarget = Query.TInstr _; _ } -> CModref_instr
   | Query.Modref { Query.mtarget = Query.TLoc _; _ } -> CModref_loc
 
+(** How far beyond the queried instructions' own function a module's answer
+    may depend on program text — the coarse dependency declaration the
+    incremental engine falls back on when a module opts out of fine-grained
+    read-set tracking. Declaring too wide merely over-invalidates; declaring
+    too narrow is unsound, so the default is [Reach_global]. *)
+type reach =
+  | Reach_local
+      (** reads only the function(s) the query's instructions live in *)
+  | Reach_symbols
+      (** additionally reads functions/globals connected to the query's
+          function through value flow (shared globals, calls passing
+          arguments or using results) *)
+  | Reach_global  (** may read anything in the module (sound fallback) *)
+
 (** Declared capabilities: which query classes a module may improve
-    ([answers]) and which classes of premise queries it may submit through
-    [Ctx.ask] ([emits]). Purely declarative — the Orchestrator never
-    filters on them — but the audit layer's query-plan lint cross-checks
-    them against the client query language and the ensemble wiring. *)
-type caps = { answers : qclass list; emits : qclass list }
+    ([answers]), which classes of premise queries it may submit through
+    [Ctx.ask] ([emits]), how far its answers reach into the program text
+    ([reach]) and whether they depend on profile data ([uses_profile]).
+    Purely declarative — the Orchestrator never filters on them — but the
+    audit layer's query-plan lint cross-checks answers/emits against the
+    ensemble wiring, and the incremental engine derives sound invalidation
+    scopes from reach/uses_profile. *)
+type caps = {
+  answers : qclass list;
+  emits : qclass list;
+  reach : reach;
+  uses_profile : bool;
+}
 
 (** The conservative declaration assumed for unannotated modules: may
-    improve anything; factored modules may emit any premise class. *)
+    improve anything; factored modules may emit any premise class; answers
+    may depend on any program text and on profiles (so every edit
+    invalidates them). *)
 let default_caps ~(factored : bool) : caps =
-  { answers = all_qclasses; emits = (if factored then all_qclasses else []) }
+  {
+    answers = all_qclasses;
+    emits = (if factored then all_qclasses else []);
+    reach = Reach_global;
+    uses_profile = true;
+  }
 
 type t = {
   name : string;

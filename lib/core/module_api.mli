@@ -65,14 +65,30 @@ val all_qclasses : qclass list
 val qclass_name : qclass -> string
 val qclass_of_query : Query.t -> qclass
 
+(** How far beyond the queried instructions' own function a module's
+    answers may depend on program text. The incremental engine's coarse
+    invalidation fallback: [Reach_local] answers die only when the query's
+    own function is edited, [Reach_symbols] when any value-flow-connected
+    function or global is, [Reach_global] (the sound default) on any edit. *)
+type reach = Reach_local | Reach_symbols | Reach_global
+
 (** Declared capabilities: the query classes a module may improve
-    ([answers]) and the premise classes it may submit ([emits]).
-    Declarative only — consulted by the audit lint, never enforced by the
-    Orchestrator. *)
-type caps = { answers : qclass list; emits : qclass list }
+    ([answers]), the premise classes it may submit ([emits]), the program
+    text its answers may depend on ([reach]) and whether they read profile
+    data ([uses_profile]). Declarative only — consulted by the audit lint
+    and the incremental engine's invalidation pass, never enforced by the
+    Orchestrator. Over-declaring reach merely over-invalidates;
+    under-declaring is unsound. *)
+type caps = {
+  answers : qclass list;
+  emits : qclass list;
+  reach : reach;
+  uses_profile : bool;
+}
 
 (** Conservative default: answers everything; emits everything if
-    [factored], nothing otherwise. *)
+    [factored], nothing otherwise; [Reach_global] and profile-dependent
+    (so unannotated modules are invalidated on every edit). *)
 val default_caps : factored:bool -> caps
 
 type t = {

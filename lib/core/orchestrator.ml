@@ -44,6 +44,14 @@ type config = {
   trace : Sink.t;
       (** provenance-tree sink; {!Scaf_trace.Sink.noop} disables tracing *)
   metrics : Metrics.t option;  (** metrics registry, if any *)
+  epoch : int;
+      (** program epoch all cache keys are stamped with; the incremental
+          engine rebuilds orchestrators with the bumped epoch after an
+          edit, so pre-edit entries (restamped or evicted by
+          [Qcache.invalidate]) can never be hit by mistake *)
+  depsink : Depsink.t;
+      (** dependency-event sink feeding the invalidation-graph collector;
+          {!Depsink.noop} (the default) keeps the query path untouched *)
 }
 
 let default_config (modules : Module_api.t list) : config =
@@ -58,6 +66,8 @@ let default_config (modules : Module_api.t list) : config =
     breaker_threshold = 3;
     trace = Sink.noop;
     metrics = None;
+    epoch = 0;
+    depsink = Depsink.noop;
   }
 
 (* Internal mutable counters; exposed to clients only as the immutable
@@ -381,7 +391,7 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
   match dest with
   | None -> (
       (* untraced fast path: Algorithm 1 with memoization, nothing else *)
-      match Qcache.key_of q with
+      match Qcache.key_of ~epoch:t.config.epoch q with
       | None ->
           (match t.mx with
           | Some m -> Metrics.incr m.mx_uncacheable
@@ -395,6 +405,9 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
                   Metrics.incr
                     (if Qcache.mirrored k then m.mx_canonical else m.mx_hit)
               | None -> ());
+              let ds = t.config.depsink in
+              if Depsink.enabled ds then
+                ds.Depsink.emit (Depsink.Hit { depth; q });
               r
           | None ->
               (match t.mx with
@@ -414,7 +427,7 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
         attach n;
         r
       in
-      (match Qcache.key_of q with
+      (match Qcache.key_of ~epoch:t.config.epoch q with
       | None ->
           (match t.mx with
           | Some m -> Metrics.incr m.mx_uncacheable
@@ -428,6 +441,9 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
               | Some m ->
                   Metrics.incr (if mirrored then m.mx_canonical else m.mx_hit)
               | None -> ());
+              let ds = t.config.depsink in
+              if Depsink.enabled ds then
+                ds.Depsink.emit (Depsink.Hit { depth; q });
               finish
                 (if mirrored then Sink.Cache_canonical_hit else Sink.Cache_hit)
                 r
@@ -440,6 +456,9 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
 
 and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
     (node : Sink.node option) (q : Query.t) : Response.t =
+  let ds = t.config.depsink in
+  let deps = Depsink.enabled ds in
+  if deps then ds.Depsink.emit (Depsink.Enter { depth; q });
   let final = ref (Response.bottom_for q) in
   (match node with
   | None ->
@@ -448,6 +467,8 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
       (try
          List.iter
            (fun (m : Module_api.t) ->
+             if deps then
+               ds.Depsink.emit (Depsink.Consult { name = m.Module_api.name });
              let res = guarded_answer t m ctx q in
              final := Join.join t.config.join_policy !final res;
              if should_bail t !final then raise Stdlib.Exit)
@@ -463,6 +484,8 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
          List.iter
            (fun (m : Module_api.t) ->
              incr consulted;
+             if deps then
+               ds.Depsink.emit (Depsink.Consult { name = m.Module_api.name });
              let c = Sink.consult sink n m.Module_api.name in
              (* per-consult context so this module's premises attach to
                 its own consult record *)
@@ -497,10 +520,14 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
   (* memoize answers computed with (nearly) full premise budget — but not
      one truncated by an expired deadline: a partial join replayed for a
      later query with a fresh budget would poison it *)
-  (match key with
-  | Some k when depth <= 1 && not (deadline_passed t) ->
-      Qcache.add t.cache k !final
-  | _ -> ());
+  let memoized =
+    match key with
+    | Some k when depth <= 1 && not (deadline_passed t) ->
+        Qcache.add t.cache k !final;
+        true
+    | _ -> false
+  in
+  if deps then ds.Depsink.emit (Depsink.Exit { q; memoized });
   !final
 
 (* Resolve one client query with an optional per-request absolute deadline

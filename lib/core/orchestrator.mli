@@ -46,11 +46,19 @@ type config = {
           budget denials) and histograms (premise depth; with [clock],
           per-module and per-query latency). Handles are resolved once at
           {!create}. *)
+  epoch : int;
+      (** program epoch every cache key is stamped with ({!Qcache.key_of}).
+          Batch analysis runs at epoch 0; the incremental engine rebuilds
+          orchestrators with the bumped epoch after each program edit. *)
+  depsink : Depsink.t;
+      (** always-on-grade dependency-event sink feeding the incremental
+          engine's invalidation-graph collector. {!Depsink.noop} (the
+          default) keeps the query path byte-for-byte unchanged. *)
 }
 
 (** CHEAPEST join, definite-free bail-out, premise depth 4, desired-result
     respected, no clock, no module budget, breaker threshold 3, no-op
-    trace sink, no metrics. *)
+    trace sink, no metrics, epoch 0, no-op dependency sink. *)
 val default_config : Module_api.t list -> config
 
 (** An immutable view of the orchestrator's counters at one instant. *)

@@ -57,32 +57,27 @@ let create ?(shards = 8) ?(capacity = 65536) () : t =
   }
 
 (* Alias queries are symmetric up to operand order: alias (l1, tr, l2) is
-   alias (l2, flip tr, l1). Canonical form: the structurally smaller
-   location first. The desired-result and calling-context parameters
-   describe the pair, not an operand, so they survive the swap. *)
-let key_of (q : Query.t) : key option =
+   alias (l2, flip tr, l1); the canonical form ([Query.canonical]) puts the
+   structurally smaller location first. The desired-result and
+   calling-context parameters describe the pair, not an operand, so they
+   survive the swap. Every key is stamped with the program [epoch] it was
+   built for — there is no epoch-less key, so an entry computed against a
+   stale program version can never be hit after an edit bumps the epoch. *)
+let key_of ~(epoch : int) (q : Query.t) : key option =
   match q with
-  | Query.Alias a ->
-      if Stdlib.compare a.Query.a2 a.Query.a1 < 0 then
-        Some
-          {
-            cq =
-              Query.Alias
-                {
-                  a with
-                  Query.a1 = a.Query.a2;
-                  a2 = a.Query.a1;
-                  atr = Query.flip_temporal a.Query.atr;
-                };
-            mirrored = true;
-          }
-      else Some { cq = q; mirrored = false }
+  | Query.Alias _ ->
+      let c = Query.canonical q in
+      Some { cq = Query.at_epoch epoch c; mirrored = not (c == q) }
   | Query.Modref m ->
       (* a control-flow view holds closures; structural keying would raise
          on a bucket collision — refuse the key altogether *)
-      if m.Query.mctrl = None then Some { cq = q; mirrored = false } else None
+      if m.Query.mctrl = None then
+        Some { cq = Query.at_epoch epoch q; mirrored = false }
+      else None
 
 let mirrored (k : key) : bool = k.mirrored
+let key_epoch (k : key) : int = Query.epoch_of k.cq
+let key_query (k : key) : Query.t = k.cq
 
 let shard_of (t : t) (k : key) : shard =
   t.shards.(Hashtbl.hash k.cq mod Array.length t.shards)
@@ -149,11 +144,51 @@ let add (t : t) (k : key) (r : Response.t) : unit =
       end;
       Hashtbl.replace s.tbl k.cq { resp = r; referenced = false })
 
-let find_q (t : t) (q : Query.t) : Response.t option =
-  match key_of q with None -> None | Some k -> find t k
+let find_q ?epoch (t : t) (q : Query.t) : Response.t option =
+  let epoch =
+    match epoch with Some e -> e | None -> Query.epoch_of q
+  in
+  match key_of ~epoch q with None -> None | Some k -> find t k
 
-let add_q (t : t) (q : Query.t) (r : Response.t) : unit =
-  match key_of q with None -> () | Some k -> add t k r
+let add_q ?epoch (t : t) (q : Query.t) (r : Response.t) : unit =
+  let epoch =
+    match epoch with Some e -> e | None -> Query.epoch_of q
+  in
+  match key_of ~epoch q with None -> () | Some k -> add t k r
+
+(* Invalidation after a program edit: evict every entry whose query the
+   predicate marks dirty and restamp the survivors to the new epoch, so
+   they keep hitting for lookups keyed at [next_epoch]. Restamping changes
+   the structural hash, so survivors are drained out of every shard first
+   and re-routed through the normal shard function (reference bits kept).
+   Callers must quiesce concurrent writers around the edit; readers racing
+   the walk can only miss, never hit a stale entry. *)
+let invalidate (t : t) ~(dirty : Query.t -> bool) ~(next_epoch : int) :
+    int * int =
+  let evicted = ref 0 in
+  let survivors = ref [] in
+  Array.iter
+    (fun s ->
+      with_lock s (fun () ->
+          Hashtbl.iter
+            (fun q e ->
+              if dirty q then incr evicted
+              else survivors := (Query.at_epoch next_epoch q, e) :: !survivors)
+            s.tbl;
+          Hashtbl.reset s.tbl;
+          Queue.clear s.order))
+    t.shards;
+  List.iter
+    (fun ((q', e) : Query.t * entry) ->
+      let s = shard_of t { cq = q'; mirrored = false } in
+      with_lock s (fun () ->
+          if not (Hashtbl.mem s.tbl q') then begin
+            if Hashtbl.length s.tbl >= s.cap then evict_one t s;
+            Queue.add q' s.order
+          end;
+          Hashtbl.replace s.tbl q' e))
+    !survivors;
+  (!evicted, List.length !survivors)
 
 let length (t : t) : int =
   Array.fold_left

@@ -29,7 +29,9 @@
 
 type t
 
-(** A canonicalized, closure-free cache key. *)
+(** A canonicalized, closure-free cache key, stamped with the program epoch
+    it was built for. Keys are abstract and only {!key_of} builds one, so an
+    epoch-less (stale-able) key is unrepresentable by construction. *)
 type key
 
 type stats = {
@@ -50,14 +52,24 @@ type stats = {
     rounded up to at least one entry per shard. *)
 val create : ?shards:int -> ?capacity:int -> unit -> t
 
-(** [key_of q] is the canonical key for [q], or [None] when [q] cannot be
-    a table key (it carries a [Ctrl.t] control-flow view). *)
-val key_of : Query.t -> key option
+(** [key_of ~epoch q] is the canonical key for [q] at program epoch
+    [epoch], or [None] when [q] cannot be a table key (it carries a
+    [Ctrl.t] control-flow view). The epoch is part of the key's structural
+    identity: after an edit bumps the program epoch, lookups keyed at the
+    new epoch can never hit an entry stamped with the old one (surviving
+    entries are restamped by {!invalidate}). *)
+val key_of : epoch:int -> Query.t -> key option
 
 (** [mirrored k] — was [k] built from the mirrored alias form? A hit
     through such a key is a canonical hit (the trace layer distinguishes
     the two). *)
 val mirrored : key -> bool
+
+(** The program epoch [k] was stamped with. *)
+val key_epoch : key -> int
+
+(** The canonical (epoch-stamped) query behind [k]. *)
+val key_query : key -> Query.t
 
 (** [find t k] — the cached response, if any. Bumps hit/miss counters
     (and canonical-hit when [k] was built from a mirrored alias form). *)
@@ -68,10 +80,19 @@ val find : t -> key -> Response.t option
 val add : t -> key -> Response.t -> unit
 
 (** [find_q]/[add_q] — conveniences over {!key_of}; no-ops (resp. [None])
-    on uncacheable queries. *)
-val find_q : t -> Query.t -> Response.t option
+    on uncacheable queries. [epoch] defaults to the query's own embedded
+    epoch ({!Query.epoch_of}). *)
+val find_q : ?epoch:int -> t -> Query.t -> Response.t option
 
-val add_q : t -> Query.t -> Response.t -> unit
+val add_q : ?epoch:int -> t -> Query.t -> Response.t -> unit
+
+(** [invalidate t ~dirty ~next_epoch] — the post-edit invalidation walk:
+    drops every entry whose (canonical, epoch-stamped) query satisfies
+    [dirty] and restamps the survivors to [next_epoch], re-routing them to
+    their new shards. Returns [(evicted, retained)]. Counters are kept;
+    clock-eviction counts are unaffected. Concurrent writers must be
+    quiesced around the call (readers racing it can only miss). *)
+val invalidate : t -> dirty:(Query.t -> bool) -> next_epoch:int -> int * int
 
 val stats : t -> stats
 

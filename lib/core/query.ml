@@ -33,6 +33,7 @@ type alias_q = {
   aloop : string option;  (** loop id scoping dynamic instances *)
   acc : int list option;  (** calling context *)
   adr : desired option;  (** desired result *)
+  aepoch : int;  (** program epoch the query is posed against *)
 }
 
 type modref_target = TLoc of memloc | TInstr of int
@@ -44,6 +45,7 @@ type modref_q = {
   mloop : string option;
   mcc : int list option;
   mctrl : Ctrl.t option;  (** dominator/post-dominator trees (dt, pdt) *)
+  mepoch : int;  (** program epoch the query is posed against *)
 }
 
 type t = Alias of alias_q | Modref of modref_q
@@ -55,8 +57,9 @@ let temporal_name = function
   | Same -> "Same"
   | After -> "After"
 
-(** [alias] smart constructor. *)
-let alias ?loop ?cc ?dr ~fname ~tr (p1, s1) (p2, s2) : t =
+(** [alias] smart constructor. [epoch] is the program version the query is
+    posed against; batch clients analyse the initial version (epoch 0). *)
+let alias ?loop ?cc ?dr ?(epoch = 0) ~fname ~tr (p1, s1) (p2, s2) : t =
   Alias
     {
       a1 = { ptr = p1; size = s1; fname };
@@ -65,11 +68,12 @@ let alias ?loop ?cc ?dr ~fname ~tr (p1, s1) (p2, s2) : t =
       aloop = loop;
       acc = cc;
       adr = dr;
+      aepoch = epoch;
     }
 
 (** [modref_instrs] smart constructor: may [i1] read or write the memory
     footprint of [i2] (with [i1] positioned [tr] relative to [i2])? *)
-let modref_instrs ?loop ?cc ?ctrl ~tr i1 i2 : t =
+let modref_instrs ?loop ?cc ?ctrl ?(epoch = 0) ~tr i1 i2 : t =
   Modref
     {
       minstr = i1;
@@ -78,9 +82,10 @@ let modref_instrs ?loop ?cc ?ctrl ~tr i1 i2 : t =
       mloop = loop;
       mcc = cc;
       mctrl = ctrl;
+      mepoch = epoch;
     }
 
-let modref_loc ?loop ?cc ?ctrl ~tr i (ptr, size, fname) : t =
+let modref_loc ?loop ?cc ?ctrl ?(epoch = 0) ~tr i (ptr, size, fname) : t =
   Modref
     {
       minstr = i;
@@ -89,7 +94,33 @@ let modref_loc ?loop ?cc ?ctrl ~tr i (ptr, size, fname) : t =
       mloop = loop;
       mcc = cc;
       mctrl = ctrl;
+      mepoch = epoch;
     }
+
+(** The program epoch a query is posed against. *)
+let epoch_of = function Alias a -> a.aepoch | Modref m -> m.mepoch
+
+(** [at_epoch e q] — [q] restamped to program epoch [e] (physically [q]
+    itself when already there). The epoch never appears in {!pp}: rendered
+    queries and answers are epoch-free, so incremental output stays
+    byte-comparable to batch output. *)
+let at_epoch (e : int) (q : t) : t =
+  if epoch_of q = e then q
+  else
+    match q with
+    | Alias a -> Alias { a with aepoch = e }
+    | Modref m -> Modref { m with mepoch = e }
+
+(** Canonical operand order for symmetric alias queries: [alias (l1, tr,
+    l2)] asks the same question as [alias (l2, flip tr, l1)], so the
+    structurally smaller location goes first. Modref queries are
+    directional and returned unchanged (physically [q] when already
+    canonical — callers detect mirroring with [==]). *)
+let canonical (q : t) : t =
+  match q with
+  | Alias a when Stdlib.compare a.a2 a.a1 < 0 ->
+      Alias { a with a1 = a.a2; a2 = a.a1; atr = flip_temporal a.atr }
+  | _ -> q
 
 let is_alias = function Alias _ -> true | Modref _ -> false
 

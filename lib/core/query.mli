@@ -30,6 +30,7 @@ type alias_q = {
   aloop : string option;  (** loop id scoping the dynamic instances *)
   acc : int list option;  (** calling context *)
   adr : desired option;
+  aepoch : int;  (** program epoch the query is posed against *)
 }
 
 type modref_target = TLoc of memloc | TInstr of int
@@ -41,6 +42,7 @@ type modref_q = {
   mloop : string option;
   mcc : int list option;
   mctrl : Ctrl.t option;  (** the (dt, pdt) parameters of Figure 3 *)
+  mepoch : int;  (** program epoch the query is posed against *)
 }
 
 type t = Alias of alias_q | Modref of modref_q
@@ -48,11 +50,14 @@ type t = Alias of alias_q | Modref of modref_q
 val flip_temporal : temporal -> temporal
 val temporal_name : temporal -> string
 
-(** [alias ~fname ~tr (p1, s1) (p2, s2)] — may the two locations alias? *)
+(** [alias ~fname ~tr (p1, s1) (p2, s2)] — may the two locations alias?
+    [epoch] (default 0, the initial program version) stamps the query with
+    the program version it is posed against; see {!epoch_of}. *)
 val alias :
   ?loop:string ->
   ?cc:int list ->
   ?dr:desired ->
+  ?epoch:int ->
   fname:string ->
   tr:temporal ->
   Value.t * int ->
@@ -62,18 +67,42 @@ val alias :
 (** [modref_instrs ~tr i1 i2] — may [i1] read or write the memory footprint
     of [i2], with [i1] positioned [tr] relative to [i2]? *)
 val modref_instrs :
-  ?loop:string -> ?cc:int list -> ?ctrl:Ctrl.t -> tr:temporal -> int -> int -> t
+  ?loop:string ->
+  ?cc:int list ->
+  ?ctrl:Ctrl.t ->
+  ?epoch:int ->
+  tr:temporal ->
+  int ->
+  int ->
+  t
 
 val modref_loc :
   ?loop:string ->
   ?cc:int list ->
   ?ctrl:Ctrl.t ->
+  ?epoch:int ->
   tr:temporal ->
   int ->
   Value.t * int * string ->
   t
 
 val is_alias : t -> bool
+
+(** The program epoch a query is posed against. Every query carries one:
+    the incremental engine keys caches by (query, epoch) so an answer
+    computed against a stale program version is unreachable after an edit. *)
+val epoch_of : t -> int
+
+(** [at_epoch e q] — [q] restamped to program epoch [e] (physically [q]
+    when already there). {!pp} never renders the epoch, so query and answer
+    output stays byte-comparable across epochs. *)
+val at_epoch : int -> t -> t
+
+(** Canonical operand order for symmetric alias queries (the structurally
+    smaller location first, flipping the temporal relation); modref queries
+    are directional and returned unchanged. Returns [q] physically when
+    already canonical, so callers can detect mirroring with [==]. *)
+val canonical : t -> t
 
 (** Strip the desired-result parameter (the Figure 10 ablation). *)
 val without_desired : t -> t

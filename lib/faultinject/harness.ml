@@ -64,12 +64,12 @@ let run_pipeline ~(seed : int) (bench : string) (k : Perturb.kind) : outcome =
     | Some b -> b
     | None -> invalid_arg ("Harness.run_pipeline: unknown benchmark " ^ bench)
   in
-  let m = Benchmark.program b in
-  let p = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  let m = Program.program b in
+  let p = Program.profiles b in
   let detail =
     Option.value ~default:"no perturbation point" (Perturb.apply ~seed k p)
   in
-  let input = b.Benchmark.ref_input in
+  let input = Program.ref_input b in
   let reference = Eval.run ~input m in
   let _plan, a = Apply.speculate_adaptive p ~input () in
   outcome_of
@@ -276,8 +276,7 @@ let run_chaos ~(seed : int) ?(p_raise = 0.0) ?(p_delay = 0.0)
     | Some b -> b
     | None -> invalid_arg ("Harness.run_chaos: unknown benchmark " ^ bench)
   in
-  let m = Benchmark.program b in
-  let p = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+  let p = Program.profiles b in
   let prog = p.Profiles.ctx in
   let now = ref 0.0 in
   let clock () =

@@ -162,11 +162,7 @@ let normal_daemon_scenarios ~(seed : int) (path : string) :
             let qs = all_queries c ~bench:bench_name in
             let answers = Client.ask_many c ~bench:bench_name qs in
             let b = List.hd (benchmarks ()) in
-            let m = Scaf_suite.Benchmark.program b in
-            let p =
-              Scaf_profile.Profiler.profile_module
-                ~inputs:b.Scaf_suite.Benchmark.train_inputs m
-            in
+            let p = Scaf_suite.Program.profiles b in
             let r = (Scaf_pdg.Schemes.scaf_scheme p).Scaf_pdg.Schemes.spawn () in
             let mismatches = ref 0 in
             List.iter2

@@ -1,0 +1,91 @@
+(** Value-flow symbol components — the program partition behind the
+    [Reach_symbols] invalidation scope.
+
+    A module declaring {!Scaf.Module_api.Reach_symbols} may read beyond the
+    query's own function, but only along value flow: globals the function
+    references, and calls that actually pass values (arguments or a
+    captured result). This module materializes that relation as a
+    union-find over symbols — one node per function and per global — with:
+
+    - an edge between a function and every global it references;
+    - an edge between caller and callee when the call passes arguments or
+      captures the result (a bare [call @f()] whose result is dropped
+      transfers no values, so the two sides stay separate components —
+      exactly the shape of the suite's piece-per-piece [main] driver).
+
+    Calls to {e external declarations} never union: a declaration has no
+    program text an analysis could have read, so two functions that share
+    only an external callee (every kernel calls [@malloc] and [@sink]) do
+    not read each other's text through it.
+
+    Soundness across an edit wants the {e union} of the pre- and post-edit
+    relations (a deleted call edge once carried values into the cached
+    answers; a new one carries values now), so {!build} accepts several
+    modules and unions them all into one partition. *)
+
+open Scaf_ir
+
+type t = (string, string) Hashtbl.t
+(* parent map over symbol names; roots absent or self-mapped *)
+
+let fsym f = "f:" ^ f
+let gsym g = "g:" ^ g
+
+let rec find (t : t) (x : string) : string =
+  match Hashtbl.find_opt t x with
+  | None | Some "" -> x
+  | Some p when String.equal p x -> x
+  | Some p ->
+      let r = find t p in
+      Hashtbl.replace t x r;
+      r
+
+let union (t : t) (a : string) (b : string) : unit =
+  let ra = find t a and rb = find t b in
+  if not (String.equal ra rb) then Hashtbl.replace t ra rb
+
+let add_module (t : t) (m : Irmod.t) : unit =
+  let defined name = Irmod.find_func m name <> None in
+  List.iter
+    (fun (f : Func.t) ->
+      let fs = fsym f.Func.name in
+      let link_value = function
+        | Value.Global g -> union t fs (gsym g)
+        | _ -> ()
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              List.iter link_value (Instr.operands i);
+              match i.Instr.kind with
+              | Instr.Call { callee; args } ->
+                  (* values flow across the call iff it passes arguments or
+                     the caller captures the result — and the callee has a
+                     body to read at all *)
+                  if (args <> [] || i.Instr.dst <> None) && defined callee
+                  then union t fs (fsym callee)
+              | _ -> ())
+            b.Block.instrs;
+          List.iter link_value (Instr.term_operands b.Block.term))
+        f.Func.blocks)
+    m.Irmod.funcs
+
+(** One partition over the union of all [ms] (pre- and post-edit program
+    states). *)
+let build (ms : Irmod.t list) : t =
+  let t = Hashtbl.create 256 in
+  List.iter (add_module t) ms;
+  t
+
+(** [reach t ~funcs ~globals] — the membership test of the symbol closure:
+    does a function share a component with any touched function or touched
+    global? *)
+let reach (t : t) ~(funcs : string list) ~(globals : string list) :
+    string -> bool =
+  let roots =
+    List.sort_uniq compare
+      (List.map (fun f -> find t (fsym f)) funcs
+      @ List.map (fun g -> find t (gsym g)) globals)
+  in
+  fun f -> List.mem (find t (fsym f)) roots

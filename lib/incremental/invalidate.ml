@@ -1,0 +1,111 @@
+(** The invalidation pass: after a committed edit, decide which cached
+    answers are still derivable from the new program and evict the rest.
+
+    A cached answer is {e directly} dirty when some module that contributed
+    to it could have read something the edit changed, judged per that
+    module's declared {!Scaf.Module_api.reach}:
+
+    - [Reach_global]: the module may read anything — any edit dirties its
+      answers (the sound fallback for unannotated modules);
+    - [Reach_local]: dirty iff the query's own functions intersect the
+      edited functions, or (for profile-using modules) the functions whose
+      profile fingerprints changed;
+    - [Reach_symbols]: as local, but through the value-flow symbol
+      closure ({!Components}) of the edited functions and globals.
+
+    A node with no recorded consults (or consulting a module whose caps are
+    unknown) is conservatively dirty. Dirtiness then propagates
+    transitively along premise edges to a fixpoint — an answer derived from
+    a dirty premise is dirty — with premise keys missing from the graph
+    treated as dirty. Finally {!Scaf.Qcache.invalidate} evicts the dirty
+    entries and restamps the survivors to the new epoch; a cached entry
+    with no graph node at all (collector attached late, graph dropped) is
+    evicted. *)
+
+open Scaf
+
+type stats = {
+  nodes : int;  (** provenance-graph nodes examined *)
+  dirty : int;  (** nodes judged dirty (direct + transitive) *)
+  evicted : int;  (** cache entries dropped *)
+  retained : int;  (** cache entries restamped to the new epoch *)
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%d/%d nodes dirty; cache -%d/+%d" s.dirty s.nodes s.evicted
+    s.retained
+
+(** [run] — mark-and-evict. [touched_funcs]/[touched_globals] come from the
+    edit {!Scaf_suite.Edit.diff}; [profile_dirty] from the
+    {!Fingerprint.changed} comparison; [components] must be built over the
+    union of the pre- and post-edit programs; [caps_of] resolves a
+    consulted module's declared capabilities. *)
+let run ~(graph : Collector.graph)
+    ~(caps_of : string -> Module_api.caps option)
+    ~(components : Components.t) ~(touched_funcs : string list)
+    ~(touched_globals : string list) ~(profile_dirty : string list)
+    ~(next_epoch : int) (cache : Qcache.t) : stats =
+  let edit_reach =
+    Components.reach components ~funcs:touched_funcs ~globals:touched_globals
+  in
+  let profile_reach =
+    Components.reach components ~funcs:profile_dirty ~globals:[]
+  in
+  let hits_local funcs among = List.exists (fun f -> List.mem f among) funcs in
+  let module_dirties (n : Collector.node) (mname : string) : bool =
+    match caps_of mname with
+    | None -> true
+    | Some c -> (
+        match c.Module_api.reach with
+        | Module_api.Reach_global -> true
+        | Module_api.Reach_local ->
+            hits_local n.Collector.nfuncs touched_funcs
+            || (c.Module_api.uses_profile
+               && hits_local n.Collector.nfuncs profile_dirty)
+        | Module_api.Reach_symbols ->
+            List.exists edit_reach n.Collector.nfuncs
+            || (c.Module_api.uses_profile
+               && List.exists profile_reach n.Collector.nfuncs))
+  in
+  let direct (n : Collector.node) : bool =
+    n.Collector.nmodules = []
+    || List.exists (module_dirties n) n.Collector.nmodules
+  in
+  (* seed with directly dirty nodes, then propagate along premise edges;
+     the graph lock is held for the whole mark phase (concurrent frontends
+     publishing mid-walk could otherwise tear the fixpoint) *)
+  Mutex.lock graph.Collector.lock;
+  let dirty : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun key n -> if direct n then Hashtbl.replace dirty key ())
+    graph.Collector.nodes;
+  let premise_dirty key =
+    Hashtbl.mem dirty key
+    || not (Hashtbl.mem graph.Collector.nodes key)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun key (n : Collector.node) ->
+        if
+          (not (Hashtbl.mem dirty key))
+          && List.exists premise_dirty n.Collector.npremises
+        then begin
+          Hashtbl.replace dirty key ();
+          changed := true
+        end)
+      graph.Collector.nodes
+  done;
+  Mutex.unlock graph.Collector.lock;
+  let dirty_query (q : Query.t) : bool =
+    let key = Collector.key_of_query q in
+    Hashtbl.mem dirty key || not (Hashtbl.mem graph.Collector.nodes key)
+  in
+  let evicted, retained = Qcache.invalidate cache ~dirty:dirty_query ~next_epoch in
+  {
+    nodes = Hashtbl.length graph.Collector.nodes;
+    dirty = Hashtbl.length dirty;
+    evicted;
+    retained;
+  }

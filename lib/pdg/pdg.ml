@@ -119,6 +119,7 @@ let alias_probes_of_loop (prog : Progctx.t) (lid : string) :
                           aloop = Some lid;
                           acc = None;
                           adr = None;
+                          aepoch = 0;
                         } ))
                   [ Query.Same; Query.Before ]
             | _ -> [])

@@ -8,7 +8,7 @@ open Scaf_pdg
 open Scaf_suite
 
 type bench_eval = {
-  bench : Benchmark.t;
+  bench : Program.t;
   profiles : Profiles.t;
   caf : Nodep.benchmark_report;
   confluence : Nodep.benchmark_report;
@@ -28,16 +28,12 @@ type bench_eval = {
     observational (reports are unchanged). [profiles] skips the profiling
     step when the caller (e.g. the query daemon, which profiles every
     benchmark once at load) already holds this benchmark's profiles. *)
-let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Benchmark.t) :
+let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Program.t) :
     bench_eval =
   let profiles =
-    match profiles with
-    | Some p -> p
-    | None ->
-        let m = Benchmark.program b in
-        Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
+    match profiles with Some p -> p | None -> Program.profiles b
   in
-  let eval s = Nodep.evaluate_scheme ~jobs ~bname:b.Benchmark.name profiles s in
+  let eval s = Nodep.evaluate_scheme ~jobs ~bname:(Program.id b) profiles s in
   let caf_s = Schemes.caf_scheme profiles in
   let conf_s = Schemes.confluence_scheme profiles in
   let scaf_s = Schemes.scaf_scheme ?trace ?metrics profiles in
@@ -61,8 +57,11 @@ let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Benchmark.t) :
     benchmark's loops run sequentially inside its worker; a single
     benchmark instead fans its hot loops out. Either way the reports are
     identical to [jobs = 1]. *)
-let evaluate_all ?(jobs = 1) ?trace ?metrics ?(benchmarks = Registry.all) () :
+let evaluate_all ?(jobs = 1) ?trace ?metrics ?benchmarks () :
     bench_eval list =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Registry.all ()
+  in
   if jobs <= 1 || List.length benchmarks = 1 then
     List.map (evaluate_bench ~jobs ?trace ?metrics) benchmarks
   else
@@ -120,7 +119,7 @@ type fig8_row = {
 
 let fig8_row_of_eval (e : bench_eval) : fig8_row =
   {
-    row_bench = e.bench.Benchmark.name;
+    row_bench = Program.id e.bench;
     row_caf = e.caf.Nodep.weighted_nodep;
     row_confluence = e.confluence.Nodep.weighted_nodep;
     row_scaf = e.scaf.Nodep.weighted_nodep;
@@ -229,7 +228,7 @@ let fig9_points (evals : bench_eval list) : (string * float * float) list =
             | Some cr -> Pdg.nodep_pct cr
             | None -> 0.0
           in
-          (Printf.sprintf "%s %s" e.bench.Benchmark.name lid, conf, Pdg.nodep_pct r))
+          (Printf.sprintf "%s %s" (Program.id e.bench) lid, conf, Pdg.nodep_pct r))
         e.scaf.Nodep.per_loop)
     evals
 
@@ -263,7 +262,7 @@ let table2 (evals : bench_eval list) : string =
   let improved =
     List.concat_map
       (fun e ->
-        Collab.improved_queries ~bname:e.bench.Benchmark.name e.scaf
+        Collab.improved_queries ~bname:(Program.id e.bench) e.scaf
           e.confluence)
       evals
   in
@@ -271,13 +270,13 @@ let table2 (evals : bench_eval list) : string =
     List.concat_map
       (fun e ->
         List.map
-          (fun (lid, _) -> (e.bench.Benchmark.name, lid))
+          (fun (lid, _) -> (Program.id e.bench, lid))
           e.scaf.Nodep.per_loop)
       evals
   in
   let cov =
     Collab.table2
-      ~benchmarks:(List.map (fun e -> e.bench.Benchmark.name) evals)
+      ~benchmarks:(List.map (fun e -> Program.id e.bench) evals)
       ~all_loops improved
   in
   Report.table
@@ -307,7 +306,7 @@ let fig10 ~(clock : unit -> float) (evals : bench_eval list) : string =
     List.concat_map
       (fun e ->
         let r = mk e.profiles in
-        let _ = Nodep.evaluate ~bname:e.bench.Benchmark.name e.profiles r in
+        let _ = Nodep.evaluate ~bname:(Program.id e.bench) e.profiles r in
         r.Schemes.latencies ())
       evals
   in

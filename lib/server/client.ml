@@ -173,6 +173,16 @@ let queries (c : t) ~(bench : string) :
       ))
     (Json.to_list_exn (Json.mem_or "loops" ~default:(Json.List []) w))
 
+(** Commit an edit script to the daemon's resident program; the daemon
+    invalidates affected cache entries and re-analyzes incrementally
+    without restarting. Returns the invalidation report. *)
+let edit (c : t) ~(bench : string) (edits : Protocol.wire_edit list) :
+    Protocol.edit_report =
+  let j = rpc c (Protocol.Edit { bench; edits }) in
+  match Json.member "edit" j with
+  | Some r -> Protocol.edit_report_of_json r
+  | None -> raise (Transport_error "response missing \"edit\"")
+
 (** The benchmark's Figure 8 row, evaluated server-side. *)
 let report (c : t) ~(bench : string) : Scaf_report.Experiments.fig8_row =
   let j = rpc c (Protocol.Report { bench }) in

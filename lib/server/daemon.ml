@@ -29,7 +29,7 @@ open Scaf_trace
 
 type config = {
   socket_path : string;
-  benchmarks : Scaf_suite.Benchmark.t list;
+  benchmarks : Scaf_suite.Program.t list;
   workers : int;
   admission : Admission.config;
   idle_timeout : float;  (** reap sessions idle this many seconds *)
@@ -43,7 +43,10 @@ type config = {
 }
 
 let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock")
-    ?(benchmarks = Scaf_suite.Registry.all) () : config =
+    ?benchmarks () : config =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Scaf_suite.Registry.all ()
+  in
   {
     socket_path;
     benchmarks;
@@ -309,6 +312,22 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
           Protocol.ok
             [ ("row", Protocol.fig8_row_to_json (Engine.report_row b)) ]
       | None -> Protocol.err_to_json (Protocol.unknown_bench bench))
+  | Protocol.Edit { bench; edits } -> (
+      (* inline, like Report: edits are rare, administrative, and must be
+         serialized per benchmark anyway (the engine's bench mutex) *)
+      match Engine.find_bench t.engine bench with
+      | None -> Protocol.err_to_json (Protocol.unknown_bench bench)
+      | Some b -> (
+          match Engine.apply_edit t.engine b edits with
+          | Ok (diff, stats) ->
+              Protocol.ok
+                [
+                  ( "edit",
+                    Protocol.edit_report_to_json
+                      (Protocol.edit_report_of diff stats) );
+                ]
+          | Error e ->
+              Protocol.err_to_json (Protocol.bad_request ("edit: " ^ e))))
   | Protocol.Ask { bench; q; deadline_ms } -> (
       match submit_ask t ~bench ~qs:[ q ] ~deadline_ms with
       | Ok [ a ] -> Protocol.ok [ ("answer", Protocol.answer_to_json a) ]

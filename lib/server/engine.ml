@@ -4,25 +4,39 @@
     must never share entries), per-worker orchestrators over those caches,
     and the in-flight coalescing table.
 
+    Since the incremental engine landed, each benchmark is held as a
+    {e forked} {!Scaf_suite.Program.t} handle (the registry hands out fresh
+    handles, and the engine forks again so no other client of the same
+    registry entry can mutate under it) plus an invalidation-graph
+    {!Scaf_incremental.Collector.graph} that every worker's full-ensemble
+    orchestrator feeds. {!apply_edit} commits an edit script, runs the
+    provenance-driven invalidation pass over the shared cache, and bumps
+    the program epoch; worker orchestrators notice the stale epoch on
+    their next lookup and rebuild over the surviving entries — the daemon
+    never restarts.
+
     Threading model: orchestrators are single-threaded, so each worker
-    thread owns a private table of them (lazily instantiated per
-    benchmark); everything shared — caches, the flight table, the lazy
-    Figure 8 rows — is mutex-guarded or internally synchronized. *)
+    thread owns a private table of them (lazily instantiated per benchmark,
+    epoch-checked); everything shared — caches, the collector graph, the
+    flight table, the lazy Figure 8 rows — is mutex-guarded or internally
+    synchronized. A query racing an edit is answered against whichever
+    program state its orchestrator was built for: sound for that state,
+    and unreachable from the new epoch's cache keys afterwards. *)
 
 open Scaf
 open Scaf_suite
 open Scaf_profile
+open Scaf_incremental
 
 type bench = {
-  benchmark : Benchmark.t;
-  profiles : Profiles.t;
-  prog : Scaf_cfg.Progctx.t;
+  program : Program.t;  (** forked handle; mutated only by {!apply_edit} *)
   cache : Qcache.t;  (** shared by every worker's full-ensemble orchestrator *)
   cheap_cache : Qcache.t;  (** ditto for the cheap (analysis-only) ensemble *)
-  loops : (string * float) list;  (** hot loops with time weights *)
-  row_mutex : Mutex.t;
+  graph : Collector.graph;  (** read-set provenance of [cache]'s entries *)
+  bm : Mutex.t;  (** guards edits and the lazy row *)
   mutable row : Scaf_report.Experiments.fig8_row option;
-      (** the benchmark's Figure 8 row, evaluated on first demand *)
+      (** the benchmark's Figure 8 row, evaluated on first demand and
+          dropped by {!apply_edit} (it describes the previous epoch) *)
 }
 
 type t = {
@@ -43,24 +57,31 @@ and flight = {
   mutable waiters : int;
 }
 
-let load_bench (b : Benchmark.t) : bench =
-  let m = Benchmark.program b in
-  let profiles = Profiler.profile_module ~inputs:b.Benchmark.train_inputs m in
+let bench_id (b : bench) : string = Program.id b.program
+let bench_epoch (b : bench) : int = Program.epoch b.program
+let bench_profiles (b : bench) : Profiles.t = Program.profiles b.program
+
+(** Hot loops of the benchmark's current program state. *)
+let bench_loops (b : bench) : (string * float) list =
+  Scaf_pdg.Nodep.hot_loop_weights (bench_profiles b)
+
+let load_bench (p : Program.t) : bench =
+  let program = Program.fork p in
+  ignore (Program.profiles program : Profiles.t) (* profile at load time *);
   {
-    benchmark = b;
-    profiles;
-    prog = profiles.Profiles.ctx;
+    program;
     cache = Qcache.create ();
     cheap_cache = Qcache.create ();
-    loops = Scaf_pdg.Nodep.hot_loop_weights profiles;
-    row_mutex = Mutex.create ();
+    graph =
+      Collector.create_graph
+        ~funcs_of:(Collector.funcs_of_ctx (Program.ctx program));
+    bm = Mutex.create ();
     row = None;
   }
 
-let create ?(wrap = Fun.id) ~(benchmarks : Benchmark.t list) () : t =
+let create ?(wrap = Fun.id) ~(benchmarks : Program.t list) () : t =
   {
-    benches =
-      List.map (fun b -> (b.Benchmark.name, load_bench b)) benchmarks;
+    benches = List.map (fun p -> (Program.id p, load_bench p)) benchmarks;
     wrap;
     flights = Hashtbl.create 64;
     fm = Mutex.create ();
@@ -84,8 +105,9 @@ let coalesced_count (t : t) : int =
 
 type worker = {
   eng : t;
-  full : (string, Orchestrator.t) Hashtbl.t;  (** by benchmark name *)
-  cheap : (string, Orchestrator.t) Hashtbl.t;
+  full : (string, int * Orchestrator.t) Hashtbl.t;
+      (** by benchmark name, stamped with the epoch it was built for *)
+  cheap : (string, int * Orchestrator.t) Hashtbl.t;
 }
 
 let worker (eng : t) : worker =
@@ -94,50 +116,63 @@ let worker (eng : t) : worker =
 let clock () = Unix.gettimeofday ()
 
 (* The full-fidelity ensemble: exactly the SCAF scheme's module stack, so
-   a non-degraded daemon answer is the batch evaluation's answer. *)
+   a non-degraded daemon answer is the batch evaluation's answer. Rebuilt
+   (over the shared cache's surviving entries) whenever the benchmark's
+   epoch moved past the memoized orchestrator's. *)
 let full_orchestrator (w : worker) (b : bench) : Orchestrator.t =
-  match Hashtbl.find_opt w.full b.benchmark.Benchmark.name with
-  | Some o -> o
-  | None ->
+  let epoch = bench_epoch b in
+  match Hashtbl.find_opt w.full (bench_id b) with
+  | Some (e, o) when e = epoch -> o
+  | _ ->
+      let profiles = bench_profiles b in
       let modules =
         w.eng.wrap
-          (Scaf_analysis.Registry.create b.prog
-          @ Scaf_speculation.Registry.create b.profiles)
+          (Scaf_analysis.Registry.create (Program.ctx b.program)
+          @ Scaf_speculation.Registry.create profiles)
       in
       let o =
-        Orchestrator.create ~cache:b.cache b.prog
+        Orchestrator.create ~cache:b.cache profiles.Profiles.ctx
           {
             (Orchestrator.default_config modules) with
             Orchestrator.clock = Some clock;
+            epoch;
+            depsink = Collector.sink (Collector.frontend b.graph);
           }
       in
-      Hashtbl.add w.full b.benchmark.Benchmark.name o;
+      Hashtbl.replace w.full (bench_id b) (epoch, o);
       o
 
 (* The load-shed ensemble: static analysis only, shallow premise budget —
-   cheap, assertion-free, still sound. *)
+   cheap, assertion-free, still sound. Its cache has no provenance graph;
+   {!apply_edit} simply clears it. *)
 let cheap_orchestrator (w : worker) (b : bench) : Orchestrator.t =
-  match Hashtbl.find_opt w.cheap b.benchmark.Benchmark.name with
-  | Some o -> o
-  | None ->
-      let modules = w.eng.wrap (Scaf_analysis.Registry.create b.prog) in
+  let epoch = bench_epoch b in
+  match Hashtbl.find_opt w.cheap (bench_id b) with
+  | Some (e, o) when e = epoch -> o
+  | _ ->
+      let modules =
+        w.eng.wrap (Scaf_analysis.Registry.create (Program.ctx b.program))
+      in
       let o =
-        Orchestrator.create ~cache:b.cheap_cache b.prog
+        Orchestrator.create ~cache:b.cheap_cache (Program.ctx b.program)
           {
             (Orchestrator.default_config modules) with
             Orchestrator.clock = Some clock;
             max_premise_depth = 2;
+            epoch;
           }
       in
-      Hashtbl.add w.cheap b.benchmark.Benchmark.name o;
+      Hashtbl.replace w.cheap (bench_id b) (epoch, o);
       o
 
 (* ------------------------------------------------------------------ *)
 (* Answering                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The epoch is part of the flight key: a request racing an edit must not
+   join a flight evaluating against the other program state. *)
 let flight_key (b : bench) (q : Query.t) : string =
-  b.benchmark.Benchmark.name ^ "\x00" ^ Fmt.str "%a" Query.pp q
+  Fmt.str "%s\x00%d\x00%a" (bench_id b) (Query.epoch_of q) Query.pp q
 
 (* Full-fidelity evaluation with coalescing: the first thread in becomes
    the flight's leader and runs the consult sweep; identical concurrent
@@ -190,13 +225,14 @@ let full_answer (w : worker) (b : bench) (q : Query.t)
       | Ok (r, expired) -> (r, expired, false)
       | Error e -> raise e)
 
-(** Answer one wire query at the given degradation level. Never raises on
-    deadline expiry or load shedding — degradation is data, not control
-    flow. *)
+(** Answer one wire query at the given degradation level. The query is
+    stamped with the benchmark's current epoch, so it can only hit cache
+    entries valid for the current program state. Never raises on deadline
+    expiry or load shedding — degradation is data, not control flow. *)
 let answer (w : worker) ~(degrade : Admission.degrade)
     ~(deadline : float option) (b : bench) (wq : Protocol.wire_query) :
     Protocol.answer =
-  let q = Protocol.to_core_query wq in
+  let q = Query.at_epoch (bench_epoch b) (Protocol.to_core_query wq) in
   match degrade with
   | Admission.Cached_only -> (
       (* shed to the warm cache: a hit is a real (possibly speculative)
@@ -224,16 +260,92 @@ let answer (w : worker) ~(degrade : Admission.degrade)
       else Protocol.answer_of_response ~coalesced r
 
 (* ------------------------------------------------------------------ *)
+(* Edits                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve a wire edit against the benchmark's current program state.
+    [WAuto] becomes the scripted single-loop edit of the incremental
+    session (insert one fresh instruction into the hot loop with the
+    smallest workload share). *)
+let resolve_edit (b : bench) (we : Protocol.wire_edit) : Edit.op =
+  match we with
+  | Protocol.WInsert { fname; block; at; text } ->
+      Edit.Insert_instr { fname; block; at; text }
+  | Protocol.WDelete { id } -> Edit.Delete_instr { id }
+  | Protocol.WReplace { lid; block; body } ->
+      Edit.Replace_loop_body { lid; block; body }
+  | Protocol.WAuto ->
+      let s = Session.create (Program.fork b.program) in
+      Session.auto_edit s
+
+(** Apply an edit script to the resident benchmark: commit the edit, run
+    the provenance-driven invalidation pass over the shared full cache,
+    clear the cheap cache (its analysis-only ensemble has no provenance
+    graph), drop the stale Figure 8 row, and rebind the collector's
+    footprint mapping to the new program. Worker orchestrators rebuild on
+    their next request via the epoch check. Serialized per benchmark. *)
+let apply_edit (t : t) (b : bench) (wedits : Protocol.wire_edit list) :
+    (Edit.diff * Invalidate.stats, string) result =
+  Mutex.lock b.bm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock b.bm)
+    (fun () ->
+      match List.map (resolve_edit b) wedits with
+      | exception e -> Error (Printexc.to_string e)
+      | ops -> (
+          let old_m = Program.program b.program in
+          let old_fp = Fingerprint.of_profiles (bench_profiles b) in
+          match Edit.apply_all b.program ops with
+          | Error e -> Error e
+          | Ok diff ->
+              let new_fp = Fingerprint.of_profiles (bench_profiles b) in
+              let profile_dirty =
+                Fingerprint.changed ~before:old_fp ~after:new_fp
+              in
+              let components =
+                Components.build [ old_m; Program.program b.program ]
+              in
+              (* caps of the wrapped ensemble — a chaos wrapper that
+                 changes a module's declaration is still judged by what
+                 the workers actually consult *)
+              let modules =
+                t.wrap
+                  (Scaf_analysis.Registry.create (Program.ctx b.program)
+                  @ Scaf_speculation.Registry.create (bench_profiles b))
+              in
+              let caps_of name =
+                Option.map
+                  (fun (m : Module_api.t) -> m.Module_api.caps)
+                  (List.find_opt
+                     (fun (m : Module_api.t) ->
+                       String.equal m.Module_api.name name)
+                     modules)
+              in
+              let stats =
+                Invalidate.run ~graph:b.graph ~caps_of ~components
+                  ~touched_funcs:diff.Edit.touched_funcs
+                  ~touched_globals:diff.Edit.touched_globals ~profile_dirty
+                  ~next_epoch:diff.Edit.epoch b.cache
+              in
+              Qcache.clear b.cheap_cache;
+              Collector.set_funcs_of b.graph
+                (Collector.funcs_of_ctx (Program.ctx b.program));
+              b.row <- None;
+              Ok (diff, stats)))
+
+(* ------------------------------------------------------------------ *)
 (* Workload and report ops                                             *)
 (* ------------------------------------------------------------------ *)
 
 (** The benchmark's PDG workload as JSON: hot loops with weights and their
     dependence queries — what a client needs to replay the Figure 8
-    workload query by query. *)
+    workload query by query. Reflects the current program epoch. *)
 let queries_json (b : bench) : Json.t =
+  let prog = Program.ctx b.program in
   Json.Obj
     [
-      ("bench", Json.String b.benchmark.Benchmark.name);
+      ("bench", Json.String (bench_id b));
+      ("epoch", Json.Int (bench_epoch b));
       ( "loops",
         Json.List
           (List.map
@@ -253,25 +365,27 @@ let queries_json (b : bench) : Json.t =
                                 wdst = dq.Scaf_pdg.Pdg.dst;
                                 wcross = dq.Scaf_pdg.Pdg.cross;
                               })
-                          (Scaf_pdg.Pdg.queries_of_loop b.prog lid)) );
+                          (Scaf_pdg.Pdg.queries_of_loop prog lid)) );
                  ])
-             b.loops) );
+             (bench_loops b)) );
     ]
 
 (** The benchmark's Figure 8 row, evaluated with the batch scheme stack on
     first demand and cached (the mutex makes the expensive evaluation
-    happen once, not once per concurrent request). *)
+    happen once, not once per concurrent request). An edit drops the
+    cached row, so a post-edit request re-evaluates against the new
+    program state. *)
 let report_row (b : bench) : Scaf_report.Experiments.fig8_row =
-  Mutex.lock b.row_mutex;
+  Mutex.lock b.bm;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock b.row_mutex)
+    ~finally:(fun () -> Mutex.unlock b.bm)
     (fun () ->
       match b.row with
       | Some r -> r
       | None ->
           let e =
-            Scaf_report.Experiments.evaluate_bench ~profiles:b.profiles
-              b.benchmark
+            Scaf_report.Experiments.evaluate_bench
+              ~profiles:(bench_profiles b) b.program
           in
           let r = Scaf_report.Experiments.fig8_row_of_eval e in
           b.row <- Some r;
@@ -294,6 +408,7 @@ let cache_stats_json (t : t) : Json.t =
          ( name,
            Json.Obj
              [
+               ("epoch", Json.Int (bench_epoch b));
                ("full", stats_obj (Qcache.stats b.cache));
                ("cheap", stats_obj (Qcache.stats b.cheap_cache));
              ] ))

@@ -41,6 +41,116 @@ let to_core_query (q : wire_query) : Scaf.Query.t =
     { Scaf_pdg.Pdg.src = q.wsrc; dst = q.wdst; cross = q.wcross }
 
 (* ------------------------------------------------------------------ *)
+(* Edits on the wire                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A structured program edit in wire form — the
+    {!Scaf_suite.Edit.op} vocabulary plus [WAuto], the server-side
+    scripted single-loop edit (the differential/CI workload's "small
+    change to a big program"). *)
+type wire_edit =
+  | WInsert of { fname : string; block : string; at : int; text : string }
+  | WDelete of { id : int }
+  | WReplace of { lid : string; block : string; body : string }
+  | WAuto
+
+let edit_to_json (e : wire_edit) : Json.t =
+  match e with
+  | WInsert { fname; block; at; text } ->
+      Json.Obj
+        [
+          ("kind", Json.String "insert");
+          ("fname", Json.String fname);
+          ("block", Json.String block);
+          ("at", Json.Int at);
+          ("text", Json.String text);
+        ]
+  | WDelete { id } ->
+      Json.Obj [ ("kind", Json.String "delete"); ("id", Json.Int id) ]
+  | WReplace { lid; block; body } ->
+      Json.Obj
+        [
+          ("kind", Json.String "replace");
+          ("lid", Json.String lid);
+          ("block", Json.String block);
+          ("body", Json.String body);
+        ]
+  | WAuto -> Json.Obj [ ("kind", Json.String "auto") ]
+
+let edit_of_json (j : Json.t) : wire_edit =
+  match Json.string_member "kind" j with
+  | "insert" ->
+      WInsert
+        {
+          fname = Json.string_member "fname" j;
+          block = Json.string_member "block" j;
+          at = Json.int_member "at" j;
+          text = Json.string_member "text" j;
+        }
+  | "delete" -> WDelete { id = Json.int_member "id" j }
+  | "replace" ->
+      WReplace
+        {
+          lid = Json.string_member "lid" j;
+          block = Json.string_member "block" j;
+          body = Json.string_member "body" j;
+        }
+  | "auto" -> WAuto
+  | k -> raise (Json.Parse_error (Printf.sprintf "unknown edit kind %S" k))
+
+(** What an applied edit did: the new program epoch, the edit's reach, and
+    the invalidation outcome over the benchmark's warm cache. *)
+type edit_report = {
+  e_epoch : int;
+  e_touched_funcs : string list;
+  e_touched_loops : string list;
+  e_nodes : int;  (** provenance-graph nodes examined *)
+  e_dirty : int;  (** nodes judged dirty *)
+  e_evicted : int;  (** cache entries dropped *)
+  e_retained : int;  (** cache entries carried to the new epoch *)
+}
+
+let edit_report_of (d : Scaf_suite.Edit.diff)
+    (s : Scaf_incremental.Invalidate.stats) : edit_report =
+  {
+    e_epoch = d.Scaf_suite.Edit.epoch;
+    e_touched_funcs = d.Scaf_suite.Edit.touched_funcs;
+    e_touched_loops = d.Scaf_suite.Edit.touched_loops;
+    e_nodes = s.Scaf_incremental.Invalidate.nodes;
+    e_dirty = s.Scaf_incremental.Invalidate.dirty;
+    e_evicted = s.Scaf_incremental.Invalidate.evicted;
+    e_retained = s.Scaf_incremental.Invalidate.retained;
+  }
+
+let edit_report_to_json (r : edit_report) : Json.t =
+  let strs l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [
+      ("epoch", Json.Int r.e_epoch);
+      ("touched_funcs", strs r.e_touched_funcs);
+      ("touched_loops", strs r.e_touched_loops);
+      ("nodes", Json.Int r.e_nodes);
+      ("dirty", Json.Int r.e_dirty);
+      ("evicted", Json.Int r.e_evicted);
+      ("retained", Json.Int r.e_retained);
+    ]
+
+let edit_report_of_json (j : Json.t) : edit_report =
+  let strs name =
+    List.map Json.to_string_exn
+      (Json.to_list_exn (Json.mem_or name ~default:(Json.List []) j))
+  in
+  {
+    e_epoch = Json.int_member "epoch" j;
+    e_touched_funcs = strs "touched_funcs";
+    e_touched_loops = strs "touched_loops";
+    e_nodes = Json.int_member "nodes" j;
+    e_dirty = Json.int_member "dirty" j;
+    e_evicted = Json.int_member "evicted" j;
+    e_retained = Json.int_member "retained" j;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -55,6 +165,9 @@ type request =
     }
   | Queries of { bench : string }  (** the PDG workload of a benchmark *)
   | Report of { bench : string }  (** the benchmark's Figure 8 row *)
+  | Edit of { bench : string; edits : wire_edit list }
+      (** commit an edit script to the resident program and invalidate —
+          the daemon re-analyzes incrementally, it never restarts *)
   | Stats
   | Shutdown
 
@@ -80,6 +193,12 @@ let request_to_json (r : request) : Json.t =
         @ deadline deadline_ms)
   | Queries { bench } -> obj "queries" [ ("bench", Json.String bench) ]
   | Report { bench } -> obj "report" [ ("bench", Json.String bench) ]
+  | Edit { bench; edits } ->
+      obj "edit"
+        [
+          ("bench", Json.String bench);
+          ("edits", Json.List (List.map edit_to_json edits));
+        ]
   | Stats -> obj "stats" []
   | Shutdown -> obj "shutdown" []
 
@@ -112,6 +231,13 @@ let request_of_json (j : Json.t) : request =
       Ask_many { bench = Json.string_member "bench" j; qs; deadline_ms }
   | "queries" -> Queries { bench = Json.string_member "bench" j }
   | "report" -> Report { bench = Json.string_member "bench" j }
+  | "edit" ->
+      let edits =
+        match Json.member "edits" j with
+        | Some ej -> List.map edit_of_json (Json.to_list_exn ej)
+        | None -> raise (Json.Parse_error "edit: missing field \"edits\"")
+      in
+      Edit { bench = Json.string_member "bench" j; edits }
   | "stats" -> Stats
   | "shutdown" -> Shutdown
   | op -> raise (Json.Parse_error (Printf.sprintf "unknown op %S" op))

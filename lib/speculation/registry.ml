@@ -6,11 +6,15 @@
 
     Capability declarations ({!Scaf.Module_api.caps}) annotate what each
     module answers and which premise classes it emits; the audit layer's
-    query-plan lint consumes them. *)
+    query-plan lint consumes them. Every speculation module reasons from
+    per-function profile facts about the queried instructions, so all
+    declare [Reach_local] with [uses_profile]: an edit invalidates their
+    answers exactly when the query's function (or its profile) changed. *)
 
 open Scaf.Module_api
 
-let w answers emits m = with_caps { answers; emits } m
+let w answers emits m =
+  with_caps { answers; emits; reach = Reach_local; uses_profile = true } m
 
 let control profiles =
   (* re-submits the incoming modref with a speculative control-flow view *)

@@ -55,8 +55,8 @@ let site_globals (sites : Site.t list) : string list =
     premise response (whose prohibitive points-to assertion the caller
     *replaces* with its own cheap heap check, §4.2.3). *)
 let loc_within_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
-    ?(loop : string option) ?(cc : int list option) (loc : Query.memloc)
-    (s : Site.t) : Response.t option =
+    ?(loop : string option) ?(cc : int list option) ?(epoch = 0)
+    (loc : Query.memloc) (s : Site.t) : Response.t option =
   match site_handle prog s with
   | None -> None
   | Some (sptr, ssize, sfname) -> (
@@ -70,6 +70,7 @@ let loc_within_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
             aloop = loop;
             acc = cc;
             adr = None;
+            aepoch = epoch;
           }
       in
       let presp = Module_api.Ctx.ask ctx premise in
@@ -80,14 +81,14 @@ let loc_within_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
 
 (** Find the first site in [sites] containing [loc] (capped search). *)
 let find_containing_site (ctx : Module_api.Ctx.t) (prog : Progctx.t)
-    ?loop ?cc (loc : Query.memloc) (sites : Site.t list) :
+    ?loop ?cc ?epoch (loc : Query.memloc) (sites : Site.t list) :
     (Site.t * Response.t) option =
   let rec go n = function
     | [] -> None
     | s :: rest -> (
         if n <= 0 then None
         else
-          match loc_within_site ctx prog ?loop ?cc loc s with
+          match loc_within_site ctx prog ?loop ?cc ?epoch loc s with
           | Some r -> Some (s, r)
           | None -> go (n - 1) rest)
   in

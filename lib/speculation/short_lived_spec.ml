@@ -89,7 +89,7 @@ let answer (prog : Progctx.t) (profiles : Profiles.t) (ctx : Module_api.Ctx.t)
                   | Some loc -> (
                       match
                         Sep_util.find_containing_site ctx prog ~loop:lid
-                          ?cc:mq.Query.mcc loc sites
+                          ?cc:mq.Query.mcc ~epoch:mq.Query.mepoch loc sites
                       with
                       | Some (site, presp) ->
                           (* only the side shown to live in the short-lived

@@ -1,0 +1,299 @@
+(** Structured program edits — the mutation half of the incremental
+    re-analysis engine.
+
+    An edit script is a list of {!op}s applied to a {!Program.t} handle as
+    one atomic transaction: instruction surgery on the current AST, a
+    single full verification, a single epoch bump ({!Program.commit}), and
+    a {!diff} naming everything the edit touched. On any failure — unknown
+    target, unparsable splice, SSA violation introduced by the edit — the
+    handle is left exactly as it was.
+
+    Inserted instruction text is parsed through a *splice wrapper*: the
+    text is wrapped in a one-block function, run through the ordinary
+    parser, and the resulting instructions are re-numbered into the host
+    module's fresh-id range (ids are module-unique and never reused, so
+    analyses and profiles keyed by id stay unambiguous across epochs). *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type op =
+  | Replace_loop_body of { lid : string; block : string; body : string }
+      (** replace every instruction of [block] — which must belong to loop
+          [lid] — with the instructions parsed from [body]; the terminator
+          is preserved *)
+  | Insert_instr of { fname : string; block : string; at : int; text : string }
+      (** insert the instructions parsed from [text] before position [at]
+          (0 = block start, [length] = before the terminator) *)
+  | Delete_instr of { id : int }  (** remove the instruction with id [id] *)
+
+(** What an applied edit script touched, at the granularity the
+    invalidation pass consumes. Instruction ids cover both deleted
+    instructions (attributed against the pre-edit program) and inserted
+    ones (attributed against the post-edit program). *)
+type diff = {
+  epoch : int;  (** the program epoch after the edit *)
+  touched_instrs : int list;
+  touched_funcs : string list;
+  touched_loops : string list;  (** lids whose bodies changed *)
+  touched_globals : string list;  (** globals referenced by touched instrs *)
+}
+
+let empty_diff epoch =
+  {
+    epoch;
+    touched_instrs = [];
+    touched_funcs = [];
+    touched_loops = [];
+    touched_globals = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Splice parsing                                                      *)
+
+(** Highest instruction/terminator id in use; fresh ids start above it. *)
+let max_id (m : Irmod.t) : int =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          let acc = max acc b.Block.term.Instr.tid in
+          List.fold_left
+            (fun acc (i : Instr.t) -> max acc i.Instr.id)
+            acc b.Block.instrs)
+        acc f.Func.blocks)
+    (-1) m.Irmod.funcs
+
+(** Parse instruction text via the splice wrapper and re-number the result
+    into the host module's id space starting at [next_id]. The text must
+    be a straight-line instruction sequence — no labels, no
+    terminators. *)
+let parse_splice ~(next_id : int) (text : string) :
+    (Instr.t list * int, string) result =
+  let wrapped = Printf.sprintf "func @__splice__() {\nentry:\n%s\n  ret\n}\n" text in
+  match Parser.parse wrapped with
+  | exception Parser.Parse_error (msg, line) ->
+      Error (Printf.sprintf "splice parse error (line %d): %s" (line - 2) msg)
+  | exception Lexer.Lex_error (msg, line) ->
+      Error (Printf.sprintf "splice lex error (line %d): %s" (line - 2) msg)
+  | m -> (
+      match m.Irmod.funcs with
+      | [ { Func.blocks = [ { Block.instrs; term; _ } ]; _ } ]
+        when term.Instr.tkind = Instr.Ret None ->
+          let instrs =
+            List.mapi
+              (fun k (i : Instr.t) -> { i with Instr.id = next_id + k })
+              instrs
+          in
+          Ok (instrs, next_id + List.length instrs)
+      | _ ->
+          Error
+            "splice text must be a straight-line instruction sequence \
+             (no labels or terminators)")
+
+(* ------------------------------------------------------------------ *)
+(* AST surgery                                                         *)
+
+let replace_func (m : Irmod.t) (f' : Func.t) : Irmod.t =
+  {
+    m with
+    Irmod.funcs =
+      List.map
+        (fun (f : Func.t) ->
+          if String.equal f.Func.name f'.Func.name then f' else f)
+        m.Irmod.funcs;
+  }
+
+let replace_block (f : Func.t) (b' : Block.t) : Func.t =
+  {
+    f with
+    Func.blocks =
+      List.map
+        (fun (b : Block.t) ->
+          if String.equal b.Block.label b'.Block.label then b' else b)
+        f.Func.blocks;
+  }
+
+(* One op against the working module. Returns the new module, the owning
+   function, the removed instruction ids and the inserted instructions. *)
+let apply_op (m : Irmod.t) (ctx : Progctx.t) ~(next_id : int) (op : op) :
+    (Irmod.t * string * int list * Instr.t list * int, string) result =
+  match op with
+  | Insert_instr { fname; block; at; text } -> (
+      match Irmod.find_func m fname with
+      | None -> Error (Printf.sprintf "insert: no function @%s" fname)
+      | Some f -> (
+          match Func.find_block f block with
+          | None ->
+              Error (Printf.sprintf "insert: no block %s in @%s" block fname)
+          | Some b ->
+              let n = List.length b.Block.instrs in
+              if at < 0 || at > n then
+                Error
+                  (Printf.sprintf "insert: position %d out of range (0..%d)"
+                     at n)
+              else
+                Result.bind (parse_splice ~next_id text)
+                  (fun (added, next_id) ->
+                    let before = List.filteri (fun i _ -> i < at) b.Block.instrs
+                    and after = List.filteri (fun i _ -> i >= at) b.Block.instrs in
+                    let b' =
+                      { b with Block.instrs = before @ added @ after }
+                    in
+                    Ok
+                      ( replace_func m (replace_block f b'),
+                        fname,
+                        [],
+                        added,
+                        next_id ))))
+  | Delete_instr { id } -> (
+      match Progctx.occ ctx id with
+      | None -> Error (Printf.sprintf "delete: no instruction %d" id)
+      | Some o ->
+          let f = o.Irmod.Index.func and b = o.Irmod.Index.block in
+          let b' =
+            {
+              b with
+              Block.instrs =
+                List.filter (fun (i : Instr.t) -> i.Instr.id <> id) b.Block.instrs;
+            }
+          in
+          Ok
+            ( replace_func m (replace_block f b'),
+              f.Func.name,
+              [ id ],
+              [],
+              next_id ))
+  | Replace_loop_body { lid; block; body } -> (
+      match Progctx.loop_of_lid ctx lid with
+      | None -> Error (Printf.sprintf "replace: no loop %s" lid)
+      | Some (fname, loop) -> (
+          match Irmod.find_func m fname with
+          | None -> Error (Printf.sprintf "replace: no function @%s" fname)
+          | Some f -> (
+              match Func.find_block f block with
+              | None ->
+                  Error
+                    (Printf.sprintf "replace: no block %s in @%s" block fname)
+              | Some b ->
+                  let in_loop =
+                    match Progctx.cfg_of ctx fname with
+                    | None -> false
+                    | Some cfg ->
+                        List.exists
+                          (fun bi ->
+                            Loops.contains loop bi
+                            && String.equal
+                                 (Cfg.block cfg bi).Block.label block)
+                          (List.init (Cfg.num_blocks cfg) Fun.id)
+                  in
+                  if not in_loop then
+                    Error
+                      (Printf.sprintf "replace: block %s is not part of loop %s"
+                         block lid)
+                  else
+                    Result.bind (parse_splice ~next_id body)
+                      (fun (added, next_id) ->
+                        let removed =
+                          List.map (fun (i : Instr.t) -> i.Instr.id) b.Block.instrs
+                        in
+                        let b' = { b with Block.instrs = added } in
+                        Ok
+                          ( replace_func m (replace_block f b'),
+                            fname,
+                            removed,
+                            added,
+                            next_id )))))
+
+(* ------------------------------------------------------------------ *)
+(* Diff attribution                                                    *)
+
+let globals_of_instrs (instrs : Instr.t list) : string list =
+  List.concat_map
+    (fun (i : Instr.t) ->
+      List.filter_map
+        (function Value.Global g -> Some g | _ -> None)
+        (Instr.operands i))
+    instrs
+
+(** Loops of [fname] (in [ctx]) containing any of [ids]. *)
+let lids_of_ids (ctx : Progctx.t) (fname : string) (ids : int list) :
+    string list =
+  match Progctx.loops_of ctx fname with
+  | None -> []
+  | Some li ->
+      List.filter_map
+        (fun (l : Loops.loop) ->
+          if List.exists (fun id -> Loops.contains_instr li l id) ids then
+            Some l.Loops.lid
+          else None)
+        li.Loops.loops
+
+let instr_of_id (ctx : Progctx.t) (id : int) : Instr.t list =
+  match Progctx.occ ctx id with
+  | Some o -> [ o.Irmod.Index.instr ]
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* The transaction                                                     *)
+
+(** [apply_all p ops] — apply the whole script as one transaction: one
+    verification pass, one epoch bump, one merged diff. On [Error] the
+    handle is untouched (including its epoch). *)
+let apply_all (p : Program.t) (ops : op list) : (diff, string) result =
+  let rec go m ctx next_id acc = function
+    | [] -> Ok (m, List.rev acc)
+    | op :: rest -> (
+        match apply_op m ctx ~next_id op with
+        | Error e -> Error e
+        | Ok (m', fname, removed, added, next_id) ->
+            let ctx' = Progctx.build m' in
+            (* attribute deletions against the pre-op program, insertions
+               against the post-op one *)
+            let removed_instrs =
+              List.concat_map (fun id -> instr_of_id ctx id) removed
+            in
+            let touched =
+              ( fname,
+                removed @ List.map (fun (i : Instr.t) -> i.Instr.id) added,
+                lids_of_ids ctx fname removed
+                @ lids_of_ids ctx' fname
+                    (List.map (fun (i : Instr.t) -> i.Instr.id) added),
+                globals_of_instrs (removed_instrs @ added) )
+            in
+            go m' ctx' next_id (touched :: acc) rest)
+  in
+  match go (Program.program p) (Program.ctx p) (max_id (Program.program p) + 1) [] ops with
+  | Error e -> Error e
+  | Ok (m', touches) -> (
+      match Program.commit p m' with
+      | Error e -> Error e
+      | Ok epoch ->
+          let uniq l = List.sort_uniq compare l in
+          Ok
+            {
+              epoch;
+              touched_instrs = uniq (List.concat_map (fun (_, is, _, _) -> is) touches);
+              touched_funcs = uniq (List.map (fun (f, _, _, _) -> f) touches);
+              touched_loops = uniq (List.concat_map (fun (_, _, ls, _) -> ls) touches);
+              touched_globals =
+                uniq (List.concat_map (fun (_, _, _, gs) -> gs) touches);
+            })
+
+(** [apply p op] — a one-op script. *)
+let apply (p : Program.t) (op : op) : (diff, string) result = apply_all p [ op ]
+
+let pp_op ppf = function
+  | Replace_loop_body { lid; block; _ } ->
+      Fmt.pf ppf "replace_loop_body(%s, %s)" lid block
+  | Insert_instr { fname; block; at; _ } ->
+      Fmt.pf ppf "insert_instr(@%s, %s, %d)" fname block at
+  | Delete_instr { id } -> Fmt.pf ppf "delete_instr(%d)" id
+
+let pp_diff ppf (d : diff) =
+  Fmt.pf ppf "epoch %d: %d instrs, funcs [%a], loops [%a]" d.epoch
+    (List.length d.touched_instrs)
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    d.touched_funcs
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    d.touched_loops

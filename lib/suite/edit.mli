@@ -1,0 +1,44 @@
+(** Structured program edits — the mutation half of the incremental
+    re-analysis engine.
+
+    An edit script is applied to a {!Program.t} as one atomic transaction:
+    AST surgery, a single full verification, a single epoch bump and a
+    merged {!diff}. On any failure the handle is untouched. Inserted text
+    is parsed through a splice wrapper and re-numbered into the host
+    module's fresh-id range — instruction ids are module-unique and never
+    reused, so id-keyed analyses and profiles stay unambiguous across
+    epochs. *)
+
+type op =
+  | Replace_loop_body of { lid : string; block : string; body : string }
+      (** replace every instruction of [block] — which must belong to loop
+          [lid] — with the instructions parsed from [body]; the terminator
+          is preserved *)
+  | Insert_instr of { fname : string; block : string; at : int; text : string }
+      (** insert the instructions parsed from [text] before position [at]
+          (0 = block start, [length] = just before the terminator) *)
+  | Delete_instr of { id : int }  (** remove the instruction with id [id] *)
+
+(** What an applied edit script touched, at the granularity the
+    invalidation pass consumes. Deleted instructions are attributed
+    against the pre-edit program, inserted ones against the post-edit
+    program. *)
+type diff = {
+  epoch : int;  (** the program epoch after the edit *)
+  touched_instrs : int list;
+  touched_funcs : string list;
+  touched_loops : string list;  (** lids whose bodies changed *)
+  touched_globals : string list;  (** globals referenced by touched instrs *)
+}
+
+val empty_diff : int -> diff
+
+(** [apply_all p ops] — apply the whole script transactionally; on
+    [Error] the handle (including its epoch) is untouched. *)
+val apply_all : Program.t -> op list -> (diff, string) result
+
+(** [apply p op] — a one-op script. *)
+val apply : Program.t -> op -> (diff, string) result
+
+val pp_op : Format.formatter -> op -> unit
+val pp_diff : Format.formatter -> diff -> unit

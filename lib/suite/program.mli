@@ -1,0 +1,66 @@
+(** A mutable handle on one suite program — the unit of work of the
+    incremental re-analysis engine.
+
+    A handle owns the current state of a benchmark program: its stable
+    identity, the verified module, the pretty-printed source, the training
+    and reference inputs, and the *program epoch*, a counter bumped by
+    every committed edit. Cache keys carry the epoch
+    ({!Scaf.Qcache.key_of}), so entries from superseded program states are
+    unreachable by construction; the invalidation pass decides which
+    surviving entries to carry forward.
+
+    The handle is abstract: the program only ever changes through
+    {!commit} (used by {!Edit.apply}), which re-verifies and bumps the
+    epoch atomically — there is no way to hold a handle whose program and
+    epoch disagree. *)
+
+type t
+
+(** [make ~id ~descr source] — parse and fully verify [source]; raises on
+    ill-formed programs (registration-time failure, not first-use).
+    [train_inputs] defaults to the suite's standard training input (rare
+    gates closed), [ref_input] to the rare-path-exercising reference
+    input. The handle starts at epoch 0. *)
+val make :
+  id:string ->
+  descr:string ->
+  ?train_inputs:int64 array list ->
+  ?ref_input:int64 array ->
+  string ->
+  t
+
+(** Stable benchmark identity (e.g. ["181.mcf"]). Never changes. *)
+val id : t -> string
+
+(** Which dependence idioms the program's hot loops exercise. *)
+val descr : t -> string
+
+(** The current program epoch: 0 at construction, +1 per {!commit}. *)
+val epoch : t -> int
+
+(** Pretty-printed text of the current program. *)
+val source : t -> string
+
+val train_inputs : t -> int64 array list
+val ref_input : t -> int64 array
+
+(** The current program; always fully verified. *)
+val program : t -> Scaf_ir.Irmod.t
+
+(** Analysis context of the current program (memoized per epoch). *)
+val ctx : t -> Scaf_cfg.Progctx.t
+
+(** Profiles of the current program on its training inputs (memoized per
+    epoch — repeated orchestrator rebuilds within one epoch profile
+    once). *)
+val profiles : t -> Scaf_profile.Profiles.t
+
+(** An independent handle on the same program state: edits to either
+    handle leave the other untouched. *)
+val fork : t -> t
+
+(** [commit t m'] — replace the program with [m'] and bump the epoch,
+    provided [m'] passes full verification; on [Error] the handle is
+    untouched. Returns the new epoch. Prefer the structured {!Edit} API;
+    this is its commit point. *)
+val commit : t -> Scaf_ir.Irmod.t -> (int, string) result

@@ -4,214 +4,232 @@
     the original: e.g. the neural-net codes lean on read-only weight
     tables, the mcf codes on pointer-chasing through stable slots, and the
     compression codes saturate under cheap isolated speculation (the
-    paper's Figure 9 outliers). *)
+    paper's Figure 9 outliers).
+
+    Registration is declarative — a spec table of (id, descr, pieces) —
+    and every lookup materializes a *fresh* {!Program.t} handle, so one
+    client's edits never leak into another's program state. *)
 
 open Patterns
 
-let spec_052_alvinn =
-  Benchmark.make ~name:"052.alvinn"
-    ~descr:
-      "neural-net training: two read-only weight-table layers, a rare \
-       saturation-reset path, and an affine update sweep"
-    [
-      ro_table ~name:"fwd" ~iters:120 ~size:512;
-      ro_table ~name:"hid" ~iters:120 ~size:512;
-      rare_kill ~name:"err" ~iters:120 ~gate:0;
-      static_arrays ~name:"upd" ~size:800;
-    ]
+type spec = { sid : string; sdescr : string; pieces : piece list }
 
-let spec_056_ear =
-  Benchmark.make ~name:"056.ear"
-    ~descr:
-      "ear model: filterbank with even/odd channel phases and affine \
-       sweeps; one small read-only gain table"
-    [
-      residue_streams ~name:"fb" ~iters:130 ~gate:0;
-      static_arrays ~name:"win" ~size:880;
-      ro_table ~name:"gain" ~iters:110 ~size:256;
-    ]
-
-let spec_129_compress =
-  Benchmark.make ~name:"129.compress"
-    ~descr:
-      "LZW: hash probing with parity-split buckets, an affine copy, and a \
-       rare table-clear path"
-    [
-      residue_streams ~name:"hash" ~iters:140 ~gate:0;
-      static_arrays ~name:"copy" ~size:840;
-      rare_kill ~name:"clear" ~iters:120 ~gate:0;
-    ]
-
-let spec_164_gzip =
-  Benchmark.make ~name:"164.gzip"
-    ~descr:
-      "deflate: per-block short-lived window buffer, parity-split hash \
-       chains, affine literal copy, and input-indexed history"
-    [
-      short_lived ~name:"blk" ~iters:110;
-      residue_streams ~name:"chain" ~iters:120 ~gate:0;
-      static_arrays ~name:"lit" ~size:800;
-      indirect_index ~name:"hist" ~iters:110 ~gate:0;
-    ]
-
-let spec_175_vpr =
-  Benchmark.make ~name:"175.vpr"
-    ~descr:
-      "placement: rare re-routing paths around killing updates, a poisoned \
-       net partition, and a read-only timing table"
-    [
-      rare_kill ~name:"swap" ~iters:120 ~gate:0;
-      dead_store_global_malloc ~name:"net" ~iters:110 ~gate:0;
-      ro_table ~name:"tmg" ~iters:120 ~size:512;
-      static_arrays ~name:"cost" ~size:800;
-    ]
-
-let spec_179_art =
-  Benchmark.make ~name:"179.art"
-    ~descr:
-      "adaptive resonance: read-only weight matrix, affine activation \
-       sweep, parity-split f1 layer"
-    [
-      ro_table ~name:"wgt" ~iters:130 ~size:512;
-      static_arrays ~name:"act" ~size:880;
-      residue_streams ~name:"f1" ~iters:120 ~gate:0;
-    ]
-
-let spec_181_mcf =
-  Benchmark.make ~name:"181.mcf"
-    ~descr:
-      "min-cost flow: pointer chasing through a stable arc slot with a rare \
-       rebase, a poisoned node partition, input-indexed buckets"
-    [
-      unique_path_chain ~name:"arc" ~iters:130 ~gate:0;
-      dead_store_global_malloc ~name:"node" ~iters:110 ~gate:0;
-      indirect_index ~name:"bkt" ~iters:110 ~gate:0;
-    ]
-
-let spec_183_equake =
-  Benchmark.make ~name:"183.equake"
-    ~descr:
-      "earthquake FEM: read-only stiffness table, rare boundary fixup \
-       around the killing store, affine time-step sweep"
-    [
-      ro_table ~name:"stif" ~iters:130 ~size:512;
-      rare_kill ~name:"bnd" ~iters:120 ~gate:0;
-      static_arrays ~name:"step" ~size:840;
-    ]
-
-let spec_429_mcf =
-  Benchmark.make ~name:"429.mcf"
-    ~descr:
-      "min-cost flow (2006): two chased slots, a poisoned partition, a rare \
-       pricing reset, and an affine refresh"
-    [
-      unique_path_chain ~name:"arc" ~iters:120 ~gate:0;
-      dead_store_global_malloc ~name:"basket" ~iters:110 ~gate:0;
-      rare_kill ~name:"price" ~iters:110 ~gate:0;
-      static_arrays ~name:"rfr" ~size:800;
-    ]
-
-let spec_456_hmmer =
-  Benchmark.make ~name:"456.hmmer"
-    ~descr:
-      "profile HMM: read-only transition table, rare underflow rescue, \
-       value-stable termination flag, affine row sweep"
-    [
-      ro_table ~name:"trans" ~iters:120 ~size:512;
-      rare_kill ~name:"resc" ~iters:110 ~gate:0;
-      value_kill_output ~name:"term" ~iters:120;
-      static_arrays ~name:"row" ~size:800;
-    ]
-
-let spec_462_libquantum =
-  Benchmark.make ~name:"462.libquantum"
-    ~descr:
-      "quantum simulation: read-only gate table, short-lived scratch \
-       register file per step, parity-split amplitudes"
-    [
-      ro_table ~name:"gate" ~iters:130 ~size:512;
-      short_lived ~name:"scr" ~iters:120;
-      residue_streams ~name:"amp" ~iters:120 ~gate:0;
-    ]
-
-let spec_470_lbm =
-  Benchmark.make ~name:"470.lbm"
-    ~descr:
-      "lattice Boltzmann: poisoned src/dst grid partitions, read-only \
-       collision weights, affine streaming sweep"
-    [
-      dead_store_global_malloc ~name:"grid" ~iters:120 ~gate:0;
-      ro_table ~name:"coll" ~iters:120 ~size:512;
-      static_arrays ~name:"strm" ~size:840;
-    ]
-
-let spec_482_sphinx3 =
-  Benchmark.make ~name:"482.sphinx3"
-    ~descr:
-      "speech recognition: read-only dictionary and senone tables, rare \
-       beam-reset around killing updates, input-indexed lattice"
-    [
-      ro_table ~name:"dict" ~iters:120 ~size:512;
-      ro_table ~name:"sen" ~iters:110 ~size:512;
-      rare_kill ~name:"beam" ~iters:110 ~gate:0;
-      indirect_index ~name:"lat" ~iters:100 ~gate:0;
-    ]
-
-let spec_519_lbm =
-  Benchmark.make ~name:"519.lbm"
-    ~descr:
-      "lattice Boltzmann (2017): read-only weights, rare boundary handling, \
-       affine streaming"
-    [
-      ro_table ~name:"w" ~iters:130 ~size:512;
-      rare_kill ~name:"bc" ~iters:120 ~gate:0;
-      static_arrays ~name:"st" ~size:840;
-    ]
-
-let spec_525_x264 =
-  Benchmark.make ~name:"525.x264"
-    ~descr:
-      "video encoding: value-stable slice flag, read-only quant tables, \
-       short-lived per-macroblock scratch, affine SAD sweep"
-    [
-      value_kill_output ~name:"slice" ~iters:120;
-      ro_table ~name:"quant" ~iters:110 ~size:512;
-      short_lived ~name:"mb" ~iters:110;
-      static_arrays ~name:"sad" ~size:800;
-    ]
-
-let spec_544_nab =
-  Benchmark.make ~name:"544.nab"
-    ~descr:
-      "molecular dynamics: read-only force-field parameters, chased \
-       neighbour-list slot, parity-split coordinates, affine integration"
-    [
-      ro_table ~name:"ff" ~iters:120 ~size:512;
-      unique_path_chain ~name:"nbr" ~iters:110 ~gate:0;
-      residue_streams ~name:"crd" ~iters:110 ~gate:0;
-      static_arrays ~name:"intg" ~size:800;
-    ]
-
-(** All 16 benchmarks, in the paper's Figure 8 order. *)
-let all : Benchmark.t list =
+let specs : spec list =
   [
-    spec_052_alvinn;
-    spec_056_ear;
-    spec_129_compress;
-    spec_164_gzip;
-    spec_175_vpr;
-    spec_179_art;
-    spec_181_mcf;
-    spec_183_equake;
-    spec_429_mcf;
-    spec_456_hmmer;
-    spec_462_libquantum;
-    spec_470_lbm;
-    spec_482_sphinx3;
-    spec_519_lbm;
-    spec_525_x264;
-    spec_544_nab;
+    {
+      sid = "052.alvinn";
+      sdescr =
+        "neural-net training: two read-only weight-table layers, a rare \
+         saturation-reset path, and an affine update sweep";
+      pieces =
+        [
+          ro_table ~name:"fwd" ~iters:120 ~size:512;
+          ro_table ~name:"hid" ~iters:120 ~size:512;
+          rare_kill ~name:"err" ~iters:120 ~gate:0;
+          static_arrays ~name:"upd" ~size:800;
+        ];
+    };
+    {
+      sid = "056.ear";
+      sdescr =
+        "ear model: filterbank with even/odd channel phases and affine \
+         sweeps; one small read-only gain table";
+      pieces =
+        [
+          residue_streams ~name:"fb" ~iters:130 ~gate:0;
+          static_arrays ~name:"win" ~size:880;
+          ro_table ~name:"gain" ~iters:110 ~size:256;
+        ];
+    };
+    {
+      sid = "129.compress";
+      sdescr =
+        "LZW: hash probing with parity-split buckets, an affine copy, and a \
+         rare table-clear path";
+      pieces =
+        [
+          residue_streams ~name:"hash" ~iters:140 ~gate:0;
+          static_arrays ~name:"copy" ~size:840;
+          rare_kill ~name:"clear" ~iters:120 ~gate:0;
+        ];
+    };
+    {
+      sid = "164.gzip";
+      sdescr =
+        "deflate: per-block short-lived window buffer, parity-split hash \
+         chains, affine literal copy, and input-indexed history";
+      pieces =
+        [
+          short_lived ~name:"blk" ~iters:110;
+          residue_streams ~name:"chain" ~iters:120 ~gate:0;
+          static_arrays ~name:"lit" ~size:800;
+          indirect_index ~name:"hist" ~iters:110 ~gate:0;
+        ];
+    };
+    {
+      sid = "175.vpr";
+      sdescr =
+        "placement: rare re-routing paths around killing updates, a poisoned \
+         net partition, and a read-only timing table";
+      pieces =
+        [
+          rare_kill ~name:"swap" ~iters:120 ~gate:0;
+          dead_store_global_malloc ~name:"net" ~iters:110 ~gate:0;
+          ro_table ~name:"tmg" ~iters:120 ~size:512;
+          static_arrays ~name:"cost" ~size:800;
+        ];
+    };
+    {
+      sid = "179.art";
+      sdescr =
+        "adaptive resonance: read-only weight matrix, affine activation \
+         sweep, parity-split f1 layer";
+      pieces =
+        [
+          ro_table ~name:"wgt" ~iters:130 ~size:512;
+          static_arrays ~name:"act" ~size:880;
+          residue_streams ~name:"f1" ~iters:120 ~gate:0;
+        ];
+    };
+    {
+      sid = "181.mcf";
+      sdescr =
+        "min-cost flow: pointer chasing through a stable arc slot with a rare \
+         rebase, a poisoned node partition, input-indexed buckets";
+      pieces =
+        [
+          unique_path_chain ~name:"arc" ~iters:130 ~gate:0;
+          dead_store_global_malloc ~name:"node" ~iters:110 ~gate:0;
+          indirect_index ~name:"bkt" ~iters:110 ~gate:0;
+        ];
+    };
+    {
+      sid = "183.equake";
+      sdescr =
+        "earthquake FEM: read-only stiffness table, rare boundary fixup \
+         around the killing store, affine time-step sweep";
+      pieces =
+        [
+          ro_table ~name:"stif" ~iters:130 ~size:512;
+          rare_kill ~name:"bnd" ~iters:120 ~gate:0;
+          static_arrays ~name:"step" ~size:840;
+        ];
+    };
+    {
+      sid = "429.mcf";
+      sdescr =
+        "min-cost flow (2006): two chased slots, a poisoned partition, a rare \
+         pricing reset, and an affine refresh";
+      pieces =
+        [
+          unique_path_chain ~name:"arc" ~iters:120 ~gate:0;
+          dead_store_global_malloc ~name:"basket" ~iters:110 ~gate:0;
+          rare_kill ~name:"price" ~iters:110 ~gate:0;
+          static_arrays ~name:"rfr" ~size:800;
+        ];
+    };
+    {
+      sid = "456.hmmer";
+      sdescr =
+        "profile HMM: read-only transition table, rare underflow rescue, \
+         value-stable termination flag, affine row sweep";
+      pieces =
+        [
+          ro_table ~name:"trans" ~iters:120 ~size:512;
+          rare_kill ~name:"resc" ~iters:110 ~gate:0;
+          value_kill_output ~name:"term" ~iters:120;
+          static_arrays ~name:"row" ~size:800;
+        ];
+    };
+    {
+      sid = "462.libquantum";
+      sdescr =
+        "quantum simulation: read-only gate table, short-lived scratch \
+         register file per step, parity-split amplitudes";
+      pieces =
+        [
+          ro_table ~name:"gate" ~iters:130 ~size:512;
+          short_lived ~name:"scr" ~iters:120;
+          residue_streams ~name:"amp" ~iters:120 ~gate:0;
+        ];
+    };
+    {
+      sid = "470.lbm";
+      sdescr =
+        "lattice Boltzmann: poisoned src/dst grid partitions, read-only \
+         collision weights, affine streaming sweep";
+      pieces =
+        [
+          dead_store_global_malloc ~name:"grid" ~iters:120 ~gate:0;
+          ro_table ~name:"coll" ~iters:120 ~size:512;
+          static_arrays ~name:"strm" ~size:840;
+        ];
+    };
+    {
+      sid = "482.sphinx3";
+      sdescr =
+        "speech recognition: read-only dictionary and senone tables, rare \
+         beam-reset around killing updates, input-indexed lattice";
+      pieces =
+        [
+          ro_table ~name:"dict" ~iters:120 ~size:512;
+          ro_table ~name:"sen" ~iters:110 ~size:512;
+          rare_kill ~name:"beam" ~iters:110 ~gate:0;
+          indirect_index ~name:"lat" ~iters:100 ~gate:0;
+        ];
+    };
+    {
+      sid = "519.lbm";
+      sdescr =
+        "lattice Boltzmann (2017): read-only weights, rare boundary handling, \
+         affine streaming";
+      pieces =
+        [
+          ro_table ~name:"w" ~iters:130 ~size:512;
+          rare_kill ~name:"bc" ~iters:120 ~gate:0;
+          static_arrays ~name:"st" ~size:840;
+        ];
+    };
+    {
+      sid = "525.x264";
+      sdescr =
+        "video encoding: value-stable slice flag, read-only quant tables, \
+         short-lived per-macroblock scratch, affine SAD sweep";
+      pieces =
+        [
+          value_kill_output ~name:"slice" ~iters:120;
+          ro_table ~name:"quant" ~iters:110 ~size:512;
+          short_lived ~name:"mb" ~iters:110;
+          static_arrays ~name:"sad" ~size:800;
+        ];
+    };
+    {
+      sid = "544.nab";
+      sdescr =
+        "molecular dynamics: read-only force-field parameters, chased \
+         neighbour-list slot, parity-split coordinates, affine integration";
+      pieces =
+        [
+          ro_table ~name:"ff" ~iters:120 ~size:512;
+          unique_path_chain ~name:"nbr" ~iters:110 ~gate:0;
+          residue_streams ~name:"crd" ~iters:110 ~gate:0;
+          static_arrays ~name:"intg" ~size:800;
+        ];
+    };
   ]
 
-let find (name : string) : Benchmark.t option =
-  List.find_opt (fun (b : Benchmark.t) -> String.equal b.Benchmark.name name) all
+let materialize (s : spec) : Program.t =
+  Program.make ~id:s.sid ~descr:s.sdescr (Patterns.compose s.pieces)
+
+(** The benchmark ids, in the paper's Figure 8 order. *)
+let names : string list = List.map (fun s -> s.sid) specs
+
+(** Fresh handles for all 16 benchmarks, in the paper's Figure 8 order.
+    Every call materializes new handles — edits to one batch are invisible
+    to the next. *)
+let all () : Program.t list = List.map materialize specs
+
+(** A fresh handle for the named benchmark. *)
+let find (name : string) : Program.t option =
+  Option.map materialize
+    (List.find_opt (fun s -> String.equal s.sid name) specs)

@@ -148,7 +148,7 @@ let test_lint_empty_caps () =
     lint_with
       [
         stub "mute"
-          ~caps:{ Module_api.answers = []; emits = [] }
+          ~caps:{ Module_api.answers = []; emits = []; reach = Module_api.Reach_global; uses_profile = false }
           ~factored:false;
       ]
   in
@@ -166,11 +166,18 @@ let test_lint_unreachable_module () =
             {
               Module_api.answers = [ Module_api.CModref_instr ];
               emits = [ Module_api.CAlias ];
+              reach = Module_api.Reach_global;
+              uses_profile = false;
             }
           ~factored:true;
         stub "dead"
           ~caps:
-            { Module_api.answers = [ Module_api.CModref_loc ]; emits = [] }
+            {
+              Module_api.answers = [ Module_api.CModref_loc ];
+              emits = [];
+              reach = Module_api.Reach_global;
+              uses_profile = false;
+            }
           ~factored:false;
       ]
   in
@@ -191,6 +198,8 @@ let test_lint_premise_cycle_is_info () =
             {
               Module_api.answers = [ Module_api.CModref_instr ];
               emits = [ Module_api.CAlias ];
+              reach = Module_api.Reach_global;
+              uses_profile = false;
             }
           ~factored:true;
         stub "b"
@@ -198,6 +207,8 @@ let test_lint_premise_cycle_is_info () =
             {
               Module_api.answers = [ Module_api.CAlias ];
               emits = [ Module_api.CModref_instr ];
+              reach = Module_api.Reach_global;
+              uses_profile = false;
             }
           ~factored:true;
       ]
@@ -219,8 +230,8 @@ let test_lint_shipped_config_clean () =
      premise cycle among the alias modules *)
   let profiles =
     Scaf_profile.Profiler.profile_module
-      ~inputs:bench.Scaf_suite.Benchmark.train_inputs
-      (Scaf_suite.Benchmark.program bench)
+      ~inputs:(Scaf_suite.Program.train_inputs bench)
+      (Scaf_suite.Program.program bench)
   in
   let fs = Lint.check (Audit.scaf_config profiles) in
   checkb "only Info findings" true

@@ -82,6 +82,7 @@ let test_context_sensitivity () =
         aloop = Some "main:loop";
         acc = cc;
         adr = None;
+        aepoch = 0;
       }
   in
   (* without context: same static site, conservatively may-alias *)

@@ -98,9 +98,44 @@ let prop_modref_direction_never_conflated =
       in
       let c = Qcache.create ~shards:1 () in
       Qcache.add_q c q nomodref_free;
-      Qcache.key_of q <> Qcache.key_of swapped
+      Qcache.key_of ~epoch:0 q <> Qcache.key_of ~epoch:0 swapped
       && Qcache.find_q c swapped = None
       && (Qcache.stats c).Qcache.canonical_hits = 0)
+
+(* -- epoch stamping and the invalidation walk ----------------------- *)
+
+(* Entries from superseded program states must be unreachable by
+   construction: the same query at a different epoch is a different
+   key, so a lookup after an epoch bump never sees stale answers. *)
+let test_epoch_separates_entries () =
+  let c = Qcache.create ~shards:1 () in
+  let q = Query.modref_instrs ~tr:Query.Same 1 2 in
+  Qcache.add_q ~epoch:0 c q nomodref_free;
+  checkb "hit at its own epoch" true (Qcache.find_q ~epoch:0 c q <> None);
+  checkb "miss at the next epoch" true (Qcache.find_q ~epoch:1 c q = None);
+  checkb "keys differ across epochs" true
+    (Qcache.key_of ~epoch:0 q <> Qcache.key_of ~epoch:1 q);
+  let k = Option.get (Qcache.key_of ~epoch:3 q) in
+  checki "key remembers its epoch" 3 (Qcache.key_epoch k)
+
+let test_invalidate_evicts_and_restamps () =
+  let c = Qcache.create ~shards:1 () in
+  let q1 = Query.modref_instrs ~tr:Query.Same 1 2 in
+  let q2 = Query.modref_instrs ~tr:Query.Same 3 4 in
+  Qcache.add_q ~epoch:0 c q1 nomodref_free;
+  Qcache.add_q ~epoch:0 c q2 nomodref_free;
+  let dirty q =
+    match q with Query.Modref { minstr = 1; _ } -> true | _ -> false
+  in
+  let evicted, retained = Qcache.invalidate c ~dirty ~next_epoch:1 in
+  checki "one entry evicted" 1 evicted;
+  checki "one entry retained" 1 retained;
+  checkb "dirty entry gone at the new epoch" true
+    (Qcache.find_q ~epoch:1 c q1 = None);
+  checkb "survivor restamped to the new epoch" true
+    (Qcache.find_q ~epoch:1 c q2 <> None);
+  checkb "survivor unreachable at the old epoch" true
+    (Qcache.find_q ~epoch:0 c q2 = None)
 
 (* -- key safety: control-flow views hold closures ------------------- *)
 
@@ -112,9 +147,9 @@ let ctrl_view () = Option.get (Scaf_cfg.Progctx.ctrl_of tiny_prog "main")
 
 let test_ctrl_query_has_no_key () =
   let q = Query.modref_instrs ~ctrl:(ctrl_view ()) ~tr:Query.Same 1 2 in
-  checkb "mctrl query refused as key" true (Qcache.key_of q = None);
+  checkb "mctrl query refused as key" true (Qcache.key_of ~epoch:0 q = None);
   checkb "plain modref keyed" true
-    (Qcache.key_of (Query.modref_instrs ~tr:Query.Same 1 2) <> None)
+    (Qcache.key_of ~epoch:0 (Query.modref_instrs ~tr:Query.Same 1 2) <> None)
 
 let test_ctrl_query_roundtrip_regression () =
   (* regression: a speculative-view query must round-trip through the
@@ -250,20 +285,12 @@ let test_ask_many_order () =
 (* Random suite programs: the parallel batch path must return exactly the
    sequential responses, at every job count. *)
 let prop_parallel_equals_sequential =
-  let bench_names =
-    List.map
-      (fun (b : Scaf_suite.Benchmark.t) -> b.Scaf_suite.Benchmark.name)
-      Scaf_suite.Registry.all
-  in
+  let bench_names = Scaf_suite.Registry.names in
   QCheck.Test.make ~name:"batch path: jobs in {1,2,4} = sequential" ~count:8
     QCheck.(pair (oneofl bench_names) small_nat)
     (fun (bname, skip) ->
       let b = Option.get (Scaf_suite.Registry.find bname) in
-      let m = Scaf_suite.Benchmark.program b in
-      let profiles =
-        Scaf_profile.Profiler.profile_module
-          ~inputs:b.Scaf_suite.Benchmark.train_inputs m
-      in
+      let profiles = Scaf_suite.Program.profiles b in
       let prog = profiles.Scaf_profile.Profiles.ctx in
       let lids = List.map fst (Nodep.hot_loop_weights profiles) in
       match lids with
@@ -305,12 +332,7 @@ let prop_mirror_alias_equal =
   let arb_tr = QCheck.oneofl [ Query.Before; Query.Same; Query.After ] in
   let arb_sz = QCheck.oneofl [ 1; 4; 8 ] in
   let bench = Option.get (Scaf_suite.Registry.find "181.mcf") in
-  let profiles =
-    lazy
-      (Scaf_profile.Profiler.profile_module
-         ~inputs:bench.Scaf_suite.Benchmark.train_inputs
-         (Scaf_suite.Benchmark.program bench))
-  in
+  let profiles = lazy (Scaf_suite.Program.profiles bench) in
   QCheck.Test.make ~name:"canonicalized alias: ask q = ask (mirror q)"
     ~count:60
     QCheck.(quad arb_val arb_sz arb_val arb_tr)
@@ -336,6 +358,10 @@ let suite =
         Alcotest.test_case "asymmetric modref counters" `Quick
           test_asymmetric_modref_counters;
         QCheck_alcotest.to_alcotest prop_modref_direction_never_conflated;
+        Alcotest.test_case "epochs separate entries" `Quick
+          test_epoch_separates_entries;
+        Alcotest.test_case "invalidate evicts and restamps" `Quick
+          test_invalidate_evicts_and_restamps;
         Alcotest.test_case "ctrl query has no key" `Quick
           test_ctrl_query_has_no_key;
         Alcotest.test_case "ctrl query round-trip (regression)" `Quick

@@ -273,10 +273,8 @@ let test_chaos_corrupt_pipeline_recovers () =
   (* corrupted speculative answers flow into the plan; acting on them must
      misspeculate immediately and recovery must still converge *)
   let b = Option.get (Scaf_suite.Registry.find "052.alvinn") in
-  let m = Scaf_suite.Benchmark.program b in
-  let p =
-    Scaf_profile.Profiler.profile_module ~inputs:b.Scaf_suite.Benchmark.train_inputs m
-  in
+  let m = Scaf_suite.Program.program b in
+  let p = Scaf_suite.Program.profiles b in
   let prog = p.Scaf_profile.Profiles.ctx in
   let modules =
     Scaf_analysis.Registry.create prog @ Scaf_speculation.Registry.create p
@@ -300,7 +298,7 @@ let test_chaos_corrupt_pipeline_recovers () =
         (Scaf_transform.Instrument.instrument prog ~checkpoints:lids
            plan.Scaf_transform.Plan.selected)
   in
-  let input = b.Scaf_suite.Benchmark.ref_input in
+  let input = Scaf_suite.Program.ref_input b in
   let reference = Eval.run ~input m in
   let a =
     Scaf_transform.Apply.run_adaptive ~original:m ~replan ~input

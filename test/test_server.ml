@@ -394,6 +394,54 @@ let test_daemon_end_to_end () =
             (Json.mem_or "admission" ~default:Json.Null st
             |> Json.string_member "state")))
 
+(* The incremental wire path: a client commits an edit to the daemon's
+   resident program; the daemon invalidates, bumps the epoch, and keeps
+   answering — no restart, no reload. *)
+let test_daemon_edit_roundtrip () =
+  let sock = scratch_sock () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let cfg =
+    { (Daemon.default_config ~socket_path:sock ()) with
+      Daemon.benchmarks = [ b ] }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let c, _ = Client.connect ~name:"edit-test" sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let ask_all () =
+            List.concat_map
+              (fun (loop, _, wqs) ->
+                List.map
+                  (fun wq ->
+                    Client.ask c ~bench:bench_name
+                      { wq with Protocol.wloop = loop })
+                  wqs)
+              (Client.queries c ~bench:bench_name)
+          in
+          let before = ask_all () in
+          checkb "workload answered" true (before <> []);
+          let r = Client.edit c ~bench:bench_name [ Protocol.WAuto ] in
+          checki "edit bumps the epoch" 1 r.Protocol.e_epoch;
+          checkb "edit names a touched function" true
+            (r.Protocol.e_touched_funcs <> []);
+          checkb "invalidation retained entries" true (r.Protocol.e_retained > 0);
+          checkb "invalidation evicted entries" true (r.Protocol.e_evicted > 0);
+          let after = ask_all () in
+          checki "same workload shape after edit" (List.length before)
+            (List.length after);
+          List.iter
+            (fun (a : Protocol.answer) ->
+              checkb "post-edit answers undegraded" true
+                (a.Protocol.a_degraded = None))
+            after;
+          (* a second edit round-trips against the already-edited program *)
+          let r2 = Client.edit c ~bench:bench_name [ Protocol.WAuto ] in
+          checki "second edit reaches epoch 2" 2 r2.Protocol.e_epoch))
+
 (* -- the full chaos matrix ------------------------------------------ *)
 
 let test_server_chaos_matrix () =
@@ -460,6 +508,8 @@ let suite =
       [
         Alcotest.test_case "end-to-end round-trip" `Quick
           test_daemon_end_to_end;
+        Alcotest.test_case "edit round-trips without restart" `Quick
+          test_daemon_edit_roundtrip;
         Alcotest.test_case "chaos matrix all green" `Slow
           test_server_chaos_matrix;
       ] );

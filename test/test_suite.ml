@@ -10,32 +10,30 @@ let checki = Alcotest.check Alcotest.int
 
 let test_all_parse_verify_run () =
   List.iter
-    (fun (b : Benchmark.t) ->
-      let m = Benchmark.program b in
+    (fun (b : Program.t) ->
+      let m = Program.program b in
       List.iter
         (fun input ->
           let r = Scaf_interp.Eval.run ~input m in
           checkb
-            (b.Benchmark.name ^ " produced output")
+            (Program.id b ^ " produced output")
             true
             (r.Scaf_interp.Eval.output <> []))
-        (b.Benchmark.train_inputs @ [ b.Benchmark.ref_input ]))
-    Registry.all
+        (Program.train_inputs b @ [ Program.ref_input b ]))
+    (Registry.all ())
 
-let test_sixteen_benchmarks () = checki "16 benchmarks" 16 (List.length Registry.all)
+let test_sixteen_benchmarks () =
+  checki "16 benchmarks" 16 (List.length (Registry.all ()))
 
 let test_hot_loop_count () =
   (* the paper evaluates 56 hot loops across the 16 benchmarks *)
   let total =
     List.fold_left
-      (fun acc (b : Benchmark.t) ->
-        let m = Benchmark.program b in
-        let p =
-          Scaf_profile.Profiler.profile_module ~inputs:b.Benchmark.train_inputs
-            m
-        in
+      (fun acc (b : Program.t) ->
+        ignore (Program.program b);
+        let p = Program.profiles b in
         acc + List.length (Scaf_pdg.Nodep.hot_loop_weights p))
-      0 Registry.all
+      0 (Registry.all ())
   in
   checki "56 hot loops" 56 total
 
@@ -48,18 +46,18 @@ let scheme_order b =
     100.0 -. e.Scaf_report.Experiments.observed.Scaf_pdg.Nodep.weighted_nodep
   in
   checkb
-    (Printf.sprintf "%s: CAF(%.1f) <= Confl(%.1f)" b.Benchmark.name caf conf)
+    (Printf.sprintf "%s: CAF(%.1f) <= Confl(%.1f)" (Program.id b) caf conf)
     true (caf <= conf +. 1e-9);
   checkb
-    (Printf.sprintf "%s: Confl(%.1f) <= SCAF(%.1f)" b.Benchmark.name conf scaf)
+    (Printf.sprintf "%s: Confl(%.1f) <= SCAF(%.1f)" (Program.id b) conf scaf)
     true (conf <= scaf +. 1e-9);
   (* SCAF strictly beats confluence on every benchmark (paper §5.1) *)
   checkb
-    (Printf.sprintf "%s: SCAF(%.1f) > Confl(%.1f)" b.Benchmark.name scaf conf)
+    (Printf.sprintf "%s: SCAF(%.1f) > Confl(%.1f)" (Program.id b) scaf conf)
     true (scaf > conf);
   ignore obs
 
-let test_scheme_order_all () = List.iter scheme_order Registry.all
+let test_scheme_order_all () = List.iter scheme_order (Registry.all ())
 
 (* Soundness spot-check: CAF (assertion-free static analysis) must never
    disprove a dependence that manifests during profiling. *)
@@ -67,10 +65,8 @@ let test_caf_sound_vs_observed () =
   List.iter
     (fun name ->
       let b = Option.get (Registry.find name) in
-      let m = Benchmark.program b in
-      let p =
-        Scaf_profile.Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
-      in
+      ignore (Program.program b);
+      let p = Program.profiles b in
       let prog = p.Scaf_profile.Profiles.ctx in
       let caf = Scaf_pdg.Schemes.caf p in
       List.iter
@@ -103,12 +99,10 @@ let test_speculation_end_to_end () =
   List.iter
     (fun name ->
       let b = Option.get (Registry.find name) in
-      let m = Benchmark.program b in
-      let p =
-        Scaf_profile.Profiler.profile_module ~inputs:b.Benchmark.train_inputs m
-      in
+      let m = Program.program b in
+      let p = Program.profiles b in
       let _plan, instrumented = Scaf_transform.Apply.speculate p in
-      let train = List.hd b.Benchmark.train_inputs in
+      let train = List.hd (Program.train_inputs b) in
       let ot =
         Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
           ~input:train ()
@@ -120,11 +114,11 @@ let test_speculation_end_to_end () =
         = (Scaf_interp.Eval.run ~input:train m).Scaf_interp.Eval.output);
       let oref =
         Scaf_transform.Apply.run_with_recovery ~original:m ~instrumented
-          ~input:b.Benchmark.ref_input ()
+          ~input:(Program.ref_input b) ()
       in
       checkb (name ^ ": ref output recovered") true
         (oref.Scaf_transform.Apply.result.Scaf_interp.Eval.output
-        = (Scaf_interp.Eval.run ~input:b.Benchmark.ref_input m)
+        = (Scaf_interp.Eval.run ~input:(Program.ref_input b) m)
             .Scaf_interp.Eval.output))
     [ "052.alvinn"; "175.vpr"; "429.mcf"; "462.libquantum" ]
 

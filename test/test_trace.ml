@@ -181,8 +181,8 @@ let test_metrics_parallel_counters () =
   let bench = Option.get (Scaf_suite.Registry.find "181.mcf") in
   let profiles =
     Scaf_profile.Profiler.profile_module
-      ~inputs:bench.Scaf_suite.Benchmark.train_inputs
-      (Scaf_suite.Benchmark.program bench)
+      ~inputs:(Scaf_suite.Program.train_inputs bench)
+      (Scaf_suite.Program.program bench)
   in
   let prog = profiles.Scaf_profile.Profiles.ctx in
   let lid = fst (List.hd (Nodep.hot_loop_weights profiles)) in
@@ -234,8 +234,8 @@ let prop_tracing_pure =
   let profiles =
     lazy
       (Scaf_profile.Profiler.profile_module
-         ~inputs:bench.Scaf_suite.Benchmark.train_inputs
-         (Scaf_suite.Benchmark.program bench))
+         ~inputs:(Scaf_suite.Program.train_inputs bench)
+         (Scaf_suite.Program.program bench))
   in
   QCheck.Test.make ~name:"tracing never changes a response" ~count:40
     QCheck.(
