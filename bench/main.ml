@@ -420,12 +420,12 @@ let incr_session =
 let incr_edit_roundtrip (s : Scaf_incremental.Session.t) =
   let module Session = Scaf_incremental.Session in
   match Session.edit s [ Session.auto_edit s ] with
-  | Error e -> failwith e
+  | Error e -> failwith (Scaf_lint.Diagnostic.to_summary e)
   | Ok (diff, _) -> (
       match diff.Scaf_suite.Edit.touched_instrs with
       | [ id ] -> (
           match Session.edit s [ Scaf_suite.Edit.Delete_instr { id } ] with
-          | Error e -> failwith e
+          | Error e -> failwith (Scaf_lint.Diagnostic.to_summary e)
           | Ok _ -> ())
       | _ -> failwith "roundtrip: unexpected diff")
 
@@ -462,7 +462,8 @@ let incremental_gate () =
       List.iter (fun q -> ignore (Session.ask s q)) (Session.workload s);
       match Session.edit s [ Session.auto_edit s ] with
       | Error e ->
-          Fmt.pr "%-16s EDIT FAILED: %s@." name e;
+          Fmt.pr "%-16s EDIT FAILED: %s@." name
+            (Scaf_lint.Diagnostic.to_summary e);
           incr fail
       | Ok _ ->
           Session.reset_counters s;

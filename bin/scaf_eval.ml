@@ -373,7 +373,7 @@ let run_watch name edits =
     Fmt.pr "@.edit %d: %a@." i Scaf_suite.Edit.pp_op op;
     match Session.edit s [ op ] with
     | Error e ->
-        Fmt.epr "edit failed: %s@." e;
+        List.iter (fun d -> Fmt.epr "%a@." Scaf_lint.Diagnostic.pp d) e;
         ok := false
     | Ok (diff, stats) ->
         Fmt.pr "  %a@." Scaf_suite.Edit.pp_diff diff;
@@ -416,13 +416,134 @@ let run_audit c json_out =
   if Scaf_audit.Audit.exit_code r <> 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* lint: the static-analysis gate, offline                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Lint one target — a suite benchmark name or a path to an MIR file —
+   into a diagnostic list (a parse failure is itself a diagnostic, so the
+   output shape is uniform). *)
+let lint_target (target : string) : Scaf_lint.Diagnostic.t list =
+  match Scaf_suite.Registry.find target with
+  | Some b -> (Scaf_suite.Program.lint b).Scaf_lint.Pass.diagnostics
+  | None ->
+      if not (Sys.file_exists target) then
+        Fmt.failwith "unknown benchmark or file %S" target
+      else (
+        match Scaf_ir.Parser.parse_exn_msg (read_file target) with
+        | exception Failure msg ->
+            [
+              Scaf_lint.Diagnostic.error ~code:"parse.error" ~pass:"parse"
+                "%s" msg;
+            ]
+        | m -> (Scaf_lint.Pass.run m).Scaf_lint.Pass.diagnostics)
+
+let run_lint targets all json =
+  let targets =
+    if all then
+      List.map Scaf_suite.Program.id (Scaf_suite.Registry.all ()) @ targets
+    else targets
+  in
+  if targets = [] then
+    Fmt.failwith "nothing to lint: name benchmarks or files, or pass --all";
+  let results = List.map (fun t -> (t, lint_target t)) targets in
+  (if json then
+     let open Scaf_server in
+     print_endline
+       (Json.to_string
+          (Json.List
+             (List.map
+                (fun (t, ds) ->
+                  Json.Obj
+                    [
+                      ("target", Json.String t);
+                      ( "errors",
+                        Json.Int (List.length (Scaf_lint.Diagnostic.errors ds))
+                      );
+                      ( "diagnostics",
+                        Json.List (List.map Protocol.diagnostic_to_json ds) );
+                    ])
+                results)))
+   else
+     List.iter
+       (fun (t, ds) ->
+         let errs = List.length (Scaf_lint.Diagnostic.errors ds) in
+         Fmt.pr "%s: %d diagnostic(s), %d error(s)@." t (List.length ds) errs;
+         List.iter (fun d -> Fmt.pr "  %a@." Scaf_lint.Diagnostic.pp d) ds)
+       results);
+  if List.exists (fun (_, ds) -> Scaf_lint.Diagnostic.errors ds <> []) results
+  then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* eval-file: canonical answers for a user program, in-process         *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_submit = 200_000
+
+(* One canonical line per PDG query of every hot loop, rendered with
+   [Protocol.render_answer] — the same function `ask replay` uses, so a
+   daemon replay of the same submitted program is byte-identical to this
+   local evaluation. The program goes through [Engine.submit], i.e.
+   exactly the daemon's lint gate. *)
+let run_eval_file file ident =
+  let open Scaf_server in
+  let id =
+    match ident with
+    | Some i -> i
+    | None -> Filename.remove_extension (Filename.basename file)
+  in
+  let eng = Engine.create ~benchmarks:[] () in
+  match
+    Engine.submit eng ~max_est_queries:default_max_submit
+      {
+        Protocol.wp_id = id;
+        wp_source = read_file file;
+        wp_train = None;
+        wp_ref = None;
+      }
+  with
+  | Error e ->
+      Fmt.epr "rejected [%s]: %s@." e.Protocol.code e.Protocol.msg;
+      List.iter
+        (fun d -> Fmt.epr "  %a@." Scaf_lint.Diagnostic.pp d)
+        e.Protocol.diags;
+      exit 1
+  | Ok (_report, b) ->
+      let w = Engine.worker eng in
+      let prog = Scaf_suite.Program.ctx b.Engine.program in
+      List.iter
+        (fun (lid, _weight) ->
+          List.iteri
+            (fun i (dq : Scaf_pdg.Pdg.dep_query) ->
+              let wq =
+                {
+                  Protocol.wloop = lid;
+                  wsrc = dq.Scaf_pdg.Pdg.src;
+                  wdst = dq.Scaf_pdg.Pdg.dst;
+                  wcross = dq.Scaf_pdg.Pdg.cross;
+                }
+              in
+              let a =
+                Engine.answer w ~degrade:Admission.Full ~deadline:None b wq
+              in
+              Fmt.pr "%s#%d %s@." lid i (Protocol.render_answer a))
+            (Scaf_pdg.Pdg.queries_of_loop prog lid))
+        (Engine.bench_loops b)
+
+(* ------------------------------------------------------------------ *)
 (* serve / ask: the query daemon and its client                        *)
 (* ------------------------------------------------------------------ *)
 
 let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock"
 
-let run_serve benchmarks socket workers capacity idle_timeout deadline_ms =
+let run_serve benchmarks socket workers capacity idle_timeout deadline_ms
+    static_nodep max_submit =
   let open Scaf_server in
   let base = Daemon.default_config ~socket_path:socket () in
   let cfg =
@@ -433,6 +554,8 @@ let run_serve benchmarks socket workers capacity idle_timeout deadline_ms =
       admission = { base.Daemon.admission with Admission.capacity };
       idle_timeout;
       default_deadline_ms = deadline_ms;
+      static_nodep;
+      max_submit_queries = max_submit;
     }
   in
   let t = Daemon.start cfg in
@@ -449,7 +572,7 @@ let with_client socket (f : Scaf_server.Client.t -> string list -> unit) =
 (* [ask fig8] renders the daemon's per-benchmark rows with exactly the
    batch code path, so a full-suite daemon replay is byte-identical to
    [scaf_eval fig8]. *)
-let run_ask what socket bench loop src dst cross deadline_ms =
+let run_ask what socket bench loop src dst cross deadline_ms file ident =
   let open Scaf_server in
   match what with
   | "fig8" ->
@@ -491,6 +614,57 @@ let run_ask what socket bench loop src dst cross deadline_ms =
             (match a.Protocol.a_degraded with
             | Some tag -> "  [degraded: " ^ tag ^ "]"
             | None -> ""))
+  | "submit" -> (
+      let file =
+        match file with
+        | Some f -> f
+        | None -> Fmt.failwith "ask submit needs --file"
+      in
+      let id =
+        match ident with
+        | Some i -> i
+        | None -> Filename.remove_extension (Filename.basename file)
+      in
+      with_client socket (fun c _ ->
+          match
+            Client.submit c
+              {
+                Protocol.wp_id = id;
+                wp_source = read_file file;
+                wp_train = None;
+                wp_ref = None;
+              }
+          with
+          | r ->
+              Fmt.pr
+                "submitted %s: ~%d dependence queries over %d hot loop(s), \
+                 %d warning(s)@."
+                r.Protocol.s_id r.Protocol.s_est_queries
+                (List.length r.Protocol.s_loops)
+                r.Protocol.s_warnings
+          | exception Client.Server_error e ->
+              Fmt.epr "rejected [%s]: %s@." e.Protocol.code e.Protocol.msg;
+              List.iter
+                (fun d -> Fmt.epr "  %a@." Scaf_lint.Diagnostic.pp d)
+                e.Protocol.diags;
+              exit 1))
+  | "replay" ->
+      (* the canonical-line twin of [eval-file]: fetch the benchmark's
+         workload and ask it query by query over the wire *)
+      let bench =
+        match bench with
+        | Some b -> b
+        | None -> Fmt.failwith "ask replay needs --bench"
+      in
+      with_client socket (fun c _ ->
+          List.iter
+            (fun (lid, _weight, qs) ->
+              List.iteri
+                (fun i q ->
+                  let a = Client.ask ?deadline_ms c ~bench q in
+                  Fmt.pr "%s#%d %s@." lid i (Protocol.render_answer a))
+                qs)
+            (Client.queries c ~bench))
   | other -> Fmt.failwith "unknown ask request %S" other
 
 let run_resilience seed =
@@ -679,7 +853,22 @@ let () =
                      & info [ "deadline-ms" ] ~docv:"MS"
                          ~doc:
                            "Default per-query deadline applied when a \
-                            request carries none.")));
+                            request carries none.")
+                 $ Arg.(
+                     value & flag
+                     & info [ "static-nodep" ]
+                         ~doc:
+                           "Answer provably-disjoint queries from the lint \
+                            layer's static pass before consulting the \
+                            orchestrator (answers are then not guaranteed \
+                            byte-identical to batch).")
+                 $ Arg.(
+                     value & opt int 200_000
+                     & info [ "max-submit-queries" ] ~docv:"N"
+                         ~doc:
+                           "Admission ceiling for $(b,submit): reject a \
+                            program whose statically estimated dependence \
+                            query count exceeds $(docv).")));
             (let socket_arg =
                Arg.(
                  value & opt string default_socket
@@ -692,15 +881,21 @@ let () =
                     "Query a running daemon: $(b,fig8) replays the whole \
                      Figure 8 evaluation through the wire (byte-identical \
                      to the batch command), $(b,query) asks one dependence \
-                     query, $(b,stats) dumps daemon health, $(b,shutdown) \
-                     stops the daemon.")
+                     query, $(b,submit) lint-gates and registers a user \
+                     program from $(b,--file), $(b,replay) re-asks a \
+                     benchmark's whole PDG workload (one canonical line \
+                     per query, byte-comparable to $(b,eval-file)), \
+                     $(b,stats) dumps daemon health, $(b,shutdown) stops \
+                     the daemon.")
                Term.(
                  const run_ask
                  $ Arg.(
                      required
                      & pos 0 (some string) None
                      & info [] ~docv:"WHAT"
-                         ~doc:"One of: fig8, query, ping, stats, shutdown.")
+                         ~doc:
+                           "One of: fig8, query, submit, replay, ping, \
+                            stats, shutdown.")
                  $ socket_arg
                  $ Arg.(
                      value
@@ -728,7 +923,62 @@ let () =
                      value
                      & opt (some float) None
                      & info [ "deadline-ms" ] ~docv:"MS"
-                         ~doc:"Per-request deadline in milliseconds.")));
+                         ~doc:"Per-request deadline in milliseconds.")
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "file" ] ~docv:"FILE"
+                         ~doc:"MIR source file for $(b,submit).")
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "id" ] ~docv:"NAME"
+                         ~doc:
+                           "Program id for $(b,submit) (default: the file \
+                            name without extension).")));
+            Cmd.v
+              (Cmd.info "lint"
+                 ~doc:
+                   "Run the static-analysis framework over suite benchmarks \
+                    and/or MIR files: well-formedness, SSA and loop checks, \
+                    dead-code and memory-sanity lints, per-loop query-cost \
+                    estimates. Exits non-zero if any target has errors.")
+              Term.(
+                const run_lint
+                $ Arg.(
+                    value & pos_all string []
+                    & info [] ~docv:"TARGET"
+                        ~doc:"Benchmark name or MIR file path (repeatable).")
+                $ Arg.(
+                    value & flag
+                    & info [ "all" ] ~doc:"Lint every suite benchmark.")
+                $ Arg.(
+                    value & flag
+                    & info [ "json" ]
+                        ~doc:
+                          "Machine-readable output: one JSON object per \
+                           target with its diagnostics."));
+            Cmd.v
+              (Cmd.info "eval-file"
+                 ~doc:
+                   "Lint-gate a user MIR program (the daemon's submission \
+                    gate, in-process) and answer its full PDG workload, one \
+                    canonical line per query — byte-comparable to \
+                    $(b,ask replay) of the same program submitted to a \
+                    daemon.")
+              Term.(
+                const run_eval_file
+                $ Arg.(
+                    required
+                    & pos 0 (some string) None
+                    & info [] ~docv:"FILE" ~doc:"MIR source file.")
+                $ Arg.(
+                    value
+                    & opt (some string) None
+                    & info [ "id" ] ~docv:"NAME"
+                        ~doc:
+                          "Program id (default: the file name without \
+                           extension)."));
             Cmd.v
               (Cmd.info "resilience"
                  ~doc:"Seeded fault-injection matrix: recovery + chaos")

@@ -105,9 +105,10 @@ let workload (t : t) : Query.t list =
 
 (** Apply an edit script, re-profile, and run the invalidation pass.
     On [Ok] the session is at the new epoch with a rebuilt orchestrator
-    over the surviving cache entries; on [Error] it is untouched. *)
+    over the surviving cache entries; on [Error] it is untouched and the
+    lint/edit diagnostics say why. *)
 let edit (t : t) (ops : Edit.op list) :
-    (Edit.diff * Invalidate.stats, string) result =
+    (Edit.diff * Invalidate.stats, Scaf_lint.Diagnostic.t list) result =
   let old_m = Program.program t.program in
   let old_fp = Fingerprint.of_profiles (Program.profiles t.program) in
   match Edit.apply_all t.program ops with

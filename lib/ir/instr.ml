@@ -135,11 +135,15 @@ let pp_kind ppf = function
   | Select { cond; if_true; if_false } ->
       Fmt.pf ppf "select %a, %a, %a" Value.pp cond Value.pp if_true Value.pp
         if_false
+  (* The surface syntax is line-oriented: an instruction must print on a
+     single line to reparse, so the separators below are non-breaking. *)
   | Call { callee; args } ->
-      Fmt.pf ppf "call @%s(%a)" callee (Fmt.list ~sep:Fmt.comma Value.pp) args
+      Fmt.pf ppf "call @%s(%a)" callee
+        (Fmt.list ~sep:(Fmt.any ", ") Value.pp)
+        args
   | Phi incoming ->
       let pp_in ppf (l, v) = Fmt.pf ppf "[%s: %a]" l Value.pp v in
-      Fmt.pf ppf "phi %a" (Fmt.list ~sep:Fmt.comma pp_in) incoming
+      Fmt.pf ppf "phi %a" (Fmt.list ~sep:(Fmt.any ", ") pp_in) incoming
 
 let pp ppf (i : t) =
   match i.dst with

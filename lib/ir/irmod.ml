@@ -77,7 +77,7 @@ let pp ppf (m : t) =
       | [] -> ()
       | init ->
           let pp_pair ppf (o, v) = Fmt.pf ppf "%d: %Ld" o v in
-          Fmt.pf ppf " init [%a]" (Fmt.list ~sep:Fmt.comma pp_pair) init);
+          Fmt.pf ppf " init [%a]" (Fmt.list ~sep:(Fmt.any ", ") pp_pair) init);
       Fmt.pf ppf "@.")
     m.globals;
   if m.globals <> [] then Fmt.pf ppf "@.";

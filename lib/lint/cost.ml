@@ -1,0 +1,148 @@
+(** Static cost estimator: per-loop instruction and memory-operation
+    counts, and the number of dependence queries the PDG client would
+    issue for the loop if it were hot.
+
+    The query estimate mirrors [Scaf_pdg.Pdg.queries_of_loop] exactly
+    (kept local to avoid a dependency cycle through the suite): every
+    ordered pair of memory operations with at least one potential writer
+    costs an intra- and a cross-iteration query, and each writer costs
+    one cross-iteration self query. With [m] memory ops of which [w] may
+    write: [2*(m*(m-1) - (m-w)*(m-w-1)) + w].
+
+    The daemon's admission control uses the module total as the a priori
+    cost of a submitted program — a submission whose loops would explode
+    into more queries than the configured budget is rejected before any
+    profiling or analysis runs. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+let pass_name = "cost"
+
+(* Mirrors [Scaf_pdg.Pdg.is_mem_op] / [may_write]. *)
+let is_mem_op (m : Irmod.t) (i : Instr.t) : bool =
+  match i.Instr.kind with
+  | Instr.Load _ | Instr.Store _ -> true
+  | Instr.Call { callee; _ } ->
+      not
+        (Irmod.has_attr m callee Func.Readnone
+        || Irmod.has_attr m callee Func.Malloc_like)
+  | _ -> false
+
+let may_write (m : Irmod.t) (i : Instr.t) : bool =
+  match i.Instr.kind with
+  | Instr.Store _ -> true
+  | Instr.Call { callee; _ } ->
+      is_mem_op m i && not (Irmod.has_attr m callee Func.Readonly)
+  | _ -> false
+
+let est_queries ~(mem_ops : int) ~(writers : int) : int =
+  let r = mem_ops - writers in
+  (2 * ((mem_ops * (mem_ops - 1)) - (r * (r - 1)))) + writers
+
+type loop_cost = {
+  lfunc : string;
+  lid : string;
+  depth : int;
+  blocks : int;
+  instrs : int;  (** non-terminator instructions in loop blocks *)
+  mem_ops : int;
+  writers : int;
+  est : int;  (** dependence queries the PDG client would issue *)
+}
+
+type summary = {
+  loops : loop_cost list;
+  total_instrs : int;  (** whole module, loops or not *)
+  total_mem_ops : int;
+  total_est : int;
+      (** sum over all loops; nested loops count at each depth, as the
+          client queries each loop level separately *)
+}
+
+let of_ctx ?funcs (prog : Progctx.t) : summary =
+  let m = prog.Progctx.m in
+  let selected (f : Func.t) =
+    match funcs with None -> true | Some fs -> List.mem f.Func.name fs
+  in
+  let loops =
+    List.concat_map
+      (fun (f : Func.t) ->
+        if not (selected f) then []
+        else
+          match
+            (Progctx.cfg_of prog f.Func.name, Progctx.loops_of prog f.Func.name)
+          with
+          | Some cfg, Some li ->
+              List.map
+                (fun (l : Loops.loop) ->
+                  let instrs, mem, wr =
+                    Loops.Int_set.fold
+                      (fun bi (n, mm, ww) ->
+                        List.fold_left
+                          (fun (n, mm, ww) i ->
+                            ( n + 1,
+                              (if is_mem_op m i then mm + 1 else mm),
+                              if may_write m i then ww + 1 else ww ))
+                          (n, mm, ww)
+                          (Cfg.block cfg bi).Block.instrs)
+                      l.Loops.blocks (0, 0, 0)
+                  in
+                  {
+                    lfunc = f.Func.name;
+                    lid = l.Loops.lid;
+                    depth = l.Loops.depth;
+                    blocks = Loops.Int_set.cardinal l.Loops.blocks;
+                    instrs;
+                    mem_ops = mem;
+                    writers = wr;
+                    est = est_queries ~mem_ops:mem ~writers:wr;
+                  })
+                li.Loops.loops
+          | _ -> [])
+      m.Irmod.funcs
+  in
+  let total_instrs =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        if selected f then acc + List.length (Func.instrs f) else acc)
+      0 m.Irmod.funcs
+  in
+  let total_mem_ops =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        if selected f then
+          Func.fold_instrs f
+            (fun acc _ i -> if is_mem_op m i then acc + 1 else acc)
+            acc
+        else acc)
+      0 m.Irmod.funcs
+  in
+  {
+    loops;
+    total_instrs;
+    total_mem_ops;
+    total_est = List.fold_left (fun acc l -> acc + l.est) 0 loops;
+  }
+
+let diagnostics (s : summary) : Diagnostic.t list =
+  List.map
+    (fun (l : loop_cost) ->
+      Diagnostic.info ~func:l.lfunc ~loop:l.lid ~code:"cost.loop"
+        ~pass:pass_name
+        "%d block(s), %d instr(s), %d mem op(s) (%d writer(s)) — about %d \
+         dependence queries"
+        l.blocks l.instrs l.mem_ops l.writers l.est)
+    s.loops
+
+let run ?funcs (prog : Progctx.t) : Diagnostic.t list =
+  diagnostics (of_ctx ?funcs prog)
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf "module: %d instrs, %d mem ops, ~%d queries over %d loop(s)@."
+    s.total_instrs s.total_mem_ops s.total_est (List.length s.loops);
+  List.iter
+    (fun (l : loop_cost) ->
+      Fmt.pf ppf "  %-24s depth %d  %3d instrs  %3d mem ops  ~%d queries@."
+        l.lid l.depth l.instrs l.mem_ops l.est)
+    s.loops

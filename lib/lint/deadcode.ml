@@ -1,0 +1,124 @@
+(** Dead-code lints: unreachable blocks, block-local overwritten stores
+    and never-read stack allocations.
+
+    Codes (all warnings — dead code is legal MIR, just suspicious):
+    - [cfg.unreachable-block]: not reachable from the entry.
+    - [dead.store-overwritten]: a store whose exact (pointer, size) cell
+      is stored again in the same block with no intervening load or call.
+      Intervening stores to *other* pointers cannot rescue the first
+      store — only reads can observe its value.
+    - [dead.alloca-unread]: an alloca whose derived pointers are only
+      ever used as store destinations or GEP bases — written, never
+      read, never escaping. *)
+
+open Scaf_ir
+open Scaf_cfg
+module Sset = Set.Make (String)
+
+let pass_name = "deadcode"
+
+let unreachable (fname : string) (cfg : Cfg.t) : Diagnostic.t list =
+  List.map
+    (fun bi ->
+      Diagnostic.warning ~func:fname ~block:(Cfg.label cfg bi)
+        ~code:"cfg.unreachable-block" ~pass:pass_name
+        "block %s is unreachable from the entry" (Cfg.label cfg bi))
+    (Cfg.unreachable_blocks cfg)
+
+let block_dead_stores (fname : string) (b : Block.t) : Diagnostic.t list =
+  (* (pointer value, size) -> the as-yet-unread store to that cell *)
+  let pending : ((Value.t * int) * Instr.t) list ref = ref [] in
+  let diags = ref [] in
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Store { ptr; size; _ } ->
+          (match List.assoc_opt (ptr, size) !pending with
+          | Some (prev : Instr.t) ->
+              diags :=
+                Diagnostic.warning ~func:fname ~block:b.Block.label
+                  ~instr:prev.Instr.id ~code:"dead.store-overwritten"
+                  ~pass:pass_name
+                  "store (instr %d) is overwritten by instr %d before any \
+                   possible read"
+                  prev.Instr.id i.Instr.id
+                :: !diags
+          | None -> ());
+          pending := ((ptr, size), i) :: List.remove_assoc (ptr, size) !pending
+      | Instr.Load _ | Instr.Call _ ->
+          (* conservatively, anything might be read now *)
+          pending := []
+      | _ -> ())
+    b.Block.instrs;
+  List.rev !diags
+
+(* All registers derived from [d] by GEP chains. *)
+let derived_of (f : Func.t) (d : string) : Sset.t =
+  let step s =
+    Func.fold_instrs f
+      (fun s _ (i : Instr.t) ->
+        match (i.Instr.kind, i.Instr.dst) with
+        | Instr.Gep { base = Value.Reg r; _ }, Some dst when Sset.mem r s ->
+            Sset.add dst s
+        | _ -> s)
+      s
+  in
+  let rec fix s =
+    let s' = step s in
+    if Sset.equal s' s then s else fix s'
+  in
+  fix (Sset.singleton d)
+
+(* Is any register of [s] used other than as a store destination or GEP
+   base? (A load through it, an escape, or pointer forging all count.) *)
+let read_or_escapes (f : Func.t) (s : Sset.t) : bool =
+  let bad = ref false in
+  let check (v : Value.t) =
+    match v with Value.Reg r when Sset.mem r s -> bad := true | _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with
+          | Instr.Gep { offset; _ } -> check offset
+          | Instr.Store { value; _ } -> check value
+          | _ -> List.iter check (Instr.operands i))
+        b.Block.instrs;
+      List.iter check (Instr.term_operands b.Block.term))
+    f.Func.blocks;
+  !bad
+
+let alloca_unread (fname : string) (f : Func.t) : Diagnostic.t list =
+  Func.fold_instrs f
+    (fun acc (b : Block.t) (i : Instr.t) ->
+      match (i.Instr.kind, i.Instr.dst) with
+      | Instr.Alloca { size }, Some d ->
+          if read_or_escapes f (derived_of f d) then acc
+          else
+            Diagnostic.warning ~func:fname ~block:b.Block.label
+              ~instr:i.Instr.id ~code:"dead.alloca-unread" ~pass:pass_name
+              "%d-byte alloca %%%s is never read" size d
+            :: acc
+      | _ -> acc)
+    []
+  |> List.rev
+
+let run ?funcs (prog : Progctx.t) : Diagnostic.t list =
+  let selected (f : Func.t) =
+    match funcs with None -> true | Some fs -> List.mem f.Func.name fs
+  in
+  List.concat_map
+    (fun (f : Func.t) ->
+      if not (selected f) then []
+      else
+        let fname = f.Func.name in
+        let unreach =
+          match Progctx.cfg_of prog fname with
+          | Some cfg -> unreachable fname cfg
+          | None -> []
+        in
+        unreach
+        @ List.concat_map (block_dead_stores fname) f.Func.blocks
+        @ alloca_unread fname f)
+    prog.Progctx.m.Irmod.funcs

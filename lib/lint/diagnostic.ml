@@ -1,0 +1,120 @@
+(** Structured lint diagnostics.
+
+    Every finding of the static-analysis framework is one {!t}: a
+    machine-readable [code] (stable, dot-separated, e.g. ["wf.ssa"] or
+    ["mem.escape-ret"]), the [pass] that produced it, a {!severity}, a
+    source {!span} (function / block / loop / instruction — all optional,
+    refined as far as the pass can localize), and a human-readable
+    message.
+
+    Diagnostics replaced the ad-hoc error strings of the edit/verify
+    paths: callers render them with {!pp} (one line each), machine
+    consumers key on [code], and the wire protocol serializes them whole
+    so a rejected submission carries its full lint report. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_name = function
+  | "error" -> Error
+  | "warning" -> Warning
+  | "info" -> Info
+  | s -> invalid_arg (Printf.sprintf "Diagnostic.severity_of_name: %S" s)
+
+(** Where in the program the finding points. Everything is optional: a
+    module-wide finding carries nothing, a well-localized one carries the
+    function, block and instruction id. *)
+type span = {
+  func : string option;
+  block : string option;
+  loop : string option;  (** loop id, ["func:header_label"] *)
+  instr : int option;  (** instruction id *)
+}
+
+let no_span = { func = None; block = None; loop = None; instr = None }
+
+type t = {
+  code : string;  (** stable machine-readable identity *)
+  severity : severity;
+  pass : string;  (** producing pass *)
+  span : span;
+  message : string;
+}
+
+let make ?func ?block ?loop ?instr ~code ~pass (severity : severity)
+    (message : string) : t =
+  { code; severity; pass; span = { func; block; loop; instr }; message }
+
+let error ?func ?block ?loop ?instr ~code ~pass fmt =
+  Fmt.kstr (fun m -> make ?func ?block ?loop ?instr ~code ~pass Error m) fmt
+
+let warning ?func ?block ?loop ?instr ~code ~pass fmt =
+  Fmt.kstr (fun m -> make ?func ?block ?loop ?instr ~code ~pass Warning m) fmt
+
+let info ?func ?block ?loop ?instr ~code ~pass fmt =
+  Fmt.kstr (fun m -> make ?func ?block ?loop ?instr ~code ~pass Info m) fmt
+
+let is_error (d : t) : bool = d.severity = Error
+
+(** Parse a [Scaf_ir.Verify.error]'s ["@func:block"] / ["@func"] location
+    into a span. *)
+let span_of_where (where : string) : span =
+  let where =
+    if String.length where > 0 && where.[0] = '@' then
+      String.sub where 1 (String.length where - 1)
+    else where
+  in
+  match String.index_opt where ':' with
+  | Some i ->
+      {
+        no_span with
+        func = Some (String.sub where 0 i);
+        block = Some (String.sub where (i + 1) (String.length where - i - 1));
+      }
+  | None -> { no_span with func = (if where = "" then None else Some where) }
+
+let pp_span ppf (s : span) =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (fun f -> "@" ^ f) s.func;
+        Option.map (fun b -> b) s.block;
+        Option.map (fun l -> "loop " ^ l) s.loop;
+        Option.map (fun i -> Printf.sprintf "instr %d" i) s.instr;
+      ]
+  in
+  match parts with
+  | [] -> Fmt.string ppf "<module>"
+  | parts -> Fmt.string ppf (String.concat ":" parts)
+
+(** One line: [severity[code] span: message]. *)
+let pp ppf (d : t) =
+  Fmt.pf ppf "%s[%s] %a: %s" (severity_name d.severity) d.code pp_span d.span
+    d.message
+
+(** Deterministic ordering: severity (errors first), then function,
+    instruction, code, message. *)
+let compare (a : t) (b : t) : int =
+  let sev = function Error -> 0 | Warning -> 1 | Info -> 2 in
+  let c = Stdlib.compare (sev a.severity) (sev b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.span.func b.span.func in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.span.instr b.span.instr in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c else String.compare a.message b.message
+
+let errors (ds : t list) : t list = List.filter is_error ds
+
+(** Render a diagnostic list as one semicolon-joined line — the bridge for
+    callers that still want a flat error string (logs, [failwith]). *)
+let to_summary (ds : t list) : string =
+  String.concat "; " (List.map (fun d -> Fmt.str "%a" pp d) ds)

@@ -1,0 +1,100 @@
+(** Loop well-formedness pass: the structural assumptions the profilers
+    and speculation modules rely on.
+
+    - [loop.irreducible] (error): a cycle that is not a natural loop.
+      Natural-loop detection only sees back edges whose target dominates
+      their source, so an irreducible cycle silently produces *no* loop
+      info — the loop-aware profiler and every cross-iteration query
+      would ignore it. Detected as a DFS retreating edge whose target
+      does not dominate its source.
+    - [loop.no-preheader] (warning): the header is not entered through a
+      single dedicated preheader block.
+    - [loop.multi-latch] (warning): more than one back edge. *)
+
+open Scaf_cfg
+
+let pass_name = "loopcheck"
+
+let irreducible (fname : string) (cfg : Cfg.t) (dom : Dom.t) :
+    Diagnostic.t list =
+  let n = Cfg.num_blocks cfg in
+  (* 0 = unvisited, 1 = on the DFS stack, 2 = done *)
+  let state = Array.make n 0 in
+  let diags = ref [] in
+  let rec dfs a =
+    state.(a) <- 1;
+    List.iter
+      (fun b ->
+        if state.(b) = 0 then dfs b
+        else if state.(b) = 1 && not (Dom.dominates dom b a) then
+          diags :=
+            Diagnostic.error ~func:fname ~block:(Cfg.label cfg b)
+              ~code:"loop.irreducible" ~pass:pass_name
+              "cycle through %s is irreducible (retreating edge %s -> %s \
+               does not target a dominator); no loop info will exist for it"
+              (Cfg.label cfg b) (Cfg.label cfg a) (Cfg.label cfg b)
+            :: !diags)
+      cfg.Cfg.succs.(a);
+    state.(a) <- 2
+  in
+  dfs Cfg.entry_index;
+  List.rev !diags
+
+let loop_shape (fname : string) (cfg : Cfg.t) (li : Loops.t) :
+    Diagnostic.t list =
+  List.concat_map
+    (fun (l : Loops.loop) ->
+      let header_label = Cfg.label cfg l.Loops.header in
+      let multi_latch =
+        let k = List.length l.Loops.latches in
+        if k > 1 then
+          [
+            Diagnostic.warning ~func:fname ~block:header_label
+              ~loop:l.Loops.lid ~code:"loop.multi-latch" ~pass:pass_name
+              "loop has %d back edges; profilers assume a single latch" k;
+          ]
+        else []
+      in
+      let outside =
+        List.filter
+          (fun p -> not (Loops.contains l p))
+          cfg.Cfg.preds.(l.Loops.header)
+      in
+      let preheader =
+        match outside with
+        | [ p ] when List.length cfg.Cfg.succs.(p) = 1 -> []
+        | [ p ] ->
+            [
+              Diagnostic.warning ~func:fname ~block:header_label
+                ~loop:l.Loops.lid ~code:"loop.no-preheader" ~pass:pass_name
+                "entry block %s also branches elsewhere — the loop has no \
+                 dedicated preheader"
+                (Cfg.label cfg p);
+            ]
+        | ps ->
+            [
+              Diagnostic.warning ~func:fname ~block:header_label
+                ~loop:l.Loops.lid ~code:"loop.no-preheader" ~pass:pass_name
+                "header is entered by %d out-of-loop edges instead of one \
+                 preheader"
+                (List.length ps);
+            ]
+      in
+      multi_latch @ preheader)
+    li.Loops.loops
+
+let run ?funcs (prog : Progctx.t) : Diagnostic.t list =
+  let selected (f : Scaf_ir.Func.t) =
+    match funcs with None -> true | Some fs -> List.mem f.Scaf_ir.Func.name fs
+  in
+  List.concat_map
+    (fun (f : Scaf_ir.Func.t) ->
+      if not (selected f) then []
+      else
+        let fname = f.Scaf_ir.Func.name in
+        match (Progctx.cfg_of prog fname, Progctx.loops_of prog fname) with
+        | Some cfg, Some li ->
+            let dom = Dom.compute cfg in
+            irreducible fname cfg dom @ loop_shape fname cfg li
+        | _ -> [])
+    prog.Progctx.m.Scaf_ir.Irmod.funcs

@@ -1,0 +1,136 @@
+(** Memory-region sanity pass, built on [Scaf_analysis.Ptrexpr].
+
+    - [mem.null-deref] (error): a load/store whose pointer resolves only
+      to null.
+    - [mem.oob-global] / [mem.oob-alloca]: a constant-offset access that
+      falls outside its object's byte range. An error when the pointer
+      resolves to exactly one object (the access *will* be out of
+      bounds); a warning when the resolution is ambiguous.
+    - [mem.escape-ret] (error): returning a pointer into stack storage —
+      the caller would hold a dangling pointer, and every alias analysis
+      here assumes allocas do not outlive their frame.
+    - [mem.escape-store] (warning): the address of an alloca is itself
+      stored to memory; region-based reasoning about it degrades. *)
+
+open Scaf_ir
+open Scaf_cfg
+open Scaf_analysis
+
+let pass_name = "memsanity"
+
+let obj_size (prog : Progctx.t) (b : Ptrexpr.base) : int option =
+  match b with
+  | Ptrexpr.BGlobal g ->
+      Option.map
+        (fun (g : Irmod.global) -> g.Irmod.gsize)
+        (Irmod.find_global prog.Progctx.m g)
+  | Ptrexpr.BAlloca id -> (
+      match Progctx.occ prog id with
+      | Some { Irmod.Index.instr = { Instr.kind = Instr.Alloca { size }; _ }; _ }
+        ->
+          Some size
+      | _ -> None)
+  | _ -> None
+
+let access_word (i : Instr.t) : string =
+  match i.Instr.kind with Instr.Store _ -> "store" | _ -> "load"
+
+let check_footprint (prog : Progctx.t) (fname : string) (b : Block.t)
+    (i : Instr.t) (ptr : Value.t) (size : int) : Diagnostic.t list =
+  let rs = Ptrexpr.resolve prog ~fname ptr in
+  if
+    rs <> []
+    && List.for_all (fun (x : Ptrexpr.t) -> x.Ptrexpr.base = Ptrexpr.BNull) rs
+  then
+    [
+      Diagnostic.error ~func:fname ~block:b.Block.label ~instr:i.Instr.id
+        ~code:"mem.null-deref" ~pass:pass_name "%s through null pointer %a"
+        (access_word i) Value.pp ptr;
+    ]
+  else
+    let ambiguous = List.length rs > 1 in
+    List.filter_map
+      (fun (x : Ptrexpr.t) ->
+        match (obj_size prog x.Ptrexpr.base, x.Ptrexpr.off) with
+        | Some osz, Some off
+          when Int64.compare off 0L < 0
+               || Int64.compare
+                    (Int64.add off (Int64.of_int size))
+                    (Int64.of_int osz)
+                  > 0 ->
+            let code =
+              match x.Ptrexpr.base with
+              | Ptrexpr.BGlobal _ -> "mem.oob-global"
+              | _ -> "mem.oob-alloca"
+            in
+            let mk = if ambiguous then Diagnostic.warning else Diagnostic.error in
+            Some
+              (mk ~func:fname ~block:b.Block.label ~instr:i.Instr.id ~code
+                 ~pass:pass_name
+                 "%s of %d byte(s) at %a+%Ld is outside the %d-byte object"
+                 (access_word i) size Ptrexpr.pp_base x.Ptrexpr.base off osz)
+        | _ -> None)
+      rs
+
+let stack_bases (prog : Progctx.t) (fname : string) (v : Value.t) : int list =
+  List.filter_map
+    (fun (x : Ptrexpr.t) ->
+      match x.Ptrexpr.base with Ptrexpr.BAlloca id -> Some id | _ -> None)
+    (Ptrexpr.resolve prog ~fname v)
+
+let run ?funcs (prog : Progctx.t) : Diagnostic.t list =
+  let selected (f : Func.t) =
+    match funcs with None -> true | Some fs -> List.mem f.Func.name fs
+  in
+  List.concat_map
+    (fun (f : Func.t) ->
+      if not (selected f) then []
+      else
+        let fname = f.Func.name in
+        List.concat_map
+          (fun (b : Block.t) ->
+            let per_instr =
+              List.concat_map
+                (fun (i : Instr.t) ->
+                  let footprint =
+                    match Instr.footprint i with
+                    | Some (ptr, size) -> check_footprint prog fname b i ptr size
+                    | None -> []
+                  in
+                  let escape_store =
+                    match i.Instr.kind with
+                    | Instr.Store { value; _ } -> (
+                        match stack_bases prog fname value with
+                        | [] -> []
+                        | id :: _ ->
+                            [
+                              Diagnostic.warning ~func:fname
+                                ~block:b.Block.label ~instr:i.Instr.id
+                                ~code:"mem.escape-store" ~pass:pass_name
+                                "address of stack allocation (instr %d) is \
+                                 stored to memory"
+                                id;
+                            ])
+                    | _ -> []
+                  in
+                  footprint @ escape_store)
+                b.Block.instrs
+            in
+            let escape_ret =
+              match b.Block.term.Instr.tkind with
+              | Instr.Ret (Some v) -> (
+                  match stack_bases prog fname v with
+                  | [] -> []
+                  | id :: _ ->
+                      [
+                        Diagnostic.error ~func:fname ~block:b.Block.label
+                          ~code:"mem.escape-ret" ~pass:pass_name
+                          "returning a pointer into stack allocation (instr \
+                           %d); it dies with this frame"
+                          id;
+                      ])
+              | _ -> []
+            in
+            per_instr @ escape_ret)
+          f.Func.blocks)
+    prog.Progctx.m.Irmod.funcs

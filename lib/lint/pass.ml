@@ -1,0 +1,116 @@
+(** The lint pass manager.
+
+    A {!t} is a named analysis producing diagnostics over a module.
+    Passes that need CFG/loop information ([needs_ctx]) only run once the
+    context-free well-formedness passes report no errors — building a
+    [Progctx] over a structurally broken module raises — and receive a
+    [Progctx.t] built once and shared; {!report} hands that context back
+    so callers (e.g. [Program.commit]) can keep it instead of rebuilding.
+
+    [?funcs] restricts function-local passes to the named functions —
+    the Edit API re-lints only the functions an edit touched.
+    Module-wide checks (id uniqueness, callee resolution) always run;
+    they are cross-function properties and cheap.
+
+    With [?metrics], per-pass wall time goes to histograms
+    [lint.pass.<name>_s] and diagnostic counts to counters
+    [lint.diagnostics.errors] / [lint.diagnostics.warnings]. *)
+
+open Scaf_ir
+open Scaf_cfg
+
+type t = {
+  name : string;
+  needs_ctx : bool;
+  run :
+    funcs:string list option ->
+    Progctx.t option ->
+    Irmod.t ->
+    Diagnostic.t list;
+}
+
+let wellformed : t =
+  {
+    name = "wellformed";
+    needs_ctx = false;
+    run = (fun ~funcs _ m -> Wellformed.run ?funcs m);
+  }
+
+let ctx_pass name f : t =
+  {
+    name;
+    needs_ctx = true;
+    run =
+      (fun ~funcs prog _m ->
+        match prog with Some p -> f ?funcs:funcs p | None -> []);
+  }
+
+let loopcheck : t = ctx_pass "loopcheck" Loopcheck.run
+let deadcode : t = ctx_pass "deadcode" Deadcode.run
+let memsanity : t = ctx_pass "memsanity" Memsanity.run
+let cost : t = ctx_pass "cost" Cost.run
+
+(** The standard suite, in execution order. *)
+let default : t list = [ wellformed; loopcheck; deadcode; memsanity; cost ]
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted: errors first *)
+  timings : (string * float) list;  (** (pass, seconds), execution order *)
+  skipped : string list;
+      (** context passes not run because well-formedness failed *)
+  ctx : Progctx.t option;
+      (** the analysis context built for the context passes, for reuse *)
+}
+
+let errors (r : report) : Diagnostic.t list = Diagnostic.errors r.diagnostics
+let clean (r : report) : bool = errors r = []
+
+let run ?metrics ?funcs ?(passes = default) (m : Irmod.t) : report =
+  let diags = ref [] and timings = ref [] in
+  let observe name dt =
+    timings := (name, dt) :: !timings;
+    match metrics with
+    | Some reg ->
+        Scaf_trace.Metrics.observe
+          (Scaf_trace.Metrics.histogram reg ("lint.pass." ^ name ^ "_s"))
+          dt
+    | None -> ()
+  in
+  let run_pass prog (p : t) =
+    let t0 = Sys.time () in
+    let ds = p.run ~funcs prog m in
+    observe p.name (Sys.time () -. t0);
+    diags := !diags @ ds
+  in
+  let pre, needing_ctx = List.partition (fun p -> not p.needs_ctx) passes in
+  List.iter (run_pass None) pre;
+  let ctx, skipped =
+    if List.exists Diagnostic.is_error !diags then
+      (None, List.map (fun p -> p.name) needing_ctx)
+    else begin
+      let prog = Progctx.build m in
+      List.iter (run_pass (Some prog)) needing_ctx;
+      (Some prog, [])
+    end
+  in
+  let diagnostics = List.stable_sort Diagnostic.compare !diags in
+  (match metrics with
+  | Some reg ->
+      let count sev =
+        List.length
+          (List.filter (fun d -> d.Diagnostic.severity = sev) diagnostics)
+      in
+      Scaf_trace.Metrics.add
+        (Scaf_trace.Metrics.counter reg "lint.diagnostics.errors")
+        (count Diagnostic.Error);
+      Scaf_trace.Metrics.add
+        (Scaf_trace.Metrics.counter reg "lint.diagnostics.warnings")
+        (count Diagnostic.Warning)
+  | None -> ());
+  { diagnostics; timings = List.rev !timings; skipped; ctx }
+
+let pp_report ppf (r : report) =
+  List.iter (fun d -> Fmt.pf ppf "%a@." Diagnostic.pp d) r.diagnostics;
+  if r.skipped <> [] then
+    Fmt.pf ppf "(skipped: %s — fix well-formedness errors first)@."
+      (String.concat ", " r.skipped)

@@ -1,0 +1,60 @@
+(** Static quick-answer pass: resolve provably-disjoint-region queries
+    before any speculation module is consulted (in the spirit of a
+    purely static dependence pre-pass; see PAPERS.md, Staticdeps).
+
+    Soundness mirrors [Scaf_analysis.Basic_aa] — the reference for what
+    static reasoning this framework considers safe: both pointers must
+    resolve to a *single* base each; distinct concrete objects never
+    overlap; the same object with two constant offsets is disjoint only
+    when the byte intervals miss each other and the allocation site's
+    dynamic instance is stable across the query's temporal scope.
+
+    The engine consults this (opt-in, [--static-nodep]) before the
+    orchestrator; hits are counted in [Metrics] and never cached — they
+    are cheaper than a cache probe. *)
+
+open Scaf
+open Scaf_cfg
+open Scaf_analysis
+
+let provenance = Response.Sset.singleton "static-nodep"
+
+let disjoint (prog : Progctx.t) ~(tr : Query.temporal) ~(lid : string option)
+    (l1 : Query.memloc) (l2 : Query.memloc) : bool =
+  match
+    ( Ptrexpr.resolve prog ~fname:l1.Query.fname l1.Query.ptr,
+      Ptrexpr.resolve prog ~fname:l2.Query.fname l2.Query.ptr )
+  with
+  | [ x1 ], [ x2 ] ->
+      Ptrexpr.distinct_objects x1.Ptrexpr.base x2.Ptrexpr.base
+      || x1.Ptrexpr.base = x2.Ptrexpr.base
+         && Ptrexpr.is_object x1.Ptrexpr.base
+         && Basic_aa.site_instance_stable prog tr lid x1.Ptrexpr.base
+         && (match (x1.Ptrexpr.off, x2.Ptrexpr.off) with
+            | Some o1, Some o2 ->
+                Basic_aa.classify_offsets o1 l1.Query.size o2 l2.Query.size
+                = Aresult.NoAlias
+            | _ -> false)
+  | _ -> false
+
+(** [answer prog q] — a free, maximally precise response when the
+    query's regions are provably disjoint; [None] otherwise (fall
+    through to the orchestrator). *)
+let answer (prog : Progctx.t) (q : Query.t) : Response.t option =
+  match q with
+  | Query.Alias a ->
+      if disjoint prog ~tr:a.Query.atr ~lid:a.Query.aloop a.Query.a1 a.Query.a2
+      then Some (Response.free ~provenance (Aresult.RAlias Aresult.NoAlias))
+      else None
+  | Query.Modref mq -> (
+      let l1 = Autil.loc_of_instr prog mq.Query.minstr in
+      let l2 =
+        match mq.Query.mtarget with
+        | Query.TLoc l -> Some l
+        | Query.TInstr i -> Autil.loc_of_instr prog i
+      in
+      match (l1, l2) with
+      | Some l1, Some l2
+        when disjoint prog ~tr:mq.Query.mtr ~lid:mq.Query.mloop l1 l2 ->
+          Some (Response.free ~provenance (Aresult.RModref Aresult.NoModRef))
+      | _ -> None)

@@ -1,0 +1,82 @@
+(** Well-formedness pass: structural verification ([Scaf_ir.Verify]),
+    dominance-based SSA validation ([Scaf_cfg.Ssa]), call-arity and
+    empty-function checks, all surfaced as diagnostics.
+
+    Codes: [wf.structural], [wf.ssa], [wf.call-arity],
+    [wf.empty-function]. This pass runs without a [Progctx] — it is the
+    gate that decides whether building one is safe at all. *)
+
+open Scaf_ir
+
+let pass_name = "wellformed"
+
+let of_verify_error (code : string) (e : Verify.error) : Diagnostic.t =
+  {
+    Diagnostic.code;
+    severity = Diagnostic.Error;
+    pass = pass_name;
+    span = Diagnostic.span_of_where e.Verify.where;
+    message = e.Verify.what;
+  }
+
+let selected (funcs : string list option) (f : Func.t) : bool =
+  match funcs with None -> true | Some fs -> List.mem f.Func.name fs
+
+(* Structural verification is module-wide regardless of a [funcs]
+   restriction: id uniqueness and callee resolution are cross-function
+   properties, and [Verify.check] is cheap. *)
+let structural (m : Irmod.t) : Diagnostic.t list =
+  List.map (of_verify_error "wf.structural") (Verify.check m)
+
+let empty_functions ?funcs (m : Irmod.t) : Diagnostic.t list =
+  List.filter_map
+    (fun (f : Func.t) ->
+      if selected funcs f && f.Func.blocks = [] then
+        Some
+          (Diagnostic.error ~func:f.Func.name ~code:"wf.empty-function"
+             ~pass:pass_name "function @%s has no blocks" f.Func.name)
+      else None)
+    m.Irmod.funcs
+
+(* Arity of calls to *defined* functions (declared externals carry no
+   signature — the interpreter takes whatever it is given). *)
+let call_arity ?funcs (m : Irmod.t) : Diagnostic.t list =
+  let arities =
+    List.map (fun (f : Func.t) -> (f.Func.name, List.length f.Func.params)) m.Irmod.funcs
+  in
+  List.concat_map
+    (fun (f : Func.t) ->
+      if not (selected funcs f) then []
+      else
+        Func.fold_instrs f
+          (fun acc (b : Block.t) (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Call { callee; args } -> (
+                match List.assoc_opt callee arities with
+                | Some n when n <> List.length args ->
+                    Diagnostic.error ~func:f.Func.name ~block:b.Block.label
+                      ~instr:i.Instr.id ~code:"wf.call-arity" ~pass:pass_name
+                      "call @%s passes %d argument(s) but @%s takes %d" callee
+                      (List.length args) callee n
+                    :: acc
+                | _ -> acc)
+            | _ -> acc)
+          []
+        |> List.rev)
+    m.Irmod.funcs
+
+let ssa ?funcs (m : Irmod.t) : Diagnostic.t list =
+  List.concat_map
+    (fun (f : Func.t) ->
+      if not (selected funcs f) then []
+      else
+        let errs =
+          (* a function whose CFG cannot be built is already flagged
+             structurally (unknown branch target) *)
+          try Scaf_cfg.Ssa.check_ssa_func f with Invalid_argument _ -> []
+        in
+        List.map (of_verify_error "wf.ssa") errs)
+    m.Irmod.funcs
+
+let run ?funcs (m : Irmod.t) : Diagnostic.t list =
+  structural m @ empty_functions ?funcs m @ call_arity ?funcs m @ ssa ?funcs m

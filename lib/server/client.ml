@@ -183,6 +183,16 @@ let edit (c : t) ~(bench : string) (edits : Protocol.wire_edit list) :
   | Some r -> Protocol.edit_report_of_json r
   | None -> raise (Transport_error "response missing \"edit\"")
 
+(** Submit a user program for lint-gated registration. On success the
+    program is queryable under its id like any suite benchmark; a lint
+    rejection surfaces as {!Server_error} whose [err.diags] carry the
+    full diagnostic report. *)
+let submit (c : t) (prog : Protocol.wire_program) : Protocol.submit_report =
+  let j = rpc c (Protocol.Submit { prog }) in
+  match Json.member "submitted" j with
+  | Some r -> Protocol.submit_report_of_json r
+  | None -> raise (Transport_error "response missing \"submitted\"")
+
 (** The benchmark's Figure 8 row, evaluated server-side. *)
 let report (c : t) ~(bench : string) : Scaf_report.Experiments.fig8_row =
   let j = rpc c (Protocol.Report { bench }) in

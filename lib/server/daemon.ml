@@ -37,6 +37,13 @@ type config = {
   max_frame : int;  (** max payload bytes per frame *)
   default_deadline_ms : float option;
       (** deadline applied to requests that do not carry one *)
+  max_submit_queries : int;
+      (** admission ceiling for submitted programs: reject a submission
+          whose statically estimated query count exceeds this *)
+  static_nodep : bool;
+      (** answer provably-disjoint queries from the lint layer's static
+          pass before consulting the orchestrator (off by default: a
+          short-circuited answer is not byte-identical to batch) *)
   metrics : Metrics.t;
   wrap : Scaf.Module_api.t list -> Scaf.Module_api.t list;
       (** ensemble hook for the chaos harness; [Fun.id] in production *)
@@ -56,6 +63,8 @@ let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name (
     frame_budget = 5.0;
     max_frame = Wire.default_max_len;
     default_deadline_ms = None;
+    max_submit_queries = 200_000;
+    static_nodep = false;
     metrics = Metrics.create ();
     wrap = Fun.id;
   }
@@ -326,8 +335,22 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
                     Protocol.edit_report_to_json
                       (Protocol.edit_report_of diff stats) );
                 ]
-          | Error e ->
-              Protocol.err_to_json (Protocol.bad_request ("edit: " ^ e))))
+          | Error diags ->
+              Protocol.err_to_json (Protocol.edit_rejected diags)))
+  | Protocol.Submit { prog } -> (
+      (* inline, like Edit: a submission is rare and administrative; the
+         lint gate runs before the expensive profiling, so a malformed
+         program is rejected without burning worker time *)
+      match
+        Engine.submit t.engine ~max_est_queries:t.cfg.max_submit_queries prog
+      with
+      | Ok (report, _b) ->
+          Metrics.incr (Metrics.counter t.cfg.metrics "lint.submit.accepted");
+          Protocol.ok
+            [ ("submitted", Protocol.submit_report_to_json report) ]
+      | Error e ->
+          Metrics.incr (Metrics.counter t.cfg.metrics "lint.submit.rejected");
+          Protocol.err_to_json e)
   | Protocol.Ask { bench; q; deadline_ms } -> (
       match submit_ask t ~bench ~qs:[ q ] ~deadline_ms with
       | Ok [ a ] -> Protocol.ok [ ("answer", Protocol.answer_to_json a) ]
@@ -513,7 +536,10 @@ let accept_loop (t : t) (workers : Thread.t list) (reaper : Thread.t) () :
 let start (cfg : config) : t =
   (* a dead peer must error the writer, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  let engine = Engine.create ~wrap:cfg.wrap ~benchmarks:cfg.benchmarks () in
+  let engine =
+    Engine.create ~wrap:cfg.wrap ~static_nodep:cfg.static_nodep
+      ~metrics:cfg.metrics ~benchmarks:cfg.benchmarks ()
+  in
   prepare_socket_path cfg.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);

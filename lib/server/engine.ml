@@ -40,10 +40,17 @@ type bench = {
 }
 
 type t = {
-  benches : (string * bench) list;
+  mutable benches : (string * bench) list;
+      (** grows via {!submit}; the list value is immutable and swapped
+          atomically under [em], so readers take a consistent snapshot
+          without locking *)
+  em : Mutex.t;  (** serializes submissions *)
   wrap : Module_api.t list -> Module_api.t list;
       (** ensemble wrapper hook — identity in production, fault injection
           under the chaos harness *)
+  static_nodep : bool;
+      (** consult {!Scaf_lint.Static_nodep} before the orchestrator *)
+  metrics : Scaf_trace.Metrics.t option;
   flights : (string, flight) Hashtbl.t;
   fm : Mutex.t;
   fc : Condition.t;
@@ -79,10 +86,14 @@ let load_bench (p : Program.t) : bench =
     row = None;
   }
 
-let create ?(wrap = Fun.id) ~(benchmarks : Program.t list) () : t =
+let create ?(wrap = Fun.id) ?(static_nodep = false) ?metrics
+    ~(benchmarks : Program.t list) () : t =
   {
     benches = List.map (fun p -> (Program.id p, load_bench p)) benchmarks;
+    em = Mutex.create ();
     wrap;
+    static_nodep;
+    metrics;
     flights = Hashtbl.create 64;
     fm = Mutex.create ();
     fc = Condition.create ();
@@ -229,10 +240,31 @@ let full_answer (w : worker) (b : bench) (q : Query.t)
     stamped with the benchmark's current epoch, so it can only hit cache
     entries valid for the current program state. Never raises on deadline
     expiry or load shedding — degradation is data, not control flow. *)
+(* The static quick-answer pass (opt-in): a provably-disjoint query is
+   resolved from the lint layer's pointer reasoning alone — cheaper than a
+   cache probe, never cached, counted either way. *)
+let static_quick (t : t) (b : bench) (q : Query.t) : Response.t option =
+  if not t.static_nodep then None
+  else begin
+    let r = Scaf_lint.Static_nodep.answer (Program.ctx b.program) q in
+    (match t.metrics with
+    | Some m ->
+        Scaf_trace.Metrics.incr
+          (Scaf_trace.Metrics.counter m
+             (match r with
+             | Some _ -> "lint.static_nodep.hits"
+             | None -> "lint.static_nodep.misses"))
+    | None -> ());
+    r
+  end
+
 let answer (w : worker) ~(degrade : Admission.degrade)
     ~(deadline : float option) (b : bench) (wq : Protocol.wire_query) :
     Protocol.answer =
   let q = Query.at_epoch (bench_epoch b) (Protocol.to_core_query wq) in
+  match static_quick w.eng b q with
+  | Some r -> Protocol.answer_of_response r
+  | None -> (
   match degrade with
   | Admission.Cached_only -> (
       (* shed to the warm cache: a hit is a real (possibly speculative)
@@ -257,7 +289,7 @@ let answer (w : worker) ~(degrade : Admission.degrade)
       let r, expired, coalesced = full_answer w b q ~deadline in
       if expired then
         Protocol.answer_of_response ~degraded:"deadline" ~coalesced r
-      else Protocol.answer_of_response ~coalesced r
+      else Protocol.answer_of_response ~coalesced r)
 
 (* ------------------------------------------------------------------ *)
 (* Edits                                                               *)
@@ -285,13 +317,18 @@ let resolve_edit (b : bench) (we : Protocol.wire_edit) : Edit.op =
     footprint mapping to the new program. Worker orchestrators rebuild on
     their next request via the epoch check. Serialized per benchmark. *)
 let apply_edit (t : t) (b : bench) (wedits : Protocol.wire_edit list) :
-    (Edit.diff * Invalidate.stats, string) result =
+    (Edit.diff * Invalidate.stats, Scaf_lint.Diagnostic.t list) result =
   Mutex.lock b.bm;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock b.bm)
     (fun () ->
       match List.map (resolve_edit b) wedits with
-      | exception e -> Error (Printexc.to_string e)
+      | exception e ->
+          Error
+            [
+              Scaf_lint.Diagnostic.error ~code:"edit.target" ~pass:"edit"
+                "cannot resolve edit: %s" (Printexc.to_string e);
+            ]
       | ops -> (
           let old_m = Program.program b.program in
           let old_fp = Fingerprint.of_profiles (bench_profiles b) in
@@ -332,6 +369,125 @@ let apply_edit (t : t) (b : bench) (wedits : Protocol.wire_edit list) :
                 (Collector.funcs_of_ctx (Program.ctx b.program));
               b.row <- None;
               Ok (diff, stats)))
+
+(* ------------------------------------------------------------------ *)
+(* Submissions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let valid_id (id : string) : bool =
+  String.length id > 0
+  && String.length id <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '.' || c = '_' || c = '-')
+       id
+
+(** Lint-gate and register a user-submitted program: validate the id,
+    parse, run the full lint suite, check the static query estimate
+    against the admission ceiling [max_est_queries] — all {e before} any
+    profiling or analysis — then build the {!Program.t} handle, profile it
+    on its training inputs, and publish it in the bench table. On success
+    the program is queryable like any suite benchmark (same [Ask] /
+    [Queries] / [Edit] / [Report] ops, same epoch discipline). Rejections
+    carry the full diagnostic report. *)
+let submit (t : t) ~(max_est_queries : int) (wp : Protocol.wire_program) :
+    (Protocol.submit_report * bench, Protocol.err) result =
+  let id = wp.Protocol.wp_id in
+  if not (valid_id id) then
+    Error
+      (Protocol.bad_request
+         (Printf.sprintf
+            "submit: invalid program id %S (want [A-Za-z0-9._-]{1,64})" id))
+  else if Option.is_some (find_bench t id) then
+    Error
+      (Protocol.bad_request
+         (Printf.sprintf "submit: a benchmark named %S is already registered"
+            id))
+  else
+    match Scaf_ir.Parser.parse_exn_msg wp.Protocol.wp_source with
+    | exception Failure msg ->
+        Error
+          (Protocol.lint_rejected
+             [
+               Scaf_lint.Diagnostic.error ~code:"parse.error" ~pass:"parse"
+                 "%s" msg;
+             ])
+    | m -> (
+        let report = Scaf_lint.Pass.run ?metrics:t.metrics m in
+        match Scaf_lint.Pass.errors report with
+        | _ :: _ ->
+            Error (Protocol.lint_rejected report.Scaf_lint.Pass.diagnostics)
+        | [] -> (
+            let cost =
+              match report.Scaf_lint.Pass.ctx with
+              | Some prog -> Scaf_lint.Cost.of_ctx prog
+              | None ->
+                  (* unreachable: a clean report always carries its ctx *)
+                  Scaf_lint.Cost.of_ctx (Scaf_cfg.Progctx.build m)
+            in
+            if cost.Scaf_lint.Cost.total_est > max_est_queries then
+              Error
+                (Protocol.lint_rejected
+                   [
+                     Scaf_lint.Diagnostic.error ~code:"cost.budget"
+                       ~pass:"cost"
+                       "estimated %d dependence queries exceeds the \
+                        admission ceiling (%d)"
+                       cost.Scaf_lint.Cost.total_est max_est_queries;
+                   ])
+            else
+              let p =
+                Program.make ~id ~descr:"user-submitted"
+                  ?train_inputs:wp.Protocol.wp_train
+                  ?ref_input:wp.Protocol.wp_ref wp.Protocol.wp_source
+              in
+              match load_bench p with
+              | exception e ->
+                  Error
+                    (Protocol.lint_rejected
+                       [
+                         Scaf_lint.Diagnostic.error ~code:"runtime.trap"
+                           ~pass:"submit"
+                           "program failed while profiling on its training \
+                            input: %s"
+                           (Printexc.to_string e);
+                       ])
+              | b ->
+                  Mutex.lock t.em;
+                  let dup = List.mem_assoc id t.benches in
+                  if not dup then t.benches <- t.benches @ [ (id, b) ];
+                  Mutex.unlock t.em;
+                  if dup then
+                    Error
+                      (Protocol.bad_request
+                         (Printf.sprintf
+                            "submit: a benchmark named %S is already \
+                             registered"
+                            id))
+                  else
+                    let warnings =
+                      List.length
+                        (List.filter
+                           (fun (d : Scaf_lint.Diagnostic.t) ->
+                             d.Scaf_lint.Diagnostic.severity
+                             = Scaf_lint.Diagnostic.Warning)
+                           report.Scaf_lint.Pass.diagnostics)
+                    in
+                    Ok
+                      ( {
+                          Protocol.s_id = id;
+                          s_loops =
+                            List.map
+                              (fun (l : Scaf_lint.Cost.loop_cost) ->
+                                (l.Scaf_lint.Cost.lid, l.Scaf_lint.Cost.est))
+                              cost.Scaf_lint.Cost.loops;
+                          s_est_queries = cost.Scaf_lint.Cost.total_est;
+                          s_warnings = warnings;
+                        },
+                        b )))
 
 (* ------------------------------------------------------------------ *)
 (* Workload and report ops                                             *)

@@ -41,6 +41,136 @@ let to_core_query (q : wire_query) : Scaf.Query.t =
     { Scaf_pdg.Pdg.src = q.wsrc; dst = q.wdst; cross = q.wcross }
 
 (* ------------------------------------------------------------------ *)
+(* Diagnostics on the wire                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Lint diagnostics serialize whole — a rejected submission or edit
+    carries its full report, so the client can render exactly what
+    [scaf_eval lint] would have printed locally. *)
+let diagnostic_to_json (d : Scaf_lint.Diagnostic.t) : Json.t =
+  let open Scaf_lint.Diagnostic in
+  let opt name = function
+    | None -> []
+    | Some s -> [ (name, Json.String s) ]
+  in
+  Json.Obj
+    ([
+       ("severity", Json.String (severity_name d.severity));
+       ("code", Json.String d.code);
+       ("pass", Json.String d.pass);
+     ]
+    @ opt "func" d.span.func @ opt "block" d.span.block
+    @ opt "loop" d.span.loop
+    @ (match d.span.instr with
+      | None -> []
+      | Some i -> [ ("instr", Json.Int i) ])
+    @ [ ("msg", Json.String d.message) ])
+
+let diagnostic_of_json (j : Json.t) : Scaf_lint.Diagnostic.t =
+  let open Scaf_lint.Diagnostic in
+  let severity =
+    match severity_of_name (Json.string_member "severity" j) with
+    | s -> s
+    | exception Invalid_argument m -> raise (Json.Parse_error m)
+  in
+  {
+    code = Json.string_member "code" j;
+    severity;
+    pass = Json.string_member "pass" j;
+    span =
+      {
+        func = Json.string_member_opt "func" j;
+        block = Json.string_member_opt "block" j;
+        loop = Json.string_member_opt "loop" j;
+        instr = Option.map Json.to_int_exn (Json.member "instr" j);
+      };
+    message = Json.string_member "msg" j;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Programs on the wire                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A user-submitted program: MIR source plus optional training/reference
+    inputs (defaulted server-side like any suite program). Inputs travel
+    as decimal strings so int64 values survive the JSON float funnel. *)
+type wire_program = {
+  wp_id : string;  (** session-unique name the program registers under *)
+  wp_source : string;  (** MIR text, [Scaf_ir.Parser] syntax *)
+  wp_train : int64 array list option;
+  wp_ref : int64 array option;
+}
+
+let int64s_to_json (a : int64 array) : Json.t =
+  Json.List
+    (List.map (fun v -> Json.String (Int64.to_string v)) (Array.to_list a))
+
+let int64s_of_json (j : Json.t) : int64 array =
+  Array.of_list
+    (List.map
+       (fun x ->
+         match Int64.of_string_opt (Json.to_string_exn x) with
+         | Some v -> v
+         | None -> raise (Json.Parse_error "input: expected an int64 string"))
+       (Json.to_list_exn j))
+
+let program_to_json (p : wire_program) : Json.t =
+  Json.Obj
+    ([ ("id", Json.String p.wp_id); ("source", Json.String p.wp_source) ]
+    @ (match p.wp_train with
+      | None -> []
+      | Some tr -> [ ("train", Json.List (List.map int64s_to_json tr)) ])
+    @
+    match p.wp_ref with
+    | None -> []
+    | Some r -> [ ("ref", int64s_to_json r) ])
+
+let program_of_json (j : Json.t) : wire_program =
+  {
+    wp_id = Json.string_member "id" j;
+    wp_source = Json.string_member "source" j;
+    wp_train =
+      Option.map
+        (fun tj -> List.map int64s_of_json (Json.to_list_exn tj))
+        (Json.member "train" j);
+    wp_ref = Option.map int64s_of_json (Json.member "ref" j);
+  }
+
+(** What a successful submission registered: the static lint summary the
+    admission decision was based on. *)
+type submit_report = {
+  s_id : string;
+  s_loops : (string * int) list;  (** lid → statically estimated queries *)
+  s_est_queries : int;  (** whole-program estimate (admission metric) *)
+  s_warnings : int;  (** lint warnings (submission still accepted) *)
+}
+
+let submit_report_to_json (r : submit_report) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.String r.s_id);
+      ( "loops",
+        Json.List
+          (List.map
+             (fun (lid, est) ->
+               Json.Obj [ ("loop", Json.String lid); ("est", Json.Int est) ])
+             r.s_loops) );
+      ("est_queries", Json.Int r.s_est_queries);
+      ("warnings", Json.Int r.s_warnings);
+    ]
+
+let submit_report_of_json (j : Json.t) : submit_report =
+  {
+    s_id = Json.string_member "id" j;
+    s_loops =
+      List.map
+        (fun lj -> (Json.string_member "loop" lj, Json.int_member "est" lj))
+        (Json.to_list_exn (Json.mem_or "loops" ~default:(Json.List []) j));
+    s_est_queries = Json.int_member "est_queries" j;
+    s_warnings = Json.int_member "warnings" j;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Edits on the wire                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -168,6 +298,9 @@ type request =
   | Edit of { bench : string; edits : wire_edit list }
       (** commit an edit script to the resident program and invalidate —
           the daemon re-analyzes incrementally, it never restarts *)
+  | Submit of { prog : wire_program }
+      (** lint-gate and register a user program; on success it is
+          queryable under [prog.wp_id] like any suite benchmark *)
   | Stats
   | Shutdown
 
@@ -199,6 +332,7 @@ let request_to_json (r : request) : Json.t =
           ("bench", Json.String bench);
           ("edits", Json.List (List.map edit_to_json edits));
         ]
+  | Submit { prog } -> obj "submit" [ ("program", program_to_json prog) ]
   | Stats -> obj "stats" []
   | Shutdown -> obj "shutdown" []
 
@@ -238,6 +372,10 @@ let request_of_json (j : Json.t) : request =
         | None -> raise (Json.Parse_error "edit: missing field \"edits\"")
       in
       Edit { bench = Json.string_member "bench" j; edits }
+  | "submit" -> (
+      match Json.member "program" j with
+      | Some pj -> Submit { prog = program_of_json pj }
+      | None -> raise (Json.Parse_error "submit: missing field \"program\""))
   | "stats" -> Stats
   | "shutdown" -> Shutdown
   | op -> raise (Json.Parse_error (Printf.sprintf "unknown op %S" op))
@@ -308,6 +446,23 @@ let answer_of_json (j : Json.t) : answer =
       Json.to_bool_exn (Json.mem_or "coalesced" ~default:(Json.Bool false) j);
   }
 
+(** The canonical one-line rendering of an answer's {e analysis} content —
+    result, nodep verdict, cheapest cost ([%.17g], bit-exact across the
+    wire), option count, unconditionality. Transport annotations
+    (provenance, degradation, coalescing) are deliberately excluded, so a
+    full-fidelity replayed answer renders byte-identically to the same
+    query evaluated in-process. *)
+let render_answer (a : answer) : string =
+  (* costs pass through [Json.float]'s nan/inf clamping before printing,
+     so the rendering of a local answer matches one that crossed the wire *)
+  let cost =
+    match Json.float a.a_cost with
+    | Json.Float f -> Printf.sprintf "%.17g" f
+    | _ -> "nan"
+  in
+  Printf.sprintf "%s nodep=%b cost=%s options=%d unconditional=%b" a.a_result
+    a.a_nodep cost a.a_options a.a_unconditional
+
 (* ------------------------------------------------------------------ *)
 (* Errors                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -318,6 +473,8 @@ type err = {
   retryable : bool;
   retry_after_ms : float option;
       (** server-suggested backoff, on admission rejection *)
+  diags : Scaf_lint.Diagnostic.t list;
+      (** full lint report, on a rejected submission or edit *)
 }
 
 let err_to_json (e : err) : Json.t =
@@ -331,14 +488,25 @@ let err_to_json (e : err) : Json.t =
              ("msg", Json.String e.msg);
              ("retryable", Json.Bool e.retryable);
            ]
+          @ (match e.retry_after_ms with
+            | None -> []
+            | Some ms -> [ ("retry_after_ms", Json.float ms) ])
           @
-          match e.retry_after_ms with
-          | None -> []
-          | Some ms -> [ ("retry_after_ms", Json.float ms) ]) );
+          match e.diags with
+          | [] -> []
+          | ds ->
+              [ ("diagnostics", Json.List (List.map diagnostic_to_json ds)) ])
+      );
     ]
 
 let bad_request msg =
-  { code = "bad_request"; msg; retryable = false; retry_after_ms = None }
+  {
+    code = "bad_request";
+    msg;
+    retryable = false;
+    retry_after_ms = None;
+    diags = [];
+  }
 
 let unknown_bench bench =
   {
@@ -346,6 +514,7 @@ let unknown_bench bench =
     msg = Printf.sprintf "no benchmark named %S" bench;
     retryable = false;
     retry_after_ms = None;
+    diags = [];
   }
 
 let overloaded ~retry_after_ms =
@@ -354,6 +523,7 @@ let overloaded ~retry_after_ms =
     msg = "admission queue full";
     retryable = true;
     retry_after_ms = Some retry_after_ms;
+    diags = [];
   }
 
 let shutting_down =
@@ -362,10 +532,44 @@ let shutting_down =
     msg = "server is shutting down";
     retryable = true;
     retry_after_ms = Some 1000.0;
+    diags = [];
   }
 
 let internal msg =
-  { code = "internal"; msg; retryable = false; retry_after_ms = None }
+  {
+    code = "internal";
+    msg;
+    retryable = false;
+    retry_after_ms = None;
+    diags = [];
+  }
+
+(** A submission that failed the lint gate; not retryable as-is (fix the
+    program), and the whole report rides along. *)
+let lint_rejected (diags : Scaf_lint.Diagnostic.t list) =
+  {
+    code = "lint_rejected";
+    msg =
+      Printf.sprintf "program rejected: %d lint error(s)"
+        (List.length (Scaf_lint.Diagnostic.errors diags));
+    retryable = false;
+    retry_after_ms = None;
+    diags;
+  }
+
+(** An edit script the resident program rejected (bad target, parse error
+    in spliced text, or the edited program no longer lints clean); the
+    program stays at its prior epoch. *)
+let edit_rejected (diags : Scaf_lint.Diagnostic.t list) =
+  {
+    code = "edit_rejected";
+    msg =
+      Printf.sprintf "edit rejected: %d error(s); program unchanged"
+        (List.length (Scaf_lint.Diagnostic.errors diags));
+    retryable = false;
+    retry_after_ms = None;
+    diags;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Response envelopes                                                  *)
@@ -390,6 +594,10 @@ let open_envelope (j : Json.t) : (Json.t, err) result =
             Json.to_bool_exn
               (Json.mem_or "retryable" ~default:(Json.Bool false) e);
           retry_after_ms = Json.float_member_opt "retry_after_ms" e;
+          diags =
+            List.map diagnostic_of_json
+              (Json.to_list_exn
+                 (Json.mem_or "diagnostics" ~default:(Json.List []) e));
         }
   | _ -> raise (Json.Parse_error "response has no \"ok\" field")
 

@@ -3,10 +3,12 @@
 
     An edit script is a list of {!op}s applied to a {!Program.t} handle as
     one atomic transaction: instruction surgery on the current AST, a
-    single full verification, a single epoch bump ({!Program.commit}), and
-    a {!diff} naming everything the edit touched. On any failure — unknown
-    target, unparsable splice, SSA violation introduced by the edit — the
-    handle is left exactly as it was.
+    single lint run restricted to the touched functions
+    ({!Program.commit}), a single epoch bump, and a {!diff} naming
+    everything the edit touched. On any failure — unknown target,
+    unparsable splice, SSA violation introduced by the edit — the handle
+    is left exactly as it was and the failure comes back as structured
+    {!Scaf_lint.Diagnostic.t}s, never an exception.
 
     Inserted instruction text is parsed through a *splice wrapper*: the
     text is wrapped in a one-block function, run through the ordinary
@@ -16,6 +18,7 @@
 
 open Scaf_ir
 open Scaf_cfg
+module Diagnostic = Scaf_lint.Diagnostic
 
 type op =
   | Replace_loop_body of { lid : string; block : string; body : string }
@@ -68,14 +71,33 @@ let max_id (m : Irmod.t) : int =
     into the host module's id space starting at [next_id]. The text must
     be a straight-line instruction sequence — no labels, no
     terminators. *)
+let pass_name = "edit"
+
+(* Target-resolution failures: the op names something that does not
+   exist in the current program. *)
+let target_err ?func ?block fmt =
+  Fmt.kstr
+    (fun m ->
+      Diagnostic.make ?func ?block ~code:"edit.target" ~pass:pass_name
+        Diagnostic.Error m)
+    fmt
+
+(* Splice-text failures: the inserted text does not parse as a
+   straight-line instruction sequence. *)
+let parse_err fmt =
+  Fmt.kstr
+    (fun m ->
+      Diagnostic.make ~code:"edit.parse" ~pass:pass_name Diagnostic.Error m)
+    fmt
+
 let parse_splice ~(next_id : int) (text : string) :
-    (Instr.t list * int, string) result =
+    (Instr.t list * int, Diagnostic.t) result =
   let wrapped = Printf.sprintf "func @__splice__() {\nentry:\n%s\n  ret\n}\n" text in
   match Parser.parse wrapped with
   | exception Parser.Parse_error (msg, line) ->
-      Error (Printf.sprintf "splice parse error (line %d): %s" (line - 2) msg)
+      Error (parse_err "splice parse error (line %d): %s" (line - 2) msg)
   | exception Lexer.Lex_error (msg, line) ->
-      Error (Printf.sprintf "splice lex error (line %d): %s" (line - 2) msg)
+      Error (parse_err "splice lex error (line %d): %s" (line - 2) msg)
   | m -> (
       match m.Irmod.funcs with
       | [ { Func.blocks = [ { Block.instrs; term; _ } ]; _ } ]
@@ -88,8 +110,9 @@ let parse_splice ~(next_id : int) (text : string) :
           Ok (instrs, next_id + List.length instrs)
       | _ ->
           Error
-            "splice text must be a straight-line instruction sequence \
-             (no labels or terminators)")
+            (parse_err
+               "splice text must be a straight-line instruction sequence \
+                (no labels or terminators)"))
 
 (* ------------------------------------------------------------------ *)
 (* AST surgery                                                         *)
@@ -117,21 +140,23 @@ let replace_block (f : Func.t) (b' : Block.t) : Func.t =
 (* One op against the working module. Returns the new module, the owning
    function, the removed instruction ids and the inserted instructions. *)
 let apply_op (m : Irmod.t) (ctx : Progctx.t) ~(next_id : int) (op : op) :
-    (Irmod.t * string * int list * Instr.t list * int, string) result =
+    (Irmod.t * string * int list * Instr.t list * int, Diagnostic.t) result =
   match op with
   | Insert_instr { fname; block; at; text } -> (
       match Irmod.find_func m fname with
-      | None -> Error (Printf.sprintf "insert: no function @%s" fname)
+      | None -> Error (target_err ~func:fname "insert: no function @%s" fname)
       | Some f -> (
           match Func.find_block f block with
           | None ->
-              Error (Printf.sprintf "insert: no block %s in @%s" block fname)
+              Error
+                (target_err ~func:fname "insert: no block %s in @%s" block
+                   fname)
           | Some b ->
               let n = List.length b.Block.instrs in
               if at < 0 || at > n then
                 Error
-                  (Printf.sprintf "insert: position %d out of range (0..%d)"
-                     at n)
+                  (target_err ~func:fname ~block
+                     "insert: position %d out of range (0..%d)" at n)
               else
                 Result.bind (parse_splice ~next_id text)
                   (fun (added, next_id) ->
@@ -148,7 +173,7 @@ let apply_op (m : Irmod.t) (ctx : Progctx.t) ~(next_id : int) (op : op) :
                         next_id ))))
   | Delete_instr { id } -> (
       match Progctx.occ ctx id with
-      | None -> Error (Printf.sprintf "delete: no instruction %d" id)
+      | None -> Error (target_err "delete: no instruction %d" id)
       | Some o ->
           let f = o.Irmod.Index.func and b = o.Irmod.Index.block in
           let b' =
@@ -166,15 +191,17 @@ let apply_op (m : Irmod.t) (ctx : Progctx.t) ~(next_id : int) (op : op) :
               next_id ))
   | Replace_loop_body { lid; block; body } -> (
       match Progctx.loop_of_lid ctx lid with
-      | None -> Error (Printf.sprintf "replace: no loop %s" lid)
+      | None -> Error (target_err "replace: no loop %s" lid)
       | Some (fname, loop) -> (
           match Irmod.find_func m fname with
-          | None -> Error (Printf.sprintf "replace: no function @%s" fname)
+          | None ->
+              Error (target_err ~func:fname "replace: no function @%s" fname)
           | Some f -> (
               match Func.find_block f block with
               | None ->
                   Error
-                    (Printf.sprintf "replace: no block %s in @%s" block fname)
+                    (target_err ~func:fname "replace: no block %s in @%s"
+                       block fname)
               | Some b ->
                   let in_loop =
                     match Progctx.cfg_of ctx fname with
@@ -189,8 +216,8 @@ let apply_op (m : Irmod.t) (ctx : Progctx.t) ~(next_id : int) (op : op) :
                   in
                   if not in_loop then
                     Error
-                      (Printf.sprintf "replace: block %s is not part of loop %s"
-                         block lid)
+                      (target_err ~func:fname ~block
+                         "replace: block %s is not part of loop %s" block lid)
                   else
                     Result.bind (parse_splice ~next_id body)
                       (fun (added, next_id) ->
@@ -238,14 +265,16 @@ let instr_of_id (ctx : Progctx.t) (id : int) : Instr.t list =
 (* The transaction                                                     *)
 
 (** [apply_all p ops] — apply the whole script as one transaction: one
-    verification pass, one epoch bump, one merged diff. On [Error] the
-    handle is untouched (including its epoch). *)
-let apply_all (p : Program.t) (ops : op list) : (diff, string) result =
+    lint run over the touched functions, one epoch bump, one merged
+    diff. On [Error] the handle is untouched (including its epoch) and
+    the diagnostics say why. *)
+let apply_all (p : Program.t) (ops : op list) :
+    (diff, Diagnostic.t list) result =
   let rec go m ctx next_id acc = function
     | [] -> Ok (m, List.rev acc)
     | op :: rest -> (
         match apply_op m ctx ~next_id op with
-        | Error e -> Error e
+        | Error d -> Error [ d ]
         | Ok (m', fname, removed, added, next_id) ->
             let ctx' = Progctx.build m' in
             (* attribute deletions against the pre-op program, insertions
@@ -266,22 +295,24 @@ let apply_all (p : Program.t) (ops : op list) : (diff, string) result =
   match go (Program.program p) (Program.ctx p) (max_id (Program.program p) + 1) [] ops with
   | Error e -> Error e
   | Ok (m', touches) -> (
-      match Program.commit p m' with
-      | Error e -> Error e
+      let uniq l = List.sort_uniq compare l in
+      let touched = uniq (List.map (fun (f, _, _, _) -> f) touches) in
+      match Program.commit ~touched p m' with
+      | Error diags -> Error diags
       | Ok epoch ->
-          let uniq l = List.sort_uniq compare l in
           Ok
             {
               epoch;
               touched_instrs = uniq (List.concat_map (fun (_, is, _, _) -> is) touches);
-              touched_funcs = uniq (List.map (fun (f, _, _, _) -> f) touches);
+              touched_funcs = touched;
               touched_loops = uniq (List.concat_map (fun (_, _, ls, _) -> ls) touches);
               touched_globals =
                 uniq (List.concat_map (fun (_, _, _, gs) -> gs) touches);
             })
 
 (** [apply p op] — a one-op script. *)
-let apply (p : Program.t) (op : op) : (diff, string) result = apply_all p [ op ]
+let apply (p : Program.t) (op : op) : (diff, Diagnostic.t list) result =
+  apply_all p [ op ]
 
 let pp_op ppf = function
   | Replace_loop_body { lid; block; _ } ->

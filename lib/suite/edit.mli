@@ -2,8 +2,11 @@
     re-analysis engine.
 
     An edit script is applied to a {!Program.t} as one atomic transaction:
-    AST surgery, a single full verification, a single epoch bump and a
-    merged {!diff}. On any failure the handle is untouched. Inserted text
+    AST surgery, a single lint run restricted to the touched functions, a
+    single epoch bump and a merged {!diff}. On any failure the handle is
+    untouched and the cause comes back as structured
+    [Scaf_lint.Diagnostic.t]s (codes [edit.target], [edit.parse], or
+    whatever lint pass the edited program now fails). Inserted text
     is parsed through a splice wrapper and re-numbered into the host
     module's fresh-id range — instruction ids are module-unique and never
     reused, so id-keyed analyses and profiles stay unambiguous across
@@ -34,11 +37,13 @@ type diff = {
 val empty_diff : int -> diff
 
 (** [apply_all p ops] — apply the whole script transactionally; on
-    [Error] the handle (including its epoch) is untouched. *)
-val apply_all : Program.t -> op list -> (diff, string) result
+    [Error] the handle (including its epoch) is untouched and the
+    diagnostics say why. *)
+val apply_all :
+  Program.t -> op list -> (diff, Scaf_lint.Diagnostic.t list) result
 
 (** [apply p op] — a one-op script. *)
-val apply : Program.t -> op -> (diff, string) result
+val apply : Program.t -> op -> (diff, Scaf_lint.Diagnostic.t list) result
 
 val pp_op : Format.formatter -> op -> unit
 val pp_diff : Format.formatter -> diff -> unit

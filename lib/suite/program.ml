@@ -31,14 +31,24 @@ type t = {
 let default_train = [ [| 0L |] ]
 let default_ref = [| 1L |]
 
-(** [make ~id ~descr source] parses and fully verifies [source] (structural
-    checks plus the dominance-based SSA check) at construction, so an
-    ill-formed program blows up when the registry is built, not when a
-    client first asks for it. The handle starts at epoch 0. *)
+(** [make ~id ~descr source] parses and lints [source] at construction —
+    the full [Scaf_lint.Pass.default] suite, which subsumes structural
+    verification and the dominance-based SSA check — so an ill-formed
+    program blows up when the registry is built, not when a client first
+    asks for it. Lint *errors* are fatal; warnings are allowed. The
+    handle starts at epoch 0 with the lint run's analysis context
+    already memoized. *)
 let make ~(id : string) ~(descr : string) ?(train_inputs = default_train)
     ?(ref_input = default_ref) (source : string) : t =
   let m = Parser.parse_exn_msg source in
-  Scaf_cfg.Ssa.check_full_exn m;
+  let report = Scaf_lint.Pass.run m in
+  (match Scaf_lint.Pass.errors report with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Fmt.str "ill-formed MIR module:@.%a"
+           (Fmt.list ~sep:Fmt.cut Scaf_lint.Diagnostic.pp)
+           errs));
   {
     id;
     descr;
@@ -47,7 +57,7 @@ let make ~(id : string) ~(descr : string) ?(train_inputs = default_train)
     epoch = 0;
     m;
     source;
-    ctx_memo = None;
+    ctx_memo = Option.map (fun c -> (0, c)) report.Scaf_lint.Pass.ctx;
     profiles_memo = None;
   }
 
@@ -101,21 +111,32 @@ let fork (t : t) : t =
   }
 
 (** [commit t m'] — replace the program with [m'] and bump the epoch,
-    provided [m'] passes full verification; on failure the handle is left
-    exactly as it was (the edit engine's rollback). Returns the new epoch.
-    This is the only way a handle's program ever changes, so the invariant
-    "[program t] is verified and [epoch t] identifies it" holds globally. *)
-let commit (t : t) (m' : Irmod.t) : (int, string) result =
-  match Scaf_cfg.Ssa.check_full m' with
+    provided [m'] lints without errors; on failure the handle is left
+    exactly as it was (the edit engine's rollback) and the lint errors
+    are returned as structured diagnostics. Returns the new epoch.
+    [?touched] restricts the function-local lint passes to the named
+    functions (the Edit API passes the functions its script touched);
+    module-wide checks always run. The lint run's analysis context is
+    memoized for the new epoch, so committing never double-builds a
+    [Progctx]. This is the only way a handle's program ever changes, so
+    the invariant "[program t] is lint-clean and [epoch t] identifies
+    it" holds globally. *)
+let commit ?touched (t : t) (m' : Irmod.t) :
+    (int, Scaf_lint.Diagnostic.t list) result =
+  let report = Scaf_lint.Pass.run ?funcs:touched m' in
+  match Scaf_lint.Pass.errors report with
   | [] ->
       t.m <- m';
       t.source <- Irmod.to_string m';
       t.epoch <- t.epoch + 1;
-      t.ctx_memo <- None;
+      t.ctx_memo <-
+        Option.map (fun c -> (t.epoch, c)) report.Scaf_lint.Pass.ctx;
       t.profiles_memo <- None;
       Ok t.epoch
-  | errs ->
-      Error
-        (Fmt.str "edited program fails verification: %a"
-           (Fmt.list ~sep:(Fmt.any "; ") Verify.pp_error)
-           errs)
+  | errs -> Error errs
+
+(** Lint the current program with the full default pass suite (no
+    function restriction). The program is already known error-free; this
+    is for surfacing warnings and cost estimates. *)
+let lint ?metrics (t : t) : Scaf_lint.Pass.report =
+  Scaf_lint.Pass.run ?metrics t.m

@@ -60,7 +60,18 @@ val profiles : t -> Scaf_profile.Profiles.t
 val fork : t -> t
 
 (** [commit t m'] — replace the program with [m'] and bump the epoch,
-    provided [m'] passes full verification; on [Error] the handle is
-    untouched. Returns the new epoch. Prefer the structured {!Edit} API;
-    this is its commit point. *)
-val commit : t -> Scaf_ir.Irmod.t -> (int, string) result
+    provided [m'] lints without errors; on [Error] the handle is
+    untouched and the lint errors come back as structured diagnostics.
+    [?touched] restricts function-local lint passes to the named
+    functions (module-wide checks always run). Returns the new epoch.
+    Prefer the structured {!Edit} API; this is its commit point. *)
+val commit :
+  ?touched:string list ->
+  t ->
+  Scaf_ir.Irmod.t ->
+  (int, Scaf_lint.Diagnostic.t list) result
+
+(** Lint the current program with the full default pass suite. The
+    program is already error-free by construction; this surfaces
+    warnings, per-loop cost estimates and pass timings. *)
+val lint : ?metrics:Scaf_trace.Metrics.t -> t -> Scaf_lint.Pass.report

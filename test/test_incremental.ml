@@ -82,7 +82,9 @@ let prop_incremental_equals_batch =
       for round = 0 to extra_rounds do
         let op = random_op s ~round ~pick:(pick0 + round) ~inserted:!inserted in
         match Session.edit s [ op ] with
-        | Error e -> QCheck.Test.fail_reportf "%s: edit failed: %s" bname e
+        | Error e ->
+            QCheck.Test.fail_reportf "%s: edit failed: %s" bname
+              (Scaf_lint.Diagnostic.to_summary e)
         | Ok (diff, _) -> (
             match op with
             | Edit.Insert_instr _ ->
@@ -146,7 +148,9 @@ let prop_no_foreign_recompute =
           qs
       in
       (match Session.edit s [ op ] with
-      | Error e -> QCheck.Test.fail_reportf "%s: edit failed: %s" bname e
+      | Error e ->
+            QCheck.Test.fail_reportf "%s: edit failed: %s" bname
+              (Scaf_lint.Diagnostic.to_summary e)
       | Ok _ -> ());
       Session.reset_counters s;
       List.iter (fun q -> ignore (Session.ask s q)) foreign;
@@ -162,7 +166,7 @@ let test_epoch_lifecycle () =
   let s = Session.create (Option.get (Registry.find "181.mcf")) in
   checki "fresh session at epoch 0" 0 (Session.epoch s);
   (match Session.edit s [ Session.auto_edit s ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Scaf_lint.Diagnostic.to_summary e)
   | Ok (diff, _) -> checki "diff carries the new epoch" 1 diff.Edit.epoch);
   checki "session advanced" 1 (Session.epoch s);
   (* a failing script must leave the epoch untouched *)
@@ -187,7 +191,7 @@ let test_invalidation_stats_sane () =
   let s = Session.create (Option.get (Registry.find "164.gzip")) in
   List.iter (fun q -> ignore (Session.ask s q)) (Session.workload s);
   match Session.edit s [ Session.auto_edit s ] with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Scaf_lint.Diagnostic.to_summary e)
   | Ok (_, st) ->
       checkb "graph has nodes" true (st.Invalidate.nodes > 0);
       checkb "some nodes survive" true

@@ -1,0 +1,327 @@
+(** Tests for the static-analysis framework ([lib/lint]) and its wire
+    integration: the bad-program corpus (every fixture must produce its
+    expected diagnostic codes), the 16 suite benchmarks linting
+    error-free, the cost estimator's exactness against the PDG client's
+    actual query count, the static no-dependence quick-answer pass, the
+    Edit API's structured-diagnostic failure path, and codec round-trips
+    for diagnostics, submitted programs, and fuzzed JSON values. *)
+
+open Scaf_lint
+open Scaf_server
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* -- The bad-program corpus ----------------------------------------- *)
+
+let fixtures_dir = "fixtures/bad_programs"
+
+(* The first line of each fixture is "; expect: <code> <code> ...". *)
+let expected_codes (src : string) : string list =
+  match String.split_on_char '\n' src with
+  | first :: _
+    when String.length first >= 9 && String.equal (String.sub first 0 9) "; expect:"
+    ->
+      List.filter
+        (fun s -> s <> "")
+        (String.split_on_char ' '
+           (String.sub first 9 (String.length first - 9)))
+  | _ -> []
+
+let lint_source (src : string) : Diagnostic.t list =
+  match Scaf_ir.Parser.parse_exn_msg src with
+  | exception Failure msg ->
+      [ Diagnostic.error ~code:"parse.error" ~pass:"parse" "%s" msg ]
+  | m -> (Pass.run m).Pass.diagnostics
+
+let corpus () : (string * Diagnostic.t list * string list) list =
+  Sys.readdir fixtures_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mir")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         let src = read_file (Filename.concat fixtures_dir f) in
+         (f, lint_source src, expected_codes src))
+
+let test_bad_corpus () =
+  let entries = corpus () in
+  checkb "corpus is non-empty" true (entries <> []);
+  List.iter
+    (fun (f, ds, expect) ->
+      checkb (f ^ " declares expected codes") true (expect <> []);
+      let codes = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) ds in
+      List.iter
+        (fun c ->
+          checkb
+            (Printf.sprintf "%s flags %s (got: %s)" f c
+               (String.concat "," codes))
+            true (List.mem c codes))
+        expect)
+    entries
+
+(* -- The suite lints clean ------------------------------------------ *)
+
+let test_suite_clean () =
+  List.iter
+    (fun p ->
+      let r = Scaf_suite.Program.lint p in
+      checks
+        (Scaf_suite.Program.id p ^ " lints error-free")
+        ""
+        (Diagnostic.to_summary (Pass.errors r)))
+    (Scaf_suite.Registry.all ())
+
+(* -- Cost estimator exactness --------------------------------------- *)
+
+(* The static estimate must equal the number of queries the PDG client
+   actually issues for the loop — it is the daemon's admission metric. *)
+let test_cost_exact () =
+  List.iter
+    (fun p ->
+      let prog = Scaf_suite.Program.ctx p in
+      let s = Cost.of_ctx prog in
+      checkb (Scaf_suite.Program.id p ^ " has loops") true (s.Cost.loops <> []);
+      List.iter
+        (fun (lc : Cost.loop_cost) ->
+          checki
+            (Scaf_suite.Program.id p ^ " " ^ lc.Cost.lid)
+            (List.length (Scaf_pdg.Pdg.queries_of_loop prog lc.Cost.lid))
+            lc.Cost.est)
+        s.Cost.loops)
+    (Scaf_suite.Registry.all ())
+
+(* -- Static no-dependence quick answers ----------------------------- *)
+
+let nodep_src =
+  {|
+global @a 16
+global @b 16
+
+func @main() {
+entry:
+  br loop
+loop:
+  %i = phi [entry: 0], [latch: %i2]
+  %x = load 8, @a
+  %p = gep @a, 8
+  store 8, %p, %x
+  store 8, @b, %x
+  %r = call @input(0)
+  %q = gep @a, %r
+  store 8, %q, %x
+  br latch
+latch:
+  %i2 = add %i, 1
+  %c = icmp slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  ret
+}
+|}
+
+let test_static_nodep () =
+  let m = Scaf_ir.Parser.parse_exn_msg nodep_src in
+  let prog = Scaf_cfg.Progctx.build m in
+  let f = Option.get (Scaf_ir.Irmod.find_func m "main") in
+  let loads, stores =
+    Scaf_ir.Func.fold_instrs f
+      (fun (ls, ss) _ (i : Scaf_ir.Instr.t) ->
+        match i.Scaf_ir.Instr.kind with
+        | Scaf_ir.Instr.Load _ -> (ls @ [ i.Scaf_ir.Instr.id ], ss)
+        | Scaf_ir.Instr.Store _ -> (ls, ss @ [ i.Scaf_ir.Instr.id ])
+        | _ -> (ls, ss))
+      ([], [])
+  in
+  let load_a = List.nth loads 0 in
+  let store_a8 = List.nth stores 0 in
+  let store_b = List.nth stores 1 in
+  let store_unk = List.nth stores 2 in
+  let q src dst cross =
+    Scaf_pdg.Pdg.to_query "main:loop" { Scaf_pdg.Pdg.src; dst; cross }
+  in
+  let yes name qq =
+    match Static_nodep.answer prog qq with
+    | Some r ->
+        checkb (name ^ " is NoModRef") true
+          (r.Scaf.Response.result = Scaf.Aresult.RModref Scaf.Aresult.NoModRef);
+        checkb (name ^ " is free") true
+          (Scaf.Response.Options.has_unconditional r.Scaf.Response.options)
+    | None -> Alcotest.failf "%s: expected a static answer" name
+  in
+  let no name qq =
+    checkb (name ^ " falls through") true
+      (Option.is_none (Static_nodep.answer prog qq))
+  in
+  (* distinct globals never overlap, any temporal scope *)
+  yes "a vs b intra" (q load_a store_b false);
+  yes "a vs b cross" (q load_a store_b true);
+  (* same global, provably disjoint byte intervals *)
+  yes "a[0:8) vs a[8:16) intra" (q load_a store_a8 false);
+  yes "a[0:8) vs a[8:16) cross" (q load_a store_a8 true);
+  (* input-dependent offset: nothing provable statically *)
+  no "unknown offset" (q load_a store_unk false);
+  (* overlapping: same byte interval *)
+  no "self overlap" (q store_a8 store_a8 true)
+
+(* -- Edit failures are structured diagnostics ----------------------- *)
+
+let test_edit_diagnostics () =
+  let p = Option.get (Scaf_suite.Registry.find "052.alvinn") in
+  let e0 = Scaf_suite.Program.epoch p in
+  (match
+     Scaf_suite.Edit.apply p
+       (Scaf_suite.Edit.Insert_instr
+          { fname = "nope"; block = "entry"; at = 0; text = "%z = add 1, 2" })
+   with
+  | Ok _ -> Alcotest.fail "edit to an unknown function succeeded"
+  | Error ds ->
+      checkb "bad target -> edit.target" true
+        (List.exists
+           (fun (d : Diagnostic.t) -> d.Diagnostic.code = "edit.target")
+           ds));
+  checki "epoch unchanged after bad target" e0 (Scaf_suite.Program.epoch p);
+  (match
+     Scaf_suite.Edit.apply p
+       (Scaf_suite.Edit.Insert_instr
+          {
+            fname = "main";
+            block = "entry";
+            at = 0;
+            text = "%z = add %nosuch, 1";
+          })
+   with
+  | Ok _ -> Alcotest.fail "SSA-breaking edit survived the lint gate"
+  | Error ds ->
+      checkb "broken SSA -> wf.* error" true
+        (List.exists (fun (d : Diagnostic.t) -> Diagnostic.is_error d) ds));
+  checki "epoch unchanged after rejected commit" e0
+    (Scaf_suite.Program.epoch p)
+
+(* -- Codec round-trips ---------------------------------------------- *)
+
+let test_diagnostic_codec () =
+  let all =
+    List.concat_map (fun (_, ds, _) -> ds) (corpus ())
+    @ (Scaf_suite.Program.lint
+         (Option.get (Scaf_suite.Registry.find "181.mcf")))
+        .Pass.diagnostics
+  in
+  checkb "some diagnostics to round-trip" true (all <> []);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      let d' =
+        Protocol.diagnostic_of_json
+          (Json.of_string (Json.to_string (Protocol.diagnostic_to_json d)))
+      in
+      checkb ("diagnostic round-trips: " ^ d.Diagnostic.code) true (d = d'))
+    all
+
+(* parse ∘ print ≡ id over every suite program, carried through the
+   submission codec: what the daemon registers is what the client holds *)
+let test_wire_program_roundtrip () =
+  List.iter
+    (fun p ->
+      let wp =
+        {
+          Protocol.wp_id = Scaf_suite.Program.id p;
+          wp_source = Scaf_suite.Program.source p;
+          wp_train = Some (Scaf_suite.Program.train_inputs p);
+          wp_ref = Some (Scaf_suite.Program.ref_input p);
+        }
+      in
+      let wp' =
+        Protocol.program_of_json
+          (Json.of_string (Json.to_string (Protocol.program_to_json wp)))
+      in
+      checkb (wp.Protocol.wp_id ^ " wire_program round-trips") true (wp = wp');
+      let m = Scaf_ir.Parser.parse_exn_msg wp'.Protocol.wp_source in
+      checks
+        (wp.Protocol.wp_id ^ " parse-print fixpoint")
+        wp'.Protocol.wp_source
+        (Scaf_ir.Irmod.to_string m))
+    (Scaf_suite.Registry.all ())
+
+let test_err_envelope_diags () =
+  let diags = lint_source (read_file (Filename.concat fixtures_dir "oob_store.mir")) in
+  let e = Protocol.lint_rejected diags in
+  match
+    Protocol.open_envelope (Json.of_string (Json.to_string (Protocol.err_to_json e)))
+  with
+  | Ok _ -> Alcotest.fail "lint_rejected parsed as success"
+  | Error e' ->
+      checks "code survives" e.Protocol.code e'.Protocol.code;
+      checkb "diagnostics survive" true (e.Protocol.diags = e'.Protocol.diags)
+
+(* -- Fuzzed JSON codec ---------------------------------------------- *)
+
+(* Arbitrary JSON values, nan/inf-normalized through [Json.float]; byte
+   strings exercise the escaper over the whole char range. *)
+let gen_json : Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_string = string_size ~gen:char (int_bound 12) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.float f) float;
+        map (fun s -> Json.String s) gen_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun fields -> Json.Obj fields)
+                 (list_size (int_bound 4)
+                    (pair gen_string (self (n / 2))));
+             ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json print/parse round-trip"
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun j -> Json.of_string (Json.to_string j) = j)
+
+let prop_wire_query_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire query round-trip"
+    QCheck.(quad string small_nat small_nat bool)
+    (fun (wloop, wsrc, wdst, wcross) ->
+      let q = { Protocol.wloop; wsrc; wdst; wcross } in
+      Protocol.query_of_json
+        (Json.of_string (Json.to_string (Protocol.query_to_json q)))
+      = q)
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "bad-program corpus" `Quick test_bad_corpus;
+        Alcotest.test_case "suite lints clean" `Quick test_suite_clean;
+        Alcotest.test_case "cost estimator exact" `Quick test_cost_exact;
+        Alcotest.test_case "static nodep answers" `Quick test_static_nodep;
+        Alcotest.test_case "edit failures are diagnostics" `Quick
+          test_edit_diagnostics;
+      ] );
+    ( "lint-wire",
+      [
+        Alcotest.test_case "diagnostic codec" `Quick test_diagnostic_codec;
+        Alcotest.test_case "wire program round-trip" `Quick
+          test_wire_program_roundtrip;
+        Alcotest.test_case "error envelope carries diagnostics" `Quick
+          test_err_envelope_diags;
+        QCheck_alcotest.to_alcotest ~long:false prop_json_roundtrip;
+        QCheck_alcotest.to_alcotest ~long:false prop_wire_query_roundtrip;
+      ] );
+  ]
