@@ -542,14 +542,16 @@ let run_eval_file file ident =
 let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock"
 
-let run_serve benchmarks socket workers capacity idle_timeout deadline_ms
-    static_nodep max_submit =
+let run_serve benchmarks socket tcp state_dir workers capacity idle_timeout
+    deadline_ms static_nodep max_submit =
   let open Scaf_server in
   let base = Daemon.default_config ~socket_path:socket () in
   let cfg =
     {
       base with
       Daemon.benchmarks = select_benchmarks benchmarks;
+      tcp;
+      state_dir;
       workers;
       admission = { base.Daemon.admission with Admission.capacity };
       idle_timeout;
@@ -559,20 +561,37 @@ let run_serve benchmarks socket workers capacity idle_timeout deadline_ms
     }
   in
   let t = Daemon.start cfg in
-  Printf.eprintf "scaf-eval: serving %d benchmark(s) on %s\n%!"
+  Printf.eprintf "scaf-eval: serving %d benchmark(s) on %s%s\n%!"
     (List.length cfg.Daemon.benchmarks)
-    socket;
+    (String.concat " and " (Daemon.endpoints t))
+    (match state_dir with
+    | Some d -> Printf.sprintf " (journal in %s)" d
+    | None -> "");
   Daemon.wait t
 
+(* Uncaught client failures become actionable messages instead of
+   backtraces — in particular a protocol [version_mismatch] from a daemon
+   built at a different revision tells the user exactly what to do. *)
 let with_client socket (f : Scaf_server.Client.t -> string list -> unit) =
   let open Scaf_server in
-  let c, benches = Client.connect ~name:"scaf-eval" socket in
-  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c benches)
+  match
+    let c, benches = Client.connect ~name:"scaf-eval" socket in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c benches)
+  with
+  | () -> ()
+  | exception Client.Server_error e ->
+      Fmt.epr "daemon rejected the request [%s]: %s@." e.Protocol.code
+        e.Protocol.msg;
+      exit 1
+  | exception Client.Transport_error msg ->
+      Fmt.epr "cannot talk to a daemon at %s: %s@." socket msg;
+      exit 1
 
 (* [ask fig8] renders the daemon's per-benchmark rows with exactly the
    batch code path, so a full-suite daemon replay is byte-identical to
    [scaf_eval fig8]. *)
-let run_ask what socket bench loop src dst cross deadline_ms file ident =
+let run_ask what socket bench loop src dst cross deadline_ms file ident
+    stream =
   let open Scaf_server in
   match what with
   | "fig8" ->
@@ -657,15 +676,64 @@ let run_ask what socket bench loop src dst cross deadline_ms file ident =
         | None -> Fmt.failwith "ask replay needs --bench"
       in
       with_client socket (fun c _ ->
-          List.iter
-            (fun (lid, _weight, qs) ->
-              List.iteri
-                (fun i q ->
-                  let a = Client.ask ?deadline_ms c ~bench q in
-                  Fmt.pr "%s#%d %s@." lid i (Protocol.render_answer a))
-                qs)
-            (Client.queries c ~bench))
+          let workload = Client.queries c ~bench in
+          if stream then begin
+            (* one streamed ask_many over the whole workload; the
+               reassembled answers render byte-identically to the
+               query-by-query replay below *)
+            let labeled =
+              List.concat_map
+                (fun (lid, _w, qs) -> List.mapi (fun i q -> (lid, i, q)) qs)
+                workload
+            in
+            let answers =
+              Client.ask_many ~stream:true ?deadline_ms c ~bench
+                (List.map (fun (_, _, q) -> q) labeled)
+            in
+            List.iter2
+              (fun (lid, i, _) a ->
+                Fmt.pr "%s#%d %s@." lid i (Protocol.render_answer a))
+              labeled answers
+          end
+          else
+            List.iter
+              (fun (lid, _weight, qs) ->
+                List.iteri
+                  (fun i q ->
+                    let a = Client.ask ?deadline_ms c ~bench q in
+                    Fmt.pr "%s#%d %s@." lid i (Protocol.render_answer a))
+                  qs)
+              workload)
   | other -> Fmt.failwith "unknown ask request %S" other
+
+(* The network chaos matrix, standalone: the CI net-gate's teeth. *)
+let run_netchaos seed =
+  let open Scaf_faultinject in
+  print_endline
+    "Network chaos — every scenario answered, rejected, or expired:";
+  let outcomes = Net_chaos.run_net_chaos ~seed () in
+  print_endline
+    (Report.table
+       ~header:[ "scenario"; "ok"; "detail" ]
+       ~rows:
+         (List.map
+            (fun (s : Server_chaos.server_outcome) ->
+              [
+                s.Server_chaos.s_scenario;
+                (if s.Server_chaos.s_ok then "yes" else "NO");
+                s.Server_chaos.s_detail;
+              ])
+            outcomes));
+  let bad =
+    List.filter
+      (fun (s : Server_chaos.server_outcome) -> not s.Server_chaos.s_ok)
+      outcomes
+  in
+  Fmt.pr "%d network scenarios, %d ok, %d FAILED@."
+    (List.length outcomes)
+    (List.length outcomes - List.length bad)
+    (List.length bad);
+  if bad <> [] then exit 1
 
 let run_resilience seed =
   let open Scaf_faultinject in
@@ -829,10 +897,31 @@ let () =
                   ~doc:
                     "Run the analysis-as-a-service daemon: load the \
                      benchmarks once, then answer PDG dependence queries \
-                     over a Unix socket with admission control, per-request \
-                     deadlines, and graceful degradation under load.")
+                     over a Unix socket — and optionally TCP — with \
+                     admission control, per-request deadlines, and graceful \
+                     degradation under load. With $(b,--state-dir), accepted \
+                     submissions are journaled to disk and replayed on \
+                     restart, so a crash loses nothing.")
                Term.(
                  const run_serve $ bench_arg $ socket_arg
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "tcp" ] ~docv:"HOST:PORT"
+                         ~doc:
+                           "Also listen on this TCP endpoint (port 0 picks \
+                            an ephemeral port, printed at startup). Both \
+                            listeners share the same wire protocol, \
+                            admission control, and sessions.")
+                 $ Arg.(
+                     value
+                     & opt (some string) None
+                     & info [ "state-dir" ] ~docv:"DIR"
+                         ~doc:
+                           "Durable state directory: accepted $(b,submit) \
+                            and $(b,edit) operations are fsync'd to an \
+                            append-only journal here and replayed through \
+                            the admission pipeline on startup.")
                  $ Arg.(
                      value & opt int 2
                      & info [ "workers" ] ~docv:"N"
@@ -872,8 +961,10 @@ let () =
             (let socket_arg =
                Arg.(
                  value & opt string default_socket
-                 & info [ "socket" ] ~docv:"PATH"
-                     ~doc:"Unix-domain socket of a running daemon.")
+                 & info [ "socket" ] ~docv:"ENDPOINT"
+                     ~doc:
+                       "Endpoint of a running daemon: a Unix-domain socket \
+                        path, or $(b,tcp:HOST:PORT) for a TCP listener.")
              in
              Cmd.v
                (Cmd.info "ask"
@@ -935,7 +1026,15 @@ let () =
                      & info [ "id" ] ~docv:"NAME"
                          ~doc:
                            "Program id for $(b,submit) (default: the file \
-                            name without extension).")));
+                            name without extension).")
+                 $ Arg.(
+                     value & flag
+                     & info [ "stream" ]
+                         ~doc:
+                           "For $(b,replay): stream the whole workload \
+                            through one $(b,ask_many) request (incremental \
+                            frames, reassembled client-side) instead of one \
+                            request per query. Output is byte-identical.")));
             Cmd.v
               (Cmd.info "lint"
                  ~doc:
@@ -988,4 +1087,20 @@ let () =
                     value & opt int 2026
                     & info [ "seed" ] ~docv:"SEED"
                         ~doc:"PRNG seed for the fault injector."));
+            Cmd.v
+              (Cmd.info "netchaos"
+                 ~doc:
+                   "Network chaos matrix: drive both daemon transports \
+                    (Unix socket and TCP) through a byte-level fault proxy \
+                    — latency, bandwidth caps, partial and duplicated \
+                    writes, mid-frame truncation, RST, slow-loris — plus \
+                    streaming cancellation and version-skew probes. Every \
+                    scenario must end answered, rejected, or expired; exits \
+                    non-zero on any hang or wrong answer.")
+              Term.(
+                const run_netchaos
+                $ Arg.(
+                    value & opt int 2026
+                    & info [ "seed" ] ~docv:"SEED"
+                        ~doc:"PRNG seed for the chaos matrix."));
           ]))

@@ -1,0 +1,465 @@
+(** Network chaos: byte-level fault scenarios through {!Netproxy}.
+
+    Where {!Server_chaos} attacks the daemon's request handling, this
+    matrix attacks the {e wire itself}, over both transports (Unix socket
+    and TCP): added latency, bandwidth caps, partial and duplicated
+    writes, mid-frame truncation, hard RST, proxied slow-loris, idle
+    heartbeats, streaming replies (identity, cancellation, vanished
+    consumers), and the protocol version gate.
+
+    The invariant is the same service-level one: {e every scenario ends
+    with the request answered, cleanly rejected, or expired — never hung}
+    (each runs under {!Server_chaos.guarded}'s watchdog), and the daemon
+    must still serve a fresh client afterwards. *)
+
+open Scaf_server
+open Server_chaos
+
+let raw_connect_ep (ep : string) : Unix.file_descr =
+  Addr.connect (Addr.of_string ep)
+
+let send_frame (fd : Unix.file_descr) (payload : string) : unit =
+  send_bytes fd (prefix_of (String.length payload) ^ payload)
+
+(* Read reply frames until one is not a heartbeat. *)
+let rec read_reply (fd : Unix.file_descr) : Json.t =
+  match Wire.read_frame ~frame_budget:10.0 fd with
+  | Ok j when Protocol.is_heartbeat j -> read_reply fd
+  | Ok j -> j
+  | Error e -> failwith (Wire.error_to_string e)
+
+(* A scratch TCP or Unix listen spec for the proxy, family-matched to the
+   upstream endpoint so each transport is exercised end to end. *)
+let proxy_listen_for (ep : string) : string =
+  match Addr.of_string ep with
+  | Addr.Tcp _ -> "tcp:127.0.0.1:0"
+  | Addr.Unix_path _ -> scratch_sock ()
+
+let with_proxy ?faults ~(upstream : string) (f : string -> 'a) : 'a =
+  let p =
+    Netproxy.start ?faults ~listen:(proxy_listen_for upstream) ~upstream ()
+  in
+  Fun.protect ~finally:(fun () -> Netproxy.stop p) (fun () -> f (Netproxy.endpoint p))
+
+(* ---- per-transport scenarios against the shared daemon ---- *)
+
+let transport_scenarios ~(tname : string) ~(ep : string) :
+    server_outcome list =
+  let s ?(timeout = 60.0) name body =
+    guarded ~timeout (Printf.sprintf "net/%s/%s" tname name) body
+  in
+  [
+    s "proxy-clean" (fun () ->
+        (* a fault-free proxy must be invisible: answers through it equal
+           answers asked directly *)
+        let direct, qs =
+          let c, _ = Client.connect ep in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let qs = take 8 (all_queries c ~bench:bench_name) in
+              (Client.ask_many c ~bench:bench_name qs, qs))
+        in
+        with_proxy ~upstream:ep (fun pep ->
+            let c, _ = Client.connect pep in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let proxied = Client.ask_many c ~bench:bench_name qs in
+                if proxied <> direct then
+                  failwith "proxied answers differ from direct";
+                Printf.sprintf "%d answers identical through proxy"
+                  (List.length qs))));
+    s "latency" (fun () ->
+        let faults = { Netproxy.no_faults with Netproxy.delay = 0.05 } in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            let c, _ = Client.connect pep in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let a =
+                  Client.ask c ~bench:bench_name (first_query c ~bench:bench_name)
+                in
+                Printf.sprintf "answered under 50ms chunk latency (%s)"
+                  a.Protocol.a_result)));
+    s "bandwidth-cap" (fun () ->
+        let faults =
+          { Netproxy.no_faults with Netproxy.throttle_bps = Some 20_000 }
+        in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            let c, _ = Client.connect pep in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let qs = take 5 (all_queries c ~bench:bench_name) in
+                let answers = Client.ask_many c ~bench:bench_name qs in
+                Printf.sprintf "%d answers under a 20kB/s cap"
+                  (List.length answers))));
+    s "partial-writes" (fun () ->
+        (* every frame delivered 3 bytes at a time: framing must
+           reassemble exactly; the budget must tolerate the trickle *)
+        let faults = { Netproxy.no_faults with Netproxy.chunk = Some 3 } in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            let c, _ = Client.connect pep in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                Client.ping c;
+                let a =
+                  Client.ask c ~bench:bench_name (first_query c ~bench:bench_name)
+                in
+                Printf.sprintf "answered under 3-byte writes (%s)"
+                  a.Protocol.a_result)));
+    s "duplicate-bytes" (fun () ->
+        (* a duplicated chunk corrupts the framing (it may land inside
+           the hello): the daemon must reject or hang up, never crash or
+           hang. The query is fetched over a clean connection first. *)
+        let q =
+          let c, _ = Client.connect ep in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () -> first_query c ~bench:bench_name)
+        in
+        let faults =
+          {
+            Netproxy.no_faults with
+            Netproxy.duplicate_after = Some 10;
+            dir = `C2s;
+          }
+        in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            (match
+               let c, _ =
+                 Client.connect ~retry:Client.no_retry ~name:"dup" pep
+               in
+               Fun.protect
+                 ~finally:(fun () -> Client.close c)
+                 (fun () -> Client.ask c ~bench:bench_name q)
+             with
+            | _ -> ()  (* the dup may land between frames: harmless *)
+            | exception Client.Server_error _ -> ()
+            | exception Client.Transport_error _ -> ());
+            if still_serving ep then "daemon survived duplicated bytes"
+            else failwith "down"));
+    s "truncate-mid-frame" (fun () ->
+        let faults =
+          {
+            Netproxy.no_faults with
+            Netproxy.truncate_after = Some 10;
+            dir = `C2s;
+          }
+        in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            (* the cut can land inside the hello, so the connect itself is
+               allowed to fail — just never hang *)
+            (match
+               let c, _ =
+                 Client.connect ~retry:Client.no_retry ~name:"trunc" pep
+               in
+               Fun.protect
+                 ~finally:(fun () -> Client.close c)
+                 (fun () -> Client.ping c)
+             with
+            | () -> failwith "expected the truncated conversation to fail"
+            | exception Client.Transport_error _ -> ()
+            | exception Client.Server_error _ -> ());
+            if still_serving ep then "cut mid-frame, daemon unaffected"
+            else failwith "down"));
+    s "rst" (fun () ->
+        let faults =
+          { Netproxy.no_faults with Netproxy.reset_after = Some 6 }
+        in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            (* the RST fires during the hello, so the connect itself is
+               allowed to fail — just never hang *)
+            (match
+               let c, _ =
+                 Client.connect ~retry:Client.no_retry ~name:"rst" pep
+               in
+               Fun.protect
+                 ~finally:(fun () -> Client.close c)
+                 (fun () -> Client.ping c)
+             with
+            | () -> failwith "expected the reset conversation to fail"
+            | exception Client.Transport_error _ -> ()
+            | exception Client.Server_error _ -> ());
+            if still_serving ep then "reset mid-stream, daemon unaffected"
+            else failwith "down"));
+    s "version-mismatch" (fun () ->
+        (* a wrong or missing version must be a clear, non-retryable
+           error frame — never a parse failure, never a hang *)
+        let try_payload payload =
+          let fd = raw_connect_ep ep in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              send_frame fd payload;
+              match Protocol.open_envelope (read_reply fd) with
+              | Error e ->
+                  if e.Protocol.code <> "version_mismatch" then
+                    failwith ("expected version_mismatch, got " ^ e.Protocol.code);
+                  if e.Protocol.retryable then
+                    failwith "version_mismatch must not be retryable"
+              | Ok _ -> failwith "mismatched version was accepted")
+        in
+        try_payload {|{"v":99,"op":"ping"}|};
+        try_payload {|{"op":"ping"}|};
+        "wrong and missing versions rejected, non-retryable");
+    s "stream-identical" (fun () ->
+        (* a streamed ask_many must reassemble to exactly the batch
+           answers, directly and through a clean proxy *)
+        let c, _ = Client.connect ep in
+        let batch, streamed, qs =
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let qs = take 10 (all_queries c ~bench:bench_name) in
+              let batch = Client.ask_many c ~bench:bench_name qs in
+              let streamed, summary = Client.ask_stream c ~bench:bench_name qs in
+              if summary.Protocol.st_count <> List.length qs then
+                failwith "stream summary count mismatch";
+              if summary.Protocol.st_cancelled then
+                failwith "uncancelled stream flagged cancelled";
+              (batch, streamed, qs))
+        in
+        if streamed <> batch then failwith "streamed answers differ from batch";
+        with_proxy ~upstream:ep (fun pep ->
+            let c, _ = Client.connect pep in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let via_proxy, _ = Client.ask_stream c ~bench:bench_name qs in
+                if via_proxy <> batch then
+                  failwith "proxied stream differs from batch";
+                Printf.sprintf "%d streamed answers identical to batch"
+                  (List.length qs))));
+  ]
+
+(* ---- streaming lifecycle scenarios (their own slow daemon, so the
+   stream is long enough to interrupt deterministically) ---- *)
+
+let slow_stream_scenarios ~(tname : string) ~(ep : string) :
+    server_outcome list =
+  let s ?(timeout = 120.0) name body =
+    guarded ~timeout (Printf.sprintf "net/%s/%s" tname name) body
+  in
+  [
+    s "stream-cancel" (fun () ->
+        let c, _ = Client.connect ep in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let qs = take 30 (all_queries c ~bench:bench_name) in
+            let seen = ref 0 in
+            let answers, summary =
+              Client.ask_stream
+                ~on_item:(fun _ _ ->
+                  incr seen;
+                  if !seen = 1 then `Cancel else `Continue)
+                c ~bench:bench_name qs
+            in
+            if not summary.Protocol.st_cancelled then
+              failwith "cancel was not acknowledged in the summary";
+            if List.length answers >= List.length qs then
+              failwith "cancelled stream still delivered every answer";
+            if not (still_serving ep) then failwith "down";
+            Printf.sprintf "cancelled after %d of %d answers"
+              (List.length answers) (List.length qs)));
+    s "client-vanishes-mid-stream" (fun () ->
+        let qs =
+          let c, _ = Client.connect ep in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () -> take 30 (all_queries c ~bench:bench_name))
+        in
+        let fd = raw_connect_ep ep in
+        send_frame fd
+          (Json.to_string
+             (Protocol.request_to_json
+                (Protocol.Ask_many
+                   {
+                     bench = bench_name;
+                     qs;
+                     deadline_ms = None;
+                     stream = true;
+                   })));
+        (* read up to the first item, then vanish without a word *)
+        let rec to_first_item () =
+          match Wire.read_frame ~frame_budget:30.0 fd with
+          | Ok j -> (
+              match Protocol.stream_frame_of_json j with
+              | Protocol.Sitem _ -> ()
+              | Protocol.Sheartbeat -> to_first_item ()
+              | _ -> failwith "stream ended before first item")
+          | Error e -> failwith (Wire.error_to_string e)
+        in
+        to_first_item ();
+        Unix.close fd;
+        Thread.delay 0.5;
+        if still_serving ep then "daemon survived vanished stream consumer"
+        else failwith "down");
+  ]
+
+(* ---- slow-loris through the proxy, against a tight frame budget ---- *)
+
+let loris_scenarios ~(tname : string) ~(ep : string) : server_outcome list =
+  [
+    guarded ~timeout:60.0
+      (Printf.sprintf "net/%s/proxied-slow-loris" tname)
+      (fun () ->
+        (* one byte per 120ms through the proxy: the daemon's 0.5s frame
+           budget must cut the dribble off *)
+        let faults =
+          {
+            Netproxy.no_faults with
+            Netproxy.chunk = Some 1;
+            delay = 0.12;
+            dir = `C2s;
+          }
+        in
+        with_proxy ~faults ~upstream:ep (fun pep ->
+            let fd = raw_connect_ep pep in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with _ -> ())
+              (fun () ->
+                let cut = ref false in
+                (try
+                   send_frame fd
+                     (Json.to_string
+                        (Protocol.request_to_json Protocol.Ping));
+                   (* the proxy dribbles; wait for the daemon's verdict *)
+                   match Wire.read_frame ~frame_budget:20.0 fd with
+                   | Error (Wire.Closed | Wire.Truncated _) -> cut := true
+                   | Ok j ->
+                       let code = expect_err_code j in
+                       if code = "bad_request" then cut := true
+                       else failwith ("unexpected reply " ^ code)
+                   | Error e -> failwith (Wire.error_to_string e)
+                 with
+                | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                    cut := true);
+                if not !cut then failwith "daemon tolerated the dribble";
+                if still_serving ep then "dribble cut off, daemon serving"
+                else failwith "down")));
+  ]
+
+(* ---- idle keepalive heartbeats ---- *)
+
+let heartbeat_scenarios ~(tname : string) ~(ep : string) :
+    server_outcome list =
+  [
+    guarded ~timeout:30.0
+      (Printf.sprintf "net/%s/idle-heartbeat" tname)
+      (fun () ->
+        let fd = raw_connect_ep ep in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () ->
+            (* say nothing; the daemon must speak first *)
+            match Wire.read_frame ~frame_budget:10.0 fd with
+            | Ok j when Protocol.is_heartbeat j ->
+                "heartbeat arrived on an idle connection"
+            | Ok j -> failwith ("unexpected frame " ^ Json.to_string j)
+            | Error e -> failwith (Wire.error_to_string e)))
+  ]
+
+(* ---- the matrix ---- *)
+
+(** Run the full network chaos matrix over both transports. Every
+    scenario runs under a watchdog; a hang is a failing outcome, not a
+    hung harness. *)
+let run_net_chaos ?(seed = 2026) () : server_outcome list =
+  ignore seed;
+  let both_listeners cfg = { cfg with Daemon.tcp = Some "127.0.0.1:0" } in
+  let endpoints_of (d : Daemon.t) (cfg : Daemon.config) :
+      (string * string) list =
+    match Daemon.tcp_endpoint d with
+    | Some tcp -> [ ("unix", cfg.Daemon.socket_path); ("tcp", tcp) ]
+    | None -> [ ("unix", cfg.Daemon.socket_path) ]
+  in
+  (* shared daemon, both listeners *)
+  let shared =
+    let cfg =
+      both_listeners
+        (Daemon.default_config ~socket_path:(scratch_sock ())
+           ~benchmarks:(benchmarks ()) ())
+    in
+    let d = Daemon.start cfg in
+    Fun.protect
+      ~finally:(fun () -> Daemon.stop d)
+      (fun () ->
+        List.concat_map
+          (fun (tname, ep) -> transport_scenarios ~tname ~ep)
+          (endpoints_of d cfg))
+  in
+  (* slow daemon: each answer takes ~20ms, so streams are interruptible *)
+  let streaming =
+    let slow ms =
+      List.map
+        (fun (m : Scaf.Module_api.t) ->
+          {
+            m with
+            Scaf.Module_api.answer =
+              (fun ctx q ->
+                Thread.delay 0.02;
+                m.Scaf.Module_api.answer ctx q);
+          })
+        ms
+    in
+    let cfg =
+      {
+        (both_listeners
+           (Daemon.default_config ~socket_path:(scratch_sock ())
+              ~benchmarks:(benchmarks ()) ()))
+        with
+        Daemon.wrap = slow;
+        workers = 2;
+      }
+    in
+    let d = Daemon.start cfg in
+    Fun.protect
+      ~finally:(fun () -> Daemon.stop d)
+      (fun () ->
+        List.concat_map
+          (fun (tname, ep) -> slow_stream_scenarios ~tname ~ep)
+          (endpoints_of d cfg))
+  in
+  (* tight frame budget for the proxied slow-loris *)
+  let loris =
+    let cfg =
+      {
+        (both_listeners
+           (Daemon.default_config ~socket_path:(scratch_sock ())
+              ~benchmarks:(benchmarks ()) ()))
+        with
+        Daemon.frame_budget = 0.5;
+      }
+    in
+    let d = Daemon.start cfg in
+    Fun.protect
+      ~finally:(fun () -> Daemon.stop d)
+      (fun () ->
+        List.concat_map
+          (fun (tname, ep) -> loris_scenarios ~tname ~ep)
+          (endpoints_of d cfg))
+  in
+  (* fast heartbeats so idleness is observable in test time *)
+  let heartbeat =
+    let cfg =
+      {
+        (both_listeners
+           (Daemon.default_config ~socket_path:(scratch_sock ())
+              ~benchmarks:(benchmarks ()) ()))
+        with
+        Daemon.heartbeat_interval = 0.3;
+      }
+    in
+    let d = Daemon.start cfg in
+    Fun.protect
+      ~finally:(fun () -> Daemon.stop d)
+      (fun () ->
+        List.concat_map
+          (fun (tname, ep) -> heartbeat_scenarios ~tname ~ep)
+          (endpoints_of d cfg))
+  in
+  shared @ streaming @ loris @ heartbeat

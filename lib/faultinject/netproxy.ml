@@ -1,0 +1,260 @@
+(** A byte-level network chaos proxy.
+
+    Sits between a client and the SCAF query daemon and mangles the byte
+    stream the way real networks do — added latency, bandwidth caps,
+    writes split into tiny pieces, duplicated chunks, mid-frame
+    truncation, hard RST — without either endpoint cooperating. The
+    daemon's transport hardening (frame budgets, write budgets,
+    heartbeats, torn-frame rejection) is exactly the code under test, so
+    the proxy deliberately operates {e below} the framing layer: it
+    forwards opaque bytes and never parses a frame.
+
+    Topology: one listener, one upstream. Each accepted connection gets
+    its own upstream connection and two pump threads (client→server and
+    server→client); faults apply per direction ({!faults.dir}). A
+    terminal fault (truncate, reset) kills both directions at once, which
+    is what a dropped route or middlebox RST looks like from the ends.
+
+    The proxy speaks both transports on both sides ({!Addr}): listen on a
+    Unix path and forward to TCP, or any other combination. *)
+
+open Scaf_server
+
+type faults = {
+  delay : float;  (** seconds added before forwarding each chunk *)
+  chunk : int option;  (** split forwards into at most this many bytes *)
+  throttle_bps : int option;  (** cap forwarded bytes per second *)
+  truncate_after : int option;
+      (** forward this many bytes, then close both ends mid-stream *)
+  reset_after : int option;
+      (** forward this many bytes, then RST both ends *)
+  duplicate_after : int option;
+      (** duplicate the chunk that crosses this byte offset *)
+  dir : [ `C2s | `S2c | `Both ];  (** which direction the faults hit *)
+}
+
+let no_faults : faults =
+  {
+    delay = 0.0;
+    chunk = None;
+    throttle_bps = None;
+    truncate_after = None;
+    reset_after = None;
+    duplicate_after = None;
+    dir = `Both;
+  }
+
+type conn = { c_fd : Unix.file_descr; s_fd : Unix.file_descr }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  laddr : Addr.t;  (** resolved listen address (ephemeral port filled in) *)
+  upstream : Addr.t;
+  faults : faults;
+  mutable stopping : bool;
+  conns : (int, conn) Hashtbl.t;
+  cm : Mutex.t;
+  mutable next_cid : int;
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;
+}
+
+let with_conns (p : t) (f : unit -> 'a) : 'a =
+  Mutex.lock p.cm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.cm) f
+
+(* Close both ends of a connection; [reset] turns the TCP close into an
+   RST. Idempotent: double closes are swallowed. *)
+let kill_conn ?(reset = false) (conn : conn) : unit =
+  let close fd = if reset then Addr.reset_close fd else try Unix.close fd with _ -> () in
+  close conn.c_fd;
+  close conn.s_fd
+
+(* One pump direction: read chunks from [src], apply the fault schedule,
+   forward to [dst]. Returns when the stream ends (EOF, error, terminal
+   fault, or proxy stop). *)
+let pump (p : t) (conn : conn) ~(active : bool) (src : Unix.file_descr)
+    (dst : Unix.file_descr) : unit =
+  let f = p.faults in
+  let buf = Bytes.create 4096 in
+  let forwarded = ref 0 in
+  let finished = ref false in
+  let write_all (b : Bytes.t) (off : int) (len : int) : bool =
+    let o = ref off and rem = ref len in
+    let ok = ref true in
+    while !ok && !rem > 0 do
+      match Unix.write dst b !o !rem with
+      | k ->
+          o := !o + k;
+          rem := !rem - k
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Thread.delay 0.01
+      | exception _ -> ok := false
+    done;
+    !ok
+  in
+  (* forward [len] bytes honoring chunking/throttle/duplication; returns
+     false when the connection died under us *)
+  let forward (len : int) : bool =
+    let step =
+      match (active, f.chunk) with
+      | true, Some c -> max 1 c
+      | _ -> len
+    in
+    let off = ref 0 in
+    let ok = ref true in
+    while !ok && !off < len do
+      (* latency applies per forwarded piece: with [chunk = Some 1] this
+         is a true slow-loris dribble, one byte per [delay] *)
+      if active && f.delay > 0.0 then Thread.delay f.delay;
+      let n = min step (len - !off) in
+      let crossing k = !forwarded < k && !forwarded + n >= k in
+      (* terminal faults fire on the chunk that crosses the threshold *)
+      (match (active, f.truncate_after) with
+      | true, Some k when crossing k ->
+          let keep = k - !forwarded in
+          if keep > 0 then ignore (write_all buf !off keep);
+          kill_conn conn;
+          ok := false;
+          finished := true
+      | _ -> ());
+      (match (active, f.reset_after) with
+      | true, Some k when !ok && crossing k ->
+          let keep = k - !forwarded in
+          if keep > 0 then ignore (write_all buf !off keep);
+          kill_conn ~reset:true conn;
+          ok := false;
+          finished := true
+      | _ -> ());
+      if !ok then begin
+        let dup =
+          match (active, f.duplicate_after) with
+          | true, Some k -> crossing k
+          | _ -> false
+        in
+        if write_all buf !off n then begin
+          if dup then ignore (write_all buf !off n);
+          forwarded := !forwarded + n;
+          (match (active, f.throttle_bps) with
+          | true, Some bps when bps > 0 ->
+              Thread.delay (float_of_int n /. float_of_int bps)
+          | _ -> ());
+          if step < len then Thread.delay 0.005;
+          off := !off + n
+        end
+        else begin
+          ok := false;
+          finished := true
+        end
+      end
+    done;
+    !ok
+  in
+  (try Unix.setsockopt_float src Unix.SO_RCVTIMEO 0.2 with _ -> ());
+  while not !finished do
+    if p.stopping then finished := true
+    else
+      match Unix.read src buf 0 (Bytes.length buf) with
+      | 0 ->
+          (* half-close propagates: the peer may still be replying *)
+          (try Unix.shutdown dst Unix.SHUTDOWN_SEND with _ -> ());
+          finished := true
+      | n -> if not (forward n) then finished := true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception _ -> finished := true
+  done
+
+let handle_conn (p : t) (cid : int) (conn : conn) : unit =
+  Fun.protect
+    ~finally:(fun () ->
+      kill_conn conn;
+      with_conns p (fun () -> Hashtbl.remove p.conns cid))
+    (fun () ->
+      let c2s_active = p.faults.dir <> `S2c in
+      let s2c_active = p.faults.dir <> `C2s in
+      let s2c =
+        Thread.create
+          (fun () -> pump p conn ~active:s2c_active conn.s_fd conn.c_fd)
+          ()
+      in
+      pump p conn ~active:c2s_active conn.c_fd conn.s_fd;
+      Thread.join s2c)
+
+(* The listener is polled through [select] with a short tick: a thread
+   blocked in a bare [accept] is NOT woken by another thread closing the
+   fd, so a blocking loop would make [stop] hang in [Thread.join]. *)
+let accept_loop (p : t) () : unit =
+  while not p.stopping do
+    match
+      match Unix.select [ p.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> None
+      | _ -> Some (Unix.accept p.listen_fd)
+    with
+    | None -> ()
+    | Some (c_fd, _) ->
+        if p.stopping then (try Unix.close c_fd with _ -> ())
+        else (
+          match Addr.connect p.upstream with
+          | s_fd ->
+              let conn = { c_fd; s_fd } in
+              let cid =
+                with_conns p (fun () ->
+                    let cid = p.next_cid in
+                    p.next_cid <- cid + 1;
+                    Hashtbl.add p.conns cid conn;
+                    cid)
+              in
+              p.conn_threads <-
+                Thread.create (fun () -> handle_conn p cid conn) ()
+                :: p.conn_threads
+          | exception _ ->
+              (* upstream refused: the client sees an immediate close,
+                 exactly what a dead backend looks like *)
+              (try Unix.close c_fd with _ -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception _ -> if not p.stopping then Thread.delay 0.05
+  done
+
+(** Start a proxy: [listen] (port 0 resolved) forwarding to [upstream],
+    both as {!Addr} strings. *)
+let start ?(faults = no_faults) ~(listen : string) ~(upstream : string) () :
+    t =
+  let laddr = Addr.of_string listen in
+  let upstream = Addr.of_string upstream in
+  let listen_fd = Addr.listen laddr in
+  let p =
+    {
+      listen_fd;
+      laddr = Addr.bound listen_fd laddr;
+      upstream;
+      faults;
+      stopping = false;
+      conns = Hashtbl.create 8;
+      cm = Mutex.create ();
+      next_cid = 1;
+      accept_thread = None;
+      conn_threads = [];
+    }
+  in
+  p.accept_thread <- Some (Thread.create (accept_loop p) ());
+  p
+
+(** The endpoint string clients should connect to. *)
+let endpoint (p : t) : string = Addr.to_string p.laddr
+
+(** Stop the proxy: close the listener and every live connection, join
+    every thread. *)
+let stop (p : t) : unit =
+  p.stopping <- true;
+  (try Unix.close p.listen_fd with _ -> ());
+  with_conns p (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          (try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ());
+          try Unix.shutdown c.s_fd Unix.SHUTDOWN_ALL with _ -> ())
+        p.conns);
+  (match p.accept_thread with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join p.conn_threads

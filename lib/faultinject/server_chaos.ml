@@ -37,8 +37,13 @@ let benchmarks () =
 (* A scenario body gets [timeout] seconds on a watchdog thread: a hung
    scenario becomes a failing outcome instead of a hung harness — the
    no-hangs contract is checked by construction. *)
+(* opt-in progress tracing for debugging the matrices *)
+let trace =
+  match Sys.getenv_opt "SCAF_CHAOS_TRACE" with Some _ -> true | None -> false
+
 let guarded ~(timeout : float) (scenario : string) (body : unit -> string) :
     server_outcome =
+  if trace then Printf.eprintf "[chaos] %s ...\n%!" scenario;
   let result = ref None in
   let m = Mutex.create () in
   let c = Condition.create () in
@@ -75,10 +80,15 @@ let guarded ~(timeout : float) (scenario : string) (body : unit -> string) :
   match r with
   | Some (ok, detail) ->
       Thread.join worker;
+      if trace then
+        Printf.eprintf "[chaos] %s: %s (%s)\n%!" scenario
+          (if ok then "ok" else "FAIL")
+          detail;
       { s_scenario = scenario; s_ok = ok; s_detail = detail }
   | None ->
       (* the worker is abandoned, not joined: it is hung, which is exactly
          the finding *)
+      if trace then Printf.eprintf "[chaos] %s: HUNG\n%!" scenario;
       {
         s_scenario = scenario;
         s_ok = false;
@@ -253,7 +263,9 @@ let normal_daemon_scenarios ~(seed : int) (path : string) :
           Fun.protect
             ~finally:(fun () -> try Unix.close fd with _ -> ())
             (fun () ->
-              let payload = {|{"op":"frobnicate"}|} in
+              (* versioned correctly, so the gate passes and the op
+                 parser is what rejects it *)
+              let payload = {|{"op":"frobnicate","v":2}|} in
               send_bytes fd (prefix_of (String.length payload) ^ payload);
               match Wire.read_frame ~frame_budget:10.0 fd with
               | Ok j when expect_err_code j = "bad_request" -> "rejected"

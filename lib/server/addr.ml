@@ -1,0 +1,117 @@
+(** Server addresses: one vocabulary for both transports.
+
+    Every place that names an endpoint — the daemon's listeners, the
+    client's [--socket] flag, the chaos proxy's two ends — speaks the same
+    string syntax:
+
+    - ["tcp:HOST:PORT"] — a TCP endpoint ([HOST] is a dotted quad or a
+      resolvable name; [PORT] 0 asks the kernel for an ephemeral port, and
+      {!bound} recovers the one actually assigned);
+    - anything else — a Unix-domain socket path.
+
+    The helpers here are deliberately thin wrappers over [Unix]: parse,
+    print, listen (with [SO_REUSEADDR] on TCP, so a restarted daemon does
+    not trip over its own TIME_WAIT sockets), and connect (with
+    [TCP_NODELAY] on TCP — the protocol is small request/response frames,
+    exactly the workload Nagle's algorithm penalizes). *)
+
+type t =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+let to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+(** Parse an endpoint string. Raises [Invalid_argument] on a malformed
+    ["tcp:..."] spec; any string without the prefix is a socket path. *)
+let of_string (s : string) : t =
+  match String.length s >= 4 && String.sub s 0 4 = "tcp:" with
+  | false -> Unix_path s
+  | true -> (
+      let rest = String.sub s 4 (String.length s - 4) in
+      match String.rindex_opt rest ':' with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Addr.of_string: %S wants tcp:HOST:PORT" s)
+      | Some i -> (
+          let host = String.sub rest 0 i in
+          let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 && host <> "" ->
+              Tcp (host, p)
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Addr.of_string: %S wants tcp:HOST:PORT" s)))
+
+let resolve_inet (host : string) : Unix.inet_addr =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr_of (a : t) : Unix.sockaddr =
+  match a with
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (h, p) -> Unix.ADDR_INET (resolve_inet h, p)
+
+let domain_of = function
+  | Unix_path _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+(** Bind and listen. TCP listeners get [SO_REUSEADDR] (restart without
+    waiting out TIME_WAIT); the caller owns stale-socket handling for Unix
+    paths (the daemon probes liveness first). *)
+let listen ?(backlog = 64) (a : t) : Unix.file_descr =
+  let fd = Unix.socket (domain_of a) Unix.SOCK_STREAM 0 in
+  match
+    (match a with
+    | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Unix_path _ -> ());
+    Unix.bind fd (sockaddr_of a);
+    Unix.listen fd backlog
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+(** The address a listening fd actually bound — resolves a requested port
+    0 to the kernel-assigned ephemeral port. *)
+let bound (fd : Unix.file_descr) (a : t) : t =
+  match (a, Unix.getsockname fd) with
+  | Tcp (h, _), Unix.ADDR_INET (_, p) -> Tcp (h, p)
+  | _ -> a
+
+(** Tune an {e accepted} connection for the protocol: [TCP_NODELAY] (small
+    frames must not wait on Nagle) and [SO_KEEPALIVE] (a vanished peer on
+    a quiet connection is eventually detected by the kernel, below the
+    application-level heartbeats). No-ops on Unix sockets. *)
+let tune_accepted (a : t) (fd : Unix.file_descr) : unit =
+  match a with
+  | Unix_path _ -> ()
+  | Tcp _ ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+      (try Unix.setsockopt fd Unix.SO_KEEPALIVE true with _ -> ())
+
+(** Connect to an endpoint (with [TCP_NODELAY] on TCP). *)
+let connect (a : t) : Unix.file_descr =
+  let fd = Unix.socket (domain_of a) Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (sockaddr_of a);
+    match a with
+    | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+    | Unix_path _ -> ()
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+(** Hard reset: on TCP, [SO_LINGER 0] turns the close into an RST instead
+    of an orderly FIN — the chaos proxy's "connection reset by peer". *)
+let reset_close (fd : Unix.file_descr) : unit =
+  (try Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0) with _ -> ());
+  try Unix.close fd with _ -> ()

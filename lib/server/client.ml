@@ -2,11 +2,17 @@
 
     Connection management is deliberately boring: one socket, one
     outstanding request (the protocol is strictly request/response per
-    connection), and a retry layer with exponential backoff + jitter that
-    re-resolves both transport failures (connect refused, connection reset
-    mid-call) and the server's explicit retryable rejections — honoring a
-    [retry_after_ms] hint when the server provides one. Non-retryable
-    server errors surface immediately as {!Server_error}. *)
+    connection — the one exception is a streaming [ask_many], whose reply
+    is a frame sequence), and a retry layer with exponential backoff +
+    jitter that re-resolves both transport failures (connect refused,
+    connection reset mid-call) and the server's explicit retryable
+    rejections — honoring a [retry_after_ms] hint when the server provides
+    one. Non-retryable server errors surface immediately as
+    {!Server_error}.
+
+    The endpoint string accepts both transports ({!Addr}): a plain path is
+    a Unix-domain socket, ["tcp:HOST:PORT"] a TCP endpoint. Every read
+    path transparently skips the daemon's keepalive heartbeat frames. *)
 
 exception Server_error of Protocol.err
 (** a structured failure the server deliberately sent *)
@@ -46,12 +52,11 @@ let backoff_s (c : t) ~(attempt : int) ~(hint_ms : float option) : float =
   Random.State.float c.rng (Float.max ceiling 0.001) /. 1000.0
 
 let connect_fd (c : t) : Unix.file_descr =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX c.path) with
-  | () -> fd
-  | exception e ->
-      (try Unix.close fd with _ -> ());
-      raise e
+  let addr =
+    try Addr.of_string c.path
+    with Invalid_argument msg -> raise (Transport_error msg)
+  in
+  Addr.connect addr
 
 let disconnect (c : t) : unit =
   match c.fd with
@@ -70,9 +75,11 @@ let exchange (c : t) (req : Protocol.request) : (Json.t, Protocol.err) result
     | Some fd -> fd
     | None ->
         let fd =
-          try connect_fd c
-          with Unix.Unix_error (e, _, _) ->
-            raise (Transport_error (Unix.error_message e))
+          match connect_fd c with
+          | fd -> fd
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Transport_error (Unix.error_message e))
+          | exception Failure msg -> raise (Transport_error msg)
         in
         c.fd <- Some fd;
         fd
@@ -84,12 +91,18 @@ let exchange (c : t) (req : Protocol.request) : (Json.t, Protocol.err) result
   match Wire.write_frame fd (Protocol.request_to_json req) with
   | Error e -> fail (Wire.error_to_string e)
   | Ok () -> (
-      match Wire.read_frame fd with
-      | Error e -> fail (Wire.error_to_string e)
-      | Ok j -> (
-          match Protocol.open_envelope j with
-          | r -> r
-          | exception Json.Parse_error msg -> fail msg))
+      (* skip idle-keepalive heartbeats: they carry no data and may
+         arrive ahead of any reply *)
+      let rec read () =
+        match Wire.read_frame fd with
+        | Error e -> fail (Wire.error_to_string e)
+        | Ok j when Protocol.is_heartbeat j -> read ()
+        | Ok j -> (
+            match Protocol.open_envelope j with
+            | r -> r
+            | exception Json.Parse_error msg -> fail msg)
+      in
+      read ())
 
 (** Send one request, retrying transport failures and retryable server
     rejections with backoff. Raises {!Server_error} on a non-retryable
@@ -151,13 +164,128 @@ let ask ?deadline_ms (c : t) ~(bench : string) (q : Protocol.wire_query) :
   | Some a -> Protocol.answer_of_json a
   | None -> raise (Transport_error "response missing \"answer\"")
 
-(** Ask a batch; the i-th answer matches the i-th query. *)
-let ask_many ?deadline_ms (c : t) ~(bench : string)
+(* One streaming ask_many over the current socket: send the request, then
+   reassemble the frame sequence (items in index order, heartbeats
+   skipped) until the terminal summary. An error envelope before any item
+   is an ordinary rejection (connection intact); one mid-stream means the
+   server abandoned the stream — the socket is dropped either way the
+   framing is uncertain. *)
+let stream_exchange (c : t) ~(bench : string)
+    ~(qs : Protocol.wire_query list) ~(deadline_ms : float option)
+    ~(on_item : (int -> Protocol.answer -> [ `Continue | `Cancel ]) option) :
+    (Protocol.answer list * Protocol.stream_summary, Protocol.err) result =
+  let fd =
+    match c.fd with
+    | Some fd -> fd
+    | None ->
+        let fd =
+          match connect_fd c with
+          | fd -> fd
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Transport_error (Unix.error_message e))
+          | exception Failure msg -> raise (Transport_error msg)
+        in
+        c.fd <- Some fd;
+        fd
+  in
+  let fail msg =
+    disconnect c;
+    raise (Transport_error msg)
+  in
+  match
+    Wire.write_frame fd
+      (Protocol.request_to_json
+         (Protocol.Ask_many { bench; qs; deadline_ms; stream = true }))
+  with
+  | Error e -> fail (Wire.error_to_string e)
+  | Ok () ->
+      let items = ref [] in
+      let cancel_sent = ref false in
+      let rec read () =
+        match Wire.read_frame fd with
+        | Error e -> fail (Wire.error_to_string e)
+        | Ok j -> (
+            match Protocol.open_envelope j with
+            | Error e ->
+                (* a mid-stream abort loses framing; a pre-stream
+                   rejection leaves the connection usable *)
+                if !items <> [] then disconnect c;
+                Error e
+            | Ok j -> (
+                match Protocol.stream_frame_of_json j with
+                | Protocol.Sheartbeat -> read ()
+                | Protocol.Sitem (i, a) ->
+                    items := (i, a) :: !items;
+                    (match on_item with
+                    | Some f when not !cancel_sent -> (
+                        match f i a with
+                        | `Cancel ->
+                            cancel_sent := true;
+                            ignore
+                              (Wire.write_frame fd
+                                 (Protocol.request_to_json Protocol.Cancel))
+                        | `Continue -> ())
+                    | _ -> ());
+                    read ()
+                | Protocol.Send s ->
+                    let answers =
+                      List.sort
+                        (fun (i, _) (k, _) -> Int.compare i k)
+                        (List.rev !items)
+                      |> List.map snd
+                    in
+                    Ok (answers, s)
+                | Protocol.Snot_stream ->
+                    fail "expected a stream frame in the reply"
+                | exception Json.Parse_error msg -> fail msg))
+        | exception Json.Parse_error msg -> fail msg
+      in
+      read ()
+
+(** Ask a batch as a {e stream}: the daemon frames each answer as it
+    resolves, and this call reassembles them in query order. [on_item]
+    observes each item as it arrives and may return [`Cancel] to stop the
+    stream mid-flight (the summary then has [st_cancelled] set and the
+    answer list holds only what arrived). Admission rejections and
+    retryable aborts (e.g. [stream_overrun]) are retried like {!rpc};
+    answers already received are discarded on retry, so the result is
+    always one coherent stream. *)
+let ask_stream ?deadline_ms ?on_item (c : t) ~(bench : string)
+    (qs : Protocol.wire_query list) :
+    Protocol.answer list * Protocol.stream_summary =
+  if c.closed then raise (Transport_error "client closed");
+  let rec go attempt =
+    let retry_or ~hint_ms (fail : unit -> 'a) =
+      if attempt + 1 >= c.retry.attempts then fail ()
+      else begin
+        Thread.delay (backoff_s c ~attempt ~hint_ms);
+        go (attempt + 1)
+      end
+    in
+    match stream_exchange c ~bench ~qs ~deadline_ms ~on_item with
+    | Ok r -> r
+    | Error e when e.Protocol.retryable ->
+        retry_or ~hint_ms:e.Protocol.retry_after_ms (fun () ->
+            raise (Server_error e))
+    | Error e -> raise (Server_error e)
+    | exception Transport_error msg ->
+        retry_or ~hint_ms:None (fun () -> raise (Transport_error msg))
+  in
+  go 0
+
+(** Ask a batch; the i-th answer matches the i-th query. With
+    [~stream:true] the reply arrives incrementally and is reassembled —
+    byte-identical answers, lower time-to-first-answer. *)
+let ask_many ?deadline_ms ?(stream = false) (c : t) ~(bench : string)
     (qs : Protocol.wire_query list) : Protocol.answer list =
-  let j = rpc c (Protocol.Ask_many { bench; qs; deadline_ms }) in
-  match Json.member "answers" j with
-  | Some (Json.List l) -> List.map Protocol.answer_of_json l
-  | _ -> raise (Transport_error "response missing \"answers\"")
+  if stream then fst (ask_stream ?deadline_ms c ~bench qs)
+  else
+    let j =
+      rpc c (Protocol.Ask_many { bench; qs; deadline_ms; stream = false })
+    in
+    match Json.member "answers" j with
+    | Some (Json.List l) -> List.map Protocol.answer_of_json l
+    | _ -> raise (Transport_error "response missing \"answers\"")
 
 (** The benchmark's PDG workload: (loop, weight, queries) per hot loop. *)
 let queries (c : t) ~(bench : string) :

@@ -3,37 +3,68 @@
     One process loads every configured benchmark once (parse, verify,
     profile — the dominant cost of a batch run), keeps the shared
     canonicalizing caches warm, and answers dependence queries over a
-    length-prefixed JSON protocol ({!Wire}) on a Unix-domain socket.
+    length-prefixed JSON protocol ({!Wire}) on a Unix-domain socket and,
+    optionally, a TCP listener ({!Addr}) — both speak the same framing,
+    share the same admission queue, and count against the same session
+    table.
 
     Thread layout:
 
-    - the {e accept} thread owns the listening socket and, once asked to
-      stop, performs the final teardown (join everything, unlink socket);
+    - the {e accept} thread multiplexes every listening socket through
+      [select] and, once asked to stop, performs the final teardown (join
+      everything, close listeners, unlink the Unix socket). Transient
+      accept failures (EMFILE, ECONNABORTED, ...) back off exponentially
+      instead of spinning hot, and are counted;
     - one thread {e per connection} reads frames, runs cheap ops inline,
       and submits analysis work to the admission queue, so a stalled
-      client stalls only its own connection;
+      client stalls only its own connection. Quiet connections receive
+      keepalive heartbeat frames — a dead peer turns the heartbeat write
+      into an error long before TCP gives up on retransmits;
     - a pool of {e worker} threads drains the admission queue, each with
-      its private orchestrators over the shared caches;
+      its private orchestrators over the shared caches. A streaming job
+      hands each answer to a {e bounded} per-connection outbox the
+      connection thread drains; a consumer that stops draining first
+      degrades the remaining answers (backpressure shed) and is then
+      disconnected with a retryable [stream_overrun];
     - a {e reaper} thread shuts down sessions idle past [idle_timeout]
       ([Unix.shutdown], not [close] — shutdown reliably wakes a reader
       blocked in [read], and the connection thread still owns the fd's
       lifetime, so no double-close races).
 
+    Durability: with [state_dir] set, every {e accepted} [submit]/[edit]
+    is appended (fsync'd, checksummed) to a {!Journal} before the success
+    reply leaves the socket, and replayed through the same lint/admission
+    pipeline on the next start — [kill -9] no longer loses registered
+    programs.
+
     Every accepted request is answered, cleanly rejected, or
     deadline-expired — never silently dropped, never left hanging: frames
-    are written whole ({!Wire.write_frame}), admitted jobs survive
-    shutdown (the queue drains before workers exit), and a crashed worker
-    converts its job into an [internal] error response. *)
+    are written whole ({!Wire.write_frame}, bounded by [write_budget]),
+    admitted jobs survive shutdown (the queue drains before workers
+    exit), and a crashed worker converts its job into an [internal] error
+    response. *)
 
 open Scaf_trace
 
 type config = {
   socket_path : string;
+  tcp : string option;
+      (** optional second listener, ["HOST:PORT"] (port 0 = ephemeral) *)
+  state_dir : string option;
+      (** journal accepted submit/edit ops here and replay them on start *)
   benchmarks : Scaf_suite.Program.t list;
   workers : int;
   admission : Admission.config;
   idle_timeout : float;  (** reap sessions idle this many seconds *)
   frame_budget : float;  (** slow-loris bound: max seconds per frame *)
+  write_budget : float;
+      (** per-frame write deadline once the peer stops draining *)
+  heartbeat_interval : float;
+      (** seconds of write-silence before a keepalive heartbeat frame *)
+  outbox_cap : int;  (** streaming: buffered answers per connection *)
+  stream_grace : float;
+      (** streaming: seconds a worker may wait on a full outbox; sheds to
+          degraded answers at a quarter of this, disconnects past it *)
   max_frame : int;  (** max payload bytes per frame *)
   default_deadline_ms : float option;
       (** deadline applied to requests that do not carry one *)
@@ -56,11 +87,17 @@ let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name (
   in
   {
     socket_path;
+    tcp = None;
+    state_dir = None;
     benchmarks;
     workers = 2;
     admission = Admission.default_config;
     idle_timeout = 30.0;
     frame_budget = 5.0;
+    write_budget = 5.0;
+    heartbeat_interval = 5.0;
+    outbox_cap = 8;
+    stream_grace = 2.0;
     max_frame = Wire.default_max_len;
     default_deadline_ms = None;
     max_submit_queries = 200_000;
@@ -70,20 +107,42 @@ let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name (
   }
 
 (* ------------------------------------------------------------------ *)
-(* Jobs and sessions                                                   *)
+(* Jobs, outboxes, and sessions                                        *)
 (* ------------------------------------------------------------------ *)
 
 type job = {
   j_bench : Engine.bench;
   j_queries : Protocol.wire_query list;
   j_deadline : float option;  (** absolute, [Unix.gettimeofday] units *)
-  j_mail : mail;
+  j_sink : sink;
 }
+
+and sink =
+  | Batch of mail  (** one reply frame carrying every answer *)
+  | Stream of outbox  (** one frame per answer, through the outbox *)
 
 and mail = {
   mm : Mutex.t;
   mc : Condition.t;
   mutable result : (Protocol.answer list, Protocol.err) result option;
+}
+
+(** The bounded per-connection outbox between a streaming job's worker
+    (producer) and its connection thread (consumer). Capacity is the
+    backpressure: a full outbox makes the worker wait, a wait past
+    [grace/4] sheds the remaining answers to degraded, a wait past
+    [grace] abandons the stream entirely. *)
+and outbox = {
+  om : Mutex.t;
+  oc : Condition.t;
+  obuf : (int * Protocol.answer) Queue.t;
+  ocap : int;
+  ograce : float;
+  mutable o_closed : bool;  (** consumer gone; producer must stop *)
+  mutable o_cancel : bool;  (** client sent [cancel] *)
+  mutable o_done : bool;  (** producer finished (or gave up) *)
+  mutable o_err : Protocol.err option;  (** abort reason, if any *)
+  mutable o_shed : int;  (** answers degraded by backpressure *)
 }
 
 type session = {
@@ -97,7 +156,9 @@ type session = {
 type t = {
   cfg : config;
   engine : Engine.t;
-  listen_fd : Unix.file_descr;
+  listeners : (Unix.file_descr * Addr.t) list;
+      (** every listening socket, with the address it actually bound *)
+  journal : Journal.t option;
   queue : job Admission.t;
   sessions : (int, session) Hashtbl.t;
   sm : Mutex.t;
@@ -119,6 +180,20 @@ type t = {
   m_bad_frames : Metrics.counter;
   m_queue_depth : Metrics.counter;  (** gauge *)
   m_request_latency : Metrics.histogram;
+  (* transport counters (this PR) *)
+  m_accept_errors : Metrics.counter;
+  m_heartbeats : Metrics.counter;
+  m_streams_opened : Metrics.counter;
+  m_streams_cancelled : Metrics.counter;
+  m_streams_aborted : Metrics.counter;
+  m_stream_items : Metrics.counter;
+  m_bp_sheds : Metrics.counter;
+  m_version_mismatch : Metrics.counter;
+  m_journal_appended : Metrics.counter;
+  m_journal_append_failed : Metrics.counter;
+  m_journal_replayed : Metrics.counter;
+  m_journal_replay_failed : Metrics.counter;
+  m_journal_truncated : Metrics.counter;
 }
 
 let now () = Unix.gettimeofday ()
@@ -126,6 +201,99 @@ let now () = Unix.gettimeofday ()
 let with_sessions (t : t) (f : unit -> 'a) : 'a =
   Mutex.lock t.sm;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.sm) f
+
+(* ------------------------------------------------------------------ *)
+(* Outbox                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let outbox_create ~(cap : int) ~(grace : float) : outbox =
+  {
+    om = Mutex.create ();
+    oc = Condition.create ();
+    obuf = Queue.create ();
+    ocap = max 1 cap;
+    ograce = grace;
+    o_closed = false;
+    o_cancel = false;
+    o_done = false;
+    o_err = None;
+    o_shed = 0;
+  }
+
+let with_outbox (ob : outbox) (f : unit -> 'a) : 'a =
+  Mutex.lock ob.om;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ob.om) f
+
+(* Producer side: push one answer, waiting while the outbox is full.
+   OCaml's [Condition] has no timed wait, so the wait is emulated in
+   50 ms slices — the grace clock keeps running even if the consumer
+   never signals again. *)
+let outbox_push (ob : outbox) (item : int * Protocol.answer) :
+    [ `Ok of float | `Overrun | `Stopped ] =
+  let t0 = now () in
+  let rec wait () =
+    match
+      with_outbox ob (fun () ->
+          if ob.o_closed || ob.o_cancel then `Stopped
+          else if Queue.length ob.obuf < ob.ocap then begin
+            Queue.add item ob.obuf;
+            Condition.broadcast ob.oc;
+            `Ok (now () -. t0)
+          end
+          else if now () -. t0 > ob.ograce then `Overrun
+          else `Full)
+    with
+    | `Full ->
+        Thread.delay 0.05;
+        wait ()
+    | (`Ok _ | `Overrun | `Stopped) as r -> r
+  in
+  wait ()
+
+(* Consumer side: take the next item, waiting at most [max_wait] so the
+   connection thread keeps its own heartbeat/cancel-poll cadence. *)
+let outbox_take (ob : outbox) ~(max_wait : float) :
+    [ `Item of int * Protocol.answer | `Err of Protocol.err | `Done | `Timeout ]
+    =
+  let t0 = now () in
+  let rec wait () =
+    match
+      with_outbox ob (fun () ->
+          if not (Queue.is_empty ob.obuf) then begin
+            let it = Queue.pop ob.obuf in
+            Condition.broadcast ob.oc;
+            `Item it
+          end
+          else
+            match ob.o_err with
+            | Some e -> `Err e
+            | None ->
+                if ob.o_done then `Done
+                else if now () -. t0 >= max_wait then `Timeout
+                else `Empty)
+    with
+    | `Empty ->
+        Thread.delay 0.02;
+        wait ()
+    | (`Item _ | `Err _ | `Done | `Timeout) as r -> r
+  in
+  wait ()
+
+let outbox_finish ?err (ob : outbox) : unit =
+  with_outbox ob (fun () ->
+      (match err with Some e when ob.o_err = None -> ob.o_err <- Some e | _ -> ());
+      ob.o_done <- true;
+      Condition.broadcast ob.oc)
+
+let outbox_close (ob : outbox) : unit =
+  with_outbox ob (fun () ->
+      ob.o_closed <- true;
+      Condition.broadcast ob.oc)
+
+let outbox_cancel (ob : outbox) : unit =
+  with_outbox ob (fun () ->
+      ob.o_cancel <- true;
+      Condition.broadcast ob.oc)
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
@@ -151,39 +319,82 @@ let collect (mail : mail) : (Protocol.answer list, Protocol.err) result =
   in
   wait ()
 
-let run_job (t : t) (w : Engine.worker) (job : job)
+let answer_one (w : Engine.worker) (job : job)
+    (degrade : Admission.degrade) (wq : Protocol.wire_query) : Protocol.answer
+    =
+  (* a query that waited out its whole deadline in the queue is not
+     evaluated at all: the sound bottom, tagged, immediately *)
+  match job.j_deadline with
+  | Some d when now () > d ->
+      Protocol.answer_of_response ~degraded:"deadline"
+        (Scaf.Response.bottom_for (Protocol.to_core_query wq))
+  | _ -> Engine.answer w ~degrade ~deadline:job.j_deadline job.j_bench wq
+
+let count_answer (t : t) (a : Protocol.answer) : unit =
+  if a.Protocol.a_degraded = Some "deadline" then
+    Metrics.incr t.m_deadline_miss;
+  if a.Protocol.a_coalesced then Metrics.incr t.m_coalesced
+
+let run_batch_job (t : t) (w : Engine.worker) (job : job) (mail : mail)
     (degrade : Admission.degrade) : unit =
-  Metrics.add t.m_queue_depth (-1);
-  if degrade <> Admission.Full then Metrics.incr t.m_shed;
   let res =
-    match
-      List.map
-        (fun wq ->
-          (* a job that waited out its whole deadline in the queue is not
-             evaluated at all: the sound bottom, tagged, immediately *)
-          match job.j_deadline with
-          | Some d when now () > d ->
-              Protocol.answer_of_response ~degraded:"deadline"
-                (Scaf.Response.bottom_for (Protocol.to_core_query wq))
-          | _ ->
-              Engine.answer w ~degrade ~deadline:job.j_deadline job.j_bench
-                wq)
-        job.j_queries
-    with
+    match List.map (answer_one w job degrade) job.j_queries with
     | answers -> Ok answers
     | exception e ->
         Error (Protocol.internal ("worker: " ^ Printexc.to_string e))
   in
   (match res with
-  | Ok answers ->
-      List.iter
-        (fun (a : Protocol.answer) ->
-          if a.Protocol.a_degraded = Some "deadline" then
-            Metrics.incr t.m_deadline_miss;
-          if a.Protocol.a_coalesced then Metrics.incr t.m_coalesced)
-        answers
+  | Ok answers -> List.iter (count_answer t) answers
   | Error _ -> ());
-  deliver job.j_mail res
+  deliver mail res
+
+(* A streaming job pushes each answer into the bounded outbox as it
+   resolves. Backpressure policy: a push that had to wait more than a
+   quarter of the grace period flips the job to shed mode (remaining
+   queries evaluated cache-only and tagged), and a push that exhausts the
+   grace abandons the stream with a retryable [stream_overrun]. *)
+let run_stream_job (t : t) (w : Engine.worker) (job : job) (ob : outbox)
+    (degrade : Admission.degrade) : unit =
+  let shed = ref false in
+  match
+    List.iteri
+      (fun i wq ->
+        if with_outbox ob (fun () -> ob.o_closed || ob.o_cancel) then
+          raise Exit;
+        let degrade' = if !shed then Admission.Cached_only else degrade in
+        let a = answer_one w job degrade' wq in
+        let a =
+          if !shed && a.Protocol.a_degraded = None then begin
+            with_outbox ob (fun () -> ob.o_shed <- ob.o_shed + 1);
+            Metrics.incr t.m_bp_sheds;
+            { a with Protocol.a_degraded = Some "backpressure" }
+          end
+          else a
+        in
+        count_answer t a;
+        match outbox_push ob (i, a) with
+        | `Ok waited ->
+            if (not !shed) && waited > ob.ograce /. 4.0 then shed := true
+        | `Stopped -> raise Exit
+        | `Overrun ->
+            outbox_finish
+              ~err:(Protocol.stream_overrun ~retry_after_ms:1000.0) ob;
+            raise Exit)
+      job.j_queries
+  with
+  | () -> outbox_finish ob
+  | exception Exit -> outbox_finish ob
+  | exception e ->
+      outbox_finish ~err:(Protocol.internal ("worker: " ^ Printexc.to_string e))
+        ob
+
+let run_job (t : t) (w : Engine.worker) (job : job)
+    (degrade : Admission.degrade) : unit =
+  Metrics.add t.m_queue_depth (-1);
+  if degrade <> Admission.Full then Metrics.incr t.m_shed;
+  match job.j_sink with
+  | Batch mail -> run_batch_job t w job mail degrade
+  | Stream ob -> run_stream_job t w job ob degrade
 
 let worker_loop (t : t) () : unit =
   let w = Engine.worker t.engine in
@@ -203,6 +414,7 @@ let worker_loop (t : t) () : unit =
 let stats_json (t : t) : Json.t =
   let a = Admission.stats t.queue in
   let sessions_open = with_sessions t (fun () -> Hashtbl.length t.sessions) in
+  let v c = Json.Int (Metrics.counter_value c) in
   Protocol.ok
     [
       ( "server",
@@ -217,6 +429,35 @@ let stats_json (t : t) : Json.t =
                 (List.map
                    (fun n -> Json.String n)
                    (Engine.bench_names t.engine)) );
+          ] );
+      ( "transport",
+        Json.Obj
+          [
+            ( "listeners",
+              Json.List
+                (List.map
+                   (fun (_, a) -> Json.String (Addr.to_string a))
+                   t.listeners) );
+            ("accept_errors", v t.m_accept_errors);
+            ("heartbeats", v t.m_heartbeats);
+            ("streams_opened", v t.m_streams_opened);
+            ("streams_cancelled", v t.m_streams_cancelled);
+            ("streams_aborted", v t.m_streams_aborted);
+            ("stream_items", v t.m_stream_items);
+            ("backpressure_sheds", v t.m_bp_sheds);
+            ("version_mismatches", v t.m_version_mismatch);
+            ( "journal",
+              match t.journal with
+              | None -> Json.Null
+              | Some j ->
+                  Json.Obj
+                    [
+                      ("entries", Json.Int (Journal.entries j));
+                      ("appended", v t.m_journal_appended);
+                      ("replayed", v t.m_journal_replayed);
+                      ("replay_failed", v t.m_journal_replay_failed);
+                      ("truncated_bytes", v t.m_journal_truncated);
+                    ] );
           ] );
       ( "admission",
         Json.Obj
@@ -239,8 +480,9 @@ let stats_json (t : t) : Json.t =
     ]
 
 let wake_accept (t : t) : unit =
-  (* a throwaway self-connection unblocks [accept] so it can observe
-     [stopping]; every failure mode here means accept is already awake *)
+  (* a throwaway self-connection unblocks the accept thread's [select] so
+     it can observe [stopping]; every failure mode here means accept is
+     already awake *)
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception _ -> ()
   | fd ->
@@ -283,7 +525,7 @@ let submit_ask (t : t) ~(bench : string)
           j_bench = b;
           j_queries = qs;
           j_deadline = deadline_of t deadline_ms;
-          j_mail = mail;
+          j_sink = Batch mail;
         }
       in
       match Admission.submit t.queue job with
@@ -296,6 +538,17 @@ let submit_ask (t : t) ~(bench : string)
       | Admission.Closed ->
           Metrics.incr t.m_rejected;
           Error Protocol.shutting_down)
+
+(* Journal an accepted mutation. The op already succeeded in memory; an
+   append failure (disk full, journal closed) degrades durability but
+   must not un-accept the op — it is counted and the reply still stands. *)
+let journal_append (t : t) (e : Journal.entry) : unit =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      match Journal.append j e with
+      | () -> Metrics.incr t.m_journal_appended
+      | exception _ -> Metrics.incr t.m_journal_append_failed)
 
 let handle_request (t : t) (req : Protocol.request) : Json.t =
   match req with
@@ -311,6 +564,9 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
         ]
   | Protocol.Ping -> Protocol.ok []
   | Protocol.Stats -> stats_json t
+  | Protocol.Cancel ->
+      (* a cancel outside a live stream is a harmless no-op *)
+      Protocol.ok [ ("cancelled", Json.Bool false) ]
   | Protocol.Queries { bench } -> (
       match Engine.find_bench t.engine bench with
       | Some b -> Protocol.ok [ ("workload", Engine.queries_json b) ]
@@ -329,6 +585,7 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
       | Some b -> (
           match Engine.apply_edit t.engine b edits with
           | Ok (diff, stats) ->
+              journal_append t (Journal.Edit { bench; edits });
               Protocol.ok
                 [
                   ( "edit",
@@ -346,6 +603,7 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
       with
       | Ok (report, _b) ->
           Metrics.incr (Metrics.counter t.cfg.metrics "lint.submit.accepted");
+          journal_append t (Journal.Submit prog);
           Protocol.ok
             [ ("submitted", Protocol.submit_report_to_json report) ]
       | Error e ->
@@ -356,7 +614,9 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
       | Ok [ a ] -> Protocol.ok [ ("answer", Protocol.answer_to_json a) ]
       | Ok _ -> Protocol.err_to_json (Protocol.internal "answer count mismatch")
       | Error e -> Protocol.err_to_json e)
-  | Protocol.Ask_many { bench; qs; deadline_ms } -> (
+  | Protocol.Ask_many { bench; qs; deadline_ms; stream = _ } -> (
+      (* [stream = true] never reaches here (the connection thread owns
+         the streaming path); treat a stray one as the batch fallback *)
       match submit_ask t ~bench ~qs ~deadline_ms with
       | Ok answers ->
           Protocol.ok
@@ -365,6 +625,143 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
   | Protocol.Shutdown ->
       (* reply first; the teardown happens after the frame is on the wire *)
       Protocol.ok [ ("stopping", Json.Bool true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming replies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain a streaming job's outbox onto the wire. Runs on the connection
+   thread. Returns [`Keep] when the connection can keep serving requests
+   and [`Drop] when the stream died in a way that loses framing (slow
+   consumer, vanished peer). While pumping, the socket is polled for a
+   client [cancel] frame; any other pipelined request mid-stream is
+   ignored by protocol contract. *)
+let pump_stream (t : t) (s : session) (ob : outbox) : [ `Keep | `Drop ] =
+  let items = ref 0 in
+  let last_write = ref (now ()) in
+  let dead = ref false in
+  let write j =
+    match Wire.write_frame ~write_budget:t.cfg.write_budget s.fd j with
+    | Ok () ->
+        last_write := now ();
+        true
+    | Error _ -> false
+  in
+  let poll_cancel () =
+    match Unix.select [ s.fd ] [] [] 0.0 with
+    | [], _, _ -> ()
+    | _ -> (
+        match
+          Wire.read_frame ~max_len:t.cfg.max_frame
+            ~frame_budget:t.cfg.frame_budget s.fd
+        with
+        | Ok j -> (
+            match Protocol.request_of_json j with
+            | Protocol.Cancel -> outbox_cancel ob
+            | _ -> ()
+            | exception _ -> ())
+        | Error Wire.Idle -> ()
+        | Error _ ->
+            (* EOF or broken framing mid-stream: the consumer is gone *)
+            dead := true)
+    | exception _ -> ()
+  in
+  (* note: [t.stopping] is deliberately not checked here — an admitted
+     streaming job drains through the worker pool on shutdown, and this
+     pump keeps running so its answers are not silently dropped *)
+  let rec pump () =
+    poll_cancel ();
+    if !dead then begin
+      outbox_close ob;
+      Metrics.incr t.m_streams_aborted;
+      `Drop
+    end
+    else
+      match outbox_take ob ~max_wait:0.2 with
+      | `Item (i, a) ->
+          if write (Protocol.stream_item_to_json i a) then begin
+            incr items;
+            Metrics.incr t.m_stream_items;
+            pump ()
+          end
+          else begin
+            outbox_close ob;
+            Metrics.incr t.m_streams_aborted;
+            `Drop
+          end
+      | `Err e ->
+          (* stream aborted server-side (overrun / worker crash): report
+             and hang up — mid-stream framing cannot be resumed *)
+          Metrics.incr t.m_streams_aborted;
+          ignore (write (Protocol.err_to_json e));
+          `Drop
+      | `Done ->
+          let cancelled = with_outbox ob (fun () -> ob.o_cancel) in
+          if cancelled then Metrics.incr t.m_streams_cancelled;
+          let summary =
+            {
+              Protocol.st_count = !items;
+              st_shed = with_outbox ob (fun () -> ob.o_shed);
+              st_cancelled = cancelled;
+            }
+          in
+          if write (Protocol.stream_end_to_json summary) then `Keep
+          else `Drop
+      | `Timeout ->
+          (* the next answer is still cooking: heartbeat so the client
+             (and any NAT in between) knows the stream is alive *)
+          if
+            t.cfg.heartbeat_interval > 0.0
+            && now () -. !last_write > t.cfg.heartbeat_interval
+          then
+            if write Protocol.stream_heartbeat_json then begin
+              Metrics.incr t.m_heartbeats;
+              pump ()
+            end
+            else begin
+              outbox_close ob;
+              Metrics.incr t.m_streams_aborted;
+              `Drop
+            end
+          else pump ()
+  in
+  Metrics.incr t.m_streams_opened;
+  pump ()
+
+(* Admit and serve one streaming [ask_many]. Admission errors are ordinary
+   reply frames (the stream never opened). *)
+let handle_stream (t : t) (s : session) ~(bench : string)
+    ~(qs : Protocol.wire_query list) ~(deadline_ms : float option) :
+    [ `Keep | `Drop ] =
+  let reply_err e =
+    match Wire.write_frame ~write_budget:t.cfg.write_budget s.fd
+            (Protocol.err_to_json e)
+    with
+    | Ok () -> `Keep
+    | Error _ -> `Drop
+  in
+  match Engine.find_bench t.engine bench with
+  | None -> reply_err (Protocol.unknown_bench bench)
+  | Some b -> (
+      let ob = outbox_create ~cap:t.cfg.outbox_cap ~grace:t.cfg.stream_grace in
+      let job =
+        {
+          j_bench = b;
+          j_queries = qs;
+          j_deadline = deadline_of t deadline_ms;
+          j_sink = Stream ob;
+        }
+      in
+      match Admission.submit t.queue job with
+      | Admission.Admitted _ ->
+          Metrics.add t.m_queue_depth 1;
+          pump_stream t s ob
+      | Admission.Overloaded retry_after_ms ->
+          Metrics.incr t.m_rejected;
+          reply_err (Protocol.overloaded ~retry_after_ms)
+      | Admission.Closed ->
+          Metrics.incr t.m_rejected;
+          reply_err Protocol.shutting_down)
 
 (* ------------------------------------------------------------------ *)
 (* Connection threads                                                  *)
@@ -387,8 +784,19 @@ let serve_connection (t : t) (s : session) : unit =
     ~finally:(fun () -> close_session t s)
     (fun () ->
       (* the receive timeout turns a quiet socket into periodic [Idle]
-         results, giving this thread a heartbeat to notice stop/reap *)
+         results, giving this thread a heartbeat to notice stop/reap;
+         the send timeout turns a wedged peer into EAGAIN ticks that the
+         write budget converts into a failed write *)
       (try Unix.setsockopt_float s.fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
+      (try Unix.setsockopt_float s.fd Unix.SO_SNDTIMEO 0.2 with _ -> ());
+      let last_write = ref (now ()) in
+      let write j =
+        match Wire.write_frame ~write_budget:t.cfg.write_budget s.fd j with
+        | Ok () ->
+            last_write := now ();
+            true
+        | Error _ -> false
+      in
       let rec loop () =
         if t.stopping || s.reaped then ()
         else
@@ -396,48 +804,79 @@ let serve_connection (t : t) (s : session) : unit =
             Wire.read_frame ~max_len:t.cfg.max_frame
               ~frame_budget:t.cfg.frame_budget s.fd
           with
-          | Error Wire.Idle -> loop ()
+          | Error Wire.Idle ->
+              (* keepalive: a quiet-but-alive connection gets a heartbeat
+                 frame; a dead peer fails the write and we hang up *)
+              if
+                t.cfg.heartbeat_interval > 0.0
+                && now () -. !last_write > t.cfg.heartbeat_interval
+              then begin
+                if write Protocol.stream_heartbeat_json then begin
+                  Metrics.incr t.m_heartbeats;
+                  loop ()
+                end
+              end
+              else loop ()
           | Error Wire.Closed -> ()
           | Error (Wire.Truncated _ as e) | Error (Wire.Oversized _ as e) ->
               (* framing is lost — answer if possible, then hang up *)
               Metrics.incr t.m_bad_frames;
               ignore
-                (Wire.write_frame s.fd
+                (write
                    (Protocol.err_to_json
                       (Protocol.bad_request (Wire.error_to_string e))))
           | Error (Wire.Bad_json msg) ->
               (* the frame was well-delimited: report and keep serving *)
               Metrics.incr t.m_bad_frames;
-              (match
-                 Wire.write_frame s.fd
+              if write
                    (Protocol.err_to_json
                       (Protocol.bad_request ("bad json: " ^ msg)))
-               with
-              | Ok () -> loop ()
-              | Error _ -> ())
+              then loop ()
           | Ok j -> (
               s.last_active <- now ();
               Metrics.incr t.m_requests;
-              let t0 = now () in
-              let reply, is_shutdown =
-                match Protocol.request_of_json j with
-                | Protocol.Shutdown as req -> (handle_request t req, true)
-                | req -> (handle_request t req, false)
-                | exception Json.Parse_error msg ->
-                    (Protocol.err_to_json (Protocol.bad_request msg), false)
-                | exception e ->
-                    ( Protocol.err_to_json
-                        (Protocol.internal (Printexc.to_string e)),
-                      false )
-              in
-              (match Json.member "ok" reply with
-              | Some (Json.Bool true) -> Metrics.incr t.m_answered
-              | _ -> ());
-              Metrics.observe t.m_request_latency (now () -. t0);
-              match Wire.write_frame s.fd reply with
-              | Error _ -> ()
-              | Ok () ->
-                  if is_shutdown then request_stop t else loop ())
+              (* the version gate runs before the op parser so vocabulary
+                 drift between releases surfaces as [version_mismatch],
+                 never as a confusing parse failure *)
+              match Protocol.request_version j with
+              | got when got <> Some Protocol.version ->
+                  Metrics.incr t.m_version_mismatch;
+                  if write
+                       (Protocol.err_to_json (Protocol.version_mismatch ~got))
+                  then loop ()
+              | _ -> (
+                  let t0 = now () in
+                  match Protocol.request_of_json j with
+                  | Protocol.Ask_many { bench; qs; deadline_ms; stream = true }
+                    -> (
+                      match handle_stream t s ~bench ~qs ~deadline_ms with
+                      | `Keep ->
+                          last_write := now ();
+                          Metrics.incr t.m_answered;
+                          Metrics.observe t.m_request_latency (now () -. t0);
+                          loop ()
+                      | `Drop -> ())
+                  | req ->
+                      let reply, is_shutdown =
+                        match req with
+                        | Protocol.Shutdown -> (handle_request t req, true)
+                        | _ -> (handle_request t req, false)
+                      in
+                      (match Json.member "ok" reply with
+                      | Some (Json.Bool true) -> Metrics.incr t.m_answered
+                      | _ -> ());
+                      Metrics.observe t.m_request_latency (now () -. t0);
+                      if write reply then
+                        if is_shutdown then request_stop t else loop ()
+                  | exception Json.Parse_error msg ->
+                      if write
+                           (Protocol.err_to_json (Protocol.bad_request msg))
+                      then loop ()
+                  | exception e ->
+                      if write
+                           (Protocol.err_to_json
+                              (Protocol.internal (Printexc.to_string e)))
+                      then loop ()))
       in
       loop ())
 
@@ -492,33 +931,61 @@ let prepare_socket_path (path : string) : unit =
     else Unix.unlink path
   end
 
+let spawn_session (t : t) (addr : Addr.t) (fd : Unix.file_descr)
+    (conn_threads : Thread.t list ref) : unit =
+  Addr.tune_accepted addr fd;
+  let s =
+    with_sessions t (fun () ->
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        let s = { sid; fd; peer = ""; last_active = now (); reaped = false } in
+        Hashtbl.add t.sessions sid s;
+        s)
+  in
+  Metrics.incr t.m_sessions_opened;
+  Metrics.add t.m_sessions_open 1;
+  conn_threads :=
+    Thread.create (fun () -> serve_connection t s) () :: !conn_threads
+
 let accept_loop (t : t) (workers : Thread.t list) (reaper : Thread.t) () :
     unit =
   let conn_threads = ref [] in
+  let lfds = List.map fst t.listeners in
+  (* transient-failure backoff (EMFILE and friends): exponential from
+     10 ms, capped at 1 s, reset by the next successful accept *)
+  let backoff = ref 0.01 in
   (try
      while not t.stopping do
-       match Unix.accept t.listen_fd with
-       | fd, _ ->
-           if t.stopping then (try Unix.close fd with _ -> ())
-           else begin
-             let s =
-               with_sessions t (fun () ->
-                   let sid = t.next_sid in
-                   t.next_sid <- sid + 1;
-                   let s =
-                     { sid; fd; peer = ""; last_active = now (); reaped = false }
-                   in
-                   Hashtbl.add t.sessions sid s;
-                   s)
-             in
-             Metrics.incr t.m_sessions_opened;
-             Metrics.add t.m_sessions_open 1;
-             conn_threads :=
-               Thread.create (fun () -> serve_connection t s) () :: !conn_threads
-           end
+       match Unix.select lfds [] [] 0.5 with
+       | ready, _, _ ->
+           List.iter
+             (fun lfd ->
+               let addr = List.assq lfd t.listeners in
+               match Unix.accept lfd with
+               | fd, _ ->
+                   backoff := 0.01;
+                   if t.stopping then (try Unix.close fd with _ -> ())
+                   else spawn_session t addr fd conn_threads
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               | exception
+                   Unix.Unix_error
+                     ( ( Unix.EMFILE | Unix.ENFILE | Unix.ECONNABORTED
+                       | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS
+                       | Unix.ECONNRESET ),
+                       _,
+                       _ ) ->
+                   (* transient: count, back off boundedly, keep serving *)
+                   Metrics.incr t.m_accept_errors;
+                   Thread.delay !backoff;
+                   backoff := Float.min 1.0 (!backoff *. 2.0)
+               | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _)
+                 ->
+                   (* listening fd torn down under us: only valid during
+                      stop *)
+                   if not t.stopping then raise Exit)
+             ready
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
-           (* listening fd torn down under us: only valid during stop *)
            if not t.stopping then raise Exit
      done
    with Exit -> ());
@@ -527,12 +994,44 @@ let accept_loop (t : t) (workers : Thread.t list) (reaper : Thread.t) () :
   List.iter Thread.join !conn_threads;
   List.iter Thread.join workers;
   Thread.join reaper;
-  (try Unix.close t.listen_fd with _ -> ());
+  List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
+  (match t.journal with Some j -> Journal.close j | None -> ());
   try Unix.unlink t.cfg.socket_path with _ -> ()
 
+(* Replay journaled mutations through the same pipeline live requests
+   take. A replay failure (e.g. the lint rules tightened since the entry
+   was accepted) degrades to a counter, not a crash: the daemon serves
+   what it can recover. *)
+let replay_journal (t : t) (entries : Journal.entry list) : unit =
+  List.iter
+    (fun e ->
+      let ok =
+        match e with
+        | Journal.Submit prog -> (
+            match
+              Engine.submit t.engine
+                ~max_est_queries:t.cfg.max_submit_queries prog
+            with
+            | Ok _ -> true
+            | Error _ -> false
+            | exception _ -> false)
+        | Journal.Edit { bench; edits } -> (
+            match Engine.find_bench t.engine bench with
+            | None -> false
+            | Some b -> (
+                match Engine.apply_edit t.engine b edits with
+                | Ok _ -> true
+                | Error _ -> false
+                | exception _ -> false))
+      in
+      Metrics.incr
+        (if ok then t.m_journal_replayed else t.m_journal_replay_failed))
+    entries
+
 (** [start cfg] — load the benchmarks (the slow part), bind and listen,
-    spawn the service threads, return the running daemon. The socket
-    accepts connections by the time this returns. *)
+    replay the journal if [state_dir] is set, spawn the service threads,
+    return the running daemon. Every listener accepts connections by the
+    time this returns. *)
 let start (cfg : config) : t =
   (* a dead peer must error the writer, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
@@ -541,15 +1040,34 @@ let start (cfg : config) : t =
       ~metrics:cfg.metrics ~benchmarks:cfg.benchmarks ()
   in
   prepare_socket_path cfg.socket_path;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 64;
+  let unix_addr = Addr.Unix_path cfg.socket_path in
+  let unix_fd = Addr.listen unix_addr in
+  let tcp_listener =
+    match cfg.tcp with
+    | None -> []
+    | Some spec -> (
+        let a = Addr.of_string ("tcp:" ^ spec) in
+        match Addr.listen a with
+        | fd -> [ (fd, Addr.bound fd a) ]
+        | exception e ->
+            (try Unix.close unix_fd with _ -> ());
+            (try Unix.unlink cfg.socket_path with _ -> ());
+            raise e)
+  in
+  let journal, journal_entries, recovery =
+    match cfg.state_dir with
+    | None -> (None, [], None)
+    | Some dir ->
+        let j, entries, r = Journal.open_and_replay ~dir in
+        (Some j, entries, Some r)
+  in
   let m = cfg.metrics in
   let t =
     {
       cfg;
       engine;
-      listen_fd;
+      listeners = (unix_fd, unix_addr) :: tcp_listener;
+      journal;
       queue = Admission.create cfg.admission;
       sessions = Hashtbl.create 16;
       sm = Mutex.create ();
@@ -569,14 +1087,48 @@ let start (cfg : config) : t =
       m_bad_frames = Metrics.counter m "server.bad_frames";
       m_queue_depth = Metrics.counter m "server.queue_depth";
       m_request_latency = Metrics.histogram m "server.request_latency_s";
+      m_accept_errors = Metrics.counter m "server.accept_errors";
+      m_heartbeats = Metrics.counter m "server.heartbeats";
+      m_streams_opened = Metrics.counter m "server.streams.opened";
+      m_streams_cancelled = Metrics.counter m "server.streams.cancelled";
+      m_streams_aborted = Metrics.counter m "server.streams.aborted";
+      m_stream_items = Metrics.counter m "server.streams.items";
+      m_bp_sheds = Metrics.counter m "server.backpressure.sheds";
+      m_version_mismatch = Metrics.counter m "server.version_mismatch";
+      m_journal_appended = Metrics.counter m "server.journal.appended";
+      m_journal_append_failed =
+        Metrics.counter m "server.journal.append_failed";
+      m_journal_replayed = Metrics.counter m "server.journal.replayed";
+      m_journal_replay_failed =
+        Metrics.counter m "server.journal.replay_failed";
+      m_journal_truncated =
+        Metrics.counter m "server.journal.truncated_bytes";
     }
   in
+  (match recovery with
+  | Some r ->
+      Metrics.add t.m_journal_truncated r.Journal.truncated_bytes;
+      replay_journal t journal_entries
+  | None -> ());
   let workers =
     List.init (max 1 cfg.workers) (fun _ -> Thread.create (worker_loop t) ())
   in
   let reaper = Thread.create (reaper_loop t) () in
   t.accept_thread <- Some (Thread.create (accept_loop t workers reaper) ());
   t
+
+(** The endpoint strings this daemon is actually serving on — the TCP one
+    has any requested port 0 resolved to the kernel-assigned port, so a
+    test can start on an ephemeral port and learn where to connect. *)
+let endpoints (t : t) : string list =
+  List.map (fun (_, a) -> Addr.to_string a) t.listeners
+
+(** The TCP endpoint (["tcp:HOST:PORT"]) if one is listening. *)
+let tcp_endpoint (t : t) : string option =
+  List.find_map
+    (function
+      | _, (Addr.Tcp _ as a) -> Some (Addr.to_string a) | _ -> None)
+    t.listeners
 
 (** Block until the daemon has fully stopped (socket unlinked). *)
 let wait (t : t) : unit =

@@ -1,0 +1,227 @@
+(** The crash-durable submission journal.
+
+    PR 7 made user programs first-class over the wire, but they lived only
+    in the daemon's heap: [kill -9] silently lost every registered
+    program and every committed edit. This journal makes the {e accepted}
+    mutations durable: once the daemon has admitted a [submit] or [edit],
+    the operation is appended here and fsync'd {e before} the success
+    reply leaves the socket — so any mutation a client was told succeeded
+    survives an unclean death and is replayed through the same
+    lint/cost-admission pipeline on the next start.
+
+    On-disk format (one file, append-only):
+
+    {v
+    record  := length(4, BE) crc32(4, BE, over payload) payload
+    payload := one JSON entry ({"k":"submit",...} | {"k":"edit",...})
+    v}
+
+    Recovery contract: {!open_and_replay} scans records from the start;
+    the first record that cannot be read whole — short header, short
+    payload, CRC mismatch, malformed JSON — marks the {e torn tail}, and
+    the file is truncated back to the last whole record. A crash halfway
+    through an append therefore costs at most the operation that never
+    got acknowledged, never the journal. Entries are replayed strictly in
+    append order, so an edit to a journaled submission lands on the
+    re-registered program.
+
+    The journal is deliberately {e not} a general write-ahead log: queries
+    are stateless and benchmarks reload from the suite, so only the two
+    state-mutating ops are recorded. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected), table-driven                        *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table : int32 array =
+  let poly = 0xEDB88320l in
+  Array.init 256 (fun n ->
+      let c = ref (Int32.of_int n) in
+      for _ = 0 to 7 do
+        c :=
+          if Int32.logand !c 1l <> 0l then
+            Int32.logxor poly (Int32.shift_right_logical !c 1)
+          else Int32.shift_right_logical !c 1
+      done;
+      !c)
+
+let crc32 (s : string) : int32 =
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor crc_table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type entry =
+  | Submit of Protocol.wire_program
+  | Edit of { bench : string; edits : Protocol.wire_edit list }
+
+let entry_to_json (e : entry) : Json.t =
+  match e with
+  | Submit p ->
+      Json.Obj
+        [ ("k", Json.String "submit"); ("program", Protocol.program_to_json p) ]
+  | Edit { bench; edits } ->
+      Json.Obj
+        [
+          ("k", Json.String "edit");
+          ("bench", Json.String bench);
+          ("edits", Json.List (List.map Protocol.edit_to_json edits));
+        ]
+
+let entry_of_json (j : Json.t) : entry =
+  match Json.string_member "k" j with
+  | "submit" -> (
+      match Json.member "program" j with
+      | Some p -> Submit (Protocol.program_of_json p)
+      | None -> raise (Json.Parse_error "journal submit without program"))
+  | "edit" ->
+      Edit
+        {
+          bench = Json.string_member "bench" j;
+          edits =
+            List.map Protocol.edit_of_json
+              (Json.to_list_exn
+                 (Json.mem_or "edits" ~default:(Json.List []) j));
+        }
+  | k -> raise (Json.Parse_error (Printf.sprintf "unknown journal entry %S" k))
+
+(* ------------------------------------------------------------------ *)
+(* The journal handle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  m : Mutex.t;  (** serializes appends; replay happens before any append *)
+  mutable entries : int;  (** whole records currently on disk *)
+  mutable closed : bool;
+}
+
+type recovery = {
+  replayed : int;  (** whole entries recovered from the file *)
+  truncated_bytes : int;  (** torn tail dropped by the open *)
+}
+
+let be32 (n : int) : string =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.to_string b
+
+let read_be32 (s : string) (off : int) : int =
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+(** Hard ceiling on one journal record's payload — matches the wire
+    layer's frame bound, since every journaled entry arrived as a frame. *)
+let max_record = Wire.default_max_len
+
+let default_file = "submits.journal"
+
+let read_whole (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Scan [data] for whole records; return (entries in order, byte offset of
+   the first torn/corrupt record). Anything unreadable is the tail by
+   definition — the file is append-only and fsync'd in record order. *)
+let scan (data : string) : entry list * int =
+  let len = String.length data in
+  let entries = ref [] in
+  let pos = ref 0 in
+  let torn = ref None in
+  while !torn = None && !pos < len do
+    if len - !pos < 8 then torn := Some !pos
+    else
+      let n = read_be32 data !pos in
+      let crc_stored = read_be32 data (!pos + 4) in
+      if n < 0 || n > max_record || len - !pos - 8 < n then torn := Some !pos
+      else
+        let payload = String.sub data (!pos + 8) n in
+        if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc_stored then
+          torn := Some !pos
+        else
+          match entry_of_json (Json.of_string payload) with
+          | e ->
+              entries := e :: !entries;
+              pos := !pos + 8 + n
+          | exception Json.Parse_error _ -> torn := Some !pos
+  done;
+  (List.rev !entries, match !torn with Some p -> p | None -> len)
+
+(** Open (creating if absent) the journal at [dir ^/ submits.journal],
+    recover every whole record, truncate any torn tail in place, and
+    return the handle, the recovered entries in append order, and the
+    recovery stats. *)
+let open_and_replay ~(dir : string) : t * entry list * recovery =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir default_file in
+  let entries, keep, dropped =
+    if Sys.file_exists path then begin
+      let data = read_whole path in
+      let entries, keep = scan data in
+      (entries, keep, String.length data - keep)
+    end
+    else ([], 0, 0)
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  if dropped > 0 then begin
+    Unix.ftruncate fd keep;
+    Unix.fsync fd
+  end;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  ( {
+      path;
+      fd;
+      m = Mutex.create ();
+      entries = List.length entries;
+      closed = false;
+    },
+    entries,
+    { replayed = List.length entries; truncated_bytes = dropped } )
+
+(** Append one entry and fsync before returning: when [append] comes back,
+    the entry survives [kill -9]. *)
+let append (t : t) (e : entry) : unit =
+  let payload = Json.to_string (entry_to_json e) in
+  let n = String.length payload in
+  if n > max_record then invalid_arg "Journal.append: oversized entry";
+  let crc = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
+  let record = be32 n ^ be32 crc ^ payload in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if t.closed then invalid_arg "Journal.append: closed";
+      let b = Bytes.of_string record in
+      let off = ref 0 in
+      while !off < Bytes.length b do
+        off := !off + Unix.write t.fd b !off (Bytes.length b - !off)
+      done;
+      Unix.fsync t.fd;
+      t.entries <- t.entries + 1)
+
+let entries (t : t) : int = t.entries
+
+let close (t : t) : unit =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        try Unix.close t.fd with _ -> ()
+      end)

@@ -8,7 +8,15 @@
     off and retrying can help (admission rejection, shutting down) or
     cannot (unknown benchmark, malformed request). *)
 
-let version = 1
+(** Protocol version. Every request envelope carries it as ["v"]; the
+    daemon refuses a mismatched (or missing) version with the structured,
+    non-retryable [version_mismatch] error instead of a parse failure —
+    an old client gets told {e what} is wrong, not just "bad request".
+
+    History: v1 — PR 5's original request/response protocol (no version
+    field); v2 — TCP transport, streaming [ask_many] replies, the
+    [cancel] op, and the version field itself. *)
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Queries on the wire                                                 *)
@@ -292,7 +300,14 @@ type request =
       bench : string;
       qs : wire_query list;
       deadline_ms : float option;
+      stream : bool;
+          (** [true]: the daemon frames each answer as it completes
+              (ordered, index-tagged, closed by a summary frame) instead
+              of one batched reply; the client may cancel mid-stream *)
     }
+  | Cancel
+      (** abandon the connection's in-flight streaming reply; outside a
+          stream it is a harmless acknowledged no-op *)
   | Queries of { bench : string }  (** the PDG workload of a benchmark *)
   | Report of { bench : string }  (** the benchmark's Figure 8 row *)
   | Edit of { bench : string; edits : wire_edit list }
@@ -305,7 +320,10 @@ type request =
   | Shutdown
 
 let request_to_json (r : request) : Json.t =
-  let obj op rest = Json.Obj (("op", Json.String op) :: rest) in
+  (* every request envelope leads with the protocol version *)
+  let obj op rest =
+    Json.Obj (("v", Json.Int version) :: ("op", Json.String op) :: rest)
+  in
   let deadline = function
     | None -> []
     | Some ms -> [ ("deadline_ms", Json.float ms) ]
@@ -313,16 +331,18 @@ let request_to_json (r : request) : Json.t =
   match r with
   | Hello { client } -> obj "hello" [ ("client", Json.String client) ]
   | Ping -> obj "ping" []
+  | Cancel -> obj "cancel" []
   | Ask { bench; q; deadline_ms } ->
       obj "ask"
         ([ ("bench", Json.String bench); ("query", query_to_json q) ]
         @ deadline deadline_ms)
-  | Ask_many { bench; qs; deadline_ms } ->
+  | Ask_many { bench; qs; deadline_ms; stream } ->
       obj "ask_many"
         ([
            ("bench", Json.String bench);
            ("queries", Json.List (List.map query_to_json qs));
          ]
+        @ (if stream then [ ("stream", Json.Bool true) ] else [])
         @ deadline deadline_ms)
   | Queries { bench } -> obj "queries" [ ("bench", Json.String bench) ]
   | Report { bench } -> obj "report" [ ("bench", Json.String bench) ]
@@ -349,6 +369,7 @@ let request_of_json (j : Json.t) : request =
               (Json.mem_or "client" ~default:(Json.String "?") j);
         }
   | "ping" -> Ping
+  | "cancel" -> Cancel
   | "ask" ->
       let q =
         match Json.member "query" j with
@@ -362,7 +383,15 @@ let request_of_json (j : Json.t) : request =
         | Some qj -> List.map query_of_json (Json.to_list_exn qj)
         | None -> raise (Json.Parse_error "ask_many: missing field \"queries\"")
       in
-      Ask_many { bench = Json.string_member "bench" j; qs; deadline_ms }
+      Ask_many
+        {
+          bench = Json.string_member "bench" j;
+          qs;
+          deadline_ms;
+          stream =
+            Json.to_bool_exn
+              (Json.mem_or "stream" ~default:(Json.Bool false) j);
+        }
   | "queries" -> Queries { bench = Json.string_member "bench" j }
   | "report" -> Report { bench = Json.string_member "bench" j }
   | "edit" ->
@@ -379,6 +408,14 @@ let request_of_json (j : Json.t) : request =
   | "stats" -> Stats
   | "shutdown" -> Shutdown
   | op -> raise (Json.Parse_error (Printf.sprintf "unknown op %S" op))
+
+(** The protocol version a raw request envelope declares; [None] when the
+    field is absent (a pre-v2 client) or not an integer. Checked by the
+    daemon {e before} the op is parsed, so a vocabulary drift between
+    versions surfaces as [version_mismatch], never as a confusing parse
+    error. *)
+let request_version (j : Json.t) : int option =
+  match Json.member "v" j with Some (Json.Int n) -> Some n | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Answers                                                             *)
@@ -544,6 +581,38 @@ let internal msg =
     diags = [];
   }
 
+(** A client speaking the wrong protocol version: non-retryable (retrying
+    the same bytes cannot help) with a message naming both versions and
+    the fix. *)
+let version_mismatch ~(got : int option) =
+  {
+    code = "version_mismatch";
+    msg =
+      Printf.sprintf
+        "client speaks protocol %s but this daemon speaks %d; rebuild the \
+         client and daemon from the same checkout (scaf_eval and the \
+         daemon must match)"
+        (match got with None -> "v1 (no version field)" | Some v -> string_of_int v)
+        version;
+    retryable = false;
+    retry_after_ms = None;
+    diags = [];
+  }
+
+(** The stream's terminal summary frame was never seen: the per-connection
+    outbox overflowed its grace period with the consumer stuck, and the
+    daemon chose disconnection over an unbounded buffer. *)
+let stream_overrun ~retry_after_ms =
+  {
+    code = "stream_overrun";
+    msg =
+      "stream consumer too slow: per-connection outbox exhausted its \
+       backpressure grace; reconnect and retry";
+    retryable = true;
+    retry_after_ms = Some retry_after_ms;
+    diags = [];
+  }
+
 (** A submission that failed the lint gate; not retryable as-is (fix the
     program), and the whole report rides along. *)
 let lint_rejected (diags : Scaf_lint.Diagnostic.t list) =
@@ -600,6 +669,87 @@ let open_envelope (j : Json.t) : (Json.t, err) result =
                  (Json.mem_or "diagnostics" ~default:(Json.List []) e));
         }
   | _ -> raise (Json.Parse_error "response has no \"ok\" field")
+
+(* ------------------------------------------------------------------ *)
+(* Streaming reply frames                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** A streaming [ask_many] reply is a sequence of frames, each a normal
+    [ok] envelope distinguished by its ["stream"] tag:
+
+    - {e item}: one resolved query, tagged with its index in the request's
+      query list (items always arrive in index order);
+    - {e hb}: a keepalive heartbeat — emitted while the next answer is
+      still cooking and on otherwise-idle connections, carrying no data;
+    - {e end}: the terminal summary (total items, backpressure sheds,
+      whether the stream was cancelled). A stream that ends in an error
+      envelope instead was aborted.
+
+    A non-streaming client never sees these: the tag only appears on
+    frames of a reply the client explicitly requested as a stream, plus
+    idle heartbeats (which every client skips). *)
+
+type stream_summary = {
+  st_count : int;  (** items framed before the stream closed *)
+  st_shed : int;  (** answers degraded by outbox backpressure *)
+  st_cancelled : bool;  (** closed early by a client [cancel] *)
+}
+
+let stream_item_to_json (i : int) (a : answer) : Json.t =
+  ok
+    [
+      ("stream", Json.String "item");
+      ("i", Json.Int i);
+      ("answer", answer_to_json a);
+    ]
+
+let stream_heartbeat_json : Json.t = ok [ ("stream", Json.String "hb") ]
+
+let stream_end_to_json (s : stream_summary) : Json.t =
+  ok
+    [
+      ("stream", Json.String "end");
+      ("count", Json.Int s.st_count);
+      ("shed", Json.Int s.st_shed);
+      ("cancelled", Json.Bool s.st_cancelled);
+    ]
+
+type stream_frame =
+  | Sitem of int * answer
+  | Sheartbeat
+  | Send of stream_summary
+  | Snot_stream  (** an ordinary (non-stream-tagged) reply frame *)
+
+(** Classify one frame of a streaming reply. Raises [Json.Parse_error] on
+    a malformed stream-tagged frame. *)
+let stream_frame_of_json (j : Json.t) : stream_frame =
+  match Json.member "stream" j with
+  | None -> Snot_stream
+  | Some (Json.String "hb") -> Sheartbeat
+  | Some (Json.String "item") -> (
+      match Json.member "answer" j with
+      | Some a -> Sitem (Json.int_member "i" j, answer_of_json a)
+      | None -> raise (Json.Parse_error "stream item without \"answer\""))
+  | Some (Json.String "end") ->
+      Send
+        {
+          st_count = Json.int_member "count" j;
+          st_shed = Json.int_member "shed" j;
+          st_cancelled =
+            Json.to_bool_exn
+              (Json.mem_or "cancelled" ~default:(Json.Bool false) j);
+        }
+  | Some t ->
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "unknown stream frame tag %s" (Json.to_string t)))
+
+(** Whether a reply frame is the idle-connection heartbeat every client
+    read path must skip transparently. *)
+let is_heartbeat (j : Json.t) : bool =
+  match Json.member "stream" j with
+  | Some (Json.String "hb") -> true
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8 rows on the wire                                           *)

@@ -80,14 +80,23 @@ let really_read (fd : Unix.file_descr) (buf : Bytes.t) (n : int)
   done;
   match !result with Some r -> r | None -> Ok ()
 
-let rec write_all (fd : Unix.file_descr) (buf : Bytes.t) (off : int)
-    (len : int) : (unit, error) result =
+(* [deadline] (absolute) bounds the whole frame's write once the peer
+   stops draining: a send-timeout tick ([SO_SNDTIMEO] on the fd surfaces
+   as EAGAIN) past the deadline fails the write instead of wedging the
+   writer behind a consumer that never reads. *)
+let rec write_all ?(deadline : float option) (fd : Unix.file_descr)
+    (buf : Bytes.t) (off : int) (len : int) : (unit, error) result =
   if len = 0 then Ok ()
   else
     match Unix.write fd buf off len with
-    | k -> write_all fd buf (off + k) (len - k)
+    | k -> write_all ?deadline fd buf (off + k) (len - k)
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        write_all fd buf off len
+        write_all ?deadline fd buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match deadline with
+        | Some d when now () > d ->
+            Error (Truncated "write budget exhausted")
+        | _ -> write_all ?deadline fd buf off len)
     | exception
         Unix.Unix_error
           ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ESHUTDOWN), _, _)
@@ -96,8 +105,12 @@ let rec write_all (fd : Unix.file_descr) (buf : Bytes.t) (off : int)
 
 (** [write_frame fd json] — frame and send one JSON value atomically from
     the caller's point of view: the whole frame is assembled first, then
-    written to completion or [Error Closed]. *)
-let write_frame (fd : Unix.file_descr) (j : Json.t) : (unit, error) result =
+    written to completion or [Error Closed]. [write_budget] (seconds)
+    bounds the wall-clock of the whole write when the fd carries a send
+    timeout ([SO_SNDTIMEO]) — the per-connection write deadline that keeps
+    a slow consumer from parking the daemon's writer forever. *)
+let write_frame ?(write_budget : float option) (fd : Unix.file_descr)
+    (j : Json.t) : (unit, error) result =
   let payload = Json.to_string j in
   let n = String.length payload in
   let frame = Bytes.create (4 + n) in
@@ -106,7 +119,8 @@ let write_frame (fd : Unix.file_descr) (j : Json.t) : (unit, error) result =
   Bytes.set frame 2 (Char.chr ((n lsr 8) land 0xff));
   Bytes.set frame 3 (Char.chr (n land 0xff));
   Bytes.blit_string payload 0 frame 4 n;
-  write_all fd frame 0 (4 + n)
+  let deadline = Option.map (fun b -> now () +. b) write_budget in
+  write_all ?deadline fd frame 0 (4 + n)
 
 (** [read_frame fd] — read one frame. [max_len] bounds the declared
     payload; [frame_budget] (seconds) bounds the wall-clock from a frame's

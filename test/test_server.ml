@@ -140,12 +140,73 @@ let test_protocol_request_roundtrip () =
       Protocol.Ask { bench = "164.gzip"; q = wq; deadline_ms = None };
       Protocol.Ask_many
         { bench = "b"; qs = [ wq; { wq with Protocol.wcross = false } ];
-          deadline_ms = None };
+          deadline_ms = None; stream = false };
+      Protocol.Ask_many
+        { bench = "b"; qs = [ wq ]; deadline_ms = Some 7.0; stream = true };
+      Protocol.Cancel;
       Protocol.Queries { bench = "b" };
       Protocol.Report { bench = "b" };
       Protocol.Stats;
       Protocol.Shutdown;
     ]
+
+let test_protocol_version_envelope () =
+  (* every request envelope carries the protocol version, and the gate
+     reads it back; a version-less envelope reads as a v1 client *)
+  List.iter
+    (fun r ->
+      checkb "request carries v" true
+        (Protocol.request_version (Protocol.request_to_json r)
+        = Some Protocol.version))
+    [ Protocol.Ping; Protocol.Cancel; Protocol.Stats ];
+  checki "current version" 2 Protocol.version;
+  checkb "missing v reads as pre-versioned" true
+    (Protocol.request_version (Json.Obj [ ("op", Json.String "ping") ]) = None);
+  let e = Protocol.version_mismatch ~got:(Some 99) in
+  checks "code" "version_mismatch" e.Protocol.code;
+  checkb "not retryable" false e.Protocol.retryable;
+  (* the message must be actionable: name both versions and say what to
+     do about it *)
+  checkb "message names both versions" true
+    (let mem sub s =
+       let n = String.length sub and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     mem "99" e.Protocol.msg && mem "2" e.Protocol.msg
+     && mem "rebuild" e.Protocol.msg)
+
+let test_protocol_stream_frames () =
+  let a =
+    {
+      Protocol.a_result = "ModRef";
+      a_nodep = false;
+      a_cost = 3.5;
+      a_options = 2;
+      a_unconditional = true;
+      a_provenance = [ "shape" ];
+      a_degraded = None;
+      a_coalesced = false;
+    }
+  in
+  let reparse j = Json.of_string (Json.to_string j) in
+  (match Protocol.stream_frame_of_json (reparse (Protocol.stream_item_to_json 4 a)) with
+  | Protocol.Sitem (4, a') -> checkb "item round-trips" true (a = a')
+  | _ -> Alcotest.fail "item frame did not parse as Sitem 4");
+  checkb "heartbeat recognized" true
+    (Protocol.is_heartbeat (reparse Protocol.stream_heartbeat_json));
+  (match Protocol.stream_frame_of_json (reparse Protocol.stream_heartbeat_json) with
+  | Protocol.Sheartbeat -> ()
+  | _ -> Alcotest.fail "heartbeat frame did not parse as Sheartbeat");
+  let s = { Protocol.st_count = 9; st_shed = 2; st_cancelled = true } in
+  (match Protocol.stream_frame_of_json (reparse (Protocol.stream_end_to_json s)) with
+  | Protocol.Send s' -> checkb "summary round-trips" true (s = s')
+  | _ -> Alcotest.fail "end frame did not parse as Send");
+  match
+    Protocol.stream_frame_of_json (Protocol.ok [ ("pong", Json.Bool true) ])
+  with
+  | Protocol.Snot_stream -> ()
+  | _ -> Alcotest.fail "plain reply misread as a stream frame"
 
 let test_protocol_unknown_op () =
   match Protocol.request_of_json (Json.Obj [ ("op", Json.String "nope") ]) with
@@ -442,6 +503,327 @@ let test_daemon_edit_roundtrip () =
           let r2 = Client.edit c ~bench:bench_name [ Protocol.WAuto ] in
           checki "second edit reaches epoch 2" 2 r2.Protocol.e_epoch))
 
+(* -- Journal: crash-durable submissions ----------------------------- *)
+
+let scratch_dir () =
+  let p = Filename.temp_file "scaf-journal" ".d" in
+  Sys.remove p;
+  p
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let sample_program () =
+  let p = Scaf_suite.Registry.find "164.gzip" |> Option.get in
+  {
+    Protocol.wp_id = "user.gzip";
+    wp_source = Scaf_suite.Program.source p;
+    wp_train = Some (Scaf_suite.Program.train_inputs p);
+    wp_ref = Some (Scaf_suite.Program.ref_input p);
+  }
+
+let test_journal_roundtrip () =
+  let dir = scratch_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let j, entries, rec0 = Journal.open_and_replay ~dir in
+      checkb "fresh journal is empty" true (entries = []);
+      checki "nothing replayed" 0 rec0.Journal.replayed;
+      let sub = Journal.Submit (sample_program ()) in
+      let ed =
+        Journal.Edit { bench = "user.gzip"; edits = [ Protocol.WAuto ] }
+      in
+      Journal.append j sub;
+      Journal.append j ed;
+      checki "two entries live" 2 (Journal.entries j);
+      Journal.close j;
+      (* reopen: both entries come back, in order, structurally equal *)
+      let j2, entries2, rec2 = Journal.open_and_replay ~dir in
+      checki "recovered both" 2 rec2.Journal.replayed;
+      checki "no torn tail" 0 rec2.Journal.truncated_bytes;
+      checkb "entries survive byte-exactly" true (entries2 = [ sub; ed ]);
+      Journal.close j2)
+
+let test_journal_torn_tail () =
+  let dir = scratch_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let j, _, _ = Journal.open_and_replay ~dir in
+      let sub = Journal.Submit (sample_program ()) in
+      Journal.append j sub;
+      Journal.close j;
+      let path = Filename.concat dir "submits.journal" in
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      (* a kill -9 mid-append leaves half a record: complete entry plus
+         a torn prefix of the next *)
+      Out_channel.with_open_gen
+        [ Open_wronly; Open_append; Open_binary ]
+        0o644 path
+        (fun oc -> Out_channel.output_string oc "\x00\x00\x01\x00torn");
+      let j2, entries2, rec2 = Journal.open_and_replay ~dir in
+      checki "whole entry recovered" 1 rec2.Journal.replayed;
+      checki "torn tail measured" 8 rec2.Journal.truncated_bytes;
+      checkb "entry intact" true (entries2 = [ sub ]);
+      (* the open truncated the file back to the last whole record and
+         the journal keeps appending from there *)
+      Journal.append j2 sub;
+      Journal.close j2;
+      let healed = In_channel.with_open_bin path In_channel.input_all in
+      checki "file = two whole records" (2 * String.length whole)
+        (String.length healed);
+      (* a corrupted checksum also stops the scan at the damage *)
+      Out_channel.with_open_gen
+        [ Open_wronly; Open_binary ] 0o644 path
+        (fun oc ->
+          Out_channel.seek oc (Int64.of_int (String.length whole + 12));
+          Out_channel.output_char oc '\xff');
+      let j3, entries3, _ = Journal.open_and_replay ~dir in
+      checkb "scan stops at the corrupt record" true (entries3 = [ sub ]);
+      Journal.close j3)
+
+(* -- Outbox: streaming backpressure --------------------------------- *)
+
+let stub_answer =
+  {
+    Protocol.a_result = "ModRef";
+    a_nodep = false;
+    a_cost = 1.0;
+    a_options = 1;
+    a_unconditional = false;
+    a_provenance = [];
+    a_degraded = None;
+    a_coalesced = false;
+  }
+
+let test_outbox_backpressure () =
+  let ob = Daemon.outbox_create ~cap:2 ~grace:0.3 in
+  (* under capacity: pushes return immediately *)
+  (match Daemon.outbox_push ob (0, stub_answer) with
+  | `Ok w -> checkb "first push immediate" true (w < 0.05)
+  | _ -> Alcotest.fail "first push must succeed");
+  (match Daemon.outbox_push ob (1, stub_answer) with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "second push must succeed");
+  (* full + no consumer: the producer waits out the grace, then gives
+     up — this is the slow-consumer shed-or-disconnect path *)
+  let t0 = Unix.gettimeofday () in
+  (match Daemon.outbox_push ob (2, stub_answer) with
+  | `Overrun -> checkb "waited out the grace" true (Unix.gettimeofday () -. t0 >= 0.25)
+  | _ -> Alcotest.fail "push into a dead-full outbox must overrun");
+  (* a consumer draining unblocks the producer *)
+  (match Daemon.outbox_take ob ~max_wait:0.1 with
+  | `Item (0, _) -> ()
+  | _ -> Alcotest.fail "take must pop in order");
+  (match Daemon.outbox_push ob (2, stub_answer) with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "push after a drain must succeed");
+  (* finish: the consumer drains the buffer, then sees Done *)
+  Daemon.outbox_finish ob;
+  (match Daemon.outbox_take ob ~max_wait:0.1 with
+  | `Item (1, _) -> ()
+  | _ -> Alcotest.fail "buffered items drain after finish");
+  (match Daemon.outbox_take ob ~max_wait:0.1 with
+  | `Item (2, _) -> ()
+  | _ -> Alcotest.fail "buffered items drain after finish");
+  (match Daemon.outbox_take ob ~max_wait:0.1 with
+  | `Done -> ()
+  | _ -> Alcotest.fail "empty finished outbox must report Done")
+
+let test_outbox_cancel_stops_producer () =
+  let ob = Daemon.outbox_create ~cap:1 ~grace:5.0 in
+  (match Daemon.outbox_push ob (0, stub_answer) with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "first push must succeed");
+  (* client cancels while the outbox is full: the producer must stop
+     immediately instead of waiting out the (long) grace *)
+  let t =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        Daemon.outbox_cancel ob)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  (match Daemon.outbox_push ob (1, stub_answer) with
+  | `Stopped -> checkb "stopped promptly, not after grace" true
+      (Unix.gettimeofday () -. t0 < 1.0)
+  | _ -> Alcotest.fail "push after cancel must stop");
+  Thread.join t;
+  (* an aborted stream surfaces its error to the consumer *)
+  let ob2 = Daemon.outbox_create ~cap:1 ~grace:0.1 in
+  Daemon.outbox_finish ~err:(Protocol.stream_overrun ~retry_after_ms:50.0) ob2;
+  match Daemon.outbox_take ob2 ~max_wait:0.1 with
+  | `Err e ->
+      checks "overrun code" "stream_overrun" e.Protocol.code;
+      checkb "overrun is retryable" true e.Protocol.retryable
+  | _ -> Alcotest.fail "aborted outbox must surface the error"
+
+(* -- Daemon: TCP transport, streaming, version gate, durability ----- *)
+
+let daemon_cfg ?tcp ?state_dir ?(benchmarks = []) sock =
+  let base = Daemon.default_config ~socket_path:sock () in
+  { base with Daemon.benchmarks; tcp; state_dir }
+
+let test_daemon_tcp_transport () =
+  let sock = scratch_sock () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let cfg = daemon_cfg ~tcp:"127.0.0.1:0" ~benchmarks:[ b ] sock in
+  let d = Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let tcp_ep =
+        match Daemon.tcp_endpoint d with
+        | Some ep -> ep
+        | None -> Alcotest.fail "daemon did not bind its TCP listener"
+      in
+      checkb "ephemeral port resolved" true
+        (not (String.ends_with ~suffix:":0" tcp_ep));
+      (* the same query over both transports must answer byte-identically *)
+      let ask_over ep =
+        let c, benches = Client.connect ~name:"transport-test" ep in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            checkb "hello lists the benchmark" true (benches = [ bench_name ]);
+            let loop, _, wqs = List.hd (Client.queries c ~bench:bench_name) in
+            Protocol.render_answer
+              (Client.ask c ~bench:bench_name
+                 { (List.hd wqs) with Protocol.wloop = loop }))
+      in
+      checks "tcp answer = unix answer" (ask_over sock) (ask_over tcp_ep))
+
+let test_daemon_stream_identical () =
+  let sock = scratch_sock () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let d = Daemon.start (daemon_cfg ~benchmarks:[ b ] sock) in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let c, _ = Client.connect ~name:"stream-test" sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let qs =
+            List.concat_map
+              (fun (loop, _, wqs) ->
+                List.map (fun q -> { q with Protocol.wloop = loop }) wqs)
+              (Client.queries c ~bench:bench_name)
+          in
+          checkb "workload nonempty" true (qs <> []);
+          let batch = Client.ask_many c ~bench:bench_name qs in
+          let streamed, summary = Client.ask_stream c ~bench:bench_name qs in
+          checki "summary counts every answer" (List.length qs)
+            summary.Protocol.st_count;
+          checkb "not cancelled" false summary.Protocol.st_cancelled;
+          List.iter2
+            (fun (x : Protocol.answer) (y : Protocol.answer) ->
+              checks "streamed = batched, byte for byte"
+                (Protocol.render_answer x) (Protocol.render_answer y))
+            batch streamed;
+          (* the connection survives the stream: plain rpc still works *)
+          Client.ping c;
+          (* transport counters surface through ask stats *)
+          let st = Client.stats c in
+          let transport = Json.mem_or "transport" ~default:Json.Null st in
+          checkb "stats counts streams" true
+            (Json.int_member "streams_opened" transport >= 1);
+          checkb "stats counts stream items" true
+            (Json.int_member "stream_items" transport >= List.length qs)))
+
+let test_daemon_version_gate () =
+  let sock = scratch_sock () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let d = Daemon.start (daemon_cfg ~benchmarks:[ b ] sock) in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let fd = Addr.connect (Addr.of_string sock) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let exchange payload =
+            (match Wire.write_frame fd (Json.of_string payload) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "write: %s" (Wire.error_to_string e));
+            match Wire.read_frame fd with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "read: %s" (Wire.error_to_string e)
+          in
+          let expect_mismatch payload =
+            match Protocol.open_envelope (exchange payload) with
+            | Error e ->
+                checks "code" "version_mismatch" e.Protocol.code;
+                checkb "non-retryable" false e.Protocol.retryable
+            | Ok _ -> Alcotest.failf "daemon accepted %s" payload
+          in
+          expect_mismatch {|{"v":99,"op":"ping"}|};
+          expect_mismatch {|{"op":"ping"}|};
+          (* the gate rejects the request, not the connection *)
+          match Protocol.open_envelope (exchange {|{"v":2,"op":"ping"}|}) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "well-versioned ping rejected: %s"
+              e.Protocol.msg))
+
+let test_daemon_journal_recovery () =
+  let sock = scratch_sock () in
+  let dir = scratch_dir () in
+  let b = Scaf_suite.Registry.find bench_name |> Option.get in
+  let cfg = daemon_cfg ~state_dir:dir ~benchmarks:[ b ] sock in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* first life: submit a program, edit it, record its answers *)
+      let ask_all c bench =
+        List.concat_map
+          (fun (loop, _, wqs) ->
+            List.map
+              (fun q ->
+                Protocol.render_answer
+                  (Client.ask c ~bench { q with Protocol.wloop = loop }))
+              wqs)
+          (Client.queries c ~bench)
+      in
+      let d1 = Daemon.start cfg in
+      let before =
+        Fun.protect
+          ~finally:(fun () -> Daemon.stop d1)
+          (fun () ->
+            let c, _ = Client.connect ~name:"durability" sock in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let r = Client.submit c (sample_program ()) in
+                checks "registered under its id" "user.gzip"
+                  r.Protocol.s_id;
+                ignore (Client.edit c ~bench:"user.gzip" [ Protocol.WAuto ]);
+                ask_all c "user.gzip"))
+      in
+      checkb "submitted program answered" true (before <> []);
+      (* second life: same state dir, no submit — the journal replays
+         the submit and the edit through the admission pipeline *)
+      let d2 = Daemon.start cfg in
+      let after =
+        Fun.protect
+          ~finally:(fun () -> Daemon.stop d2)
+          (fun () ->
+            let c, benches = Client.connect ~name:"durability-2" sock in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                checkb "recovered program is listed" true
+                  (List.mem "user.gzip" benches);
+                ask_all c "user.gzip"))
+      in
+      checkb "recovered answers byte-identical" true (before = after))
+
 (* -- the full chaos matrix ------------------------------------------ *)
 
 let test_server_chaos_matrix () =
@@ -451,6 +833,32 @@ let test_server_chaos_matrix () =
     (fun (o : Scaf_faultinject.Server_chaos.server_outcome) ->
       if not o.Scaf_faultinject.Server_chaos.s_ok then
         Alcotest.failf "server chaos %s: %s"
+          o.Scaf_faultinject.Server_chaos.s_scenario
+          o.Scaf_faultinject.Server_chaos.s_detail)
+    outcomes
+
+(* Both transports through the byte-level chaos proxy: slow-loris,
+   truncated frames, RST, duplicated bytes, mid-stream client death,
+   version skew. Every scenario must end answered/rejected/expired. *)
+let test_net_chaos_matrix () =
+  let outcomes = Scaf_faultinject.Net_chaos.run_net_chaos ~seed:2026 () in
+  let over prefix =
+    List.exists
+      (fun (o : Scaf_faultinject.Server_chaos.server_outcome) ->
+        String.starts_with ~prefix o.Scaf_faultinject.Server_chaos.s_scenario)
+      outcomes
+  in
+  checkb "matrix covers the unix transport" true (over "net/unix/");
+  checkb "matrix covers the tcp transport" true (over "net/tcp/");
+  List.iter
+    (fun name ->
+      checkb (name ^ " present on both transports") true
+        (over ("net/unix/" ^ name) && over ("net/tcp/" ^ name)))
+    [ "proxied-slow-loris"; "truncate-mid-frame"; "client-vanishes" ];
+  List.iter
+    (fun (o : Scaf_faultinject.Server_chaos.server_outcome) ->
+      if not o.Scaf_faultinject.Server_chaos.s_ok then
+        Alcotest.failf "net chaos %s: %s"
           o.Scaf_faultinject.Server_chaos.s_scenario
           o.Scaf_faultinject.Server_chaos.s_detail)
     outcomes
@@ -483,6 +891,23 @@ let suite =
         Alcotest.test_case "answer round-trips" `Quick
           test_protocol_answer_roundtrip;
         Alcotest.test_case "error envelope" `Quick test_protocol_err_envelope;
+        Alcotest.test_case "version envelope + mismatch" `Quick
+          test_protocol_version_envelope;
+        Alcotest.test_case "stream frames" `Quick test_protocol_stream_frames;
+      ] );
+    ( "server-journal",
+      [
+        Alcotest.test_case "append/replay round-trip" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "torn tail truncated, then heals" `Quick
+          test_journal_torn_tail;
+      ] );
+    ( "server-outbox",
+      [
+        Alcotest.test_case "backpressure: wait, overrun, drain" `Quick
+          test_outbox_backpressure;
+        Alcotest.test_case "cancel stops the producer" `Quick
+          test_outbox_cancel_stops_producer;
       ] );
     ( "server-admission",
       [
@@ -510,7 +935,17 @@ let suite =
           test_daemon_end_to_end;
         Alcotest.test_case "edit round-trips without restart" `Quick
           test_daemon_edit_roundtrip;
+        Alcotest.test_case "tcp transport answers byte-identically" `Quick
+          test_daemon_tcp_transport;
+        Alcotest.test_case "streamed ask_many = batched ask_many" `Quick
+          test_daemon_stream_identical;
+        Alcotest.test_case "version gate rejects skewed clients" `Quick
+          test_daemon_version_gate;
+        Alcotest.test_case "journal recovers submissions on restart" `Slow
+          test_daemon_journal_recovery;
         Alcotest.test_case "chaos matrix all green" `Slow
           test_server_chaos_matrix;
+        Alcotest.test_case "network chaos matrix all green" `Slow
+          test_net_chaos_matrix;
       ] );
   ]
