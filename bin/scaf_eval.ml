@@ -101,16 +101,18 @@ let run_table1 () = print_endline Report.table1
 
 let report_cache_stats evals =
   List.iter
-    (fun (name, (s : Scaf.Qcache.stats)) ->
-      let total = s.Scaf.Qcache.hits + s.Scaf.Qcache.misses in
+    (fun (name, (s : Scaf.Qcache.Snapshot.t)) ->
       Printf.eprintf
-        "cache %-12s lookups %8d  hit%% %5.1f  canonical-hits %6d  \
-         evictions %6d  contended %6d  entries %6d\n"
-        name total
-        (if total = 0 then 0.0
-         else 100.0 *. float_of_int s.Scaf.Qcache.hits /. float_of_int total)
-        s.Scaf.Qcache.canonical_hits s.Scaf.Qcache.evictions
-        s.Scaf.Qcache.contended s.Scaf.Qcache.entries)
+        "cache %-12s lookups %8d  hit%% %5.1f  l1-hits %8d  \
+         canonical-hits %6d  evictions %6d  publishes %6d  steals %4d  \
+         contended %4d  entries %6d\n"
+        name
+        (Scaf.Qcache.Snapshot.lookups s)
+        (Scaf.Qcache.Snapshot.hit_rate s)
+        s.Scaf.Qcache.Snapshot.l1_hits s.Scaf.Qcache.Snapshot.canonical_hits
+        s.Scaf.Qcache.Snapshot.evictions s.Scaf.Qcache.Snapshot.publishes
+        s.Scaf.Qcache.Snapshot.steals s.Scaf.Qcache.Snapshot.contended
+        s.Scaf.Qcache.Snapshot.entries)
     (Experiments.cache_stats_summary evals)
 
 let sink_of (c : common) : Scaf_trace.Sink.t option =
@@ -139,14 +141,18 @@ let emit_observability (c : common) (trace : Scaf_trace.Sink.t option) =
     prerr_endline (Scaf_trace.Metrics.to_json Scaf_trace.Metrics.global)
 
 (* Run the evaluation under [c]'s flags and hand the reports to [f]. All
-   observability output lands on stderr or in files, never stdout. *)
+   observability output lands on stderr or in files, never stdout. One
+   work-stealing pool is scoped around the whole evaluation — every figure
+   of a run shares it instead of respawning domains per figure; reports
+   are byte-identical at any [--jobs N] (pool size 1 spawns nothing). *)
 let with_evals ?(sequential = false) (c : common) f =
   let trace = sink_of c in
   let metrics = metrics_of c in
   let jobs = if sequential then 1 else c.jobs in
   let evals =
-    Experiments.evaluate_all ~jobs ?trace ?metrics
-      ~benchmarks:(select_benchmarks c.benchmarks) ()
+    Scaf_pdg.Scheduler.with_pool ~jobs (fun pool ->
+        Experiments.evaluate_all ~pool ?trace ?metrics
+          ~benchmarks:(select_benchmarks c.benchmarks) ())
   in
   f evals;
   if c.cache_stats then report_cache_stats evals;
@@ -542,8 +548,8 @@ let run_eval_file file ident =
 let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "scaf-eval.sock"
 
-let run_serve benchmarks socket tcp state_dir workers capacity idle_timeout
-    deadline_ms static_nodep max_submit =
+let run_serve benchmarks socket tcp state_dir workers jobs capacity
+    idle_timeout deadline_ms static_nodep max_submit =
   let open Scaf_server in
   let base = Daemon.default_config ~socket_path:socket () in
   let cfg =
@@ -553,6 +559,7 @@ let run_serve benchmarks socket tcp state_dir workers capacity idle_timeout
       tcp;
       state_dir;
       workers;
+      jobs;
       admission = { base.Daemon.admission with Admission.capacity };
       idle_timeout;
       default_deadline_ms = deadline_ms;
@@ -926,6 +933,14 @@ let () =
                      value & opt int 2
                      & info [ "workers" ] ~docv:"N"
                          ~doc:"Worker threads answering admitted queries.")
+                 $ Arg.(
+                     value & opt int 1
+                     & info [ "jobs" ] ~docv:"N"
+                         ~doc:
+                           "Domains in the engine's shared work-stealing \
+                            pool, used for batched query resolution \
+                            ($(b,ask_many), replays). Answers are \
+                            byte-identical at any $(docv).")
                  $ Arg.(
                      value & opt int 64
                      & info [ "capacity" ] ~docv:"N"

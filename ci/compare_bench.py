@@ -2,6 +2,7 @@
 """Compare a fresh bench --json run against a committed BENCH_*.json baseline.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [TOLERANCE]
+                        [--require-speedup SLOW:FAST:MIN]...
 
 Ratios are machine-normalized before gating: the median current/baseline
 ratio across all shared benchmarks is taken as the machine-speed factor
@@ -13,6 +14,14 @@ advisory "update the baseline" notes but do not fail. Missing benchmarks
 in CURRENT are errors (a silently dropped benchmark is how perf coverage
 rots); new benchmarks in CURRENT are reported but fine. Exits non-zero
 on any regression or missing benchmark.
+
+--require-speedup SLOW:FAST:MIN (repeatable) additionally asserts a
+scaling relation *within* the CURRENT run: benchmark SLOW must take at
+least MIN times as long per run as benchmark FAST. Being a same-run
+ratio it needs no machine normalization — it is how CI pins down "the
+4-job sweep is at least 2x faster than the 1-job sweep" without caring
+how fast the runner is. Only meaningful on runners with enough cores;
+gate the flag on nproc in the workflow, not here.
 """
 
 import json
@@ -28,12 +37,33 @@ def load(path):
     return doc["benchmarks"]
 
 
-def main():
-    if len(sys.argv) not in (3, 4):
+def parse_args(argv):
+    positional, speedups = [], []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--require-speedup":
+            if i + 1 >= len(argv):
+                sys.exit("--require-speedup needs a SLOW:FAST:MIN operand")
+            # SLOW:FAST:MIN — benchmark names never contain ':'
+            slow, sep, rest = argv[i + 1].partition(":")
+            fast, sep2, minimum = rest.partition(":")
+            if not (sep and sep2 and slow and fast and minimum):
+                sys.exit(f"malformed --require-speedup {argv[i + 1]!r}")
+            speedups.append((slow, fast, float(minimum)))
+            i += 2
+        else:
+            positional.append(argv[i])
+            i += 1
+    if len(positional) not in (2, 3):
         sys.exit(__doc__)
-    baseline = load(sys.argv[1])
-    current = load(sys.argv[2])
-    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 1.10
+    tolerance = float(positional[2]) if len(positional) == 3 else 1.10
+    return positional[0], positional[1], tolerance, speedups
+
+
+def main():
+    base_path, cur_path, tolerance, speedups = parse_args(sys.argv[1:])
+    baseline = load(base_path)
+    current = load(cur_path)
 
     shared = [n for n in baseline if n in current and baseline[n] > 0]
     if not shared:
@@ -62,13 +92,31 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"new       {name:40s} {'':12s}    {current[name]:12.1f} ns/run")
 
+    for slow, fast, minimum in speedups:
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            failures.append(
+                f"speedup {slow} vs {fast}: not measured: {', '.join(missing)}")
+            continue
+        if current[fast] <= 0:
+            failures.append(f"speedup {slow} vs {fast}: non-positive estimate")
+            continue
+        actual = current[slow] / current[fast]
+        verdict = "ok" if actual >= minimum else "TOO SLOW"
+        print(f"\nspeedup   {slow} / {fast}: {actual:.2f}x "
+              f"(need >= {minimum:.2f}x) {verdict}")
+        if actual < minimum:
+            failures.append(f"{fast}: only {actual:.2f}x faster than {slow} "
+                            f"(need >= {minimum:.2f}x)")
+
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)
     print(f"\nall {len(baseline)} baseline benchmarks within "
-          f"{tolerance:.2f}x (normalized)")
+          f"{tolerance:.2f}x (normalized)"
+          + (f"; {len(speedups)} speedup relation(s) hold" if speedups else ""))
 
 
 if __name__ == "__main__":

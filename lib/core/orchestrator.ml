@@ -95,7 +95,7 @@ type stats_snapshot = {
   quarantine_skips : int;
   deadline_expiries : int;
   latency_count : int;
-  cache : Qcache.stats;
+  cache : Qcache.Snapshot.t;
 }
 
 (** Per-module fault-isolation record (§3.3 collaboration requires that one
@@ -165,13 +165,20 @@ type t = {
       (** canonicalizing memo for repeated (premise) queries; queries
           carrying a control-flow view are never keyed (views are closures,
           enforced by [Qcache.key_of]) *)
+  local : Qcache.Local.t;
+      (** this orchestrator's private L1 over [cache]: unsynchronized
+          lookups, batched publication into the shared store. An
+          orchestrator is single-worker by construction (one per domain or
+          thread), which is exactly the [Local] ownership contract. *)
   deadline : float option ref;
       (** per-client-query deadline when the bail-out policy is [Timeout] *)
   health : (string, health) Hashtbl.t;  (** keyed by module name *)
   mx : mx option;  (** pre-bound metric handles, when [config.metrics] *)
 }
 
-let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
+let create ?cache ?l1_capacity ?l1_flush_every (prog : Scaf_cfg.Progctx.t)
+    (config : config) : t =
+  let cache = match cache with Some c -> c | None -> Qcache.create () in
   {
     config;
     prog;
@@ -186,7 +193,10 @@ let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
         quarantine_skips = 0;
         deadline_expiries = 0;
       };
-    cache = (match cache with Some c -> c | None -> Qcache.create ());
+    cache;
+    local =
+      Qcache.Local.create ?capacity:l1_capacity ?flush_every:l1_flush_every
+        cache;
     deadline = ref None;
     health = Hashtbl.create 8;
     mx = bind_metrics config;
@@ -195,6 +205,7 @@ let create ?cache (prog : Scaf_cfg.Progctx.t) (config : config) : t =
 let config (t : t) : config = t.config
 let prog (t : t) : Scaf_cfg.Progctx.t = t.prog
 let cache (t : t) : Qcache.t = t.cache
+let flush_cache (t : t) : unit = Qcache.Local.flush t.local
 
 let stats (t : t) : stats_snapshot =
   {
@@ -206,7 +217,7 @@ let stats (t : t) : stats_snapshot =
     quarantine_skips = t.c.quarantine_skips;
     deadline_expiries = t.c.deadline_expiries;
     latency_count = Reservoir.count t.c.lat;
-    cache = Qcache.stats t.cache;
+    cache = Qcache.snapshot t.cache;
   }
 
 let health_of (t : t) (name : string) : health =
@@ -398,7 +409,7 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
           | None -> ());
           handle_uncached t depth None None q
       | Some k -> (
-          match Qcache.find t.cache k with
+          match Qcache.Local.find t.local k with
           | Some r ->
               (match t.mx with
               | Some m ->
@@ -434,7 +445,7 @@ and handle_at (t : t) (depth : int) (dest : (Sink.node -> unit) option)
           | None -> ());
           finish Sink.Uncacheable (handle_uncached t depth None (Some n) q)
       | Some k -> (
-          match Qcache.find t.cache k with
+          match Qcache.Local.find t.local k with
           | Some r ->
               let mirrored = Qcache.mirrored k in
               (match t.mx with
@@ -523,7 +534,7 @@ and handle_uncached (t : t) (depth : int) (key : Qcache.key option)
   let memoized =
     match key with
     | Some k when depth <= 1 && not (deadline_passed t) ->
-        Qcache.add t.cache k !final;
+        Qcache.Local.add t.local k !final;
         true
     | _ -> false
   in

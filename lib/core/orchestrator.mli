@@ -74,7 +74,8 @@ type stats_snapshot = {
           an explicit [handle ~deadline]) expired before the consult sweep
           finished — their answers were truncated joins *)
   latency_count : int;  (** client queries with a recorded latency *)
-  cache : Qcache.stats;  (** the memo table's own counters *)
+  cache : Qcache.Snapshot.t;
+      (** the shared memo store's own counters (immutable snapshot) *)
 }
 
 (** Per-module fault-isolation record: a faulting or overrunning module is
@@ -90,16 +91,35 @@ type health = {
 type t
 
 (** [create ?cache prog config] — a fresh orchestrator. When [cache] is
-    given it is used as the memo table (and may be shared with other
+    given it is used as the shared memo store (and may be shared with other
     orchestrators, e.g. one per worker domain); otherwise a private one is
-    created. *)
-val create : ?cache:Qcache.t -> Scaf_cfg.Progctx.t -> config -> t
+    created. Every orchestrator additionally owns a private
+    {!Qcache.Local.t} L1 over that store — unsynchronized lookups, batched
+    publication — sized by [l1_capacity] (default 8192) and flushed every
+    [l1_flush_every] memoized answers (default 32). An orchestrator must
+    therefore stay single-worker: share the {!Qcache.t}, not the
+    orchestrator. *)
+val create :
+  ?cache:Qcache.t ->
+  ?l1_capacity:int ->
+  ?l1_flush_every:int ->
+  Scaf_cfg.Progctx.t ->
+  config ->
+  t
 
 val config : t -> config
 val prog : t -> Scaf_cfg.Progctx.t
 
-(** The memo table — pass it to [create ?cache] to share memoization. *)
+(** The shared memo store — pass it to [create ?cache] to share
+    memoization. *)
 val cache : t -> Qcache.t
+
+(** Publish this orchestrator's pending L1 entries into the shared store
+    now. Anyone about to walk or invalidate the shared store (the
+    incremental engine before [Qcache.invalidate], a peer orchestrator that
+    wants to observe this one's answers) must flush first; otherwise the
+    batch publishes on its own cadence. *)
+val flush_cache : t -> unit
 
 (** Counters right now, as an immutable snapshot. *)
 val stats : t -> stats_snapshot

@@ -1,4 +1,5 @@
-(** Canonicalizing, sharded, bounded response cache.
+(** Canonicalizing, sharded, bounded response cache — two-tier since the
+    multicore-scaling redesign.
 
     The memoization layer behind the orchestrator (and shared by the
     domain-parallel batch engine): maps dependence queries to their joined
@@ -18,14 +19,27 @@
     The only way to obtain a {!key} is {!key_of}, which returns [None] for
     such queries, so the invariant is enforced by construction.
 
-    {b Concurrency.} The table is split into shards, each guarded by its
-    own [Mutex], so orchestrators running on different domains can share
-    one cache with low contention. Counters are [Atomic].
+    {b Two tiers.} The shared store is split into shards, each guarded by
+    its own [Mutex]. On top of it, each worker owns a {!Local.t}: a
+    bounded, completely unsynchronized L1 whose entries are published into
+    the shared store in batches ({!Local.flush}), so the per-query hot
+    path takes no lock at all once warm. Additionally the store
+    [Atomic]-publishes a read-only snapshot of its (immutable) entries, so
+    even a cross-worker warm hit is lock-free; only a genuine first-time
+    miss or a publication batch touches a shard mutex.
+
+    {b Generations.} The store carries a generation counter, bumped by
+    {!invalidate} and {!clear}. Every {!Local.t} and every published
+    read-only snapshot is stamped with the generation it was filled under
+    and self-invalidates when the store moves on — an epoch bump therefore
+    empties every L1 (and drops their unpublished entries, which were
+    computed against the superseded program state).
 
     {b Bounded capacity.} Each shard holds at most [capacity / shards]
-    entries and evicts with the second-chance (clock) policy: a hit sets
-    the entry's reference bit; the victim scan clears bits and evicts the
-    first entry found clear. *)
+    entries and evicts with the second-chance (clock) policy: a locked hit
+    sets the entry's reference bit; the victim scan clears bits and evicts
+    the first entry found clear. (L1 and snapshot hits skip the bit — the
+    price of lock freedom is slightly less precise clock information.) *)
 
 type t
 
@@ -34,23 +48,60 @@ type t
     epoch-less (stale-able) key is unrepresentable by construction. *)
 type key
 
-type stats = {
-  hits : int;  (** lookups answered from the cache *)
-  misses : int;  (** lookups that found nothing *)
-  evictions : int;  (** entries removed by the clock policy *)
-  canonical_hits : int;
-      (** subset of [hits] served through a mirrored alias form *)
-  contended : int;
-      (** lookups that found their shard lock already held by another
-          domain (shard-contention signal for the metrics layer) *)
-  entries : int;  (** live entries right now *)
-  capacity : int;  (** configured bound (total across shards) *)
-  shards : int;
-}
+(** Immutable counter snapshots — the only stats surface. The store's
+    internal counters are private; callers compare, render and fold
+    snapshots (see {!Snapshot.merge}). *)
+module Snapshot : sig
+  type t = {
+    hits : int;  (** lookups answered from the shared store *)
+    l1_hits : int;  (** lookups answered from a worker's private L1 *)
+    misses : int;  (** lookups that found nothing in any tier *)
+    evictions : int;  (** shared-store entries removed by the clock policy *)
+    canonical_hits : int;
+        (** subset of [hits + l1_hits] served through a mirrored alias form *)
+    contended : int;
+        (** lookups that actually waited for a shard lock (a failed
+            [try_lock] that a brief bounded spin could not recover —
+            transient holds that release immediately are not counted) *)
+    waits : int;  (** [contended] waits with a measured duration *)
+    wait_ns_total : float;  (** summed measured lock-wait time, ns *)
+    wait_ns_max : float;  (** worst measured lock wait, ns *)
+    wait_ns_p95 : float;
+        (** 95th percentile of the lock-wait reservoir, ns (0 when no
+            wait was ever measured) *)
+    publishes : int;
+        (** L1 entries published into the shared store by batch flushes *)
+    steals : int;
+        (** scheduler work-steal events attributed to this cache via
+            {!note_steals} (the scheduler itself lives in [Scaf_pdg]) *)
+    entries : int;  (** live shared-store entries right now *)
+    capacity : int;  (** configured bound (total across shards) *)
+    shards : int;
+  }
+
+  (** All-zero snapshot — the identity of {!merge}. *)
+  val zero : t
+
+  (** Field-wise fold of two snapshots: counters, [waits], [publishes],
+      [steals], [entries] and [capacity] add; [wait_ns_max] takes the max;
+      [wait_ns_p95] approximates as the max of the two (reservoirs cannot
+      be merged from their percentiles); [shards] takes the max. *)
+  val merge : t -> t -> t
+
+  (** Total lookups across every tier: [hits + l1_hits + misses]. *)
+  val lookups : t -> int
+
+  (** All-tier hit rate in percent (0 when no lookups). *)
+  val hit_rate : t -> float
+end
 
 (** [create ()] — default 8 shards, 65536 entries total. [capacity] is
-    rounded up to at least one entry per shard. *)
-val create : ?shards:int -> ?capacity:int -> unit -> t
+    rounded up to at least one entry per shard. [wait_clock], when given,
+    times actual lock waits (seconds, like every other clock in the core)
+    for the [wait_ns_*] snapshot fields; without it waits are only
+    counted. *)
+val create :
+  ?shards:int -> ?capacity:int -> ?wait_clock:(unit -> float) -> unit -> t
 
 (** [key_of ~epoch q] is the canonical key for [q] at program epoch
     [epoch], or [None] when [q] cannot be a table key (it carries a
@@ -71,12 +122,15 @@ val key_epoch : key -> int
 (** The canonical (epoch-stamped) query behind [k]. *)
 val key_query : key -> Query.t
 
-(** [find t k] — the cached response, if any. Bumps hit/miss counters
-    (and canonical-hit when [k] was built from a mirrored alias form). *)
+(** [find t k] — the cached response, if any, from the shared store
+    (lock-free when the read-only snapshot holds [k], locked otherwise).
+    Bumps hit/miss counters (and canonical-hit when [k] was built from a
+    mirrored alias form). *)
 val find : t -> key -> Response.t option
 
-(** [add t k r] — insert (or overwrite) the entry for [k], evicting a
-    second-chance victim if the shard is full. *)
+(** [add t k r] — insert (or overwrite) the entry for [k] directly in the
+    shared store, evicting a second-chance victim if the shard is full.
+    Worker hot paths should go through {!Local.add} instead. *)
 val add : t -> key -> Response.t -> unit
 
 (** [find_q]/[add_q] — conveniences over {!key_of}; no-ops (resp. [None])
@@ -86,18 +140,78 @@ val find_q : ?epoch:int -> t -> Query.t -> Response.t option
 
 val add_q : ?epoch:int -> t -> Query.t -> Response.t -> unit
 
+(** The per-worker unsynchronized L1 tier. A [Local.t] must only ever be
+    used by the worker (domain or thread) that owns it; the shared store
+    underneath may be shared freely. *)
+module Local : sig
+  (** The shared store a local caches over. *)
+  type cache = t
+
+  type t
+
+  (** [create cache] — an empty L1 over [cache]. [capacity] bounds the
+      table (default 8192; on overflow the L1 is simply dropped and
+      refilled — an L1 is a hint, the store holds the truth).
+      [flush_every] is the publication batch size (default 32): every
+      [flush_every]-th {!add} publishes the pending batch into the shared
+      store, grouped by shard so each shard lock is taken once per
+      batch. *)
+  val create : ?capacity:int -> ?flush_every:int -> cache -> t
+
+  (** The store this local publishes into. *)
+  val shared : t -> cache
+
+  (** [find l k] — L1 probe first (no synchronization at all), then the
+      shared store ({!val-find}); a shared hit is pulled into the L1. *)
+  val find : t -> key -> Response.t option
+
+  (** [add l k r] — record a computed answer: into the L1 immediately, and
+      into the pending publication batch (flushed every [flush_every]
+      adds, or explicitly via {!flush}). *)
+  val add : t -> key -> Response.t -> unit
+
+  (** [find_q l q] — {!find} through {!key_of}; [None] on uncacheable
+      queries. *)
+  val find_q : ?epoch:int -> t -> Query.t -> Response.t option
+
+  (** Publish the pending batch into the shared store now. Callers that
+      are about to {!invalidate} the store must flush every live local
+      first, or the pending (still unpublished) entries are dropped by the
+      generation bump instead of surviving as restamped entries. *)
+  val flush : t -> unit
+
+  (** Entries currently buffered for publication (testing/diagnostics). *)
+  val pending : t -> int
+
+  (** Live L1 entries (testing/diagnostics). *)
+  val size : t -> int
+end
+
 (** [invalidate t ~dirty ~next_epoch] — the post-edit invalidation walk:
     drops every entry whose (canonical, epoch-stamped) query satisfies
     [dirty] and restamps the survivors to [next_epoch], re-routing them to
-    their new shards. Returns [(evicted, retained)]. Counters are kept;
-    clock-eviction counts are unaffected. Concurrent writers must be
-    quiesced around the call (readers racing it can only miss). *)
+    their new shards. Returns [(evicted, retained)]. Bumps the store
+    generation, so every {!Local.t} and read-only snapshot self-empties.
+    Counters are kept; clock-eviction counts are unaffected. Concurrent
+    writers must be quiesced around the call (readers racing it can only
+    miss). *)
 val invalidate : t -> dirty:(Query.t -> bool) -> next_epoch:int -> int * int
 
-val stats : t -> stats
+(** The current immutable counter snapshot. *)
+val snapshot : t -> Snapshot.t
+
+(** [note_steals t n] — attribute [n] scheduler work-steal events to this
+    cache (surfaced as {!Snapshot.t.steals}); the batch engine calls this
+    after each fan-out with the pool's steal delta. *)
+val note_steals : t -> int -> unit
+
+(** The store generation — bumped by {!invalidate} and {!clear}
+    (testing/diagnostics; locals revalidate against it). *)
+val generation : t -> int
 
 (** Number of live entries across all shards. *)
 val length : t -> int
 
-(** Drop every entry (counters are kept). *)
+(** Drop every entry (counters are kept; the generation bump empties every
+    L1 and snapshot too). *)
 val clear : t -> unit

@@ -42,7 +42,13 @@ let modules_of (p : Program.t) : Module_api.t list =
 
 (* The orchestrator mirrors the batch scaf scheme — full analysis +
    speculation stack over the profiled context, no clock (deterministic
-   output) — plus the epoch stamp and the collector's sink. *)
+   output) — plus the epoch stamp and the collector's sink.
+   [l1_flush_every:1] publishes every memoized answer into the shared
+   store immediately: the session's recompute counters are defined by the
+   {e shared-store} pre-probe in {!ask}, so an answer parked in a pending
+   L1 batch would misclassify its re-ask as a recompute. A session is
+   single-threaded, so per-add publication costs exactly what the
+   pre-L1 design did. *)
 let make_orch (p : Program.t) (cache : Qcache.t) (frontend : Collector.t)
     (modules : Module_api.t list) : Orchestrator.t =
   let profiles = Program.profiles p in
@@ -53,7 +59,8 @@ let make_orch (p : Program.t) (cache : Qcache.t) (frontend : Collector.t)
       depsink = Collector.sink frontend;
     }
   in
-  Orchestrator.create ~cache profiles.Scaf_profile.Profiles.ctx config
+  Orchestrator.create ~cache ~l1_flush_every:1
+    profiles.Scaf_profile.Profiles.ctx config
 
 let create (program : Program.t) : t =
   let cache = Qcache.create () in
@@ -126,6 +133,10 @@ let edit (t : t) (ops : Edit.op list) :
              (fun (m : Module_api.t) -> String.equal m.Module_api.name name)
              t.modules)
       in
+      (* the invalidation walk restamps only what the shared store holds:
+         any answer still buffered in the orchestrator's L1 batch must be
+         published first or the generation bump drops it *)
+      Orchestrator.flush_cache t.orch;
       let stats =
         Invalidate.run ~graph:t.graph ~caps_of ~components
           ~touched_funcs:diff.Edit.touched_funcs

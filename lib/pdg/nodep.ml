@@ -50,20 +50,39 @@ let evaluate ~(bname : string) (profiles : Profiles.t)
   in
   report_of ~bname ~loops per_loop
 
-(** The batch path: hot loops fan out across [jobs] worker domains, each
-    with a private resolver spawned from [scheme] over its shared cache.
-    Per-loop results land at fixed positions, so the report is
-    deterministic and identical to [jobs = 1] (which runs sequentially in
-    the calling domain, no spawn). *)
-let evaluate_scheme ?(jobs = 1) ~(bname : string) (profiles : Profiles.t)
-    (scheme : Schemes.scheme) : benchmark_report =
+(** The batch path: hot loops fan out across the pool's worker domains,
+    each with a private resolver spawned from [scheme] over its shared
+    cache. Per-loop results land at fixed positions, so the report is
+    deterministic and identical to the sequential run at any pool size.
+
+    [pool], when given, is the caller's long-lived {!Scheduler.pool} (one
+    per process — the daemon and [scaf_eval] each keep one) and [jobs] is
+    ignored; otherwise a transient pool of [jobs] workers (default 1:
+    sequential in the calling domain, no spawn) is scoped around the
+    fan-out. Work stolen from sibling deques is attributed to the
+    scheme's shared cache ({!Scaf.Qcache.note_steals}) so `--cache-stats`
+    shows how much rebalancing the loop mix needed. *)
+let evaluate_scheme ?pool ?(jobs = 1) ~(bname : string)
+    (profiles : Profiles.t) (scheme : Schemes.scheme) : benchmark_report =
   let prog = profiles.Profiles.ctx in
   let loops = hot_loop_weights profiles in
+  let fan pool =
+    let steals0 = Scheduler.steals pool in
+    let per_loop =
+      Scheduler.map pool ~state:scheme.Schemes.spawn
+        ~f:(fun (r : Schemes.resolver) (lid, _) ->
+          (lid, Pdg.run_loop prog ~resolver:r.Schemes.resolve lid))
+        loops
+    in
+    (match scheme.Schemes.scache with
+    | Some c -> Scaf.Qcache.note_steals c (Scheduler.steals pool - steals0)
+    | None -> ());
+    per_loop
+  in
   let per_loop =
-    Schemes.parallel_map ~jobs ~worker:scheme.Schemes.spawn
-      ~f:(fun (r : Schemes.resolver) (lid, _) ->
-        (lid, Pdg.run_loop prog ~resolver:r.Schemes.resolve lid))
-      loops
+    match pool with
+    | Some p -> fan p
+    | None -> Scheduler.with_pool ~jobs:(max 1 jobs) fan
   in
   report_of ~bname ~loops per_loop
 

@@ -1,0 +1,284 @@
+(** Work-stealing domain pool (see scheduler.mli for the contract). *)
+
+(* A deque over dense item indices is just a contiguous interval [lo, hi)
+   guarded by its own mutex: the owner pops at the [hi] end (LIFO), a
+   thief takes the older half at the [lo] end — both operations keep the
+   interval contiguous, so there is no buffer to manage at all. The mutex
+   is held for a handful of instructions; contention on it is the rare
+   owner-vs-thief race, not the per-item common case. *)
+type deque = { dm : Mutex.t; mutable lo : int; mutable hi : int }
+
+(* One installed batch. [run slot i] executes item [i] attributed to
+   worker [slot] (per-slot lazy state lives in the closure); [remaining]
+   counts down to 0 as items finish — the only termination signal, so an
+   item is decremented exactly once no matter who ran or skipped it. *)
+type batch = {
+  bseq : int;
+  deques : deque array;
+  run : int -> int -> unit;
+  remaining : int Atomic.t;
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type pool = {
+  size : int;  (** workers, including the calling slot 0 *)
+  mutable domains : unit Domain.t list;
+  m : Mutex.t;  (** guards [batch]/[shut] and both conditions *)
+  work_cv : Condition.t;  (** a new batch was installed *)
+  done_cv : Condition.t;  (** a batch's [remaining] hit 0 *)
+  mutable batch : batch option;
+  mutable shut : bool;
+  submit_m : Mutex.t;  (** serializes [map] calls — one batch at a time *)
+  nsteals : int Atomic.t;
+}
+
+let size (p : pool) : int = p.size
+let steals (p : pool) : int = Atomic.get p.nsteals
+
+(* Cheap per-worker xorshift for victim selection: stealing wants victim
+   diversity, not statistical quality, and must not share global PRNG
+   state across domains. *)
+let rng_next (s : int ref) : int =
+  let x = !s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  s := x land max_int;
+  !s
+
+let pop_own (dq : deque) : int option =
+  Mutex.lock dq.dm;
+  let r =
+    if dq.hi > dq.lo then begin
+      dq.hi <- dq.hi - 1;
+      Some dq.hi
+    end
+    else None
+  in
+  Mutex.unlock dq.dm;
+  r
+
+(* Steal the older half of [victim]'s interval. The stolen range is
+   extracted under the victim's lock, then installed under the thief's own
+   lock — never both at once, so there is no lock-ordering hazard; between
+   the two the range is owned exclusively by the thief. *)
+let try_steal (p : pool) (victim : deque) (self : deque) : bool =
+  Mutex.lock victim.dm;
+  let stolen =
+    let len = victim.hi - victim.lo in
+    if len <= 0 then None
+    else begin
+      let k = (len + 1) / 2 in
+      let lo = victim.lo in
+      victim.lo <- lo + k;
+      Some (lo, lo + k)
+    end
+  in
+  Mutex.unlock victim.dm;
+  match stolen with
+  | None -> false
+  | Some (lo, hi) ->
+      Mutex.lock self.dm;
+      self.lo <- lo;
+      self.hi <- hi;
+      Mutex.unlock self.dm;
+      Atomic.incr p.nsteals;
+      true
+
+let exec (p : pool) (b : batch) (slot : int) (i : int) : unit =
+  (* after a failure the batch only drains — items are skipped, not
+     half-run with a poisoned sibling state *)
+  (if Atomic.get b.failed = None then
+     try b.run slot i
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set b.failed None (Some (e, bt))));
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    (* last item: wake the leader blocked in [map]. Taking [p.m] around
+       the broadcast closes the classic lost-wakeup window. *)
+    Mutex.lock p.m;
+    Condition.broadcast p.done_cv;
+    Mutex.unlock p.m
+  end
+
+(* One worker's participation in one batch: drain the own deque, then
+   scavenge — steal from random victims until two consecutive full scans
+   find every deque empty (whatever is still unfinished is then in flight
+   on other workers, and no new deque work can appear out of thin air:
+   thieves drain their own deque before scavenging again). *)
+let work (p : pool) (b : batch) (slot : int) : unit =
+  let self = b.deques.(slot) in
+  let rec drain () =
+    match pop_own self with
+    | Some i ->
+        exec p b slot i;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let n = Array.length b.deques in
+  if n > 1 then begin
+    let rng = ref ((slot + 1) * 0x9e3779b9) in
+    let rec scavenge empty_scans =
+      if Atomic.get b.remaining > 0 && empty_scans < 2 then begin
+        (* one full scan starting from a random victim *)
+        let start = rng_next rng mod n in
+        let got = ref false in
+        for off = 0 to n - 1 do
+          let v = (start + off) mod n in
+          if (not !got) && v <> slot && try_steal p b.deques.(v) self then
+            got := true
+        done;
+        if !got then begin
+          drain ();
+          scavenge 0
+        end
+        else begin
+          Domain.cpu_relax ();
+          scavenge (empty_scans + 1)
+        end
+      end
+    in
+    scavenge 0
+  end
+
+(* Pool workers park between batches on [work_cv]; a batch is "new" for a
+   worker when its sequence number differs from the last one the worker
+   participated in (finished batches stay installed until the next [map],
+   so the guard must be the sequence, not presence). *)
+let worker_loop (p : pool) (slot : int) () : unit =
+  let rec loop (last_seq : int) : unit =
+    Mutex.lock p.m;
+    let rec await () =
+      if p.shut then None
+      else
+        match p.batch with
+        | Some b when b.bseq <> last_seq -> Some b
+        | _ ->
+            Condition.wait p.work_cv p.m;
+            await ()
+    in
+    let next = await () in
+    Mutex.unlock p.m;
+    match next with
+    | None -> ()
+    | Some b ->
+        work p b slot;
+        loop b.bseq
+  in
+  loop 0
+
+let create ?jobs () : pool =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  let p =
+    {
+      size = jobs;
+      domains = [];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      batch = None;
+      shut = false;
+      submit_m = Mutex.create ();
+      nsteals = Atomic.make 0;
+    }
+  in
+  p.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (worker_loop p (i + 1)));
+  p
+
+let shutdown (p : pool) : unit =
+  (* taking the submission lock first lets an in-flight map finish *)
+  Mutex.lock p.submit_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock p.submit_m)
+    (fun () ->
+      Mutex.lock p.m;
+      let already = p.shut in
+      p.shut <- true;
+      Condition.broadcast p.work_cv;
+      Mutex.unlock p.m;
+      if not already then begin
+        List.iter Domain.join p.domains;
+        p.domains <- []
+      end)
+
+let with_pool ?jobs (f : pool -> 'a) : 'a =
+  let p = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let map (p : pool) ~(state : unit -> 'w) ~(f : 'w -> 'a -> 'b)
+    (items : 'a list) : 'b list =
+  match items with
+  | [] -> []
+  | _ when p.size <= 1 ->
+      (* zero-overhead degenerate pool: identical results by the
+         determinism contract, no batch machinery on the path at all *)
+      if p.shut then invalid_arg "Scheduler.map: pool is shut down";
+      let w = state () in
+      List.map (f w) items
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let nw = p.size in
+      let out : 'b option array = Array.make n None in
+      let states : 'w option array = Array.make nw None in
+      let run slot i =
+        let w =
+          match states.(slot) with
+          | Some w -> w
+          | None ->
+              (* lazily, in the worker's own domain: resolver spawners
+                 build domain-local state *)
+              let w = state () in
+              states.(slot) <- Some w;
+              w
+        in
+        out.(i) <- Some (f w arr.(i))
+      in
+      (* block distribution: slot s starts with the contiguous interval
+         [s*n/nw, (s+1)*n/nw) — empty for the tail slots when n < nw;
+         stealing rebalances from there *)
+      let deques =
+        Array.init nw (fun s ->
+            { dm = Mutex.create (); lo = s * n / nw; hi = (s + 1) * n / nw })
+      in
+      Mutex.lock p.submit_m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock p.submit_m)
+        (fun () ->
+          if p.shut then invalid_arg "Scheduler.map: pool is shut down";
+          Mutex.lock p.m;
+          let bseq =
+            match p.batch with Some prev -> prev.bseq + 1 | None -> 1
+          in
+          let b =
+            {
+              bseq;
+              deques;
+              run;
+              remaining = Atomic.make n;
+              failed = Atomic.make None;
+            }
+          in
+          p.batch <- Some b;
+          Condition.broadcast p.work_cv;
+          Mutex.unlock p.m;
+          (* the caller is slot 0 — it computes too, it does not just wait *)
+          work p b 0;
+          Mutex.lock p.m;
+          while Atomic.get b.remaining > 0 do
+            Condition.wait p.done_cv p.m
+          done;
+          Mutex.unlock p.m;
+          (match Atomic.get b.failed with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ());
+          Array.to_list
+            (Array.map
+               (function
+                 | Some r -> r
+                 | None -> assert false (* remaining = 0 and no failure *))
+               out))

@@ -216,45 +216,19 @@ let observed_scheme = stateless_scheme observed
 
 let default_jobs () : int = Domain.recommended_domain_count ()
 
-(** [parallel_map ~jobs ~worker ~f items] — deterministic parallel map:
-    the i-th result always comes from the i-th item, whatever the
-    interleaving. [jobs - 1] extra domains are spawned; each worker (the
-    calling domain included) builds its private state with [worker ()] —
-    for the schemes above, a fresh orchestrator over the shared cache —
-    and pulls items off a shared counter until the list is drained. With
-    [jobs <= 1] no domain is spawned and this is exactly
-    [List.map (f (worker ())) items]. A worker exception is re-raised in
-    the calling domain after all workers join. *)
+(** DEPRECATED one-PR compatibility shim — use {!Scheduler} directly.
+
+    The old convention spawned (and joined) [jobs - 1] fresh domains on
+    every call; this now scopes a transient {!Scheduler.pool} around one
+    {!Scheduler.map}, so the semantics are unchanged (the i-th result
+    comes from the i-th item; [jobs <= 1] is exactly
+    [List.map (f (worker ())) items]; a worker exception is re-raised in
+    the calling domain) but respawning per call is exactly what the pool
+    API exists to avoid: long-lived callers should create one
+    {!Scheduler.pool} and pass it around. This shim will be deleted; do
+    not add callers. *)
 let parallel_map ~(jobs : int) ~(worker : unit -> 'w) ~(f : 'w -> 'a -> 'b)
     (items : 'a list) : 'b list =
-  let n = List.length items in
-  let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then
-    let w = worker () in
-    List.map (f w) items
-  else begin
-    let arr = Array.of_list items in
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let err : exn option Atomic.t = Atomic.make None in
-    let body () =
-      let w = worker () in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Option.is_none (Atomic.get err) then begin
-          (try out.(i) <- Some (f w arr.(i))
-           with e -> ignore (Atomic.compare_and_set err None (Some e)));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn body) in
-    body ();
-    List.iter Domain.join domains;
-    (match Atomic.get err with Some e -> raise e | None -> ());
-    Array.to_list
-      (Array.map
-         (function Some r -> r | None -> invalid_arg "parallel_map: lost item")
-         out)
-  end
+  let jobs = max 1 (min jobs (List.length items)) in
+  Scheduler.with_pool ~jobs (fun pool ->
+      Scheduler.map pool ~state:worker ~f items)

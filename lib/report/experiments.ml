@@ -15,25 +15,28 @@ type bench_eval = {
   scaf : Nodep.benchmark_report;
   memspec : Nodep.benchmark_report;
   observed : Nodep.benchmark_report;
-  cache_stats : (string * Scaf.Qcache.stats) list;
+  cache_stats : (string * Scaf.Qcache.Snapshot.t) list;
       (** per-scheme shared-cache counters, for the memoizing schemes *)
 }
 
 (** Profile one benchmark on its training inputs and run the PDG client
-    under every scheme. [jobs > 1] fans the hot loops of each scheme out
-    across that many worker domains (one orchestrator per worker over the
-    scheme's shared cache); results are identical to [jobs = 1].
+    under every scheme. [pool], when given, fans the hot loops of each
+    scheme out across the pool's worker domains (one orchestrator per
+    worker over the scheme's shared cache); [jobs > 1] scopes a transient
+    pool instead. Results are identical to the sequential run either way.
     [trace]/[metrics] attach to the SCAF scheme — the one whose derivations
     the observability layer explains; both are domain-safe and strictly
     observational (reports are unchanged). [profiles] skips the profiling
     step when the caller (e.g. the query daemon, which profiles every
     benchmark once at load) already holds this benchmark's profiles. *)
-let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Program.t) :
-    bench_eval =
+let evaluate_bench ?pool ?(jobs = 1) ?trace ?metrics ?profiles
+    (b : Program.t) : bench_eval =
   let profiles =
     match profiles with Some p -> p | None -> Program.profiles b
   in
-  let eval s = Nodep.evaluate_scheme ~jobs ~bname:(Program.id b) profiles s in
+  let eval s =
+    Nodep.evaluate_scheme ?pool ~jobs ~bname:(Program.id b) profiles s
+  in
   let caf_s = Schemes.caf_scheme profiles in
   let conf_s = Schemes.confluence_scheme profiles in
   let scaf_s = Schemes.scaf_scheme ?trace ?metrics profiles in
@@ -46,52 +49,55 @@ let evaluate_bench ?(jobs = 1) ?trace ?metrics ?profiles (b : Program.t) :
     List.filter_map
       (fun (s : Schemes.scheme) ->
         Option.map
-          (fun c -> (s.Schemes.sname, Scaf.Qcache.stats c))
+          (fun c -> (s.Schemes.sname, Scaf.Qcache.snapshot c))
           s.Schemes.scache)
       [ caf_s; conf_s; scaf_s ]
   in
   { bench = b; profiles; caf; confluence; scaf; memspec; observed; cache_stats }
 
 (** Two-level fan-out: with several benchmarks, whole benchmarks (profiling
-    included — the dominant cost) spread across the worker domains and each
-    benchmark's loops run sequentially inside its worker; a single
-    benchmark instead fans its hot loops out. Either way the reports are
-    identical to [jobs = 1]. *)
-let evaluate_all ?(jobs = 1) ?trace ?metrics ?benchmarks () :
+    included — the dominant cost) spread across the pool's worker domains
+    and each benchmark's loops run sequentially inside its worker; a
+    single benchmark instead fans its hot loops out on the same pool.
+    Either way the reports are identical to the sequential run.
+
+    [pool] is the caller's long-lived pool; without one, [jobs > 1] scopes
+    a transient pool around the batch ([jobs <= 1]: fully sequential, no
+    pool at all). The per-benchmark stage never touches the shared pool
+    from inside a worker — a nested [Scheduler.map] on the same pool would
+    deadlock on the submission lock, so the fan-out chooses one level. *)
+let evaluate_all ?pool ?(jobs = 1) ?trace ?metrics ?benchmarks () :
     bench_eval list =
   let benchmarks =
     match benchmarks with Some bs -> bs | None -> Registry.all ()
   in
-  if jobs <= 1 || List.length benchmarks = 1 then
-    List.map (evaluate_bench ~jobs ?trace ?metrics) benchmarks
-  else
-    Schemes.parallel_map ~jobs
-      ~worker:(fun () -> ())
-      ~f:(fun () b -> evaluate_bench ~jobs:1 ?trace ?metrics b)
-      benchmarks
+  let fan (p : Scheduler.pool) =
+    match benchmarks with
+    | [ b ] -> [ evaluate_bench ~pool:p ?trace ?metrics b ]
+    | bs ->
+        Scheduler.map p
+          ~state:(fun () -> ())
+          ~f:(fun () b -> evaluate_bench ?trace ?metrics b)
+          bs
+  in
+  match pool with
+  | Some p -> fan p
+  | None ->
+      if jobs <= 1 then List.map (evaluate_bench ?trace ?metrics) benchmarks
+      else Scheduler.with_pool ~jobs fan
 
 (** Shared-cache counters summed over all benchmarks, per scheme — the
     hit-rate report behind the [--cache-stats] flag of [scaf_eval]. *)
 let cache_stats_summary (evals : bench_eval list) :
-    (string * Scaf.Qcache.stats) list =
+    (string * Scaf.Qcache.Snapshot.t) list =
   List.fold_left
     (fun acc e ->
       List.fold_left
-        (fun acc (name, (s : Scaf.Qcache.stats)) ->
+        (fun acc (name, (s : Scaf.Qcache.Snapshot.t)) ->
           let merged =
             match List.assoc_opt name acc with
             | None -> s
-            | Some (t : Scaf.Qcache.stats) ->
-                {
-                  s with
-                  Scaf.Qcache.hits = s.Scaf.Qcache.hits + t.Scaf.Qcache.hits;
-                  misses = s.Scaf.Qcache.misses + t.Scaf.Qcache.misses;
-                  evictions = s.Scaf.Qcache.evictions + t.Scaf.Qcache.evictions;
-                  canonical_hits =
-                    s.Scaf.Qcache.canonical_hits + t.Scaf.Qcache.canonical_hits;
-                  contended = s.Scaf.Qcache.contended + t.Scaf.Qcache.contended;
-                  entries = s.Scaf.Qcache.entries + t.Scaf.Qcache.entries;
-                }
+            | Some t -> Scaf.Qcache.Snapshot.merge s t
           in
           (name, merged) :: List.remove_assoc name acc)
         acc e.cache_stats)

@@ -75,6 +75,9 @@ type config = {
       (** answer provably-disjoint queries from the lint layer's static
           pass before consulting the orchestrator (off by default: a
           short-circuited answer is not byte-identical to batch) *)
+  jobs : int;
+      (** worker domains in the engine's work-stealing pool, used by the
+          parallel figure evaluations (default 1: no extra domains) *)
   metrics : Metrics.t;
   wrap : Scaf.Module_api.t list -> Scaf.Module_api.t list;
       (** ensemble hook for the chaos harness; [Fun.id] in production *)
@@ -102,6 +105,7 @@ let default_config ?(socket_path = Filename.concat (Filename.get_temp_dir_name (
     default_deadline_ms = None;
     max_submit_queries = 200_000;
     static_nodep = false;
+    jobs = 1;
     metrics = Metrics.create ();
     wrap = Fun.id;
   }
@@ -575,7 +579,7 @@ let handle_request (t : t) (req : Protocol.request) : Json.t =
       match Engine.find_bench t.engine bench with
       | Some b ->
           Protocol.ok
-            [ ("row", Protocol.fig8_row_to_json (Engine.report_row b)) ]
+            [ ("row", Protocol.fig8_row_to_json (Engine.report_row t.engine b)) ]
       | None -> Protocol.err_to_json (Protocol.unknown_bench bench))
   | Protocol.Edit { bench; edits } -> (
       (* inline, like Report: edits are rare, administrative, and must be
@@ -994,6 +998,7 @@ let accept_loop (t : t) (workers : Thread.t list) (reaper : Thread.t) () :
   List.iter Thread.join !conn_threads;
   List.iter Thread.join workers;
   Thread.join reaper;
+  Engine.shutdown t.engine;
   List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) t.listeners;
   (match t.journal with Some j -> Journal.close j | None -> ());
   try Unix.unlink t.cfg.socket_path with _ -> ()
@@ -1037,7 +1042,7 @@ let start (cfg : config) : t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let engine =
     Engine.create ~wrap:cfg.wrap ~static_nodep:cfg.static_nodep
-      ~metrics:cfg.metrics ~benchmarks:cfg.benchmarks ()
+      ~metrics:cfg.metrics ~jobs:cfg.jobs ~benchmarks:cfg.benchmarks ()
   in
   prepare_socket_path cfg.socket_path;
   let unix_addr = Addr.Unix_path cfg.socket_path in

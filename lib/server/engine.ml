@@ -51,6 +51,10 @@ type t = {
   static_nodep : bool;
       (** consult {!Scaf_lint.Static_nodep} before the orchestrator *)
   metrics : Scaf_trace.Metrics.t option;
+  pool : Scaf_pdg.Scheduler.pool;
+      (** the engine's one long-lived work-stealing pool, shared by every
+          figure evaluation for the daemon's whole lifetime (Scheduler.map
+          serializes concurrent worker threads) *)
   flights : (string, flight) Hashtbl.t;
   fm : Mutex.t;
   fc : Condition.t;
@@ -72,13 +76,17 @@ let bench_profiles (b : bench) : Profiles.t = Program.profiles b.program
 let bench_loops (b : bench) : (string * float) list =
   Scaf_pdg.Nodep.hot_loop_weights (bench_profiles b)
 
+let clock () = Unix.gettimeofday ()
+
 let load_bench (p : Program.t) : bench =
   let program = Program.fork p in
   ignore (Program.profiles program : Profiles.t) (* profile at load time *);
   {
     program;
-    cache = Qcache.create ();
-    cheap_cache = Qcache.create ();
+    (* the daemon is the one deployment where shard-lock waits matter, so
+       its caches get the wall clock and `ask stats` shows wait latency *)
+    cache = Qcache.create ~wait_clock:clock ();
+    cheap_cache = Qcache.create ~wait_clock:clock ();
     graph =
       Collector.create_graph
         ~funcs_of:(Collector.funcs_of_ctx (Program.ctx program));
@@ -86,7 +94,11 @@ let load_bench (p : Program.t) : bench =
     row = None;
   }
 
-let create ?(wrap = Fun.id) ?(static_nodep = false) ?metrics
+(** [jobs] sizes the engine's domain pool (default 1: no extra domains —
+    the right choice for tests and small hosts; the daemon passes its
+    configured parallelism). Engines with [jobs > 1] hold live domains and
+    must be {!shutdown}. *)
+let create ?(wrap = Fun.id) ?(static_nodep = false) ?metrics ?(jobs = 1)
     ~(benchmarks : Program.t list) () : t =
   {
     benches = List.map (fun p -> (Program.id p, load_bench p)) benchmarks;
@@ -94,11 +106,19 @@ let create ?(wrap = Fun.id) ?(static_nodep = false) ?metrics
     wrap;
     static_nodep;
     metrics;
+    pool = Scaf_pdg.Scheduler.create ~jobs ();
     flights = Hashtbl.create 64;
     fm = Mutex.create ();
     fc = Condition.create ();
     coalesced = 0;
   }
+
+let pool (t : t) : Scaf_pdg.Scheduler.pool = t.pool
+
+(** Join the engine's pool domains. The engine still answers queries
+    afterwards (orchestrators are pool-independent); only the parallel
+    figure evaluations are gone. *)
+let shutdown (t : t) : unit = Scaf_pdg.Scheduler.shutdown t.pool
 
 let bench_names (t : t) : string list = List.map fst t.benches
 let find_bench (t : t) (name : string) : bench option =
@@ -124,8 +144,6 @@ type worker = {
 let worker (eng : t) : worker =
   { eng; full = Hashtbl.create 8; cheap = Hashtbl.create 8 }
 
-let clock () = Unix.gettimeofday ()
-
 (* The full-fidelity ensemble: exactly the SCAF scheme's module stack, so
    a non-degraded daemon answer is the batch evaluation's answer. Rebuilt
    (over the shared cache's surviving entries) whenever the benchmark's
@@ -141,8 +159,16 @@ let full_orchestrator (w : worker) (b : bench) : Orchestrator.t =
           (Scaf_analysis.Registry.create (Program.ctx b.program)
           @ Scaf_speculation.Registry.create profiles)
       in
+      (* [l1_flush_every:1] publishes every memoized answer into the
+         shared store immediately: other worker threads (flight joiners,
+         cached-only degraded answers) probe the shared store, and
+         {!apply_edit}'s invalidation walk can only restamp what the store
+         holds — an answer parked in a private L1 batch would be invisible
+         to all three. Per-add publication costs exactly what the pre-L1
+         design did. *)
       let o =
-        Orchestrator.create ~cache:b.cache profiles.Profiles.ctx
+        Orchestrator.create ~cache:b.cache ~l1_flush_every:1
+          profiles.Profiles.ctx
           {
             (Orchestrator.default_config modules) with
             Orchestrator.clock = Some clock;
@@ -165,7 +191,10 @@ let cheap_orchestrator (w : worker) (b : bench) : Orchestrator.t =
         w.eng.wrap (Scaf_analysis.Registry.create (Program.ctx b.program))
       in
       let o =
-        Orchestrator.create ~cache:b.cheap_cache (Program.ctx b.program)
+        (* immediate publication for the same reasons as the full
+           ensemble above *)
+        Orchestrator.create ~cache:b.cheap_cache ~l1_flush_every:1
+          (Program.ctx b.program)
           {
             (Orchestrator.default_config modules) with
             Orchestrator.clock = Some clock;
@@ -531,7 +560,7 @@ let queries_json (b : bench) : Json.t =
     happen once, not once per concurrent request). An edit drops the
     cached row, so a post-edit request re-evaluates against the new
     program state. *)
-let report_row (b : bench) : Scaf_report.Experiments.fig8_row =
+let report_row (t : t) (b : bench) : Scaf_report.Experiments.fig8_row =
   Mutex.lock b.bm;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock b.bm)
@@ -540,7 +569,7 @@ let report_row (b : bench) : Scaf_report.Experiments.fig8_row =
       | Some r -> r
       | None ->
           let e =
-            Scaf_report.Experiments.evaluate_bench
+            Scaf_report.Experiments.evaluate_bench ~pool:t.pool
               ~profiles:(bench_profiles b) b.program
           in
           let r = Scaf_report.Experiments.fig8_row_of_eval e in
@@ -548,14 +577,25 @@ let report_row (b : bench) : Scaf_report.Experiments.fig8_row =
           r)
 
 let cache_stats_json (t : t) : Json.t =
-  let stats_obj (s : Qcache.stats) =
+  let stats_obj (s : Qcache.Snapshot.t) =
     Json.Obj
       [
-        ("hits", Json.Int s.Qcache.hits);
-        ("misses", Json.Int s.Qcache.misses);
-        ("canonical_hits", Json.Int s.Qcache.canonical_hits);
-        ("evictions", Json.Int s.Qcache.evictions);
-        ("entries", Json.Int s.Qcache.entries);
+        ("hits", Json.Int s.Qcache.Snapshot.hits);
+        ("l1_hits", Json.Int s.Qcache.Snapshot.l1_hits);
+        ("misses", Json.Int s.Qcache.Snapshot.misses);
+        ("canonical_hits", Json.Int s.Qcache.Snapshot.canonical_hits);
+        ("evictions", Json.Int s.Qcache.Snapshot.evictions);
+        ("entries", Json.Int s.Qcache.Snapshot.entries);
+        ("publishes", Json.Int s.Qcache.Snapshot.publishes);
+        ("steals", Json.Int s.Qcache.Snapshot.steals);
+        ("contended", Json.Int s.Qcache.Snapshot.contended);
+        ("waits", Json.Int s.Qcache.Snapshot.waits);
+        (* lock-wait latency, microseconds: rare by construction, so the
+           reservoir-backed p95 is the honest headline number *)
+        ( "wait_us_total",
+          Json.Float (s.Qcache.Snapshot.wait_ns_total /. 1e3) );
+        ("wait_us_max", Json.Float (s.Qcache.Snapshot.wait_ns_max /. 1e3));
+        ("wait_us_p95", Json.Float (s.Qcache.Snapshot.wait_ns_p95 /. 1e3));
       ]
   in
   Json.Obj
@@ -565,7 +605,7 @@ let cache_stats_json (t : t) : Json.t =
            Json.Obj
              [
                ("epoch", Json.Int (bench_epoch b));
-               ("full", stats_obj (Qcache.stats b.cache));
-               ("cheap", stats_obj (Qcache.stats b.cheap_cache));
+               ("full", stats_obj (Qcache.snapshot b.cache));
+               ("cheap", stats_obj (Qcache.snapshot b.cheap_cache));
              ] ))
        t.benches)

@@ -43,15 +43,15 @@ let test_canonical_alias_sharing () =
       checkb "mirrored query shares the entry" true
         (r.Response.result = Aresult.RModref Aresult.NoModRef)
   | None -> Alcotest.fail "mirrored alias query missed");
-  let s = Qcache.stats c in
-  checki "one entry, not two" 1 s.Qcache.entries;
-  checki "one hit" 1 s.Qcache.hits;
-  checki "counted as canonical hit" 1 s.Qcache.canonical_hits;
+  let s = Qcache.snapshot c in
+  checki "one entry, not two" 1 s.Qcache.Snapshot.entries;
+  checki "one hit" 1 s.Qcache.Snapshot.hits;
+  checki "counted as canonical hit" 1 s.Qcache.Snapshot.canonical_hits;
   (* the straight form hits without the canonical marker *)
   ignore (Qcache.find_q c q);
-  let s = Qcache.stats c in
-  checki "two hits" 2 s.Qcache.hits;
-  checki "still one canonical hit" 1 s.Qcache.canonical_hits
+  let s = Qcache.snapshot c in
+  checki "two hits" 2 s.Qcache.Snapshot.hits;
+  checki "still one canonical hit" 1 s.Qcache.Snapshot.canonical_hits
 
 let test_canonical_same_temporal () =
   (* Same is its own flip: both operand orders still share one entry *)
@@ -59,7 +59,7 @@ let test_canonical_same_temporal () =
   let q = alias_q ~tr:Query.Same (Value.Global "x") (Value.Global "y") in
   Qcache.add_q c q nomodref_free;
   checkb "mirror of a Same query hits" true (Qcache.find_q c (mirror q) <> None);
-  checki "one entry" 1 (Qcache.stats c).Qcache.entries
+  checki "one entry" 1 (Qcache.snapshot c).Qcache.Snapshot.entries
 
 let test_modref_not_mirrored () =
   (* modref is directional: src/dst swapped is a different question *)
@@ -76,10 +76,11 @@ let test_asymmetric_modref_counters () =
   checkb "direct hit" true (Qcache.find_q c q <> None);
   checkb "swapped+flipped form misses" true
     (Qcache.find_q c (Query.modref_instrs ~tr:Query.After 9 3) = None);
-  let s = Qcache.stats c in
-  checki "one hit" 1 s.Qcache.hits;
-  checki "one miss" 1 s.Qcache.misses;
-  checki "no canonical hits on directional modref" 0 s.Qcache.canonical_hits
+  let s = Qcache.snapshot c in
+  checki "one hit" 1 s.Qcache.Snapshot.hits;
+  checki "one miss" 1 s.Qcache.Snapshot.misses;
+  checki "no canonical hits on directional modref" 0
+    s.Qcache.Snapshot.canonical_hits
 
 (* Canonicalization must never conflate the Mod direction with the Ref
    direction: modref(i1, tr, i2) asks whether i1 touches what i2 accesses;
@@ -100,7 +101,7 @@ let prop_modref_direction_never_conflated =
       Qcache.add_q c q nomodref_free;
       Qcache.key_of ~epoch:0 q <> Qcache.key_of ~epoch:0 swapped
       && Qcache.find_q c swapped = None
-      && (Qcache.stats c).Qcache.canonical_hits = 0)
+      && (Qcache.snapshot c).Qcache.Snapshot.canonical_hits = 0)
 
 (* -- epoch stamping and the invalidation walk ----------------------- *)
 
@@ -180,7 +181,8 @@ let test_bounded_eviction () =
   let c = Qcache.create ~shards:1 ~capacity:4 () in
   List.iter (fun n -> Qcache.add_q c (mq n) nomodref_free) [ 0; 1; 2; 3; 4; 5 ];
   checki "capacity respected" 4 (Qcache.length c);
-  checkb "evictions counted" true ((Qcache.stats c).Qcache.evictions >= 2)
+  checkb "evictions counted" true
+    ((Qcache.snapshot c).Qcache.Snapshot.evictions >= 2)
 
 let test_second_chance_protects_hot_entry () =
   let c = Qcache.create ~shards:1 ~capacity:4 () in
@@ -197,7 +199,7 @@ let test_clear_keeps_counters () =
   ignore (Qcache.find_q c (mq 1));
   Qcache.clear c;
   checki "empty after clear" 0 (Qcache.length c);
-  checki "hit counter kept" 1 (Qcache.stats c).Qcache.hits
+  checki "hit counter kept" 1 (Qcache.snapshot c).Qcache.Snapshot.hits
 
 (* -- shared cache across orchestrators ------------------------------ *)
 
@@ -213,6 +215,8 @@ let test_shared_cache_across_orchestrators () =
   let o1 = Orchestrator.create ~cache tiny_prog (Orchestrator.default_config [ m ]) in
   let o2 = Orchestrator.create ~cache tiny_prog (Orchestrator.default_config [ m ]) in
   ignore (Orchestrator.handle o1 (mq 7));
+  (* o1's answer sits in its private L1 batch until published *)
+  Orchestrator.flush_cache o1;
   ignore (Orchestrator.handle o2 (mq 7));
   checki "second orchestrator reused the first's entry" 1 !evals
 
@@ -308,12 +312,203 @@ let prop_parallel_equals_sequential =
             (fun jobs ->
               let scheme = Schemes.scaf_scheme profiles in
               let par =
-                Schemes.parallel_map ~jobs ~worker:scheme.Schemes.spawn
-                  ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
-                  qs
+                Scheduler.with_pool ~jobs (fun pool ->
+                    Scheduler.map pool ~state:scheme.Schemes.spawn
+                      ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
+                      qs)
               in
               List.for_all2 resp_equal seq par)
             [ 1; 2; 4 ])
+
+(* -- the work-stealing scheduler and the two-tier cache -------------- *)
+
+let test_scheduler_order_and_reuse () =
+  Scheduler.with_pool ~jobs:4 (fun pool ->
+      checki "pool size" 4 (Scheduler.size pool);
+      let out =
+        Scheduler.map pool
+          ~state:(fun () -> ())
+          ~f:(fun () i -> i * i)
+          (List.init 100 Fun.id)
+      in
+      checkb "results reassembled in submission order" true
+        (out = List.init 100 (fun i -> i * i));
+      (* the same pool must serve a second batch (no respawned domains) *)
+      let out2 =
+        Scheduler.map pool
+          ~state:(fun () -> ())
+          ~f:(fun () i -> i + 1)
+          (List.init 7 Fun.id)
+      in
+      checkb "pool reusable across batches" true
+        (out2 = List.init 7 (fun i -> i + 1));
+      checkb "empty batch" true
+        (Scheduler.map pool ~state:(fun () -> ()) ~f:(fun () i -> i) [] = []);
+      checkb "steal counter monotone" true (Scheduler.steals pool >= 0))
+
+let test_scheduler_exception_propagates () =
+  let raised =
+    try
+      Scheduler.with_pool ~jobs:2 (fun pool ->
+          ignore
+            (Scheduler.map pool
+               ~state:(fun () -> ())
+               ~f:(fun () i -> if i = 5 then failwith "boom" else i)
+               (List.init 10 Fun.id)));
+      false
+    with Failure m -> m = "boom"
+  in
+  checkb "worker exception re-raised at the submitter" true raised
+
+let test_scheduler_shutdown_idempotent () =
+  let pool = Scheduler.create ~jobs:2 () in
+  Scheduler.shutdown pool;
+  Scheduler.shutdown pool;
+  checkb "map after shutdown refused" true
+    (try
+       ignore (Scheduler.map pool ~state:(fun () -> ()) ~f:(fun () i -> i) [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Resolve [qs] at [epoch] through a per-worker two-tier front: L1 probe,
+   shared probe, else compute and record. The determinism contract makes
+   any hit byte-equal to a recompute, so the responses must match a
+   cache-free sequential pass no matter how L1 publishes, steals and
+   generation bumps interleave. *)
+let resolve_two_tier ~jobs ~l1_capacity ~flush_every ~epoch
+    (profiles : Scaf_profile.Profiles.t) (c : Qcache.t) (qs : Query.t list) :
+    Response.t list =
+  let scheme = Schemes.scaf_scheme profiles in
+  Scheduler.with_pool ~jobs (fun pool ->
+      Scheduler.map pool
+        ~state:(fun () ->
+          ( Qcache.Local.create ~capacity:l1_capacity ~flush_every c,
+            scheme.Schemes.spawn () ))
+        ~f:(fun ((l1, r) : Qcache.Local.t * Schemes.resolver) q ->
+          match Qcache.Local.find_q ~epoch l1 q with
+          | Some resp -> resp
+          | None ->
+              let resp = r.Schemes.resolve q in
+              (match Qcache.key_of ~epoch q with
+              | Some k -> Qcache.Local.add l1 k resp
+              | None -> ());
+              resp)
+        qs)
+
+let hot_queries (profiles : Scaf_profile.Profiles.t) : Query.t list =
+  let prog = profiles.Scaf_profile.Profiles.ctx in
+  List.concat_map
+    (fun (lid, _) -> List.map (Pdg.to_query lid) (Pdg.queries_of_loop prog lid))
+    (Nodep.hot_loop_weights profiles)
+
+(* Every suite program, 4 worker domains, small L1s flushed in tiny
+   batches, and a generation bump halfway through: the answers must be
+   exactly the sequential ones. *)
+let test_all_programs_two_tier_jobs4 () =
+  List.iter
+    (fun bname ->
+      let b = Option.get (Scaf_suite.Registry.find bname) in
+      let profiles = Scaf_suite.Program.profiles b in
+      let qs = hot_queries profiles in
+      if qs <> [] then begin
+        let seq =
+          let r = (Schemes.scaf_scheme profiles).Schemes.spawn () in
+          List.map r.Schemes.resolve qs
+        in
+        let c = Qcache.create () in
+        let n = List.length qs in
+        let first = List.filteri (fun i _ -> i < n / 2) qs in
+        let second = List.filteri (fun i _ -> i >= n / 2) qs in
+        let r1 =
+          resolve_two_tier ~jobs:4 ~l1_capacity:64 ~flush_every:2 ~epoch:0
+            profiles c first
+        in
+        ignore (Qcache.invalidate c ~dirty:(fun _ -> false) ~next_epoch:1);
+        let r2 =
+          resolve_two_tier ~jobs:4 ~l1_capacity:64 ~flush_every:2 ~epoch:1
+            profiles c second
+        in
+        List.iter2
+          (fun a b ->
+            checkb (bname ^ ": two-tier parallel = sequential") true
+              (resp_equal a b))
+          seq (r1 @ r2)
+      end)
+    Scaf_suite.Registry.names
+
+(* Random L1 capacity / publication batch size / job count / program, with
+   a mid-stream epoch bump: still byte-equal to sequential. *)
+let prop_l1_interleaving_equals_sequential =
+  let bench_names = Scaf_suite.Registry.names in
+  QCheck.Test.make
+    ~name:"two-tier interleavings (publish/steal/epoch bump) = sequential"
+    ~count:6
+    QCheck.(
+      pair (oneofl bench_names)
+        (triple
+           (oneofl [ 1; 2; 7; 32 ])
+           (oneofl [ 2; 4; 8192 ])
+           (oneofl [ 2; 3; 4 ])))
+    (fun (bname, (flush_every, l1_capacity, jobs)) ->
+      let b = Option.get (Scaf_suite.Registry.find bname) in
+      let profiles = Scaf_suite.Program.profiles b in
+      let qs = hot_queries profiles in
+      match qs with
+      | [] -> true
+      | _ ->
+          let seq =
+            let r = (Schemes.scaf_scheme profiles).Schemes.spawn () in
+            List.map r.Schemes.resolve qs
+          in
+          let c = Qcache.create () in
+          let n = List.length qs in
+          let first = List.filteri (fun i _ -> i < n / 2) qs in
+          let second = List.filteri (fun i _ -> i >= n / 2) qs in
+          let r1 =
+            resolve_two_tier ~jobs ~l1_capacity ~flush_every ~epoch:0 profiles
+              c first
+          in
+          ignore (Qcache.invalidate c ~dirty:(fun _ -> false) ~next_epoch:1);
+          let r2 =
+            resolve_two_tier ~jobs ~l1_capacity ~flush_every ~epoch:1 profiles
+              c second
+          in
+          List.for_all2 resp_equal seq (r1 @ r2))
+
+(* Counter exactness across 4 domains: each work item is self-contained
+   (probe-miss, add, probe-hit on a distinct key), so every snapshot
+   counter has one provably exact value no matter how the items were
+   stolen between deques. *)
+let test_four_domain_counter_exactness () =
+  let c = Qcache.create () in
+  let n = 100 in
+  let outs =
+    Scheduler.with_pool ~jobs:4 (fun pool ->
+        Scheduler.map pool
+          ~state:(fun () -> Qcache.Local.create ~capacity:512 ~flush_every:1 c)
+          ~f:(fun l1 i ->
+            let k = Option.get (Qcache.key_of ~epoch:0 (mq i)) in
+            let first = Qcache.Local.find l1 k in
+            Qcache.Local.add l1 k nomodref_free;
+            let second = Qcache.Local.find l1 k in
+            (first = None, second <> None))
+          (List.init n Fun.id))
+  in
+  checkb "every first probe missed" true (List.for_all fst outs);
+  checkb "every second probe hit the owner's L1" true (List.for_all snd outs);
+  let s = Qcache.snapshot c in
+  checki "misses: one per item" n s.Qcache.Snapshot.misses;
+  checki "l1 hits: one per item" n s.Qcache.Snapshot.l1_hits;
+  checki "no shared-store hits" 0 s.Qcache.Snapshot.hits;
+  checki "publishes = adds" n s.Qcache.Snapshot.publishes;
+  checki "entries = distinct queries" n s.Qcache.Snapshot.entries;
+  checki "lookups sums every tier" (2 * n) (Qcache.Snapshot.lookups s);
+  checki "no canonical hits on modref keys" 0 s.Qcache.Snapshot.canonical_hits;
+  checki "no measured waits without a wait clock" 0 s.Qcache.Snapshot.waits;
+  (* steal attribution is explicit: the engine reports the pool's delta *)
+  Qcache.note_steals c 3;
+  checki "note_steals surfaces in the snapshot" 3
+    (Qcache.snapshot c).Qcache.Snapshot.steals
 
 (* Canonicalized alias queries: ask q = ask (mirror q). *)
 let prop_mirror_alias_equal =
@@ -385,7 +580,18 @@ let suite =
     ( "parallel",
       [
         Alcotest.test_case "ask_many preserves order" `Quick test_ask_many_order;
+        Alcotest.test_case "scheduler order and pool reuse" `Quick
+          test_scheduler_order_and_reuse;
+        Alcotest.test_case "scheduler exception propagates" `Quick
+          test_scheduler_exception_propagates;
+        Alcotest.test_case "scheduler shutdown idempotent" `Quick
+          test_scheduler_shutdown_idempotent;
+        Alcotest.test_case "all programs: two-tier @ jobs=4 = sequential"
+          `Quick test_all_programs_two_tier_jobs4;
+        Alcotest.test_case "4-domain counter exactness" `Quick
+          test_four_domain_counter_exactness;
         QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+        QCheck_alcotest.to_alcotest prop_l1_interleaving_equals_sequential;
         QCheck_alcotest.to_alcotest prop_mirror_alias_equal;
       ] );
   ]

@@ -376,7 +376,9 @@ let test_engine_coalescing () =
      evaluation: the flight table, not just the cache, absorbed the
      hammering (visible as either a coalesced answer or a cache hit) *)
   let coalesced = Engine.coalesced_count eng - before in
-  let cache_hits = (Scaf.Qcache.stats b.Engine.cache).Scaf.Qcache.hits in
+  let cache_hits =
+    (Scaf.Qcache.snapshot b.Engine.cache).Scaf.Qcache.Snapshot.hits
+  in
   checkb "hammering was absorbed" true (coalesced > 0 || cache_hits > 0)
 
 let test_engine_shed_cached_only () =

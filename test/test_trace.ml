@@ -190,9 +190,10 @@ let test_metrics_parallel_counters () =
   let m = Metrics.create () in
   let scheme = Schemes.scaf_scheme ~metrics:m profiles in
   let (_ : Response.t list) =
-    Schemes.parallel_map ~jobs:4 ~worker:scheme.Schemes.spawn
-      ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
-      qs
+    Scheduler.with_pool ~jobs:4 (fun pool ->
+        Scheduler.map pool ~state:scheme.Schemes.spawn
+          ~f:(fun (r : Schemes.resolver) q -> r.Schemes.resolve q)
+          qs)
   in
   let v name = Metrics.counter_value (Metrics.counter m name) in
   checki "every client query counted exactly once" (List.length qs)
@@ -356,7 +357,7 @@ let suite =
     ( "metrics",
       [
         Alcotest.test_case "registry semantics" `Quick test_metrics_registry;
-        Alcotest.test_case "exact counters under parallel_map" `Quick
+        Alcotest.test_case "exact counters under the work-stealing pool" `Quick
           test_metrics_parallel_counters;
       ] );
     ( "ctx+options",
